@@ -1,0 +1,278 @@
+// Package audb is an uncertainty-aware database engine: a Go implementation
+// of AU-DBs (attribute-annotated uncertain databases) from "Efficient
+// Uncertainty Tracking for Complex Queries with Attribute-level Bounds"
+// (Feng, Huber, Glavic, Kennedy; SIGMOD 2021).
+//
+// An AU-DB annotates one selected-guess world of an uncertain database:
+// every attribute value carries bounds [lb/sg/ub] on its value across all
+// possible worlds, and every tuple carries a multiplicity triple
+// (lb, sg, ub) sandwiching its certain and possible multiplicities. Full
+// relational algebra with aggregation evaluates directly on this
+// representation in PTIME while preserving the bounds: query answers
+// under-approximate the certain answers and over-approximate the possible
+// answers, with the selected-guess world behaving exactly like a
+// conventional database.
+//
+// Basic usage:
+//
+//	db := audb.New()
+//	t := audb.NewUncertainTable("locales", "locale", "rate", "size")
+//	t.AddRow(audb.RangeRow{
+//		audb.CertainOf(audb.Str("Los Angeles")),
+//		audb.Range(audb.Float(3), audb.Float(3), audb.Float(4)),
+//		audb.CertainOf(audb.Str("metro")),
+//	}, audb.CertainMult(1))
+//	db.Add(t)
+//	res, err := db.Query(`SELECT size, avg(rate) AS rate FROM locales GROUP BY size`)
+//
+// Uncertain inputs can also be derived from incomplete/probabilistic data
+// models (tuple-independent tables, block-independent x-tables, C-tables)
+// and from cleaning lenses such as key repair; see FromXTable, FromTITable,
+// FromCTable and RepairKey.
+package audb
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/encoding"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/translate"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// Value is an element of the universal domain (null, bool, int, float,
+// string, plus the two infinity sentinels).
+type Value = types.Value
+
+// Value constructors.
+func Int(i int64) Value     { return types.Int(i) }
+func Float(f float64) Value { return types.Float(f) }
+func Str(s string) Value    { return types.String(s) }
+func Bool(b bool) Value     { return types.Bool(b) }
+func Null() Value           { return types.Null() }
+func NegInfinity() Value    { return types.NegInf() }
+func PosInfinity() Value    { return types.PosInf() }
+
+// RangeValue is a range-annotated value [lb/sg/ub].
+type RangeValue = rangeval.V
+
+// Range builds a range-annotated value (bounds are normalized to satisfy
+// lb <= sg <= ub).
+func Range(lb, sg, ub Value) RangeValue { return rangeval.New(lb, sg, ub) }
+
+// CertainOf wraps a deterministic value as the certain range [v/v/v].
+func CertainOf(v Value) RangeValue { return rangeval.Certain(v) }
+
+// FullRange marks a completely unknown value with selected guess sg.
+func FullRange(sg Value) RangeValue { return rangeval.Full(sg) }
+
+// Multiplicity is a tuple annotation (lb, sg, ub) in N^AU.
+type Multiplicity = core.Mult
+
+// CertainMult annotates a tuple that appears exactly n times in every
+// world.
+func CertainMult(n int64) Multiplicity { return Multiplicity{Lo: n, SG: n, Hi: n} }
+
+// MaybeMult annotates a tuple present in the selected-guess world but
+// possibly absent elsewhere.
+func MaybeMult() Multiplicity { return Multiplicity{Lo: 0, SG: 1, Hi: 1} }
+
+// Mult builds an explicit annotation.
+func Mult(lb, sg, ub int64) Multiplicity { return Multiplicity{Lo: lb, SG: sg, Hi: ub} }
+
+// Row is a deterministic tuple.
+type Row = types.Tuple
+
+// RangeRow is a tuple of range-annotated values.
+type RangeRow = rangeval.Tuple
+
+// Table is a deterministic bag relation.
+type Table struct {
+	Name string
+	rel  *bag.Relation
+}
+
+// NewTable creates an empty deterministic table.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, rel: bag.New(schema.New(cols...))}
+}
+
+// AddRow appends a row with multiplicity 1.
+func (t *Table) AddRow(vals ...Value) *Table {
+	t.rel.Add(types.Tuple(vals), 1)
+	return t
+}
+
+// Rel exposes the underlying relation (advanced use).
+func (t *Table) Rel() *bag.Relation { return t.rel }
+
+// UncertainTable is an AU-relation under construction.
+type UncertainTable struct {
+	Name string
+	rel  *core.Relation
+}
+
+// NewUncertainTable creates an empty AU-table.
+func NewUncertainTable(name string, cols ...string) *UncertainTable {
+	return &UncertainTable{Name: name, rel: core.New(schema.New(cols...))}
+}
+
+// AddRow appends a range-annotated row.
+func (t *UncertainTable) AddRow(vals RangeRow, m Multiplicity) *UncertainTable {
+	t.rel.Add(core.Tuple{Vals: vals, M: m})
+	return t
+}
+
+// AddCertainRow appends a fully certain row.
+func (t *UncertainTable) AddCertainRow(vals ...Value) *UncertainTable {
+	t.rel.Add(core.Tuple{Vals: rangeval.CertainTuple(types.Tuple(vals)), M: core.One})
+	return t
+}
+
+// Rel exposes the underlying AU-relation (advanced use).
+func (t *UncertainTable) Rel() *core.Relation { return t.rel }
+
+// Result is an AU-relation produced by a query. Each tuple pairs
+// range-annotated values with a multiplicity triple.
+type Result = core.Relation
+
+// Options tunes the performance/precision trade-offs of Section 10.4-10.5
+// of the paper; the zero value evaluates the exact semantics.
+type Options = core.Options
+
+// Database is a collection of AU-relations queryable with SQL.
+type Database struct {
+	rels core.DB
+	opts Options
+}
+
+// New creates an empty database.
+func New() *Database { return &Database{rels: core.DB{}} }
+
+// SetOptions configures compression options for subsequent queries.
+func (d *Database) SetOptions(o Options) { d.opts = o }
+
+// Add registers an uncertain table.
+func (d *Database) Add(t *UncertainTable) *Database {
+	d.rels[t.Name] = t.rel
+	return d
+}
+
+// AddDeterministic registers a deterministic table (lifted to certain
+// annotations).
+func (d *Database) AddDeterministic(t *Table) *Database {
+	d.rels[t.Name] = core.FromDeterministic(t.rel)
+	return d
+}
+
+// AddRelation registers a pre-built AU-relation under the given name.
+func (d *Database) AddRelation(name string, rel *core.Relation) *Database {
+	d.rels[name] = rel
+	return d
+}
+
+// Relation returns a registered AU-relation.
+func (d *Database) Relation(name string) (*core.Relation, error) {
+	r, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("audb: unknown table %q", name)
+	}
+	return r, nil
+}
+
+// Plan compiles a SQL query against this database's catalog.
+func (d *Database) Plan(q string) (ra.Node, error) {
+	return sql.Compile(q, ra.CatalogMap(d.rels.Schemas()))
+}
+
+// Query evaluates a SQL query with the bound-preserving AU-DB semantics
+// (native engine).
+func (d *Database) Query(q string) (*Result, error) {
+	plan, err := d.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return core.Exec(plan, d.rels, d.opts)
+}
+
+// QueryPlan evaluates a pre-compiled plan.
+func (d *Database) QueryPlan(plan ra.Node) (*Result, error) {
+	return core.Exec(plan, d.rels, d.opts)
+}
+
+// QueryRewrite evaluates through the relational-encoding middleware
+// (Section 10 of the paper): encode, rewrite, run on the deterministic
+// engine, decode. The result equals Query's (Theorem 8); exposed for
+// cross-checking and for environments that only have a deterministic
+// executor.
+func (d *Database) QueryRewrite(q string) (*Result, error) {
+	plan, err := d.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return encoding.Exec(plan, d.rels)
+}
+
+// QuerySGW evaluates the query over the selected-guess world only —
+// conventional selected-guess query processing (SGQP).
+func (d *Database) QuerySGW(q string) (*bag.Relation, error) {
+	plan, err := d.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return bag.Exec(plan, d.rels.SGW())
+}
+
+// ---------------------------------------------------------------- inputs --
+
+// XTable re-exports the block-independent x-relation model.
+type XTable = worlds.XRelation
+
+// XBlock is one block of alternatives.
+type XBlock = worlds.XTuple
+
+// NewXTable creates an empty x-relation.
+func NewXTable(cols ...string) *XTable { return worlds.NewXRelation(schema.New(cols...)) }
+
+// FromXTable translates an x-table into a bound-preserving AU-relation
+// (Section 11.2 of the paper).
+func FromXTable(x *XTable) *core.Relation { return translate.XDB(x) }
+
+// FromTITable translates a tuple-independent table (one alternative per
+// block) into an AU-relation (Section 11.1).
+func FromTITable(x *XTable) (*core.Relation, error) { return translate.TIDB(x) }
+
+// CTable re-exports the C-table model.
+type CTable = worlds.CTable
+
+// FromCTable translates a C-table into an AU-relation, deriving attribute
+// and multiplicity bounds from the variable domains (Section 11.3). limit
+// caps the number of enumerated valuations.
+func FromCTable(ct *CTable, limit int) (*core.Relation, error) {
+	return translate.CTable(ct, limit)
+}
+
+// RepairKey is the key-repair lens (Section 11.4): it groups a
+// deterministic table by the named key columns and exposes the repair
+// uncertainty as an AU-relation.
+func RepairKey(t *Table, keyCols ...string) (*core.Relation, error) {
+	idx := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		j, err := t.rel.Schema.MustIndexOf(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	return translate.KeyRepair(t.rel, idx), nil
+}
+
+// MakeUncertain builds a range value from explicit bounds, mirroring the
+// MakeUncertain construct of Section 11.4.
+func MakeUncertain(lb, sg, ub Value) RangeValue { return translate.MakeUncertain(lb, sg, ub) }

@@ -1,0 +1,156 @@
+package audb
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/bench"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/synth"
+	"github.com/audb/audb/internal/translate"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each runs the
+// corresponding experiment of the harness (quick sizes; `cmd/audbench
+// -full` regenerates the full-size tables recorded in EXPERIMENTS.md).
+
+func benchFigure(b *testing.B, id string) {
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig10aPDBenchUncertainty(b *testing.B) { benchFigure(b, "fig10a") }
+func BenchmarkFig10bPDBenchScale(b *testing.B)       { benchFigure(b, "fig10b") }
+func BenchmarkFig11AggChain(b *testing.B)            { benchFigure(b, "fig11") }
+func BenchmarkFig12TPCH(b *testing.B)                { benchFigure(b, "fig12") }
+func BenchmarkFig13aGroupBy(b *testing.B)            { benchFigure(b, "fig13a") }
+func BenchmarkFig13bAggFuncs(b *testing.B)           { benchFigure(b, "fig13b") }
+func BenchmarkFig13cAttrRange(b *testing.B)          { benchFigure(b, "fig13c") }
+func BenchmarkFig13dCompression(b *testing.B)        { benchFigure(b, "fig13d") }
+func BenchmarkFig14JoinOpt(b *testing.B)             { benchFigure(b, "fig14") }
+func BenchmarkFig15AggAccuracy(b *testing.B)         { benchFigure(b, "fig15") }
+func BenchmarkFig16MultiJoin(b *testing.B)           { benchFigure(b, "fig16") }
+func BenchmarkFig17RealWorld(b *testing.B)           { benchFigure(b, "fig17") }
+
+// ---- operator micro-benchmarks ----------------------------------------
+
+func microData(rows int, unc float64) (bag.DB, core.DB) {
+	det := bag.DB{"t": synth.WideTable(rows, 6, 1000, 7)}
+	x := synth.Inject(det, synth.InjectConfig{
+		CellProb: unc, MaxAlts: 4, RangeFrac: 0.05, Seed: 8,
+	})
+	return det, core.DB{"t": translate.XDB(x["t"])}
+}
+
+func BenchmarkSelectDeterministic(b *testing.B) {
+	det, _ := microData(20000, 0.05)
+	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
+		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bag.Exec(plan, det); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectAUDB(b *testing.B) {
+	_, audb := microData(20000, 0.05)
+	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
+		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(plan, audb, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggAUDB(b *testing.B) {
+	_, audb := microData(20000, 0.05)
+	plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0},
+		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(plan, audb, core.Options{AggCompression: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchJoin(b *testing.B, opts core.Options, rows int) {
+	t1, t2 := synth.JoinPair(rows, int64(rows), 7)
+	x := synth.Inject(bag.DB{"t1": t1, "t2": t2}, synth.InjectConfig{
+		CellProb: 0.03, MaxAlts: 4, RangeFrac: 0.02, EligibleCols: []int{0, 1}, Seed: 8,
+	})
+	audb := core.DB{"t1": translate.XDB(x["t1"]), "t2": translate.XDB(x["t2"])}
+	plan := &ra.Join{Left: &ra.Scan{Table: "t1"}, Right: &ra.Scan{Table: "t2"},
+		Cond: expr.Eq(expr.Col(0, ""), expr.Col(2, ""))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Exec(plan, audb, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinAUDBExact(b *testing.B)      { benchJoin(b, core.Options{}, 4000) }
+func BenchmarkJoinAUDBCompressed(b *testing.B) { benchJoin(b, core.Options{JoinCompression: 32}, 4000) }
+func BenchmarkJoinAUDBNaive(b *testing.B)      { benchJoin(b, core.Options{NaiveJoin: true}, 1000) }
+
+func BenchmarkRewriteMiddleware(b *testing.B) {
+	_, audb := microData(5000, 0.05)
+	plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0},
+		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}}}
+	db := New()
+	for name, rel := range audb {
+		db.AddRelation(name, rel)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryPlan(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLCompile(b *testing.B) {
+	det, _ := microData(10, 0)
+	db := New()
+	db.AddRelation("t", core.FromDeterministic(det["t"]))
+	q := `SELECT a0, sum(a1) AS s, count(*) AS c FROM t WHERE a2 > 10 GROUP BY a0 HAVING sum(a1) > 100 ORDER BY a0`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Plan(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateXDB(b *testing.B) {
+	det := bag.DB{"t": synth.WideTable(20000, 6, 1000, 7)}
+	x := synth.Inject(det, synth.InjectConfig{CellProb: 0.05, MaxAlts: 8, Seed: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = translate.XDB(x["t"])
+	}
+}
+
+var benchSink fmt.Stringer

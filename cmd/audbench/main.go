@@ -1,0 +1,64 @@
+// Command audbench regenerates the tables and figures of the paper's
+// evaluation (Section 12). Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md discusses paper-vs-measured shapes.
+//
+// Usage:
+//
+//	audbench -exp fig10a            # one experiment, quick sizes
+//	audbench -exp all -full         # the whole suite at full sizes
+//	audbench -list                  # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/audb/audb/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17) or 'all'")
+		full = flag.Bool("full", false, "run full-size experiments (slow)")
+		seed = flag.Int64("seed", 1, "workload generator seed")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: !*full, Seed: *seed}
+	var toRun []bench.Experiment
+	if *exp == "all" {
+		toRun = bench.Registry()
+	} else {
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "audbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []bench.Experiment{e}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Printf("audbench: running %d experiment(s) in %s mode (seed %d)\n\n", len(toRun), mode, *seed)
+	for _, e := range toRun {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "audbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s(reproduces %s; took %s)\n\n", tbl.Render(), e.Paper, time.Since(start).Round(time.Millisecond))
+	}
+}

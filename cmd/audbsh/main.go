@@ -1,0 +1,172 @@
+// Command audbsh runs SQL over CSV files with the AU-DB uncertainty
+// semantics. Plain CSV files become certain tables; the extended range
+// syntax ("lb|sg|ub" cells, "?" for unknown, _mult_lb/_mult_ub columns)
+// carries uncertainty; -repair-key exposes key-violation repair
+// uncertainty for a plain CSV.
+//
+// Usage:
+//
+//	audbsh -table locales=locales.csv "SELECT size, avg(rate) FROM locales GROUP BY size"
+//	audbsh -au-table r=ranges.csv -sgw "SELECT * FROM r"
+//	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/csvio"
+	"github.com/audb/audb/internal/encoding"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/translate"
+)
+
+// rewriteExec runs the plan through the Section 10 middleware.
+func rewriteExec(plan ra.Node, db core.DB) (*core.Relation, error) {
+	return encoding.Exec(plan, db)
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var (
+		tables   listFlag
+		auTables listFlag
+		repairs  listFlag
+		sgw      = flag.Bool("sgw", false, "evaluate over the selected-guess world only (conventional SQL)")
+		rewrite  = flag.Bool("rewrite", false, "use the relational-encoding middleware instead of the native engine")
+		joinCT   = flag.Int("join-ct", 0, "join compression target (0 = exact)")
+		aggCT    = flag.Int("agg-ct", 0, "aggregation compression target (0 = exact)")
+		showPlan = flag.Bool("plan", false, "print the compiled plan")
+	)
+	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
+	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
+	flag.Var(&repairs, "repair-key", "name=keycol: apply the key-repair lens to a loaded table (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "audbsh: exactly one SQL query argument expected")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	db := core.DB{}
+	plain := map[string]*bag.Relation{}
+	for _, spec := range tables {
+		name, file, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err := loadCSV(file, false)
+		if err != nil {
+			fatal(err)
+		}
+		plain[name] = rel.det
+		db[name] = core.FromDeterministic(rel.det)
+	}
+	for _, spec := range auTables {
+		name, file, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err := loadCSV(file, true)
+		if err != nil {
+			fatal(err)
+		}
+		db[name] = rel.au
+	}
+	for _, spec := range repairs {
+		name, keyCol, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		rel, ok := plain[name]
+		if !ok {
+			fatal(fmt.Errorf("audbsh: -repair-key %s: table not loaded with -table", name))
+		}
+		idx, err := rel.Schema.MustIndexOf(keyCol)
+		if err != nil {
+			fatal(err)
+		}
+		db[name] = translate.KeyRepair(rel, []int{idx})
+	}
+	if len(db) == 0 {
+		fatal(fmt.Errorf("audbsh: no tables loaded (use -table / -au-table)"))
+	}
+
+	plan, err := sql.Compile(query, ra.CatalogMap(db.Schemas()))
+	if err != nil {
+		fatal(err)
+	}
+	if *showPlan {
+		fmt.Fprint(os.Stderr, ra.Render(plan))
+	}
+
+	switch {
+	case *sgw:
+		res, err := bag.Exec(plan, db.SGW())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Sort())
+	default:
+		opts := core.Options{JoinCompression: *joinCT, AggCompression: *aggCT}
+		var res *core.Relation
+		if *rewrite {
+			res, err = rewriteExec(plan, db)
+		} else {
+			res, err = core.Exec(plan, db, opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Sort())
+	}
+}
+
+type loaded struct {
+	det *bag.Relation
+	au  *core.Relation
+}
+
+func loadCSV(file string, uncertain bool) (*loaded, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if uncertain {
+		rel, err := csvio.ReadAU(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		return &loaded{au: rel}, nil
+	}
+	rel, err := csvio.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return &loaded{det: rel}, nil
+}
+
+func splitSpec(spec string) (string, string, error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", fmt.Errorf("audbsh: bad spec %q (want name=value)", spec)
+	}
+	return parts[0], parts[1], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

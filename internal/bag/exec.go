@@ -1,0 +1,430 @@
+package bag
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// Exec evaluates an RA_agg plan over a deterministic bag database and
+// returns the result relation with duplicates merged.
+func Exec(n ra.Node, db DB) (*Relation, error) {
+	cat := ra.CatalogMap(db.Schemas())
+	return exec(n, db, cat)
+}
+
+func exec(n ra.Node, db DB, cat ra.Catalog) (*Relation, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		r, ok := db[t.Table]
+		if !ok {
+			return nil, fmt.Errorf("bag: unknown table %q", t.Table)
+		}
+		return r, nil
+	case *ra.Select:
+		return execSelect(t, db, cat)
+	case *ra.Project:
+		return execProject(t, db, cat)
+	case *ra.Join:
+		return execJoin(t, db, cat)
+	case *ra.Union:
+		return execUnion(t, db, cat)
+	case *ra.Diff:
+		return execDiff(t, db, cat)
+	case *ra.Distinct:
+		return execDistinct(t, db, cat)
+	case *ra.Agg:
+		return execAgg(t, db, cat)
+	case *ra.OrderBy:
+		in, err := exec(t.Child, db, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := in.Clone()
+		sortByKeys(out, t.Keys, t.Desc)
+		return out, nil
+	case *ra.Limit:
+		in, err := exec(t.Child, db, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := in.Clone().Merge()
+		if t.N < len(out.Tuples) {
+			out.Tuples = out.Tuples[:t.N]
+			out.Counts = out.Counts[:t.N]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("bag: unknown node %T", n)
+}
+
+func sortByKeys(r *Relation, keys []int, desc bool) {
+	// Sort tuples and counts in tandem via an index permutation.
+	idx := make([]int, len(r.Tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := r.Tuples[idx[a]], r.Tuples[idx[b]]
+		for _, k := range keys {
+			if c := types.Compare(ta[k], tb[k]); c != 0 {
+				if desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	nt := make([]types.Tuple, len(idx))
+	nc := make([]int64, len(idx))
+	for i, j := range idx {
+		nt[i], nc[i] = r.Tuples[j], r.Counts[j]
+	}
+	r.Tuples, r.Counts = nt, nc
+}
+
+func execSelect(t *ra.Select, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(t.Child, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	out := New(in.Schema)
+	for i, tup := range in.Tuples {
+		v, err := t.Pred.Eval(tup)
+		if err != nil {
+			return nil, fmt.Errorf("bag: selection: %w", err)
+		}
+		if v.AsBool() {
+			out.Add(tup, in.Counts[i])
+		}
+	}
+	return out, nil
+}
+
+func execProject(t *ra.Project, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(t.Child, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		attrs[i] = c.Name
+	}
+	out := New(schema.Schema{Attrs: attrs})
+	for i, tup := range in.Tuples {
+		row := make(types.Tuple, len(t.Cols))
+		for j, c := range t.Cols {
+			v, err := c.E.Eval(tup)
+			if err != nil {
+				return nil, fmt.Errorf("bag: projection %s: %w", c.Name, err)
+			}
+			row[j] = v
+		}
+		out.Add(row, in.Counts[i])
+	}
+	return out.Merge(), nil
+}
+
+func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(t.Left, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	out := New(l.Schema.Concat(r.Schema))
+	split := l.Schema.Arity()
+
+	// Extract hashable equi-join conjuncts from the condition.
+	var leftCols, rightCols []int
+	var residual []expr.Expr
+	if t.Cond != nil {
+		for _, c := range expr.Conjuncts(t.Cond) {
+			if li, ri, ok := expr.EquiPair(c, split); ok {
+				leftCols = append(leftCols, li)
+				rightCols = append(rightCols, ri)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	emit := func(lt types.Tuple, lc int64, rt types.Tuple, rc int64) error {
+		joined := lt.Concat(rt)
+		for _, p := range residual {
+			v, err := p.Eval(joined)
+			if err != nil {
+				return fmt.Errorf("bag: join condition: %w", err)
+			}
+			if !v.AsBool() {
+				return nil
+			}
+		}
+		out.Add(joined, lc*rc)
+		return nil
+	}
+
+	if len(leftCols) > 0 {
+		// Hash join on the equality columns.
+		index := make(map[string][]int, r.Len())
+		for i, rt := range r.Tuples {
+			index[rt.KeyOn(rightCols)] = append(index[rt.KeyOn(rightCols)], i)
+		}
+		for i, lt := range l.Tuples {
+			for _, j := range index[lt.KeyOn(leftCols)] {
+				if err := emit(lt, l.Counts[i], r.Tuples[j], r.Counts[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		// Nested loop (cross product or pure theta join).
+		for i, lt := range l.Tuples {
+			for j, rt := range r.Tuples {
+				if err := emit(lt, l.Counts[i], rt, r.Counts[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func execUnion(t *ra.Union, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(t.Left, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("bag: union arity mismatch %s vs %s", l.Schema, r.Schema)
+	}
+	out := New(l.Schema)
+	for i, tup := range l.Tuples {
+		out.Add(tup, l.Counts[i])
+	}
+	for i, tup := range r.Tuples {
+		out.Add(tup, r.Counts[i])
+	}
+	return out.Merge(), nil
+}
+
+func execDiff(t *ra.Diff, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(t.Left, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("bag: difference arity mismatch %s vs %s", l.Schema, r.Schema)
+	}
+	lm := l.Clone().Merge()
+	sub := make(map[string]int64, r.Len())
+	for i, tup := range r.Tuples {
+		sub[tup.Key()] += r.Counts[i]
+	}
+	out := New(l.Schema)
+	for i, tup := range lm.Tuples {
+		c := lm.Counts[i] - sub[tup.Key()]
+		if c > 0 {
+			out.Add(tup, c) // bag monus: max(0, l - r)
+		}
+	}
+	return out, nil
+}
+
+func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(t.Child, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Clone().Merge()
+	for i := range out.Counts {
+		out.Counts[i] = 1 // δ_N
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	sum      types.Value
+	count    int64
+	min, max types.Value
+	distinct map[string]types.Value
+	sawRow   bool
+}
+
+func newAggState(distinct bool) *aggState {
+	st := &aggState{
+		sum: types.Int(0),
+		min: types.PosInf(),
+		max: types.NegInf(),
+	}
+	if distinct {
+		st.distinct = map[string]types.Value{}
+	}
+	return st
+}
+
+func (st *aggState) add(v types.Value, mult int64) error {
+	st.sawRow = true
+	if st.distinct != nil {
+		st.distinct[string(v.AppendKey(nil))] = v
+		return nil
+	}
+	return st.accumulate(v, mult)
+}
+
+func (st *aggState) accumulate(v types.Value, mult int64) error {
+	if v.IsNull() {
+		return nil // SQL-style: nulls do not contribute
+	}
+	st.count += mult
+	if v.IsNumeric() || v.IsInf() {
+		contrib, err := types.Mul(v, types.Int(mult))
+		if err != nil {
+			return err
+		}
+		s, err := types.Add(st.sum, contrib)
+		if err != nil {
+			return err
+		}
+		st.sum = s
+	}
+	st.min = types.Min(st.min, v)
+	st.max = types.Max(st.max, v)
+	return nil
+}
+
+func (st *aggState) finalize(fn ra.AggFn) (types.Value, error) {
+	if st.distinct != nil {
+		// Fold the distinct set with multiplicity one each.
+		keys := make([]string, 0, len(st.distinct))
+		for k := range st.distinct {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		folded := newAggState(false)
+		for _, k := range keys {
+			if err := folded.accumulate(st.distinct[k], 1); err != nil {
+				return types.Null(), err
+			}
+		}
+		folded.sawRow = st.sawRow
+		return folded.finalize(fn)
+	}
+	switch fn {
+	case ra.AggCount:
+		return types.Int(st.count), nil
+	case ra.AggSum:
+		// Monoid semantics: the sum over the empty bag is 0_M. This
+		// matches the paper's aggregation monoids (Section 9.1) and keeps
+		// the deterministic engine aligned with AU-DB evaluation.
+		return st.sum, nil
+	case ra.AggMin:
+		return st.min, nil
+	case ra.AggMax:
+		return st.max, nil
+	case ra.AggAvg:
+		if st.count == 0 {
+			return types.Float(0), nil
+		}
+		return types.Div(st.sum, types.Int(st.count))
+	}
+	return types.Null(), fmt.Errorf("bag: unknown aggregate %v", fn)
+}
+
+func execAgg(t *ra.Agg, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(t.Child, db, cat)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := ra.InferSchema(t, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		key    types.Tuple
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	getGroup := func(tup types.Tuple) *group {
+		key := tup.Project(t.GroupBy)
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key}
+			for _, a := range t.Aggs {
+				g.states = append(g.states, newAggState(a.Distinct))
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		return g
+	}
+
+	for i, tup := range in.Tuples {
+		g := getGroup(tup)
+		for j, a := range t.Aggs {
+			var v types.Value
+			if a.Arg == nil {
+				// count(*): every row contributes its multiplicity.
+				v = types.Int(1)
+			} else {
+				v, err = a.Arg.Eval(tup)
+				if err != nil {
+					return nil, fmt.Errorf("bag: aggregate %s: %w", a.Name, err)
+				}
+			}
+			if err := g.states[j].add(v, in.Counts[i]); err != nil {
+				return nil, fmt.Errorf("bag: aggregate %s: %w", a.Name, err)
+			}
+		}
+	}
+
+	out := New(outSchema)
+	if len(t.GroupBy) == 0 && len(order) == 0 {
+		// Aggregation without group-by over an empty input still yields
+		// one row (Definition 27 / SQL).
+		row := make(types.Tuple, len(t.Aggs))
+		for j, a := range t.Aggs {
+			v, err := newAggState(false).finalize(a.Fn)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out.Add(row, 1)
+		return out, nil
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(types.Tuple, 0, len(t.GroupBy)+len(t.Aggs))
+		row = append(row, g.key...)
+		for j, a := range t.Aggs {
+			v, err := g.states[j].finalize(a.Fn)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.Add(row, 1)
+	}
+	return out.Merge(), nil
+}

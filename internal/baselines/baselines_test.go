@@ -1,0 +1,260 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+func row(vs ...interface{}) types.Tuple {
+	out := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			out[i] = types.Int(int64(x))
+		case string:
+			out[i] = types.String(x)
+		default:
+			panic("bad value")
+		}
+	}
+	return out
+}
+
+// xdb: r(k, v) with one certain tuple, one 2-alternative block, one
+// optional block; s(k, w) certain.
+func testXDB() worlds.XDB {
+	r := worlds.NewXRelation(schema.New("k", "v"))
+	r.AddCertain(row(1, 10))
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(2, 20), row(2, 25)}, Probs: []float64{0.6, 0.4}})
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(3, 30)}, Probs: []float64{0.3}})
+	s := worlds.NewXRelation(schema.New("k", "w"))
+	s.AddCertain(row(1, 100))
+	s.AddCertain(row(2, 200))
+	return worlds.XDB{"r": r, "s": s}
+}
+
+func scanR() ra.Node { return &ra.Scan{Table: "r"} }
+
+func joinPlan() ra.Node {
+	return &ra.Join{
+		Left: scanR(), Right: &ra.Scan{Table: "s"},
+		Cond: expr.Eq(expr.Col(0, "k"), expr.Col(2, "k")),
+	}
+}
+
+func TestUADB(t *testing.T) {
+	db := testXDB()
+	ua := UADBFromX(db)
+	if ua.Lower["r"].Size() != 1 { // only the certain single-alternative block
+		t.Errorf("lower:\n%s", ua.Lower["r"])
+	}
+	if ua.SG["r"].Size() != 2 { // certain + best alternative; optional dropped (p=0.3)
+		t.Errorf("sg:\n%s", ua.SG["r"])
+	}
+	res, err := ExecUADB(joinPlan(), ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lower.Size() != 1 || res.SG.Size() != 2 {
+		t.Errorf("join results: lower %d sg %d", res.Lower.Size(), res.SG.Size())
+	}
+	// Set difference rejected.
+	diff := &ra.Diff{Left: scanR(), Right: scanR()}
+	if _, err := ExecUADB(diff, ua); err == nil {
+		t.Error("diff should be rejected")
+	}
+	// Aggregation: certain side intersected with SG.
+	agg := &ra.Agg{Child: scanR(), GroupBy: []int{0},
+		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}}}
+	res, err = ExecUADB(agg, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lower.Size() > res.SG.Size() {
+		t.Error("certain aggregate rows must not exceed SG rows")
+	}
+}
+
+func TestLibkin(t *testing.T) {
+	db := testXDB()
+	ldb := LibkinDB(db)
+	// Block 2 has uncertain v -> null; optional block dropped entirely.
+	if ldb["r"].Size() != 2 {
+		t.Errorf("libkin relation:\n%s", ldb["r"])
+	}
+	out, err := ExecLibkin(&ra.Select{
+		Child: scanR(),
+		Pred:  expr.Gt(expr.Col(1, "v"), expr.CInt(5)),
+	}, ldb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the certain tuple passes (null comparison is false).
+	if out.Size() != 1 {
+		t.Errorf("certain under-approximation:\n%s", out)
+	}
+}
+
+func TestMCDB(t *testing.T) {
+	db := testXDB()
+	res, err := ExecMCDB(joinPlan(), db, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 10 {
+		t.Fatalf("samples: %d", len(res.Samples))
+	}
+	poss := res.PossibleTuples()
+	if poss.Count(row(1, 10, 1, 100)) != 1 {
+		t.Errorf("possible misses certain join tuple:\n%s", poss)
+	}
+	guar := res.GuaranteedTuples()
+	if guar.Count(row(1, 10, 1, 100)) != 1 {
+		t.Errorf("guaranteed misses certain join tuple:\n%s", guar)
+	}
+	// Aggregation bounds across samples.
+	agg := &ra.Agg{Child: scanR(), GroupBy: []int{0},
+		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}}}
+	ares, err := ExecMCDB(agg, db, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := ares.GroupBounds(1, 1)
+	if len(gb) == 0 {
+		t.Error("no group bounds")
+	}
+	k2 := row(2).Key()
+	if b, ok := gb[k2]; ok {
+		if b[0].AsInt() < 20 || b[1].AsInt() > 25 {
+			t.Errorf("group 2 bounds: %v", b)
+		}
+	}
+}
+
+func TestMayBMS(t *testing.T) {
+	db := testXDB()
+	out, err := ExecMayBMS(joinPlan(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Possible join results: (1,10,1,100), (2,20,2,200), (2,25,2,200).
+	if out.Size() != 3 {
+		t.Errorf("possible answers:\n%s", out)
+	}
+	// Selection + projection.
+	plan := &ra.Project{
+		Child: &ra.Select{Child: scanR(), Pred: expr.Geq(expr.Col(1, "v"), expr.CInt(20))},
+		Cols:  []ra.ProjCol{{E: expr.Col(1, "v"), Name: "v"}},
+	}
+	out, err = ExecMayBMS(plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 3 { // 20, 25, 30
+		t.Errorf("select/project possible:\n%s", out)
+	}
+	// Self join of the uncertain block: alternatives must not combine.
+	self := &ra.Join{Left: scanR(), Right: scanR(),
+		Cond: expr.Eq(expr.Col(0, "k"), expr.Col(2, "k"))}
+	out, err = ExecMayBMS(self, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range out.Tuples {
+		if tup[0].AsInt() == 2 && types.Compare(tup[1], tup[3]) != 0 {
+			t.Errorf("inconsistent world-set combined: %v", tup)
+		}
+	}
+	// Aggregation unsupported.
+	agg := &ra.Agg{Child: scanR(), Aggs: []ra.AggSpec{{Fn: ra.AggCount, Name: "c"}}}
+	if _, err := ExecMayBMS(agg, db); err == nil {
+		t.Error("aggregation should be unsupported")
+	}
+	if _, err := ExecMayBMS(&ra.Scan{Table: "zzz"}, db); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestTrioSPJ(t *testing.T) {
+	db := testXDB()
+	cert, poss, err := ExecTrioSPJ(joinPlan(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poss.Size() != 3 {
+		t.Errorf("possible:\n%s", poss)
+	}
+	if cert.Size() != 1 || cert.Count(row(1, 10, 1, 100)) != 1 {
+		t.Errorf("certain:\n%s", cert)
+	}
+	// Union and projection paths.
+	u := &ra.Union{Left: scanR(), Right: scanR()}
+	if _, _, err := ExecTrioSPJ(u, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExecTrioSPJ(&ra.Diff{Left: scanR(), Right: scanR()}, db); err == nil {
+		t.Error("diff unsupported")
+	}
+}
+
+func TestTrioAgg(t *testing.T) {
+	db := testXDB()
+	res, err := ExecTrioAgg(scanR(), db, []int{0}, ra.AggSpec{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[int64]TrioGroup{}
+	for _, g := range res.Groups {
+		byKey[g.Key[0].AsInt()] = g
+	}
+	// Group 1: certain sum 10.
+	if g := byKey[1]; g.Lo[0].AsInt() != 10 || g.Hi[0].AsInt() != 10 || !g.Certain {
+		t.Errorf("group 1: %+v", g)
+	}
+	// Group 2: block contributes 20 or 25, never absent within the block
+	// (both alternatives have k=2) but Trio's bounds conservatively allow
+	// absence: [0..25] would be conservative; min over alts with 0 floor
+	// gives lo 0, hi 25.
+	if g := byKey[2]; g.Hi[0].AsInt() != 25 || g.Lo[0].AsInt() > 20 {
+		t.Errorf("group 2: %+v", g)
+	}
+	// count / min / max / avg variants.
+	if _, err := ExecTrioAgg(scanR(), db, []int{0}, ra.AggSpec{Fn: ra.AggCount, Name: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecTrioAgg(scanR(), db, []int{0}, ra.AggSpec{Fn: ra.AggMin, Arg: expr.Col(1, "v"), Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecTrioAgg(scanR(), db, []int{0}, ra.AggSpec{Fn: ra.AggAvg, Arg: expr.Col(1, "v"), Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymb(t *testing.T) {
+	db := testXDB()
+	lo, hi, err := ExecSymbChain(db, "r", 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total sum across groups: certain 10 + block {20|25} + optional {0|30}.
+	if lo.AsInt() > 30 || hi.AsInt() < 55 {
+		t.Errorf("bounds [%v, %v]", lo, hi)
+	}
+	// Chained aggregation keeps bounds stable here (sum of sums) but
+	// grows the symbolic representation.
+	lo2, hi2, err := ExecSymbChain(db, "r", 1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.Compare(lo, lo2) != 0 || types.Compare(hi, hi2) != 0 {
+		t.Errorf("chained bounds differ: [%v,%v] vs [%v,%v]", lo, hi, lo2, hi2)
+	}
+	if _, _, err := ExecSymbChain(db, "zzz", 1, 0, 1); err == nil {
+		t.Error("unknown table should error")
+	}
+}

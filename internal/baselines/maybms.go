@@ -1,0 +1,217 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// condTuple is a U-relation tuple: values plus the block choices (world-set
+// descriptor) it depends on, à la MayBMS.
+type condTuple struct {
+	vals types.Tuple
+	cond map[blockRef]int // block -> chosen alternative
+}
+
+type blockRef struct {
+	rel string
+	idx int
+}
+
+// uRelation is a MayBMS-style conditional table.
+type uRelation struct {
+	schema schema.Schema
+	tuples []condTuple
+}
+
+// ExecMayBMS computes the possible answers of an SPJ (RA+) query over an
+// x-database by propagating world-set descriptors through the operators
+// (the columnar alternative expansion of MayBMS's native representation).
+// Aggregation and difference are unsupported, as in the paper's setup
+// where MayBMS is used to compute possible answers for SPJ queries only.
+func ExecMayBMS(n ra.Node, db worlds.XDB) (*bag.Relation, error) {
+	u, err := execU(n, db)
+	if err != nil {
+		return nil, err
+	}
+	// Possible answers: distinct value tuples.
+	out := bag.New(u.schema)
+	seen := map[string]bool{}
+	for _, t := range u.tuples {
+		k := t.vals.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Add(t.vals, 1)
+		}
+	}
+	return out, nil
+}
+
+func execU(n ra.Node, db worlds.XDB) (*uRelation, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		rel, ok := db[t.Table]
+		if !ok {
+			return nil, fmt.Errorf("baselines: unknown table %q", t.Table)
+		}
+		out := &uRelation{schema: rel.Schema}
+		for bi := range rel.Tuples {
+			blk := &rel.Tuples[bi]
+			for ai, alt := range blk.Alts {
+				ct := condTuple{vals: alt}
+				if len(blk.Alts) > 1 || blk.IsOptional() {
+					ct.cond = map[blockRef]int{{rel: t.Table, idx: bi}: ai}
+				}
+				out.tuples = append(out.tuples, ct)
+			}
+		}
+		return out, nil
+	case *ra.Select:
+		in, err := execU(t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &uRelation{schema: in.schema}
+		for _, ct := range in.tuples {
+			v, err := t.Pred.Eval(ct.vals)
+			if err != nil {
+				return nil, err
+			}
+			if v.AsBool() {
+				out.tuples = append(out.tuples, ct)
+			}
+		}
+		return out, nil
+	case *ra.Project:
+		in, err := execU(t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			attrs[i] = c.Name
+		}
+		out := &uRelation{schema: schema.Schema{Attrs: attrs}}
+		for _, ct := range in.tuples {
+			row := make(types.Tuple, len(t.Cols))
+			for i, c := range t.Cols {
+				v, err := c.E.Eval(ct.vals)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out.tuples = append(out.tuples, condTuple{vals: row, cond: ct.cond})
+		}
+		return out, nil
+	case *ra.Join:
+		l, err := execU(t.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execU(t.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &uRelation{schema: l.schema.Concat(r.schema)}
+		emit := func(lt, rt condTuple) error {
+			merged, ok := mergeConds(lt.cond, rt.cond)
+			if !ok {
+				return nil // inconsistent world-set descriptors
+			}
+			joined := lt.vals.Concat(rt.vals)
+			if t.Cond != nil {
+				v, err := t.Cond.Eval(joined)
+				if err != nil {
+					return err
+				}
+				if !v.AsBool() {
+					return nil
+				}
+			}
+			out.tuples = append(out.tuples, condTuple{vals: joined, cond: merged})
+			return nil
+		}
+		// MayBMS compiles to plain SQL over U-relations, so equality
+		// conjuncts hash join as usual.
+		var lCols, rCols []int
+		if t.Cond != nil {
+			split := l.schema.Arity()
+			for _, c := range expr.Conjuncts(t.Cond) {
+				if li, ri, ok := expr.EquiPair(c, split); ok {
+					lCols = append(lCols, li)
+					rCols = append(rCols, ri)
+				}
+			}
+		}
+		if len(lCols) > 0 {
+			idx := map[string][]int{}
+			for i, rt := range r.tuples {
+				idx[rt.vals.KeyOn(rCols)] = append(idx[rt.vals.KeyOn(rCols)], i)
+			}
+			for _, lt := range l.tuples {
+				for _, j := range idx[lt.vals.KeyOn(lCols)] {
+					if err := emit(lt, r.tuples[j]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else {
+			for _, lt := range l.tuples {
+				for _, rt := range r.tuples {
+					if err := emit(lt, rt); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return out, nil
+	case *ra.Union:
+		l, err := execU(t.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execU(t.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &uRelation{schema: l.schema}
+		out.tuples = append(out.tuples, l.tuples...)
+		out.tuples = append(out.tuples, r.tuples...)
+		return out, nil
+	case *ra.Distinct:
+		in, err := execU(t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		return in, nil // possible answers are already computed set-wise
+	case *ra.OrderBy:
+		return execU(t.Child, db)
+	}
+	return nil, fmt.Errorf("baselines: MayBMS-style evaluation does not support %T", n)
+}
+
+func mergeConds(a, b map[blockRef]int) (map[blockRef]int, bool) {
+	if len(a) == 0 {
+		return b, true
+	}
+	if len(b) == 0 {
+		return a, true
+	}
+	out := make(map[blockRef]int, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; ok && prev != v {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}

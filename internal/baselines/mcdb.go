@@ -1,0 +1,113 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// MCDBResult holds per-sampled-world query results (the "tuple bundle"
+// summary of MCDB-style processing).
+type MCDBResult struct {
+	Samples []*bag.Relation
+}
+
+// ExecMCDB evaluates the query over n sampled worlds (the paper uses 10).
+// This supports arbitrary queries but yields only sample-derived statistics
+// and requires probabilities.
+func ExecMCDB(n ra.Node, db worlds.XDB, samples int, seed int64) (*MCDBResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := &MCDBResult{}
+	for i := 0; i < samples; i++ {
+		world := db.Sample(rng)
+		res, err := bag.Exec(n, world)
+		if err != nil {
+			return nil, err
+		}
+		out.Samples = append(out.Samples, res)
+	}
+	return out, nil
+}
+
+// PossibleTuples returns the union of tuples seen across samples (an
+// under-approximation of the possible answers: unseen possible tuples are
+// missed).
+func (r *MCDBResult) PossibleTuples() *bag.Relation {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	out := bag.New(r.Samples[0].Schema)
+	seen := map[string]bool{}
+	for _, s := range r.Samples {
+		m := s.Clone().Merge()
+		for _, t := range m.Tuples {
+			if !seen[t.Key()] {
+				seen[t.Key()] = true
+				out.Add(t, 1)
+			}
+		}
+	}
+	return out
+}
+
+// GuaranteedTuples returns tuples present in every sample with their
+// minimum multiplicity — an approximation of certain answers that can
+// both miss certain tuples and contain non-certain ones (MCDB cannot
+// distinguish certain from highly likely).
+func (r *MCDBResult) GuaranteedTuples() *bag.Relation {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	counts := map[string][]int64{}
+	reps := map[string]types.Tuple{}
+	for wi, s := range r.Samples {
+		m := s.Clone().Merge()
+		for i, t := range m.Tuples {
+			k := t.Key()
+			if _, ok := counts[k]; !ok {
+				counts[k] = make([]int64, len(r.Samples))
+				reps[k] = t
+			}
+			counts[k][wi] = m.Counts[i]
+		}
+	}
+	out := bag.New(r.Samples[0].Schema)
+	for k, cs := range counts {
+		mn := cs[0]
+		for _, c := range cs[1:] {
+			if c < mn {
+				mn = c
+			}
+		}
+		if mn > 0 {
+			out.Add(reps[k], mn)
+		}
+	}
+	return out
+}
+
+// GroupBounds summarizes, for results whose first g columns identify a
+// group, the min/max observed aggregate value per group across samples —
+// the sample-derived interval MCDB reports for aggregation queries.
+func (r *MCDBResult) GroupBounds(groupCols int, valueCol int) map[string][2]types.Value {
+	out := map[string][2]types.Value{}
+	gc := make([]int, groupCols)
+	for i := range gc {
+		gc[i] = i
+	}
+	for _, s := range r.Samples {
+		for _, t := range s.Tuples {
+			k := t.KeyOn(gc)
+			v := t[valueCol]
+			if cur, ok := out[k]; ok {
+				out[k] = [2]types.Value{types.Min(cur[0], v), types.Max(cur[1], v)}
+			} else {
+				out[k] = [2]types.Value{v, v}
+			}
+		}
+	}
+	return out
+}

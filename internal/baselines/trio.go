@@ -1,0 +1,324 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// trioTuple is an alternative-expanded tuple carrying its lineage: the set
+// of (block, alternative) choices it derives from, in the spirit of Trio's
+// ULDB model.
+type trioTuple struct {
+	vals    types.Tuple
+	lineage map[blockRef]int
+	certain bool // derived exclusively from certain blocks
+}
+
+type trioRelation struct {
+	schema schema.Schema
+	tuples []trioTuple
+}
+
+// TrioAggResult is a per-group aggregate interval (Trio reports GLB/LUB
+// bounds for aggregates over groups with certain group-by values).
+type TrioAggResult struct {
+	Schema schema.Schema
+	Groups []TrioGroup
+}
+
+// TrioGroup is one output group.
+type TrioGroup struct {
+	Key     types.Tuple
+	Lo, Hi  []types.Value
+	Certain bool
+}
+
+// ExecTrioSPJ evaluates an SPJ query Trio-style: alternatives are expanded
+// eagerly with lineage tracking (the cost profile that makes Trio slow on
+// uncertain joins), and the distinct possible tuples are returned along
+// with which are certain.
+func ExecTrioSPJ(n ra.Node, db worlds.XDB) (*bag.Relation, *bag.Relation, error) {
+	rel, err := execTrio(n, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	poss := bag.New(rel.schema)
+	cert := bag.New(rel.schema)
+	seen := map[string]bool{}
+	for _, t := range rel.tuples {
+		k := t.vals.Key()
+		if !seen[k] {
+			seen[k] = true
+			poss.Add(t.vals, 1)
+			if t.certain {
+				cert.Add(t.vals, 1)
+			}
+		}
+	}
+	return cert, poss, nil
+}
+
+func execTrio(n ra.Node, db worlds.XDB) (*trioRelation, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		rel, ok := db[t.Table]
+		if !ok {
+			return nil, fmt.Errorf("baselines: unknown table %q", t.Table)
+		}
+		out := &trioRelation{schema: rel.Schema}
+		for bi := range rel.Tuples {
+			blk := &rel.Tuples[bi]
+			certainBlock := len(blk.Alts) == 1 && !blk.IsOptional()
+			for ai, alt := range blk.Alts {
+				tt := trioTuple{vals: alt, certain: certainBlock}
+				if !certainBlock {
+					tt.lineage = map[blockRef]int{{rel: t.Table, idx: bi}: ai}
+				}
+				out.tuples = append(out.tuples, tt)
+			}
+		}
+		return out, nil
+	case *ra.Select:
+		in, err := execTrio(t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &trioRelation{schema: in.schema}
+		for _, tt := range in.tuples {
+			v, err := t.Pred.Eval(tt.vals)
+			if err != nil {
+				return nil, err
+			}
+			if v.AsBool() {
+				out.tuples = append(out.tuples, tt)
+			}
+		}
+		return out, nil
+	case *ra.Project:
+		in, err := execTrio(t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			attrs[i] = c.Name
+		}
+		out := &trioRelation{schema: schema.Schema{Attrs: attrs}}
+		for _, tt := range in.tuples {
+			row := make(types.Tuple, len(t.Cols))
+			for i, c := range t.Cols {
+				v, err := c.E.Eval(tt.vals)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			out.tuples = append(out.tuples, trioTuple{vals: row, lineage: tt.lineage, certain: tt.certain})
+		}
+		return out, nil
+	case *ra.Join:
+		l, err := execTrio(t.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execTrio(t.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &trioRelation{schema: l.schema.Concat(r.schema)}
+		for _, lt := range l.tuples {
+			for _, rt := range r.tuples {
+				lin, ok := mergeConds(lt.lineage, rt.lineage)
+				if !ok {
+					continue
+				}
+				joined := lt.vals.Concat(rt.vals)
+				if t.Cond != nil {
+					v, err := t.Cond.Eval(joined)
+					if err != nil {
+						return nil, err
+					}
+					if !v.AsBool() {
+						continue
+					}
+				}
+				out.tuples = append(out.tuples, trioTuple{
+					vals: joined, lineage: lin, certain: lt.certain && rt.certain,
+				})
+			}
+		}
+		return out, nil
+	case *ra.Union:
+		l, err := execTrio(t.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execTrio(t.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &trioRelation{schema: l.schema}
+		out.tuples = append(out.tuples, l.tuples...)
+		out.tuples = append(out.tuples, r.tuples...)
+		return out, nil
+	case *ra.Distinct, *ra.OrderBy:
+		return execTrio(t.Children()[0], db)
+	}
+	return nil, fmt.Errorf("baselines: Trio-style evaluation does not support %T", n)
+}
+
+// ExecTrioAgg computes Trio-style aggregate bounds: for each group (over
+// certain group-by columns of the expanded input) the exact GLB/LUB of the
+// aggregate given block-independence. Uncertain group-by values are not
+// supported — the group simply reflects each alternative's value, as Trio
+// has no range representation for groups (cf. Figure 4: "GLB+LUB",
+// grouping on certain attributes).
+// blockContrib collects the possible aggregate contributions of one block
+// to one group.
+type blockContrib struct {
+	vals []types.Value
+}
+
+func ExecTrioAgg(child ra.Node, db worlds.XDB, groupBy []int, agg ra.AggSpec) (*TrioAggResult, error) {
+	in, err := execTrio(child, db)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		key  types.Tuple
+		byBl map[blockRef]*blockContrib
+		cert []types.Value // contributions from certain tuples
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, tt := range in.tuples {
+		key := tt.vals.Project(groupBy)
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: key, byBl: map[blockRef]*blockContrib{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		var v types.Value = types.Int(1)
+		if agg.Arg != nil {
+			v, err = agg.Arg.Eval(tt.vals)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if tt.certain {
+			g.cert = append(g.cert, v)
+			continue
+		}
+		// Attribute the contribution to its first lineage block (blocks
+		// are independent; multi-block lineage is approximated by the
+		// first choice, keeping bounds conservative).
+		var ref blockRef
+		for r := range tt.lineage {
+			ref = r
+			break
+		}
+		bc, ok := g.byBl[ref]
+		if !ok {
+			bc = &blockContrib{}
+			g.byBl[ref] = bc
+		}
+		bc.vals = append(bc.vals, v)
+	}
+
+	out := &TrioAggResult{}
+	for _, k := range order {
+		g := groups[k]
+		lo, hi, err := trioBounds(agg.Fn, g.cert, g.byBl)
+		if err != nil {
+			return nil, err
+		}
+		out.Groups = append(out.Groups, TrioGroup{
+			Key: g.key, Lo: []types.Value{lo}, Hi: []types.Value{hi},
+			Certain: len(g.cert) > 0,
+		})
+	}
+	return out, nil
+}
+
+// trioBounds folds certain contributions plus per-block min/max optional
+// contributions into a GLB/LUB interval.
+func trioBounds(fn ra.AggFn, cert []types.Value, blocks map[blockRef]*blockContrib) (types.Value, types.Value, error) {
+	switch fn {
+	case ra.AggSum, ra.AggCount:
+		lo, hi := types.Int(0), types.Int(0)
+		var err error
+		for _, v := range cert {
+			if fn == ra.AggCount {
+				v = types.Int(1)
+			}
+			if lo, err = types.Add(lo, v); err != nil {
+				return lo, hi, err
+			}
+			if hi, err = types.Add(hi, v); err != nil {
+				return lo, hi, err
+			}
+		}
+		for _, bc := range blocks {
+			bmin, bmax := types.Int(0), types.Int(0) // the block may avoid the group
+			for _, v := range bc.vals {
+				if fn == ra.AggCount {
+					v = types.Int(1)
+				}
+				bmin = types.Min(bmin, v)
+				bmax = types.Max(bmax, v)
+			}
+			if lo, err = types.Add(lo, bmin); err != nil {
+				return lo, hi, err
+			}
+			if hi, err = types.Add(hi, bmax); err != nil {
+				return lo, hi, err
+			}
+		}
+		return lo, hi, nil
+	case ra.AggMin, ra.AggMax:
+		lo, hi := types.PosInf(), types.NegInf()
+		for _, v := range cert {
+			lo = types.Min(lo, v)
+			hi = types.Max(hi, v)
+		}
+		for _, bc := range blocks {
+			for _, v := range bc.vals {
+				lo = types.Min(lo, v)
+				hi = types.Max(hi, v)
+			}
+		}
+		if fn == ra.AggMin {
+			return lo, hi, nil
+		}
+		return lo, hi, nil
+	case ra.AggAvg:
+		sLo, sHi, err := trioBounds(ra.AggSum, cert, blocks)
+		if err != nil {
+			return sLo, sHi, err
+		}
+		cLo, cHi, err := trioBounds(ra.AggCount, cert, blocks)
+		if err != nil {
+			return sLo, sHi, err
+		}
+		one := types.Int(1)
+		cLo, cHi = types.Max(one, cLo), types.Max(one, cHi)
+		q1, _ := types.Div(sLo, cLo)
+		q2, _ := types.Div(sLo, cHi)
+		q3, _ := types.Div(sHi, cLo)
+		q4, _ := types.Div(sHi, cHi)
+		lo := types.Min(types.Min(q1, q2), types.Min(q3, q4))
+		hi := types.Max(types.Max(q1, q2), types.Max(q3, q4))
+		return lo, hi, nil
+	}
+	return types.Null(), types.Null(), fmt.Errorf("baselines: Trio aggregate %v unsupported", fn)
+}
+
+var _ = expr.Expr(nil)

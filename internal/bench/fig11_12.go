@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/baselines"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/tpch"
+	"github.com/audb/audb/internal/types"
+)
+
+// chainedAggPlan builds a query with n chained aggregation operators over
+// lineitem: level 1 sums quantities per supplier; every further level
+// halves the grouping key and re-aggregates, so each operator does real
+// work (systems without subquery support materialize each level, as the
+// paper notes for Trio).
+func chainedAggPlan(n int) ra.Node {
+	var cur ra.Node = &ra.Agg{
+		Child:   &ra.Scan{Table: "lineitem"},
+		GroupBy: []int{1}, // l_suppkey
+		Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(2, "l_quantity"), Name: "s"}},
+	}
+	for i := 1; i < n; i++ {
+		// Halve the key domain, then re-aggregate.
+		half := &ra.Project{
+			Child: cur,
+			Cols: []ra.ProjCol{
+				{E: expr.Div(expr.Add(expr.Col(0, "g"), expr.CInt(1)), expr.CInt(2)), Name: "g"},
+				{E: expr.Col(1, "s"), Name: "s"},
+			},
+		}
+		cur = &ra.Agg{
+			Child:   half,
+			GroupBy: []int{0},
+			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "s"), Name: "s"}},
+		}
+	}
+	return cur
+}
+
+// Fig11 reproduces Figure 11: runtime of chained aggregation over
+// uncertain TPC-H data for Det, AU-DB, Trio, Symb and MCDB.
+func Fig11(cfg Config) (*Table, error) {
+	scale := 0.1
+	maxOps := 10
+	if cfg.Quick {
+		scale = 0.01
+		maxOps = 6
+	}
+	d := buildPDBench(scale, 0.02, 1.0, cfg.Seed)
+	sgw := d.audb.SGW()
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Simple aggregation over TPC-H data: seconds by #aggregation operators",
+		Headers: []string{"#agg-ops", "Det", "AUDB", "Trio", "Symb", "MCDB"},
+		Notes:   []string{fmt.Sprintf("scale=%.3f, 2%% uncertainty", scale)},
+	}
+	for n := 1; n <= maxOps; n++ {
+		plan := chainedAggPlan(n)
+		row := []string{fmt.Sprintf("%d", n)}
+		dt, err := timeIt(func() error { _, e := bag.Exec(plan, sgw); return e })
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, secs(dt))
+		dt, err = timeIt(func() error {
+			_, e := core.Exec(plan, d.audb, core.Options{AggCompression: 64})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, secs(dt))
+		// Trio: alternative expansion for level 1, interval folding above.
+		dt, err = timeIt(func() error { return trioChain(d, n) })
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, secs(dt))
+		// Symb: symbolic terms kept across the chain.
+		dt, err = timeIt(func() error {
+			_, _, e := baselines.ExecSymbChain(d.xdb, "lineitem", 2, 1, n)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, secs(dt))
+		dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, d.xdb, 10, 7); return e })
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, secs(dt))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// trioChain runs Trio-style chained aggregation: expansion-based bounds at
+// level one, then per-level interval summing over halved keys.
+func trioChain(d *pdbenchData, n int) error {
+	res, err := baselines.ExecTrioAgg(&ra.Scan{Table: "lineitem"}, d.xdb, []int{1},
+		ra.AggSpec{Fn: ra.AggSum, Arg: expr.Col(2, "l_quantity"), Name: "s"})
+	if err != nil {
+		return err
+	}
+	type iv struct{ lo, hi float64 }
+	cur := map[int64]iv{}
+	for _, g := range res.Groups {
+		k := g.Key[0].AsInt()
+		e := cur[k]
+		e.lo += g.Lo[0].AsFloat()
+		e.hi += g.Hi[0].AsFloat()
+		cur[k] = e
+	}
+	for level := 1; level < n; level++ {
+		next := map[int64]iv{}
+		for k, e := range cur {
+			nk := (k + 1) / 2
+			ne := next[nk]
+			ne.lo += e.lo
+			ne.hi += e.hi
+			next[nk] = ne
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Fig12 reproduces the TPC-H query performance table (Figure 12):
+// AU-DB / Det / MCDB runtimes for Q1, Q3, Q5, Q7 and Q10 across
+// uncertainty and scale configurations.
+func Fig12(cfg Config) (*Table, error) {
+	base := 0.1
+	if cfg.Quick {
+		base = 0.01
+	}
+	configs := []struct {
+		label string
+		scale float64
+		unc   float64
+	}{
+		{"2%/0.1x", base / 10, 0.02},
+		{"2%/1x", base, 0.02},
+		{"5%/1x", base, 0.05},
+		{"10%/1x", base, 0.10},
+		{"30%/1x", base, 0.30},
+	}
+	queries := []string{"Q1", "Q3", "Q5", "Q7", "Q10"}
+	t := &Table{
+		ID:      "fig12",
+		Title:   "TPC-H query performance (seconds)",
+		Headers: append([]string{"query", "system"}, labelsOf(configs)...),
+		Notes:   []string{fmt.Sprintf("1x corresponds to scale=%.3f on this engine", base)},
+	}
+	type cell struct{ audb, det, mcdb string }
+	results := make(map[string][]cell)
+	for _, c := range configs {
+		d := buildPDBench(c.scale, c.unc, 0.25, cfg.Seed)
+		sgw := d.audb.SGW()
+		for _, q := range queries {
+			plan, err := tpch.Compile(q, d.cat)
+			if err != nil {
+				return nil, err
+			}
+			var cl cell
+			dt, err := timeIt(func() error {
+				_, e := core.Exec(plan, d.audb, core.Options{JoinCompression: 64, AggCompression: 64})
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s audb: %w", q, err)
+			}
+			cl.audb = secs(dt)
+			dt, err = timeIt(func() error { _, e := bag.Exec(plan, sgw); return e })
+			if err != nil {
+				return nil, err
+			}
+			cl.det = secs(dt)
+			dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, d.xdb, 10, 7); return e })
+			if err != nil {
+				return nil, err
+			}
+			cl.mcdb = secs(dt)
+			results[q] = append(results[q], cl)
+		}
+	}
+	for _, q := range queries {
+		au := []string{q, "AU-DB"}
+		de := []string{"", "Det"}
+		mc := []string{"", "MCDB"}
+		for _, cl := range results[q] {
+			au = append(au, cl.audb)
+			de = append(de, cl.det)
+			mc = append(mc, cl.mcdb)
+		}
+		t.Rows = append(t.Rows, au, de, mc)
+	}
+	return t, nil
+}
+
+func labelsOf(configs []struct {
+	label string
+	scale float64
+	unc   float64
+}) []string {
+	out := make([]string, len(configs))
+	for i, c := range configs {
+		out[i] = c.label
+	}
+	return out
+}
+
+var _ = types.Null

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/metrics"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/synth"
+	"github.com/audb/audb/internal/translate"
+)
+
+// wideData builds the microbenchmark table in both representations.
+func wideData(rows, cols int, domain int64, cellProb, rangeFrac float64, seed int64) (bag.DB, core.DB) {
+	det := bag.DB{"t": synth.WideTable(rows, cols, domain, seed)}
+	var eligible []int
+	for c := 0; c < cols; c++ {
+		eligible = append(eligible, c)
+	}
+	x := synth.Inject(det, synth.InjectConfig{
+		CellProb: cellProb, MaxAlts: 8, RangeFrac: rangeFrac,
+		EligibleCols: eligible, Seed: seed + 1,
+	})
+	return det, core.DB{"t": translate.XDB(x["t"])}
+}
+
+// Fig13a: sum aggregation, varying the number of group-by attributes
+// (35k rows, 5% uncertainty, value ranges 5% of the domain, CT=25).
+func Fig13a(cfg Config) (*Table, error) {
+	rows, cols := 35000, 100
+	counts := []int{1, 5, 10, 25, 50, 75, 99}
+	if cfg.Quick {
+		rows = 4000
+		counts = []int{1, 5, 10, 25}
+	}
+	det, audb := wideData(rows, cols, 100, 0.05, 0.05, cfg.Seed)
+	t := &Table{
+		ID:      "fig13a",
+		Title:   "sum(a0) varying #group-by attributes (seconds)",
+		Headers: []string{"#group-by", "AUDB", "Det"},
+		Notes:   []string{fmt.Sprintf("%d rows, 5%% uncertainty, CT=25", rows)},
+	}
+	for _, n := range counts {
+		groupBy := make([]int, n)
+		for i := range groupBy {
+			groupBy[i] = i + 1 // group on a1..aN, aggregate a0
+		}
+		plan := &ra.Agg{
+			Child:   &ra.Scan{Table: "t"},
+			GroupBy: groupBy,
+			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(0, "a0"), Name: "s"}},
+		}
+		audbT, err := timeIt(func() error {
+			_, e := core.Exec(plan, audb, core.Options{AggCompression: 25})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		detT, err := timeIt(func() error { _, e := bag.Exec(plan, det); return e })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), secs(audbT), secs(detT)})
+	}
+	return t, nil
+}
+
+// Fig13b: varying the number of aggregation functions (one group-by).
+func Fig13b(cfg Config) (*Table, error) {
+	rows, cols := 35000, 100
+	counts := []int{1, 5, 10, 25, 50, 99}
+	if cfg.Quick {
+		rows = 4000
+		counts = []int{1, 5, 10, 25}
+	}
+	det, audb := wideData(rows, cols, 100, 0.05, 0.05, cfg.Seed)
+	t := &Table{
+		ID:      "fig13b",
+		Title:   "varying #aggregation functions, grouped by a0 (seconds)",
+		Headers: []string{"#aggs", "AUDB", "Det"},
+		Notes:   []string{fmt.Sprintf("%d rows, 5%% uncertainty, CT=25", rows)},
+	}
+	for _, n := range counts {
+		aggs := make([]ra.AggSpec, n)
+		for i := range aggs {
+			aggs[i] = ra.AggSpec{
+				Fn: ra.AggSum, Arg: expr.Col(1+i%(cols-1), ""),
+				Name: fmt.Sprintf("s%d", i),
+			}
+		}
+		plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0}, Aggs: aggs}
+		audbT, err := timeIt(func() error {
+			_, e := core.Exec(plan, audb, core.Options{AggCompression: 25})
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		detT, err := timeIt(func() error { _, e := bag.Exec(plan, det); return e })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), secs(audbT), secs(detT)})
+	}
+	return t, nil
+}
+
+// Fig13c: varying the size of attribute-level ranges under different
+// compression targets (runtime of AU-DB aggregation).
+func Fig13c(cfg Config) (*Table, error) {
+	rows := 35000
+	if cfg.Quick {
+		rows = 4000
+	}
+	fracs := []float64{0.05, 0.25, 0.5, 0.75, 1.0}
+	cts := []int{4, 32, 256, 512}
+	t := &Table{
+		ID:      "fig13c",
+		Title:   "sum(a1) group by a0: attribute bound size vs compression (seconds)",
+		Headers: []string{"range/domain", "CT=4", "CT=32", "CT=256", "CT=512"},
+		Notes:   []string{fmt.Sprintf("%d rows, 5%% uncertainty, domain 100k", rows)},
+	}
+	for _, frac := range fracs {
+		_, audb := wideData(rows, 4, 100000, 0.05, frac, cfg.Seed)
+		plan := &ra.Agg{
+			Child:   &ra.Scan{Table: "t"},
+			GroupBy: []int{0},
+			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}},
+		}
+		row := []string{fmt.Sprintf("%.0f%%", frac*100)}
+		for _, ct := range cts {
+			dt, err := timeIt(func() error {
+				_, e := core.Exec(plan, audb, core.Options{AggCompression: ct})
+				return e
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig13d: the compression trade-off: runtime and mean result range while
+// sweeping the compression target.
+func Fig13d(cfg Config) (*Table, error) {
+	rows := 10000
+	cts := []int{4, 32, 256, 4096, 65536}
+	if cfg.Quick {
+		rows = 2000
+		cts = []int{4, 32, 256, 2048}
+	}
+	_, audb := wideData(rows, 4, 10000, 0.10, 0.02, cfg.Seed)
+	plan := &ra.Agg{
+		Child:   &ra.Scan{Table: "t"},
+		GroupBy: []int{0},
+		Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}},
+	}
+	t := &Table{
+		ID:      "fig13d",
+		Title:   "compression trade-off: runtime vs mean aggregate range",
+		Headers: []string{"CT", "seconds", "mean range"},
+		Notes:   []string{fmt.Sprintf("%d rows, 10%% uncertainty", rows)},
+	}
+	for _, ct := range cts {
+		var res *core.Relation
+		dt, err := timeIt(func() error {
+			r, e := core.Exec(plan, audb, core.Options{AggCompression: ct})
+			res = r
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", ct), secs(dt),
+			fmt.Sprintf("%.0f", metrics.MeanRangeWidth(res, 1)),
+		})
+	}
+	return t, nil
+}

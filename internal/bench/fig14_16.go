@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/synth"
+	"github.com/audb/audb/internal/translate"
+)
+
+// joinData builds a pair of AU-relations for the join microbenchmarks:
+// `rows` tuples over a domain of 1000 with `cellProb` uncertainty on the
+// join attribute, ranges spanning `rangeFrac` of the domain.
+func joinData(rows int, cellProb, rangeFrac float64, seed int64) core.DB {
+	t1, t2 := synth.JoinPair(rows, 1000, seed)
+	cfgI := synth.InjectConfig{
+		CellProb: cellProb, MaxAlts: 8, RangeFrac: rangeFrac,
+		EligibleCols: []int{0, 1}, Seed: seed + 1,
+	}
+	x := synth.Inject(bag.DB{"t1": t1, "t2": t2}, cfgI)
+	return core.DB{"t1": translate.XDB(x["t1"]), "t2": translate.XDB(x["t2"])}
+}
+
+func equiJoinPlan() ra.Node {
+	return &ra.Join{
+		Left:  &ra.Scan{Table: "t1"},
+		Right: &ra.Scan{Table: "t2"},
+		Cond:  expr.Eq(expr.Col(0, "t1.a0"), expr.Col(2, "t2.a0")),
+	}
+}
+
+// Fig14 reproduces Figures 14a/14b: runtime (a) and possible result size
+// (b) of a single equality join, varying the input size, for the
+// un-optimized join and compressed variants.
+func Fig14(cfg Config) (*Table, error) {
+	sizes := []int{5000, 10000, 20000}
+	withNaive := false
+	if cfg.Quick {
+		sizes = []int{500, 1000, 2000}
+		withNaive = true
+	}
+	cts := []int{4, 32, 256, 1024}
+	headers := []string{"rows", "mode", "seconds", "possible size"}
+	t := &Table{
+		ID:      "fig14",
+		Title:   "join optimization: runtime (14a) and possible tuple mass (14b)",
+		Headers: headers,
+		Notes: []string{
+			"3% uncertainty on the join attribute, ranges 2% of the domain",
+			"NoCpr = exact semantics (un-optimized result); NaiveNested additionally forces the quadratic nested loop",
+		},
+	}
+	for _, rows := range sizes {
+		db := joinData(rows, 0.03, 0.02, cfg.Seed)
+		plan := equiJoinPlan()
+		type mode struct {
+			label string
+			opts  core.Options
+		}
+		modes := []mode{{"NoCpr", core.Options{}}}
+		if withNaive {
+			modes = append(modes, mode{"NaiveNested", core.Options{NaiveJoin: true}})
+		}
+		for _, ct := range cts {
+			modes = append(modes, mode{fmt.Sprintf("CT=%d", ct), core.Options{JoinCompression: ct}})
+		}
+		for _, m := range modes {
+			var res *core.Relation
+			dt, err := timeIt(func() error {
+				r, e := core.Exec(plan, db, m.opts)
+				res = r
+				return e
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", rows), m.label, secs(dt),
+				fmt.Sprintf("%d", res.PossibleSize()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig16 reproduces the multi-join table (Figure 16): chains of 1-4
+// equality joins under different compression sizes and uncertainty levels.
+func Fig16(cfg Config) (*Table, error) {
+	rows := 4000
+	if cfg.Quick {
+		rows = 500
+	}
+	comps := []int{4, 16, 64, 256, 0} // 0 = no compression
+	uncs := []float64{0.03, 0.10}
+	t := &Table{
+		ID:      "fig16",
+		Title:   "multi-join performance (seconds)",
+		Headers: []string{"compression", "uncertainty", "1 join", "2 joins", "3 joins", "4 joins"},
+		Notes:   []string{fmt.Sprintf("%d rows per table, ranges 7.5%% of the domain", rows)},
+	}
+	// Pre-build 5 tables t0..t4 for up to 4 chained joins.
+	tables := bag.DB{}
+	for i := 0; i < 5; i++ {
+		a, _ := synth.JoinPair(rows, int64(rows), cfg.Seed+int64(i))
+		tables[fmt.Sprintf("j%d", i)] = a
+	}
+	for _, unc := range uncs {
+		x := synth.Inject(tables, synth.InjectConfig{
+			CellProb: unc, MaxAlts: 8, RangeFrac: 0.075,
+			EligibleCols: []int{0, 1}, Seed: cfg.Seed + 9,
+		})
+		audb := core.DB{}
+		for n, xr := range x {
+			audb[n] = translate.XDB(xr)
+		}
+		for _, comp := range comps {
+			label := "none"
+			if comp > 0 {
+				label = fmt.Sprintf("%d", comp)
+			}
+			row := []string{label, fmt.Sprintf("%.0f%%", unc*100)}
+			for joins := 1; joins <= 4; joins++ {
+				plan := chainJoinPlan(joins)
+				dt, err := timeIt(func() error {
+					_, e := core.Exec(plan, audb, core.Options{JoinCompression: comp})
+					return e
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, secs(dt))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// chainJoinPlan joins j0.a1 = j1.a0, j1.a1 = j2.a0, ... (no overlap of
+// join attributes between steps, as in the paper).
+func chainJoinPlan(joins int) ra.Node {
+	var cur ra.Node = &ra.Scan{Table: "j0"}
+	width := 2
+	for i := 1; i <= joins; i++ {
+		cur = &ra.Join{
+			Left:  cur,
+			Right: &ra.Scan{Table: fmt.Sprintf("j%d", i)},
+			Cond:  expr.Eq(expr.Col(width-1, ""), expr.Col(width, "")),
+		}
+		width += 2
+	}
+	return cur
+}

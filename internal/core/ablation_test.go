@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// randomAURelation builds a random AU-relation mixing certain and
+// uncertain tuples.
+func randomAURelation(r *rand.Rand, s schema.Schema, rows int) *Relation {
+	out := New(s)
+	for i := 0; i < rows; i++ {
+		vals := make(rangeval.Tuple, s.Arity())
+		for c := range vals {
+			sg := int64(r.Intn(20))
+			if r.Intn(3) == 0 {
+				vals[c] = iv(sg-int64(r.Intn(4)), sg, sg+int64(r.Intn(4)))
+			} else {
+				vals[c] = civ(sg)
+			}
+		}
+		lo := int64(r.Intn(2))
+		sgm := lo + int64(r.Intn(2))
+		hi := sgm + int64(r.Intn(2))
+		if hi == 0 {
+			hi = 1
+		}
+		out.Add(Tuple{Vals: vals, M: Mult{lo, sgm, hi}})
+	}
+	return out
+}
+
+// TestHybridJoinEqualsNaive: the hash-partitioned hybrid join is an exact
+// implementation — it must produce the same merged result as the nested
+// loop on every input (an ablation of the fast path, not a bound check).
+func TestHybridJoinEqualsNaive(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		l := randomAURelation(r, schema.New("a", "b"), 1+r.Intn(8))
+		rr := randomAURelation(r, schema.New("c", "d"), 1+r.Intn(8))
+		db := DB{"l": l, "r": rr}
+		plan := &ra.Join{
+			Left:  &ra.Scan{Table: "l"},
+			Right: &ra.Scan{Table: "r"},
+			Cond: expr.And(
+				expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
+				expr.Leq(expr.Col(1, "b"), expr.Col(3, "d"))),
+		}
+		hybrid, err := Exec(plan, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := Exec(plan, db, Options{NaiveJoin: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRelation(hybrid, naive) {
+			t.Fatalf("trial %d: hybrid != naive\nhybrid:\n%s\nnaive:\n%s\ninputs:\n%s\n%s",
+				trial, hybrid.Sort(), naive.Sort(), l, rr)
+		}
+	}
+}
+
+func sameRelation(a, b *Relation) bool {
+	am := map[string]Mult{}
+	for _, t := range a.Clone().Merge().Tuples {
+		am[t.Vals.Key()] = t.M
+	}
+	bm := map[string]Mult{}
+	for _, t := range b.Clone().Merge().Tuples {
+		bm[t.Vals.Key()] = t.M
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompressionMonotonicity: smaller compression targets yield coarser
+// relations — fewer stored tuples, never less possible mass.
+func TestCompressionMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	rel := randomAURelation(r, schema.New("a", "b"), 60)
+	_, up := Split(rel)
+	prevLen := up.Len() + 1
+	for _, ct := range []int{32, 8, 2} {
+		c := Compress(up, 0, ct)
+		if c.Len() > ct {
+			t.Fatalf("CT=%d produced %d tuples", ct, c.Len())
+		}
+		if c.Len() > prevLen {
+			t.Fatalf("compression not monotone: %d then %d", prevLen, c.Len())
+		}
+		if c.PossibleSize() != up.PossibleSize() {
+			t.Fatalf("CT=%d lost mass: %d vs %d", ct, c.PossibleSize(), up.PossibleSize())
+		}
+		prevLen = c.Len()
+	}
+}
+
+// TestSplitRoundtripSGW: splitting preserves the selected-guess world for
+// random relations (Lemma 6's SGW clause).
+func TestSplitRoundtripSGW(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		r := rand.New(rand.NewSource(int64(200 + trial)))
+		rel := randomAURelation(r, schema.New("a", "b"), 1+r.Intn(12))
+		sg, up := Split(rel)
+		both := New(rel.Schema)
+		both.Tuples = append(both.Tuples, sg.Tuples...)
+		both.Tuples = append(both.Tuples, up.Tuples...)
+		if !both.SGW().Equal(rel.SGW()) {
+			t.Fatalf("trial %d: split changed the SGW\noriginal:\n%s\nsplit:\n%s",
+				trial, rel.SGW(), both.SGW())
+		}
+	}
+}
+
+// TestJoinCompressionNeverLosesSGW: Lemma 10.1's practical consequence —
+// under any compression target the join result's SGW equals the
+// deterministic join of the SGWs.
+func TestJoinCompressionNeverLosesSGW(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		r := rand.New(rand.NewSource(int64(300 + trial)))
+		db := DB{
+			"l": randomAURelation(r, schema.New("a", "b"), 1+r.Intn(10)),
+			"r": randomAURelation(r, schema.New("c", "d"), 1+r.Intn(10)),
+		}
+		plan := &ra.Join{
+			Left:  &ra.Scan{Table: "l"},
+			Right: &ra.Scan{Table: "r"},
+			Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
+		}
+		exact, err := Exec(plan, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ct := range []int{1, 2, 7} {
+			comp, err := Exec(plan, db, Options{JoinCompression: ct})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !comp.SGW().Equal(exact.SGW()) {
+				t.Fatalf("trial %d CT=%d: SGW changed", trial, ct)
+			}
+			// Possible mass can only grow under compression.
+			if comp.PossibleSize() < exact.PossibleSize() {
+				t.Fatalf("trial %d CT=%d: possible mass shrank (%d < %d)",
+					trial, ct, comp.PossibleSize(), exact.PossibleSize())
+			}
+		}
+	}
+}
+
+// TestLimitAndOrderByOverAU covers the presentation operators on the
+// native engine.
+func TestLimitAndOrderByOverAU(t *testing.T) {
+	rel := New(schema.New("v"))
+	for i := int64(5); i >= 1; i-- {
+		rel.Add(Tuple{Vals: rangeval.Tuple{civ(i)}, M: One})
+	}
+	db := DB{"t": rel}
+	out, err := Exec(&ra.Limit{Child: &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}}, N: 2}, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Tuples[0].Vals[0].SG.AsInt() != 1 {
+		t.Fatalf("limit/order:\n%s", out)
+	}
+	big, err := Exec(&ra.Limit{Child: &ra.Scan{Table: "t"}, N: 99}, db, Options{})
+	if err != nil || big.Len() != 5 {
+		t.Fatalf("limit larger than input: %v", err)
+	}
+}
+
+// TestSelectionErrorPropagation: scalar errors surface, they do not panic.
+func TestSelectionErrorPropagation(t *testing.T) {
+	rel := New(schema.New("v"))
+	rel.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: One})
+	db := DB{"t": rel}
+	bad := expr.Eq(expr.Div(expr.CInt(1), expr.CInt(0)), expr.CInt(1))
+	if _, err := Exec(&ra.Select{Child: &ra.Scan{Table: "t"}, Pred: bad}, db, Options{}); err == nil {
+		t.Error("division by zero in predicate should error")
+	}
+	if _, err := Exec(&ra.Project{Child: &ra.Scan{Table: "t"},
+		Cols: []ra.ProjCol{{E: expr.Add(expr.Col(0, "v"), expr.CStr("x")), Name: "bad"}}}, db, Options{}); err == nil {
+		t.Error("type error in projection should error")
+	}
+	if _, err := Exec(&ra.Agg{Child: &ra.Scan{Table: "t"},
+		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Mul(expr.Col(0, "v"), expr.CStr("x")), Name: "bad"}}}, db, Options{}); err == nil {
+		t.Error("type error in aggregate should error")
+	}
+}
+
+// TestAggregationMinMaxWithUncertainExistence pins the MIN/MAX neutral
+// element semantics: a group whose only member may be absent has an
+// unbounded-above MIN (it may be empty, so no upper cap exists).
+func TestAggregationMinMaxWithUncertainExistence(t *testing.T) {
+	rel := New(schema.New("g", "v"))
+	rel.Add(Tuple{Vals: rangeval.Tuple{civ(1), civ(10)}, M: Mult{0, 1, 1}})
+	out, err := Exec(&ra.Agg{
+		Child:   &ra.Scan{Table: "t"},
+		GroupBy: []int{0},
+		Aggs: []ra.AggSpec{
+			{Fn: ra.AggMin, Arg: expr.Col(1, "v"), Name: "mn"},
+			{Fn: ra.AggMax, Arg: expr.Col(1, "v"), Name: "mx"},
+		},
+	}, DB{"t": rel}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := out.Tuples[0].Vals[1]
+	mx := out.Tuples[0].Vals[2]
+	if mn.Hi.Kind() != types.KindPosInf {
+		t.Errorf("uncertain-existence MIN upper must be +inf: %v", mn)
+	}
+	if types.Compare(mn.Lo, types.Int(10)) != 0 {
+		t.Errorf("MIN lower should be 10: %v", mn)
+	}
+	if mx.Lo.Kind() != types.KindNegInf {
+		t.Errorf("uncertain-existence MAX lower must be -inf: %v", mx)
+	}
+	if out.Tuples[0].M != (Mult{0, 1, 1}) {
+		t.Errorf("row annotation %v", out.Tuples[0].M)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"github.com/audb/audb/internal/bag"
+)
+
+// BoundsWorld reports whether the AU-relation bounds the deterministic bag
+// relation w (Definition 16): there must exist a tuple matching TM — a
+// distribution of each world tuple's multiplicity over the AU tuples whose
+// attribute ranges cover it — such that every AU tuple receives a total
+// between its lower and upper annotation.
+//
+// Deciding the existence of such a matching is a feasible-flow problem with
+// edge lower bounds, solved here by the standard reduction to max-flow
+// (small instances only: this is a verification tool for tests and
+// accuracy metrics, not part of query processing).
+func (r *Relation) BoundsWorld(w *bag.Relation) bool {
+	wm := w.Clone().Merge()
+	rm := r.Clone().Merge()
+	nw, na := len(wm.Tuples), len(rm.Tuples)
+
+	// Node layout: 0 = super-source, 1 = super-sink, 2 = s, 3 = t,
+	// 4..4+nw-1 world tuples, 4+nw..4+nw+na-1 AU tuples.
+	const (
+		superSrc = 0
+		superSnk = 1
+		src      = 2
+		snk      = 3
+	)
+	base := 4
+	g := newFlowGraph(base + nw + na)
+	const inf = int64(1) << 40
+
+	// addBounded inserts an edge with lower bound l and capacity u using
+	// the lower-bound reduction: capacity u-l plus super-source/sink
+	// demand edges.
+	need := int64(0)
+	addBounded := func(u, v int, lo, hi int64) {
+		if hi > lo {
+			g.addEdge(u, v, hi-lo)
+		}
+		if lo > 0 {
+			g.addEdge(superSrc, v, lo)
+			g.addEdge(u, superSnk, lo)
+			need += lo
+		}
+	}
+
+	// s -> world tuple: exactly the world multiplicity.
+	for i := range wm.Tuples {
+		addBounded(src, base+i, wm.Counts[i], wm.Counts[i])
+	}
+	// world tuple -> AU tuple when the ranges cover the world tuple.
+	for i, wt := range wm.Tuples {
+		for j, at := range rm.Tuples {
+			if at.Vals.Bounds(wt) {
+				g.addEdge(base+i, base+nw+j, inf)
+			}
+		}
+	}
+	// AU tuple -> t within [lo, hi].
+	for j, at := range rm.Tuples {
+		addBounded(base+nw+j, snk, at.M.Lo, at.M.Hi)
+	}
+	// Close the circulation.
+	g.addEdge(snk, src, inf)
+
+	return g.maxflow(superSrc, superSnk) == need
+}
+
+// BoundsWorlds reports whether r bounds the incomplete database given by
+// worlds (Definition 17): every world is bounded and the selected-guess
+// world of r is one of the worlds.
+func (r *Relation) BoundsWorlds(worlds []*bag.Relation) bool {
+	sgw := r.SGW()
+	sgFound := false
+	for _, w := range worlds {
+		if !r.BoundsWorld(w) {
+			return false
+		}
+		if sgw.Equal(w) {
+			sgFound = true
+		}
+	}
+	return sgFound
+}
+
+// flowGraph is a minimal Edmonds-Karp max-flow implementation.
+type flowGraph struct {
+	n     int
+	head  []int
+	to    []int
+	next  []int
+	cap   []int64
+	queue []int
+	prevE []int
+}
+
+func newFlowGraph(n int) *flowGraph {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &flowGraph{n: n, head: h}
+}
+
+func (g *flowGraph) addEdge(u, v int, c int64) {
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, c)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = len(g.to) - 1
+	// reverse edge
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.next = append(g.next, g.head[v])
+	g.head[v] = len(g.to) - 1
+}
+
+func (g *flowGraph) maxflow(s, t int) int64 {
+	var total int64
+	for {
+		// BFS for an augmenting path.
+		g.prevE = make([]int, g.n)
+		for i := range g.prevE {
+			g.prevE[i] = -1
+		}
+		g.queue = g.queue[:0]
+		g.queue = append(g.queue, s)
+		g.prevE[s] = -2
+		found := false
+	bfs:
+		for qi := 0; qi < len(g.queue); qi++ {
+			u := g.queue[qi]
+			for e := g.head[u]; e != -1; e = g.next[e] {
+				v := g.to[e]
+				if g.cap[e] > 0 && g.prevE[v] == -1 {
+					g.prevE[v] = e
+					if v == t {
+						found = true
+						break bfs
+					}
+					g.queue = append(g.queue, v)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find bottleneck.
+		aug := int64(1) << 62
+		for v := t; v != s; {
+			e := g.prevE[v]
+			if g.cap[e] < aug {
+				aug = g.cap[e]
+			}
+			v = g.to[e^1]
+		}
+		for v := t; v != s; {
+			e := g.prevE[v]
+			g.cap[e] -= aug
+			g.cap[e^1] += aug
+			v = g.to[e^1]
+		}
+		total += aug
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/ra"
+)
+
+// execDiff implements bag set difference over N^AU-relations
+// (Definition 22). The left input is first SG-combined (Ψ, Definition 21)
+// so that each selected-guess tuple is encoded once. For each combined
+// tuple t:
+//
+//	lo(t) = Ψ(L)(t).lo  monus  Σ_{t ≃ t'} R(t').hi     (any possibly-equal
+//	                                                    right tuple may
+//	                                                    cancel it)
+//	sg(t) = Ψ(L)(t).sg  monus  Σ_{t.sg = t'.sg} R(t').sg
+//	hi(t) = Ψ(L)(t).hi  monus  Σ_{t ≡ t'} R(t').lo     (only certainly-equal
+//	                                                    right tuples are
+//	                                                    guaranteed to cancel)
+//
+// Theorem 4: this semantics preserves bounds; the pointwise monus does not.
+func execDiff(t *ra.Diff, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(t.Left, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("core: difference arity mismatch %s vs %s", l.Schema, r.Schema)
+	}
+	return diffRelations(l, r), nil
+}
+
+func diffRelations(l, r *Relation) *Relation {
+	comb := l.SGCombine()
+	out := New(l.Schema)
+
+	// Pre-aggregate the right side by SG key for the SG component.
+	rSG := map[string]int64{}
+	for _, rt := range r.Tuples {
+		rSG[rt.Vals.SGKey()] += rt.M.SG
+	}
+
+	for _, lt := range comb.Tuples {
+		var overlapHi, certLo int64
+		for _, rt := range r.Tuples {
+			if lt.Vals.Overlaps(rt.Vals) { // t ≃ t'
+				overlapHi += rt.M.Hi
+			}
+			if lt.Vals.CertainlyEqual(rt.Vals) { // t ≡ t'
+				certLo += rt.M.Lo
+			}
+		}
+		m := Mult{
+			Lo: monus(lt.M.Lo, overlapHi),
+			SG: monus(lt.M.SG, rSG[lt.Vals.SGKey()]),
+			Hi: monus(lt.M.Hi, certLo),
+		}
+		// monus with different subtrahends can break the triple ordering
+		// only towards tighter-than-valid; clamp upward conservatively.
+		if m.SG > m.Hi {
+			m.SG = m.Hi
+		}
+		if m.Lo > m.SG {
+			m.Lo = m.SG
+		}
+		if m.Hi > 0 {
+			out.Add(Tuple{Vals: lt.Vals, M: m})
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// Options tune the performance/precision trade-offs of Section 10.4-10.5.
+// The zero value evaluates the exact (uncompressed) semantics.
+type Options struct {
+	// JoinCompression, when > 0, applies the split + Cpr optimization to
+	// joins (Section 10.4): the attribute-uncertain parts of both inputs
+	// are compressed to at most this many tuples before the overlap join.
+	JoinCompression int
+	// AggCompression, when > 0, compresses the possible-group side of the
+	// aggregation overlap join to at most this many tuples (Section 10.5).
+	AggCompression int
+	// NaiveJoin forces the pure nested-loop overlap join, disabling the
+	// exact hash-partitioned fast path. Used to reproduce the "Non-Op"
+	// series of Figure 14.
+	NaiveJoin bool
+}
+
+// Exec evaluates an RA_agg plan over an AU-database using the
+// bound-preserving semantics of Sections 7-9 and returns the merged result.
+func Exec(n ra.Node, db DB, opt Options) (*Relation, error) {
+	cat := ra.CatalogMap(db.Schemas())
+	out, err := exec(n, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return out.Clone().Merge(), nil
+}
+
+func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		r, ok := db[t.Table]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown table %q", t.Table)
+		}
+		return r, nil
+	case *ra.Select:
+		return execSelect(t, db, cat, opt)
+	case *ra.Project:
+		return execProject(t, db, cat, opt)
+	case *ra.Join:
+		return execJoin(t, db, cat, opt)
+	case *ra.Union:
+		return execUnion(t, db, cat, opt)
+	case *ra.Diff:
+		return execDiff(t, db, cat, opt)
+	case *ra.Distinct:
+		return execDistinct(t, db, cat, opt)
+	case *ra.Agg:
+		return execAgg(t, db, cat, opt)
+	case *ra.OrderBy:
+		in, err := exec(t.Child, db, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := in.Clone()
+		sort.SliceStable(out.Tuples, func(i, j int) bool {
+			a, b := out.Tuples[i].Vals, out.Tuples[j].Vals
+			for _, k := range t.Keys {
+				if c := types.Compare(a[k].SG, b[k].SG); c != 0 {
+					if t.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		return out, nil
+	case *ra.Limit:
+		in, err := exec(t.Child, db, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := in.Clone().Merge()
+		if t.N < len(out.Tuples) {
+			out.Tuples = out.Tuples[:t.N]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unknown node %T", n)
+}
+
+// condMult maps a range-annotated boolean to an N^AU element (Definition 19
+// and 20): true components become 1, false components 0.
+func condMult(v rangeval.V) Mult {
+	b2i := func(x types.Value) int64 {
+		if x.Kind() == types.KindBool && x.AsBool() {
+			return 1
+		}
+		return 0
+	}
+	return Mult{b2i(v.Lo), b2i(v.SG), b2i(v.Hi)}
+}
+
+// execSelect implements σ over N^AU (Section 7): the annotation of each
+// tuple is multiplied by the condition's annotation triple. Tuples whose
+// upper bound drops to zero are certainly absent and removed.
+func execSelect(t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(t.Child, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := New(in.Schema)
+	for _, tup := range in.Tuples {
+		v, err := t.Pred.EvalRange(tup.Vals)
+		if err != nil {
+			return nil, fmt.Errorf("core: selection: %w", err)
+		}
+		m := tup.M.Mul(condMult(v))
+		if m.Hi > 0 {
+			out.Add(Tuple{Vals: tup.Vals, M: m})
+		}
+	}
+	return out, nil
+}
+
+// execProject implements generalized projection: range expressions are
+// evaluated per Definition 9; annotations are unchanged (summing of
+// value-equivalent results happens in Merge).
+func execProject(t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(t.Child, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		attrs[i] = c.Name
+	}
+	out := New(schema.Schema{Attrs: attrs})
+	for _, tup := range in.Tuples {
+		row := make(rangeval.Tuple, len(t.Cols))
+		for j, c := range t.Cols {
+			v, err := c.E.EvalRange(tup.Vals)
+			if err != nil {
+				return nil, fmt.Errorf("core: projection %s: %w", c.Name, err)
+			}
+			row[j] = v
+		}
+		out.Add(Tuple{Vals: row, M: tup.M})
+	}
+	return out.Merge(), nil
+}
+
+// execUnion adds annotations pointwise.
+func execUnion(t *ra.Union, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(t.Left, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("core: union arity mismatch %s vs %s", l.Schema, r.Schema)
+	}
+	out := New(l.Schema)
+	out.Tuples = append(out.Tuples, l.Tuples...)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	return out.Clone().Merge(), nil
+}
+
+// execDistinct implements duplicate elimination δ over N^AU. Tuples are
+// first SG-combined (Definition 21), so distinct stored tuples have
+// distinct selected-guess values. The SG component is then exactly δ of the
+// SG multiplicity. The upper bound drops to 1 only for attribute-certain
+// tuples; an attribute-uncertain tuple may stand for up to Hi distinct
+// tuples and keeps its upper bound. The lower bound survives δ only for
+// tuples that do not ≃-overlap any other stored tuple: overlapping tuples
+// may collapse to one tuple in some world, in which case duplicate
+// elimination leaves a single copy that cannot witness a positive lower
+// bound for both.
+func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(t.Child, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	comb := in.SGCombine()
+	out := New(in.Schema)
+	for i, tup := range comb.Tuples {
+		m := Mult{Lo: 0, SG: delta(tup.M.SG), Hi: tup.M.Hi}
+		if tup.Vals.IsCertain() {
+			m.Hi = delta(m.Hi)
+		}
+		overlapsOther := false
+		for j, other := range comb.Tuples {
+			if i != j && tup.Vals.Overlaps(other.Vals) {
+				overlapsOther = true
+				break
+			}
+		}
+		if !overlapsOther {
+			m.Lo = delta(tup.M.Lo)
+		}
+		out.Add(Tuple{Vals: tup.Vals, M: m})
+	}
+	return out, nil
+}

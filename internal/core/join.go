@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+)
+
+// execJoin implements join over N^AU-relations (Section 7): the cross
+// product multiplies annotations pointwise and the join condition is
+// evaluated with range-annotated semantics, contributing a condition triple
+// via M_N (Definition 20). Equality on uncertain attributes degenerates to
+// an interval-overlap join.
+//
+// Three physical strategies:
+//
+//   - NaiveJoin: nested loop over all pairs (the paper's un-optimized
+//     rewrite; quadratic).
+//   - default: an exact hash-partitioned hybrid. Tuples whose
+//     equality-join attributes are certain meet through a hash join on
+//     their SG values (for certain values, possible-equality coincides
+//     with SG equality); every pair involving an uncertain side goes
+//     through the nested loop. Produces exactly the naive result.
+//   - JoinCompression > 0: the split + Cpr optimization of Section 10.4,
+//     trading precision for a bounded possible-side size.
+func execJoin(t *ra.Join, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(t.Left, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := exec(t.Right, db, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.JoinCompression > 0 {
+		return joinOptimized(l, r, t.Cond, opt.JoinCompression)
+	}
+	if opt.NaiveJoin {
+		return joinNested(l, r, t.Cond, nil, nil)
+	}
+	return joinHybrid(l, r, t.Cond)
+}
+
+// joinPair combines one pair of tuples under the condition, returning a
+// zero-annotation tuple when the pair certainly does not join.
+func joinPair(lt, rt Tuple, cond expr.Expr) (Tuple, error) {
+	vals := lt.Vals.Concat(rt.Vals)
+	m := lt.M.Mul(rt.M)
+	if cond != nil {
+		cv, err := cond.EvalRange(vals)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("core: join condition: %w", err)
+		}
+		m = m.Mul(condMult(cv))
+	}
+	return Tuple{Vals: vals, M: m}, nil
+}
+
+// joinNested is the quadratic overlap join. When leftIdx/rightIdx are
+// non-nil only those row indices participate.
+func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int) (*Relation, error) {
+	out := New(l.Schema.Concat(r.Schema))
+	li := leftIdx
+	if li == nil {
+		li = allIdx(len(l.Tuples))
+	}
+	ri := rightIdx
+	if ri == nil {
+		ri = allIdx(len(r.Tuples))
+	}
+	for _, i := range li {
+		for _, j := range ri {
+			tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
+			if err != nil {
+				return nil, err
+			}
+			if tup.M.Hi > 0 {
+				out.Add(tup)
+			}
+		}
+	}
+	return out, nil
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// joinHybrid partitions both inputs on the certainty of the equality-join
+// attributes and hash joins the certain parts. Exact: identical result to
+// joinNested.
+func joinHybrid(l, r *Relation, cond expr.Expr) (*Relation, error) {
+	split := l.Schema.Arity()
+	var lCols, rCols []int
+	if cond != nil {
+		for _, c := range expr.Conjuncts(cond) {
+			if lix, rix, ok := expr.EquiPair(c, split); ok {
+				lCols = append(lCols, lix)
+				rCols = append(rCols, rix)
+			}
+		}
+	}
+	if len(lCols) == 0 {
+		return joinNested(l, r, cond, nil, nil)
+	}
+
+	lCert, lUnc := partitionCertain(l, lCols)
+	rCert, rUnc := partitionCertain(r, rCols)
+
+	out := New(l.Schema.Concat(r.Schema))
+
+	// Certain x certain: hash join on SG values of the join columns. The
+	// full condition is still evaluated with range semantics to account
+	// for residual conjuncts over other (possibly uncertain) attributes.
+	index := make(map[string][]int, len(rCert))
+	for _, j := range rCert {
+		k := sgKeyOn(r.Tuples[j].Vals, rCols)
+		index[k] = append(index[k], j)
+	}
+	for _, i := range lCert {
+		k := sgKeyOn(l.Tuples[i].Vals, lCols)
+		for _, j := range index[k] {
+			tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
+			if err != nil {
+				return nil, err
+			}
+			if tup.M.Hi > 0 {
+				out.Add(tup)
+			}
+		}
+	}
+
+	// Pairs involving an uncertain side: nested loops. Empty partitions
+	// must be skipped explicitly (joinNested treats nil as "all rows").
+	appendAll := func(rel *Relation, li, ri []int) error {
+		if len(li) == 0 || len(ri) == 0 {
+			return nil
+		}
+		part, err := joinNested(l, r, cond, li, ri)
+		if err != nil {
+			return err
+		}
+		rel.Tuples = append(rel.Tuples, part.Tuples...)
+		return nil
+	}
+	if err := appendAll(out, lUnc, allIdx(len(r.Tuples))); err != nil {
+		return nil, err
+	}
+	if err := appendAll(out, lCert, rUnc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// partitionCertain splits row indices by whether all listed attributes are
+// certain.
+func partitionCertain(r *Relation, cols []int) (certain, uncertain []int) {
+	for i, t := range r.Tuples {
+		ok := true
+		for _, c := range cols {
+			if !t.Vals[c].IsCertain() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			certain = append(certain, i)
+		} else {
+			uncertain = append(uncertain, i)
+		}
+	}
+	return certain, uncertain
+}
+
+func sgKeyOn(t rangeval.Tuple, cols []int) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = t[c].SG.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// joinOptimized is the split + Cpr optimization (Section 10.4):
+//
+//	opt(Q1 ⋈ Q2) = (split_sg(Q1) ⋈_sg split_sg(Q2))
+//	             ∪ (Cpr(split↑(Q1)) ⋈ Cpr(split↑(Q2)))
+//
+// The SG join sees only attribute-certain tuples and uses the exact hybrid
+// path (pure hash join there); the possible join is bounded by ct tuples
+// per side. Lemma 10.1: the result bounds the un-optimized result.
+func joinOptimized(l, r *Relation, cond expr.Expr, ct int) (*Relation, error) {
+	lSG, lUp := Split(l)
+	rSG, rUp := Split(r)
+
+	sgJoin, err := joinHybrid(lSG, rSG, cond)
+	if err != nil {
+		return nil, err
+	}
+
+	// Choose compression attributes: prefer the first equality conjunct so
+	// both sides share bucket boundaries and each compressed tuple joins
+	// with at most a few partners.
+	split := l.Schema.Arity()
+	la, ra := 0, 0
+	shared := false
+	if cond != nil {
+		for _, c := range expr.Conjuncts(cond) {
+			if lix, rix, ok := expr.EquiPair(c, split); ok {
+				la, ra, shared = lix, rix, true
+				break
+			}
+		}
+	}
+	var lCpr, rCpr *Relation
+	if shared {
+		bounds := sharedBoundaries(lUp, la, rUp, ra, ct)
+		lCpr = CompressWithBoundaries(lUp, la, bounds)
+		rCpr = CompressWithBoundaries(rUp, ra, bounds)
+	} else {
+		lCpr = Compress(lUp, la, ct)
+		rCpr = Compress(rUp, ra, ct)
+	}
+	posJoin, err := joinNested(lCpr, rCpr, cond, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	out := New(l.Schema.Concat(r.Schema))
+	out.Tuples = append(out.Tuples, sgJoin.Tuples...)
+	out.Tuples = append(out.Tuples, posJoin.Tuples...)
+	return out, nil
+}

@@ -1,0 +1,74 @@
+// Package core implements the paper's primary contribution: AU-DBs
+// (attribute-annotated uncertain databases, Section 6) and their RA_agg
+// query semantics (Sections 7-9), specialized to bag semantics (N^AU).
+//
+// A core.Relation annotates one selected-guess world: every attribute value
+// is a range [lb/sg/ub] and every tuple carries a multiplicity triple
+// (lb, sg, ub) bounding the tuple's certain multiplicity from below, giving
+// its multiplicity in the selected-guess world, and bounding its possible
+// multiplicity from above. Query evaluation preserves these bounds
+// (Theorems 3, 4, 6 and Corollary 2).
+package core
+
+import "fmt"
+
+// Mult is an element of N^AU (Definition 11 for K = N): a triple
+// (Lo, SG, Hi) with 0 <= Lo <= SG <= Hi in the natural order of N.
+type Mult struct {
+	Lo, SG, Hi int64
+}
+
+// One is the multiplicative identity (1,1,1).
+var One = Mult{1, 1, 1}
+
+// Zero is the additive identity (0,0,0).
+var Zero = Mult{0, 0, 0}
+
+// Valid reports 0 <= Lo <= SG <= Hi.
+func (m Mult) Valid() bool { return 0 <= m.Lo && m.Lo <= m.SG && m.SG <= m.Hi }
+
+// IsZero reports whether m is the zero annotation.
+func (m Mult) IsZero() bool { return m == Zero }
+
+// Add is pointwise semiring addition in N^AU.
+func (m Mult) Add(o Mult) Mult {
+	return Mult{m.Lo + o.Lo, m.SG + o.SG, m.Hi + o.Hi}
+}
+
+// Mul is pointwise semiring multiplication in N^AU.
+func (m Mult) Mul(o Mult) Mult {
+	return Mult{m.Lo * o.Lo, m.SG * o.SG, m.Hi * o.Hi}
+}
+
+// MonusBounds is the bound-preserving difference of Section 8.2: the lower
+// bound subtracts the other side's upper bound and vice versa. (Pointwise
+// monus does not preserve bounds.)
+func (m Mult) MonusBounds(o Mult) Mult {
+	return Mult{monus(m.Lo, o.Hi), monus(m.SG, o.SG), monus(m.Hi, o.Lo)}
+}
+
+func monus(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return 0
+}
+
+// Delta applies δ_N pointwise: δ(k) = 1 if k != 0 else 0.
+func (m Mult) Delta() Mult {
+	return Mult{delta(m.Lo), delta(m.SG), delta(m.Hi)}
+}
+
+func delta(k int64) int64 {
+	if k != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Bounds reports whether the deterministic multiplicity k is sandwiched:
+// Lo <= k <= Hi.
+func (m Mult) Bounds(k int64) bool { return m.Lo <= k && k <= m.Hi }
+
+// String renders the annotation as (lo,sg,hi).
+func (m Mult) String() string { return fmt.Sprintf("(%d,%d,%d)", m.Lo, m.SG, m.Hi) }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// Tuple is one AU-DB tuple: range-annotated attribute values plus an N^AU
+// multiplicity annotation.
+type Tuple struct {
+	Vals rangeval.Tuple
+	M    Mult
+}
+
+// Clone returns a deep copy.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Vals: t.Vals.Clone(), M: t.M}
+}
+
+// String renders the tuple with its annotation.
+func (t Tuple) String() string {
+	return t.Vals.String() + " " + t.M.String()
+}
+
+// Relation is an N^AU-relation (Definition 12): a finite support function
+// from range-annotated tuples to multiplicity triples, stored as a slice.
+// Tuples with zero annotations are never stored.
+type Relation struct {
+	Schema schema.Schema
+	Tuples []Tuple
+}
+
+// New creates an empty AU-relation with the given schema.
+func New(s schema.Schema) *Relation { return &Relation{Schema: s} }
+
+// FromDeterministic lifts a deterministic bag relation into an AU-relation
+// with certain attribute values and exact annotations (k,k,k).
+func FromDeterministic(r *bag.Relation) *Relation {
+	out := New(r.Schema)
+	for i, t := range r.Tuples {
+		c := r.Counts[i]
+		out.Add(Tuple{Vals: rangeval.CertainTuple(t), M: Mult{c, c, c}})
+	}
+	return out
+}
+
+// Add appends a tuple unless its annotation is zero or invalid-by-zero.
+func (r *Relation) Add(t Tuple) {
+	if t.M.Hi <= 0 {
+		return
+	}
+	r.Tuples = append(r.Tuples, t)
+}
+
+// Len returns the number of stored AU-tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// PossibleSize returns the total upper-bound multiplicity, the measure of
+// over-approximation size reported in Figure 14b.
+func (r *Relation) PossibleSize() int64 {
+	var n int64
+	for _, t := range r.Tuples {
+		n += t.M.Hi
+	}
+	return n
+}
+
+// CertainSize returns the total lower-bound multiplicity.
+func (r *Relation) CertainSize() int64 {
+	var n int64
+	for _, t := range r.Tuples {
+		n += t.M.Lo
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.Schema)
+	out.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Merge combines value-equivalent tuples (identical [lb/sg/ub] on every
+// attribute), summing annotations. The relational encoding requires merged
+// relations (Section 10.2, "merge annotations").
+func (r *Relation) Merge() *Relation {
+	if len(r.Tuples) == 0 {
+		return r
+	}
+	idx := make(map[string]int, len(r.Tuples))
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := t.Vals.Key()
+		if j, ok := idx[k]; ok {
+			out[j].M = out[j].M.Add(t.M)
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, t)
+	}
+	r.Tuples = out
+	return r
+}
+
+// SGW extracts the selected-guess world encoded by the relation
+// (Definition 13): group tuples by their SG attribute values and sum the SG
+// components of their annotations.
+func (r *Relation) SGW() *bag.Relation {
+	out := bag.New(r.Schema)
+	counts := map[string]int64{}
+	reps := map[string]types.Tuple{}
+	var order []string
+	for _, t := range r.Tuples {
+		sg := t.Vals.SG()
+		k := sg.Key()
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+			reps[k] = sg
+		}
+		counts[k] += t.M.SG
+	}
+	for _, k := range order {
+		if counts[k] > 0 {
+			out.Add(reps[k], counts[k])
+		}
+	}
+	return out
+}
+
+// SGCombine implements the SG-combiner Ψ (Definition 21): tuples with the
+// same selected-guess attribute values are merged into a single tuple whose
+// attribute ranges are the minimum bounding box and whose annotation is the
+// sum.
+func (r *Relation) SGCombine() *Relation {
+	out := New(r.Schema)
+	idx := make(map[string]int, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Vals.SGKey()
+		if j, ok := idx[k]; ok {
+			out.Tuples[j].Vals = out.Tuples[j].Vals.Union(t.Vals)
+			out.Tuples[j].M = out.Tuples[j].M.Add(t.M)
+			continue
+		}
+		idx[k] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, t.Clone())
+	}
+	return out
+}
+
+// Sort orders tuples by SG values then bounds, for stable output.
+func (r *Relation) Sort() *Relation {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		if c := a.Vals.SG().Compare(b.Vals.SG()); c != 0 {
+			return c < 0
+		}
+		return a.Vals.Key() < b.Vals.Key()
+	})
+	return r
+}
+
+// String renders the relation as a table.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Schema.String())
+	sb.WriteByte('\n')
+	for _, t := range r.Tuples {
+		fmt.Fprintf(&sb, "%s\n", t)
+	}
+	return sb.String()
+}
+
+// DB is a named collection of AU-relations.
+type DB map[string]*Relation
+
+// Schemas returns a catalog view.
+func (db DB) Schemas() map[string]schema.Schema {
+	out := make(map[string]schema.Schema, len(db))
+	for n, r := range db {
+		out[strings.ToLower(n)] = r.Schema
+	}
+	return out
+}
+
+// SGW extracts the selected-guess world of every relation.
+func (db DB) SGW() bag.DB {
+	out := bag.DB{}
+	for n, r := range db {
+		out[n] = r.SGW()
+	}
+	return out
+}
+
+// FromDeterministicDB lifts a whole deterministic database.
+func FromDeterministicDB(db bag.DB) DB {
+	out := DB{}
+	for n, r := range db {
+		out[n] = FromDeterministic(r)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package csvio loads and stores relations as CSV, the ingestion path for
+// the audbsh command and the examples. Values are typed by inference
+// (int, float, bool, null, string); a header row names the attributes.
+//
+// An extended cell syntax carries attribute-level uncertainty directly in
+// CSV files: a cell of the form "lb|sg|ub" is parsed as a range-annotated
+// value when the file is loaded with ReadAU. The literal "?" denotes a
+// completely unknown value (null selected guess, full range).
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// ParseValue infers the type of a CSV cell.
+func ParseValue(s string) types.Value {
+	trimmed := strings.TrimSpace(s)
+	switch strings.ToLower(trimmed) {
+	case "", "null":
+		return types.Null()
+	case "true":
+		return types.Bool(true)
+	case "false":
+		return types.Bool(false)
+	}
+	if i, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return types.Int(i)
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return types.Float(f)
+	}
+	return types.String(trimmed)
+}
+
+// Read loads a deterministic relation from CSV with a header row.
+func Read(r io.Reader) (*bag.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	rel := bag.New(schema.New(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		row := make(types.Tuple, len(rec))
+		for i, cell := range rec {
+			row[i] = ParseValue(cell)
+		}
+		rel.Add(row, 1)
+	}
+	return rel, nil
+}
+
+// parseRangeCell parses a cell in ReadAU mode: "lb|sg|ub" is a range, "?"
+// is a fully unknown value, anything else is certain.
+func parseRangeCell(cell string) (rangeval.V, error) {
+	trimmed := strings.TrimSpace(cell)
+	if trimmed == "?" {
+		return rangeval.Full(types.Null()), nil
+	}
+	if strings.Contains(trimmed, "|") {
+		parts := strings.Split(trimmed, "|")
+		if len(parts) != 3 {
+			return rangeval.V{}, fmt.Errorf("csvio: range cell %q must have the form lb|sg|ub", cell)
+		}
+		return rangeval.Checked(ParseValue(parts[0]), ParseValue(parts[1]), ParseValue(parts[2]))
+	}
+	return rangeval.Certain(ParseValue(trimmed)), nil
+}
+
+// ReadAU loads an AU-relation from CSV. Besides the range cell syntax, two
+// optional trailing pseudo-columns named "_mult_lb" and "_mult_ub" (in
+// that order, after the value columns) carry tuple multiplicity bounds;
+// without them every row is certain, (1,1,1).
+func ReadAU(r io.Reader) (*core.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	n := len(header)
+	hasMult := n >= 2 && header[n-2] == "_mult_lb" && header[n-1] == "_mult_ub"
+	if hasMult {
+		n -= 2
+	}
+	rel := core.New(schema.New(header[:n]...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		vals := make(rangeval.Tuple, n)
+		for i := 0; i < n; i++ {
+			v, err := parseRangeCell(rec[i])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		m := core.One
+		if hasMult {
+			lb := ParseValue(rec[n]).AsInt()
+			ub := ParseValue(rec[n+1]).AsInt()
+			sg := int64(1)
+			if lb > sg {
+				sg = lb
+			}
+			if ub < sg {
+				sg = ub
+			}
+			m = core.Mult{Lo: lb, SG: sg, Hi: ub}
+			if !m.Valid() {
+				return nil, fmt.Errorf("csvio: invalid multiplicity bounds (%d, %d)", lb, ub)
+			}
+		}
+		rel.Add(core.Tuple{Vals: vals, M: m})
+	}
+	return rel, nil
+}
+
+// Write stores a deterministic relation as CSV (duplicates expanded).
+func Write(w io.Writer, rel *bag.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema.Attrs); err != nil {
+		return err
+	}
+	for i, t := range rel.Tuples {
+		rec := make([]string, len(t))
+		for j, v := range t {
+			rec[j] = v.String()
+		}
+		for k := int64(0); k < rel.Counts[i]; k++ {
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAU stores an AU-relation using the range cell syntax plus the
+// multiplicity pseudo-columns.
+func WriteAU(w io.Writer, rel *core.Relation) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, rel.Schema.Attrs...), "_mult_lb", "_mult_ub")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range rel.Tuples {
+		rec := make([]string, 0, len(t.Vals)+2)
+		for _, v := range t.Vals {
+			if v.IsCertain() {
+				rec = append(rec, v.SG.String())
+			} else {
+				rec = append(rec, fmt.Sprintf("%s|%s|%s", v.Lo, v.SG, v.Hi))
+			}
+		}
+		rec = append(rec, fmt.Sprint(t.M.Lo), fmt.Sprint(t.M.Hi))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

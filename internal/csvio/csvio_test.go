@@ -1,0 +1,130 @@
+package csvio
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/types"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want types.Value
+	}{
+		{"42", types.Int(42)},
+		{"-7", types.Int(-7)},
+		{"3.5", types.Float(3.5)},
+		{"true", types.Bool(true)},
+		{"FALSE", types.Bool(false)},
+		{"", types.Null()},
+		{"null", types.Null()},
+		{"hello", types.String("hello")},
+		{" padded ", types.String("padded")},
+	}
+	for _, c := range cases {
+		if got := ParseValue(c.in); types.Compare(got, c.want) != 0 {
+			t.Errorf("ParseValue(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	in := "a,b,c\n1,x,2.5\n2,y,0\n2,y,0\n"
+	rel, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Size() != 3 || rel.Schema.Arity() != 3 {
+		t.Fatalf("loaded: %s", rel)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, rel.Merge()); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(again) {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", rel, again)
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail on header")
+	}
+	if _, err := Read(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestReadAU(t *testing.T) {
+	in := "k,v\n1,10\n2,8|10|14\n3,?\n"
+	rel, err := ReadAU(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows: %d", rel.Len())
+	}
+	if !rel.Tuples[0].Vals.IsCertain() {
+		t.Error("row 1 certain")
+	}
+	r2 := rel.Tuples[1].Vals[1]
+	if r2.Lo.AsInt() != 8 || r2.SG.AsInt() != 10 || r2.Hi.AsInt() != 14 {
+		t.Errorf("range cell: %v", r2)
+	}
+	r3 := rel.Tuples[2].Vals[1]
+	if !r3.Contains(types.Int(999999)) || !r3.SG.IsNull() {
+		t.Errorf("unknown cell: %v", r3)
+	}
+	// Multiplicity pseudo-columns.
+	in = "k,_mult_lb,_mult_ub\n1,0,2\n"
+	rel, err = ReadAU(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rel.Tuples[0].M
+	if m.Lo != 0 || m.Hi != 2 || !m.Valid() {
+		t.Errorf("multiplicity: %v", m)
+	}
+	// Errors.
+	if _, err := ReadAU(strings.NewReader("k\n1|2\n")); err == nil {
+		t.Error("two-part range should fail")
+	}
+	if _, err := ReadAU(strings.NewReader("k\n9|5|1\n")); err == nil {
+		t.Error("descending bounds should fail")
+	}
+	if _, err := ReadAU(strings.NewReader("k,_mult_lb,_mult_ub\n1,5,2\n")); err == nil {
+		t.Error("invalid multiplicity bounds should fail")
+	}
+	if _, err := ReadAU(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestWriteAURoundtrip(t *testing.T) {
+	in := "k,v\n1,10\n2,8|10|14\n"
+	rel, err := ReadAU(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteAU(&sb, rel); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadAU(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if again.Len() != rel.Len() {
+		t.Fatalf("roundtrip rows: %d vs %d", again.Len(), rel.Len())
+	}
+	for i := range rel.Tuples {
+		if rel.Tuples[i].Vals.Key() != again.Tuples[i].Vals.Key() {
+			t.Errorf("row %d values differ", i)
+		}
+		if rel.Tuples[i].M.Lo != again.Tuples[i].M.Lo || rel.Tuples[i].M.Hi != again.Tuples[i].M.Hi {
+			t.Errorf("row %d multiplicities differ", i)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+func iv(lo, sg, hi int64) rangeval.V {
+	return rangeval.New(types.Int(lo), types.Int(sg), types.Int(hi))
+}
+
+func sampleRelation(r *rand.Rand, s schema.Schema, rows int) *core.Relation {
+	out := core.New(s)
+	for i := 0; i < rows; i++ {
+		vals := make(rangeval.Tuple, s.Arity())
+		for c := range vals {
+			sg := int64(r.Intn(6))
+			lo := sg - int64(r.Intn(3))
+			hi := sg + int64(r.Intn(3))
+			vals[c] = iv(lo, sg, hi)
+		}
+		lo := int64(r.Intn(2))
+		sgm := lo + int64(r.Intn(2))
+		hi := sgm + int64(r.Intn(2))
+		if hi == 0 {
+			hi = 1
+		}
+		out.Add(core.Tuple{Vals: vals, M: core.Mult{Lo: lo, SG: sgm, Hi: hi}})
+	}
+	return out
+}
+
+func TestEncDecRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rel := sampleRelation(r, schema.New("a", "b"), 8).Merge()
+	enc := Enc(rel)
+	if enc.Schema.Arity() != 9 {
+		t.Fatalf("encoded arity %d", enc.Schema.Arity())
+	}
+	dec, err := Dec(enc, rel.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEqual(rel, dec) {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", rel, dec)
+	}
+	// Dec with a wrong schema arity errors.
+	if _, err := Dec(enc, schema.New("a")); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	// Layout accessors.
+	l := Layout{N: 2}
+	if l.SG(1) != 1 || l.Lo(1) != 3 || l.Hi(1) != 5 || l.RowLo() != 6 || l.RowSG() != 7 || l.RowHi() != 8 || l.Width() != 9 {
+		t.Error("layout")
+	}
+	if EncodeDB(core.DB{"x": rel})["x"].Len() != rel.Len() {
+		t.Error("EncodeDB")
+	}
+}
+
+// relEqual compares two merged AU relations as bags of (triple-tuple,
+// annotation) pairs.
+func relEqual(a, b *core.Relation) bool {
+	am := map[string]core.Mult{}
+	for _, t := range a.Clone().Merge().Tuples {
+		am[t.Vals.Key()] = t.M
+	}
+	bm := map[string]core.Mult{}
+	for _, t := range b.Clone().Merge().Tuples {
+		bm[t.Vals.Key()] = t.M
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// rewritePlans lists the RA_agg plans cross-validated against the native
+// engine. Tables: r (a, b) and s (c, d).
+func rewritePlans() map[string]ra.Node {
+	scanR := func() ra.Node { return &ra.Scan{Table: "r"} }
+	scanS := func() ra.Node { return &ra.Scan{Table: "s"} }
+	return map[string]ra.Node{
+		"scan":   scanR(),
+		"select": &ra.Select{Child: scanR(), Pred: expr.Leq(expr.Col(0, "a"), expr.CInt(3))},
+		"select-complex": &ra.Select{Child: scanR(), Pred: expr.Or(
+			expr.And(expr.Gt(expr.Col(0, "a"), expr.CInt(1)), expr.Lt(expr.Col(1, "b"), expr.CInt(4))),
+			expr.Eq(expr.Col(0, "a"), expr.Col(1, "b")))},
+		"project": &ra.Project{Child: scanR(), Cols: []ra.ProjCol{
+			{E: expr.Add(expr.Col(0, "a"), expr.Col(1, "b")), Name: "ab"},
+			{E: expr.Sub(expr.Col(0, "a"), expr.CInt(1)), Name: "am"},
+			{E: expr.Mul(expr.Col(0, "a"), expr.Col(1, "b")), Name: "prod"},
+		}},
+		"project-if": &ra.Project{Child: scanR(), Cols: []ra.ProjCol{
+			{E: expr.If{
+				Cond: expr.Lt(expr.Col(0, "a"), expr.CInt(3)),
+				Then: expr.Col(1, "b"),
+				Else: expr.Mul(expr.Col(1, "b"), expr.CInt(10))}, Name: "v"},
+		}},
+		"join": &ra.Join{Left: scanR(), Right: scanS(),
+			Cond: expr.Eq(expr.Col(0, "a"), expr.Col(2, "c"))},
+		"join-theta": &ra.Join{Left: scanR(), Right: scanS(),
+			Cond: expr.Lt(expr.Col(1, "b"), expr.Col(3, "d"))},
+		"cross": &ra.Join{Left: scanR(), Right: scanS()},
+		"union": &ra.Union{Left: scanR(), Right: scanR()},
+		"diff": &ra.Diff{Left: scanR(), Right: &ra.Project{Child: scanS(), Cols: []ra.ProjCol{
+			{E: expr.Col(0, "c"), Name: "a"}, {E: expr.Col(1, "d"), Name: "b"}}}},
+		"agg-global": &ra.Agg{Child: scanR(), Aggs: []ra.AggSpec{
+			{Fn: ra.AggSum, Arg: expr.Col(0, "a"), Name: "s"},
+			{Fn: ra.AggCount, Name: "c"},
+			{Fn: ra.AggMin, Arg: expr.Col(0, "a"), Name: "mn"},
+			{Fn: ra.AggMax, Arg: expr.Col(1, "b"), Name: "mx"},
+		}},
+		"agg-group": &ra.Agg{Child: scanR(), GroupBy: []int{1}, Aggs: []ra.AggSpec{
+			{Fn: ra.AggSum, Arg: expr.Col(0, "a"), Name: "s"},
+			{Fn: ra.AggCount, Name: "c"},
+			{Fn: ra.AggMin, Arg: expr.Col(0, "a"), Name: "mn"},
+			{Fn: ra.AggMax, Arg: expr.Col(0, "a"), Name: "mx"},
+		}},
+		"agg-avg": &ra.Agg{Child: scanR(), GroupBy: []int{1}, Aggs: []ra.AggSpec{
+			{Fn: ra.AggAvg, Arg: expr.Col(0, "a"), Name: "av"}}},
+		"agg-avg-global": &ra.Agg{Child: scanR(), Aggs: []ra.AggSpec{
+			{Fn: ra.AggAvg, Arg: expr.Col(0, "a"), Name: "av"}}},
+		"having": &ra.Select{
+			Child: &ra.Agg{Child: scanR(), GroupBy: []int{1}, Aggs: []ra.AggSpec{
+				{Fn: ra.AggSum, Arg: expr.Col(0, "a"), Name: "s"}}},
+			Pred: expr.Gt(expr.Col(1, "s"), expr.CInt(3))},
+		"join-agg": &ra.Agg{
+			Child: &ra.Join{Left: scanR(), Right: scanS(),
+				Cond: expr.Eq(expr.Col(0, "a"), expr.Col(2, "c"))},
+			GroupBy: []int{1},
+			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(3, "d"), Name: "sd"}}},
+		"orderby": &ra.OrderBy{Child: scanR(), Keys: []int{0}},
+	}
+}
+
+// TestTheorem8RewriteEqualsNative: the middleware path must produce
+// exactly the native result: Dec(rewr(Q)(Enc(D))) = Q(D).
+func TestTheorem8RewriteEqualsNative(t *testing.T) {
+	plans := rewritePlans()
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for name, plan := range plans {
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(trial*977) + int64(len(name))
+			r := rand.New(rand.NewSource(seed))
+			db := core.DB{
+				"r": sampleRelation(r, schema.New("a", "b"), 1+r.Intn(5)),
+				"s": sampleRelation(r, schema.New("c", "d"), 1+r.Intn(4)),
+			}
+			native, err := core.Exec(plan, db, core.Options{})
+			if err != nil {
+				t.Fatalf("[%s seed=%d] native: %v", name, seed, err)
+			}
+			viaEnc, err := Exec(plan, db)
+			if err != nil {
+				t.Fatalf("[%s seed=%d] rewrite: %v", name, seed, err)
+			}
+			if !relEqual(native, viaEnc) {
+				t.Fatalf("[%s seed=%d] mismatch:\nnative:\n%s\nrewrite:\n%s\ninput r:\n%s\ninput s:\n%s",
+					name, seed, native.Sort(), viaEnc.Sort(), db["r"], db["s"])
+			}
+		}
+	}
+}
+
+func TestRewriteDistinctUnsupported(t *testing.T) {
+	db := core.DB{"r": core.New(schema.New("a"))}
+	if _, err := Exec(&ra.Distinct{Child: &ra.Scan{Table: "r"}}, db); err == nil {
+		t.Error("distinct should be rejected by the middleware")
+	}
+	_, _, err := Rewrite(&ra.Scan{Table: "missing"}, ra.CatalogMap{})
+	if err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestRewriteExprIsNull(t *testing.T) {
+	// Null handling through the rewrite: IS NULL over an uncertain value.
+	rel := core.New(schema.New("a"))
+	rel.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Null())}, M: core.One})
+	rel.Add(core.Tuple{Vals: rangeval.Tuple{iv(1, 2, 3)}, M: core.One})
+	rel.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.New(types.Null(), types.Int(5), types.Int(9))}, M: core.One})
+	plan := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.If{Cond: expr.IsNull{E: expr.Col(0, "a")}, Then: expr.CInt(1), Else: expr.CInt(0)}, Name: "isnull"},
+	}}
+	db := core.DB{"r": rel}
+	native, err := core.Exec(plan, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEnc, err := Exec(plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEqual(native, viaEnc) {
+		t.Fatalf("IS NULL mismatch:\nnative:\n%s\nrewrite:\n%s", native, viaEnc)
+	}
+}

@@ -1,0 +1,192 @@
+package encoding
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/types"
+)
+
+// AttrTriple maps an AU-schema attribute index to the three deterministic
+// expressions reading its selected-guess, lower and upper values from the
+// encoded layout.
+type AttrTriple func(i int) (sg, lo, hi expr.Expr)
+
+// LayoutTriple is the AttrTriple for a canonical layout, shifted by offset
+// columns (used when the encoded relation appears to the right of other
+// columns in a join).
+func LayoutTriple(l Layout, offset int) AttrTriple {
+	return func(i int) (sg, lo, hi expr.Expr) {
+		return expr.Col(offset+l.SG(i), ""),
+			expr.Col(offset+l.Lo(i), ""),
+			expr.Col(offset+l.Hi(i), "")
+	}
+}
+
+// RewriteExpr compiles a scalar expression over an AU schema into three
+// deterministic expressions computing the lower bound, selected-guess and
+// upper bound of its range-annotated result (the e↓ / e_sg / e↑ of Section
+// 10.2). The construction mirrors Definition 9 case by case.
+func RewriteExpr(e expr.Expr, attr AttrTriple) (lo, sg, hi expr.Expr, err error) {
+	switch n := e.(type) {
+	case expr.Const:
+		return n, n, n, nil
+
+	case expr.Attr:
+		s, l, h := attr(n.Idx)
+		return l, s, h, nil
+
+	case expr.Logic:
+		llo, lsg, lhi, err := RewriteExpr(n.L, attr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rlo, rsg, rhi, err := RewriteExpr(n.R, attr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if n.Op == expr.OpAnd {
+			return expr.And(llo, rlo), expr.And(lsg, rsg), expr.And(lhi, rhi), nil
+		}
+		return expr.Or(llo, rlo), expr.Or(lsg, rsg), expr.Or(lhi, rhi), nil
+
+	case expr.Not:
+		l, s, h, err := RewriteExpr(n.E, attr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return expr.Not{E: h}, expr.Not{E: s}, expr.Not{E: l}, nil
+
+	case expr.Cmp:
+		return rewriteCmp(n, attr)
+
+	case expr.Arith:
+		return rewriteArith(n, attr)
+
+	case expr.If:
+		return rewriteIf(n, attr)
+
+	case expr.IsNull:
+		l, s, h, err := RewriteExpr(n.E, attr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		nullC := expr.C(types.Null())
+		negInf := expr.C(types.NegInf())
+		certainlyNull := expr.And(expr.IsNull{E: l}, expr.IsNull{E: h})
+		// [lo, hi] contains null iff lo <= null (lo is null or -inf) and
+		// null <= hi (hi is not -inf). Comparisons against the null
+		// constant are always false in the deterministic semantics, so
+		// the tests are spelled out with IsNull / -inf equality.
+		possiblyNull := expr.And(
+			expr.Or(expr.IsNull{E: l}, expr.Eq(l, negInf)),
+			expr.Not{E: expr.Eq(h, negInf)},
+		)
+		_ = nullC
+		return certainlyNull, expr.IsNull{E: s}, possiblyNull, nil
+
+	case expr.NAry:
+		los := make([]expr.Expr, len(n.Args))
+		sgs := make([]expr.Expr, len(n.Args))
+		his := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			l, s, h, err := RewriteExpr(a, attr)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			los[i], sgs[i], his[i] = l, s, h
+		}
+		if n.Op == expr.OpLeast {
+			return expr.Least(los...), expr.Least(sgs...), expr.Least(his...), nil
+		}
+		return expr.Greatest(los...), expr.Greatest(sgs...), expr.Greatest(his...), nil
+	}
+	return nil, nil, nil, fmt.Errorf("encoding: cannot rewrite expression %T", e)
+}
+
+func rewriteCmp(n expr.Cmp, attr AttrTriple) (lo, sg, hi expr.Expr, err error) {
+	alo, asg, ahi, err := RewriteExpr(n.L, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blo, bsg, bhi, err := RewriteExpr(n.R, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sg = expr.Cmp{Op: n.Op, L: asg, R: bsg}
+	certEq := expr.And(expr.Eq(ahi, blo), expr.Eq(bhi, alo))
+	overlap := expr.And(expr.Leq(alo, bhi), expr.Leq(blo, ahi))
+	switch n.Op {
+	case expr.OpEq:
+		return certEq, sg, overlap, nil
+	case expr.OpNeq:
+		return expr.Not{E: overlap}, sg, expr.Not{E: certEq}, nil
+	case expr.OpLt:
+		return expr.Lt(ahi, blo), sg, expr.Lt(alo, bhi), nil
+	case expr.OpLeq:
+		return expr.Leq(ahi, blo), sg, expr.Leq(alo, bhi), nil
+	case expr.OpGt:
+		return expr.Gt(alo, bhi), sg, expr.Gt(ahi, blo), nil
+	case expr.OpGeq:
+		return expr.Geq(alo, bhi), sg, expr.Geq(ahi, blo), nil
+	}
+	return nil, nil, nil, fmt.Errorf("encoding: unknown comparison %v", n.Op)
+}
+
+func rewriteArith(n expr.Arith, attr AttrTriple) (lo, sg, hi expr.Expr, err error) {
+	alo, asg, ahi, err := RewriteExpr(n.L, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blo, bsg, bhi, err := RewriteExpr(n.R, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	switch n.Op {
+	case expr.OpAdd:
+		return expr.Add(alo, blo), expr.Add(asg, bsg), expr.Add(ahi, bhi), nil
+	case expr.OpSub:
+		return expr.Sub(alo, bhi), expr.Sub(asg, bsg), expr.Sub(ahi, blo), nil
+	case expr.OpMul:
+		prods := func(f func(l, r expr.Expr) expr.Arith) []expr.Expr {
+			return []expr.Expr{f(alo, blo), f(alo, bhi), f(ahi, blo), f(ahi, bhi)}
+		}
+		return expr.Least(prods(expr.Mul)...), expr.Mul(asg, bsg), expr.Greatest(prods(expr.Mul)...), nil
+	case expr.OpDiv:
+		// A divisor interval spanning zero makes the quotient unbounded;
+		// the guard keeps the deterministic engine from dividing by zero.
+		spansZero := expr.And(
+			expr.Leq(blo, expr.CInt(0)),
+			expr.Geq(bhi, expr.CInt(0)))
+		quots := []expr.Expr{
+			expr.Div(alo, blo), expr.Div(alo, bhi),
+			expr.Div(ahi, blo), expr.Div(ahi, bhi)}
+		lo = expr.If{Cond: spansZero, Then: expr.C(types.NegInf()), Else: expr.Least(quots...)}
+		hi = expr.If{Cond: spansZero, Then: expr.C(types.PosInf()), Else: expr.Greatest(quots...)}
+		return lo, expr.Div(asg, bsg), hi, nil
+	}
+	return nil, nil, nil, fmt.Errorf("encoding: unknown arithmetic %v", n.Op)
+}
+
+func rewriteIf(n expr.If, attr AttrTriple) (lo, sg, hi expr.Expr, err error) {
+	clo, csg, chi, err := RewriteExpr(n.Cond, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tlo, tsg, thi, err := RewriteExpr(n.Then, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	elo, esg, ehi, err := RewriteExpr(n.Else, attr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	certTrue := expr.And(clo, chi)
+	certFalse := expr.And(expr.Not{E: clo}, expr.Not{E: chi})
+	lo = expr.If{Cond: certTrue, Then: tlo,
+		Else: expr.If{Cond: certFalse, Then: elo, Else: expr.Least(tlo, elo)}}
+	hi = expr.If{Cond: certTrue, Then: thi,
+		Else: expr.If{Cond: certFalse, Then: ehi, Else: expr.Greatest(thi, ehi)}}
+	sg = expr.If{Cond: csg, Then: tsg, Else: esg}
+	return lo, sg, hi, nil
+}

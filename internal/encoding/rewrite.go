@@ -1,0 +1,329 @@
+package encoding
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+)
+
+// Exec evaluates an RA_agg plan over an AU-database through the middleware
+// path: encode the database, rewrite the query (rewr(·), Section 10.2),
+// run it on the deterministic engine, decode the result.
+func Exec(n ra.Node, db core.DB) (*core.Relation, error) {
+	auCat := ra.CatalogMap(db.Schemas())
+	plan, auSchema, err := Rewrite(n, auCat)
+	if err != nil {
+		return nil, err
+	}
+	enc := EncodeDB(db)
+	res, err := bag.Exec(plan, enc)
+	if err != nil {
+		return nil, err
+	}
+	return Dec(res, auSchema)
+}
+
+// Rewrite compiles an RA_agg plan over AU-relations into a deterministic
+// plan over their encodings, returning the plan and the AU result schema.
+// Every rewritten subplan produces the canonical encoded layout of its AU
+// schema, so operators compose freely; the final merging of
+// value-equivalent rows (Q_merge) is applied by the caller via bag
+// aggregation or, equivalently, by Dec.
+func Rewrite(n ra.Node, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		s, err := cat.TableSchema(t.Table)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		return &ra.Scan{Table: t.Table}, s, nil
+
+	case *ra.Select:
+		return rewriteSelect(t, cat)
+
+	case *ra.Project:
+		return rewriteProject(t, cat)
+
+	case *ra.Join:
+		return rewriteJoin(t, cat)
+
+	case *ra.Union:
+		lp, ls, err := Rewrite(t.Left, cat)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		rp, rs, err := Rewrite(t.Right, cat)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		if ls.Arity() != rs.Arity() {
+			return nil, schema.Schema{}, fmt.Errorf("encoding: union arity mismatch %s vs %s", ls, rs)
+		}
+		return &ra.Union{Left: lp, Right: rp}, ls, nil
+
+	case *ra.Diff:
+		return rewriteDiff(t, cat)
+
+	case *ra.Agg:
+		return rewriteAgg(t, cat)
+
+	case *ra.OrderBy:
+		cp, cs, err := Rewrite(t.Child, cat)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		return &ra.OrderBy{Child: cp, Keys: t.Keys, Desc: t.Desc}, cs, nil
+
+	case *ra.Distinct:
+		// Duplicate elimination is not part of the paper's rewrite set
+		// (Section 10.2); the native engine supports it directly.
+		return nil, schema.Schema{}, fmt.Errorf("encoding: DISTINCT is not supported by the rewrite middleware; use the native engine")
+	}
+	return nil, schema.Schema{}, fmt.Errorf("encoding: cannot rewrite %T", n)
+}
+
+// identityCols projects the value columns of a canonical layout unchanged.
+func identityCols(l Layout, s schema.Schema) []ra.ProjCol {
+	enc := EncSchema(s)
+	cols := make([]ra.ProjCol, 0, 3*l.N)
+	for i := 0; i < 3*l.N; i++ {
+		cols = append(cols, ra.ProjCol{E: expr.Col(i, ""), Name: enc.Attrs[i]})
+	}
+	return cols
+}
+
+func boolToMult(b expr.Expr) expr.Expr {
+	return expr.If{Cond: b, Then: expr.CInt(1), Else: expr.CInt(0)}
+}
+
+func rewriteSelect(t *ra.Select, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	cp, cs, err := Rewrite(t.Child, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	l := Layout{N: cs.Arity()}
+	plo, psg, phi, err := RewriteExpr(t.Pred, triple(l, 0))
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	cols := identityCols(l, cs)
+	cols = append(cols,
+		ra.ProjCol{E: expr.Mul(boolToMult(plo), expr.Col(l.RowLo(), "")), Name: "row_lb"},
+		ra.ProjCol{E: expr.Mul(boolToMult(psg), expr.Col(l.RowSG(), "")), Name: "row_sg"},
+		ra.ProjCol{E: expr.Col(l.RowHi(), ""), Name: "row_ub"},
+	)
+	return &ra.Project{Child: &ra.Select{Child: cp, Pred: phi}, Cols: cols}, cs, nil
+}
+
+func triple(l Layout, offset int) AttrTriple { return LayoutTriple(l, offset) }
+
+func rewriteProject(t *ra.Project, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	cp, cs, err := Rewrite(t.Child, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	l := Layout{N: cs.Arity()}
+	outAttrs := make([]string, len(t.Cols))
+	var sgCols, loCols, hiCols []ra.ProjCol
+	for i, c := range t.Cols {
+		outAttrs[i] = c.Name
+		lo, sg, hi, err := RewriteExpr(c.E, triple(l, 0))
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		sgCols = append(sgCols, ra.ProjCol{E: sg, Name: c.Name})
+		loCols = append(loCols, ra.ProjCol{E: lo, Name: c.Name + "_lb"})
+		hiCols = append(hiCols, ra.ProjCol{E: hi, Name: c.Name + "_ub"})
+	}
+	cols := append(append(append([]ra.ProjCol{}, sgCols...), loCols...), hiCols...)
+	cols = append(cols,
+		ra.ProjCol{E: expr.Col(l.RowLo(), ""), Name: "row_lb"},
+		ra.ProjCol{E: expr.Col(l.RowSG(), ""), Name: "row_sg"},
+		ra.ProjCol{E: expr.Col(l.RowHi(), ""), Name: "row_ub"},
+	)
+	return &ra.Project{Child: cp, Cols: cols}, schema.Schema{Attrs: outAttrs}, nil
+}
+
+func rewriteJoin(t *ra.Join, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	lp, ls, err := Rewrite(t.Left, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	rp, rs, err := Rewrite(t.Right, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	ll := Layout{N: ls.Arity()}
+	rl := Layout{N: rs.Arity()}
+	outSchema := ls.Concat(rs)
+	// Attribute triples over the concatenated encoded layouts.
+	joinedAttr := func(i int) (sg, lo, hi expr.Expr) {
+		if i < ll.N {
+			return LayoutTriple(ll, 0)(i)
+		}
+		return LayoutTriple(rl, ll.Width())(i - ll.N)
+	}
+	var condLo, condSG, condHi expr.Expr
+	if t.Cond != nil {
+		condLo, condSG, condHi, err = RewriteExpr(t.Cond, joinedAttr)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+	}
+	joined := &ra.Join{Left: lp, Right: rp, Cond: condHi}
+	// Canonical projection of the joined layout.
+	enc := EncSchema(outSchema)
+	var cols []ra.ProjCol
+	add := func(idx int, name string) {
+		cols = append(cols, ra.ProjCol{E: expr.Col(idx, ""), Name: name})
+	}
+	for i := 0; i < ll.N; i++ {
+		add(ll.SG(i), enc.Attrs[len(cols)])
+	}
+	for i := 0; i < rl.N; i++ {
+		add(ll.Width()+rl.SG(i), enc.Attrs[len(cols)])
+	}
+	for i := 0; i < ll.N; i++ {
+		add(ll.Lo(i), enc.Attrs[len(cols)])
+	}
+	for i := 0; i < rl.N; i++ {
+		add(ll.Width()+rl.Lo(i), enc.Attrs[len(cols)])
+	}
+	for i := 0; i < ll.N; i++ {
+		add(ll.Hi(i), enc.Attrs[len(cols)])
+	}
+	for i := 0; i < rl.N; i++ {
+		add(ll.Width()+rl.Hi(i), enc.Attrs[len(cols)])
+	}
+	rowLo := expr.Mul(expr.Col(ll.RowLo(), ""), expr.Col(ll.Width()+rl.RowLo(), ""))
+	rowSG := expr.Mul(expr.Col(ll.RowSG(), ""), expr.Col(ll.Width()+rl.RowSG(), ""))
+	rowHi := expr.Mul(expr.Col(ll.RowHi(), ""), expr.Col(ll.Width()+rl.RowHi(), ""))
+	if t.Cond != nil {
+		rowLo = expr.Mul(rowLo, boolToMult(condLo))
+		rowSG = expr.Mul(rowSG, boolToMult(condSG))
+	}
+	cols = append(cols,
+		ra.ProjCol{E: rowLo, Name: "row_lb"},
+		ra.ProjCol{E: rowSG, Name: "row_sg"},
+		ra.ProjCol{E: rowHi, Name: "row_ub"},
+	)
+	return &ra.Project{Child: joined, Cols: cols}, outSchema, nil
+}
+
+// rewritePsi is the SG-combiner Ψ: group by selected-guess values, merge
+// bounds, sum annotations.
+func rewritePsi(child ra.Node, s schema.Schema) ra.Node {
+	l := Layout{N: s.Arity()}
+	enc := EncSchema(s)
+	groupBy := make([]int, l.N)
+	for i := range groupBy {
+		groupBy[i] = l.SG(i)
+	}
+	var aggs []ra.AggSpec
+	for i := 0; i < l.N; i++ {
+		aggs = append(aggs, ra.AggSpec{Fn: ra.AggMin, Arg: expr.Col(l.Lo(i), ""), Name: enc.Attrs[l.Lo(i)]})
+	}
+	for i := 0; i < l.N; i++ {
+		aggs = append(aggs, ra.AggSpec{Fn: ra.AggMax, Arg: expr.Col(l.Hi(i), ""), Name: enc.Attrs[l.Hi(i)]})
+	}
+	aggs = append(aggs,
+		ra.AggSpec{Fn: ra.AggSum, Arg: expr.Col(l.RowLo(), ""), Name: "row_lb"},
+		ra.AggSpec{Fn: ra.AggSum, Arg: expr.Col(l.RowSG(), ""), Name: "row_sg"},
+		ra.AggSpec{Fn: ra.AggSum, Arg: expr.Col(l.RowHi(), ""), Name: "row_ub"},
+	)
+	return &ra.Agg{Child: child, GroupBy: groupBy, Aggs: aggs}
+}
+
+func rewriteDiff(t *ra.Diff, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	lp, ls, err := Rewrite(t.Left, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	rp, rs, err := Rewrite(t.Right, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	if ls.Arity() != rs.Arity() {
+		return nil, schema.Schema{}, fmt.Errorf("encoding: difference arity mismatch %s vs %s", ls, rs)
+	}
+	n := ls.Arity()
+	l := Layout{N: n}
+	// Ψ-combine the left side so every SG tuple appears once.
+	left := rewritePsi(lp, ls)
+	wl := l.Width()
+
+	// Join on attribute-range overlap (t ≃ t').
+	var overlap []expr.Expr
+	for i := 0; i < n; i++ {
+		overlap = append(overlap,
+			expr.Leq(expr.Col(l.Lo(i), ""), expr.Col(wl+l.Hi(i), "")),
+			expr.Leq(expr.Col(wl+l.Lo(i), ""), expr.Col(l.Hi(i), "")))
+	}
+	joined := &ra.Join{Left: left, Right: rp, Cond: expr.And(overlap...)}
+
+	// Per-pair subtraction contributions.
+	var sgEqC, certEqC []expr.Expr
+	for i := 0; i < n; i++ {
+		sgEqC = append(sgEqC, expr.Eq(expr.Col(l.SG(i), ""), expr.Col(wl+l.SG(i), "")))
+		certEqC = append(certEqC,
+			expr.Eq(expr.Col(l.Lo(i), ""), expr.Col(l.Hi(i), "")),
+			expr.Eq(expr.Col(wl+l.Lo(i), ""), expr.Col(wl+l.Hi(i), "")),
+			expr.Eq(expr.Col(l.Lo(i), ""), expr.Col(wl+l.Lo(i), "")))
+	}
+	sgEq, certEq := expr.And(sgEqC...), expr.And(certEqC...)
+
+	groupBy := make([]int, wl)
+	for i := range groupBy {
+		groupBy[i] = i
+	}
+	sums := &ra.Agg{
+		Child:   joined,
+		GroupBy: groupBy,
+		Aggs: []ra.AggSpec{
+			{Fn: ra.AggSum, Arg: expr.If{Cond: certEq, Then: expr.Col(wl+l.RowLo(), ""), Else: expr.CInt(0)}, Name: "sub_lb"},
+			{Fn: ra.AggSum, Arg: expr.If{Cond: sgEq, Then: expr.Col(wl+l.RowSG(), ""), Else: expr.CInt(0)}, Name: "sub_sg"},
+			{Fn: ra.AggSum, Arg: expr.Col(wl+l.RowHi(), ""), Name: "sub_ub"},
+		},
+	}
+	// Matched rows: subtract; keep the clamped triple ordering.
+	zero := expr.CInt(0)
+	rawLo := expr.Greatest(zero, expr.Sub(expr.Col(l.RowLo(), ""), expr.Col(wl+2, "")))
+	rawSG := expr.Greatest(zero, expr.Sub(expr.Col(l.RowSG(), ""), expr.Col(wl+1, "")))
+	rawHi := expr.Greatest(zero, expr.Sub(expr.Col(l.RowHi(), ""), expr.Col(wl+0, "")))
+	clampedSG := expr.Least(rawSG, rawHi)
+	clampedLo := expr.Least(rawLo, clampedSG)
+	matchedCols := identityCols(l, ls)
+	matchedCols = append(matchedCols,
+		ra.ProjCol{E: clampedLo, Name: "row_lb"},
+		ra.ProjCol{E: clampedSG, Name: "row_sg"},
+		ra.ProjCol{E: rawHi, Name: "row_ub"},
+	)
+	matched := &ra.Project{Child: sums, Cols: matchedCols}
+
+	// Unmatched left rows pass through unchanged: left minus the matched
+	// keys (full encoded rows are unique after Ψ).
+	matchedKeys := &ra.Project{Child: sums, Cols: fullIdentity(l, ls, wl)}
+	unmatched := &ra.Diff{Left: left, Right: matchedKeys}
+
+	union := &ra.Union{Left: matched, Right: unmatched}
+	filtered := &ra.Select{Child: union, Pred: expr.Gt(expr.Col(l.RowHi(), ""), zero)}
+	return filtered, ls, nil
+}
+
+// fullIdentity projects an entire encoded row (value + row columns).
+func fullIdentity(l Layout, s schema.Schema, width int) []ra.ProjCol {
+	enc := EncSchema(s)
+	cols := make([]ra.ProjCol, 0, width)
+	for i := 0; i < width; i++ {
+		name := "c" + fmt.Sprint(i)
+		if i < len(enc.Attrs) {
+			name = enc.Attrs[i]
+		}
+		cols = append(cols, ra.ProjCol{E: expr.Col(i, ""), Name: name})
+	}
+	return cols
+}

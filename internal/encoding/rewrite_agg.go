@@ -1,0 +1,358 @@
+package encoding
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// aggKind distinguishes the monoid folds used by the rewrite.
+type aggKind uint8
+
+const (
+	kindSum aggKind = iota
+	kindMin
+	kindMax
+	kindAvg // sum + count pair, divided in the post-projection
+)
+
+func classify(fn ra.AggFn) (aggKind, error) {
+	switch fn {
+	case ra.AggSum, ra.AggCount:
+		return kindSum, nil
+	case ra.AggMin:
+		return kindMin, nil
+	case ra.AggMax:
+		return kindMax, nil
+	case ra.AggAvg:
+		return kindAvg, nil
+	}
+	return 0, fmt.Errorf("encoding: unknown aggregate %v", fn)
+}
+
+func (k aggKind) fold() ra.AggFn {
+	switch k {
+	case kindMin:
+		return ra.AggMin
+	case kindMax:
+		return ra.AggMax
+	default:
+		return ra.AggSum
+	}
+}
+
+func (k aggKind) neutral() expr.Expr {
+	switch k {
+	case kindMin:
+		return expr.C(types.PosInf())
+	case kindMax:
+		return expr.C(types.NegInf())
+	default:
+		return expr.CInt(0)
+	}
+}
+
+// argTriple returns the (lo, sg, hi) expressions of the aggregate's input
+// value for one encoded row: the rewritten argument for sum/min/max/avg,
+// the not-null indicator for count(e), and the constant 1 for count(*).
+func argTriple(spec ra.AggSpec, attr AttrTriple) (lo, sg, hi expr.Expr, err error) {
+	if spec.Fn == ra.AggCount {
+		if spec.Arg == nil {
+			one := expr.CInt(1)
+			return one, one, one, nil
+		}
+		ind := expr.If{Cond: expr.IsNull{E: spec.Arg}, Then: expr.CInt(0), Else: expr.CInt(1)}
+		return RewriteExpr(ind, attr)
+	}
+	return RewriteExpr(spec.Arg, attr)
+}
+
+// perRowBounds builds the lba / uba / sga expressions of Section 10.2 for
+// one aggregate over one joined row.
+//
+//	rowLo/rowSG/rowHi: the tuple's annotation columns
+//	certMember:        θ_c ∧ row↓ > 0 (certain group membership)
+//	sgMember:          θ_sg (selected-guess group membership)
+func perRowBounds(k aggKind, aLo, aSg, aHi, rowLo, rowSG, rowHi, certMember, sgMember expr.Expr) (lba, sga, uba expr.Expr) {
+	zero := expr.CInt(0)
+	switch k {
+	case kindSum, kindAvg:
+		lbaF := expr.If{
+			Cond: expr.Lt(aLo, zero),
+			Then: expr.Mul(aLo, rowHi),
+			Else: expr.Mul(aLo, rowLo),
+		}
+		ubaF := expr.If{
+			Cond: expr.Lt(aHi, zero),
+			Then: expr.Mul(aHi, rowLo),
+			Else: expr.Mul(aHi, rowHi),
+		}
+		lba = expr.If{Cond: certMember, Then: lbaF, Else: expr.Least(zero, lbaF)}
+		uba = expr.If{Cond: certMember, Then: ubaF, Else: expr.Greatest(zero, ubaF)}
+		sga = expr.If{Cond: sgMember, Then: expr.Mul(aSg, rowSG), Else: zero}
+	case kindMin:
+		posInf := expr.C(types.PosInf())
+		// A tuple that may exist can pull the minimum down to its lower
+		// value; only certainly-present certain members cap it from above.
+		lba = expr.If{Cond: expr.Gt(rowHi, zero), Then: aLo, Else: posInf}
+		ubaF := expr.If{Cond: expr.Gt(rowLo, zero), Then: aHi, Else: posInf}
+		uba = expr.If{Cond: certMember, Then: ubaF, Else: posInf}
+		sga = expr.If{Cond: expr.And(sgMember, expr.Gt(rowSG, zero)), Then: aSg, Else: posInf}
+	case kindMax:
+		negInf := expr.C(types.NegInf())
+		uba = expr.If{Cond: expr.Gt(rowHi, zero), Then: aHi, Else: negInf}
+		lbaF := expr.If{Cond: expr.Gt(rowLo, zero), Then: aLo, Else: negInf}
+		lba = expr.If{Cond: certMember, Then: lbaF, Else: negInf}
+		sga = expr.If{Cond: expr.And(sgMember, expr.Gt(rowSG, zero)), Then: aSg, Else: negInf}
+	}
+	return lba, sga, uba
+}
+
+// avgProjection derives AVG bounds from sum and count columns, mirroring
+// core.avgBounds: interval division with counts clamped to >= 1, widened
+// by the selected-guess quotient.
+func avgProjection(sumLo, sumSG, sumHi, cntLo, cntSG, cntHi expr.Expr) (lo, sg, hi expr.Expr) {
+	one := expr.CInt(1)
+	cLo := expr.Greatest(one, cntLo)
+	cHi := expr.Greatest(one, cntHi)
+	sg = expr.If{
+		Cond: expr.Leq(cntSG, expr.CInt(0)),
+		Then: expr.CFloat(0),
+		Else: expr.Div(sumSG, cntSG),
+	}
+	quots := []expr.Expr{
+		expr.Div(sumLo, cLo), expr.Div(sumLo, cHi),
+		expr.Div(sumHi, cLo), expr.Div(sumHi, cHi),
+	}
+	lo = expr.Least(append(quots, sg)...)
+	hi = expr.Greatest(append(quots, sg)...)
+	return lo, sg, hi
+}
+
+// rewriteAgg implements the aggregation rewrite of Section 10.2: group
+// bounds (Q_gbounds), the overlap join with the input (Q_join), per-row
+// bound expressions, the outer aggregation, and the final projection
+// computing row annotations (with δ) and AVG division.
+func rewriteAgg(t *ra.Agg, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	cp, cs, err := Rewrite(t.Child, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	l := Layout{N: cs.Arity()}
+	auOut, err := ra.InferSchema(t, cat)
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	kinds := make([]aggKind, len(t.Aggs))
+	for i, a := range t.Aggs {
+		if a.Distinct {
+			return nil, schema.Schema{}, fmt.Errorf("encoding: DISTINCT aggregates are unsupported (aggregate %s)", a.Name)
+		}
+		if kinds[i], err = classify(a.Fn); err != nil {
+			return nil, schema.Schema{}, err
+		}
+	}
+	g := len(t.GroupBy)
+	if g == 0 {
+		return rewriteAggGlobal(t, cp, cs, kinds, auOut)
+	}
+
+	// Q_gbounds: per SG group, the group-by bounding box.
+	gbGroup := make([]int, g)
+	var gbAggs []ra.AggSpec
+	for i, c := range t.GroupBy {
+		gbGroup[i] = l.SG(c)
+	}
+	for i, c := range t.GroupBy {
+		gbAggs = append(gbAggs, ra.AggSpec{Fn: ra.AggMin, Arg: expr.Col(l.Lo(c), ""), Name: fmt.Sprintf("g%d_lb", i)})
+	}
+	for i, c := range t.GroupBy {
+		gbAggs = append(gbAggs, ra.AggSpec{Fn: ra.AggMax, Arg: expr.Col(l.Hi(c), ""), Name: fmt.Sprintf("g%d_ub", i)})
+	}
+	gbounds := &ra.Agg{Child: cp, GroupBy: gbGroup, Aggs: gbAggs}
+	// gbounds layout: [g sg][g lo][g hi].
+	gW := 3 * g
+
+	// Q_join: groups x tuples whose group-by ranges overlap the box.
+	var overlap []expr.Expr
+	for i, c := range t.GroupBy {
+		overlap = append(overlap,
+			expr.Leq(expr.Col(g+i, ""), expr.Col(gW+l.Hi(c), "")),   // g_lb <= B_ub
+			expr.Leq(expr.Col(gW+l.Lo(c), ""), expr.Col(2*g+i, ""))) // B_lb <= g_ub
+	}
+	joined := &ra.Join{Left: gbounds, Right: cp, Cond: expr.And(overlap...)}
+
+	// Membership predicates over the joined layout.
+	var sgEqC, certC []expr.Expr
+	for i, c := range t.GroupBy {
+		sgEqC = append(sgEqC, expr.Eq(expr.Col(i, ""), expr.Col(gW+l.SG(c), "")))
+		certC = append(certC,
+			expr.Eq(expr.Col(g+i, ""), expr.Col(gW+l.Lo(c), "")),        // g_lb = B_lb
+			expr.Eq(expr.Col(2*g+i, ""), expr.Col(gW+l.Hi(c), "")),      // g_ub = B_ub
+			expr.Eq(expr.Col(gW+l.Lo(c), ""), expr.Col(gW+l.Hi(c), ""))) // B_lb = B_ub
+	}
+	sgMember := expr.And(sgEqC...)
+	rowLo := expr.Col(gW+l.RowLo(), "")
+	rowSG := expr.Col(gW+l.RowSG(), "")
+	rowHi := expr.Col(gW+l.RowHi(), "")
+	certMember := expr.And(expr.And(certC...), expr.Gt(rowLo, expr.CInt(0)))
+	tupleCert := expr.And(tupleCertConds(l, t.GroupBy, gW)...)
+
+	// Outer aggregation: group by the 3g box columns.
+	outerGroup := make([]int, gW)
+	for i := range outerGroup {
+		outerGroup[i] = i
+	}
+	var outerAggs []ra.AggSpec
+	attr := LayoutTriple(l, gW)
+	for j, spec := range t.Aggs {
+		aLo, aSg, aHi, err := argTriple(spec, attr)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		lba, sga, uba := perRowBounds(kinds[j], aLo, aSg, aHi, rowLo, rowSG, rowHi, certMember, sgMember)
+		fold := kinds[j].fold()
+		outerAggs = append(outerAggs,
+			ra.AggSpec{Fn: fold, Arg: lba, Name: fmt.Sprintf("a%d_lb", j)},
+			ra.AggSpec{Fn: fold, Arg: sga, Name: fmt.Sprintf("a%d_sg", j)},
+			ra.AggSpec{Fn: fold, Arg: uba, Name: fmt.Sprintf("a%d_ub", j)},
+		)
+		if kinds[j] == kindAvg {
+			// The paired count(*) for the AVG division.
+			one := expr.CInt(1)
+			clba, csga, cuba := perRowBounds(kindSum, one, one, one, rowLo, rowSG, rowHi, certMember, sgMember)
+			outerAggs = append(outerAggs,
+				ra.AggSpec{Fn: ra.AggSum, Arg: clba, Name: fmt.Sprintf("a%d_clb", j)},
+				ra.AggSpec{Fn: ra.AggSum, Arg: csga, Name: fmt.Sprintf("a%d_csg", j)},
+				ra.AggSpec{Fn: ra.AggSum, Arg: cuba, Name: fmt.Sprintf("a%d_cub", j)},
+			)
+		}
+	}
+	// Row annotations (Definition 28).
+	zero := expr.CInt(0)
+	memberLo := expr.If{
+		Cond: expr.And(sgMember, tupleCert, expr.Gt(rowLo, zero)),
+		Then: rowLo, Else: zero,
+	}
+	memberSG := expr.If{Cond: sgMember, Then: rowSG, Else: zero}
+	memberHi := expr.If{Cond: sgMember, Then: rowHi, Else: zero}
+	outerAggs = append(outerAggs,
+		ra.AggSpec{Fn: ra.AggSum, Arg: memberLo, Name: "m_lb"},
+		ra.AggSpec{Fn: ra.AggSum, Arg: memberSG, Name: "m_sg"},
+		ra.AggSpec{Fn: ra.AggSum, Arg: memberHi, Name: "m_ub"},
+	)
+	outer := &ra.Agg{Child: joined, GroupBy: outerGroup, Aggs: outerAggs}
+
+	// Final projection into the canonical layout of the result schema
+	// (group attrs + aggregate attrs).
+	return projectAggResult(outer, t, kinds, auOut, g, gW)
+}
+
+func tupleCertConds(l Layout, groupBy []int, gW int) []expr.Expr {
+	var out []expr.Expr
+	for _, c := range groupBy {
+		out = append(out, expr.Eq(expr.Col(gW+l.Lo(c), ""), expr.Col(gW+l.Hi(c), "")))
+	}
+	return out
+}
+
+// projectAggResult arranges the outer aggregation's columns into the
+// canonical encoded layout and applies δ and AVG division.
+func projectAggResult(outer ra.Node, t *ra.Agg, kinds []aggKind, auOut schema.Schema, g, gW int) (ra.Node, schema.Schema, error) {
+	enc := EncSchema(auOut)
+	// Column positions in `outer`: [0..gW): box (g sg, g lo, g hi), then
+	// per aggregate 3 (or 6 for avg) columns, then 3 member columns.
+	aggBase := gW
+	aggPos := make([]int, len(kinds))
+	pos := aggBase
+	for j, k := range kinds {
+		aggPos[j] = pos
+		pos += 3
+		if k == kindAvg {
+			pos += 3
+		}
+	}
+	mPos := pos
+
+	var sgCols, loCols, hiCols []ra.ProjCol
+	for i := 0; i < g; i++ {
+		sgCols = append(sgCols, ra.ProjCol{E: expr.Col(i, ""), Name: enc.Attrs[i]})
+		loCols = append(loCols, ra.ProjCol{E: expr.Col(g+i, ""), Name: enc.Attrs[auOut.Arity()+i]})
+		hiCols = append(hiCols, ra.ProjCol{E: expr.Col(2*g+i, ""), Name: enc.Attrs[2*auOut.Arity()+i]})
+	}
+	for j, k := range kinds {
+		p := aggPos[j]
+		var lo, sg, hi expr.Expr = expr.Col(p, ""), expr.Col(p+1, ""), expr.Col(p+2, "")
+		if k == kindAvg {
+			lo, sg, hi = avgProjection(
+				expr.Col(p, ""), expr.Col(p+1, ""), expr.Col(p+2, ""),
+				expr.Col(p+3, ""), expr.Col(p+4, ""), expr.Col(p+5, ""))
+		}
+		idx := g + j
+		sgCols = append(sgCols, ra.ProjCol{E: sg, Name: enc.Attrs[idx]})
+		loCols = append(loCols, ra.ProjCol{E: lo, Name: enc.Attrs[auOut.Arity()+idx]})
+		hiCols = append(hiCols, ra.ProjCol{E: hi, Name: enc.Attrs[2*auOut.Arity()+idx]})
+	}
+	zero := expr.CInt(0)
+	one := expr.CInt(1)
+	delta := func(e expr.Expr) expr.Expr {
+		return expr.If{Cond: expr.Gt(e, zero), Then: one, Else: zero}
+	}
+	var rowCols []ra.ProjCol
+	if g == 0 {
+		// Definition 27: aggregation without group-by always has (1,1,1).
+		rowCols = []ra.ProjCol{
+			{E: one, Name: "row_lb"}, {E: one, Name: "row_sg"}, {E: one, Name: "row_ub"},
+		}
+	} else {
+		rowCols = []ra.ProjCol{
+			{E: delta(expr.Col(mPos, "")), Name: "row_lb"},
+			{E: delta(expr.Col(mPos+1, "")), Name: "row_sg"},
+			{E: expr.Col(mPos+2, ""), Name: "row_ub"},
+		}
+	}
+	cols := append(append(append(sgCols, loCols...), hiCols...), rowCols...)
+	return &ra.Project{Child: outer, Cols: cols}, auOut, nil
+}
+
+// rewriteAggGlobal handles aggregation without group-by: no join is
+// needed; every tuple is a member of the single output group.
+func rewriteAggGlobal(t *ra.Agg, cp ra.Node, cs schema.Schema, kinds []aggKind, auOut schema.Schema) (ra.Node, schema.Schema, error) {
+	l := Layout{N: cs.Arity()}
+	rowLo := expr.Col(l.RowLo(), "")
+	rowSG := expr.Col(l.RowSG(), "")
+	rowHi := expr.Col(l.RowHi(), "")
+	certMember := expr.Gt(rowLo, expr.CInt(0))
+	sgMember := expr.CBool(true)
+	attr := LayoutTriple(l, 0)
+	var aggs []ra.AggSpec
+	for j, spec := range t.Aggs {
+		aLo, aSg, aHi, err := argTriple(spec, attr)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		lba, sga, uba := perRowBounds(kinds[j], aLo, aSg, aHi, rowLo, rowSG, rowHi, certMember, sgMember)
+		fold := kinds[j].fold()
+		aggs = append(aggs,
+			ra.AggSpec{Fn: fold, Arg: lba, Name: fmt.Sprintf("a%d_lb", j)},
+			ra.AggSpec{Fn: fold, Arg: sga, Name: fmt.Sprintf("a%d_sg", j)},
+			ra.AggSpec{Fn: fold, Arg: uba, Name: fmt.Sprintf("a%d_ub", j)},
+		)
+		if kinds[j] == kindAvg {
+			one := expr.CInt(1)
+			clba, csga, cuba := perRowBounds(kindSum, one, one, one, rowLo, rowSG, rowHi, certMember, sgMember)
+			aggs = append(aggs,
+				ra.AggSpec{Fn: ra.AggSum, Arg: clba, Name: fmt.Sprintf("a%d_clb", j)},
+				ra.AggSpec{Fn: ra.AggSum, Arg: csga, Name: fmt.Sprintf("a%d_csg", j)},
+				ra.AggSpec{Fn: ra.AggSum, Arg: cuba, Name: fmt.Sprintf("a%d_cub", j)},
+			)
+		}
+	}
+	outer := &ra.Agg{Child: cp, Aggs: aggs}
+	return projectAggResult(outer, t, kinds, auOut, 0, 0)
+}
+
+var _ = types.Null // keep types imported for constants above

@@ -1,0 +1,140 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+)
+
+// genExpr builds a random numeric-or-boolean expression over nvars integer
+// variables. Division is included but guarded by the error-skipping logic in
+// the property check.
+func genExpr(r *rand.Rand, nvars, depth int, wantBool bool) Expr {
+	if depth <= 0 {
+		if wantBool {
+			return CBool(r.Intn(2) == 0)
+		}
+		if r.Intn(2) == 0 {
+			return Col(r.Intn(nvars), "")
+		}
+		return CInt(int64(r.Intn(11) - 5))
+	}
+	if wantBool {
+		switch r.Intn(5) {
+		case 0:
+			return And(genExpr(r, nvars, depth-1, true), genExpr(r, nvars, depth-1, true))
+		case 1:
+			return Or(genExpr(r, nvars, depth-1, true), genExpr(r, nvars, depth-1, true))
+		case 2:
+			return Not{genExpr(r, nvars, depth-1, true)}
+		default:
+			ops := []CmpOp{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq}
+			return Cmp{
+				Op: ops[r.Intn(len(ops))],
+				L:  genExpr(r, nvars, depth-1, false),
+				R:  genExpr(r, nvars, depth-1, false),
+			}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Add(genExpr(r, nvars, depth-1, false), genExpr(r, nvars, depth-1, false))
+	case 1:
+		return Sub(genExpr(r, nvars, depth-1, false), genExpr(r, nvars, depth-1, false))
+	case 2:
+		return Mul(genExpr(r, nvars, depth-1, false), genExpr(r, nvars, depth-1, false))
+	case 3:
+		return If{
+			Cond: genExpr(r, nvars, depth-1, true),
+			Then: genExpr(r, nvars, depth-1, false),
+			Else: genExpr(r, nvars, depth-1, false),
+		}
+	case 4:
+		return Least(genExpr(r, nvars, depth-1, false), genExpr(r, nvars, depth-1, false))
+	default:
+		return Greatest(genExpr(r, nvars, depth-1, false), genExpr(r, nvars, depth-1, false))
+	}
+}
+
+// TestTheorem1BoundPreservation is the paper's Theorem 1: if a range
+// valuation bounds an incomplete valuation, the range result of an
+// expression bounds all deterministic outcomes.
+func TestTheorem1BoundPreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const nvars = 3
+	trials := 3000
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		e := genExpr(r, nvars, 3, r.Intn(2) == 0)
+
+		// Build an incomplete valuation: each variable has 1-3 possible
+		// integer values.
+		possible := make([][]types.Value, nvars)
+		for i := range possible {
+			n := 1 + r.Intn(3)
+			for j := 0; j < n; j++ {
+				possible[i] = append(possible[i], types.Int(int64(r.Intn(13)-6)))
+			}
+		}
+		// The SG world picks one possible value per variable.
+		sg := make(types.Tuple, nvars)
+		rt := make(rangeval.Tuple, nvars)
+		for i, ps := range possible {
+			sg[i] = ps[r.Intn(len(ps))]
+			lo, hi := ps[0], ps[0]
+			for _, p := range ps[1:] {
+				lo = types.Min(lo, p)
+				hi = types.Max(hi, p)
+			}
+			rt[i] = rangeval.New(lo, sg[i], hi)
+		}
+
+		rangeRes, err := e.EvalRange(rt)
+		if err != nil {
+			continue // partial operation (division etc); theorem presumes definedness
+		}
+		if !rangeRes.Valid() {
+			t.Fatalf("invalid range result %v for %s", rangeRes, e)
+		}
+
+		// Enumerate all worlds (cross product of possible values).
+		worlds := [][]types.Value{{}}
+		for _, ps := range possible {
+			var next [][]types.Value
+			for _, w := range worlds {
+				for _, p := range ps {
+					nw := append(append([]types.Value{}, w...), p)
+					next = append(next, nw)
+				}
+			}
+			worlds = next
+		}
+		allOK := true
+		for _, w := range worlds {
+			dv, err := e.Eval(types.Tuple(w))
+			if err != nil {
+				allOK = false
+				break
+			}
+			if !rangeRes.Contains(dv) {
+				t.Fatalf("bound violation: expr %s\n  world %v -> %v\n  range %v (ranges %v)",
+					e, w, dv, rangeRes, rt)
+			}
+		}
+		if !allOK {
+			continue
+		}
+		// SG component must equal the deterministic result in the SG world.
+		dv, err := e.Eval(sg)
+		if err == nil && types.Compare(dv, rangeRes.SG) != 0 {
+			t.Fatalf("SG mismatch: expr %s sg world %v -> %v but range sg %v",
+				e, sg, dv, rangeRes.SG)
+		}
+		checked++
+	}
+	if checked < trials/2 {
+		t.Fatalf("too few effective trials: %d of %d", checked, trials)
+	}
+}

@@ -1,0 +1,126 @@
+package expr
+
+import "fmt"
+
+// MapAttrs rebuilds e with every attribute index remapped by f. It is used
+// by planners to re-point expressions after projections and joins.
+func MapAttrs(e Expr, f func(Attr) Attr) Expr {
+	switch n := e.(type) {
+	case Const:
+		return n
+	case Attr:
+		return f(n)
+	case Logic:
+		return Logic{Op: n.Op, L: MapAttrs(n.L, f), R: MapAttrs(n.R, f)}
+	case Not:
+		return Not{E: MapAttrs(n.E, f)}
+	case Cmp:
+		return Cmp{Op: n.Op, L: MapAttrs(n.L, f), R: MapAttrs(n.R, f)}
+	case Arith:
+		return Arith{Op: n.Op, L: MapAttrs(n.L, f), R: MapAttrs(n.R, f)}
+	case If:
+		return If{Cond: MapAttrs(n.Cond, f), Then: MapAttrs(n.Then, f), Else: MapAttrs(n.Else, f)}
+	case IsNull:
+		return IsNull{E: MapAttrs(n.E, f)}
+	case NAry:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = MapAttrs(a, f)
+		}
+		return NAry{Op: n.Op, Args: args}
+	}
+	panic(fmt.Sprintf("expr: MapAttrs: unknown node %T", e))
+}
+
+// ShiftAttrs remaps all attribute indices by a constant delta.
+func ShiftAttrs(e Expr, delta int) Expr {
+	return MapAttrs(e, func(a Attr) Attr {
+		a.Idx += delta
+		return a
+	})
+}
+
+// Attrs returns the set of attribute indices referenced by e, in first-seen
+// order.
+func Attrs(e Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Const:
+		case Attr:
+			if !seen[n.Idx] {
+				seen[n.Idx] = true
+				out = append(out, n.Idx)
+			}
+		case Logic:
+			walk(n.L)
+			walk(n.R)
+		case Not:
+			walk(n.E)
+		case Cmp:
+			walk(n.L)
+			walk(n.R)
+		case Arith:
+			walk(n.L)
+			walk(n.R)
+		case If:
+			walk(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case IsNull:
+			walk(n.E)
+		case NAry:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		default:
+			panic(fmt.Sprintf("expr: Attrs: unknown node %T", e))
+		}
+	}
+	walk(e)
+	return out
+}
+
+// MaxAttr returns the largest attribute index referenced by e, or -1.
+func MaxAttr(e Expr) int {
+	max := -1
+	for _, i := range Attrs(e) {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+// Conjuncts splits a conjunction into its top-level conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if l, ok := e.(Logic); ok && l.Op == OpAnd {
+		return append(Conjuncts(l.L), Conjuncts(l.R)...)
+	}
+	return []Expr{e}
+}
+
+// EquiPair inspects a conjunct of a join condition of the form
+// left.A = right.B (with left attributes < split and right attributes >=
+// split) and returns the two indices. ok is false if the conjunct does not
+// have this shape.
+func EquiPair(e Expr, split int) (left, right int, ok bool) {
+	c, isCmp := e.(Cmp)
+	if !isCmp || c.Op != OpEq {
+		return 0, 0, false
+	}
+	la, lok := c.L.(Attr)
+	ra, rok := c.R.(Attr)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	switch {
+	case la.Idx < split && ra.Idx >= split:
+		return la.Idx, ra.Idx - split, true
+	case ra.Idx < split && la.Idx >= split:
+		return ra.Idx, la.Idx - split, true
+	}
+	return 0, 0, false
+}

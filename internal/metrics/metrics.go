@@ -1,0 +1,270 @@
+// Package metrics implements the accuracy measures of the paper's
+// evaluation (Section 12): certain/possible tuple recall, attribute-bound
+// tightness relative to exact bounds (Figure 17), over-grouping percentage
+// and aggregation-range over-estimation (Figure 15), plus exact per-group
+// aggregate bounds for block-independent inputs used as the ground truth.
+package metrics
+
+import (
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// CertainRecall returns the fraction of ground-truth certain tuples that
+// the AU result reports as certain (covered by a tuple with a positive
+// lower multiplicity).
+func CertainRecall(au *core.Relation, certain *bag.Relation) float64 {
+	if certain.Len() == 0 {
+		return 1
+	}
+	hit := 0
+	for _, gt := range certain.Tuples {
+		for _, t := range au.Tuples {
+			if t.M.Lo > 0 && t.Vals.Bounds(gt) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(certain.Len())
+}
+
+// PossibleRecall returns the fraction of ground-truth possible tuples
+// covered by some AU tuple's ranges.
+func PossibleRecall(au *core.Relation, possible *bag.Relation) float64 {
+	if possible.Len() == 0 {
+		return 1
+	}
+	hit := 0
+	for _, gt := range possible.Tuples {
+		for _, t := range au.Tuples {
+			if t.Vals.Bounds(gt) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(possible.Len())
+}
+
+// PossibleRecallByKey groups ground-truth possible tuples by the given key
+// columns and reports the fraction of groups with at least one covered
+// member (the paper's "pos.tup by id" metric).
+func PossibleRecallByKey(au *core.Relation, possible *bag.Relation, keyCols []int) float64 {
+	if possible.Len() == 0 {
+		return 1
+	}
+	groups := map[string]bool{} // key -> covered
+	for _, gt := range possible.Tuples {
+		k := gt.KeyOn(keyCols)
+		if _, ok := groups[k]; !ok {
+			groups[k] = false
+		}
+		if groups[k] {
+			continue
+		}
+		for _, t := range au.Tuples {
+			if t.Vals.Bounds(gt) {
+				groups[k] = true
+				break
+			}
+		}
+	}
+	hit := 0
+	for _, ok := range groups {
+		if ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(groups))
+}
+
+// Tightness compares the width of an AU attribute range against an exact
+// range, as a ratio >= 1 (1 = exactly tight). Zero-width exact ranges are
+// smoothed by one domain step.
+func Tightness(auRange rangeval.V, exactLo, exactHi types.Value) float64 {
+	const eps = 1.0
+	aw := width(auRange.Lo, auRange.Hi)
+	ew := width(exactLo, exactHi)
+	return (aw + eps) / (ew + eps)
+}
+
+func width(lo, hi types.Value) float64 {
+	if lo.IsInf() || hi.IsInf() {
+		return 1e18
+	}
+	if !lo.IsNumeric() || !hi.IsNumeric() {
+		if types.Equal(lo, hi) {
+			return 0
+		}
+		return 1
+	}
+	return hi.AsFloat() - lo.AsFloat()
+}
+
+// TightnessStats summarizes per-tuple tightness ratios for one value
+// column of an AU result against exact per-key bounds.
+type TightnessStats struct {
+	Min, Max, Mean float64
+	N              int
+}
+
+// TightnessOf computes tightness of column col of every certain AU tuple
+// against exact bounds keyed by the tuple's SG key columns.
+func TightnessOf(au *core.Relation, keyCols []int, col int, exact map[string][2]types.Value) TightnessStats {
+	st := TightnessStats{Min: 1e18, Max: 0}
+	for _, t := range au.Tuples {
+		if t.M.Lo == 0 {
+			continue
+		}
+		key := t.Vals.Project(keyCols).SGKey()
+		ex, ok := exact[key]
+		if !ok {
+			continue
+		}
+		r := Tightness(t.Vals[col], ex[0], ex[1])
+		if r < st.Min {
+			st.Min = r
+		}
+		if r > st.Max {
+			st.Max = r
+		}
+		st.Mean += r
+		st.N++
+	}
+	if st.N > 0 {
+		st.Mean /= float64(st.N)
+	} else {
+		st.Min, st.Max = 0, 0
+	}
+	return st
+}
+
+// OverGrouping measures how much larger the possible-membership side of
+// aggregation is than the exact SG grouping (Figure 15a): the percentage
+// increase of overlap-join pairs over α-membership pairs.
+func OverGrouping(in *core.Relation, groupBy []int) float64 {
+	type box struct {
+		gb      rangeval.Tuple
+		members int
+	}
+	groups := map[string]*box{}
+	var order []string
+	for _, t := range in.Tuples {
+		gb := t.Vals.Project(groupBy)
+		k := gb.SGKey()
+		g, ok := groups[k]
+		if !ok {
+			sgPoint := make(rangeval.Tuple, len(groupBy))
+			for i := range groupBy {
+				sgPoint[i] = rangeval.Certain(gb[i].SG)
+			}
+			g = &box{gb: sgPoint}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.gb = g.gb.Union(gb)
+		g.members++
+	}
+	alphaPairs, overlapPairs := 0, 0
+	for _, k := range order {
+		g := groups[k]
+		alphaPairs += g.members
+		for _, t := range in.Tuples {
+			if t.Vals.Project(groupBy).Overlaps(g.gb) {
+				overlapPairs++
+			}
+		}
+	}
+	if alphaPairs == 0 {
+		return 0
+	}
+	return 100 * (float64(overlapPairs)/float64(alphaPairs) - 1)
+}
+
+// RangeOverEstimation compares AU aggregate ranges against exact bounds
+// per group (Figure 15b), returning the mean width ratio.
+func RangeOverEstimation(au *core.Relation, keyCols []int, col int, exact map[string][2]types.Value) float64 {
+	total, n := 0.0, 0
+	for _, t := range au.Tuples {
+		key := t.Vals.Project(keyCols).SGKey()
+		ex, ok := exact[key]
+		if !ok {
+			continue
+		}
+		total += Tightness(t.Vals[col], ex[0], ex[1])
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return total / float64(n)
+}
+
+// MeanRangeWidth returns the average bound width of one result column,
+// the accuracy measure of Figure 13d.
+func MeanRangeWidth(au *core.Relation, col int) float64 {
+	if au.Len() == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range au.Tuples {
+		total += width(t.Vals[col].Lo, t.Vals[col].Hi)
+	}
+	return total / float64(au.Len())
+}
+
+// ExactGroupSumBounds computes the exact per-group bounds of SUM(valCol)
+// GROUP BY groupCol for a block-independent x-relation: blocks choose at
+// most one alternative, so each block contributes its per-group
+// minimum/maximum (with 0 for avoiding the group when possible).
+func ExactGroupSumBounds(x *worlds.XRelation, groupCol, valCol int) map[string][2]types.Value {
+	out := map[string][2]types.Value{}
+	ensure := func(k string) [2]types.Value {
+		if v, ok := out[k]; ok {
+			return v
+		}
+		z := [2]types.Value{types.Int(0), types.Int(0)}
+		out[k] = z
+		return z
+	}
+	for i := range x.Tuples {
+		blk := &x.Tuples[i]
+		// Per group: min/max contribution of this block.
+		perGroup := map[string][2]types.Value{}
+		groupsSeen := map[string]bool{}
+		for _, alt := range blk.Alts {
+			k := string(alt[groupCol].AppendKey(nil))
+			v := alt[valCol]
+			if cur, ok := perGroup[k]; ok {
+				perGroup[k] = [2]types.Value{types.Min(cur[0], v), types.Max(cur[1], v)}
+			} else {
+				perGroup[k] = [2]types.Value{v, v}
+			}
+			groupsSeen[k] = true
+		}
+		canAvoid := func(k string) bool {
+			if blk.IsOptional() || len(groupsSeen) > 1 {
+				return true
+			}
+			return !groupsSeen[k]
+		}
+		for k, mv := range perGroup {
+			cur := ensure(k)
+			lo, hi := mv[0], mv[1]
+			if canAvoid(k) {
+				lo = types.Min(lo, types.Int(0))
+				hi = types.Max(hi, types.Int(0))
+			}
+			nl, err1 := types.Add(cur[0], lo)
+			nh, err2 := types.Add(cur[1], hi)
+			if err1 == nil && err2 == nil {
+				out[k] = [2]types.Value{nl, nh}
+			}
+		}
+	}
+	return out
+}

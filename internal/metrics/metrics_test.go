@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+func iv(lo, sg, hi int64) rangeval.V {
+	return rangeval.New(types.Int(lo), types.Int(sg), types.Int(hi))
+}
+
+func row(vs ...int64) types.Tuple {
+	out := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func auRel() *core.Relation {
+	r := core.New(schema.New("k", "v"))
+	r.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Int(1)), iv(5, 10, 20)}, M: core.Mult{Lo: 1, SG: 1, Hi: 1}})
+	r.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Int(2)), iv(0, 3, 4)}, M: core.Mult{Lo: 0, SG: 1, Hi: 1}})
+	return r
+}
+
+func TestRecalls(t *testing.T) {
+	au := auRel()
+	cert := bag.New(schema.New("k", "v"))
+	cert.Add(row(1, 10), 1)
+	if got := CertainRecall(au, cert); got != 1 {
+		t.Errorf("certain recall %f", got)
+	}
+	cert.Add(row(2, 3), 1) // covered only by a Lo=0 tuple -> missed
+	if got := CertainRecall(au, cert); got != 0.5 {
+		t.Errorf("certain recall %f", got)
+	}
+	poss := bag.New(schema.New("k", "v"))
+	poss.Add(row(1, 7), 1)
+	poss.Add(row(2, 4), 1)
+	poss.Add(row(9, 9), 1)
+	if got := PossibleRecall(au, poss); got < 0.66 || got > 0.67 {
+		t.Errorf("possible recall %f", got)
+	}
+	if got := PossibleRecallByKey(au, poss, []int{0}); got < 0.66 || got > 0.67 {
+		t.Errorf("possible recall by key %f", got)
+	}
+	// Empty ground truths are trivially satisfied.
+	empty := bag.New(schema.New("k", "v"))
+	if CertainRecall(au, empty) != 1 || PossibleRecall(au, empty) != 1 || PossibleRecallByKey(au, empty, []int{0}) != 1 {
+		t.Error("empty ground truth")
+	}
+}
+
+func TestTightness(t *testing.T) {
+	exact := map[string][2]types.Value{
+		rangeval.Tuple{rangeval.Certain(types.Int(1))}.SGKey(): {types.Int(8), types.Int(12)},
+	}
+	st := TightnessOf(auRel(), []int{0}, 1, exact)
+	if st.N != 1 {
+		t.Fatalf("N=%d", st.N)
+	}
+	// AU width 15 vs exact width 4 -> (15+1)/(4+1) = 3.2
+	if st.Mean < 3.1 || st.Mean > 3.3 {
+		t.Errorf("tightness %f", st.Mean)
+	}
+	if st.Min != st.Max || st.Min != st.Mean {
+		t.Error("single sample stats")
+	}
+	// Degenerate: no matching groups.
+	st = TightnessOf(auRel(), []int{0}, 1, map[string][2]types.Value{})
+	if st.N != 0 || st.Min != 0 {
+		t.Error("no samples")
+	}
+	if Tightness(rangeval.Full(types.Int(0)), types.Int(0), types.Int(1)) < 1e10 {
+		t.Error("unbounded range should have huge tightness")
+	}
+	if w := width(types.String("a"), types.String("a")); w != 0 {
+		t.Error("equal strings zero width")
+	}
+	if w := width(types.String("a"), types.String("b")); w != 1 {
+		t.Error("distinct strings unit width")
+	}
+}
+
+func TestOverGrouping(t *testing.T) {
+	// Two certain groups, no overlap: 0%.
+	r := core.New(schema.New("g", "v"))
+	r.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Int(1)), iv(1, 1, 1)}, M: core.One})
+	r.Add(core.Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Int(2)), iv(1, 1, 1)}, M: core.One})
+	if got := OverGrouping(r, []int{0}); got != 0 {
+		t.Errorf("no overlap: %f", got)
+	}
+	// A wide tuple overlapping both groups inflates membership.
+	r.Add(core.Tuple{Vals: rangeval.Tuple{iv(1, 1, 2), iv(1, 1, 1)}, M: core.One})
+	if got := OverGrouping(r, []int{0}); got <= 0 {
+		t.Errorf("overlap should inflate: %f", got)
+	}
+	if OverGrouping(core.New(schema.New("g")), []int{0}) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestMeanRangeWidthAndOverEstimation(t *testing.T) {
+	au := auRel()
+	if got := MeanRangeWidth(au, 1); got != (15.0+4.0)/2 {
+		t.Errorf("mean width %f", got)
+	}
+	if MeanRangeWidth(core.New(schema.New("a")), 0) != 0 {
+		t.Error("empty mean width")
+	}
+	exact := map[string][2]types.Value{
+		rangeval.Tuple{rangeval.Certain(types.Int(1))}.SGKey(): {types.Int(5), types.Int(20)},
+		rangeval.Tuple{rangeval.Certain(types.Int(2))}.SGKey(): {types.Int(0), types.Int(4)},
+	}
+	// Exact bounds equal AU bounds -> factor 1.
+	if got := RangeOverEstimation(au, []int{0}, 1, exact); got != 1 {
+		t.Errorf("over-estimation %f", got)
+	}
+	if RangeOverEstimation(au, []int{0}, 1, map[string][2]types.Value{}) != 1 {
+		t.Error("no groups default")
+	}
+}
+
+func TestExactGroupSumBounds(t *testing.T) {
+	x := worlds.NewXRelation(schema.New("g", "v"))
+	x.AddCertain(row(1, 10))
+	x.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(1, 5), row(2, 7)}})
+	x.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(2, 3)}, Optional: true})
+	bounds := ExactGroupSumBounds(x, 0, 1)
+	k1 := string(types.Int(1).AppendKey(nil))
+	k2 := string(types.Int(2).AppendKey(nil))
+	// Group 1: certain 10 + {0 or 5} -> [10, 15].
+	if b := bounds[k1]; b[0].AsInt() != 10 || b[1].AsInt() != 15 {
+		t.Errorf("group 1: %v", b)
+	}
+	// Group 2: {0 or 7} + {0 or 3} -> [0, 10].
+	if b := bounds[k2]; b[0].AsInt() != 0 || b[1].AsInt() != 10 {
+		t.Errorf("group 2: %v", b)
+	}
+	// Cross-check against enumeration.
+	ws, err := x.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSum, maxSum := map[string]int64{}, map[string]int64{}
+	first := true
+	for _, w := range ws {
+		sums := map[string]int64{k1: 0, k2: 0}
+		for i, tup := range w.Tuples {
+			k := string(tup[0].AppendKey(nil))
+			sums[k] += tup[1].AsInt() * w.Counts[i]
+		}
+		for k, s := range sums {
+			if first || s < minSum[k] {
+				minSum[k] = s
+			}
+			if first || s > maxSum[k] {
+				maxSum[k] = s
+			}
+		}
+		first = false
+	}
+	for _, k := range []string{k1, k2} {
+		if bounds[k][0].AsInt() > minSum[k] || bounds[k][1].AsInt() < maxSum[k] {
+			t.Errorf("exact bounds not covering enumeration for %q: [%v,%v] vs [%d,%d]",
+				k, bounds[k][0], bounds[k][1], minSum[k], maxSum[k])
+		}
+	}
+}

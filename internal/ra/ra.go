@@ -1,0 +1,366 @@
+// Package ra defines the logical relational algebra RA_agg shared by every
+// engine in this repository: the full relational algebra (selection,
+// projection, join, union, difference, duplicate elimination) extended with
+// grouping aggregation, as studied in Sections 7-9 of the paper. Plans are
+// engine-agnostic trees; the deterministic bag engine (internal/bag), the
+// native AU-DB engine (internal/core) and the rewriting middleware
+// (internal/encoding) all interpret the same nodes.
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+)
+
+// Node is a logical query plan node.
+type Node interface {
+	// Children returns the input plans.
+	Children() []Node
+	// String renders the operator (without inputs).
+	String() string
+}
+
+// Catalog resolves table names to schemas during schema inference.
+type Catalog interface {
+	TableSchema(name string) (schema.Schema, error)
+}
+
+// CatalogMap is a map-backed catalog.
+type CatalogMap map[string]schema.Schema
+
+// TableSchema implements Catalog.
+func (c CatalogMap) TableSchema(name string) (schema.Schema, error) {
+	if s, ok := c[name]; ok {
+		return s, nil
+	}
+	if s, ok := c[strings.ToLower(name)]; ok {
+		return s, nil
+	}
+	return schema.Schema{}, fmt.Errorf("ra: unknown table %q", name)
+}
+
+// Scan reads a base table.
+type Scan struct{ Table string }
+
+func (s *Scan) Children() []Node { return nil }
+func (s *Scan) String() string   { return "Scan(" + s.Table + ")" }
+
+// Select filters tuples by a boolean predicate over the child schema.
+type Select struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+func (s *Select) Children() []Node { return []Node{s.Child} }
+func (s *Select) String() string   { return "Select[" + s.Pred.String() + "]" }
+
+// ProjCol is one output column of a generalized projection.
+type ProjCol struct {
+	E    expr.Expr
+	Name string
+}
+
+// Project is generalized projection (may compute scalar expressions).
+type Project struct {
+	Child Node
+	Cols  []ProjCol
+}
+
+func (p *Project) Children() []Node { return []Node{p.Child} }
+func (p *Project) String() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		parts[i] = c.E.String() + " AS " + c.Name
+	}
+	return "Project[" + strings.Join(parts, ", ") + "]"
+}
+
+// Join combines two inputs; Cond is evaluated over the concatenated schema
+// (left attributes first). A nil Cond is a cross product.
+type Join struct {
+	Left, Right Node
+	Cond        expr.Expr
+}
+
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+func (j *Join) String() string {
+	if j.Cond == nil {
+		return "CrossProduct"
+	}
+	return "Join[" + j.Cond.String() + "]"
+}
+
+// Union is bag union (annotations add).
+type Union struct{ Left, Right Node }
+
+func (u *Union) Children() []Node { return []Node{u.Left, u.Right} }
+func (u *Union) String() string   { return "Union" }
+
+// Diff is bag difference (monus; Section 8 semantics over AU-DBs).
+type Diff struct{ Left, Right Node }
+
+func (d *Diff) Children() []Node { return []Node{d.Left, d.Right} }
+func (d *Diff) String() string   { return "Diff" }
+
+// Distinct is duplicate elimination (δ).
+type Distinct struct{ Child Node }
+
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+func (d *Distinct) String() string   { return "Distinct" }
+
+// AggFn identifies an aggregation function.
+type AggFn uint8
+
+const (
+	AggSum AggFn = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregation function application. A nil Arg means count(*).
+type AggSpec struct {
+	Fn       AggFn
+	Arg      expr.Expr
+	Distinct bool
+	Name     string
+}
+
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s) AS %s", a.Fn, d, arg, a.Name)
+}
+
+// Agg is grouping aggregation. GroupBy lists attribute indices of the child
+// schema; an empty GroupBy aggregates the whole input into one tuple.
+type Agg struct {
+	Child   Node
+	GroupBy []int
+	Aggs    []AggSpec
+}
+
+func (a *Agg) Children() []Node { return []Node{a.Child} }
+func (a *Agg) String() string {
+	parts := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("Agg[group=%v; %s]", a.GroupBy, strings.Join(parts, ", "))
+}
+
+// OrderBy sorts the output (for presentation; annotations unaffected).
+type OrderBy struct {
+	Child Node
+	Keys  []int
+	Desc  bool
+}
+
+func (o *OrderBy) Children() []Node { return []Node{o.Child} }
+func (o *OrderBy) String() string   { return fmt.Sprintf("OrderBy%v", o.Keys) }
+
+// Limit truncates the output to the first N rows (presentation only; under
+// uncertainty the row order is that of the selected-guess world).
+type Limit struct {
+	Child Node
+	N     int
+}
+
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+func (l *Limit) String() string   { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// InferSchema computes the output schema of a plan.
+func InferSchema(n Node, cat Catalog) (schema.Schema, error) {
+	switch t := n.(type) {
+	case *Scan:
+		return cat.TableSchema(t.Table)
+	case *Select:
+		return InferSchema(t.Child, cat)
+	case *Project:
+		attrs := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			attrs[i] = c.Name
+		}
+		return schema.Schema{Attrs: attrs}, nil
+	case *Join:
+		ls, err := InferSchema(t.Left, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		rs, err := InferSchema(t.Right, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		return ls.Concat(rs), nil
+	case *Union:
+		ls, err := InferSchema(t.Left, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		rs, err := InferSchema(t.Right, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		if ls.Arity() != rs.Arity() {
+			return schema.Schema{}, fmt.Errorf("ra: union arity mismatch: %s vs %s", ls, rs)
+		}
+		return ls, nil
+	case *Diff:
+		ls, err := InferSchema(t.Left, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		rs, err := InferSchema(t.Right, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		if ls.Arity() != rs.Arity() {
+			return schema.Schema{}, fmt.Errorf("ra: difference arity mismatch: %s vs %s", ls, rs)
+		}
+		return ls, nil
+	case *Distinct:
+		return InferSchema(t.Child, cat)
+	case *Agg:
+		cs, err := InferSchema(t.Child, cat)
+		if err != nil {
+			return schema.Schema{}, err
+		}
+		attrs := make([]string, 0, len(t.GroupBy)+len(t.Aggs))
+		for _, g := range t.GroupBy {
+			if g < 0 || g >= cs.Arity() {
+				return schema.Schema{}, fmt.Errorf("ra: group-by index %d out of range for %s", g, cs)
+			}
+			attrs = append(attrs, cs.Attrs[g])
+		}
+		for _, a := range t.Aggs {
+			attrs = append(attrs, a.Name)
+		}
+		return schema.Schema{Attrs: attrs}, nil
+	case *OrderBy:
+		return InferSchema(t.Child, cat)
+	case *Limit:
+		return InferSchema(t.Child, cat)
+	}
+	return schema.Schema{}, fmt.Errorf("ra: unknown node %T", n)
+}
+
+// Validate checks expression attribute indices against inferred schemas.
+func Validate(n Node, cat Catalog) error {
+	_, err := InferSchema(n, cat)
+	if err != nil {
+		return err
+	}
+	check := func(e expr.Expr, s schema.Schema, where string) error {
+		if e == nil {
+			return nil
+		}
+		if m := expr.MaxAttr(e); m >= s.Arity() {
+			return fmt.Errorf("ra: %s references attribute #%d beyond schema %s", where, m, s)
+		}
+		return nil
+	}
+	switch t := n.(type) {
+	case *Select:
+		cs, err := InferSchema(t.Child, cat)
+		if err != nil {
+			return err
+		}
+		if err := check(t.Pred, cs, "selection predicate"); err != nil {
+			return err
+		}
+	case *Project:
+		cs, err := InferSchema(t.Child, cat)
+		if err != nil {
+			return err
+		}
+		for _, c := range t.Cols {
+			if err := check(c.E, cs, "projection "+c.Name); err != nil {
+				return err
+			}
+		}
+	case *Join:
+		js, err := InferSchema(t, cat)
+		if err != nil {
+			return err
+		}
+		if err := check(t.Cond, js, "join condition"); err != nil {
+			return err
+		}
+	case *Agg:
+		cs, err := InferSchema(t.Child, cat)
+		if err != nil {
+			return err
+		}
+		for _, a := range t.Aggs {
+			if err := check(a.Arg, cs, "aggregate "+a.Name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range n.Children() {
+		if err := Validate(c, cat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render pretty-prints a plan tree.
+func Render(n Node) string {
+	var sb strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// Tables returns the set of base tables referenced by the plan.
+func Tables(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok && !seen[s.Table] {
+			seen[s.Table] = true
+			out = append(out, s.Table)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}

@@ -1,0 +1,144 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+)
+
+func catalog() CatalogMap {
+	return CatalogMap{
+		"r": schema.New("a", "b"),
+		"s": schema.New("c"),
+	}
+}
+
+func TestCatalogMap(t *testing.T) {
+	cat := catalog()
+	s, err := cat.TableSchema("r")
+	if err != nil || s.Arity() != 2 {
+		t.Fatal("lookup r")
+	}
+	if _, err := cat.TableSchema("R"); err != nil {
+		t.Error("case-insensitive lookup")
+	}
+	if _, err := cat.TableSchema("zzz"); err == nil {
+		t.Error("missing table")
+	}
+}
+
+func TestInferSchemaAllNodes(t *testing.T) {
+	cat := catalog()
+	scanR := &Scan{Table: "r"}
+	scanS := &Scan{Table: "s"}
+	cases := []struct {
+		node Node
+		want string
+	}{
+		{scanR, "(a, b)"},
+		{&Select{Child: scanR, Pred: expr.CBool(true)}, "(a, b)"},
+		{&Project{Child: scanR, Cols: []ProjCol{{E: expr.Col(0, "a"), Name: "x"}}}, "(x)"},
+		{&Join{Left: scanR, Right: scanS}, "(a, b, c)"},
+		{&Union{Left: scanS, Right: scanS}, "(c)"},
+		{&Diff{Left: scanS, Right: scanS}, "(c)"},
+		{&Distinct{Child: scanR}, "(a, b)"},
+		{&Agg{Child: scanR, GroupBy: []int{1}, Aggs: []AggSpec{{Fn: AggSum, Arg: expr.Col(0, "a"), Name: "s"}}}, "(b, s)"},
+		{&OrderBy{Child: scanR, Keys: []int{0}}, "(a, b)"},
+		{&Limit{Child: scanR, N: 5}, "(a, b)"},
+	}
+	for _, c := range cases {
+		s, err := InferSchema(c.node, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", c.node, err)
+		}
+		if s.String() != c.want {
+			t.Errorf("%s schema %s want %s", c.node, s, c.want)
+		}
+	}
+	// Errors.
+	if _, err := InferSchema(&Scan{Table: "zzz"}, cat); err == nil {
+		t.Error("missing table")
+	}
+	if _, err := InferSchema(&Union{Left: scanR, Right: scanS}, cat); err == nil {
+		t.Error("union arity mismatch")
+	}
+	if _, err := InferSchema(&Diff{Left: scanR, Right: scanS}, cat); err == nil {
+		t.Error("diff arity mismatch")
+	}
+	if _, err := InferSchema(&Agg{Child: scanR, GroupBy: []int{9}}, cat); err == nil {
+		t.Error("group-by out of range")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cat := catalog()
+	good := &Agg{
+		Child: &Join{
+			Left:  &Select{Child: &Scan{Table: "r"}, Pred: expr.Gt(expr.Col(0, "a"), expr.CInt(1))},
+			Right: &Scan{Table: "s"},
+			Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
+		},
+		GroupBy: []int{1},
+		Aggs:    []AggSpec{{Fn: AggMax, Arg: expr.Col(2, "c"), Name: "m"}},
+	}
+	if err := Validate(good, cat); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Node{
+		&Select{Child: &Scan{Table: "r"}, Pred: expr.Col(5, "")},
+		&Project{Child: &Scan{Table: "r"}, Cols: []ProjCol{{E: expr.Col(7, ""), Name: "x"}}},
+		&Join{Left: &Scan{Table: "r"}, Right: &Scan{Table: "s"}, Cond: expr.Col(9, "")},
+		&Agg{Child: &Scan{Table: "r"}, Aggs: []AggSpec{{Fn: AggSum, Arg: expr.Col(9, ""), Name: "s"}}},
+		&Select{Child: &Scan{Table: "zzz"}, Pred: expr.CBool(true)},
+	}
+	for i, n := range bad {
+		if err := Validate(n, cat); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestStringsAndHelpers(t *testing.T) {
+	plan := &OrderBy{
+		Child: &Limit{
+			Child: &Distinct{
+				Child: &Diff{
+					Left: &Union{
+						Left:  &Scan{Table: "s"},
+						Right: &Scan{Table: "s"},
+					},
+					Right: &Scan{Table: "s"},
+				},
+			},
+			N: 3,
+		},
+		Keys: []int{0},
+	}
+	rendered := Render(plan)
+	for _, want := range []string{"OrderBy", "Limit(3)", "Distinct", "Diff", "Union", "Scan(s)"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %s:\n%s", want, rendered)
+		}
+	}
+	tables := Tables(plan)
+	if len(tables) != 1 || tables[0] != "s" {
+		t.Errorf("tables: %v", tables)
+	}
+	if (AggSpec{Fn: AggCount, Name: "c"}).String() != "count(*) AS c" {
+		t.Error("count(*) rendering")
+	}
+	if !strings.Contains((AggSpec{Fn: AggSum, Arg: expr.Col(0, "a"), Distinct: true, Name: "d"}).String(), "DISTINCT") {
+		t.Error("distinct rendering")
+	}
+	for _, fn := range []AggFn{AggSum, AggCount, AggMin, AggMax, AggAvg} {
+		if fn.String() == "?" {
+			t.Error("agg fn rendering")
+		}
+	}
+	cross := &Join{Left: &Scan{Table: "r"}, Right: &Scan{Table: "s"}}
+	if cross.String() != "CrossProduct" {
+		t.Error("cross product rendering")
+	}
+}

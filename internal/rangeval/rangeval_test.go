@@ -1,0 +1,213 @@
+package rangeval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/audb/audb/internal/types"
+)
+
+func TestCertain(t *testing.T) {
+	v := Certain(types.Int(5))
+	if !v.IsCertain() || !v.Valid() {
+		t.Error("Certain not certain/valid")
+	}
+	if v.String() != "5" {
+		t.Errorf("certain renders as %q", v.String())
+	}
+}
+
+func TestNewNormalizes(t *testing.T) {
+	v := New(types.Int(5), types.Int(2), types.Int(3))
+	if !v.Valid() {
+		t.Errorf("New produced invalid range %v", v)
+	}
+	if types.Compare(v.Lo, types.Int(2)) != 0 {
+		t.Errorf("lo should widen to sg, got %v", v.Lo)
+	}
+	v = New(types.Int(1), types.Int(4), types.Int(2))
+	if !v.Valid() || types.Compare(v.Hi, types.Int(4)) != 0 {
+		t.Errorf("hi should widen to sg, got %v", v)
+	}
+}
+
+func TestChecked(t *testing.T) {
+	if _, err := Checked(types.Int(3), types.Int(2), types.Int(4)); err == nil {
+		t.Error("out-of-order bounds should error")
+	}
+	if _, err := Checked(types.Int(1), types.Int(2), types.Int(1)); err == nil {
+		t.Error("hi < sg should error")
+	}
+	v, err := Checked(types.Int(1), types.Int(2), types.Int(3))
+	if err != nil || !v.Valid() {
+		t.Error("valid bounds rejected")
+	}
+}
+
+func TestFull(t *testing.T) {
+	v := Full(types.String("x"))
+	if !v.Valid() {
+		t.Error("Full invalid")
+	}
+	if !v.Contains(types.Int(123)) || !v.Contains(types.String("zzz")) || !v.Contains(types.Null()) {
+		t.Error("Full should contain everything")
+	}
+	if v.IsCertain() {
+		t.Error("Full should not be certain")
+	}
+}
+
+func TestContainsOverlaps(t *testing.T) {
+	a := New(types.Int(1), types.Int(2), types.Int(5))
+	if !a.Contains(types.Int(1)) || !a.Contains(types.Int(5)) || a.Contains(types.Int(6)) || a.Contains(types.Int(0)) {
+		t.Error("Contains endpoints broken")
+	}
+	b := New(types.Int(5), types.Int(6), types.Int(9))
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("touching intervals should overlap")
+	}
+	c := New(types.Int(6), types.Int(7), types.Int(9))
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint intervals should not overlap")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(types.Int(1), types.Int(2), types.Int(5))
+	b := New(types.Int(0), types.Int(4), types.Int(9))
+	u := a.Union(b)
+	if types.Compare(u.Lo, types.Int(0)) != 0 || types.Compare(u.Hi, types.Int(9)) != 0 {
+		t.Errorf("union bounds wrong: %v", u)
+	}
+	if types.Compare(u.SG, types.Int(2)) != 0 {
+		t.Error("union should keep receiver's SG")
+	}
+	if !u.Valid() {
+		t.Error("union invalid")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := New(types.Int(1), types.Int(2), types.Int(3))
+	if v.String() != "[1/2/3]" {
+		t.Errorf("render %q", v.String())
+	}
+}
+
+func TestBoolConstants(t *testing.T) {
+	for _, c := range []V{CertTrue, CertFalse, MaybeTrue, MaybeFalse} {
+		if !c.Valid() {
+			t.Errorf("constant %v invalid", c)
+		}
+	}
+	if !CertTrue.IsCertain() || !CertFalse.IsCertain() {
+		t.Error("certain constants not certain")
+	}
+	if MaybeTrue.IsCertain() || MaybeFalse.IsCertain() {
+		t.Error("maybe constants should be uncertain")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	dt := types.Tuple{types.Int(1), types.String("a")}
+	rt := CertainTuple(dt)
+	if !rt.IsCertain() {
+		t.Error("CertainTuple not certain")
+	}
+	if !rt.SG().Equal(dt) {
+		t.Error("SG extraction")
+	}
+	if !rt.Bounds(dt) {
+		t.Error("certain tuple must bound its own SG")
+	}
+	if rt.Bounds(types.Tuple{types.Int(2), types.String("a")}) {
+		t.Error("should not bound different tuple")
+	}
+	if rt.Bounds(types.Tuple{types.Int(1)}) {
+		t.Error("arity mismatch should not bound")
+	}
+	cl := rt.Clone()
+	cl[0] = Full(types.Int(0))
+	if !rt.IsCertain() {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestTuplePredicates(t *testing.T) {
+	a := Tuple{New(types.Int(1), types.Int(2), types.Int(3)), Certain(types.String("x"))}
+	b := Tuple{New(types.Int(3), types.Int(4), types.Int(5)), Certain(types.String("x"))}
+	c := Tuple{New(types.Int(4), types.Int(4), types.Int(5)), Certain(types.String("x"))}
+	if !a.Overlaps(b) {
+		t.Error("a ≃ b should hold (attribute ranges touch)")
+	}
+	if a.Overlaps(c) {
+		t.Error("a ≃ c should not hold")
+	}
+	if a.CertainlyEqual(a) {
+		t.Error("a has uncertain attribute; a ≡ a must be false")
+	}
+	d := Tuple{Certain(types.Int(7)), Certain(types.String("y"))}
+	if !d.CertainlyEqual(d.Clone()) {
+		t.Error("certain equal tuples: d ≡ d")
+	}
+	if a.Overlaps(Tuple{Certain(types.Int(2))}) {
+		t.Error("arity mismatch overlap")
+	}
+	if d.CertainlyEqual(Tuple{Certain(types.Int(7))}) {
+		t.Error("arity mismatch certain-equal")
+	}
+}
+
+func TestTupleUnionProjectConcatKeys(t *testing.T) {
+	a := Tuple{New(types.Int(1), types.Int(2), types.Int(3)), Certain(types.Int(9))}
+	b := Tuple{New(types.Int(0), types.Int(5), types.Int(7)), Certain(types.Int(9))}
+	u := a.Union(b)
+	if types.Compare(u[0].Lo, types.Int(0)) != 0 || types.Compare(u[0].Hi, types.Int(7)) != 0 {
+		t.Error("tuple union bounds")
+	}
+	p := a.Project([]int{1})
+	if len(p) != 1 || types.Compare(p[0].SG, types.Int(9)) != 0 {
+		t.Error("project")
+	}
+	cc := a.Concat(b)
+	if len(cc) != 4 {
+		t.Error("concat")
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct triple tuples must have distinct keys")
+	}
+	if a.SGKey() == b.SGKey() {
+		t.Error("distinct SG tuples must have distinct SG keys")
+	}
+	b2 := Tuple{New(types.Int(-1), types.Int(2), types.Int(99)), Certain(types.Int(9))}
+	if a.SGKey() != b2.SGKey() {
+		t.Error("same SG values must share SG key")
+	}
+	if a.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+// Property: Union always bounds both inputs' intervals; New always valid.
+func TestRangePropertyQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rv := func() V {
+		x, y, z := int64(r.Intn(40)-20), int64(r.Intn(40)-20), int64(r.Intn(40)-20)
+		return New(types.Int(x), types.Int(y), types.Int(z))
+	}
+	f := func() bool {
+		a, b := rv(), rv()
+		if !a.Valid() || !b.Valid() {
+			return false
+		}
+		u := a.Union(b)
+		return u.Valid() &&
+			u.Contains(a.Lo) && u.Contains(a.Hi) &&
+			u.Contains(b.Lo) && u.Contains(b.Hi) &&
+			(a.Overlaps(b) == b.Overlaps(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

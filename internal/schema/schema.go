@@ -1,0 +1,100 @@
+// Package schema implements relation schemas: ordered lists of named
+// attributes with index resolution, the minimal metadata layer shared by the
+// deterministic bag engine and the AU-DB engine.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema is an ordered list of attribute names.
+type Schema struct {
+	Attrs []string
+}
+
+// New builds a schema from attribute names.
+func New(attrs ...string) Schema {
+	return Schema{Attrs: append([]string(nil), attrs...)}
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// IndexOf returns the position of the named attribute, or -1. Lookup is
+// case-insensitive and also matches "qualifier.name" suffixes, so "r.a"
+// resolves attribute "a" and attribute "r.a" resolves from lookup "a".
+func (s Schema) IndexOf(name string) int {
+	lower := strings.ToLower(name)
+	// Exact (case-insensitive) match first.
+	for i, a := range s.Attrs {
+		if strings.ToLower(a) == lower {
+			return i
+		}
+	}
+	// Qualified suffix match: schema attr "r.a" vs lookup "a" or vice versa.
+	for i, a := range s.Attrs {
+		la := strings.ToLower(a)
+		if strings.HasSuffix(la, "."+lower) || strings.HasSuffix(lower, "."+la) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndexOf is IndexOf that returns an error for unknown attributes.
+func (s Schema) MustIndexOf(name string) (int, error) {
+	if i := s.IndexOf(name); i >= 0 {
+		return i, nil
+	}
+	return -1, fmt.Errorf("schema: unknown attribute %q (have %s)", name, s)
+}
+
+// Concat returns the concatenation of two schemas, as produced by joins.
+func (s Schema) Concat(o Schema) Schema {
+	out := make([]string, 0, len(s.Attrs)+len(o.Attrs))
+	out = append(out, s.Attrs...)
+	out = append(out, o.Attrs...)
+	return Schema{Attrs: out}
+}
+
+// Project returns the schema of a projection onto the given columns.
+func (s Schema) Project(cols []int) Schema {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = s.Attrs[c]
+	}
+	return Schema{Attrs: out}
+}
+
+// Qualify returns a copy with every unqualified attribute prefixed by
+// "name.".
+func (s Schema) Qualify(name string) Schema {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if strings.Contains(a, ".") {
+			out[i] = a
+		} else {
+			out[i] = name + "." + a
+		}
+	}
+	return Schema{Attrs: out}
+}
+
+// Equal reports whether the two schemas have the same attribute names.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if !strings.EqualFold(s.Attrs[i], o.Attrs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as (a, b, c).
+func (s Schema) String() string {
+	return "(" + strings.Join(s.Attrs, ", ") + ")"
+}

@@ -1,0 +1,73 @@
+package schema
+
+import "testing"
+
+func TestBasics(t *testing.T) {
+	s := New("a", "b", "c")
+	if s.Arity() != 3 {
+		t.Error("arity")
+	}
+	if s.IndexOf("b") != 1 || s.IndexOf("B") != 1 {
+		t.Error("IndexOf case-insensitive")
+	}
+	if s.IndexOf("nope") != -1 {
+		t.Error("missing attr should be -1")
+	}
+	if _, err := s.MustIndexOf("nope"); err == nil {
+		t.Error("MustIndexOf should error")
+	}
+	if i, err := s.MustIndexOf("c"); err != nil || i != 2 {
+		t.Error("MustIndexOf c")
+	}
+	if s.String() != "(a, b, c)" {
+		t.Errorf("render %q", s.String())
+	}
+}
+
+func TestQualified(t *testing.T) {
+	s := New("r.a", "r.b", "s.a")
+	if s.IndexOf("b") != 1 {
+		t.Error("suffix match b")
+	}
+	if s.IndexOf("r.a") != 0 || s.IndexOf("s.a") != 2 {
+		t.Error("exact qualified match")
+	}
+	// "a" matches the first qualified candidate.
+	if s.IndexOf("a") != 0 {
+		t.Error("ambiguous a resolves to first")
+	}
+	q := New("x", "y").Qualify("t")
+	if q.IndexOf("t.x") != 0 || q.IndexOf("y") != 1 {
+		t.Error("Qualify")
+	}
+	// Already-qualified attrs are not re-qualified.
+	qq := q.Qualify("u")
+	if qq.Attrs[0] != "t.x" {
+		t.Error("double qualify")
+	}
+	// Reverse suffix: schema has bare name, lookup is qualified.
+	s2 := New("a", "b")
+	if s2.IndexOf("r.a") != 0 {
+		t.Error("qualified lookup against bare schema")
+	}
+}
+
+func TestConcatProjectEqual(t *testing.T) {
+	s := New("a", "b").Concat(New("c"))
+	if s.Arity() != 3 || s.IndexOf("c") != 2 {
+		t.Error("concat")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Attrs[0] != "c" || p.Attrs[1] != "a" {
+		t.Error("project")
+	}
+	if !New("a", "b").Equal(New("A", "B")) {
+		t.Error("equal case-insensitive")
+	}
+	if New("a").Equal(New("a", "b")) {
+		t.Error("arity mismatch equality")
+	}
+	if New("a", "x").Equal(New("a", "y")) {
+		t.Error("name mismatch equality")
+	}
+}

@@ -1,0 +1,154 @@
+// Package semiring implements the commutative semiring framework of
+// K-relations (Green et al., reviewed in Section 3.1 of the paper): the bag
+// semiring N, the set semiring B, natural orders, the monus operation used
+// for set difference (Section 8.2), lattice operations (glb/lub) for
+// l-semirings (Section 3.2.1), and the K^AU triple construction
+// (Definition 11).
+//
+// The production query pipeline is specialized to N^AU (see internal/core);
+// this package carries the generic formal layer, exercised by unit and
+// property tests mirroring the paper's algebraic claims.
+package semiring
+
+import "fmt"
+
+// Semiring is a commutative semiring over K.
+type Semiring[K any] interface {
+	Zero() K
+	One() K
+	Add(a, b K) K
+	Mul(a, b K) K
+	Eq(a, b K) bool
+}
+
+// Ordered is a naturally ordered semiring: k <= k' iff exists k” with
+// k + k” = k' (Section 3.1, eq. 1).
+type Ordered[K any] interface {
+	Semiring[K]
+	// NatLeq is the natural order.
+	NatLeq(a, b K) bool
+}
+
+// Lattice is an l-semiring: the natural order forms a lattice.
+type Lattice[K any] interface {
+	Ordered[K]
+	// Glb is the greatest lower bound (certain annotation, ⊓).
+	Glb(a, b K) K
+	// Lub is the least upper bound (possible annotation, ⊔).
+	Lub(a, b K) K
+}
+
+// WithMonus is an m-semiring: a semiring with monus (truncated difference).
+type WithMonus[K any] interface {
+	Semiring[K]
+	// Monus returns the smallest k with b + k >= a.
+	Monus(a, b K) K
+}
+
+// --------------------------------------------------------------------- N --
+
+// N is the bag semiring of natural numbers (represented as int64).
+type N struct{}
+
+func (N) Zero() int64            { return 0 }
+func (N) One() int64             { return 1 }
+func (N) Add(a, b int64) int64   { return a + b }
+func (N) Mul(a, b int64) int64   { return a * b }
+func (N) Eq(a, b int64) bool     { return a == b }
+func (N) NatLeq(a, b int64) bool { return a <= b }
+func (N) Glb(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (N) Lub(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Monus is truncated subtraction: max(0, a-b).
+func (N) Monus(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return 0
+}
+
+// --------------------------------------------------------------------- B --
+
+// B is the set semiring of booleans.
+type B struct{}
+
+func (B) Zero() bool         { return false }
+func (B) One() bool          { return true }
+func (B) Add(a, b bool) bool { return a || b }
+func (B) Mul(a, b bool) bool { return a && b }
+func (B) Eq(a, b bool) bool  { return a == b }
+func (B) NatLeq(a, b bool) bool {
+	return !a || b // false <= true
+}
+func (B) Glb(a, b bool) bool { return a && b }
+func (B) Lub(a, b bool) bool { return a || b }
+
+// Monus: a - b = a AND NOT b is the smallest k with b OR k >= a.
+func (B) Monus(a, b bool) bool { return a && !b }
+
+// ------------------------------------------------------------------ K^AU --
+
+// Triple is an element of K^AU (Definition 11): a lower bound on the
+// certain annotation, the selected-guess annotation, and an upper bound on
+// the possible annotation, with Lo <= SG <= Hi in the natural order.
+type Triple[K any] struct {
+	Lo, SG, Hi K
+}
+
+// AU lifts an l-semiring K to the semiring K^AU of bound triples with
+// pointwise operations (the direct product K^3 restricted to ordered
+// triples; the restriction is preserved by + and · because semiring
+// operations preserve the natural order in l-semirings).
+type AU[K any] struct {
+	K Lattice[K]
+}
+
+func (s AU[K]) Zero() Triple[K] {
+	return Triple[K]{Lo: s.K.Zero(), SG: s.K.Zero(), Hi: s.K.Zero()}
+}
+
+func (s AU[K]) One() Triple[K] {
+	return Triple[K]{Lo: s.K.One(), SG: s.K.One(), Hi: s.K.One()}
+}
+
+func (s AU[K]) Add(a, b Triple[K]) Triple[K] {
+	return Triple[K]{Lo: s.K.Add(a.Lo, b.Lo), SG: s.K.Add(a.SG, b.SG), Hi: s.K.Add(a.Hi, b.Hi)}
+}
+
+func (s AU[K]) Mul(a, b Triple[K]) Triple[K] {
+	return Triple[K]{Lo: s.K.Mul(a.Lo, b.Lo), SG: s.K.Mul(a.SG, b.SG), Hi: s.K.Mul(a.Hi, b.Hi)}
+}
+
+func (s AU[K]) Eq(a, b Triple[K]) bool {
+	return s.K.Eq(a.Lo, b.Lo) && s.K.Eq(a.SG, b.SG) && s.K.Eq(a.Hi, b.Hi)
+}
+
+// Valid reports whether the triple satisfies Lo <= SG <= Hi.
+func (s AU[K]) Valid(a Triple[K]) bool {
+	return s.K.NatLeq(a.Lo, a.SG) && s.K.NatLeq(a.SG, a.Hi)
+}
+
+// MonusBoundPreserving implements the bound-preserving set-difference
+// combination of Section 8.2: the lower bound subtracts the other side's
+// upper bound and vice versa. (The naive pointwise monus does NOT preserve
+// bounds; see the counterexample before Definition 22.)
+func MonusBoundPreserving[K any](k WithMonus[K], a, b Triple[K]) Triple[K] {
+	return Triple[K]{
+		Lo: k.Monus(a.Lo, b.Hi),
+		SG: k.Monus(a.SG, b.SG),
+		Hi: k.Monus(a.Hi, b.Lo),
+	}
+}
+
+// String renders a triple.
+func (t Triple[K]) String() string { return fmt.Sprintf("(%v,%v,%v)", t.Lo, t.SG, t.Hi) }

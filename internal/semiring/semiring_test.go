@@ -1,0 +1,195 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkSemiringLaws verifies the commutative semiring axioms on sampled
+// elements.
+func checkSemiringLaws[K any](t *testing.T, s Semiring[K], sample func() K) {
+	t.Helper()
+	f := func() bool {
+		a, b, c := sample(), sample(), sample()
+		// commutativity
+		if !s.Eq(s.Add(a, b), s.Add(b, a)) || !s.Eq(s.Mul(a, b), s.Mul(b, a)) {
+			return false
+		}
+		// associativity
+		if !s.Eq(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			return false
+		}
+		if !s.Eq(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			return false
+		}
+		// identities
+		if !s.Eq(s.Add(a, s.Zero()), a) || !s.Eq(s.Mul(a, s.One()), a) {
+			return false
+		}
+		// annihilation
+		if !s.Eq(s.Mul(a, s.Zero()), s.Zero()) {
+			return false
+		}
+		// distributivity
+		if !s.Eq(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	checkSemiringLaws[int64](t, N{}, func() int64 { return int64(r.Intn(20)) })
+}
+
+func TestBLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	checkSemiringLaws[bool](t, B{}, func() bool { return r.Intn(2) == 0 })
+}
+
+func TestAULaws(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	au := AU[int64]{K: N{}}
+	sample := func() Triple[int64] {
+		a, b, c := int64(r.Intn(5)), int64(r.Intn(5)), int64(r.Intn(5))
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Triple[int64]{Lo: a, SG: b, Hi: c}
+	}
+	checkSemiringLaws[Triple[int64]](t, au, sample)
+	// Closure: operations preserve Lo <= SG <= Hi (Definition 11 remark).
+	f := func() bool {
+		a, b := sample(), sample()
+		return au.Valid(au.Add(a, b)) && au.Valid(au.Mul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaturalOrder(t *testing.T) {
+	n := N{}
+	if !n.NatLeq(2, 5) || n.NatLeq(5, 2) || !n.NatLeq(3, 3) {
+		t.Error("N natural order")
+	}
+	// natural order is induced by addition: a <= b iff exists c: a+c=b
+	for a := int64(0); a < 6; a++ {
+		for b := int64(0); b < 6; b++ {
+			exists := b >= a
+			if n.NatLeq(a, b) != exists {
+				t.Errorf("NatLeq(%d,%d)", a, b)
+			}
+		}
+	}
+	bs := B{}
+	if !bs.NatLeq(false, true) || bs.NatLeq(true, false) || !bs.NatLeq(true, true) || !bs.NatLeq(false, false) {
+		t.Error("B natural order")
+	}
+}
+
+func TestLattice(t *testing.T) {
+	n := N{}
+	if n.Glb(3, 5) != 3 || n.Lub(3, 5) != 5 {
+		t.Error("N glb/lub")
+	}
+	b := B{}
+	if b.Glb(true, false) != false || b.Lub(true, false) != true {
+		t.Error("B glb/lub")
+	}
+	// glb is the certain annotation and lub the possible annotation for
+	// bag semantics (certN = min, possN = max), Section 3.2.1.
+	anns := []int64{2, 3}
+	cert, poss := anns[0], anns[0]
+	for _, a := range anns[1:] {
+		cert, poss = n.Glb(cert, a), n.Lub(poss, a)
+	}
+	if cert != 2 || poss != 3 {
+		t.Error("cert/poss over worlds")
+	}
+}
+
+func TestMonus(t *testing.T) {
+	n := N{}
+	if n.Monus(5, 3) != 2 || n.Monus(3, 5) != 0 || n.Monus(4, 4) != 0 {
+		t.Error("N monus")
+	}
+	// Monus law: a - b is the least k with b + k >= a.
+	for a := int64(0); a < 8; a++ {
+		for b := int64(0); b < 8; b++ {
+			m := n.Monus(a, b)
+			if b+m < a {
+				t.Errorf("monus too small: %d-%d=%d", a, b, m)
+			}
+			if m > 0 && b+(m-1) >= a {
+				t.Errorf("monus not minimal: %d-%d=%d", a, b, m)
+			}
+		}
+	}
+	b := B{}
+	if b.Monus(true, false) != true || b.Monus(true, true) != false || b.Monus(false, true) != false {
+		t.Error("B monus")
+	}
+}
+
+// TestMonusPointwiseNotBoundPreserving reproduces the counterexample from
+// Section 8.2: pointwise monus on triples can produce Lo > Hi, i.e. it is
+// not closed over K^AU, while the bound-preserving variant is.
+func TestMonusPointwiseNotBoundPreserving(t *testing.T) {
+	au := AU[int64]{K: N{}}
+	r := Triple[int64]{Lo: 1, SG: 2, Hi: 2}
+	s := Triple[int64]{Lo: 0, SG: 0, Hi: 3}
+	n := N{}
+	pointwise := Triple[int64]{
+		Lo: n.Monus(r.Lo, s.Lo), SG: n.Monus(r.SG, s.SG), Hi: n.Monus(r.Hi, s.Hi),
+	}
+	if au.Valid(pointwise) {
+		t.Fatalf("expected pointwise monus to violate triple ordering, got %v", pointwise)
+	}
+	fixed := MonusBoundPreserving[int64](n, r, s)
+	if !au.Valid(fixed) {
+		t.Fatalf("bound-preserving monus invalid: %v", fixed)
+	}
+	want := Triple[int64]{Lo: 0, SG: 2, Hi: 2}
+	if !au.Eq(fixed, want) {
+		t.Fatalf("got %v want %v", fixed, want)
+	}
+}
+
+// Property: bound-preserving monus always yields valid triples.
+func TestMonusBoundPreservingValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	au := AU[int64]{K: N{}}
+	n := N{}
+	sample := func() Triple[int64] {
+		a := int64(r.Intn(5))
+		b := a + int64(r.Intn(5))
+		c := b + int64(r.Intn(5))
+		return Triple[int64]{Lo: a, SG: b, Hi: c}
+	}
+	f := func() bool {
+		x, y := sample(), sample()
+		return au.Valid(MonusBoundPreserving[int64](n, x, y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := Triple[int64]{Lo: 1, SG: 2, Hi: 3}
+	if tr.String() != "(1,2,3)" {
+		t.Errorf("render %q", tr.String())
+	}
+}

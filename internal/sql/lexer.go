@@ -1,0 +1,155 @@
+// Package sql implements a SQL front end for the AU-DB system: a lexer,
+// recursive-descent parser and planner that compile a practical subset of
+// SQL (SELECT-FROM-WHERE-GROUP BY-HAVING-ORDER BY, joins, subqueries in
+// FROM, UNION/EXCEPT, CASE, the paper's aggregate functions) into the
+// shared RA_agg plans executed by every engine in this repository.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased, identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "UNION": true, "EXCEPT": true, "ALL": true,
+	"JOIN": true, "ON": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "TRUE": true, "FALSE": true, "IS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"BETWEEN": true, "IN": true, "LIMIT": true, "INNER": true, "CROSS": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+var twoCharSymbols = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[l.pos : l.pos+2], pos: start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';', '%':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("sql: unexpected character %q at %d", string(c), start)
+	}
+}

@@ -1,0 +1,642 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---- AST -----------------------------------------------------------------
+
+// queryAST is a select statement possibly combined with UNION / EXCEPT.
+type queryAST struct {
+	left  *selectAST
+	op    string // "", "UNION", "EXCEPT"
+	right *queryAST
+}
+
+type selectAST struct {
+	distinct bool
+	items    []selectItem
+	from     []fromItem
+	joins    []joinClause
+	where    sqlExpr
+	groupBy  []sqlExpr
+	having   sqlExpr
+	orderBy  []orderItem
+	limit    int // -1 = none
+}
+
+type selectItem struct {
+	star  bool
+	ex    sqlExpr
+	alias string
+}
+
+type fromItem struct {
+	table string
+	sub   *queryAST
+	alias string
+}
+
+type joinClause struct {
+	item fromItem
+	on   sqlExpr
+}
+
+type orderItem struct {
+	ex   sqlExpr
+	desc bool
+}
+
+// sqlExpr is the parsed scalar/aggregate expression tree.
+type sqlExpr interface{ exprNode() }
+
+type litExpr struct {
+	kind string // "int", "float", "string", "bool", "null"
+	text string
+}
+
+type colExpr struct{ name string } // possibly qualified a.b
+
+type unaryExpr struct {
+	op string // "NOT", "-"
+	e  sqlExpr
+}
+
+type binExpr struct {
+	op   string // AND OR = <> < <= > >= + - * /
+	l, r sqlExpr
+}
+
+type isNullExpr struct {
+	e   sqlExpr
+	not bool
+}
+
+type betweenExpr struct {
+	e, lo, hi sqlExpr
+}
+
+type inExpr struct {
+	e    sqlExpr
+	list []sqlExpr
+}
+
+type caseExpr struct {
+	whens []whenClause
+	els   sqlExpr
+}
+
+type whenClause struct{ cond, result sqlExpr }
+
+type funcExpr struct {
+	name     string // lowercase
+	star     bool
+	distinct bool
+	args     []sqlExpr
+}
+
+func (litExpr) exprNode()     {}
+func (colExpr) exprNode()     {}
+func (unaryExpr) exprNode()   {}
+func (binExpr) exprNode()     {}
+func (isNullExpr) exprNode()  {}
+func (betweenExpr) exprNode() {}
+func (inExpr) exprNode()      {}
+func (caseExpr) exprNode()    {}
+func (funcExpr) exprNode()    {}
+
+// ---- parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a SQL query string.
+func Parse(src string) (*queryAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) error {
+	if p.accept(k, text) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: at position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*queryAST, error) {
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q := &queryAST{left: sel}
+	for {
+		switch {
+		case p.accept(tokKeyword, "UNION"):
+			p.accept(tokKeyword, "ALL") // bag semantics: UNION = UNION ALL
+			rest, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			return &queryAST{left: sel, op: "UNION", right: rest}, nil
+		case p.accept(tokKeyword, "EXCEPT"):
+			p.accept(tokKeyword, "ALL")
+			rest, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			return &queryAST{left: sel, op: "EXCEPT", right: rest}, nil
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *parser) parseSelect() (*selectAST, error) {
+	if err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &selectAST{limit: -1}
+	sel.distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.items = append(sel.items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.from = append(sel.from, fi)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	for {
+		if p.accept(tokKeyword, "CROSS") {
+			if err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.joins = append(sel.joins, joinClause{item: fi})
+			continue
+		}
+		if p.accept(tokKeyword, "INNER") {
+			if err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			break
+		}
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.joins = append(sel.joins, joinClause{item: fi, on: on})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.groupBy = append(sel.groupBy, g)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.having = h
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := orderItem{ex: e}
+			if p.accept(tokKeyword, "DESC") {
+				oi.desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.orderBy = append(sel.orderBy, oi)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		if !p.at(tokNumber, "") {
+			return nil, p.errf("expected LIMIT count")
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT: %v", err)
+		}
+		sel.limit = n
+		p.advance()
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return selectItem{star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{ex: e}
+	if p.accept(tokKeyword, "AS") {
+		if !p.at(tokIdent, "") {
+			return selectItem{}, p.errf("expected alias after AS")
+		}
+		item.alias = p.cur().text
+		p.advance()
+	} else if p.at(tokIdent, "") {
+		item.alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (fromItem, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return fromItem{}, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return fromItem{}, err
+		}
+		fi := fromItem{sub: sub}
+		p.accept(tokKeyword, "AS")
+		if p.at(tokIdent, "") {
+			fi.alias = p.cur().text
+			p.advance()
+		} else {
+			return fromItem{}, p.errf("subquery in FROM requires an alias")
+		}
+		return fi, nil
+	}
+	if !p.at(tokIdent, "") {
+		return fromItem{}, p.errf("expected table name, found %q", p.cur().text)
+	}
+	fi := fromItem{table: p.cur().text}
+	p.advance()
+	p.accept(tokKeyword, "AS")
+	if p.at(tokIdent, "") {
+		fi.alias = p.cur().text
+		p.advance()
+	}
+	return fi, nil
+}
+
+// Expression precedence: OR < AND < NOT < comparison < additive <
+// multiplicative < unary < primary.
+func (p *parser) parseExpr() (sqlExpr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sqlExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (sqlExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (sqlExpr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "NOT", e: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (sqlExpr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return isNullExpr{e: l, not: not}, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return betweenExpr{e: l, lo: lo, hi: hi}, nil
+	}
+	if p.accept(tokKeyword, "IN") {
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []sqlExpr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inExpr{e: l, list: list}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return binExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (sqlExpr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "+", l: l, r: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "-", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (sqlExpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "*", l: l, r: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "/", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (sqlExpr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "-", e: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (sqlExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			return litExpr{kind: "float", text: t.text}, nil
+		}
+		return litExpr{kind: "int", text: t.text}, nil
+	case t.kind == tokString:
+		p.advance()
+		return litExpr{kind: "string", text: t.text}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.advance()
+		return litExpr{kind: "bool", text: strings.ToLower(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.advance()
+		return litExpr{kind: "null"}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.parseCase()
+	case p.accept(tokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *parser) parseCase() (sqlExpr, error) {
+	if err := p.expect(tokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	var ce caseExpr
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.whens = append(ce.whens, whenClause{cond: cond, result: res})
+	}
+	if len(ce.whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.els = els
+	}
+	if err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) parseIdentExpr() (sqlExpr, error) {
+	name := p.cur().text
+	p.advance()
+	// Function call?
+	if p.accept(tokSymbol, "(") {
+		f := funcExpr{name: strings.ToLower(name)}
+		f.distinct = p.accept(tokKeyword, "DISTINCT")
+		if p.accept(tokSymbol, "*") {
+			f.star = true
+		} else if !p.at(tokSymbol, ")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				f.args = append(f.args, a)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	// Qualified column a.b?
+	if p.accept(tokSymbol, ".") {
+		if !p.at(tokIdent, "") {
+			return nil, p.errf("expected column after %q.", name)
+		}
+		col := p.cur().text
+		p.advance()
+		return colExpr{name: name + "." + col}, nil
+	}
+	return colExpr{name: name}, nil
+}

@@ -1,0 +1,736 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// Compile parses and plans a SQL query against the given catalog, producing
+// an engine-agnostic RA_agg plan.
+func Compile(src string, cat ra.Catalog) (ra.Node, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return planQuery(q, cat)
+}
+
+func planQuery(q *queryAST, cat ra.Catalog) (ra.Node, error) {
+	left, err := planSelect(q.left, cat)
+	if err != nil {
+		return nil, err
+	}
+	if q.op == "" {
+		return left, nil
+	}
+	right, err := planQuery(q.right, cat)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := ra.InferSchema(left, cat)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ra.InferSchema(right, cat)
+	if err != nil {
+		return nil, err
+	}
+	if ls.Arity() != rs.Arity() {
+		return nil, fmt.Errorf("sql: %s arity mismatch: %s vs %s", q.op, ls, rs)
+	}
+	if q.op == "UNION" {
+		return &ra.Union{Left: left, Right: right}, nil
+	}
+	return &ra.Diff{Left: left, Right: right}, nil
+}
+
+var aggFuncs = map[string]ra.AggFn{
+	"sum": ra.AggSum, "count": ra.AggCount, "min": ra.AggMin,
+	"max": ra.AggMax, "avg": ra.AggAvg,
+}
+
+// hasAggregate reports whether the expression contains an aggregate call.
+func hasAggregate(e sqlExpr) bool {
+	switch n := e.(type) {
+	case litExpr, colExpr:
+		return false
+	case unaryExpr:
+		return hasAggregate(n.e)
+	case binExpr:
+		return hasAggregate(n.l) || hasAggregate(n.r)
+	case isNullExpr:
+		return hasAggregate(n.e)
+	case betweenExpr:
+		return hasAggregate(n.e) || hasAggregate(n.lo) || hasAggregate(n.hi)
+	case inExpr:
+		if hasAggregate(n.e) {
+			return true
+		}
+		for _, x := range n.list {
+			if hasAggregate(x) {
+				return true
+			}
+		}
+		return false
+	case caseExpr:
+		for _, w := range n.whens {
+			if hasAggregate(w.cond) || hasAggregate(w.result) {
+				return true
+			}
+		}
+		return n.els != nil && hasAggregate(n.els)
+	case funcExpr:
+		if _, ok := aggFuncs[n.name]; ok {
+			return true
+		}
+		for _, a := range n.args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// qualify renames a node's attributes to alias.attr via an identity
+// projection (skipped when already qualified with the same alias).
+func qualify(n ra.Node, s schema.Schema, alias string) (ra.Node, schema.Schema) {
+	cols := make([]ra.ProjCol, s.Arity())
+	attrs := make([]string, s.Arity())
+	for i, a := range s.Attrs {
+		base := a
+		if j := strings.LastIndex(a, "."); j >= 0 {
+			base = a[j+1:]
+		}
+		attrs[i] = alias + "." + base
+		cols[i] = ra.ProjCol{E: expr.Col(i, a), Name: attrs[i]}
+	}
+	return &ra.Project{Child: n, Cols: cols}, schema.Schema{Attrs: attrs}
+}
+
+// planFromItem plans one FROM entry.
+func planFromItem(fi fromItem, cat ra.Catalog) (ra.Node, schema.Schema, error) {
+	var node ra.Node
+	var s schema.Schema
+	var err error
+	switch {
+	case fi.sub != nil:
+		node, err = planQuery(fi.sub, cat)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		s, err = ra.InferSchema(node, cat)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+	default:
+		node = &ra.Scan{Table: fi.table}
+		s, err = cat.TableSchema(fi.table)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+	}
+	alias := fi.alias
+	if alias == "" {
+		alias = fi.table
+	}
+	if alias != "" {
+		node, s = qualify(node, s, alias)
+	}
+	return node, s, nil
+}
+
+func planSelect(sel *selectAST, cat ra.Catalog) (ra.Node, error) {
+	// FROM clause: cross products plus explicit joins.
+	var cur ra.Node
+	var curS schema.Schema
+	for i, fi := range sel.from {
+		node, s, err := planFromItem(fi, cat)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			cur, curS = node, s
+			continue
+		}
+		cur = &ra.Join{Left: cur, Right: node}
+		curS = curS.Concat(s)
+	}
+	for _, jc := range sel.joins {
+		node, s, err := planFromItem(jc.item, cat)
+		if err != nil {
+			return nil, err
+		}
+		joinedS := curS.Concat(s)
+		var cond expr.Expr
+		if jc.on != nil {
+			cond, err = compileScalar(jc.on, joinedS)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cur = &ra.Join{Left: cur, Right: node, Cond: cond}
+		curS = joinedS
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	// WHERE.
+	if sel.where != nil {
+		if hasAggregate(sel.where) {
+			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		pred, err := compileScalar(sel.where, curS)
+		if err != nil {
+			return nil, err
+		}
+		cur = &ra.Select{Child: cur, Pred: pred}
+	}
+
+	grouped := len(sel.groupBy) > 0
+	hasAggs := grouped
+	for _, it := range sel.items {
+		if !it.star && hasAggregate(it.ex) {
+			hasAggs = true
+		}
+	}
+	if sel.having != nil {
+		hasAggs = true
+	}
+
+	var out ra.Node
+	var outS schema.Schema
+	var err error
+	if hasAggs {
+		out, outS, err = planAggregateSelect(sel, cur, curS)
+	} else {
+		out, outS, err = planPlainSelect(sel, cur, curS)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.distinct {
+		out = &ra.Distinct{Child: out}
+	}
+	// ORDER BY over the output schema (names or positions).
+	if len(sel.orderBy) > 0 {
+		keys := make([]int, 0, len(sel.orderBy))
+		desc := false
+		for _, oi := range sel.orderBy {
+			idx, err := resolveOrderKey(oi.ex, outS)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, idx)
+			desc = oi.desc // single direction applies to the whole sort
+		}
+		out = &ra.OrderBy{Child: out, Keys: keys, Desc: desc}
+	}
+	if sel.limit >= 0 {
+		out = &ra.Limit{Child: out, N: sel.limit}
+	}
+	return out, nil
+}
+
+func resolveOrderKey(e sqlExpr, s schema.Schema) (int, error) {
+	switch n := e.(type) {
+	case colExpr:
+		return s.MustIndexOf(n.name)
+	case litExpr:
+		if n.kind == "int" {
+			i, err := strconv.Atoi(n.text)
+			if err != nil || i < 1 || i > s.Arity() {
+				return -1, fmt.Errorf("sql: ORDER BY position %s out of range", n.text)
+			}
+			return i - 1, nil
+		}
+	}
+	return -1, fmt.Errorf("sql: ORDER BY supports column names and positions only")
+}
+
+// planPlainSelect handles selects without aggregation.
+func planPlainSelect(sel *selectAST, cur ra.Node, curS schema.Schema) (ra.Node, schema.Schema, error) {
+	var cols []ra.ProjCol
+	var attrs []string
+	for i, it := range sel.items {
+		if it.star {
+			for j, a := range curS.Attrs {
+				cols = append(cols, ra.ProjCol{E: expr.Col(j, a), Name: a})
+				attrs = append(attrs, a)
+			}
+			continue
+		}
+		e, err := compileScalar(it.ex, curS)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		name := it.alias
+		if name == "" {
+			name = defaultName(it.ex, i)
+		}
+		cols = append(cols, ra.ProjCol{E: e, Name: name})
+		attrs = append(attrs, name)
+	}
+	return &ra.Project{Child: cur, Cols: cols}, schema.Schema{Attrs: attrs}, nil
+}
+
+func defaultName(e sqlExpr, i int) string {
+	switch n := e.(type) {
+	case colExpr:
+		if j := strings.LastIndex(n.name, "."); j >= 0 {
+			return n.name[j+1:]
+		}
+		return n.name
+	case funcExpr:
+		return n.name
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// aggEnv collects the aggregate calls of a query and their output slots.
+type aggEnv struct {
+	srcSchema schema.Schema
+	groupExpr []sqlExpr // group-by expressions (as written)
+	groupIdx  []int     // their column positions in the (pre-projected) source
+	specs     []ra.AggSpec
+	keys      []string // rendered keys of collected aggregates
+}
+
+// collect registers an aggregate call and returns its position in the agg
+// output (after the group-by columns).
+func (env *aggEnv) collect(f funcExpr) (int, error) {
+	fn, ok := aggFuncs[f.name]
+	if !ok {
+		return -1, fmt.Errorf("sql: unknown aggregate %q", f.name)
+	}
+	var arg expr.Expr
+	var err error
+	key := f.name
+	if f.star {
+		key += "(*)"
+	} else {
+		if len(f.args) != 1 {
+			return -1, fmt.Errorf("sql: aggregate %s expects one argument", f.name)
+		}
+		arg, err = compileScalar(f.args[0], env.srcSchema)
+		if err != nil {
+			return -1, err
+		}
+		key += "(" + arg.String() + ")"
+	}
+	if f.distinct {
+		key = "distinct:" + key
+	}
+	for i, k := range env.keys {
+		if k == key {
+			return len(env.groupIdx) + i, nil
+		}
+	}
+	env.keys = append(env.keys, key)
+	env.specs = append(env.specs, ra.AggSpec{
+		Fn: fn, Arg: arg, Distinct: f.distinct,
+		Name: fmt.Sprintf("agg%d", len(env.specs)+1),
+	})
+	return len(env.groupIdx) + len(env.specs) - 1, nil
+}
+
+// groupSlot finds the agg-output position of a group-by expression, or -1.
+func (env *aggEnv) groupSlot(e sqlExpr) int {
+	for i, g := range env.groupExpr {
+		if renderSQL(g) == renderSQL(e) {
+			return i
+		}
+	}
+	return -1
+}
+
+// renderSQL gives a stable structural key for matching group-by items.
+func renderSQL(e sqlExpr) string { return fmt.Sprintf("%#v", e) }
+
+// planAggregateSelect handles grouped / aggregated selects.
+func planAggregateSelect(sel *selectAST, cur ra.Node, curS schema.Schema) (ra.Node, schema.Schema, error) {
+	env := &aggEnv{srcSchema: curS, groupExpr: sel.groupBy}
+
+	// Resolve group-by expressions: plain columns reference the source;
+	// computed expressions are appended by a pre-projection.
+	var pre []ra.ProjCol
+	needPre := false
+	for i, a := range curS.Attrs {
+		pre = append(pre, ra.ProjCol{E: expr.Col(i, a), Name: a})
+	}
+	preS := curS
+	for gi, g := range sel.groupBy {
+		if c, ok := g.(colExpr); ok {
+			idx, err := curS.MustIndexOf(c.name)
+			if err != nil {
+				return nil, schema.Schema{}, err
+			}
+			env.groupIdx = append(env.groupIdx, idx)
+			continue
+		}
+		if hasAggregate(g) {
+			return nil, schema.Schema{}, fmt.Errorf("sql: aggregates are not allowed in GROUP BY")
+		}
+		e, err := compileScalar(g, curS)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		name := fmt.Sprintf("groupexpr%d", gi+1)
+		pre = append(pre, ra.ProjCol{E: e, Name: name})
+		preS = schema.Schema{Attrs: append(append([]string{}, preS.Attrs...), name)}
+		env.groupIdx = append(env.groupIdx, preS.Arity()-1)
+		needPre = true
+	}
+	if needPre {
+		cur = &ra.Project{Child: cur, Cols: pre}
+		env.srcSchema = preS
+	}
+
+	// Collect aggregates from the SELECT list and HAVING, and build the
+	// post-aggregation expressions.
+	groupNames := make([]string, len(env.groupIdx))
+	for i, idx := range env.groupIdx {
+		groupNames[i] = env.srcSchema.Attrs[idx]
+	}
+
+	var postCols []ra.ProjCol
+	var outAttrs []string
+	for i, it := range sel.items {
+		if it.star {
+			return nil, schema.Schema{}, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY / aggregates")
+		}
+		name := it.alias
+		if name == "" {
+			name = defaultName(it.ex, i)
+		}
+		post, err := compilePostAgg(it.ex, env)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+		postCols = append(postCols, ra.ProjCol{E: post, Name: name})
+		outAttrs = append(outAttrs, name)
+	}
+	var havingExpr expr.Expr
+	if sel.having != nil {
+		var err error
+		havingExpr, err = compilePostAgg(sel.having, env)
+		if err != nil {
+			return nil, schema.Schema{}, err
+		}
+	}
+
+	agg := &ra.Agg{Child: cur, GroupBy: env.groupIdx, Aggs: env.specs}
+	var out ra.Node = agg
+	if havingExpr != nil {
+		out = &ra.Select{Child: out, Pred: havingExpr}
+	}
+	out = &ra.Project{Child: out, Cols: postCols}
+	return out, schema.Schema{Attrs: outAttrs}, nil
+}
+
+// compilePostAgg compiles an expression evaluated over the aggregation
+// output: group-by expressions and aggregate calls become column
+// references.
+func compilePostAgg(e sqlExpr, env *aggEnv) (expr.Expr, error) {
+	if slot := env.groupSlot(e); slot >= 0 {
+		return expr.Col(slot, renderName(e)), nil
+	}
+	switch n := e.(type) {
+	case litExpr:
+		return compileLit(n)
+	case colExpr:
+		// A bare column must be one of the group-by columns.
+		for i, idx := range env.groupIdx {
+			if matchesName(env.srcSchema.Attrs[idx], n.name) {
+				return expr.Col(i, n.name), nil
+			}
+		}
+		return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", n.name)
+	case funcExpr:
+		if _, ok := aggFuncs[n.name]; ok {
+			slot, err := env.collect(n)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Col(slot, n.name), nil
+		}
+		args := make([]expr.Expr, len(n.args))
+		for i, a := range n.args {
+			x, err := compilePostAgg(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return compileFunc(n.name, args)
+	case unaryExpr:
+		x, err := compilePostAgg(n.e, env)
+		if err != nil {
+			return nil, err
+		}
+		return compileUnary(n.op, x)
+	case binExpr:
+		l, err := compilePostAgg(n.l, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compilePostAgg(n.r, env)
+		if err != nil {
+			return nil, err
+		}
+		return compileBin(n.op, l, r)
+	case isNullExpr:
+		x, err := compilePostAgg(n.e, env)
+		if err != nil {
+			return nil, err
+		}
+		var out expr.Expr = expr.IsNull{E: x}
+		if n.not {
+			out = expr.Not{E: out}
+		}
+		return out, nil
+	case betweenExpr:
+		x, err := compilePostAgg(n.e, env)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compilePostAgg(n.lo, env)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compilePostAgg(n.hi, env)
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(expr.Geq(x, lo), expr.Leq(x, hi)), nil
+	case inExpr:
+		x, err := compilePostAgg(n.e, env)
+		if err != nil {
+			return nil, err
+		}
+		var ors []expr.Expr
+		for _, item := range n.list {
+			y, err := compilePostAgg(item, env)
+			if err != nil {
+				return nil, err
+			}
+			ors = append(ors, expr.Eq(x, y))
+		}
+		return expr.Or(ors...), nil
+	case caseExpr:
+		return compileCase(n, func(e sqlExpr) (expr.Expr, error) { return compilePostAgg(e, env) })
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T after aggregation", e)
+}
+
+func renderName(e sqlExpr) string {
+	if c, ok := e.(colExpr); ok {
+		return c.name
+	}
+	return ""
+}
+
+func matchesName(attr, name string) bool {
+	if strings.EqualFold(attr, name) {
+		return true
+	}
+	la, ln := strings.ToLower(attr), strings.ToLower(name)
+	return strings.HasSuffix(la, "."+ln) || strings.HasSuffix(ln, "."+la)
+}
+
+// compileScalar compiles a non-aggregate expression against a schema.
+func compileScalar(e sqlExpr, s schema.Schema) (expr.Expr, error) {
+	switch n := e.(type) {
+	case litExpr:
+		return compileLit(n)
+	case colExpr:
+		idx, err := s.MustIndexOf(n.name)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Col(idx, n.name), nil
+	case unaryExpr:
+		x, err := compileScalar(n.e, s)
+		if err != nil {
+			return nil, err
+		}
+		return compileUnary(n.op, x)
+	case binExpr:
+		l, err := compileScalar(n.l, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileScalar(n.r, s)
+		if err != nil {
+			return nil, err
+		}
+		return compileBin(n.op, l, r)
+	case isNullExpr:
+		x, err := compileScalar(n.e, s)
+		if err != nil {
+			return nil, err
+		}
+		var out expr.Expr = expr.IsNull{E: x}
+		if n.not {
+			out = expr.Not{E: out}
+		}
+		return out, nil
+	case betweenExpr:
+		x, err := compileScalar(n.e, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileScalar(n.lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileScalar(n.hi, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(expr.Geq(x, lo), expr.Leq(x, hi)), nil
+	case inExpr:
+		x, err := compileScalar(n.e, s)
+		if err != nil {
+			return nil, err
+		}
+		var ors []expr.Expr
+		for _, item := range n.list {
+			y, err := compileScalar(item, s)
+			if err != nil {
+				return nil, err
+			}
+			ors = append(ors, expr.Eq(x, y))
+		}
+		return expr.Or(ors...), nil
+	case caseExpr:
+		return compileCase(n, func(e sqlExpr) (expr.Expr, error) { return compileScalar(e, s) })
+	case funcExpr:
+		if _, ok := aggFuncs[n.name]; ok {
+			return nil, fmt.Errorf("sql: aggregate %s is not allowed here", n.name)
+		}
+		args := make([]expr.Expr, len(n.args))
+		for i, a := range n.args {
+			x, err := compileScalar(a, s)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return compileFunc(n.name, args)
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func compileLit(n litExpr) (expr.Expr, error) {
+	switch n.kind {
+	case "int":
+		i, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", n.text)
+		}
+		return expr.CInt(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(n.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad float %q", n.text)
+		}
+		return expr.CFloat(f), nil
+	case "string":
+		return expr.CStr(n.text), nil
+	case "bool":
+		return expr.CBool(n.text == "true"), nil
+	case "null":
+		return expr.C(types.Null()), nil
+	}
+	return nil, fmt.Errorf("sql: unknown literal kind %q", n.kind)
+}
+
+func compileUnary(op string, x expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "NOT":
+		return expr.Not{E: x}, nil
+	case "-":
+		return expr.Sub(expr.CInt(0), x), nil
+	}
+	return nil, fmt.Errorf("sql: unknown unary operator %q", op)
+}
+
+func compileBin(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND":
+		return expr.And(l, r), nil
+	case "OR":
+		return expr.Or(l, r), nil
+	case "=":
+		return expr.Eq(l, r), nil
+	case "<>":
+		return expr.Neq(l, r), nil
+	case "<":
+		return expr.Lt(l, r), nil
+	case "<=":
+		return expr.Leq(l, r), nil
+	case ">":
+		return expr.Gt(l, r), nil
+	case ">=":
+		return expr.Geq(l, r), nil
+	case "+":
+		return expr.Add(l, r), nil
+	case "-":
+		return expr.Sub(l, r), nil
+	case "*":
+		return expr.Mul(l, r), nil
+	case "/":
+		return expr.Div(l, r), nil
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+func compileFunc(name string, args []expr.Expr) (expr.Expr, error) {
+	switch name {
+	case "least":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sql: least() needs arguments")
+		}
+		return expr.Least(args...), nil
+	case "greatest":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sql: greatest() needs arguments")
+		}
+		return expr.Greatest(args...), nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %q", name)
+}
+
+func compileCase(n caseExpr, sub func(sqlExpr) (expr.Expr, error)) (expr.Expr, error) {
+	var out expr.Expr
+	if n.els != nil {
+		e, err := sub(n.els)
+		if err != nil {
+			return nil, err
+		}
+		out = e
+	} else {
+		out = expr.C(types.Null())
+	}
+	for i := len(n.whens) - 1; i >= 0; i-- {
+		cond, err := sub(n.whens[i].cond)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sub(n.whens[i].result)
+		if err != nil {
+			return nil, err
+		}
+		out = expr.If{Cond: cond, Then: res, Else: out}
+	}
+	return out, nil
+}

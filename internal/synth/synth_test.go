@@ -1,0 +1,138 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/translate"
+	"github.com/audb/audb/internal/types"
+)
+
+func TestWideTable(t *testing.T) {
+	r := WideTable(100, 10, 50, 1)
+	if r.Len() != 100 || r.Schema.Arity() != 10 {
+		t.Fatalf("shape: %d x %d", r.Len(), r.Schema.Arity())
+	}
+	for _, tup := range r.Tuples {
+		for _, v := range tup {
+			if v.AsInt() < 1 || v.AsInt() > 50 {
+				t.Fatalf("value out of domain: %v", v)
+			}
+		}
+	}
+	if !WideTable(10, 3, 5, 9).Equal(WideTable(10, 3, 5, 9)) {
+		t.Error("deterministic")
+	}
+}
+
+func TestInject(t *testing.T) {
+	r := WideTable(500, 5, 100, 2)
+	x := Inject(bag.DB{"t": r}, InjectConfig{CellProb: 0.2, MaxAlts: 4, RangeFrac: 0.5, Seed: 3})
+	rel := x["t"]
+	if len(rel.Tuples) != 500 {
+		t.Fatalf("blocks: %d", len(rel.Tuples))
+	}
+	uncertain := 0
+	for i := range rel.Tuples {
+		blk := &rel.Tuples[i]
+		if len(blk.Alts) > 1 {
+			uncertain++
+			if len(blk.Alts) > 4 {
+				t.Fatalf("too many alternatives: %d", len(blk.Alts))
+			}
+			// Column 0 is never injected by default.
+			for _, a := range blk.Alts[1:] {
+				if types.Compare(a[0], blk.Alts[0][0]) != 0 {
+					t.Fatal("key column must stay certain")
+				}
+			}
+		}
+	}
+	if uncertain == 0 {
+		t.Fatal("nothing injected")
+	}
+	// SGW preserved.
+	if !rel.SGW().Equal(r) {
+		t.Error("SGW must be the original relation")
+	}
+	// Explicit eligible columns.
+	x2 := Inject(bag.DB{"t": r}, InjectConfig{CellProb: 1.0, MaxAlts: 2, EligibleCols: []int{2}, Seed: 3})
+	for i := range x2["t"].Tuples {
+		blk := &x2["t"].Tuples[i]
+		for _, a := range blk.Alts[1:] {
+			for c := range a {
+				if c != 2 && types.Compare(a[c], blk.Alts[0][c]) != 0 {
+					t.Fatalf("column %d should be untouched", c)
+				}
+			}
+		}
+	}
+}
+
+func TestInjectRangeFraction(t *testing.T) {
+	r := WideTable(2000, 2, 1000, 4)
+	narrow := Inject(bag.DB{"t": r}, InjectConfig{CellProb: 0.5, MaxAlts: 3, RangeFrac: 0.05, Seed: 5})
+	maxSpread := int64(0)
+	for i := range narrow["t"].Tuples {
+		blk := &narrow["t"].Tuples[i]
+		for _, a := range blk.Alts[1:] {
+			d := a[1].AsInt() - blk.Alts[0][1].AsInt()
+			if d < 0 {
+				d = -d
+			}
+			if d > maxSpread {
+				maxSpread = d
+			}
+		}
+	}
+	// 5% of a domain of ~1000 is ~50; allow slack for rounding.
+	if maxSpread > 60 {
+		t.Errorf("alternatives spread %d exceeds 5%% of the domain", maxSpread)
+	}
+}
+
+func TestJoinPair(t *testing.T) {
+	a, b := JoinPair(100, 50, 6)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatal("sizes")
+	}
+	if a.Equal(b) {
+		t.Error("the two sides should differ")
+	}
+}
+
+func TestKeyViolationTable(t *testing.T) {
+	for _, p := range []KeyViolationProfile{NetflixProfile, CrimesProfile, HealthcareProfile} {
+		rel := KeyViolationTable(p)
+		if rel.Len() < p.Rows {
+			t.Fatalf("%s: %d rows < %d", p.Name, rel.Len(), p.Rows)
+		}
+		// Count violating keys and average choices.
+		perKey := map[int64]int{}
+		for _, tup := range rel.Tuples {
+			perKey[tup[0].AsInt()]++
+		}
+		viol, totalChoices := 0, 0
+		for _, n := range perKey {
+			if n > 1 {
+				viol++
+				totalChoices += n
+			}
+		}
+		frac := float64(viol) / float64(len(perKey))
+		if frac < p.ViolFrac/3 || frac > p.ViolFrac*3 {
+			t.Errorf("%s: violation fraction %.4f vs profile %.4f", p.Name, frac, p.ViolFrac)
+		}
+		if viol > 0 {
+			avg := float64(totalChoices) / float64(viol)
+			if avg < 1.5 || avg > p.AvgChoices*2 {
+				t.Errorf("%s: avg choices %.2f vs profile %.2f", p.Name, avg, p.AvgChoices)
+			}
+		}
+		// The table translates into an AU-DB via key repair.
+		au := translate.KeyRepair(rel, []int{0})
+		if au.Len() != len(perKey) {
+			t.Errorf("%s: repaired size %d vs %d keys", p.Name, au.Len(), len(perKey))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package tpch
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/translate"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	db := Generate(Config{Scale: 0.01, Seed: 1})
+	for _, tbl := range []string{"region", "nation", "supplier", "customer", "orders", "lineitem"} {
+		if db[tbl] == nil || db[tbl].Size() == 0 {
+			t.Fatalf("table %s empty", tbl)
+		}
+	}
+	if db["region"].Size() != 5 || db["nation"].Size() != 25 {
+		t.Error("dimension table sizes")
+	}
+	if db["lineitem"].Size() < db["orders"].Size() {
+		t.Error("lineitem should dominate")
+	}
+	// Deterministic generation.
+	db2 := Generate(Config{Scale: 0.01, Seed: 1})
+	if !db["customer"].Equal(db2["customer"]) {
+		t.Error("generation must be deterministic")
+	}
+	db3 := Generate(Config{Scale: 0.01, Seed: 2})
+	if db["customer"].Equal(db3["customer"]) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestInjectPDBench(t *testing.T) {
+	db := Generate(Config{Scale: 0.01, Seed: 1})
+	x := InjectPDBench(db, 0.05, 1.0, 7)
+	// Dimension tables stay certain.
+	for i := range x["nation"].Tuples {
+		if len(x["nation"].Tuples[i].Alts) != 1 {
+			t.Fatal("nation should be certain")
+		}
+	}
+	// Some lineitem rows must be uncertain at 5%.
+	uncertain := 0
+	for i := range x["lineitem"].Tuples {
+		if len(x["lineitem"].Tuples[i].Alts) > 1 {
+			uncertain++
+		}
+	}
+	if uncertain == 0 {
+		t.Fatal("no uncertainty injected")
+	}
+	frac := float64(uncertain) / float64(len(x["lineitem"].Tuples))
+	// 8 eligible columns at 5% each: ~34% of rows have >=1 uncertain cell.
+	if frac < 0.15 || frac > 0.6 {
+		t.Errorf("uncertain row fraction %.2f out of expected band", frac)
+	}
+	// The SGW of the injection is the original database.
+	if !x["lineitem"].SGW().Equal(db["lineitem"]) {
+		t.Error("injection must keep the original database as SGW")
+	}
+}
+
+func TestAllQueriesRunDeterministically(t *testing.T) {
+	db := Generate(Config{Scale: 0.01, Seed: 1})
+	cat := ra.CatalogMap(db.Schemas())
+	for name := range Queries {
+		plan, err := Compile(name, cat)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		res, err := bag.Exec(plan, db)
+		if err != nil {
+			t.Fatalf("%s: exec: %v", name, err)
+		}
+		if name == "Q1" && res.Len() == 0 {
+			t.Errorf("%s: empty result", name)
+		}
+	}
+	if _, err := Compile("nope", cat); err == nil {
+		t.Error("unknown query should error")
+	}
+}
+
+func TestQueriesOverAUDB(t *testing.T) {
+	db := Generate(Config{Scale: 0.005, Seed: 1})
+	x := InjectPDBench(db, 0.02, 0.1, 7)
+	audb := translate.XDBAll(x)
+	cat := ra.CatalogMap(db.Schemas())
+	for _, name := range []string{"PB1", "PB2", "Q1", "Q10"} {
+		plan, err := Compile(name, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := core.Exec(plan, audb, core.Options{JoinCompression: 16, AggCompression: 16})
+		if err != nil {
+			t.Fatalf("%s over AU-DB: %v", name, err)
+		}
+		// The SGW of the AU result must equal the deterministic result
+		// over the SGW (= the original database).
+		det, err := bag.Exec(plan, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SGW().Equal(det) {
+			t.Errorf("%s: AU-DB SGW diverges from deterministic result", name)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package translate creates AU-DBs from incomplete and probabilistic data
+// models (Section 11 of the paper): tuple-independent databases, x-DBs
+// (block-independent databases), C-tables, and lens-style cleaning
+// operators such as key repair. Every translation is bound preserving
+// (Theorems 9-11): the produced AU-relation bounds the set of possible
+// worlds of its source.
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+// TIDB translates a probabilistic tuple-independent relation (Section
+// 11.1): every block must have exactly one alternative. Attribute values
+// are certain; the annotation is (1,1,1) for certain tuples, (0,1,1) for
+// tuples in the SGW (p >= 0.5), and (0,0,1) for merely possible ones.
+func TIDB(r *worlds.XRelation) (*core.Relation, error) {
+	out := core.New(r.Schema)
+	for i := range r.Tuples {
+		blk := &r.Tuples[i]
+		if len(blk.Alts) != 1 {
+			return nil, fmt.Errorf("translate: TI-DB block %d has %d alternatives", i, len(blk.Alts))
+		}
+		p := blk.P()
+		m := core.Mult{Lo: 0, SG: 0, Hi: 1}
+		if !blk.IsOptional() {
+			m.Lo = 1
+		}
+		if p >= 0.5 {
+			m.SG = 1
+		}
+		if m.Lo > m.SG {
+			m.SG = m.Lo
+		}
+		out.Add(core.Tuple{Vals: rangeval.CertainTuple(blk.Alts[0]), M: m})
+	}
+	return out.Merge(), nil
+}
+
+// XDB translates a block-independent relation (Section 11.2): each block
+// becomes one AU-tuple whose attribute ranges span all alternatives and
+// whose SG values come from the highest-probability alternative. The tuple
+// annotation is (0-or-1, sg, 1) where sg reflects whether keeping the best
+// alternative is at least as likely as dropping the block.
+func XDB(r *worlds.XRelation) *core.Relation {
+	out := core.New(r.Schema)
+	for i := range r.Tuples {
+		blk := &r.Tuples[i]
+		best := blk.BestAlt()
+		vals := make(rangeval.Tuple, r.Schema.Arity())
+		for c := 0; c < r.Schema.Arity(); c++ {
+			lo, hi := blk.Alts[0][c], blk.Alts[0][c]
+			for _, a := range blk.Alts[1:] {
+				lo = types.Min(lo, a[c])
+				hi = types.Max(hi, a[c])
+			}
+			vals[c] = rangeval.New(lo, blk.Alts[best][c], hi)
+		}
+		m := core.Mult{Lo: 1, SG: 1, Hi: 1}
+		if blk.IsOptional() {
+			m.Lo = 0
+			if blk.Probs != nil && 1-blk.P() > blk.Probs[best] {
+				m.SG = 0
+			}
+		}
+		out.Add(core.Tuple{Vals: vals, M: m})
+	}
+	return out
+}
+
+// XDBAll translates a whole x-database.
+func XDBAll(db worlds.XDB) core.DB {
+	out := core.DB{}
+	for n, r := range db {
+		out[n] = XDB(r)
+	}
+	return out
+}
+
+// CTable translates a C-table (Section 11.3). Per-tuple attribute bounds
+// come from minimizing/maximizing each cell over all valuations that
+// satisfy the global and local conditions (the "constraint solver" of the
+// paper, realized by enumeration over the finite variable domains); the
+// multiplicity bounds classify each row's local condition as tautology
+// (certain), satisfiable (possible), or unsatisfiable (absent).
+func CTable(ct *worlds.CTable, limit int) (*core.Relation, error) {
+	mu, err := ct.BestValuation(limit)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := ctValuations(ct, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := core.New(ct.Schema)
+	for ri, row := range ct.Rows {
+		lo := make([]types.Value, len(row.Cells))
+		hi := make([]types.Value, len(row.Cells))
+		sat, taut := 0, 0
+		total := 0
+		for _, v := range vals {
+			t, holds, err := ctRowUnder(ct, row, v)
+			if err != nil {
+				return nil, fmt.Errorf("translate: C-table row %d: %w", ri, err)
+			}
+			total++
+			if !holds {
+				continue
+			}
+			sat++
+			for c := range t {
+				if sat == 1 {
+					lo[c], hi[c] = t[c], t[c]
+				} else {
+					lo[c] = types.Min(lo[c], t[c])
+					hi[c] = types.Max(hi[c], t[c])
+				}
+			}
+		}
+		taut = 0
+		if sat == total {
+			taut = 1
+		}
+		if sat == 0 {
+			continue // unsatisfiable row: certainly absent
+		}
+		sgTuple, sgHolds, err := ctRowUnder(ct, row, mu)
+		if err != nil {
+			return nil, err
+		}
+		rv := make(rangeval.Tuple, len(row.Cells))
+		for c := range rv {
+			sg := hi[c]
+			if sgHolds {
+				sg = sgTuple[c]
+			}
+			rv[c] = rangeval.V{Lo: lo[c], SG: sg, Hi: hi[c]}
+			if types.Less(sg, lo[c]) || types.Less(hi[c], sg) {
+				rv[c] = rangeval.New(lo[c], sg, hi[c])
+			}
+		}
+		m := core.Mult{Lo: int64(taut), SG: 0, Hi: 1}
+		if sgHolds {
+			m.SG = 1
+		}
+		if m.Lo > m.SG {
+			// A tautological condition whose SG valuation was overridden
+			// by the global-condition fallback still holds.
+			m.SG = m.Lo
+		}
+		out.Add(core.Tuple{Vals: rv, M: m})
+	}
+	return out, nil
+}
+
+// ctValuations returns all valuations satisfying the global condition.
+func ctValuations(ct *worlds.CTable, limit int) ([]types.Tuple, error) {
+	all, err := allValuations(ct, limit)
+	if err != nil {
+		return nil, err
+	}
+	if ct.Global == nil {
+		return all, nil
+	}
+	var out []types.Tuple
+	for _, v := range all {
+		g, err := ct.Global.Eval(v)
+		if err != nil {
+			return nil, err
+		}
+		if g.AsBool() {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("translate: C-table global condition unsatisfiable")
+	}
+	return out, nil
+}
+
+func allValuations(ct *worlds.CTable, limit int) ([]types.Tuple, error) {
+	n := 1
+	for _, v := range ct.Vars {
+		n *= len(v.Domain)
+		if n > limit {
+			return nil, fmt.Errorf("translate: more than %d C-table valuations", limit)
+		}
+	}
+	out := []types.Tuple{{}}
+	for _, v := range ct.Vars {
+		var next []types.Tuple
+		for _, val := range out {
+			for _, d := range v.Domain {
+				next = append(next, append(append(types.Tuple{}, val...), d))
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// ctRowUnder instantiates a row under one valuation.
+func ctRowUnder(ct *worlds.CTable, row worlds.CRow, mu types.Tuple) (types.Tuple, bool, error) {
+	if row.Local != nil {
+		v, err := row.Local.Eval(mu)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.AsBool() {
+			return nil, false, nil
+		}
+	}
+	t := make(types.Tuple, len(row.Cells))
+	for i, cell := range row.Cells {
+		if cell.IsVar {
+			idx := ct.VarIndex(cell.Var)
+			if idx < 0 {
+				return nil, false, fmt.Errorf("unknown variable %q", cell.Var)
+			}
+			t[i] = mu[idx]
+		} else {
+			t[i] = cell.Const
+		}
+	}
+	return t, true, nil
+}
+
+// KeyRepair is the lens of Section 11.4 / Example 16: it exposes the
+// uncertainty of repairing key violations in a deterministic relation.
+// Tuples are grouped by the key attributes; each group becomes one certain
+// AU-tuple (every repair keeps exactly one tuple per key) whose non-key
+// attribute ranges span the group. The selected guess takes the first
+// tuple of the group in insertion order (the paper's "cleaning heuristic"
+// slot; callers can pre-sort by trustworthiness).
+func KeyRepair(r *bag.Relation, keyCols []int) *core.Relation {
+	type group struct {
+		first types.Tuple
+		lo    types.Tuple
+		hi    types.Tuple
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range r.Tuples {
+		k := t.KeyOn(keyCols)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{first: t.Clone(), lo: t.Clone(), hi: t.Clone()}
+			groups[k] = g
+			order = append(order, k)
+			continue
+		}
+		for c := range t {
+			g.lo[c] = types.Min(g.lo[c], t[c])
+			g.hi[c] = types.Max(g.hi[c], t[c])
+		}
+	}
+	out := core.New(r.Schema)
+	for _, k := range order {
+		g := groups[k]
+		vals := make(rangeval.Tuple, r.Schema.Arity())
+		for c := range vals {
+			vals[c] = rangeval.New(g.lo[c], g.first[c], g.hi[c])
+		}
+		out.Add(core.Tuple{Vals: vals, M: core.One})
+	}
+	return out
+}
+
+// KeyRepairWorlds enumerates the possible repairs of a key-violating
+// relation (one choice per violated key group), for ground-truth
+// computations on small inputs.
+func KeyRepairWorlds(r *bag.Relation, keyCols []int, limit int) ([]*bag.Relation, error) {
+	groups := map[string][]types.Tuple{}
+	var order []string
+	for _, t := range r.Tuples {
+		k := t.KeyOn(keyCols)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	sort.Strings(order)
+	combos := []*bag.Relation{bag.New(r.Schema)}
+	for _, k := range order {
+		var next []*bag.Relation
+		for _, w := range combos {
+			for _, choice := range groups[k] {
+				nw := w.Clone()
+				nw.Add(choice, 1)
+				next = append(next, nw)
+			}
+		}
+		if len(next) > limit {
+			return nil, fmt.Errorf("translate: more than %d repairs", limit)
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// MakeUncertain builds an AU-tuple attribute from explicit bounds, the
+// user-facing uncertainty constructor of Section 11.4.
+func MakeUncertain(lo, sg, hi types.Value) rangeval.V { return rangeval.New(lo, sg, hi) }

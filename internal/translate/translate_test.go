@@ -1,0 +1,225 @@
+package translate
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+	"github.com/audb/audb/internal/worlds"
+)
+
+func row(vs ...int64) types.Tuple {
+	out := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+// TestTIDBTheorem9: the translation bounds all worlds of the TI-DB.
+func TestTIDBTheorem9(t *testing.T) {
+	r := worlds.NewXRelation(schema.New("v"))
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(1)}, Probs: []float64{1.0}})
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(2)}, Probs: []float64{0.7}})
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(3)}, Probs: []float64{0.2}})
+	au, err := TIDB(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := r.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !au.BoundsWorlds(ws) {
+		t.Fatalf("TI translation does not bound its worlds:\n%s", au)
+	}
+	// SGW keeps tuples with p >= 0.5.
+	sgw := au.SGW()
+	if sgw.Count(row(1)) != 1 || sgw.Count(row(2)) != 1 || sgw.Count(row(3)) != 0 {
+		t.Errorf("SGW:\n%s", sgw)
+	}
+	// Multi-alternative blocks are rejected.
+	bad := worlds.NewXRelation(schema.New("v"))
+	bad.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(1), row(2)}})
+	if _, err := TIDB(bad); err == nil {
+		t.Error("TI-DB with alternatives should error")
+	}
+}
+
+// TestXDBTheorem10: the translation bounds all worlds of the x-DB.
+func TestXDBTheorem10(t *testing.T) {
+	r := worlds.NewXRelation(schema.New("a", "b"))
+	r.AddCertain(row(1, 10))
+	r.AddBlock(worlds.XTuple{
+		Alts:  []types.Tuple{row(2, 20), row(3, 30), row(2, 25)},
+		Probs: []float64{0.2, 0.5, 0.3},
+	})
+	r.AddBlock(worlds.XTuple{Alts: []types.Tuple{row(7, 70)}, Probs: []float64{0.1}})
+	au := XDB(r)
+	ws, err := r.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !au.BoundsWorlds(ws) {
+		t.Fatalf("x-DB translation does not bound its worlds:\n%s", au)
+	}
+	// The SG of the second block is the 0.5 alternative (3, 30).
+	sgw := au.SGW()
+	if sgw.Count(row(3, 30)) != 1 {
+		t.Errorf("SGW should pick best alternative:\n%s", sgw)
+	}
+	// The low-probability optional block is absent from the SGW.
+	if sgw.Count(row(7, 70)) != 0 {
+		t.Errorf("SGW should drop 0.1 block:\n%s", sgw)
+	}
+	dbs := XDBAll(worlds.XDB{"r": r})
+	if dbs["r"].Len() != 3 {
+		t.Error("XDBAll")
+	}
+}
+
+// TestCTableTheorem11: the translation bounds all worlds of the C-table.
+func TestCTableTheorem11(t *testing.T) {
+	ct := &worlds.CTable{
+		Schema: schema.New("v", "w"),
+		Vars: []worlds.CVar{
+			{Name: "x", Domain: []types.Value{types.Int(1), types.Int(2), types.Int(3)},
+				Probs: []float64{0.5, 0.3, 0.2}},
+			{Name: "y", Domain: []types.Value{types.Int(0), types.Int(9)}},
+		},
+	}
+	ct.Rows = []worlds.CRow{
+		{Cells: []worlds.CValue{worlds.CRef("x"), worlds.CConst(types.Int(5))}},
+		{Cells: []worlds.CValue{worlds.CConst(types.Int(4)), worlds.CRef("y")},
+			Local: expr.Gt(ct.Ref("x"), expr.CInt(1))},
+	}
+	au, err := CTable(ct, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ct.Worlds(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if !au.BoundsWorld(w) {
+			t.Fatalf("C-table translation misses world:\n%s\nAU:\n%s", w, au)
+		}
+	}
+	// Row 1 is a tautology: lower bound 1. Row 2 is satisfiable only.
+	if au.Tuples[0].M.Lo != 1 {
+		t.Errorf("tautological row lower bound: %v", au.Tuples[0].M)
+	}
+	if au.Tuples[1].M.Lo != 0 || au.Tuples[1].M.Hi != 1 {
+		t.Errorf("conditional row bounds: %v", au.Tuples[1].M)
+	}
+	// Attribute bounds of row 1 span the domain of x.
+	v := au.Tuples[0].Vals[0]
+	if v.Lo.AsInt() != 1 || v.Hi.AsInt() != 3 {
+		t.Errorf("row 1 attribute bounds %v", v)
+	}
+	// SG valuation picks x=1 (p=0.5): local condition of row 2 fails in
+	// the SGW, so its SG annotation is 0.
+	if au.Tuples[1].M.SG != 0 {
+		t.Errorf("row 2 SG annotation %v", au.Tuples[1].M)
+	}
+}
+
+func TestCTableUnsatisfiableRowDropped(t *testing.T) {
+	ct := &worlds.CTable{
+		Schema: schema.New("v"),
+		Vars:   []worlds.CVar{{Name: "x", Domain: []types.Value{types.Int(1), types.Int(2)}}},
+	}
+	ct.Rows = []worlds.CRow{
+		{Cells: []worlds.CValue{worlds.CRef("x")}, Local: expr.Gt(ct.Ref("x"), expr.CInt(5))},
+		{Cells: []worlds.CValue{worlds.CConst(types.Int(7))}},
+	}
+	au, err := CTable(ct, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if au.Len() != 1 {
+		t.Fatalf("unsatisfiable row should vanish:\n%s", au)
+	}
+	// Errors surface: unknown variable, unsatisfiable global, too many vals.
+	bad := &worlds.CTable{
+		Schema: schema.New("v"),
+		Vars:   []worlds.CVar{{Name: "x", Domain: []types.Value{types.Int(1)}}},
+		Rows:   []worlds.CRow{{Cells: []worlds.CValue{worlds.CRef("zzz")}}},
+	}
+	if _, err := CTable(bad, 100); err == nil {
+		t.Error("unknown variable should error")
+	}
+	unsat := &worlds.CTable{
+		Schema: schema.New("v"),
+		Vars:   []worlds.CVar{{Name: "x", Domain: []types.Value{types.Int(1)}}},
+		Global: expr.Gt(expr.Col(0, "x"), expr.CInt(9)),
+		Rows:   []worlds.CRow{{Cells: []worlds.CValue{worlds.CRef("x")}}},
+	}
+	if _, err := CTable(unsat, 100); err == nil {
+		t.Error("unsatisfiable global should error")
+	}
+}
+
+func TestKeyRepair(t *testing.T) {
+	// Relation with key a; two tuples violate the key for a=1.
+	r := bag.New(schema.New("a", "b"))
+	r.Add(row(1, 10), 1)
+	r.Add(row(1, 30), 1)
+	r.Add(row(2, 20), 1)
+	au := KeyRepair(r, []int{0})
+	if au.Len() != 2 {
+		t.Fatalf("repaired groups: %d", au.Len())
+	}
+	// SG takes the first tuple per group.
+	sgw := au.SGW()
+	if sgw.Count(row(1, 10)) != 1 || sgw.Count(row(2, 20)) != 1 {
+		t.Errorf("SGW:\n%s", sgw)
+	}
+	// Every repair world is bounded (Definition 17 via enumeration).
+	ws, err := KeyRepairWorlds(r, []int{0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("repairs: %d", len(ws))
+	}
+	if !au.BoundsWorlds(ws) {
+		t.Fatal("key repair translation does not bound its repairs")
+	}
+	// b-range of group a=1 spans [10,30].
+	var found bool
+	for _, tup := range au.Tuples {
+		if tup.Vals[0].SG.AsInt() == 1 {
+			found = true
+			if tup.Vals[1].Lo.AsInt() != 10 || tup.Vals[1].Hi.AsInt() != 30 {
+				t.Errorf("group bounds %v", tup.Vals[1])
+			}
+		}
+	}
+	if !found {
+		t.Error("group a=1 missing")
+	}
+	// Repair enumeration limit.
+	big := bag.New(schema.New("a", "b"))
+	for i := int64(0); i < 12; i++ {
+		big.Add(row(i/2, i), 1)
+	}
+	if _, err := KeyRepairWorlds(big, []int{0}, 10); err == nil {
+		t.Error("repair explosion should error")
+	}
+}
+
+func TestMakeUncertain(t *testing.T) {
+	v := MakeUncertain(types.Int(1), types.Int(2), types.Int(3))
+	if v.Lo.AsInt() != 1 || v.SG.AsInt() != 2 || v.Hi.AsInt() != 3 {
+		t.Error("MakeUncertain")
+	}
+	// Out-of-order bounds normalize.
+	v = MakeUncertain(types.Int(5), types.Int(2), types.Int(3))
+	if !v.Valid() {
+		t.Error("normalization")
+	}
+}

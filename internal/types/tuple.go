@@ -1,0 +1,96 @@
+package types
+
+import "strings"
+
+// Tuple is a deterministic tuple over the universal domain.
+type Tuple []Value
+
+// Clone returns a deep copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns an injective string encoding of t, suitable as a map key for
+// hash joins, grouping and duplicate elimination.
+func (t Tuple) Key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = v.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// KeyOn returns the key of the projection of t onto the given column indexes.
+func (t Tuple) KeyOn(cols []int) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = t[c].AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports component-wise equality under the domain's total order.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if Compare(t[i], o[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(t[i], o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// Concat returns the concatenation of t and o as a fresh tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// Project returns the projection of t onto the given column indexes.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

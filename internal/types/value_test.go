@@ -1,0 +1,377 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNegInf: "neginf", KindNull: "null", KindBool: "bool",
+		KindInt: "int", KindFloat: "float", KindString: "string",
+		KindPosInf: "posinf",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not null")
+	}
+	if Bool(true).Kind() != KindBool || !Bool(true).AsBool() {
+		t.Error("Bool(true) broken")
+	}
+	if Bool(false).AsBool() {
+		t.Error("Bool(false).AsBool() = true")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Error("Int roundtrip")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float roundtrip")
+	}
+	if String("xy").AsString() != "xy" {
+		t.Error("String roundtrip")
+	}
+	if !Int(3).IsNumeric() || !Float(3).IsNumeric() || String("a").IsNumeric() {
+		t.Error("IsNumeric misclassifies")
+	}
+	if !NegInf().IsInf() || !PosInf().IsInf() || Int(0).IsInf() {
+		t.Error("IsInf misclassifies")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Error("AsInt truncation")
+	}
+	if Bool(true).AsInt() != 1 || Bool(false).AsInt() != 0 {
+		t.Error("bool AsInt")
+	}
+	if Bool(true).AsFloat() != 1 || Bool(false).AsFloat() != 0 {
+		t.Error("bool AsFloat")
+	}
+	if !math.IsInf(NegInf().AsFloat(), -1) || !math.IsInf(PosInf().AsFloat(), 1) {
+		t.Error("inf AsFloat")
+	}
+	if Null().AsInt() != 0 || Null().AsFloat() != 0 {
+		t.Error("null numeric coercion should be zero")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-4), "-4"},
+		{Float(1.5), "1.5"},
+		{String("hi"), "hi"},
+		{NegInf(), "-inf"},
+		{PosInf(), "+inf"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q want %q", c.v.Kind(), got, c.want)
+		}
+	}
+	if String("hello").AsString() != "hello" {
+		t.Error("AsString on string")
+	}
+	if Int(2).AsString() != "2" {
+		t.Error("AsString on non-string should render")
+	}
+}
+
+func TestCompareTotalOrderAcrossKinds(t *testing.T) {
+	asc := []Value{NegInf(), Null(), Bool(false), Bool(true), Int(-5), Int(0),
+		Float(0.5), Int(1), Float(1.5), String("a"), String("b"), PosInf()}
+	for i := range asc {
+		for j := range asc {
+			got := Compare(asc[i], asc[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			// Int(0) and Float(0.5) etc are strictly ordered; equal
+			// positions only at i==j here.
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d want %d", asc[i], asc[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("Int(2) != Float(2.0)")
+	}
+	if Compare(Float(1.5), Int(2)) != -1 {
+		t.Error("1.5 < 2 fails")
+	}
+	if Compare(Int(3), Float(2.5)) != 1 {
+		t.Error("3 > 2.5 fails")
+	}
+	if !Equal(Int(2), Float(2)) || Equal(Int(2), Int(3)) {
+		t.Error("Equal broken")
+	}
+	if !Less(Int(1), Int(2)) || Less(Int(2), Int(1)) {
+		t.Error("Less broken")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(Int(3), Int(5)) != Int(3) || Max(Int(3), Int(5)) != Int(5) {
+		t.Error("Min/Max ints")
+	}
+	if Min(String("b"), Int(7)).Kind() != KindInt {
+		t.Error("numeric < string in total order")
+	}
+	if Max(NegInf(), Null()).Kind() != KindNull {
+		t.Error("null > -inf")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(7) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(21) - 10))
+	case 3:
+		return Float(float64(r.Intn(200)-100) / 4)
+	case 4:
+		return String(string(rune('a' + r.Intn(5))))
+	case 5:
+		return NegInf()
+	default:
+		return PosInf()
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		// antisymmetry
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// reflexivity
+		if Compare(a, a) != 0 {
+			return false
+		}
+		// transitivity of <=
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustV := func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+	if got := mustV(Add(Int(2), Int(3))); got != Int(5) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustV(Add(Int(2), Float(0.5))); got != Float(2.5) {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := mustV(Sub(Int(2), Int(5))); got != Int(-3) {
+		t.Errorf("2-5 = %v", got)
+	}
+	if got := mustV(Mul(Int(4), Int(-3))); got != Int(-12) {
+		t.Errorf("4*-3 = %v", got)
+	}
+	if got := mustV(Mul(Float(0.5), Int(8))); got != Float(4) {
+		t.Errorf("0.5*8 = %v", got)
+	}
+	if got := mustV(Div(Int(7), Int(2))); got != Float(3.5) {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := mustV(Neg(Float(1.5))); got != Float(-1.5) {
+		t.Errorf("-1.5 = %v", got)
+	}
+	if got := mustV(Neg(Int(4))); got != Int(-4) {
+		t.Errorf("neg 4 = %v", got)
+	}
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	for _, op := range []func(a, b Value) (Value, error){Add, Sub, Mul, Div} {
+		v, err := op(Null(), Int(1))
+		if err != nil || !v.IsNull() {
+			t.Errorf("op(null,1) = %v, %v", v, err)
+		}
+		v, err = op(Int(1), Null())
+		if err != nil || !v.IsNull() {
+			t.Errorf("op(1,null) = %v, %v", v, err)
+		}
+	}
+	v, err := Neg(Null())
+	if err != nil || !v.IsNull() {
+		t.Errorf("neg(null) = %v, %v", v, err)
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Add(String("a"), Int(1)); err == nil {
+		t.Error("string + int should fail")
+	}
+	if _, err := Mul(Bool(true), Int(1)); err == nil {
+		t.Error("bool * int should fail")
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := Div(Int(1), Float(0)); err == nil {
+		t.Error("division by float zero should fail")
+	}
+	if _, err := Add(NegInf(), PosInf()); err == nil {
+		t.Error("-inf + +inf should fail")
+	}
+	if _, err := Neg(String("x")); err == nil {
+		t.Error("neg string should fail")
+	}
+	var te *ErrType
+	_, err := Add(String("a"), Int(1))
+	if e, ok := err.(*ErrType); ok {
+		te = e
+	} else {
+		t.Fatalf("expected *ErrType, got %T", err)
+	}
+	if te.Error() == "" {
+		t.Error("empty error message")
+	}
+	if (ErrDivisionByZero{}).Error() == "" {
+		t.Error("empty division error message")
+	}
+}
+
+func TestInfArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error %v", err)
+		}
+		if Compare(got, want) != 0 {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	v, err := Add(PosInf(), Int(5))
+	check(v, err, PosInf())
+	v, err = Add(Int(5), NegInf())
+	check(v, err, NegInf())
+	v, err = Mul(PosInf(), Int(-2))
+	check(v, err, NegInf())
+	v, err = Mul(NegInf(), Int(-2))
+	check(v, err, PosInf())
+	v, err = Mul(PosInf(), Int(0))
+	check(v, err, Int(0)) // annihilation convention
+	v, err = Mul(PosInf(), PosInf())
+	check(v, err, PosInf())
+	v, err = Div(Int(3), PosInf())
+	check(v, err, Float(0))
+	v, err = Div(PosInf(), Int(2))
+	check(v, err, PosInf())
+	v, err = Div(PosInf(), Int(-2))
+	check(v, err, NegInf())
+	if _, err := Div(PosInf(), NegInf()); err == nil {
+		t.Error("inf/inf should fail")
+	}
+	v, err = Sub(PosInf(), Int(1))
+	check(v, err, PosInf())
+}
+
+func TestAppendKeyInjective(t *testing.T) {
+	vals := []Value{Null(), Bool(false), Bool(true), Int(0), Int(1), Int(256),
+		Float(0.5), Float(-0.5), String(""), String("a"), String("ab"),
+		NegInf(), PosInf()}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := string(v.AppendKey(nil))
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestAppendKeyIntFloatAgree(t *testing.T) {
+	ki := string(Int(42).AppendKey(nil))
+	kf := string(Float(42).AppendKey(nil))
+	if ki != kf {
+		t.Error("Int(42) and Float(42) should share a key (Compare-equal)")
+	}
+	kf2 := string(Float(42.5).AppendKey(nil))
+	if ki == kf2 {
+		t.Error("Float(42.5) must not collide with Int(42)")
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Tuple{Int(1), String("x")}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0] != Int(1) {
+		t.Error("Clone aliases")
+	}
+	if !a.Equal(Tuple{Float(1), String("x")}) {
+		t.Error("Equal should coerce numerics")
+	}
+	if a.Equal(Tuple{Int(1)}) {
+		t.Error("length mismatch should not be equal")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare ordering")
+	}
+	if (Tuple{Int(1)}).Compare(Tuple{Int(1), Int(2)}) != -1 {
+		t.Error("prefix should order first")
+	}
+	if (Tuple{Int(1), Int(2)}).Compare(Tuple{Int(1)}) != 1 {
+		t.Error("longer should order later")
+	}
+	c := a.Concat(b)
+	if len(c) != 4 || c[2] != Int(2) {
+		t.Error("Concat broken")
+	}
+	p := c.Project([]int{3, 0})
+	if len(p) != 2 || p[0] != String("x") || p[1] != Int(1) {
+		t.Error("Project broken")
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct tuples share a key")
+	}
+	if c.KeyOn([]int{0, 1}) != a.Key() {
+		t.Error("KeyOn prefix should equal Key of prefix")
+	}
+	if a.String() != "(1, x)" {
+		t.Errorf("String: %s", a.String())
+	}
+}

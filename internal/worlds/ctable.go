@@ -1,0 +1,212 @@
+package worlds
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// CVar is a C-table variable with a finite domain (and optionally a
+// probability per domain value, for probabilistic C-tables).
+type CVar struct {
+	Name   string
+	Domain []types.Value
+	Probs  []float64
+}
+
+// CValue is either a constant or a variable reference in a C-table row.
+type CValue struct {
+	IsVar bool
+	Const types.Value
+	Var   string
+}
+
+// CConst and CRef build C-table cell values.
+func CConst(v types.Value) CValue { return CValue{Const: v} }
+func CRef(name string) CValue     { return CValue{IsVar: true, Var: name} }
+
+// CRow is one C-table row: cell values plus a local condition over the
+// table's variables (nil means true). Conditions are expr trees whose
+// attribute indices refer to variable positions.
+type CRow struct {
+	Cells []CValue
+	Local expr.Expr
+}
+
+// CTable is a C-table (Imielinski & Lipski; reviewed in Sections 6.4 and
+// 11.3): rows with variables, local conditions and a global condition.
+// C-tables use set semantics.
+type CTable struct {
+	Schema schema.Schema
+	Vars   []CVar
+	Rows   []CRow
+	Global expr.Expr // nil means true
+}
+
+// VarIndex resolves a variable name to its position.
+func (c *CTable) VarIndex(name string) int {
+	for i, v := range c.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ref builds an expr attribute referencing the named variable, for use in
+// local and global conditions.
+func (c *CTable) Ref(name string) expr.Expr {
+	return expr.Col(c.VarIndex(name), name)
+}
+
+// valuations enumerates all assignments over the variable domains.
+func (c *CTable) valuations(limit int) ([]types.Tuple, error) {
+	n := 1
+	for _, v := range c.Vars {
+		n *= len(v.Domain)
+		if n > limit {
+			return nil, fmt.Errorf("worlds: more than %d C-table valuations", limit)
+		}
+	}
+	out := []types.Tuple{{}}
+	for _, v := range c.Vars {
+		var next []types.Tuple
+		for _, val := range out {
+			for _, d := range v.Domain {
+				next = append(next, append(append(types.Tuple{}, val...), d))
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// instantiate evaluates one row under a valuation.
+func (c *CTable) instantiate(row CRow, mu types.Tuple) (types.Tuple, bool, error) {
+	if row.Local != nil {
+		v, err := row.Local.Eval(mu)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.AsBool() {
+			return nil, false, nil
+		}
+	}
+	t := make(types.Tuple, len(row.Cells))
+	for i, cell := range row.Cells {
+		if cell.IsVar {
+			idx := c.VarIndex(cell.Var)
+			if idx < 0 {
+				return nil, false, fmt.Errorf("worlds: unknown C-table variable %q", cell.Var)
+			}
+			t[i] = mu[idx]
+		} else {
+			t[i] = cell.Const
+		}
+	}
+	return t, true, nil
+}
+
+// Worlds enumerates the set of possible worlds represented by the C-table
+// (set semantics: every world tuple has multiplicity 1). Valuations
+// violating the global condition are skipped; duplicate worlds are merged.
+func (c *CTable) Worlds(limit int) ([]*bag.Relation, error) {
+	vals, err := c.valuations(limit)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*bag.Relation
+	for _, mu := range vals {
+		if c.Global != nil {
+			g, err := c.Global.Eval(mu)
+			if err != nil {
+				return nil, err
+			}
+			if !g.AsBool() {
+				continue
+			}
+		}
+		w := bag.New(c.Schema)
+		dedup := map[string]bool{}
+		for _, row := range c.Rows {
+			t, ok, err := c.instantiate(row, mu)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || dedup[t.Key()] {
+				continue
+			}
+			dedup[t.Key()] = true
+			w.Add(t, 1)
+		}
+		key := w.Sorted().String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("worlds: C-table global condition unsatisfiable")
+	}
+	return out, nil
+}
+
+// BestValuation picks the selected-guess valuation: per variable the
+// highest-probability domain value (first value when no probabilities),
+// falling back to searching for any valuation satisfying the global
+// condition.
+func (c *CTable) BestValuation(limit int) (types.Tuple, error) {
+	mu := make(types.Tuple, len(c.Vars))
+	for i, v := range c.Vars {
+		best := 0
+		for j := range v.Domain {
+			if v.Probs != nil && v.Probs[j] > v.Probs[best] {
+				best = j
+			}
+		}
+		mu[i] = v.Domain[best]
+	}
+	if c.Global == nil {
+		return mu, nil
+	}
+	if g, err := c.Global.Eval(mu); err == nil && g.AsBool() {
+		return mu, nil
+	}
+	// Search all valuations for a satisfying one.
+	vals, err := c.valuations(limit)
+	if err != nil {
+		return nil, err
+	}
+	for _, cand := range vals {
+		if g, err := c.Global.Eval(cand); err == nil && g.AsBool() {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("worlds: C-table global condition unsatisfiable")
+}
+
+// SGW instantiates the world selected by BestValuation.
+func (c *CTable) SGW(limit int) (*bag.Relation, error) {
+	mu, err := c.BestValuation(limit)
+	if err != nil {
+		return nil, err
+	}
+	w := bag.New(c.Schema)
+	dedup := map[string]bool{}
+	for _, row := range c.Rows {
+		t, ok, err := c.instantiate(row, mu)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || dedup[t.Key()] {
+			continue
+		}
+		dedup[t.Key()] = true
+		w.Add(t, 1)
+	}
+	return w, nil
+}

@@ -1,0 +1,295 @@
+// Package worlds implements the incomplete and probabilistic database
+// models the paper translates into AU-DBs (Sections 3.2 and 11):
+// tuple-independent databases (TI-DBs), block-independent x-DBs, and
+// C-tables, together with possible-world enumeration and exact
+// certain/possible ground truth used by tests and accuracy metrics.
+package worlds
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// XTuple is one block of a block-independent database: a set of mutually
+// exclusive alternative tuples, at most one of which appears in any world.
+// Probs, when present, are per-alternative marginal probabilities; the
+// block is optional iff Optional is set (incomplete semantics) or the
+// probabilities sum below one (probabilistic semantics).
+type XTuple struct {
+	Alts     []types.Tuple
+	Probs    []float64
+	Optional bool
+}
+
+// P returns the total probability of the block (1 when no probabilities
+// are attached and the block is not optional).
+func (x *XTuple) P() float64 {
+	if x.Probs == nil {
+		if x.Optional {
+			return 0.5
+		}
+		return 1
+	}
+	var p float64
+	for _, q := range x.Probs {
+		p += q
+	}
+	return p
+}
+
+// IsOptional reports whether some world omits the block entirely.
+func (x *XTuple) IsOptional() bool {
+	if x.Optional {
+		return true
+	}
+	return x.Probs != nil && x.P() < 1-1e-9
+}
+
+// BestAlt returns the index of the highest-probability alternative
+// (pickMax of Section 11.2; first alternative wins ties or when no
+// probabilities are attached).
+func (x *XTuple) BestAlt() int {
+	if x.Probs == nil {
+		return 0
+	}
+	best := 0
+	for i, p := range x.Probs {
+		if p > x.Probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// XRelation is a block-independent (x-)relation.
+type XRelation struct {
+	Schema schema.Schema
+	Tuples []XTuple
+}
+
+// NewXRelation creates an empty x-relation.
+func NewXRelation(s schema.Schema) *XRelation { return &XRelation{Schema: s} }
+
+// AddCertain appends a certain (single-alternative, non-optional) block.
+func (r *XRelation) AddCertain(t types.Tuple) {
+	r.Tuples = append(r.Tuples, XTuple{Alts: []types.Tuple{t}})
+}
+
+// AddBlock appends a block of alternatives.
+func (r *XRelation) AddBlock(x XTuple) { r.Tuples = append(r.Tuples, x) }
+
+// WorldCount returns the number of possible worlds (capped multiplication).
+func (r *XRelation) WorldCount(cap int64) int64 {
+	n := int64(1)
+	for i := range r.Tuples {
+		c := int64(len(r.Tuples[i].Alts))
+		if r.Tuples[i].IsOptional() {
+			c++
+		}
+		n *= c
+		if n > cap {
+			return cap + 1
+		}
+	}
+	return n
+}
+
+// Worlds enumerates all possible worlds; it fails when more than limit
+// worlds would be produced.
+func (r *XRelation) Worlds(limit int) ([]*bag.Relation, error) {
+	if c := r.WorldCount(int64(limit)); c > int64(limit) {
+		return nil, fmt.Errorf("worlds: more than %d possible worlds", limit)
+	}
+	combos := []*bag.Relation{bag.New(r.Schema)}
+	for i := range r.Tuples {
+		blk := &r.Tuples[i]
+		var next []*bag.Relation
+		for _, w := range combos {
+			for _, alt := range blk.Alts {
+				nw := w.Clone()
+				nw.Add(alt, 1)
+				next = append(next, nw)
+			}
+			if blk.IsOptional() {
+				next = append(next, w.Clone())
+			}
+		}
+		combos = next
+	}
+	for _, w := range combos {
+		w.Merge()
+	}
+	return combos, nil
+}
+
+// SGW returns the selected-guess world: every block contributes its
+// highest-probability alternative unless omitting it is more likely
+// (Section 11.2).
+func (r *XRelation) SGW() *bag.Relation {
+	out := bag.New(r.Schema)
+	for i := range r.Tuples {
+		blk := &r.Tuples[i]
+		best := blk.BestAlt()
+		keep := true
+		if blk.Probs != nil && 1-blk.P() > blk.Probs[best] {
+			keep = false
+		}
+		if keep {
+			out.Add(blk.Alts[best], 1)
+		}
+	}
+	return out.Merge()
+}
+
+// Sample draws one world at random: each block independently picks an
+// alternative by probability (uniform when none are attached), possibly
+// none when optional.
+func (r *XRelation) Sample(rng *rand.Rand) *bag.Relation {
+	out := bag.New(r.Schema)
+	for i := range r.Tuples {
+		blk := &r.Tuples[i]
+		if blk.Probs == nil {
+			n := len(blk.Alts)
+			if blk.IsOptional() {
+				n++
+			}
+			pick := rng.Intn(n)
+			if pick < len(blk.Alts) {
+				out.Add(blk.Alts[pick], 1)
+			}
+			continue
+		}
+		u := rng.Float64()
+		acc := 0.0
+		picked := false
+		for a, p := range blk.Probs {
+			acc += p
+			if u < acc {
+				out.Add(blk.Alts[a], 1)
+				picked = true
+				break
+			}
+		}
+		_ = picked // falling through means the block is absent
+	}
+	return out.Merge()
+}
+
+// XDB is a database of x-relations.
+type XDB map[string]*XRelation
+
+// SGW extracts the selected-guess world of every relation.
+func (db XDB) SGW() bag.DB {
+	out := bag.DB{}
+	for n, r := range db {
+		out[n] = r.SGW()
+	}
+	return out
+}
+
+// Sample draws one deterministic database.
+func (db XDB) Sample(rng *rand.Rand) bag.DB {
+	out := bag.DB{}
+	for n, r := range db {
+		out[n] = r.Sample(rng)
+	}
+	return out
+}
+
+// Schemas returns a catalog view.
+func (db XDB) Schemas() map[string]schema.Schema {
+	out := map[string]schema.Schema{}
+	for n, r := range db {
+		out[strings.ToLower(n)] = r.Schema
+	}
+	return out
+}
+
+// EnumerateDB enumerates all database-level worlds (the cross product of
+// per-relation worlds), up to limit.
+func EnumerateDB(db XDB, limit int) ([]bag.DB, error) {
+	names := make([]string, 0, len(db))
+	for n := range db {
+		names = append(names, n)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	combos := []bag.DB{{}}
+	for _, n := range names {
+		ws, err := db[n].Worlds(limit)
+		if err != nil {
+			return nil, err
+		}
+		var next []bag.DB
+		for _, c := range combos {
+			for _, w := range ws {
+				nc := bag.DB{}
+				for k, v := range c {
+					nc[k] = v
+				}
+				nc[n] = w
+				next = append(next, nc)
+			}
+		}
+		if len(next) > limit {
+			return nil, fmt.Errorf("worlds: more than %d database worlds", limit)
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// CertainPossible computes, over a set of query results (one per world),
+// the exact certain multiplicity (glb = min across worlds) and possible
+// multiplicity (lub = max) of every tuple (Section 3.2.1 for K = N).
+func CertainPossible(results []*bag.Relation) (certain, possible *bag.Relation) {
+	if len(results) == 0 {
+		return nil, nil
+	}
+	s := results[0].Schema
+	counts := map[string][]int64{}
+	reps := map[string]types.Tuple{}
+	for wi, res := range results {
+		m := res.Clone().Merge()
+		for i, t := range m.Tuples {
+			k := t.Key()
+			if _, ok := counts[k]; !ok {
+				counts[k] = make([]int64, len(results))
+				reps[k] = t
+			}
+			counts[k][wi] = m.Counts[i]
+		}
+	}
+	certain, possible = bag.New(s), bag.New(s)
+	for k, cs := range counts {
+		mn, mx := cs[0], cs[0]
+		for _, c := range cs[1:] {
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		if mn > 0 {
+			certain.Add(reps[k], mn)
+		}
+		if mx > 0 {
+			possible.Add(reps[k], mx)
+		}
+	}
+	certain.Sort()
+	possible.Sort()
+	return certain, possible
+}

@@ -1,0 +1,268 @@
+package worlds
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+func row(vs ...int64) types.Tuple {
+	out := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestXTupleBasics(t *testing.T) {
+	x := XTuple{Alts: []types.Tuple{row(1), row(2)}, Probs: []float64{0.3, 0.5}}
+	if x.P() != 0.8 {
+		t.Errorf("P = %f", x.P())
+	}
+	if !x.IsOptional() {
+		t.Error("P<1 means optional")
+	}
+	if x.BestAlt() != 1 {
+		t.Error("best alt")
+	}
+	y := XTuple{Alts: []types.Tuple{row(1)}}
+	if y.IsOptional() || y.P() != 1 || y.BestAlt() != 0 {
+		t.Error("certain block")
+	}
+	z := XTuple{Alts: []types.Tuple{row(1)}, Optional: true}
+	if !z.IsOptional() || z.P() != 0.5 {
+		t.Error("explicitly optional block")
+	}
+}
+
+func TestXRelationWorlds(t *testing.T) {
+	r := NewXRelation(schema.New("v"))
+	r.AddCertain(row(1))
+	r.AddBlock(XTuple{Alts: []types.Tuple{row(2), row(3)}})
+	r.AddBlock(XTuple{Alts: []types.Tuple{row(4)}, Optional: true})
+	if got := r.WorldCount(100); got != 4 {
+		t.Errorf("world count %d", got)
+	}
+	ws, err := r.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("%d worlds", len(ws))
+	}
+	// Every world contains (1); exactly one of (2),(3); maybe (4).
+	for _, w := range ws {
+		if w.Count(row(1)) != 1 {
+			t.Error("certain tuple missing")
+		}
+		if w.Count(row(2))+w.Count(row(3)) != 1 {
+			t.Error("block must contribute exactly one alternative")
+		}
+	}
+	if _, err := r.Worlds(2); err == nil {
+		t.Error("limit should trigger")
+	}
+	if r.WorldCount(2) != 3 {
+		t.Error("capped world count")
+	}
+}
+
+func TestSGWAndSample(t *testing.T) {
+	r := NewXRelation(schema.New("v"))
+	r.AddBlock(XTuple{Alts: []types.Tuple{row(1), row(2)}, Probs: []float64{0.2, 0.7}})
+	r.AddBlock(XTuple{Alts: []types.Tuple{row(5)}, Probs: []float64{0.3}}) // absent more likely
+	sgw := r.SGW()
+	if sgw.Count(row(2)) != 1 {
+		t.Error("SGW should pick the 0.7 alternative")
+	}
+	if sgw.Count(row(5)) != 0 {
+		t.Error("SGW should drop the 0.3 block")
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[int64]int{}
+	for i := 0; i < 2000; i++ {
+		w := r.Sample(rng)
+		for _, v := range []int64{1, 2, 5} {
+			if w.Count(row(v)) > 0 {
+				counts[v]++
+			}
+		}
+	}
+	// Frequencies should approximate the marginals.
+	if counts[2] < 1200 || counts[2] > 1600 {
+		t.Errorf("sampled P(2) ~ %f", float64(counts[2])/2000)
+	}
+	if counts[5] < 450 || counts[5] > 750 {
+		t.Errorf("sampled P(5) ~ %f", float64(counts[5])/2000)
+	}
+	// Uniform sampling without probabilities.
+	u := NewXRelation(schema.New("v"))
+	u.AddBlock(XTuple{Alts: []types.Tuple{row(1), row(2)}})
+	w := u.Sample(rng)
+	if w.Size() != 1 {
+		t.Error("uniform block sample")
+	}
+}
+
+func TestEnumerateDBAndCertainPossible(t *testing.T) {
+	r := NewXRelation(schema.New("v"))
+	r.AddCertain(row(1))
+	r.AddBlock(XTuple{Alts: []types.Tuple{row(1), row(2)}})
+	s := NewXRelation(schema.New("w"))
+	s.AddBlock(XTuple{Alts: []types.Tuple{row(7)}, Optional: true})
+	db := XDB{"r": r, "s": s}
+	dbs, err := EnumerateDB(db, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 4 {
+		t.Fatalf("%d database worlds", len(dbs))
+	}
+	if len(db.Schemas()) != 2 {
+		t.Error("schemas")
+	}
+	sgw := db.SGW()
+	if sgw["r"].Count(row(1)) != 2 {
+		t.Error("db SGW")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if db.Sample(rng)["r"].Size() != 2 {
+		t.Error("db sample")
+	}
+	// Ground truth over the r-worlds.
+	ws, err := r.Worlds(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, poss := CertainPossible(ws)
+	if cert.Count(row(1)) != 1 { // (1) certain at least once (min over worlds: 1 or 2)
+		t.Errorf("certain:\n%s", cert)
+	}
+	if poss.Count(row(1)) != 2 || poss.Count(row(2)) != 1 {
+		t.Errorf("possible:\n%s", poss)
+	}
+	if c, p := CertainPossible(nil); c != nil || p != nil {
+		t.Error("empty results")
+	}
+	if _, err := EnumerateDB(db, 2); err == nil {
+		t.Error("db enumeration limit")
+	}
+}
+
+func TestCTableWorlds(t *testing.T) {
+	// Two variables x,y over {1,2}; row1 = (x); row2 = (y) if x != y;
+	// global: true.
+	ct := &CTable{
+		Schema: schema.New("v"),
+		Vars: []CVar{
+			{Name: "x", Domain: []types.Value{types.Int(1), types.Int(2)}},
+			{Name: "y", Domain: []types.Value{types.Int(1), types.Int(2)}},
+		},
+	}
+	ct.Rows = []CRow{
+		{Cells: []CValue{CRef("x")}},
+		{Cells: []CValue{CRef("y")}, Local: expr.Neq(ct.Ref("x"), ct.Ref("y"))},
+	}
+	ws, err := ct.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valuations: (1,1)->{1}, (1,2)->{1,2}, (2,1)->{2,1}, (2,2)->{2}
+	// Distinct worlds: {1}, {1,2}, {2} = 3.
+	if len(ws) != 3 {
+		t.Fatalf("%d distinct worlds", len(ws))
+	}
+	sgw, err := ct.SGW(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgw.Count(row(1)) != 1 || sgw.Size() != 1 {
+		t.Errorf("SGW:\n%s", sgw)
+	}
+}
+
+func TestCTableGlobalCondition(t *testing.T) {
+	ct := &CTable{
+		Schema: schema.New("v"),
+		Vars: []CVar{
+			{Name: "x", Domain: []types.Value{types.Int(1), types.Int(2), types.Int(3)},
+				Probs: []float64{0.2, 0.5, 0.3}},
+		},
+	}
+	ct.Global = expr.Gt(ct.Ref("x"), expr.CInt(1))
+	ct.Rows = []CRow{{Cells: []CValue{CRef("x")}}}
+	ws, err := ct.Worlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 { // x=2, x=3
+		t.Fatalf("%d worlds", len(ws))
+	}
+	// Best valuation x=2 (highest prob) satisfies the global condition.
+	mu, err := ct.BestValuation(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu[0].AsInt() != 2 {
+		t.Errorf("best valuation %v", mu)
+	}
+	// Unsatisfiable global condition.
+	bad := &CTable{
+		Schema: schema.New("v"),
+		Vars:   []CVar{{Name: "x", Domain: []types.Value{types.Int(1)}}},
+		Global: expr.Gt(expr.Col(0, "x"), expr.CInt(9)),
+		Rows:   []CRow{{Cells: []CValue{CRef("x")}}},
+	}
+	if _, err := bad.Worlds(10); err == nil {
+		t.Error("unsatisfiable C-table should error")
+	}
+	if _, err := bad.BestValuation(10); err == nil {
+		t.Error("unsatisfiable best valuation should error")
+	}
+	// Global condition filtering inside BestValuation fallback.
+	fall := &CTable{
+		Schema: schema.New("v"),
+		Vars: []CVar{{Name: "x", Domain: []types.Value{types.Int(1), types.Int(5)},
+			Probs: []float64{0.9, 0.1}}},
+		Rows: []CRow{{Cells: []CValue{CRef("x")}}},
+	}
+	fall.Global = expr.Gt(fall.Ref("x"), expr.CInt(2))
+	mu, err = fall.BestValuation(10)
+	if err != nil || mu[0].AsInt() != 5 {
+		t.Errorf("fallback valuation %v err %v", mu, err)
+	}
+}
+
+func TestCTableUnknownVariable(t *testing.T) {
+	ct := &CTable{
+		Schema: schema.New("v"),
+		Vars:   []CVar{{Name: "x", Domain: []types.Value{types.Int(1)}}},
+		Rows:   []CRow{{Cells: []CValue{CRef("nope")}}},
+	}
+	if _, err := ct.Worlds(10); err == nil {
+		t.Error("unknown variable should error")
+	}
+	if ct.VarIndex("nope") != -1 {
+		t.Error("VarIndex missing")
+	}
+}
+
+func TestCTableValuationLimit(t *testing.T) {
+	dom := make([]types.Value, 10)
+	for i := range dom {
+		dom[i] = types.Int(int64(i))
+	}
+	ct := &CTable{
+		Schema: schema.New("v"),
+		Vars: []CVar{
+			{Name: "a", Domain: dom}, {Name: "b", Domain: dom}, {Name: "c", Domain: dom},
+		},
+		Rows: []CRow{{Cells: []CValue{CRef("a")}}},
+	}
+	if _, err := ct.Worlds(100); err == nil {
+		t.Error("valuation explosion should error")
+	}
+}
