@@ -1,0 +1,3 @@
+module github.com/audb/audb
+
+go 1.21
