@@ -29,6 +29,15 @@
 // models (tuple-independent tables, block-independent x-tables, C-tables)
 // and from cleaning lenses such as key repair; see FromXTable, FromTITable,
 // FromCTable and RepairKey.
+//
+// Performance is tuned through Options (see SetOptions). JoinCompression
+// and AggCompression enable the paper's split+compress optimizations
+// (Sections 10.4-10.5), trading bound tightness for running time. Workers
+// sets the number of goroutines the executor may use for the hot operators
+// (hybrid join, aggregation, selection, projection, split): 0 — the
+// default — means one worker per CPU, 1 forces the serial reference
+// evaluation. Query results are bit-identical for every worker count, so
+// parallelism never affects the paper's bound-preservation guarantees.
 package audb
 
 import (
@@ -143,7 +152,9 @@ func (t *UncertainTable) Rel() *core.Relation { return t.rel }
 type Result = core.Relation
 
 // Options tunes the performance/precision trade-offs of Section 10.4-10.5
-// of the paper; the zero value evaluates the exact semantics.
+// of the paper and executor parallelism; the zero value evaluates the
+// exact semantics with one worker goroutine per CPU. Set Workers to 1 for
+// the serial reference evaluation (results are identical either way).
 type Options = core.Options
 
 // Database is a collection of AU-relations queryable with SQL.

@@ -230,7 +230,7 @@ func avgBounds(sum, cnt rangeval.V) rangeval.V {
 func execAgg(t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	in, err := exec(t.Child, db, cat, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: aggregation input: %w", err)
 	}
 	plans, err := planAggs(t.Aggs)
 	if err != nil {
@@ -243,30 +243,99 @@ func execAgg(t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	return aggregate(in, t.GroupBy, plans, outSchema, opt)
 }
 
-// buildContribs evaluates argument ranges for every tuple. The extra final
-// slot carries the count(*) indicator used by AVG counts.
-func buildContribs(in *Relation, groupBy []int, plans []aggPlan) ([]contrib, error) {
+// buildContribs evaluates argument ranges for every tuple, chunked across
+// workers (each contribution is independent and lands in its input slot).
+// The extra final slot carries the count(*) indicator used by AVG counts.
+func buildContribs(in *Relation, groupBy []int, plans []aggPlan, workers int) ([]contrib, error) {
 	one := rangeval.Certain(types.Int(1))
 	out := make([]contrib, len(in.Tuples))
-	for i, tup := range in.Tuples {
-		args := make([]rangeval.V, len(plans)+1)
-		for j, p := range plans {
-			v, err := p.arg(tup.Vals)
-			if err != nil {
-				return nil, fmt.Errorf("core: aggregate %s: %w", p.spec.Name, err)
+	spans := chunkSpans(len(in.Tuples), workers, minParTuples)
+	err := runSpans(spans, func(_ int, s span) error {
+		for i := s.lo; i < s.hi; i++ {
+			tup := in.Tuples[i]
+			args := make([]rangeval.V, len(plans)+1)
+			for j, p := range plans {
+				v, err := p.arg(tup.Vals)
+				if err != nil {
+					return fmt.Errorf("core: aggregate %s: %w", p.spec.Name, err)
+				}
+				args[j] = v
 			}
-			args[j] = v
+			args[len(plans)] = one
+			gb := tup.Vals.Project(groupBy)
+			out[i] = contrib{
+				gb:   gb,
+				m:    tup.M,
+				args: args,
+				ug:   tup.M.Lo == 0 || !gb.IsCertain(),
+			}
 		}
-		args[len(plans)] = one
-		gb := tup.Vals.Project(groupBy)
-		out[i] = contrib{
-			gb:   gb,
-			m:    tup.M,
-			args: args,
-			ug:   tup.M.Lo == 0 || !gb.IsCertain(),
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// outGroup is one output group of the default grouping strategy.
+type outGroup struct {
+	gbox    rangeval.Tuple
+	members []int
+}
+
+// buildGroups assigns every contribution to its output group (Definition
+// 24: one output per distinct SG group-by value) and folds the group's
+// bounding box (Definition 25). Workers build partial group maps over
+// contiguous chunks; merging partials in chunk order reproduces the serial
+// first-seen group order and ascending member order exactly.
+func buildGroups(exact []contrib, groupBy []int, workers int) (map[string]*outGroup, []string) {
+	spans := chunkSpans(len(exact), workers, minParTuples)
+	maps := make([]map[string]*outGroup, len(spans))
+	orders := make([][]string, len(spans))
+	_ = runSpans(spans, func(c int, s span) error {
+		maps[c], orders[c] = buildGroupsRange(exact, groupBy, s.lo, s.hi)
+		return nil
+	})
+	if len(spans) == 0 {
+		return map[string]*outGroup{}, nil
+	}
+	groups, order := maps[0], orders[0]
+	for c := 1; c < len(spans); c++ {
+		for _, k := range orders[c] {
+			part := maps[c][k]
+			if g, ok := groups[k]; ok {
+				g.gbox = g.gbox.Union(part.gbox)
+				g.members = append(g.members, part.members...)
+				continue
+			}
+			groups[k] = part
+			order = append(order, k)
+		}
+	}
+	return groups, order
+}
+
+// buildGroupsRange is the serial group assignment over contribs [lo, hi).
+func buildGroupsRange(exact []contrib, groupBy []int, lo, hi int) (map[string]*outGroup, []string) {
+	groups := map[string]*outGroup{}
+	var order []string
+	for i := lo; i < hi; i++ {
+		k := exact[i].gb.SGKey()
+		g, ok := groups[k]
+		if !ok {
+			sgCert := make(rangeval.Tuple, len(groupBy))
+			for j := range groupBy {
+				sgCert[j] = rangeval.Certain(exact[i].gb[j].SG)
+			}
+			g = &outGroup{gbox: sgCert}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.gbox = g.gbox.Union(exact[i].gb) // Definition 25
+		g.members = append(g.members, i)
+	}
+	return groups, order
 }
 
 // compressContribs merges contributions down to roughly n entries
@@ -313,7 +382,8 @@ func compressContribs(cs []contrib, n int) []contrib {
 
 // aggregate executes grouping (or global) aggregation.
 func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Schema, opt Options) (*Relation, error) {
-	exact, err := buildContribs(in, groupBy, plans)
+	workers := opt.workerCount()
+	exact, err := buildContribs(in, groupBy, plans, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -321,28 +391,7 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 	// Default grouping strategy (Definition 24): one output per distinct
 	// SG group-by value; α assigns every tuple by its SG values. Without
 	// group-by there is a single output group.
-	type outGroup struct {
-		sgKey   string
-		gbox    rangeval.Tuple
-		members []int
-	}
-	groups := map[string]*outGroup{}
-	var order []string
-	for i := range exact {
-		k := exact[i].gb.SGKey()
-		g, ok := groups[k]
-		if !ok {
-			sgCert := make(rangeval.Tuple, len(groupBy))
-			for j := range groupBy {
-				sgCert[j] = rangeval.Certain(exact[i].gb[j].SG)
-			}
-			g = &outGroup{sgKey: k, gbox: sgCert}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.gbox = g.gbox.Union(exact[i].gb) // Definition 25
-		g.members = append(g.members, i)
-	}
+	groups, order := buildGroups(exact, groupBy, workers)
 
 	out := New(outSchema)
 	noGroup := len(groupBy) == 0
@@ -378,9 +427,11 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 		}
 	}
 
-	for _, k := range order {
-		g := groups[k]
-
+	// Every output group folds an independent slice of read-only state
+	// (contributions, indexes), so groups are computed in parallel chunks;
+	// appending rows in group order keeps the output identical to the
+	// serial loop.
+	computeGroup := func(g *outGroup) (Tuple, error) {
 		// Lower/upper aggregate bounds from ð(g) (Definition 26).
 		accs := make([]*boundsAcc, len(plans))
 		cntAccs := make([]*boundsAcc, len(plans))
@@ -415,13 +466,13 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 			// overlapping box contributions.
 			for _, ci := range pointIdx[g.gbox.SGKey()] {
 				if err := fold(joinSide[ci], true); err != nil {
-					return nil, err
+					return Tuple{}, err
 				}
 			}
 			for _, ci := range boxIdx {
 				if joinSide[ci].gb.Overlaps(g.gbox) {
 					if err := fold(joinSide[ci], false); err != nil {
-						return nil, err
+						return Tuple{}, err
 					}
 				}
 			}
@@ -430,7 +481,7 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 				if joinSide[cis[0]].gb.Overlaps(g.gbox) {
 					for _, ci := range cis {
 						if err := fold(joinSide[ci], false); err != nil {
-							return nil, err
+							return Tuple{}, err
 						}
 					}
 				}
@@ -438,7 +489,7 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 			for _, ci := range boxIdx {
 				if joinSide[ci].gb.Overlaps(g.gbox) {
 					if err := fold(joinSide[ci], false); err != nil {
-						return nil, err
+						return Tuple{}, err
 					}
 				}
 			}
@@ -461,18 +512,18 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 			for j, p := range plans {
 				x, err := p.monoid.star(c.m.SG, c.args[j].SG)
 				if err != nil {
-					return nil, err
+					return Tuple{}, err
 				}
 				if sgVals[j], err = p.monoid.plus(sgVals[j], x); err != nil {
-					return nil, err
+					return Tuple{}, err
 				}
 				if p.isAvg {
 					cx, err := types.Mul(types.Int(c.m.SG), c.args[len(plans)].SG)
 					if err != nil {
-						return nil, err
+						return Tuple{}, err
 					}
 					if sgCnts[j], err = types.Add(sgCnts[j], cx); err != nil {
-						return nil, err
+						return Tuple{}, err
 					}
 				}
 			}
@@ -506,7 +557,26 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 				row = append(row, sum)
 			}
 		}
-		out.Add(Tuple{Vals: row, M: m})
+		return Tuple{Vals: row, M: m}, nil
+	}
+
+	rows := make([]Tuple, len(order))
+	spans := chunkSpans(len(order), workers, minParGroups)
+	err = runSpans(spans, func(_ int, s span) error {
+		for gi := s.lo; gi < s.hi; gi++ {
+			row, err := computeGroup(groups[order[gi]])
+			if err != nil {
+				return err
+			}
+			rows[gi] = row
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		out.Add(row)
 	}
 	return out, nil
 }

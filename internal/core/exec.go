@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 
 	"github.com/audb/audb/internal/ra"
@@ -24,11 +25,19 @@ type Options struct {
 	// exact hash-partitioned fast path. Used to reproduce the "Non-Op"
 	// series of Figure 14.
 	NaiveJoin bool
+	// Workers is the number of goroutines the executor may use for the hot
+	// operators (hybrid join, aggregation, selection, projection, split).
+	// 0 (the zero value) means runtime.GOMAXPROCS(0); 1 forces the serial
+	// reference evaluation. Results are identical for every worker count.
+	Workers int
 }
 
 // Exec evaluates an RA_agg plan over an AU-database using the
 // bound-preserving semantics of Sections 7-9 and returns the merged result.
 func Exec(n ra.Node, db DB, opt Options) (*Relation, error) {
+	if n == nil {
+		return nil, fmt.Errorf("core: nil plan")
+	}
 	cat := ra.CatalogMap(db.Schemas())
 	out, err := exec(n, db, cat, opt)
 	if err != nil {
@@ -38,6 +47,11 @@ func Exec(n ra.Node, db DB, opt Options) (*Relation, error) {
 }
 
 func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	if isNilNode(n) {
+		// A nil child reached through a nested operator (e.g. a
+		// hand-built plan with a missing input).
+		return nil, fmt.Errorf("core: nil plan node")
+	}
 	switch t := n.(type) {
 	case *ra.Scan:
 		r, ok := db[t.Table]
@@ -92,6 +106,16 @@ func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	return nil, fmt.Errorf("core: unknown node %T", n)
 }
 
+// isNilNode reports whether n is nil or a typed nil pointer boxed in the
+// interface — both would panic deep inside an operator otherwise.
+func isNilNode(n ra.Node) bool {
+	if n == nil {
+		return true
+	}
+	v := reflect.ValueOf(n)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}
+
 // condMult maps a range-annotated boolean to an N^AU element (Definition 19
 // and 20): true components become 1, false components 0.
 func condMult(v rangeval.V) Mult {
@@ -106,22 +130,27 @@ func condMult(v rangeval.V) Mult {
 
 // execSelect implements σ over N^AU (Section 7): the annotation of each
 // tuple is multiplied by the condition's annotation triple. Tuples whose
-// upper bound drops to zero are certainly absent and removed.
+// upper bound drops to zero are certainly absent and removed. Tuples are
+// predicate-checked in parallel chunks; output order is the input order.
 func execSelect(t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	in, err := exec(t.Child, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
 	out := New(in.Schema)
-	for _, tup := range in.Tuples {
+	out.Tuples, err = parMapTuples(in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
 		v, err := t.Pred.EvalRange(tup.Vals)
 		if err != nil {
-			return nil, fmt.Errorf("core: selection: %w", err)
+			return fmt.Errorf("core: selection: %w", err)
 		}
 		m := tup.M.Mul(condMult(v))
 		if m.Hi > 0 {
-			out.Add(Tuple{Vals: tup.Vals, M: m})
+			emit(Tuple{Vals: tup.Vals, M: m})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -139,16 +168,20 @@ func execProject(t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, 
 		attrs[i] = c.Name
 	}
 	out := New(schema.Schema{Attrs: attrs})
-	for _, tup := range in.Tuples {
+	out.Tuples, err = parMapTuples(in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
 		row := make(rangeval.Tuple, len(t.Cols))
 		for j, c := range t.Cols {
 			v, err := c.E.EvalRange(tup.Vals)
 			if err != nil {
-				return nil, fmt.Errorf("core: projection %s: %w", c.Name, err)
+				return fmt.Errorf("core: projection %s: %w", c.Name, err)
 			}
 			row[j] = v
 		}
-		out.Add(Tuple{Vals: row, M: tup.M})
+		emit(Tuple{Vals: row, M: tup.M})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out.Merge(), nil
 }
@@ -189,22 +222,34 @@ func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation
 	}
 	comb := in.SGCombine()
 	out := New(in.Schema)
-	for i, tup := range comb.Tuples {
-		m := Mult{Lo: 0, SG: delta(tup.M.SG), Hi: tup.M.Hi}
-		if tup.Vals.IsCertain() {
-			m.Hi = delta(m.Hi)
-		}
-		overlapsOther := false
-		for j, other := range comb.Tuples {
-			if i != j && tup.Vals.Overlaps(other.Vals) {
-				overlapsOther = true
-				break
+	rows := make([]Tuple, len(comb.Tuples))
+	spans := chunkSpans(len(comb.Tuples), opt.workerCount(), minParGroups)
+	err = runSpans(spans, func(_ int, s span) error {
+		for i := s.lo; i < s.hi; i++ {
+			tup := comb.Tuples[i]
+			m := Mult{Lo: 0, SG: delta(tup.M.SG), Hi: tup.M.Hi}
+			if tup.Vals.IsCertain() {
+				m.Hi = delta(m.Hi)
 			}
+			overlapsOther := false
+			for j, other := range comb.Tuples {
+				if i != j && tup.Vals.Overlaps(other.Vals) {
+					overlapsOther = true
+					break
+				}
+			}
+			if !overlapsOther {
+				m.Lo = delta(tup.M.Lo)
+			}
+			rows[i] = Tuple{Vals: tup.Vals, M: m}
 		}
-		if !overlapsOther {
-			m.Lo = delta(tup.M.Lo)
-		}
-		out.Add(Tuple{Vals: tup.Vals, M: m})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		out.Add(row)
 	}
 	return out, nil
 }

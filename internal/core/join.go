@@ -28,19 +28,20 @@ import (
 func execJoin(t *ra.Join, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	l, err := exec(t.Left, db, cat, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: join left input: %w", err)
 	}
 	r, err := exec(t.Right, db, cat, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: join right input: %w", err)
 	}
+	w := opt.workerCount()
 	if opt.JoinCompression > 0 {
-		return joinOptimized(l, r, t.Cond, opt.JoinCompression)
+		return joinOptimized(l, r, t.Cond, opt.JoinCompression, w)
 	}
 	if opt.NaiveJoin {
-		return joinNested(l, r, t.Cond, nil, nil)
+		return joinNested(l, r, t.Cond, nil, nil, w)
 	}
-	return joinHybrid(l, r, t.Cond)
+	return joinHybrid(l, r, t.Cond, w)
 }
 
 // joinPair combines one pair of tuples under the condition, returning a
@@ -59,8 +60,10 @@ func joinPair(lt, rt Tuple, cond expr.Expr) (Tuple, error) {
 }
 
 // joinNested is the quadratic overlap join. When leftIdx/rightIdx are
-// non-nil only those row indices participate.
-func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int) (*Relation, error) {
+// non-nil only those row indices participate. The outer rows are
+// block-partitioned across workers; each block's pairs are produced in the
+// serial order, and blocks concatenate in order.
+func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int, workers int) (*Relation, error) {
 	out := New(l.Schema.Concat(r.Schema))
 	li := leftIdx
 	if li == nil {
@@ -70,17 +73,34 @@ func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int) (*Relat
 	if ri == nil {
 		ri = allIdx(len(r.Tuples))
 	}
-	for _, i := range li {
-		for _, j := range ri {
-			tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
-			if err != nil {
-				return nil, err
-			}
-			if tup.M.Hi > 0 {
-				out.Add(tup)
+	if len(ri) == 0 {
+		return out, nil
+	}
+	// Size outer chunks so each holds at least minParPairs pairs.
+	minRows := (minParPairs + len(ri) - 1) / len(ri)
+	spans := chunkSpans(len(li), workers, minRows)
+	bufs := make([][]Tuple, len(spans))
+	err := runSpans(spans, func(c int, s span) error {
+		var buf []Tuple
+		for _, i := range li[s.lo:s.hi] {
+			lt := l.Tuples[i]
+			for _, j := range ri {
+				tup, err := joinPair(lt, r.Tuples[j], cond)
+				if err != nil {
+					return err
+				}
+				if tup.M.Hi > 0 {
+					buf = append(buf, tup)
+				}
 			}
 		}
+		bufs[c] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Tuples = concatTuples(bufs)
 	return out, nil
 }
 
@@ -94,8 +114,9 @@ func allIdx(n int) []int {
 
 // joinHybrid partitions both inputs on the certainty of the equality-join
 // attributes and hash joins the certain parts. Exact: identical result to
-// joinNested.
-func joinHybrid(l, r *Relation, cond expr.Expr) (*Relation, error) {
+// joinNested. The hash-probe side and the uncertain nested-loop quadrants
+// are both partitioned across workers.
+func joinHybrid(l, r *Relation, cond expr.Expr, workers int) (*Relation, error) {
 	split := l.Schema.Arity()
 	var lCols, rCols []int
 	if cond != nil {
@@ -107,7 +128,7 @@ func joinHybrid(l, r *Relation, cond expr.Expr) (*Relation, error) {
 		}
 	}
 	if len(lCols) == 0 {
-		return joinNested(l, r, cond, nil, nil)
+		return joinNested(l, r, cond, nil, nil, workers)
 	}
 
 	lCert, lUnc := partitionCertain(l, lCols)
@@ -118,23 +139,35 @@ func joinHybrid(l, r *Relation, cond expr.Expr) (*Relation, error) {
 	// Certain x certain: hash join on SG values of the join columns. The
 	// full condition is still evaluated with range semantics to account
 	// for residual conjuncts over other (possibly uncertain) attributes.
+	// The build side is sequential; probes run chunked over workers.
 	index := make(map[string][]int, len(rCert))
 	for _, j := range rCert {
 		k := sgKeyOn(r.Tuples[j].Vals, rCols)
 		index[k] = append(index[k], j)
 	}
-	for _, i := range lCert {
-		k := sgKeyOn(l.Tuples[i].Vals, lCols)
-		for _, j := range index[k] {
-			tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
-			if err != nil {
-				return nil, err
-			}
-			if tup.M.Hi > 0 {
-				out.Add(tup)
+	spans := chunkSpans(len(lCert), workers, minParTuples)
+	bufs := make([][]Tuple, len(spans))
+	err := runSpans(spans, func(c int, s span) error {
+		var buf []Tuple
+		for _, i := range lCert[s.lo:s.hi] {
+			k := sgKeyOn(l.Tuples[i].Vals, lCols)
+			for _, j := range index[k] {
+				tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
+				if err != nil {
+					return err
+				}
+				if tup.M.Hi > 0 {
+					buf = append(buf, tup)
+				}
 			}
 		}
+		bufs[c] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Tuples = concatTuples(bufs)
 
 	// Pairs involving an uncertain side: nested loops. Empty partitions
 	// must be skipped explicitly (joinNested treats nil as "all rows").
@@ -142,7 +175,7 @@ func joinHybrid(l, r *Relation, cond expr.Expr) (*Relation, error) {
 		if len(li) == 0 || len(ri) == 0 {
 			return nil
 		}
-		part, err := joinNested(l, r, cond, li, ri)
+		part, err := joinNested(l, r, cond, li, ri, workers)
 		if err != nil {
 			return err
 		}
@@ -194,11 +227,11 @@ func sgKeyOn(t rangeval.Tuple, cols []int) string {
 // The SG join sees only attribute-certain tuples and uses the exact hybrid
 // path (pure hash join there); the possible join is bounded by ct tuples
 // per side. Lemma 10.1: the result bounds the un-optimized result.
-func joinOptimized(l, r *Relation, cond expr.Expr, ct int) (*Relation, error) {
-	lSG, lUp := Split(l)
-	rSG, rUp := Split(r)
+func joinOptimized(l, r *Relation, cond expr.Expr, ct, workers int) (*Relation, error) {
+	lSG, lUp := splitN(l, workers)
+	rSG, rUp := splitN(r, workers)
 
-	sgJoin, err := joinHybrid(lSG, rSG, cond)
+	sgJoin, err := joinHybrid(lSG, rSG, cond, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +259,7 @@ func joinOptimized(l, r *Relation, cond expr.Expr, ct int) (*Relation, error) {
 		lCpr = Compress(lUp, la, ct)
 		rCpr = Compress(rUp, ra, ct)
 	}
-	posJoin, err := joinNested(lCpr, rCpr, cond, nil, nil)
+	posJoin, err := joinNested(lCpr, rCpr, cond, nil, nil, workers)
 	if err != nil {
 		return nil, err
 	}

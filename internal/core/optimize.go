@@ -18,28 +18,46 @@ import (
 //
 // Lemma 6: split_sg(R) ∪ split↑(R) bounds whatever R bounds, and encodes
 // the same selected-guess world.
-func Split(r *Relation) (sg, up *Relation) {
+func Split(r *Relation) (sg, up *Relation) { return splitN(r, 1) }
+
+// splitN is Split with chunked parallel evaluation: workers build partial
+// split_sg relations over contiguous tuple ranges which are merged in chunk
+// order, reproducing the serial first-seen tuple order and (commutative)
+// annotation sums exactly.
+func splitN(r *Relation, workers int) (sg, up *Relation) {
+	spans := chunkSpans(len(r.Tuples), workers, minParTuples)
+	parts := make([]*Relation, len(spans))
+	upBufs := make([][]Tuple, len(spans))
+	_ = runSpans(spans, func(c int, s span) error {
+		parts[c] = splitSGRange(r, s.lo, s.hi)
+		buf := make([]Tuple, 0, s.hi-s.lo)
+		for _, t := range r.Tuples[s.lo:s.hi] {
+			if t.M.Hi > 0 {
+				buf = append(buf, Tuple{Vals: t.Vals, M: Mult{0, 0, t.M.Hi}})
+			}
+		}
+		upBufs[c] = buf
+		return nil
+	})
+
 	sg = New(r.Schema)
-	idx := map[string]int{}
-	for _, t := range r.Tuples {
-		cert := make(rangeval.Tuple, len(t.Vals))
-		for i, v := range t.Vals {
-			cert[i] = rangeval.Certain(v.SG)
+	if len(parts) > 0 {
+		sg = parts[0]
+		idx := make(map[string]int, len(sg.Tuples))
+		for j, t := range sg.Tuples {
+			idx[t.Vals.SGKey()] = j
 		}
-		lo := int64(0)
-		if t.Vals.IsCertain() {
-			lo = t.M.Lo
+		for _, part := range parts[1:] {
+			for _, t := range part.Tuples {
+				k := t.Vals.SGKey()
+				if j, ok := idx[k]; ok {
+					sg.Tuples[j].M = sg.Tuples[j].M.Add(t.M)
+					continue
+				}
+				idx[k] = len(sg.Tuples)
+				sg.Tuples = append(sg.Tuples, t)
+			}
 		}
-		k := cert.SGKey()
-		if j, ok := idx[k]; ok {
-			sg.Tuples[j].M = sg.Tuples[j].M.Add(Mult{lo, t.M.SG, t.M.SG})
-			continue
-		}
-		if t.M.SG <= 0 && lo <= 0 {
-			continue
-		}
-		idx[k] = len(sg.Tuples)
-		sg.Tuples = append(sg.Tuples, Tuple{Vals: cert, M: Mult{lo, t.M.SG, t.M.SG}})
 	}
 	// Normalize: lower bounds may not exceed SG counts after merging.
 	kept := sg.Tuples[:0]
@@ -54,12 +72,38 @@ func Split(r *Relation) (sg, up *Relation) {
 	sg.Tuples = kept
 
 	up = New(r.Schema)
-	for _, t := range r.Tuples {
-		if t.M.Hi > 0 {
-			up.Add(Tuple{Vals: t.Vals, M: Mult{0, 0, t.M.Hi}})
-		}
-	}
+	up.Tuples = concatTuples(upBufs)
 	return sg, up
+}
+
+// splitSGRange builds the split_sg contribution of tuples [lo, hi). Tuples
+// that are certainly absent everywhere (SG and lower bound both zero)
+// create no entry, matching the serial construction; merged entries sum
+// annotations.
+func splitSGRange(r *Relation, lo, hi int) *Relation {
+	sg := New(r.Schema)
+	idx := map[string]int{}
+	for _, t := range r.Tuples[lo:hi] {
+		cert := make(rangeval.Tuple, len(t.Vals))
+		for i, v := range t.Vals {
+			cert[i] = rangeval.Certain(v.SG)
+		}
+		mLo := int64(0)
+		if t.Vals.IsCertain() {
+			mLo = t.M.Lo
+		}
+		k := cert.SGKey()
+		if j, ok := idx[k]; ok {
+			sg.Tuples[j].M = sg.Tuples[j].M.Add(Mult{mLo, t.M.SG, t.M.SG})
+			continue
+		}
+		if t.M.SG <= 0 && mLo <= 0 {
+			continue
+		}
+		idx[k] = len(sg.Tuples)
+		sg.Tuples = append(sg.Tuples, Tuple{Vals: cert, M: Mult{mLo, t.M.SG, t.M.SG}})
+	}
+	return sg
 }
 
 // Compress implements Cpr_{A,n} (Section 10.4): group tuples into at most n

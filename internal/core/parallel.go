@@ -1,0 +1,123 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel executor partitions operator inputs into contiguous chunks
+// and evaluates chunks on worker goroutines. Every parallel path merges its
+// per-chunk results in chunk order, so the output — tuple order, annotation
+// sums, group order — is identical to the serial left-to-right evaluation
+// and Workers: 1 remains the reference semantics for the paper's
+// bound-preservation guarantees.
+
+// Minimum work per chunk before an operator goes parallel: below these
+// sizes goroutine spawn and merge overhead dominates the work itself.
+const (
+	minParTuples = 1024 // per-tuple maps (selection, projection, split)
+	minParPairs  = 4096 // nested-loop join pairs
+	minParGroups = 16   // aggregation output groups
+)
+
+// workerCount resolves Options.Workers: 0 (the zero value) means one worker
+// per available CPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// span is a half-open index interval [lo, hi).
+type span struct{ lo, hi int }
+
+// chunkSpans partitions [0, n) into at most w contiguous spans of at least
+// min indices each. A single span signals the serial fallback.
+func chunkSpans(n, w, min int) []span {
+	if n <= 0 {
+		return nil
+	}
+	if min < 1 {
+		min = 1
+	}
+	nc := w
+	if limit := n / min; nc > limit {
+		nc = limit
+	}
+	if nc < 1 {
+		nc = 1
+	}
+	out := make([]span, nc)
+	for c := 0; c < nc; c++ {
+		out[c] = span{lo: c * n / nc, hi: (c + 1) * n / nc}
+	}
+	return out
+}
+
+// runSpans executes body once per span — inline for a single span,
+// otherwise one goroutine per span. It reports the error of the earliest
+// failing span, matching what the serial evaluation order would surface.
+func runSpans(spans []span, body func(c int, s span) error) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	if len(spans) == 1 {
+		return body(0, spans[0])
+	}
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for c := range spans {
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = body(c, spans[c])
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parMapTuples maps fn over in with the given parallelism. Each chunk emits
+// into its own buffer and the buffers are concatenated in chunk order, so
+// the result equals the serial left-to-right map regardless of workers.
+func parMapTuples(in []Tuple, workers int, fn func(t Tuple, emit func(Tuple)) error) ([]Tuple, error) {
+	spans := chunkSpans(len(in), workers, minParTuples)
+	bufs := make([][]Tuple, len(spans))
+	err := runSpans(spans, func(c int, s span) error {
+		buf := make([]Tuple, 0, s.hi-s.lo)
+		emit := func(t Tuple) { buf = append(buf, t) }
+		for _, t := range in[s.lo:s.hi] {
+			if err := fn(t, emit); err != nil {
+				return err
+			}
+		}
+		bufs[c] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatTuples(bufs), nil
+}
+
+// concatTuples flattens per-chunk buffers preserving chunk order.
+func concatTuples(bufs [][]Tuple) []Tuple {
+	if len(bufs) == 1 {
+		return bufs[0]
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([]Tuple, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
