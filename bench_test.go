@@ -70,29 +70,37 @@ func BenchmarkSelectDeterministic(b *testing.B) {
 	}
 }
 
-func BenchmarkSelectAUDB(b *testing.B) {
+func benchSelectAUDB(b *testing.B, workers int) {
 	_, audb := microData(20000, 0.05)
 	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
 		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Exec(plan, audb, core.Options{}); err != nil {
+		if _, err := core.Exec(plan, audb, core.Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkAggAUDB(b *testing.B) {
+// Serial (Workers: 1) vs parallel (Workers: 0 = one per CPU) pairs for the
+// hot operators; identical results, different wall-clock.
+func BenchmarkSelectAUDB(b *testing.B)         { benchSelectAUDB(b, 1) }
+func BenchmarkSelectAUDBParallel(b *testing.B) { benchSelectAUDB(b, 0) }
+
+func benchAggAUDB(b *testing.B, workers int) {
 	_, audb := microData(20000, 0.05)
 	plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Exec(plan, audb, core.Options{AggCompression: 64}); err != nil {
+		if _, err := core.Exec(plan, audb, core.Options{AggCompression: 64, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkAggAUDB(b *testing.B)         { benchAggAUDB(b, 1) }
+func BenchmarkAggAUDBParallel(b *testing.B) { benchAggAUDB(b, 0) }
 
 func benchJoin(b *testing.B, opts core.Options, rows int) {
 	t1, t2 := synth.JoinPair(rows, int64(rows), 7)
@@ -110,9 +118,41 @@ func benchJoin(b *testing.B, opts core.Options, rows int) {
 	}
 }
 
-func BenchmarkJoinAUDBExact(b *testing.B)      { benchJoin(b, core.Options{}, 4000) }
-func BenchmarkJoinAUDBCompressed(b *testing.B) { benchJoin(b, core.Options{JoinCompression: 32}, 4000) }
-func BenchmarkJoinAUDBNaive(b *testing.B)      { benchJoin(b, core.Options{NaiveJoin: true}, 1000) }
+func BenchmarkJoinAUDBExact(b *testing.B) { benchJoin(b, core.Options{Workers: 1}, 4000) }
+func BenchmarkJoinAUDBExactParallel(b *testing.B) {
+	benchJoin(b, core.Options{}, 4000)
+}
+func BenchmarkJoinAUDBCompressed(b *testing.B) {
+	benchJoin(b, core.Options{JoinCompression: 32, Workers: 1}, 4000)
+}
+func BenchmarkJoinAUDBCompressedParallel(b *testing.B) {
+	benchJoin(b, core.Options{JoinCompression: 32}, 4000)
+}
+func BenchmarkJoinAUDBNaive(b *testing.B) {
+	benchJoin(b, core.Options{NaiveJoin: true, Workers: 1}, 1000)
+}
+func BenchmarkJoinAUDBNaiveParallel(b *testing.B) {
+	benchJoin(b, core.Options{NaiveJoin: true}, 1000)
+}
+
+// BenchmarkQueryThroughput measures concurrent independent queries (each
+// evaluated serially), the many-clients regime of the worker-pool design:
+// parallelism across queries instead of within one.
+func BenchmarkQueryThroughput(b *testing.B) {
+	_, audb := microData(20000, 0.05)
+	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
+		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := core.Exec(plan, audb, core.Options{Workers: 1}); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 func BenchmarkRewriteMiddleware(b *testing.B) {
 	_, audb := microData(5000, 0.05)

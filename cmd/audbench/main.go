@@ -20,10 +20,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17) or 'all'")
-		full = flag.Bool("full", false, "run full-size experiments (slow)")
-		seed = flag.Int64("seed", 1, "workload generator seed")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17, par) or 'all'")
+		full    = flag.Bool("full", false, "run full-size experiments (slow)")
+		tiny    = flag.Bool("tiny", false, "run smoke-test sizes (seconds for the whole suite)")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		workers = flag.Int("workers", 0, "AU-DB executor workers (0 = one per CPU, 1 = serial)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -34,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Quick: !*full, Seed: *seed}
+	cfg := bench.Config{Quick: !*full, Tiny: *tiny && !*full, Seed: *seed, Workers: *workers}
 	var toRun []bench.Experiment
 	if *exp == "all" {
 		toRun = bench.Registry()
@@ -51,7 +53,11 @@ func main() {
 	if *full {
 		mode = "full"
 	}
-	fmt.Printf("audbench: running %d experiment(s) in %s mode (seed %d)\n\n", len(toRun), mode, *seed)
+	if cfg.Tiny {
+		mode = "tiny"
+	}
+	fmt.Printf("audbench: running %d experiment(s) in %s mode (seed %d, workers %d)\n\n",
+		len(toRun), mode, *seed, *workers)
 	for _, e := range toRun {
 		start := time.Now()
 		tbl, err := e.Run(cfg)

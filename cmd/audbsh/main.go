@@ -45,6 +45,7 @@ func main() {
 		rewrite  = flag.Bool("rewrite", false, "use the relational-encoding middleware instead of the native engine")
 		joinCT   = flag.Int("join-ct", 0, "join compression target (0 = exact)")
 		aggCT    = flag.Int("agg-ct", 0, "aggregation compression target (0 = exact)")
+		workers  = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
 		showPlan = flag.Bool("plan", false, "print the compiled plan")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
@@ -119,7 +120,7 @@ func main() {
 		}
 		fmt.Print(res.Sort())
 	default:
-		opts := core.Options{JoinCompression: *joinCT, AggCompression: *aggCT}
+		opts := core.Options{JoinCompression: *joinCT, AggCompression: *aggCT, Workers: *workers}
 		var res *core.Relation
 		if *rewrite {
 			res, err = rewriteExec(plan, db)

@@ -21,13 +21,57 @@ import (
 	"github.com/audb/audb/internal/worlds"
 )
 
-// Config selects experiment sizes.
+// Config selects experiment sizes and executor parallelism.
 type Config struct {
 	// Quick shrinks datasets so the whole suite runs in minutes; the full
 	// sizes approach the paper's (scaled to this in-memory engine).
 	Quick bool
-	Seed  int64
+	// Tiny shrinks Quick sizes further so the whole suite smoke-runs in
+	// seconds — the mode used by `go test ./internal/bench` unless
+	// AUDB_BENCH_FULL is set. Implies Quick.
+	Tiny bool
+	Seed int64
+	// Workers is threaded into core.Options.Workers for every AU-DB
+	// execution: 0 uses one worker per CPU, 1 forces the serial reference
+	// path.
+	Workers int
 }
+
+// opts overlays this configuration's parallelism onto experiment-chosen
+// compression options.
+func (c Config) opts(o core.Options) core.Options {
+	o.Workers = c.Workers
+	return o
+}
+
+// size picks the dataset size for the active mode. Tiny falls back to
+// quick/8 (at least 1) when no explicit tiny size is given.
+func (c Config) size(full, quick int) int {
+	if c.Tiny {
+		if s := quick / 8; s > 0 {
+			return s
+		}
+		return 1
+	}
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// sizef is size for fractional scale factors.
+func (c Config) sizef(full, quick float64) float64 {
+	if c.Tiny {
+		return quick / 8
+	}
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// quickish reports whether any reduced-size mode is active.
+func (c Config) quickish() bool { return c.Quick || c.Tiny }
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -103,6 +147,7 @@ func Registry() []Experiment {
 		{ID: "fig15", Run: Fig15, Paper: "Figure 15a/b: aggregation accuracy vs attribute range"},
 		{ID: "fig16", Run: Fig16, Paper: "Figure 16: multi-join performance"},
 		{ID: "fig17", Run: Fig17, Paper: "Figure 17: real-world data (simulated profiles)"},
+		{ID: "par", Run: Par, Paper: "parallel executor scaling (this implementation; not a paper figure)"},
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -9,7 +10,7 @@ import (
 // TestRegistryComplete ensures every paper artifact has an experiment.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b",
-		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17"}
+		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "par"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -67,12 +68,16 @@ func TestHelpers(t *testing.T) {
 // TestAllExperimentsQuick smoke-runs every experiment at tiny sizes: each
 // must succeed and produce a plausible table. This doubles as the
 // integration test of the whole pipeline (generators -> translations ->
-// engines -> baselines -> metrics).
+// engines -> baselines -> metrics). Set AUDB_BENCH_FULL=1 to run the
+// quick (audbench-default) sizes instead of the tiny smoke sizes.
 func TestAllExperimentsQuick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiments are slow; skipped in -short mode")
+	cfg := Config{Quick: true, Tiny: true, Seed: 1}
+	if os.Getenv("AUDB_BENCH_FULL") != "" {
+		cfg.Tiny = false
 	}
-	cfg := Config{Quick: true, Seed: 1}
+	if testing.Short() && !cfg.Tiny {
+		t.Skip("full-size experiments are slow; skipped in -short mode")
+	}
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

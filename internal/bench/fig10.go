@@ -14,7 +14,8 @@ import (
 var pdbenchQueries = []string{"PB1", "PB2", "PB3"}
 
 // runPDBenchSystems times the whole SPJ workload on every system and
-// returns the per-system total durations.
+// returns the per-system total durations. opts should already carry the
+// configured worker count (Config.opts).
 func runPDBenchSystems(d *pdbenchData, opts core.Options) (map[string]time.Duration, error) {
 	totals := map[string]time.Duration{}
 	sgw := d.audb.SGW()
@@ -68,10 +69,7 @@ var fig10Systems = []string{"Det", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"}
 // Fig10a reproduces Figure 10a: runtime of the PDBench SPJ workload
 // normalized to deterministic SGQP, varying the amount of uncertainty.
 func Fig10a(cfg Config) (*Table, error) {
-	scale := 0.05
-	if cfg.Quick {
-		scale = 0.01
-	}
+	scale := cfg.sizef(0.05, 0.01)
 	t := &Table{
 		ID:      "fig10a",
 		Title:   "PDBench SPJ workload, runtime / Det-runtime, varying uncertainty",
@@ -81,9 +79,13 @@ func Fig10a(cfg Config) (*Table, error) {
 			"alternatives span the whole domain (PDBench worst case)",
 		},
 	}
-	for _, unc := range []float64{0.02, 0.05, 0.10, 0.30} {
+	uncs := []float64{0.02, 0.05, 0.10, 0.30}
+	if cfg.Tiny {
+		uncs = []float64{0.02, 0.30}
+	}
+	for _, unc := range uncs {
 		d := buildPDBench(scale, unc, 1.0, cfg.Seed)
-		totals, err := runPDBenchSystems(d, core.Options{JoinCompression: 64})
+		totals, err := runPDBenchSystems(d, cfg.opts(core.Options{JoinCompression: 64}))
 		if err != nil {
 			return nil, err
 		}
@@ -101,8 +103,11 @@ func Fig10a(cfg Config) (*Table, error) {
 func Fig10b(cfg Config) (*Table, error) {
 	scales := []float64{0.02, 0.1, 0.5}
 	labels := []string{"0.1x", "1x", "10x"}
-	if cfg.Quick {
+	if cfg.quickish() {
 		scales = []float64{0.005, 0.01, 0.05}
+	}
+	if cfg.Tiny {
+		scales = []float64{0.002, 0.004, 0.01}
 	}
 	t := &Table{
 		ID:      "fig10b",
@@ -111,7 +116,7 @@ func Fig10b(cfg Config) (*Table, error) {
 	}
 	for i, scale := range scales {
 		d := buildPDBench(scale, 0.02, 1.0, cfg.Seed)
-		totals, err := runPDBenchSystems(d, core.Options{JoinCompression: 64})
+		totals, err := runPDBenchSystems(d, cfg.opts(core.Options{JoinCompression: 64}))
 		if err != nil {
 			return nil, err
 		}

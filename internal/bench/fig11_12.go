@@ -44,11 +44,13 @@ func chainedAggPlan(n int) ra.Node {
 // Fig11 reproduces Figure 11: runtime of chained aggregation over
 // uncertain TPC-H data for Det, AU-DB, Trio, Symb and MCDB.
 func Fig11(cfg Config) (*Table, error) {
-	scale := 0.1
+	scale := cfg.sizef(0.1, 0.01)
 	maxOps := 10
-	if cfg.Quick {
-		scale = 0.01
+	if cfg.quickish() {
 		maxOps = 6
+	}
+	if cfg.Tiny {
+		maxOps = 3
 	}
 	d := buildPDBench(scale, 0.02, 1.0, cfg.Seed)
 	sgw := d.audb.SGW()
@@ -67,7 +69,7 @@ func Fig11(cfg Config) (*Table, error) {
 		}
 		row = append(row, secs(dt))
 		dt, err = timeIt(func() error {
-			_, e := core.Exec(plan, d.audb, core.Options{AggCompression: 64})
+			_, e := core.Exec(plan, d.audb, cfg.opts(core.Options{AggCompression: 64}))
 			return e
 		})
 		if err != nil {
@@ -134,10 +136,7 @@ func trioChain(d *pdbenchData, n int) error {
 // AU-DB / Det / MCDB runtimes for Q1, Q3, Q5, Q7 and Q10 across
 // uncertainty and scale configurations.
 func Fig12(cfg Config) (*Table, error) {
-	base := 0.1
-	if cfg.Quick {
-		base = 0.01
-	}
+	base := cfg.sizef(0.1, 0.01)
 	configs := []struct {
 		label string
 		scale float64
@@ -148,6 +147,9 @@ func Fig12(cfg Config) (*Table, error) {
 		{"5%/1x", base, 0.05},
 		{"10%/1x", base, 0.10},
 		{"30%/1x", base, 0.30},
+	}
+	if cfg.Tiny {
+		configs = configs[:2]
 	}
 	queries := []string{"Q1", "Q3", "Q5", "Q7", "Q10"}
 	t := &Table{
@@ -168,7 +170,7 @@ func Fig12(cfg Config) (*Table, error) {
 			}
 			var cl cell
 			dt, err := timeIt(func() error {
-				_, e := core.Exec(plan, d.audb, core.Options{JoinCompression: 64, AggCompression: 64})
+				_, e := core.Exec(plan, d.audb, cfg.opts(core.Options{JoinCompression: 64, AggCompression: 64}))
 				return e
 			})
 			if err != nil {

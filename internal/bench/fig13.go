@@ -29,11 +29,13 @@ func wideData(rows, cols int, domain int64, cellProb, rangeFrac float64, seed in
 // Fig13a: sum aggregation, varying the number of group-by attributes
 // (35k rows, 5% uncertainty, value ranges 5% of the domain, CT=25).
 func Fig13a(cfg Config) (*Table, error) {
-	rows, cols := 35000, 100
+	rows, cols := cfg.size(35000, 4000), 100
 	counts := []int{1, 5, 10, 25, 50, 75, 99}
-	if cfg.Quick {
-		rows = 4000
+	if cfg.quickish() {
 		counts = []int{1, 5, 10, 25}
+	}
+	if cfg.Tiny {
+		counts = []int{1, 10}
 	}
 	det, audb := wideData(rows, cols, 100, 0.05, 0.05, cfg.Seed)
 	t := &Table{
@@ -53,7 +55,7 @@ func Fig13a(cfg Config) (*Table, error) {
 			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(0, "a0"), Name: "s"}},
 		}
 		audbT, err := timeIt(func() error {
-			_, e := core.Exec(plan, audb, core.Options{AggCompression: 25})
+			_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: 25}))
 			return e
 		})
 		if err != nil {
@@ -70,11 +72,13 @@ func Fig13a(cfg Config) (*Table, error) {
 
 // Fig13b: varying the number of aggregation functions (one group-by).
 func Fig13b(cfg Config) (*Table, error) {
-	rows, cols := 35000, 100
+	rows, cols := cfg.size(35000, 4000), 100
 	counts := []int{1, 5, 10, 25, 50, 99}
-	if cfg.Quick {
-		rows = 4000
+	if cfg.quickish() {
 		counts = []int{1, 5, 10, 25}
+	}
+	if cfg.Tiny {
+		counts = []int{1, 10}
 	}
 	det, audb := wideData(rows, cols, 100, 0.05, 0.05, cfg.Seed)
 	t := &Table{
@@ -93,7 +97,7 @@ func Fig13b(cfg Config) (*Table, error) {
 		}
 		plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0}, Aggs: aggs}
 		audbT, err := timeIt(func() error {
-			_, e := core.Exec(plan, audb, core.Options{AggCompression: 25})
+			_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: 25}))
 			return e
 		})
 		if err != nil {
@@ -111,11 +115,11 @@ func Fig13b(cfg Config) (*Table, error) {
 // Fig13c: varying the size of attribute-level ranges under different
 // compression targets (runtime of AU-DB aggregation).
 func Fig13c(cfg Config) (*Table, error) {
-	rows := 35000
-	if cfg.Quick {
-		rows = 4000
-	}
+	rows := cfg.size(35000, 4000)
 	fracs := []float64{0.05, 0.25, 0.5, 0.75, 1.0}
+	if cfg.Tiny {
+		fracs = []float64{0.05, 1.0}
+	}
 	cts := []int{4, 32, 256, 512}
 	t := &Table{
 		ID:      "fig13c",
@@ -133,7 +137,7 @@ func Fig13c(cfg Config) (*Table, error) {
 		row := []string{fmt.Sprintf("%.0f%%", frac*100)}
 		for _, ct := range cts {
 			dt, err := timeIt(func() error {
-				_, e := core.Exec(plan, audb, core.Options{AggCompression: ct})
+				_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: ct}))
 				return e
 			})
 			if err != nil {
@@ -149,11 +153,13 @@ func Fig13c(cfg Config) (*Table, error) {
 // Fig13d: the compression trade-off: runtime and mean result range while
 // sweeping the compression target.
 func Fig13d(cfg Config) (*Table, error) {
-	rows := 10000
+	rows := cfg.size(10000, 2000)
 	cts := []int{4, 32, 256, 4096, 65536}
-	if cfg.Quick {
-		rows = 2000
+	if cfg.quickish() {
 		cts = []int{4, 32, 256, 2048}
+	}
+	if cfg.Tiny {
+		cts = []int{4, 256}
 	}
 	_, audb := wideData(rows, 4, 10000, 0.10, 0.02, cfg.Seed)
 	plan := &ra.Agg{
@@ -170,7 +176,7 @@ func Fig13d(cfg Config) (*Table, error) {
 	for _, ct := range cts {
 		var res *core.Relation
 		dt, err := timeIt(func() error {
-			r, e := core.Exec(plan, audb, core.Options{AggCompression: ct})
+			r, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: ct}))
 			res = r
 			return e
 		})

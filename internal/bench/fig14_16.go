@@ -38,11 +38,17 @@ func equiJoinPlan() ra.Node {
 func Fig14(cfg Config) (*Table, error) {
 	sizes := []int{5000, 10000, 20000}
 	withNaive := false
-	if cfg.Quick {
+	if cfg.quickish() {
 		sizes = []int{500, 1000, 2000}
 		withNaive = true
 	}
+	if cfg.Tiny {
+		sizes = []int{200, 400}
+	}
 	cts := []int{4, 32, 256, 1024}
+	if cfg.Tiny {
+		cts = []int{4, 256}
+	}
 	headers := []string{"rows", "mode", "seconds", "possible size"}
 	t := &Table{
 		ID:      "fig14",
@@ -70,7 +76,7 @@ func Fig14(cfg Config) (*Table, error) {
 		for _, m := range modes {
 			var res *core.Relation
 			dt, err := timeIt(func() error {
-				r, e := core.Exec(plan, db, m.opts)
+				r, e := core.Exec(plan, db, cfg.opts(m.opts))
 				res = r
 				return e
 			})
@@ -89,12 +95,13 @@ func Fig14(cfg Config) (*Table, error) {
 // Fig16 reproduces the multi-join table (Figure 16): chains of 1-4
 // equality joins under different compression sizes and uncertainty levels.
 func Fig16(cfg Config) (*Table, error) {
-	rows := 4000
-	if cfg.Quick {
-		rows = 500
-	}
+	rows := cfg.size(4000, 500)
 	comps := []int{4, 16, 64, 256, 0} // 0 = no compression
 	uncs := []float64{0.03, 0.10}
+	if cfg.Tiny {
+		comps = []int{16, 0}
+		uncs = []float64{0.03}
+	}
 	t := &Table{
 		ID:      "fig16",
 		Title:   "multi-join performance (seconds)",
@@ -125,7 +132,7 @@ func Fig16(cfg Config) (*Table, error) {
 			for joins := 1; joins <= 4; joins++ {
 				plan := chainJoinPlan(joins)
 				dt, err := timeIt(func() error {
-					_, e := core.Exec(plan, audb, core.Options{JoinCompression: comp})
+					_, e := core.Exec(plan, audb, cfg.opts(core.Options{JoinCompression: comp}))
 					return e
 				})
 				if err != nil {

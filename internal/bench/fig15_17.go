@@ -20,18 +20,21 @@ import (
 // per-group bounds, varying the fraction of uncertain tuples and the
 // relative size of attribute ranges.
 func Fig15(cfg Config) (*Table, error) {
-	rows := 5000
-	if cfg.Quick {
-		rows = 1000
-	}
+	rows := cfg.size(5000, 1000)
 	t := &Table{
 		ID:      "fig15",
 		Title:   "aggregation accuracy: over-grouping (15a) and range over-estimation (15b)",
 		Headers: []string{"uncertainty", "range/domain", "over-grouping %", "range factor"},
 		Notes:   []string{fmt.Sprintf("%d rows, sum(v) group by g, 10 alternatives per uncertain tuple", rows)},
 	}
-	for _, unc := range []float64{0.02, 0.03, 0.05} {
-		for _, frac := range []float64{0.01, 0.02, 0.05, 0.10} {
+	uncs := []float64{0.02, 0.03, 0.05}
+	fracs := []float64{0.01, 0.02, 0.05, 0.10}
+	if cfg.Tiny {
+		uncs = []float64{0.02, 0.05}
+		fracs = []float64{0.01, 0.10}
+	}
+	for _, unc := range uncs {
+		for _, frac := range fracs {
 			det := bag.DB{"t": synth.WideTable(rows, 2, 1000, cfg.Seed)}
 			x := synth.Inject(det, synth.InjectConfig{
 				CellProb: unc, MaxAlts: 8, RangeFrac: frac,
@@ -44,7 +47,7 @@ func Fig15(cfg Config) (*Table, error) {
 				GroupBy: []int{0},
 				Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}},
 			}
-			res, err := core.Exec(plan, core.DB{"t": au}, core.Options{})
+			res, err := core.Exec(plan, core.DB{"t": au}, cfg.opts(core.Options{}))
 			if err != nil {
 				return nil, err
 			}
@@ -105,8 +108,11 @@ func Fig17(cfg Config) (*Table, error) {
 		},
 	}
 	for _, p := range profiles {
-		if cfg.Quick {
+		if cfg.quickish() {
 			p.Rows /= 10
+		}
+		if cfg.Tiny {
+			p.Rows /= 4
 		}
 		rel := synth.KeyViolationTable(p)
 		x := keyViolationX(rel, 0)
@@ -145,7 +151,7 @@ func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb cor
 
 	var auRes *core.Relation
 	dt, err := timeIt(func() error {
-		r, e := core.Exec(plan, audb, core.Options{})
+		r, e := core.Exec(plan, audb, cfg.opts(core.Options{}))
 		auRes = r
 		return e
 	})
@@ -213,7 +219,7 @@ func fig17GB(t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb co
 
 	var auRes *core.Relation
 	dt, err := timeIt(func() error {
-		r, e := core.Exec(plan, audb, core.Options{})
+		r, e := core.Exec(plan, audb, cfg.opts(core.Options{}))
 		auRes = r
 		return e
 	})

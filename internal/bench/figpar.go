@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+)
+
+// Par is not a paper figure: it reports the serial-vs-parallel scaling of
+// this implementation's worker-pool executor on the two hot operators the
+// paper optimizes — the hybrid overlap join (Section 10.4 territory) and
+// grouping aggregation (Section 10.5) — plus a plain selection for the
+// chunked-map path. One row per (operator, worker count), with the speedup
+// over the Workers=1 reference evaluation.
+func Par(cfg Config) (*Table, error) {
+	joinRows := cfg.size(8000, 2000)
+	aggRows := cfg.size(200000, 30000)
+
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+
+	t := &Table{
+		ID:      "par",
+		Title:   "parallel executor scaling: seconds and speedup vs Workers=1",
+		Headers: []string{"operator", "workers", "seconds", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("join: %d rows/side hybrid equi-join; agg+select: %d rows", joinRows, aggRows),
+			"results are identical across worker counts (see TestParallelMatchesSerial)",
+		},
+	}
+
+	joinDB := joinData(joinRows, 0.03, 0.02, cfg.Seed)
+	_, aggDB := wideData(aggRows, 4, 1000, 0.05, 0.05, cfg.Seed)
+
+	cases := []struct {
+		label string
+		db    core.DB
+		plan  ra.Node
+		opts  core.Options
+	}{
+		{"hybrid-join", joinDB, equiJoinPlan(), core.Options{}},
+		{"agg", aggDB, &ra.Agg{
+			Child:   &ra.Scan{Table: "t"},
+			GroupBy: []int{0},
+			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}},
+		}, core.Options{AggCompression: 64}},
+		{"select", aggDB, &ra.Select{
+			Child: &ra.Scan{Table: "t"},
+			Pred:  expr.Lt(expr.Col(1, "a1"), expr.CInt(500)),
+		}, core.Options{}},
+	}
+	for _, c := range cases {
+		var serial float64
+		for _, w := range counts {
+			opts := c.opts
+			opts.Workers = w
+			dt, err := timeIt(func() error {
+				_, e := core.Exec(c.plan, c.db, opts)
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", c.label, w, err)
+			}
+			sec := dt.Seconds()
+			if w == 1 {
+				serial = sec
+			}
+			speedup := "1.00"
+			if w > 1 && sec > 0 {
+				speedup = fmt.Sprintf("%.2f", serial/sec)
+			}
+			t.Rows = append(t.Rows, []string{
+				c.label, fmt.Sprintf("%d", w), secs(dt), speedup,
+			})
+		}
+	}
+	return t, nil
+}
