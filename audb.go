@@ -30,18 +30,31 @@
 // and from cleaning lenses such as key repair; see FromXTable, FromTITable,
 // FromCTable and RepairKey.
 //
-// Performance is tuned through Options (see SetOptions). JoinCompression
-// and AggCompression enable the paper's split+compress optimizations
-// (Sections 10.4-10.5), trading bound tightness for running time. Workers
-// sets the number of goroutines the executor may use for the hot operators
-// (hybrid join, aggregation, selection, projection, split): 0 — the
-// default — means one worker per CPU, 1 forces the serial reference
-// evaluation. Query results are bit-identical for every worker count, so
-// parallelism never affects the paper's bound-preservation guarantees.
+// Queries go through one context-aware dispatcher, QueryContext, that
+// serves all three engines — the native AU-DB executor, the Section 10
+// relational-encoding middleware, and selected-guess-world processing —
+// selected per query with WithEngine. Prepare compiles a query once into a
+// Stmt whose Exec skips parse/plan on every execution and is safe for
+// concurrent use. Cancelling the context aborts execution promptly with
+// ctx.Err().
+//
+// Performance is tuned per query with functional options (WithWorkers,
+// WithJoinCompression, WithAggCompression) or database-wide with
+// SetOptions. JoinCompression and AggCompression enable the paper's
+// split+compress optimizations (Sections 10.4-10.5), trading bound
+// tightness for running time. Workers sets the number of goroutines the
+// executor may use for the hot operators (hybrid join, aggregation,
+// selection, projection, split): 0 — the default — means one worker per
+// CPU, 1 forces the serial reference evaluation. Query results are
+// bit-identical for every worker count, so parallelism never affects the
+// paper's bound-preservation guarantees.
 package audb
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"sync"
 
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
@@ -157,64 +170,351 @@ type Result = core.Relation
 // the serial reference evaluation (results are identical either way).
 type Options = core.Options
 
-// Database is a collection of AU-relations queryable with SQL.
+// Engine selects which of the three query-processing paths evaluates a
+// query. All three implement the same SQL surface; Theorem 8 guarantees
+// EngineNative and EngineRewrite produce identical AU-relations, and the
+// selected-guess world of either equals the EngineSGW answer.
+type Engine int
+
+const (
+	// EngineNative is the native bound-preserving AU-DB executor
+	// (Sections 7-9 of the paper). The default.
+	EngineNative Engine = iota
+	// EngineRewrite is the relational-encoding middleware (Section 10):
+	// encode, rewrite, run on the deterministic engine, decode.
+	EngineRewrite
+	// EngineSGW evaluates over the selected-guess world only —
+	// conventional selected-guess query processing (SGQP). The result is
+	// lifted back to a (fully certain) AU-relation; use Result.SGW to
+	// recover the bag relation.
+	EngineSGW
+)
+
+// String names the engine ("native", "rewrite", "sgw").
+func (e Engine) String() string {
+	switch e {
+	case EngineNative:
+		return "native"
+	case EngineRewrite:
+		return "rewrite"
+	case EngineSGW:
+		return "sgw"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name as printed by Engine.String.
+func ParseEngine(name string) (Engine, error) {
+	switch strings.ToLower(name) {
+	case "native", "":
+		return EngineNative, nil
+	case "rewrite":
+		return EngineRewrite, nil
+	case "sgw":
+		return EngineSGW, nil
+	}
+	return EngineNative, fmt.Errorf("audb: unknown engine %q (want native, rewrite or sgw)", name)
+}
+
+// queryConfig is the resolved per-query configuration: the database
+// defaults overlaid with this query's functional options.
+type queryConfig struct {
+	engine Engine
+	opts   Options
+}
+
+// QueryOption customizes a single query execution, overriding the
+// database's defaults (SetOptions) for that query only.
+type QueryOption func(*queryConfig)
+
+// WithEngine routes the query to the given engine.
+func WithEngine(e Engine) QueryOption {
+	return func(c *queryConfig) { c.engine = e }
+}
+
+// WithWorkers sets the executor worker-goroutine count for this query:
+// 0 means one worker per CPU, 1 forces the serial reference evaluation.
+// Like the compression options it tunes the native engine; EngineRewrite
+// and EngineSGW run on the (serial, exact) deterministic engine and
+// ignore it.
+func WithWorkers(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.Workers = n }
+}
+
+// WithJoinCompression enables the split+Cpr join optimization
+// (Section 10.4) with the given compression target; 0 disables it.
+// EngineNative only.
+func WithJoinCompression(target int) QueryOption {
+	return func(c *queryConfig) { c.opts.JoinCompression = target }
+}
+
+// WithAggCompression compresses the possible-group side of aggregation
+// (Section 10.5) to the given target; 0 disables it. EngineNative only.
+func WithAggCompression(target int) QueryOption {
+	return func(c *queryConfig) { c.opts.AggCompression = target }
+}
+
+// Database is a collection of AU-relations queryable with SQL. All methods
+// are safe for concurrent use: registration goes through a mutex-guarded
+// catalog and every query executes over an immutable snapshot of it.
+// (Mutating a registered table's rows while queries are in flight remains
+// the caller's race to avoid.)
 type Database struct {
-	rels core.DB
-	opts Options
+	cat *core.Catalog
+
+	mu   sync.RWMutex
+	opts Options // database-wide defaults, overridable per query
 }
 
 // New creates an empty database.
-func New() *Database { return &Database{rels: core.DB{}} }
+func New() *Database { return &Database{cat: core.NewCatalog()} }
 
-// SetOptions configures compression options for subsequent queries.
-func (d *Database) SetOptions(o Options) { d.opts = o }
+// SetOptions configures the database-wide default execution options.
+// Per-query functional options (WithWorkers, WithJoinCompression,
+// WithAggCompression) override these for a single execution.
+func (d *Database) SetOptions(o Options) {
+	d.mu.Lock()
+	d.opts = o
+	d.mu.Unlock()
+}
+
+// defaults snapshots the database-wide options.
+func (d *Database) defaults() Options {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.opts
+}
 
 // Add registers an uncertain table.
 func (d *Database) Add(t *UncertainTable) *Database {
-	d.rels[t.Name] = t.rel
+	d.cat.Register(t.Name, t.rel)
 	return d
 }
 
 // AddDeterministic registers a deterministic table (lifted to certain
 // annotations).
 func (d *Database) AddDeterministic(t *Table) *Database {
-	d.rels[t.Name] = core.FromDeterministic(t.rel)
+	d.cat.Register(t.Name, core.FromDeterministic(t.rel))
 	return d
 }
 
 // AddRelation registers a pre-built AU-relation under the given name.
 func (d *Database) AddRelation(name string, rel *core.Relation) *Database {
-	d.rels[name] = rel
+	d.cat.Register(name, rel)
 	return d
 }
 
+// Drop removes a table; unknown names are a no-op.
+func (d *Database) Drop(name string) { d.cat.Drop(name) }
+
+// Tables lists the registered table names in sorted order.
+func (d *Database) Tables() []string { return d.cat.Tables() }
+
+// NumTables returns the number of registered tables.
+func (d *Database) NumTables() int { return d.cat.Len() }
+
 // Relation returns a registered AU-relation.
 func (d *Database) Relation(name string) (*core.Relation, error) {
-	r, ok := d.rels[name]
+	r, ok := d.cat.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("audb: unknown table %q", name)
+		return nil, schema.UnknownTable("audb", name, d.cat.Tables())
 	}
 	return r, nil
 }
 
 // Plan compiles a SQL query against this database's catalog.
 func (d *Database) Plan(q string) (ra.Node, error) {
-	return sql.Compile(q, ra.CatalogMap(d.rels.Schemas()))
+	return sql.Compile(q, ra.CatalogMap(d.cat.Schemas()))
 }
 
-// Query evaluates a SQL query with the bound-preserving AU-DB semantics
-// (native engine).
-func (d *Database) Query(q string) (*Result, error) {
+// QueryContext compiles and evaluates a SQL query. The engine and
+// execution options default to EngineNative with the database's SetOptions
+// values; functional options override both per query. Cancelling ctx
+// aborts the execution promptly and returns ctx.Err().
+//
+// Compilation and execution see one catalog snapshot, so a concurrent
+// table replacement between planning and execution cannot desynchronize
+// the plan from the data it runs over.
+func (d *Database) QueryContext(ctx context.Context, q string, opts ...QueryOption) (*Result, error) {
+	snap := d.cat.Snapshot()
+	plan, err := sql.Compile(q, ra.CatalogMap(snap.Schemas()))
+	if err != nil {
+		return nil, err
+	}
+	return d.dispatch(ctx, snap, plan, nil, opts)
+}
+
+// ExecPlan evaluates a pre-compiled plan with the same dispatch semantics
+// as QueryContext. The plan must have been compiled against this
+// database's catalog (Plan); if a referenced table's schema changed since,
+// re-plan first.
+func (d *Database) ExecPlan(ctx context.Context, plan ra.Node, opts ...QueryOption) (*Result, error) {
+	return d.dispatch(ctx, d.cat.Snapshot(), plan, nil, opts)
+}
+
+// dispatch is the single execution path behind QueryContext, ExecPlan and
+// Stmt.Exec: resolve options and route to an engine, executing over the
+// given catalog snapshot.
+func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt, opts []QueryOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ra.IsNil(plan) {
+		return nil, fmt.Errorf("audb: nil plan")
+	}
+	cfg := queryConfig{engine: EngineNative, opts: d.defaults()}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	switch cfg.engine {
+	case EngineNative:
+		return core.Exec(ctx, plan, snap, cfg.opts)
+	case EngineRewrite:
+		// Encode only the tables the plan scans: the middleware pays an
+		// O(table size) encoding cost per execution, and unrelated
+		// catalog entries must not be part of it.
+		db, err := scanSubset(plan, snap)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			rp, rs, err := st.rewritten(db)
+			if err != nil {
+				return nil, err
+			}
+			return encoding.ExecRewritten(ctx, rp, rs, db)
+		}
+		return encoding.Exec(ctx, plan, db)
+	case EngineSGW:
+		db, err := scanSubset(plan, snap)
+		if err != nil {
+			return nil, err
+		}
+		sgw, err := db.SGWContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bag.Exec(ctx, plan, sgw)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromDeterministic(res), nil
+	}
+	return nil, fmt.Errorf("audb: unknown engine %v", cfg.engine)
+}
+
+// scanSubset restricts a catalog snapshot to the tables the plan scans,
+// erroring up front — with the whole catalog enumerated, sorted — when
+// the plan references a table the snapshot does not have, so no engine
+// pays an O(database) encode/extraction just to fail the same way.
+func scanSubset(plan ra.Node, snap core.DB) (core.DB, error) {
+	names := map[string]bool{}
+	var walk func(n ra.Node)
+	walk = func(n ra.Node) {
+		if ra.IsNil(n) {
+			return
+		}
+		if sc, ok := n.(*ra.Scan); ok {
+			names[sc.Table] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(plan)
+	out := make(core.DB, len(names))
+	for n := range names {
+		// Key by the resolved catalog name so case-variant spellings of
+		// one table collapse to a single entry (encoded once).
+		k, ok := schema.ResolveFold(snap, n)
+		if !ok {
+			return nil, schema.UnknownTable("audb", n, snap.Names())
+		}
+		out[k] = snap[k]
+	}
+	return out, nil
+}
+
+// Stmt is a prepared statement: the query is parsed and planned once at
+// Prepare time (and, for EngineRewrite, rewritten once on first use), so
+// repeated executions skip the front end entirely. A Stmt is immutable
+// after preparation and safe for concurrent Exec from many goroutines;
+// results are bit-identical to unprepared execution.
+//
+// The plan is bound to the table schemas at Prepare time. Registering new
+// tables afterwards is fine; changing the schema of a table the statement
+// references requires re-preparing.
+type Stmt struct {
+	db   *Database
+	text string
+	plan ra.Node
+
+	rewriteMu   sync.Mutex
+	rewritePlan ra.Node
+	rewriteSch  schema.Schema
+}
+
+// Prepare compiles a SQL query into a reusable statement.
+func (d *Database) Prepare(q string) (*Stmt, error) {
 	plan, err := d.Plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return core.Exec(plan, d.rels, d.opts)
+	return &Stmt{db: d, text: q, plan: plan}, nil
+}
+
+// Text returns the SQL the statement was prepared from.
+func (s *Stmt) Text() string { return s.text }
+
+// Plan returns the cached compiled plan (advanced use; treat as
+// read-only).
+func (s *Stmt) Plan() ra.Node { return s.plan }
+
+// Exec evaluates the prepared statement with the same dispatch semantics
+// as QueryContext. Safe for concurrent use.
+func (s *Stmt) Exec(ctx context.Context, opts ...QueryOption) (*Result, error) {
+	return s.db.dispatch(ctx, s.db.cat.Snapshot(), s.plan, s, opts)
+}
+
+// rewritten caches the Section 10 rewrite of the prepared plan. The
+// rewrite depends only on the referenced schemas, so one successful
+// rewrite serves every execution. Failures are not cached: a rewrite that
+// fails against the current catalog (e.g. a referenced table was dropped)
+// is retried on the next execution, keeping Stmt.Exec equivalent to
+// unprepared execution over time.
+func (s *Stmt) rewritten(snap core.DB) (ra.Node, schema.Schema, error) {
+	s.rewriteMu.Lock()
+	defer s.rewriteMu.Unlock()
+	if s.rewritePlan != nil {
+		return s.rewritePlan, s.rewriteSch, nil
+	}
+	plan, sch, err := encoding.Rewrite(s.plan, ra.CatalogMap(snap.Schemas()))
+	if err != nil {
+		return nil, schema.Schema{}, err
+	}
+	s.rewritePlan, s.rewriteSch = plan, sch
+	return plan, sch, nil
+}
+
+// ------------------------------------------------- deprecated wrappers --
+
+// Query evaluates a SQL query with the bound-preserving AU-DB semantics
+// (native engine).
+//
+// Deprecated: Use QueryContext, which adds cancellation and per-query
+// options. Query(q) is QueryContext(context.Background(), q).
+func (d *Database) Query(q string) (*Result, error) {
+	return d.QueryContext(context.Background(), q)
 }
 
 // QueryPlan evaluates a pre-compiled plan.
+//
+// Deprecated: Use ExecPlan (or Prepare/Stmt.Exec, which also caches the
+// plan for you).
 func (d *Database) QueryPlan(plan ra.Node) (*Result, error) {
-	return core.Exec(plan, d.rels, d.opts)
+	return d.ExecPlan(context.Background(), plan)
 }
 
 // QueryRewrite evaluates through the relational-encoding middleware
@@ -222,22 +522,24 @@ func (d *Database) QueryPlan(plan ra.Node) (*Result, error) {
 // engine, decode. The result equals Query's (Theorem 8); exposed for
 // cross-checking and for environments that only have a deterministic
 // executor.
+//
+// Deprecated: Use QueryContext with WithEngine(EngineRewrite).
 func (d *Database) QueryRewrite(q string) (*Result, error) {
-	plan, err := d.Plan(q)
-	if err != nil {
-		return nil, err
-	}
-	return encoding.Exec(plan, d.rels)
+	return d.QueryContext(context.Background(), q, WithEngine(EngineRewrite))
 }
 
 // QuerySGW evaluates the query over the selected-guess world only —
 // conventional selected-guess query processing (SGQP).
+//
+// Deprecated: Use QueryContext with WithEngine(EngineSGW); its Result is
+// the same answer lifted to certain annotations (Result.SGW recovers the
+// bag relation this method returns).
 func (d *Database) QuerySGW(q string) (*bag.Relation, error) {
-	plan, err := d.Plan(q)
+	res, err := d.QueryContext(context.Background(), q, WithEngine(EngineSGW))
 	if err != nil {
 		return nil, err
 	}
-	return bag.Exec(plan, d.rels.SGW())
+	return res.SGW(), nil
 }
 
 // ---------------------------------------------------------------- inputs --

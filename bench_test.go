@@ -1,8 +1,11 @@
-package audb
+package audb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+
+	"github.com/audb/audb"
 
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/bench"
@@ -25,7 +28,7 @@ func benchFigure(b *testing.B, id string) {
 	cfg := bench.Config{Quick: true, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tbl, err := e.Run(cfg)
+		tbl, err := e.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,19 +67,19 @@ func BenchmarkSelectDeterministic(b *testing.B) {
 		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bag.Exec(plan, det); err != nil {
+		if _, err := bag.Exec(context.Background(), plan, det); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func benchSelectAUDB(b *testing.B, workers int) {
-	_, audb := microData(20000, 0.05)
+	_, audbDB := microData(20000, 0.05)
 	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
 		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Exec(plan, audb, core.Options{Workers: workers}); err != nil {
+		if _, err := core.Exec(context.Background(), plan, audbDB, core.Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,12 +91,12 @@ func BenchmarkSelectAUDB(b *testing.B)         { benchSelectAUDB(b, 1) }
 func BenchmarkSelectAUDBParallel(b *testing.B) { benchSelectAUDB(b, 0) }
 
 func benchAggAUDB(b *testing.B, workers int) {
-	_, audb := microData(20000, 0.05)
+	_, audbDB := microData(20000, 0.05)
 	plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Exec(plan, audb, core.Options{AggCompression: 64, Workers: workers}); err != nil {
+		if _, err := core.Exec(context.Background(), plan, audbDB, core.Options{AggCompression: 64, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,12 +110,12 @@ func benchJoin(b *testing.B, opts core.Options, rows int) {
 	x := synth.Inject(bag.DB{"t1": t1, "t2": t2}, synth.InjectConfig{
 		CellProb: 0.03, MaxAlts: 4, RangeFrac: 0.02, EligibleCols: []int{0, 1}, Seed: 8,
 	})
-	audb := core.DB{"t1": translate.XDB(x["t1"]), "t2": translate.XDB(x["t2"])}
+	audbDB := core.DB{"t1": translate.XDB(x["t1"]), "t2": translate.XDB(x["t2"])}
 	plan := &ra.Join{Left: &ra.Scan{Table: "t1"}, Right: &ra.Scan{Table: "t2"},
 		Cond: expr.Eq(expr.Col(0, ""), expr.Col(2, ""))}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Exec(plan, audb, opts); err != nil {
+		if _, err := core.Exec(context.Background(), plan, audbDB, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,13 +142,13 @@ func BenchmarkJoinAUDBNaiveParallel(b *testing.B) {
 // evaluated serially), the many-clients regime of the worker-pool design:
 // parallelism across queries instead of within one.
 func BenchmarkQueryThroughput(b *testing.B) {
-	_, audb := microData(20000, 0.05)
+	_, audbDB := microData(20000, 0.05)
 	plan := &ra.Select{Child: &ra.Scan{Table: "t"},
 		Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(500))}
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := core.Exec(plan, audb, core.Options{Workers: 1}); err != nil {
+			if _, err := core.Exec(context.Background(), plan, audbDB, core.Options{Workers: 1}); err != nil {
 				// b.Fatal must not run on a RunParallel worker goroutine.
 				b.Error(err)
 				return
@@ -155,11 +158,11 @@ func BenchmarkQueryThroughput(b *testing.B) {
 }
 
 func BenchmarkRewriteMiddleware(b *testing.B) {
-	_, audb := microData(5000, 0.05)
+	_, audbDB := microData(5000, 0.05)
 	plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "a1"), Name: "s"}}}
-	db := New()
-	for name, rel := range audb {
+	db := audb.New()
+	for name, rel := range audbDB {
 		db.AddRelation(name, rel)
 	}
 	b.ResetTimer()
@@ -170,9 +173,74 @@ func BenchmarkRewriteMiddleware(b *testing.B) {
 	}
 }
 
+// ---- session API micro-benchmarks -------------------------------------
+
+// preparedBenchDB builds the small-table regime where the SQL front end
+// is a visible fraction of each execution — the case Prepare exists for.
+func preparedBenchDB() (*audb.Database, string) {
+	det, _ := microData(256, 0.05)
+	db := audb.New()
+	db.AddRelation("t", core.FromDeterministic(det["t"]))
+	db.SetOptions(audb.Options{Workers: 1})
+	return db, `SELECT a0, sum(a1) AS s, count(*) AS n FROM t WHERE a2 > 10 GROUP BY a0`
+}
+
+// BenchmarkQueryUnprepared is the baseline: parse + plan + execute per
+// call via the dispatcher.
+func BenchmarkQueryUnprepared(b *testing.B) {
+	db, q := preparedBenchDB()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryContext(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStmtExec measures the same query with the plan cached by
+// Prepare; the delta against BenchmarkQueryUnprepared is the front-end
+// cost a prepared statement amortizes away.
+func BenchmarkStmtExec(b *testing.B) {
+	db, q := preparedBenchDB()
+	stmt, err := db.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Exec(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStmtExecConcurrent hammers one shared Stmt from all procs —
+// the many-clients regime of a prepared statement.
+func BenchmarkStmtExecConcurrent(b *testing.B) {
+	db, q := preparedBenchDB()
+	stmt, err := db.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := stmt.Exec(ctx); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkSQLCompile(b *testing.B) {
 	det, _ := microData(10, 0)
-	db := New()
+	db := audb.New()
 	db.AddRelation("t", core.FromDeterministic(det["t"]))
 	q := `SELECT a0, sum(a1) AS s, count(*) AS c FROM t WHERE a2 > 10 GROUP BY a0 HAVING sum(a1) > 100 ORDER BY a0`
 	b.ReportAllocs()

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/audb/audb/internal/bench"
@@ -20,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17, par) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17, par, prep) or 'all'")
 		full    = flag.Bool("full", false, "run full-size experiments (slow)")
 		tiny    = flag.Bool("tiny", false, "run smoke-test sizes (seconds for the whole suite)")
 		seed    = flag.Int64("seed", 1, "workload generator seed")
@@ -56,12 +59,25 @@ func main() {
 	if cfg.Tiny {
 		mode = "tiny"
 	}
+	// Ctrl-C cancels the running experiment's queries instead of killing
+	// the process mid-computation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first Ctrl-C cancels ctx, restore default SIGINT handling
+	// so a second Ctrl-C can kill the process even while a baseline that
+	// only checks the context at segment boundaries is running.
+	context.AfterFunc(ctx, stop)
+
 	fmt.Printf("audbench: running %d experiment(s) in %s mode (seed %d, workers %d)\n\n",
 		len(toRun), mode, *seed, *workers)
 	for _, e := range toRun {
 		start := time.Now()
-		tbl, err := e.Run(cfg)
+		tbl, err := e.Run(ctx, cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "audbench: %s interrupted\n", e.ID)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "audbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -4,32 +4,35 @@
 // carries uncertainty; -repair-key exposes key-violation repair
 // uncertainty for a plain CSV.
 //
+// Queries run through the session API (audb.QueryContext) with an
+// interrupt-aware context: Ctrl-C cancels the running query instead of
+// killing the process mid-computation. The engine is selected with
+// -engine (native, rewrite, sgw); the older -rewrite and -sgw flags
+// remain as shorthands.
+//
 // Usage:
 //
 //	audbsh -table locales=locales.csv "SELECT size, avg(rate) FROM locales GROUP BY size"
-//	audbsh -au-table r=ranges.csv -sgw "SELECT * FROM r"
+//	audbsh -au-table r=ranges.csv -engine sgw "SELECT * FROM r"
 //	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"github.com/audb/audb"
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/csvio"
-	"github.com/audb/audb/internal/encoding"
 	"github.com/audb/audb/internal/ra"
-	"github.com/audb/audb/internal/sql"
 	"github.com/audb/audb/internal/translate"
 )
-
-// rewriteExec runs the plan through the Section 10 middleware.
-func rewriteExec(plan ra.Node, db core.DB) (*core.Relation, error) {
-	return encoding.Exec(plan, db)
-}
 
 type listFlag []string
 
@@ -41,12 +44,13 @@ func main() {
 		tables   listFlag
 		auTables listFlag
 		repairs  listFlag
-		sgw      = flag.Bool("sgw", false, "evaluate over the selected-guess world only (conventional SQL)")
-		rewrite  = flag.Bool("rewrite", false, "use the relational-encoding middleware instead of the native engine")
+		engine   = flag.String("engine", "", "query engine: native (default), rewrite (Section 10 middleware) or sgw (selected-guess world)")
+		sgw      = flag.Bool("sgw", false, "shorthand for -engine sgw")
+		rewrite  = flag.Bool("rewrite", false, "shorthand for -engine rewrite")
 		joinCT   = flag.Int("join-ct", 0, "join compression target (0 = exact)")
 		aggCT    = flag.Int("agg-ct", 0, "aggregation compression target (0 = exact)")
 		workers  = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
-		showPlan = flag.Bool("plan", false, "print the compiled plan")
+		showPlan = flag.Bool("plan", false, "print the loaded tables and the compiled plan")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
 	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
@@ -60,7 +64,24 @@ func main() {
 	}
 	query := flag.Arg(0)
 
-	db := core.DB{}
+	eng, err := audb.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	if *engine != "" && (*sgw || *rewrite) {
+		fatal(fmt.Errorf("audbsh: use either -engine or the -sgw/-rewrite shorthands, not both"))
+	}
+	if *sgw && *rewrite {
+		fatal(fmt.Errorf("audbsh: -sgw and -rewrite are mutually exclusive"))
+	}
+	if *rewrite {
+		eng = audb.EngineRewrite
+	}
+	if *sgw {
+		eng = audb.EngineSGW
+	}
+
+	db := audb.New()
 	plain := map[string]*bag.Relation{}
 	for _, spec := range tables {
 		name, file, err := splitSpec(spec)
@@ -72,7 +93,7 @@ func main() {
 			fatal(err)
 		}
 		plain[name] = rel.det
-		db[name] = core.FromDeterministic(rel.det)
+		db.AddRelation(name, core.FromDeterministic(rel.det))
 	}
 	for _, spec := range auTables {
 		name, file, err := splitSpec(spec)
@@ -83,7 +104,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		db[name] = rel.au
+		db.AddRelation(name, rel.au)
 	}
 	for _, spec := range repairs {
 		name, keyCol, err := splitSpec(spec)
@@ -98,40 +119,46 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		db[name] = translate.KeyRepair(rel, []int{idx})
+		db.AddRelation(name, translate.KeyRepair(rel, []int{idx}))
 	}
-	if len(db) == 0 {
+	if db.NumTables() == 0 {
 		fatal(fmt.Errorf("audbsh: no tables loaded (use -table / -au-table)"))
 	}
 
-	plan, err := sql.Compile(query, ra.CatalogMap(db.Schemas()))
+	plan, err := db.Plan(query)
 	if err != nil {
 		fatal(err)
 	}
 	if *showPlan {
+		// Tables print in sorted order — deterministic diagnostics.
+		fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(db.Tables(), ", "))
 		fmt.Fprint(os.Stderr, ra.Render(plan))
 	}
 
-	switch {
-	case *sgw:
-		res, err := bag.Exec(plan, db.SGW())
-		if err != nil {
-			fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := db.ExecPlan(ctx, plan,
+		audb.WithEngine(eng),
+		audb.WithWorkers(*workers),
+		audb.WithJoinCompression(*joinCT),
+		audb.WithAggCompression(*aggCT),
+	)
+	// Restore default SIGINT handling once execution is done, so Ctrl-C
+	// still kills the process while the result is being sorted/printed.
+	stop()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "audbsh: interrupted")
+			os.Exit(130)
 		}
-		fmt.Print(res.Sort())
-	default:
-		opts := core.Options{JoinCompression: *joinCT, AggCompression: *aggCT, Workers: *workers}
-		var res *core.Relation
-		if *rewrite {
-			res, err = rewriteExec(plan, db)
-		} else {
-			res, err = core.Exec(plan, db, opts)
-		}
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(res.Sort())
+		fatal(err)
 	}
+	if eng == audb.EngineSGW {
+		fmt.Print(res.SGW().Sort())
+		return
+	}
+	fmt.Print(res.Sort())
 }
 
 type loaded struct {

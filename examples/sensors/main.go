@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb"
@@ -63,7 +64,7 @@ func main() {
 	}
 	covered := 0
 	for _, w := range worldsList {
-		det, err := bag.Exec(plan, bag.DB{"readings": w})
+		det, err := bag.Exec(context.Background(), plan, bag.DB{"readings": w})
 		if err != nil {
 			panic(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := tpch.Config{Scale: 0.02, Seed: 42}
 	det := tpch.Generate(cfg)
 	fmt.Printf("generated TPC-H: %d lineitems, %d orders, %d customers\n",
@@ -36,21 +38,21 @@ func main() {
 		fmt.Printf("\n--- %s ---\n", name)
 
 		start := time.Now()
-		detRes, err := bag.Exec(plan, det)
+		detRes, err := bag.Exec(ctx, plan, det)
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("Det (SGQP):        %8s, %d rows\n", time.Since(start).Round(time.Microsecond), detRes.Len())
 
 		start = time.Now()
-		exact, err := core.Exec(plan, audb, core.Options{})
+		exact, err := core.Exec(ctx, plan, audb, core.Options{})
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("AU-DB exact:       %8s, %d rows\n", time.Since(start).Round(time.Microsecond), exact.Len())
 
 		start = time.Now()
-		compressed, err := core.Exec(plan, audb, core.Options{JoinCompression: 64, AggCompression: 64})
+		compressed, err := core.Exec(ctx, plan, audb, core.Options{JoinCompression: 64, AggCompression: 64})
 		if err != nil {
 			panic(err)
 		}

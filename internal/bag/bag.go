@@ -164,6 +164,16 @@ func (r *Relation) String() string {
 // DB is a named collection of bag relations.
 type DB map[string]*Relation
 
+// Names returns the table names in sorted order, for deterministic
+// diagnostics.
+func (db DB) Names() []string { return schema.SortedNames(db) }
+
+// LookupFold resolves a table name the way the planner does (exact, then
+// case-insensitive), keeping execution consistent with compilation.
+func (db DB) LookupFold(name string) (*Relation, bool) {
+	return schema.LookupFold(db, name)
+}
+
 // Schemas returns a catalog view of the database.
 func (db DB) Schemas() map[string]schema.Schema {
 	out := make(map[string]schema.Schema, len(db))

@@ -1,6 +1,7 @@
 package bag
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func testDB() DB {
 
 func mustExec(t *testing.T, n ra.Node, db DB) *Relation {
 	t.Helper()
-	out, err := Exec(n, db)
+	out, err := Exec(context.Background(), n, db)
 	if err != nil {
 		t.Fatalf("Exec: %v", err)
 	}
@@ -121,10 +122,10 @@ func TestScanSelect(t *testing.T) {
 	if out.Size() != 3 {
 		t.Errorf("selected size %d", out.Size())
 	}
-	if _, err := Exec(&ra.Scan{Table: "none"}, db); err == nil {
+	if _, err := Exec(context.Background(), &ra.Scan{Table: "none"}, db); err == nil {
 		t.Error("unknown table should error")
 	}
-	if _, err := Exec(&ra.Select{Child: &ra.Scan{Table: "r"}, Pred: expr.Div(expr.CInt(1), expr.CInt(0))}, db); err == nil {
+	if _, err := Exec(context.Background(), &ra.Select{Child: &ra.Scan{Table: "r"}, Pred: expr.Div(expr.CInt(1), expr.CInt(0))}, db); err == nil {
 		t.Error("predicate error should surface")
 	}
 }
@@ -217,10 +218,10 @@ func TestUnionDiffDistinct(t *testing.T) {
 		t.Errorf("distinct size: %d", dd.Size())
 	}
 	// Arity mismatches surface as errors.
-	if _, err := Exec(&ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Project{Child: &ra.Scan{Table: "s"}, Cols: []ra.ProjCol{{E: expr.Col(0, ""), Name: "c"}}}}, db); err == nil {
+	if _, err := Exec(context.Background(), &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Project{Child: &ra.Scan{Table: "s"}, Cols: []ra.ProjCol{{E: expr.Col(0, ""), Name: "c"}}}}, db); err == nil {
 		t.Error("union arity mismatch should error")
 	}
-	if _, err := Exec(&ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Project{Child: &ra.Scan{Table: "s"}, Cols: []ra.ProjCol{{E: expr.Col(0, ""), Name: "c"}}}}, db); err == nil {
+	if _, err := Exec(context.Background(), &ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Project{Child: &ra.Scan{Table: "s"}, Cols: []ra.ProjCol{{E: expr.Col(0, ""), Name: "c"}}}}, db); err == nil {
 		t.Error("diff arity mismatch should error")
 	}
 }

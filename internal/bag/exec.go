@@ -1,9 +1,11 @@
 package bag
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/schema"
@@ -11,36 +13,49 @@ import (
 )
 
 // Exec evaluates an RA_agg plan over a deterministic bag database and
-// returns the result relation with duplicates merged.
-func Exec(n ra.Node, db DB) (*Relation, error) {
+// returns the result relation with duplicates merged. Cancellation of ctx
+// aborts the evaluation promptly with ctx.Err(); a nil ctx is treated as
+// context.Background().
+func Exec(ctx context.Context, n ra.Node, db DB) (*Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cat := ra.CatalogMap(db.Schemas())
-	return exec(n, db, cat)
+	return exec(ctx, n, db, cat)
 }
 
-func exec(n ra.Node, db DB, cat ra.Catalog) (*Relation, error) {
+func exec(ctx context.Context, n ra.Node, db DB, cat ra.Catalog) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ra.IsNil(n) {
+		// A nil child reached through a nested operator (e.g. a
+		// hand-built plan with a missing input).
+		return nil, fmt.Errorf("bag: nil plan node")
+	}
 	switch t := n.(type) {
 	case *ra.Scan:
-		r, ok := db[t.Table]
+		r, ok := db.LookupFold(t.Table)
 		if !ok {
-			return nil, fmt.Errorf("bag: unknown table %q", t.Table)
+			return nil, schema.UnknownTable("bag", t.Table, db.Names())
 		}
 		return r, nil
 	case *ra.Select:
-		return execSelect(t, db, cat)
+		return execSelect(ctx, t, db, cat)
 	case *ra.Project:
-		return execProject(t, db, cat)
+		return execProject(ctx, t, db, cat)
 	case *ra.Join:
-		return execJoin(t, db, cat)
+		return execJoin(ctx, t, db, cat)
 	case *ra.Union:
-		return execUnion(t, db, cat)
+		return execUnion(ctx, t, db, cat)
 	case *ra.Diff:
-		return execDiff(t, db, cat)
+		return execDiff(ctx, t, db, cat)
 	case *ra.Distinct:
-		return execDistinct(t, db, cat)
+		return execDistinct(ctx, t, db, cat)
 	case *ra.Agg:
-		return execAgg(t, db, cat)
+		return execAgg(ctx, t, db, cat)
 	case *ra.OrderBy:
-		in, err := exec(t.Child, db, cat)
+		in, err := exec(ctx, t.Child, db, cat)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +63,7 @@ func exec(n ra.Node, db DB, cat ra.Catalog) (*Relation, error) {
 		sortByKeys(out, t.Keys, t.Desc)
 		return out, nil
 	case *ra.Limit:
-		in, err := exec(t.Child, db, cat)
+		in, err := exec(ctx, t.Child, db, cat)
 		if err != nil {
 			return nil, err
 		}
@@ -88,13 +103,17 @@ func sortByKeys(r *Relation, keys []int, desc bool) {
 	r.Tuples, r.Counts = nt, nc
 }
 
-func execSelect(t *ra.Select, db DB, cat ra.Catalog) (*Relation, error) {
-	in, err := exec(t.Child, db, cat)
+func execSelect(ctx context.Context, t *ra.Select, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat)
 	if err != nil {
 		return nil, err
 	}
 	out := New(in.Schema)
+	p := ctxpoll.New(ctx)
 	for i, tup := range in.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		v, err := t.Pred.Eval(tup)
 		if err != nil {
 			return nil, fmt.Errorf("bag: selection: %w", err)
@@ -106,8 +125,8 @@ func execSelect(t *ra.Select, db DB, cat ra.Catalog) (*Relation, error) {
 	return out, nil
 }
 
-func execProject(t *ra.Project, db DB, cat ra.Catalog) (*Relation, error) {
-	in, err := exec(t.Child, db, cat)
+func execProject(ctx context.Context, t *ra.Project, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +135,11 @@ func execProject(t *ra.Project, db DB, cat ra.Catalog) (*Relation, error) {
 		attrs[i] = c.Name
 	}
 	out := New(schema.Schema{Attrs: attrs})
+	p := ctxpoll.New(ctx)
 	for i, tup := range in.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		row := make(types.Tuple, len(t.Cols))
 		for j, c := range t.Cols {
 			v, err := c.E.Eval(tup)
@@ -130,12 +153,12 @@ func execProject(t *ra.Project, db DB, cat ra.Catalog) (*Relation, error) {
 	return out.Merge(), nil
 }
 
-func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
-	l, err := exec(t.Left, db, cat)
+func execJoin(ctx context.Context, t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat)
 	if err != nil {
 		return nil, err
 	}
-	r, err := exec(t.Right, db, cat)
+	r, err := exec(ctx, t.Right, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +179,11 @@ func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
 		}
 	}
 
+	p := ctxpoll.New(ctx)
 	emit := func(lt types.Tuple, lc int64, rt types.Tuple, rc int64) error {
+		if err := p.Due(); err != nil {
+			return err
+		}
 		joined := lt.Concat(rt)
 		for _, p := range residual {
 			v, err := p.Eval(joined)
@@ -175,9 +202,16 @@ func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
 		// Hash join on the equality columns.
 		index := make(map[string][]int, r.Len())
 		for i, rt := range r.Tuples {
-			index[rt.KeyOn(rightCols)] = append(index[rt.KeyOn(rightCols)], i)
+			if err := p.Due(); err != nil {
+				return nil, err
+			}
+			k := rt.KeyOn(rightCols)
+			index[k] = append(index[k], i)
 		}
 		for i, lt := range l.Tuples {
+			if err := p.Due(); err != nil {
+				return nil, err
+			}
 			for _, j := range index[lt.KeyOn(leftCols)] {
 				if err := emit(lt, l.Counts[i], r.Tuples[j], r.Counts[j]); err != nil {
 					return nil, err
@@ -188,6 +222,9 @@ func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
 		// Nested loop (cross product or pure theta join).
 		for i, lt := range l.Tuples {
 			for j, rt := range r.Tuples {
+				if err := p.Due(); err != nil {
+					return nil, err
+				}
 				if err := emit(lt, l.Counts[i], rt, r.Counts[j]); err != nil {
 					return nil, err
 				}
@@ -197,12 +234,12 @@ func execJoin(t *ra.Join, db DB, cat ra.Catalog) (*Relation, error) {
 	return out, nil
 }
 
-func execUnion(t *ra.Union, db DB, cat ra.Catalog) (*Relation, error) {
-	l, err := exec(t.Left, db, cat)
+func execUnion(ctx context.Context, t *ra.Union, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat)
 	if err != nil {
 		return nil, err
 	}
-	r, err := exec(t.Right, db, cat)
+	r, err := exec(ctx, t.Right, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -219,12 +256,12 @@ func execUnion(t *ra.Union, db DB, cat ra.Catalog) (*Relation, error) {
 	return out.Merge(), nil
 }
 
-func execDiff(t *ra.Diff, db DB, cat ra.Catalog) (*Relation, error) {
-	l, err := exec(t.Left, db, cat)
+func execDiff(ctx context.Context, t *ra.Diff, db DB, cat ra.Catalog) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat)
 	if err != nil {
 		return nil, err
 	}
-	r, err := exec(t.Right, db, cat)
+	r, err := exec(ctx, t.Right, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -246,8 +283,8 @@ func execDiff(t *ra.Diff, db DB, cat ra.Catalog) (*Relation, error) {
 	return out, nil
 }
 
-func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog) (*Relation, error) {
-	in, err := exec(t.Child, db, cat)
+func execDistinct(ctx context.Context, t *ra.Distinct, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -347,8 +384,8 @@ func (st *aggState) finalize(fn ra.AggFn) (types.Value, error) {
 	return types.Null(), fmt.Errorf("bag: unknown aggregate %v", fn)
 }
 
-func execAgg(t *ra.Agg, db DB, cat ra.Catalog) (*Relation, error) {
-	in, err := exec(t.Child, db, cat)
+func execAgg(ctx context.Context, t *ra.Agg, db DB, cat ra.Catalog) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +416,11 @@ func execAgg(t *ra.Agg, db DB, cat ra.Catalog) (*Relation, error) {
 		return g
 	}
 
+	p := ctxpoll.New(ctx)
 	for i, tup := range in.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		g := getGroup(tup)
 		for j, a := range t.Aggs {
 			var v types.Value

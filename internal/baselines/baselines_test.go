@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"github.com/audb/audb/internal/expr"
@@ -56,7 +57,7 @@ func TestUADB(t *testing.T) {
 	if ua.SG["r"].Size() != 2 { // certain + best alternative; optional dropped (p=0.3)
 		t.Errorf("sg:\n%s", ua.SG["r"])
 	}
-	res, err := ExecUADB(joinPlan(), ua)
+	res, err := ExecUADB(context.Background(), joinPlan(), ua)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,13 +66,13 @@ func TestUADB(t *testing.T) {
 	}
 	// Set difference rejected.
 	diff := &ra.Diff{Left: scanR(), Right: scanR()}
-	if _, err := ExecUADB(diff, ua); err == nil {
+	if _, err := ExecUADB(context.Background(), diff, ua); err == nil {
 		t.Error("diff should be rejected")
 	}
 	// Aggregation: certain side intersected with SG.
 	agg := &ra.Agg{Child: scanR(), GroupBy: []int{0},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}}}
-	res, err = ExecUADB(agg, ua)
+	res, err = ExecUADB(context.Background(), agg, ua)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestLibkin(t *testing.T) {
 	if ldb["r"].Size() != 2 {
 		t.Errorf("libkin relation:\n%s", ldb["r"])
 	}
-	out, err := ExecLibkin(&ra.Select{
+	out, err := ExecLibkin(context.Background(), &ra.Select{
 		Child: scanR(),
 		Pred:  expr.Gt(expr.Col(1, "v"), expr.CInt(5)),
 	}, ldb)
@@ -102,7 +103,7 @@ func TestLibkin(t *testing.T) {
 
 func TestMCDB(t *testing.T) {
 	db := testXDB()
-	res, err := ExecMCDB(joinPlan(), db, 10, 42)
+	res, err := ExecMCDB(context.Background(), joinPlan(), db, 10, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestMCDB(t *testing.T) {
 	// Aggregation bounds across samples.
 	agg := &ra.Agg{Child: scanR(), GroupBy: []int{0},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}}}
-	ares, err := ExecMCDB(agg, db, 10, 7)
+	ares, err := ExecMCDB(context.Background(), agg, db, 10, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/audb/audb/internal/bag"
@@ -18,12 +19,12 @@ type MCDBResult struct {
 // ExecMCDB evaluates the query over n sampled worlds (the paper uses 10).
 // This supports arbitrary queries but yields only sample-derived statistics
 // and requires probabilities.
-func ExecMCDB(n ra.Node, db worlds.XDB, samples int, seed int64) (*MCDBResult, error) {
+func ExecMCDB(ctx context.Context, n ra.Node, db worlds.XDB, samples int, seed int64) (*MCDBResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	out := &MCDBResult{}
 	for i := 0; i < samples; i++ {
 		world := db.Sample(rng)
-		res, err := bag.Exec(n, world)
+		res, err := bag.Exec(ctx, n, world)
 		if err != nil {
 			return nil, err
 		}

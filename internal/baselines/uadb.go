@@ -8,6 +8,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
@@ -56,15 +57,15 @@ type UADBResult struct {
 // per component for benchmark parity (its certain side is generally empty,
 // matching the paper's observation that UA-DB aggregates return no certain
 // answers).
-func ExecUADB(n ra.Node, db *UADB) (*UADBResult, error) {
+func ExecUADB(ctx context.Context, n ra.Node, db *UADB) (*UADBResult, error) {
 	if containsDiff(n) {
 		return nil, fmt.Errorf("baselines: UA-DBs do not support set difference")
 	}
-	low, err := bag.Exec(n, db.Lower)
+	low, err := bag.Exec(ctx, n, db.Lower)
 	if err != nil {
 		return nil, err
 	}
-	sg, err := bag.Exec(n, db.SG)
+	sg, err := bag.Exec(ctx, n, db.SG)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +156,6 @@ func LibkinDB(db worlds.XDB) bag.DB {
 // ExecLibkin evaluates the query over the null-coded database; the result
 // under-approximates the certain answers (rows containing nulls stand for
 // tuples whose values are not certain).
-func ExecLibkin(n ra.Node, db bag.DB) (*bag.Relation, error) {
-	return bag.Exec(n, db)
+func ExecLibkin(ctx context.Context, n ra.Node, db bag.DB) (*bag.Relation, error) {
+	return bag.Exec(ctx, n, db)
 }

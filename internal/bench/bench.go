@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -125,10 +126,11 @@ func dashes(widths []int) []string {
 	return out
 }
 
-// Experiment is a runnable experiment.
+// Experiment is a runnable experiment. Run observes ctx: cancelling it
+// aborts the experiment's query executions with ctx.Err().
 type Experiment struct {
 	ID    string
-	Run   func(Config) (*Table, error)
+	Run   func(context.Context, Config) (*Table, error)
 	Paper string // which paper artifact it reproduces
 }
 
@@ -148,6 +150,7 @@ func Registry() []Experiment {
 		{ID: "fig16", Run: Fig16, Paper: "Figure 16: multi-join performance"},
 		{ID: "fig17", Run: Fig17, Paper: "Figure 17: real-world data (simulated profiles)"},
 		{ID: "par", Run: Par, Paper: "parallel executor scaling (this implementation; not a paper figure)"},
+		{ID: "prep", Run: Prep, Paper: "prepared-statement plan-cache throughput (this implementation; not a paper figure)"},
 	}
 }
 

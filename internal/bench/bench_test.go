@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 // TestRegistryComplete ensures every paper artifact has an experiment.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b",
-		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "par"}
+		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "par", "prep"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -81,7 +82,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl, err := e.Run(cfg)
+			tbl, err := e.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}

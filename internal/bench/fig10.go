@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,34 +17,42 @@ var pdbenchQueries = []string{"PB1", "PB2", "PB3"}
 // runPDBenchSystems times the whole SPJ workload on every system and
 // returns the per-system total durations. opts should already carry the
 // configured worker count (Config.opts).
-func runPDBenchSystems(d *pdbenchData, opts core.Options) (map[string]time.Duration, error) {
+func runPDBenchSystems(ctx context.Context, d *pdbenchData, opts core.Options) (map[string]time.Duration, error) {
 	totals := map[string]time.Duration{}
-	sgw := d.audb.SGW()
+	sgw, err := d.audb.SGWContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	for _, q := range pdbenchQueries {
+		// The MayBMS/Trio baselines predate the context plumbing; check at
+		// segment boundaries so Ctrl-C still lands between measurements.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plan, err := tpch.Compile(q, d.cat)
 		if err != nil {
 			return nil, err
 		}
 		// Det: selected-guess query processing.
-		dt, err := timeIt(func() error { _, e := bag.Exec(plan, sgw); return e })
+		dt, err := timeIt(func() error { _, e := bag.Exec(ctx, plan, sgw); return e })
 		if err != nil {
 			return nil, fmt.Errorf("%s det: %w", q, err)
 		}
 		totals["Det"] += dt
 		// UA-DB.
-		dt, err = timeIt(func() error { _, e := baselines.ExecUADB(plan, d.uadb); return e })
+		dt, err = timeIt(func() error { _, e := baselines.ExecUADB(ctx, plan, d.uadb); return e })
 		if err != nil {
 			return nil, fmt.Errorf("%s uadb: %w", q, err)
 		}
 		totals["UA-DB"] += dt
 		// AU-DB (native engine with the split+Cpr join optimization).
-		dt, err = timeIt(func() error { _, e := core.Exec(plan, d.audb, opts); return e })
+		dt, err = timeIt(func() error { _, e := core.Exec(ctx, plan, d.audb, opts); return e })
 		if err != nil {
 			return nil, fmt.Errorf("%s audb: %w", q, err)
 		}
 		totals["AU-DB"] += dt
 		// Libkin-style certain answers.
-		dt, err = timeIt(func() error { _, e := baselines.ExecLibkin(plan, d.libkin); return e })
+		dt, err = timeIt(func() error { _, e := baselines.ExecLibkin(ctx, plan, d.libkin); return e })
 		if err != nil {
 			return nil, fmt.Errorf("%s libkin: %w", q, err)
 		}
@@ -55,7 +64,7 @@ func runPDBenchSystems(d *pdbenchData, opts core.Options) (map[string]time.Durat
 		}
 		totals["MayBMS"] += dt
 		// MCDB-style sampling (10 worlds).
-		dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, d.xdb, 10, 7); return e })
+		dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(ctx, plan, d.xdb, 10, 7); return e })
 		if err != nil {
 			return nil, fmt.Errorf("%s mcdb: %w", q, err)
 		}
@@ -68,7 +77,7 @@ var fig10Systems = []string{"Det", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"}
 
 // Fig10a reproduces Figure 10a: runtime of the PDBench SPJ workload
 // normalized to deterministic SGQP, varying the amount of uncertainty.
-func Fig10a(cfg Config) (*Table, error) {
+func Fig10a(ctx context.Context, cfg Config) (*Table, error) {
 	scale := cfg.sizef(0.05, 0.01)
 	t := &Table{
 		ID:      "fig10a",
@@ -85,7 +94,7 @@ func Fig10a(cfg Config) (*Table, error) {
 	}
 	for _, unc := range uncs {
 		d := buildPDBench(scale, unc, 1.0, cfg.Seed)
-		totals, err := runPDBenchSystems(d, cfg.opts(core.Options{JoinCompression: 64}))
+		totals, err := runPDBenchSystems(ctx, d, cfg.opts(core.Options{JoinCompression: 64}))
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +109,7 @@ func Fig10a(cfg Config) (*Table, error) {
 
 // Fig10b reproduces Figure 10b: the same workload at 2% uncertainty,
 // varying the database size.
-func Fig10b(cfg Config) (*Table, error) {
+func Fig10b(ctx context.Context, cfg Config) (*Table, error) {
 	scales := []float64{0.02, 0.1, 0.5}
 	labels := []string{"0.1x", "1x", "10x"}
 	if cfg.quickish() {
@@ -116,7 +125,7 @@ func Fig10b(cfg Config) (*Table, error) {
 	}
 	for i, scale := range scales {
 		d := buildPDBench(scale, 0.02, 1.0, cfg.Seed)
-		totals, err := runPDBenchSystems(d, cfg.opts(core.Options{JoinCompression: 64}))
+		totals, err := runPDBenchSystems(ctx, d, cfg.opts(core.Options{JoinCompression: 64}))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
@@ -43,7 +44,7 @@ func chainedAggPlan(n int) ra.Node {
 
 // Fig11 reproduces Figure 11: runtime of chained aggregation over
 // uncertain TPC-H data for Det, AU-DB, Trio, Symb and MCDB.
-func Fig11(cfg Config) (*Table, error) {
+func Fig11(ctx context.Context, cfg Config) (*Table, error) {
 	scale := cfg.sizef(0.1, 0.01)
 	maxOps := 10
 	if cfg.quickish() {
@@ -53,7 +54,10 @@ func Fig11(cfg Config) (*Table, error) {
 		maxOps = 3
 	}
 	d := buildPDBench(scale, 0.02, 1.0, cfg.Seed)
-	sgw := d.audb.SGW()
+	sgw, err := d.audb.SGWContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "fig11",
 		Title:   "Simple aggregation over TPC-H data: seconds by #aggregation operators",
@@ -61,15 +65,20 @@ func Fig11(cfg Config) (*Table, error) {
 		Notes:   []string{fmt.Sprintf("scale=%.3f, 2%% uncertainty", scale)},
 	}
 	for n := 1; n <= maxOps; n++ {
+		// The Trio/Symb segments predate the context plumbing; check at
+		// segment boundaries so Ctrl-C still lands between measurements.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plan := chainedAggPlan(n)
 		row := []string{fmt.Sprintf("%d", n)}
-		dt, err := timeIt(func() error { _, e := bag.Exec(plan, sgw); return e })
+		dt, err := timeIt(func() error { _, e := bag.Exec(ctx, plan, sgw); return e })
 		if err != nil {
 			return nil, err
 		}
 		row = append(row, secs(dt))
 		dt, err = timeIt(func() error {
-			_, e := core.Exec(plan, d.audb, cfg.opts(core.Options{AggCompression: 64}))
+			_, e := core.Exec(ctx, plan, d.audb, cfg.opts(core.Options{AggCompression: 64}))
 			return e
 		})
 		if err != nil {
@@ -91,7 +100,7 @@ func Fig11(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		row = append(row, secs(dt))
-		dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, d.xdb, 10, 7); return e })
+		dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(ctx, plan, d.xdb, 10, 7); return e })
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +144,7 @@ func trioChain(d *pdbenchData, n int) error {
 // Fig12 reproduces the TPC-H query performance table (Figure 12):
 // AU-DB / Det / MCDB runtimes for Q1, Q3, Q5, Q7 and Q10 across
 // uncertainty and scale configurations.
-func Fig12(cfg Config) (*Table, error) {
+func Fig12(ctx context.Context, cfg Config) (*Table, error) {
 	base := cfg.sizef(0.1, 0.01)
 	configs := []struct {
 		label string
@@ -162,7 +171,10 @@ func Fig12(cfg Config) (*Table, error) {
 	results := make(map[string][]cell)
 	for _, c := range configs {
 		d := buildPDBench(c.scale, c.unc, 0.25, cfg.Seed)
-		sgw := d.audb.SGW()
+		sgw, err := d.audb.SGWContext(ctx)
+		if err != nil {
+			return nil, err
+		}
 		for _, q := range queries {
 			plan, err := tpch.Compile(q, d.cat)
 			if err != nil {
@@ -170,19 +182,19 @@ func Fig12(cfg Config) (*Table, error) {
 			}
 			var cl cell
 			dt, err := timeIt(func() error {
-				_, e := core.Exec(plan, d.audb, cfg.opts(core.Options{JoinCompression: 64, AggCompression: 64}))
+				_, e := core.Exec(ctx, plan, d.audb, cfg.opts(core.Options{JoinCompression: 64, AggCompression: 64}))
 				return e
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s audb: %w", q, err)
 			}
 			cl.audb = secs(dt)
-			dt, err = timeIt(func() error { _, e := bag.Exec(plan, sgw); return e })
+			dt, err = timeIt(func() error { _, e := bag.Exec(ctx, plan, sgw); return e })
 			if err != nil {
 				return nil, err
 			}
 			cl.det = secs(dt)
-			dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, d.xdb, 10, 7); return e })
+			dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(ctx, plan, d.xdb, 10, 7); return e })
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
@@ -28,7 +29,7 @@ func wideData(rows, cols int, domain int64, cellProb, rangeFrac float64, seed in
 
 // Fig13a: sum aggregation, varying the number of group-by attributes
 // (35k rows, 5% uncertainty, value ranges 5% of the domain, CT=25).
-func Fig13a(cfg Config) (*Table, error) {
+func Fig13a(ctx context.Context, cfg Config) (*Table, error) {
 	rows, cols := cfg.size(35000, 4000), 100
 	counts := []int{1, 5, 10, 25, 50, 75, 99}
 	if cfg.quickish() {
@@ -55,13 +56,13 @@ func Fig13a(cfg Config) (*Table, error) {
 			Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(0, "a0"), Name: "s"}},
 		}
 		audbT, err := timeIt(func() error {
-			_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: 25}))
+			_, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{AggCompression: 25}))
 			return e
 		})
 		if err != nil {
 			return nil, err
 		}
-		detT, err := timeIt(func() error { _, e := bag.Exec(plan, det); return e })
+		detT, err := timeIt(func() error { _, e := bag.Exec(ctx, plan, det); return e })
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +72,7 @@ func Fig13a(cfg Config) (*Table, error) {
 }
 
 // Fig13b: varying the number of aggregation functions (one group-by).
-func Fig13b(cfg Config) (*Table, error) {
+func Fig13b(ctx context.Context, cfg Config) (*Table, error) {
 	rows, cols := cfg.size(35000, 4000), 100
 	counts := []int{1, 5, 10, 25, 50, 99}
 	if cfg.quickish() {
@@ -97,13 +98,13 @@ func Fig13b(cfg Config) (*Table, error) {
 		}
 		plan := &ra.Agg{Child: &ra.Scan{Table: "t"}, GroupBy: []int{0}, Aggs: aggs}
 		audbT, err := timeIt(func() error {
-			_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: 25}))
+			_, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{AggCompression: 25}))
 			return e
 		})
 		if err != nil {
 			return nil, err
 		}
-		detT, err := timeIt(func() error { _, e := bag.Exec(plan, det); return e })
+		detT, err := timeIt(func() error { _, e := bag.Exec(ctx, plan, det); return e })
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func Fig13b(cfg Config) (*Table, error) {
 
 // Fig13c: varying the size of attribute-level ranges under different
 // compression targets (runtime of AU-DB aggregation).
-func Fig13c(cfg Config) (*Table, error) {
+func Fig13c(ctx context.Context, cfg Config) (*Table, error) {
 	rows := cfg.size(35000, 4000)
 	fracs := []float64{0.05, 0.25, 0.5, 0.75, 1.0}
 	if cfg.Tiny {
@@ -137,7 +138,7 @@ func Fig13c(cfg Config) (*Table, error) {
 		row := []string{fmt.Sprintf("%.0f%%", frac*100)}
 		for _, ct := range cts {
 			dt, err := timeIt(func() error {
-				_, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: ct}))
+				_, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{AggCompression: ct}))
 				return e
 			})
 			if err != nil {
@@ -152,7 +153,7 @@ func Fig13c(cfg Config) (*Table, error) {
 
 // Fig13d: the compression trade-off: runtime and mean result range while
 // sweeping the compression target.
-func Fig13d(cfg Config) (*Table, error) {
+func Fig13d(ctx context.Context, cfg Config) (*Table, error) {
 	rows := cfg.size(10000, 2000)
 	cts := []int{4, 32, 256, 4096, 65536}
 	if cfg.quickish() {
@@ -176,7 +177,7 @@ func Fig13d(cfg Config) (*Table, error) {
 	for _, ct := range cts {
 		var res *core.Relation
 		dt, err := timeIt(func() error {
-			r, e := core.Exec(plan, audb, cfg.opts(core.Options{AggCompression: ct}))
+			r, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{AggCompression: ct}))
 			res = r
 			return e
 		})

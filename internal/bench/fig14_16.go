@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
@@ -35,7 +36,7 @@ func equiJoinPlan() ra.Node {
 // Fig14 reproduces Figures 14a/14b: runtime (a) and possible result size
 // (b) of a single equality join, varying the input size, for the
 // un-optimized join and compressed variants.
-func Fig14(cfg Config) (*Table, error) {
+func Fig14(ctx context.Context, cfg Config) (*Table, error) {
 	sizes := []int{5000, 10000, 20000}
 	withNaive := false
 	if cfg.quickish() {
@@ -76,7 +77,7 @@ func Fig14(cfg Config) (*Table, error) {
 		for _, m := range modes {
 			var res *core.Relation
 			dt, err := timeIt(func() error {
-				r, e := core.Exec(plan, db, cfg.opts(m.opts))
+				r, e := core.Exec(ctx, plan, db, cfg.opts(m.opts))
 				res = r
 				return e
 			})
@@ -94,7 +95,7 @@ func Fig14(cfg Config) (*Table, error) {
 
 // Fig16 reproduces the multi-join table (Figure 16): chains of 1-4
 // equality joins under different compression sizes and uncertainty levels.
-func Fig16(cfg Config) (*Table, error) {
+func Fig16(ctx context.Context, cfg Config) (*Table, error) {
 	rows := cfg.size(4000, 500)
 	comps := []int{4, 16, 64, 256, 0} // 0 = no compression
 	uncs := []float64{0.03, 0.10}
@@ -132,7 +133,7 @@ func Fig16(cfg Config) (*Table, error) {
 			for joins := 1; joins <= 4; joins++ {
 				plan := chainJoinPlan(joins)
 				dt, err := timeIt(func() error {
-					_, e := core.Exec(plan, audb, cfg.opts(core.Options{JoinCompression: comp}))
+					_, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{JoinCompression: comp}))
 					return e
 				})
 				if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,7 +20,7 @@ import (
 // aggregation-range over-estimation of AU-DB aggregation against exact
 // per-group bounds, varying the fraction of uncertain tuples and the
 // relative size of attribute ranges.
-func Fig15(cfg Config) (*Table, error) {
+func Fig15(ctx context.Context, cfg Config) (*Table, error) {
 	rows := cfg.size(5000, 1000)
 	t := &Table{
 		ID:      "fig15",
@@ -47,7 +48,7 @@ func Fig15(cfg Config) (*Table, error) {
 				GroupBy: []int{0},
 				Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(1, "v"), Name: "s"}},
 			}
-			res, err := core.Exec(plan, core.DB{"t": au}, cfg.opts(core.Options{}))
+			res, err := core.Exec(ctx, plan, core.DB{"t": au}, cfg.opts(core.Options{}))
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +94,7 @@ func keyViolationX(rel *bag.Relation, keyCol int) *worlds.XRelation {
 // datasets matching the published uncertainty profiles (DESIGN.md
 // substitution 5): runtime plus accuracy against (approximate) ground
 // truth for AU-DB, Trio, MCDB and UA-DB.
-func Fig17(cfg Config) (*Table, error) {
+func Fig17(ctx context.Context, cfg Config) (*Table, error) {
 	profiles := []synth.KeyViolationProfile{
 		synth.NetflixProfile, synth.CrimesProfile, synth.HealthcareProfile,
 	}
@@ -121,10 +122,10 @@ func Fig17(cfg Config) (*Table, error) {
 		audb := core.DB{"t": au}
 		ua := baselines.UADBFromX(xdb)
 
-		if err := fig17SPJ(t, p.Name, rel, xdb, audb, ua, cfg); err != nil {
+		if err := fig17SPJ(ctx, t, p.Name, rel, xdb, audb, ua, cfg); err != nil {
 			return nil, err
 		}
-		if err := fig17GB(t, p.Name, x, xdb, audb, cfg); err != nil {
+		if err := fig17GB(ctx, t, p.Name, x, xdb, audb, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -132,7 +133,7 @@ func Fig17(cfg Config) (*Table, error) {
 }
 
 // fig17SPJ runs the selection query of the experiment on every system.
-func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb core.DB, ua *baselines.UADB, cfg Config) error {
+func fig17SPJ(ctx context.Context, t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb core.DB, ua *baselines.UADB, cfg Config) error {
 	threshold := expr.CInt(200)
 	plan := &ra.Select{
 		Child: &ra.Scan{Table: "t"},
@@ -140,18 +141,18 @@ func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb cor
 	}
 	// Ground truth: possible answers over the expanded relation
 	// (monotone query); certain answers from sampled repairs.
-	possible, err := bag.Exec(plan, bag.DB{"t": rel})
+	possible, err := bag.Exec(ctx, plan, bag.DB{"t": rel})
 	if err != nil {
 		return err
 	}
-	certain, err := sampledCertain(plan, xdb, 25, cfg.Seed)
+	certain, err := sampledCertain(ctx, plan, xdb, 25, cfg.Seed)
 	if err != nil {
 		return err
 	}
 
 	var auRes *core.Relation
 	dt, err := timeIt(func() error {
-		r, e := core.Exec(plan, audb, cfg.opts(core.Options{}))
+		r, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{}))
 		auRes = r
 		return e
 	})
@@ -180,7 +181,7 @@ func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb cor
 
 	var mres *baselines.MCDBResult
 	dt, err = timeIt(func() error {
-		r, e := baselines.ExecMCDB(plan, xdb, 10, cfg.Seed)
+		r, e := baselines.ExecMCDB(ctx, plan, xdb, 10, cfg.Seed)
 		mres = r
 		return e
 	})
@@ -194,7 +195,7 @@ func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb cor
 
 	var uaRes *baselines.UADBResult
 	dt, err = timeIt(func() error {
-		r, e := baselines.ExecUADB(plan, ua)
+		r, e := baselines.ExecUADB(ctx, plan, ua)
 		uaRes = r
 		return e
 	})
@@ -209,7 +210,7 @@ func fig17SPJ(t *Table, name string, rel *bag.Relation, xdb worlds.XDB, audb cor
 }
 
 // fig17GB runs the grouped aggregation query.
-func fig17GB(t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb core.DB, cfg Config) error {
+func fig17GB(ctx context.Context, t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb core.DB, cfg Config) error {
 	plan := &ra.Agg{
 		Child:   &ra.Scan{Table: "t"},
 		GroupBy: []int{1}, // s0 (categorical)
@@ -219,7 +220,7 @@ func fig17GB(t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb co
 
 	var auRes *core.Relation
 	dt, err := timeIt(func() error {
-		r, e := core.Exec(plan, audb, cfg.opts(core.Options{}))
+		r, e := core.Exec(ctx, plan, audb, cfg.opts(core.Options{}))
 		auRes = r
 		return e
 	})
@@ -241,7 +242,7 @@ func fig17GB(t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb co
 	}
 	t.Rows = append(t.Rows, []string{name, "GB", "Trio", secs(dt), "100%", "1.0", "100%", "100%"})
 
-	dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(plan, xdb, 10, cfg.Seed); return e })
+	dt, err = timeIt(func() error { _, e := baselines.ExecMCDB(ctx, plan, xdb, 10, cfg.Seed); return e })
 	if err != nil {
 		return err
 	}
@@ -251,11 +252,11 @@ func fig17GB(t *Table, name string, x *worlds.XRelation, xdb worlds.XDB, audb co
 
 // sampledCertain approximates the certain answers by intersecting the
 // query results of sampled worlds.
-func sampledCertain(plan ra.Node, xdb worlds.XDB, samples int, seed int64) (*bag.Relation, error) {
+func sampledCertain(ctx context.Context, plan ra.Node, xdb worlds.XDB, samples int, seed int64) (*bag.Relation, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var acc *bag.Relation
 	for i := 0; i < samples; i++ {
-		res, err := bag.Exec(plan, xdb.Sample(rng))
+		res, err := bag.Exec(ctx, plan, xdb.Sample(rng))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -15,7 +16,7 @@ import (
 // grouping aggregation (Section 10.5) — plus a plain selection for the
 // chunked-map path. One row per (operator, worker count), with the speedup
 // over the Workers=1 reference evaluation.
-func Par(cfg Config) (*Table, error) {
+func Par(ctx context.Context, cfg Config) (*Table, error) {
 	joinRows := cfg.size(8000, 2000)
 	aggRows := cfg.size(200000, 30000)
 
@@ -60,7 +61,7 @@ func Par(cfg Config) (*Table, error) {
 			opts := c.opts
 			opts.Workers = w
 			dt, err := timeIt(func() error {
-				_, e := core.Exec(c.plan, c.db, opts)
+				_, e := core.Exec(ctx, c.plan, c.db, opts)
 				return e
 			})
 			if err != nil {

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/audb/audb"
+)
+
+// Prep measures the plan-cache payoff of the session API (not a paper
+// figure): the same aggregation query executed unprepared (parse + plan
+// every time via QueryContext), prepared (Prepare once, Stmt.Exec in a
+// loop), and prepared from several goroutines concurrently. The workload
+// is deliberately small so the front-end cost is a visible fraction of
+// each execution — exactly the regime a prepared statement exists for.
+func Prep(ctx context.Context, cfg Config) (*Table, error) {
+	rows := cfg.size(2048, 512)
+	iters := cfg.size(2000, 400)
+	const workers = 4
+
+	db, query := prepWorkload(cfg, rows)
+	t := &Table{
+		ID:      "prep",
+		Title:   "prepared vs unprepared execution throughput",
+		Headers: []string{"mode", "execs", "total_ms", "per-exec_ms", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("rows=%d iters=%d; query: %s", rows, iters, query),
+			fmt.Sprintf("concurrent mode uses %d goroutines over one shared Stmt", workers),
+		},
+	}
+
+	// Unprepared: the full parse/plan/execute pipeline per call.
+	unprep, err := timeIt(func() error {
+		for i := 0; i < iters; i++ {
+			if _, err := db.QueryContext(ctx, query); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prep: unprepared: %w", err)
+	}
+
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, fmt.Errorf("prep: %w", err)
+	}
+
+	// Prepared, serial: parse/plan amortized away.
+	prep, err := timeIt(func() error {
+		for i := 0; i < iters; i++ {
+			if _, err := stmt.Exec(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prep: prepared: %w", err)
+	}
+
+	// Prepared, concurrent: one shared Stmt, several executing goroutines.
+	conc, err := timeIt(func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		per := (iters + workers - 1) / workers
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := stmt.Exec(ctx); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prep: concurrent: %w", err)
+	}
+	concExecs := ((iters + workers - 1) / workers) * workers
+
+	perExec := func(total time.Duration, n int) time.Duration {
+		if n == 0 {
+			return 0
+		}
+		return total / time.Duration(n)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"unprepared", fmt.Sprint(iters), ms(unprep), ms(perExec(unprep, iters)), "1.00"},
+		[]string{"prepared", fmt.Sprint(iters), ms(prep), ms(perExec(prep, iters)), ratio(unprep, prep)},
+		[]string{"prepared 4g", fmt.Sprint(concExecs), ms(conc), ms(perExec(conc, concExecs)), ratio(perExec(unprep, iters), perExec(conc, concExecs))},
+	)
+	return t, nil
+}
+
+// prepWorkload builds a small uncertain table and the aggregation query
+// Prep executes against it.
+func prepWorkload(cfg Config, rows int) (*audb.Database, string) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := audb.NewUncertainTable("r", "k", "grp", "val")
+	for i := 0; i < rows; i++ {
+		v := int64(rng.Intn(1000))
+		spread := int64(rng.Intn(10))
+		tbl.AddRow(audb.RangeRow{
+			audb.CertainOf(audb.Int(int64(i))),
+			audb.CertainOf(audb.Int(int64(rng.Intn(16)))),
+			audb.Range(audb.Int(v-spread), audb.Int(v), audb.Int(v+spread)),
+		}, audb.CertainMult(1))
+	}
+	db := audb.New()
+	db.Add(tbl)
+	db.SetOptions(audb.Options{Workers: cfg.Workers})
+	return db, `SELECT grp, sum(val) AS s, count(*) AS n FROM r WHERE k >= 0 GROUP BY grp`
+}

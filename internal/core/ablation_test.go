@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,11 +53,11 @@ func TestHybridJoinEqualsNaive(t *testing.T) {
 				expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
 				expr.Leq(expr.Col(1, "b"), expr.Col(3, "d"))),
 		}
-		hybrid, err := Exec(plan, db, Options{})
+		hybrid, err := Exec(context.Background(), plan, db, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		naive, err := Exec(plan, db, Options{NaiveJoin: true})
+		naive, err := Exec(context.Background(), plan, db, Options{NaiveJoin: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,12 +142,12 @@ func TestJoinCompressionNeverLosesSGW(t *testing.T) {
 			Right: &ra.Scan{Table: "r"},
 			Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
 		}
-		exact, err := Exec(plan, db, Options{})
+		exact, err := Exec(context.Background(), plan, db, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, ct := range []int{1, 2, 7} {
-			comp, err := Exec(plan, db, Options{JoinCompression: ct})
+			comp, err := Exec(context.Background(), plan, db, Options{JoinCompression: ct})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -170,14 +171,14 @@ func TestLimitAndOrderByOverAU(t *testing.T) {
 		rel.Add(Tuple{Vals: rangeval.Tuple{civ(i)}, M: One})
 	}
 	db := DB{"t": rel}
-	out, err := Exec(&ra.Limit{Child: &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}}, N: 2}, db, Options{})
+	out, err := Exec(context.Background(), &ra.Limit{Child: &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}}, N: 2}, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 2 || out.Tuples[0].Vals[0].SG.AsInt() != 1 {
 		t.Fatalf("limit/order:\n%s", out)
 	}
-	big, err := Exec(&ra.Limit{Child: &ra.Scan{Table: "t"}, N: 99}, db, Options{})
+	big, err := Exec(context.Background(), &ra.Limit{Child: &ra.Scan{Table: "t"}, N: 99}, db, Options{})
 	if err != nil || big.Len() != 5 {
 		t.Fatalf("limit larger than input: %v", err)
 	}
@@ -189,14 +190,14 @@ func TestSelectionErrorPropagation(t *testing.T) {
 	rel.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: One})
 	db := DB{"t": rel}
 	bad := expr.Eq(expr.Div(expr.CInt(1), expr.CInt(0)), expr.CInt(1))
-	if _, err := Exec(&ra.Select{Child: &ra.Scan{Table: "t"}, Pred: bad}, db, Options{}); err == nil {
+	if _, err := Exec(context.Background(), &ra.Select{Child: &ra.Scan{Table: "t"}, Pred: bad}, db, Options{}); err == nil {
 		t.Error("division by zero in predicate should error")
 	}
-	if _, err := Exec(&ra.Project{Child: &ra.Scan{Table: "t"},
+	if _, err := Exec(context.Background(), &ra.Project{Child: &ra.Scan{Table: "t"},
 		Cols: []ra.ProjCol{{E: expr.Add(expr.Col(0, "v"), expr.CStr("x")), Name: "bad"}}}, db, Options{}); err == nil {
 		t.Error("type error in projection should error")
 	}
-	if _, err := Exec(&ra.Agg{Child: &ra.Scan{Table: "t"},
+	if _, err := Exec(context.Background(), &ra.Agg{Child: &ra.Scan{Table: "t"},
 		Aggs: []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Mul(expr.Col(0, "v"), expr.CStr("x")), Name: "bad"}}}, db, Options{}); err == nil {
 		t.Error("type error in aggregate should error")
 	}
@@ -208,7 +209,7 @@ func TestSelectionErrorPropagation(t *testing.T) {
 func TestAggregationMinMaxWithUncertainExistence(t *testing.T) {
 	rel := New(schema.New("g", "v"))
 	rel.Add(Tuple{Vals: rangeval.Tuple{civ(1), civ(10)}, M: Mult{0, 1, 1}})
-	out, err := Exec(&ra.Agg{
+	out, err := Exec(context.Background(), &ra.Agg{
 		Child:   &ra.Scan{Table: "t"},
 		GroupBy: []int{0},
 		Aggs: []ra.AggSpec{

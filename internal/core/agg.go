@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
@@ -227,8 +229,8 @@ func avgBounds(sum, cnt rangeval.V) rangeval.V {
 // default grouping strategy (Definitions 24-28). With
 // Options.AggCompression > 0 the possible-contribution side is compressed
 // first (Section 10.5), trading bound tightness for running time.
-func execAgg(t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(t.Child, db, cat, opt)
+func execAgg(ctx context.Context, t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: aggregation input: %w", err)
 	}
@@ -240,18 +242,21 @@ func execAgg(t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aggregate(in, t.GroupBy, plans, outSchema, opt)
+	return aggregate(ctx, in, t.GroupBy, plans, outSchema, opt)
 }
 
 // buildContribs evaluates argument ranges for every tuple, chunked across
 // workers (each contribution is independent and lands in its input slot).
 // The extra final slot carries the count(*) indicator used by AVG counts.
-func buildContribs(in *Relation, groupBy []int, plans []aggPlan, workers int) ([]contrib, error) {
+func buildContribs(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan, workers int) ([]contrib, error) {
 	one := rangeval.Certain(types.Int(1))
 	out := make([]contrib, len(in.Tuples))
 	spans := chunkSpans(len(in.Tuples), workers, minParTuples)
-	err := runSpans(spans, func(_ int, s span) error {
+	err := runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
 		for i := s.lo; i < s.hi; i++ {
+			if err := p.Due(); err != nil {
+				return err
+			}
 			tup := in.Tuples[i]
 			args := make([]rangeval.V, len(plans)+1)
 			for j, p := range plans {
@@ -289,16 +294,19 @@ type outGroup struct {
 // bounding box (Definition 25). Workers build partial group maps over
 // contiguous chunks; merging partials in chunk order reproduces the serial
 // first-seen group order and ascending member order exactly.
-func buildGroups(exact []contrib, groupBy []int, workers int) (map[string]*outGroup, []string) {
+func buildGroups(ctx context.Context, exact []contrib, groupBy []int, workers int) (map[string]*outGroup, []string, error) {
 	spans := chunkSpans(len(exact), workers, minParTuples)
 	maps := make([]map[string]*outGroup, len(spans))
 	orders := make([][]string, len(spans))
-	_ = runSpans(spans, func(c int, s span) error {
-		maps[c], orders[c] = buildGroupsRange(exact, groupBy, s.lo, s.hi)
-		return nil
-	})
+	if err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+		var err error
+		maps[c], orders[c], err = buildGroupsRange(exact, groupBy, s.lo, s.hi, p)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
 	if len(spans) == 0 {
-		return map[string]*outGroup{}, nil
+		return map[string]*outGroup{}, nil, nil
 	}
 	groups, order := maps[0], orders[0]
 	for c := 1; c < len(spans); c++ {
@@ -313,14 +321,17 @@ func buildGroups(exact []contrib, groupBy []int, workers int) (map[string]*outGr
 			order = append(order, k)
 		}
 	}
-	return groups, order
+	return groups, order, nil
 }
 
 // buildGroupsRange is the serial group assignment over contribs [lo, hi).
-func buildGroupsRange(exact []contrib, groupBy []int, lo, hi int) (map[string]*outGroup, []string) {
+func buildGroupsRange(exact []contrib, groupBy []int, lo, hi int, p *ctxpoll.Poll) (map[string]*outGroup, []string, error) {
 	groups := map[string]*outGroup{}
 	var order []string
 	for i := lo; i < hi; i++ {
+		if err := p.Due(); err != nil {
+			return nil, nil, err
+		}
 		k := exact[i].gb.SGKey()
 		g, ok := groups[k]
 		if !ok {
@@ -335,7 +346,7 @@ func buildGroupsRange(exact []contrib, groupBy []int, lo, hi int) (map[string]*o
 		g.gbox = g.gbox.Union(exact[i].gb) // Definition 25
 		g.members = append(g.members, i)
 	}
-	return groups, order
+	return groups, order, nil
 }
 
 // compressContribs merges contributions down to roughly n entries
@@ -381,9 +392,9 @@ func compressContribs(cs []contrib, n int) []contrib {
 }
 
 // aggregate executes grouping (or global) aggregation.
-func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Schema, opt Options) (*Relation, error) {
+func aggregate(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Schema, opt Options) (*Relation, error) {
 	workers := opt.workerCount()
-	exact, err := buildContribs(in, groupBy, plans, workers)
+	exact, err := buildContribs(ctx, in, groupBy, plans, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +402,10 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 	// Default grouping strategy (Definition 24): one output per distinct
 	// SG group-by value; α assigns every tuple by its SG values. Without
 	// group-by there is a single output group.
-	groups, order := buildGroups(exact, groupBy, workers)
+	groups, order, err := buildGroups(ctx, exact, groupBy, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	out := New(outSchema)
 	noGroup := len(groupBy) == 0
@@ -431,7 +445,7 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 	// (contributions, indexes), so groups are computed in parallel chunks;
 	// appending rows in group order keeps the output identical to the
 	// serial loop.
-	computeGroup := func(g *outGroup) (Tuple, error) {
+	computeGroup := func(g *outGroup, p *ctxpoll.Poll) (Tuple, error) {
 		// Lower/upper aggregate bounds from ð(g) (Definition 26).
 		accs := make([]*boundsAcc, len(plans))
 		cntAccs := make([]*boundsAcc, len(plans))
@@ -448,6 +462,9 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 		// represent other groups, for which this tuple's contribution is
 		// not guaranteed.
 		fold := func(c contrib, certainMember bool) error {
+			if err := p.Due(); err != nil {
+				return err
+			}
 			ug := c.ug || !certainMember
 			for j := range plans {
 				if err := accs[j].add(c.m, c.args[j], ug); err != nil {
@@ -505,6 +522,9 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 			sgCnts[j] = types.Int(0)
 		}
 		for _, i := range g.members {
+			if err := p.Due(); err != nil {
+				return Tuple{}, err
+			}
 			c := exact[i]
 			if c.m.SG == 0 {
 				continue
@@ -562,9 +582,9 @@ func aggregate(in *Relation, groupBy []int, plans []aggPlan, outSchema schema.Sc
 
 	rows := make([]Tuple, len(order))
 	spans := chunkSpans(len(order), workers, minParGroups)
-	err = runSpans(spans, func(_ int, s span) error {
+	err = runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
 		for gi := s.lo; gi < s.hi; gi++ {
-			row, err := computeGroup(groups[order[gi]])
+			row, err := computeGroup(groups[order[gi]], p)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/audb/audb/internal/schema"
+)
+
+// Catalog is a concurrency-safe collection of named AU-relations: the
+// mutable registry behind a Database. Registration and lookup may race
+// freely with query execution because executors never see the live map —
+// they run over an immutable Snapshot taken when the query starts.
+// Enumeration (Tables, and every diagnostic built on it) is always in
+// sorted name order, never Go map order.
+//
+// The catalog guards the name → relation mapping only; the relations
+// themselves are shared. Mutating a registered relation (e.g. adding rows
+// to its table) while queries are in flight is the caller's race to avoid.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels DB
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{rels: DB{}} }
+
+// Register adds or replaces a relation under the given name. Names are
+// case-insensitive to match the planner (which resolves them against a
+// lowercased schema catalog): registering a case-variant of an existing
+// name replaces it, so the catalog never holds two tables a query could
+// not tell apart.
+func (c *Catalog) Register(name string, r *Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k, ok := schema.ResolveFold(c.rels, name); ok && k != name {
+		delete(c.rels, k)
+	}
+	c.rels[name] = r
+}
+
+// Drop removes a relation, resolving the name the way queries do
+// (exact, then case-insensitive); it is a no-op for unknown names.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k, ok := schema.ResolveFold(c.rels, name); ok {
+		delete(c.rels, k)
+	}
+}
+
+// Lookup returns the relation registered under name, resolving it the
+// way queries do (exact, then case-insensitive).
+func (c *Catalog) Lookup(name string) (*Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return schema.LookupFold(c.rels, name)
+}
+
+// Len returns the number of registered relations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rels)
+}
+
+// Tables lists the registered names in sorted order.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels.Names()
+}
+
+// Snapshot returns an immutable point-in-time view of the catalog for one
+// query execution. The map is copied (so later Register/Drop calls cannot
+// race with the executor); the relations are shared.
+func (c *Catalog) Snapshot() DB {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(DB, len(c.rels))
+	for n, r := range c.rels {
+		out[n] = r
+	}
+	return out
+}
+
+// Schemas returns a catalog view for planning, keyed by lowercased name.
+func (c *Catalog) Schemas() map[string]schema.Schema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels.Schemas()
+}
+
+// Names returns the table names of a raw AU-database in sorted order, for
+// deterministic diagnostics.
+func (db DB) Names() []string { return schema.SortedNames(db) }
+
+// LookupFold resolves a table name the way the planner does (exact, then
+// case-insensitive), keeping execution consistent with compilation.
+func (db DB) LookupFold(name string) (*Relation, bool) {
+	return schema.LookupFold(db, name)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+func catRel(v int64) *Relation {
+	r := New(schema.New("a"))
+	r.Add(Tuple{Vals: rangeval.Tuple{rangeval.Certain(types.Int(v))}, M: One})
+	return r
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := NewCatalog()
+	if c.Len() != 0 || len(c.Tables()) != 0 {
+		t.Fatal("fresh catalog not empty")
+	}
+	c.Register("zeta", catRel(1))
+	c.Register("alpha", catRel(2))
+	c.Register("mid", catRel(3))
+	if got := c.Tables(); !sort.StringsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("Tables() = %v, want 3 sorted names", got)
+	}
+	if r, ok := c.Lookup("alpha"); !ok || r.Len() != 1 {
+		t.Fatal("Lookup alpha")
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("Lookup nope should miss")
+	}
+	// Re-registering replaces.
+	c.Register("alpha", catRel(9))
+	if r, _ := c.Lookup("alpha"); r.Tuples[0].Vals[0].SG.AsInt() != 9 {
+		t.Fatal("Register should replace")
+	}
+	// ... including under a case-variant spelling: the planner folds
+	// names, so the catalog must never hold two case-variants at once.
+	c.Register("ALPHA", catRel(10))
+	if c.Len() != 3 {
+		t.Fatalf("case-variant Register should replace, catalog: %v", c.Tables())
+	}
+	if r, ok := c.Lookup("alpha"); !ok || r.Tuples[0].Vals[0].SG.AsInt() != 10 {
+		t.Fatal("case-variant Register should be visible through folded Lookup")
+	}
+	c.Register("alpha", catRel(11))
+	c.Drop("mid")
+	c.Drop("mid") // no-op
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after drop", c.Len())
+	}
+	if len(c.Schemas()) != 2 || len(c.Snapshot().SGW()) != 2 {
+		t.Fatal("Schemas/SGW views")
+	}
+}
+
+// TestCatalogSnapshotIsolation: a snapshot taken before later
+// registrations must not observe them, so in-flight queries are immune to
+// concurrent catalog mutation.
+func TestCatalogSnapshotIsolation(t *testing.T) {
+	c := NewCatalog()
+	c.Register("t", catRel(1))
+	snap := c.Snapshot()
+	c.Register("u", catRel(2))
+	c.Drop("t")
+	if len(snap) != 1 {
+		t.Fatalf("snapshot mutated: %v", snap.Names())
+	}
+	if _, err := Exec(context.Background(), &ra.Scan{Table: "t"}, snap, Options{}); err != nil {
+		t.Fatalf("query over snapshot after Drop: %v", err)
+	}
+}
+
+// TestCatalogConcurrentAccess is the registration-vs-query race the
+// catalog exists to make safe; meaningful under -race.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	c.Register("base", catRel(0))
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.Register(fmt.Sprintf("t%d", i), catRel(int64(i)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = c.Tables()
+			_, _ = c.Lookup("base")
+		}
+	}()
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if _, err := Exec(context.Background(), &ra.Scan{Table: "base"}, c.Snapshot(), Options{}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -152,7 +153,7 @@ func TestSelectExample9(t *testing.T) {
 	r := New(schema.New("a", "b"))
 	r.Add(Tuple{Vals: rangeval.Tuple{iv(1, 2, 3), civ(2)}, M: Mult{1, 2, 3}})
 	db := DB{"r": r}
-	out, err := Exec(&ra.Select{
+	out, err := Exec(context.Background(), &ra.Select{
 		Child: &ra.Scan{Table: "r"},
 		Pred:  expr.Eq(expr.Col(0, "a"), expr.CInt(2)),
 	}, db, Options{})
@@ -166,7 +167,7 @@ func TestSelectExample9(t *testing.T) {
 		t.Errorf("annotation %v, want (0,2,3)", out.Tuples[0].M)
 	}
 	// Certainly-failing tuples are removed entirely.
-	out, err = Exec(&ra.Select{
+	out, err = Exec(context.Background(), &ra.Select{
 		Child: &ra.Scan{Table: "r"},
 		Pred:  expr.Eq(expr.Col(0, "a"), expr.CInt(9)),
 	}, db, Options{})
@@ -182,7 +183,7 @@ func TestProjectMergesValueEquivalent(t *testing.T) {
 	r := New(schema.New("a", "b"))
 	r.Add(Tuple{Vals: rangeval.Tuple{civ(1), civ(10)}, M: Mult{1, 1, 1}})
 	r.Add(Tuple{Vals: rangeval.Tuple{civ(1), civ(20)}, M: Mult{1, 1, 2}})
-	out, err := Exec(&ra.Project{
+	out, err := Exec(context.Background(), &ra.Project{
 		Child: &ra.Scan{Table: "r"},
 		Cols:  []ra.ProjCol{{E: expr.Col(0, "a"), Name: "a"}},
 	}, DB{"r": r}, Options{})
@@ -204,7 +205,7 @@ func TestSetDifferenceSection82(t *testing.T) {
 	s := New(schema.New("v"))
 	s.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: Mult{0, 0, 3}})
 	s.Add(Tuple{Vals: rangeval.Tuple{civ(2)}, M: Mult{0, 1, 1}})
-	out, err := Exec(&ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}},
+	out, err := Exec(context.Background(), &ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}},
 		DB{"r": r, "s": s}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -233,7 +234,7 @@ func TestDiffWithRangeOverlap(t *testing.T) {
 	l.Add(Tuple{Vals: rangeval.Tuple{civ(5)}, M: Mult{2, 2, 2}})
 	r := New(schema.New("v"))
 	r.Add(Tuple{Vals: rangeval.Tuple{iv(4, 6, 7)}, M: Mult{1, 1, 1}})
-	out, err := Exec(&ra.Diff{Left: &ra.Scan{Table: "l"}, Right: &ra.Scan{Table: "r"}},
+	out, err := Exec(context.Background(), &ra.Diff{Left: &ra.Scan{Table: "l"}, Right: &ra.Scan{Table: "r"}},
 		DB{"l": l, "r": r}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +252,7 @@ func TestDiffWithRangeOverlap(t *testing.T) {
 // SELECT sum(#inhab) FROM address, with result [6/7/14] annotated (1,1,1).
 func TestAggregationFigure7b(t *testing.T) {
 	addr := addressRelation()
-	out, err := Exec(&ra.Agg{
+	out, err := Exec(context.Background(), &ra.Agg{
 		Child: &ra.Scan{Table: "address"},
 		Aggs:  []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(2, "inhab"), Name: "pop"}},
 	}, DB{"address": addr}, Options{})
@@ -288,7 +289,7 @@ func addressRelation() *Relation {
 // count [2/2/4] with row annotation (1,1,1).
 func TestAggregationFigure7c(t *testing.T) {
 	addr := addressRelation()
-	out, err := Exec(&ra.Agg{
+	out, err := Exec(context.Background(), &ra.Agg{
 		Child:   &ra.Scan{Table: "address"},
 		GroupBy: []int{0},
 		Aggs:    []ra.AggSpec{{Fn: ra.AggCount, Name: "cnt"}},
@@ -321,7 +322,7 @@ func TestAggregationFigure7c(t *testing.T) {
 
 func TestAggregationEmptyInput(t *testing.T) {
 	empty := New(schema.New("a"))
-	out, err := Exec(&ra.Agg{
+	out, err := Exec(context.Background(), &ra.Agg{
 		Child: &ra.Scan{Table: "t"},
 		Aggs: []ra.AggSpec{
 			{Fn: ra.AggSum, Arg: expr.Col(0, "a"), Name: "s"},
@@ -344,7 +345,7 @@ func TestAggregationEmptyInput(t *testing.T) {
 		t.Errorf("neutral min: %v", vals[2])
 	}
 	// Grouped aggregation over empty input yields nothing.
-	out, err = Exec(&ra.Agg{
+	out, err = Exec(context.Background(), &ra.Agg{
 		Child:   &ra.Scan{Table: "t"},
 		GroupBy: []int{0},
 		Aggs:    []ra.AggSpec{{Fn: ra.AggCount, Name: "c"}},
@@ -360,7 +361,7 @@ func TestAggregationEmptyInput(t *testing.T) {
 func TestAggregationDistinctUnsupported(t *testing.T) {
 	r := New(schema.New("a"))
 	r.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: One})
-	_, err := Exec(&ra.Agg{
+	_, err := Exec(context.Background(), &ra.Agg{
 		Child: &ra.Scan{Table: "r"},
 		Aggs:  []ra.AggSpec{{Fn: ra.AggCount, Arg: expr.Col(0, "a"), Distinct: true, Name: "c"}},
 	}, DB{"r": r}, Options{})
@@ -384,7 +385,7 @@ func TestJoinFigure8Shape(t *testing.T) {
 		Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(1, "c")),
 	}
 	db := DB{"r": r, "s": s}
-	out, err := Exec(plan, db, Options{})
+	out, err := Exec(context.Background(), plan, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestJoinFigure8Shape(t *testing.T) {
 		t.Errorf("SGW of join:\n%s", sgw)
 	}
 	// Naive and hybrid paths agree.
-	naive, err := Exec(plan, db, Options{NaiveJoin: true})
+	naive, err := Exec(context.Background(), plan, db, Options{NaiveJoin: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,11 +422,11 @@ func TestJoinCompressionBoundsResultSize(t *testing.T) {
 		Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(1, "c")),
 	}
 	db := DB{"r": r, "s": s}
-	exact, err := Exec(plan, db, Options{})
+	exact, err := Exec(context.Background(), plan, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := Exec(plan, db, Options{JoinCompression: 4})
+	comp, err := Exec(context.Background(), plan, db, Options{JoinCompression: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +503,7 @@ func TestDistinct(t *testing.T) {
 	r := New(schema.New("v"))
 	r.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: Mult{2, 3, 4}})
 	r.Add(Tuple{Vals: rangeval.Tuple{iv(5, 6, 9)}, M: Mult{1, 2, 3}})
-	out, err := Exec(&ra.Distinct{Child: &ra.Scan{Table: "r"}}, DB{"r": r}, Options{})
+	out, err := Exec(context.Background(), &ra.Distinct{Child: &ra.Scan{Table: "r"}}, DB{"r": r}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,7 +524,7 @@ func TestDistinctOverlapDropsLowerBound(t *testing.T) {
 	r := New(schema.New("v"))
 	r.Add(Tuple{Vals: rangeval.Tuple{iv(1, 2, 5)}, M: Mult{1, 1, 1}})
 	r.Add(Tuple{Vals: rangeval.Tuple{iv(1, 3, 5)}, M: Mult{1, 1, 1}})
-	out, err := Exec(&ra.Distinct{Child: &ra.Scan{Table: "r"}}, DB{"r": r}, Options{})
+	out, err := Exec(context.Background(), &ra.Distinct{Child: &ra.Scan{Table: "r"}}, DB{"r": r}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -547,14 +548,14 @@ func TestUnionAndOrderBy(t *testing.T) {
 	s.Add(Tuple{Vals: rangeval.Tuple{civ(1)}, M: One})
 	s.Add(Tuple{Vals: rangeval.Tuple{civ(2)}, M: One})
 	db := DB{"r": r, "s": s}
-	out, err := Exec(&ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}}, db, Options{})
+	out, err := Exec(context.Background(), &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}}, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 2 {
 		t.Fatalf("union rows %d", out.Len())
 	}
-	ord, err := Exec(&ra.OrderBy{Child: &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}}, Keys: []int{0}, Desc: true}, db, Options{})
+	ord, err := Exec(context.Background(), &ra.OrderBy{Child: &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "s"}}, Keys: []int{0}, Desc: true}, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,13 +566,13 @@ func TestUnionAndOrderBy(t *testing.T) {
 	two := New(schema.New("a", "b"))
 	two.Add(Tuple{Vals: rangeval.Tuple{civ(1), civ(2)}, M: One})
 	db["two"] = two
-	if _, err := Exec(&ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "two"}}, db, Options{}); err == nil {
+	if _, err := Exec(context.Background(), &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "two"}}, db, Options{}); err == nil {
 		t.Error("union arity mismatch should error")
 	}
-	if _, err := Exec(&ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "two"}}, db, Options{}); err == nil {
+	if _, err := Exec(context.Background(), &ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "two"}}, db, Options{}); err == nil {
 		t.Error("diff arity mismatch should error")
 	}
-	if _, err := Exec(&ra.Scan{Table: "missing"}, db, Options{}); err == nil {
+	if _, err := Exec(context.Background(), &ra.Scan{Table: "missing"}, db, Options{}); err == nil {
 		t.Error("missing table should error")
 	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/ra"
 )
 
@@ -20,24 +22,25 @@ import (
 //	                                                    guaranteed to cancel)
 //
 // Theorem 4: this semantics preserves bounds; the pointwise monus does not.
-func execDiff(t *ra.Diff, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(t.Left, db, cat, opt)
+func execDiff(ctx context.Context, t *ra.Diff, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
-	r, err := exec(t.Right, db, cat, opt)
+	r, err := exec(ctx, t.Right, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
 	if l.Schema.Arity() != r.Schema.Arity() {
 		return nil, fmt.Errorf("core: difference arity mismatch %s vs %s", l.Schema, r.Schema)
 	}
-	return diffRelations(l, r), nil
+	return diffRelations(ctx, l, r)
 }
 
-func diffRelations(l, r *Relation) *Relation {
+func diffRelations(ctx context.Context, l, r *Relation) (*Relation, error) {
 	comb := l.SGCombine()
 	out := New(l.Schema)
+	p := ctxpoll.New(ctx)
 
 	// Pre-aggregate the right side by SG key for the SG component.
 	rSG := map[string]int64{}
@@ -48,6 +51,9 @@ func diffRelations(l, r *Relation) *Relation {
 	for _, lt := range comb.Tuples {
 		var overlapHi, certLo int64
 		for _, rt := range r.Tuples {
+			if err := p.Due(); err != nil {
+				return nil, err
+			}
 			if lt.Vals.Overlaps(rt.Vals) { // t ≃ t'
 				overlapHi += rt.M.Hi
 			}
@@ -72,5 +78,5 @@ func diffRelations(l, r *Relation) *Relation {
 			out.Add(Tuple{Vals: lt.Vals, M: m})
 		}
 	}
-	return out
+	return out, nil
 }

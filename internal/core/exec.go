@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"reflect"
 	"sort"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
@@ -34,47 +35,56 @@ type Options struct {
 
 // Exec evaluates an RA_agg plan over an AU-database using the
 // bound-preserving semantics of Sections 7-9 and returns the merged result.
-func Exec(n ra.Node, db DB, opt Options) (*Relation, error) {
+// Cancellation of ctx aborts the evaluation promptly — operators check the
+// context cooperatively at chunk boundaries and inside their hot loops —
+// and the error is ctx.Err(). A nil ctx is treated as context.Background().
+func Exec(ctx context.Context, n ra.Node, db DB, opt Options) (*Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n == nil {
 		return nil, fmt.Errorf("core: nil plan")
 	}
 	cat := ra.CatalogMap(db.Schemas())
-	out, err := exec(n, db, cat, opt)
+	out, err := exec(ctx, n, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
 	return out.Clone().Merge(), nil
 }
 
-func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	if isNilNode(n) {
+func exec(ctx context.Context, n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ra.IsNil(n) {
 		// A nil child reached through a nested operator (e.g. a
 		// hand-built plan with a missing input).
 		return nil, fmt.Errorf("core: nil plan node")
 	}
 	switch t := n.(type) {
 	case *ra.Scan:
-		r, ok := db[t.Table]
+		r, ok := db.LookupFold(t.Table)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown table %q", t.Table)
+			return nil, schema.UnknownTable("core", t.Table, db.Names())
 		}
 		return r, nil
 	case *ra.Select:
-		return execSelect(t, db, cat, opt)
+		return execSelect(ctx, t, db, cat, opt)
 	case *ra.Project:
-		return execProject(t, db, cat, opt)
+		return execProject(ctx, t, db, cat, opt)
 	case *ra.Join:
-		return execJoin(t, db, cat, opt)
+		return execJoin(ctx, t, db, cat, opt)
 	case *ra.Union:
-		return execUnion(t, db, cat, opt)
+		return execUnion(ctx, t, db, cat, opt)
 	case *ra.Diff:
-		return execDiff(t, db, cat, opt)
+		return execDiff(ctx, t, db, cat, opt)
 	case *ra.Distinct:
-		return execDistinct(t, db, cat, opt)
+		return execDistinct(ctx, t, db, cat, opt)
 	case *ra.Agg:
-		return execAgg(t, db, cat, opt)
+		return execAgg(ctx, t, db, cat, opt)
 	case *ra.OrderBy:
-		in, err := exec(t.Child, db, cat, opt)
+		in, err := exec(ctx, t.Child, db, cat, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +103,7 @@ func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 		})
 		return out, nil
 	case *ra.Limit:
-		in, err := exec(t.Child, db, cat, opt)
+		in, err := exec(ctx, t.Child, db, cat, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -104,16 +114,6 @@ func exec(n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("core: unknown node %T", n)
-}
-
-// isNilNode reports whether n is nil or a typed nil pointer boxed in the
-// interface — both would panic deep inside an operator otherwise.
-func isNilNode(n ra.Node) bool {
-	if n == nil {
-		return true
-	}
-	v := reflect.ValueOf(n)
-	return v.Kind() == reflect.Pointer && v.IsNil()
 }
 
 // condMult maps a range-annotated boolean to an N^AU element (Definition 19
@@ -132,13 +132,13 @@ func condMult(v rangeval.V) Mult {
 // tuple is multiplied by the condition's annotation triple. Tuples whose
 // upper bound drops to zero are certainly absent and removed. Tuples are
 // predicate-checked in parallel chunks; output order is the input order.
-func execSelect(t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(t.Child, db, cat, opt)
+func execSelect(ctx context.Context, t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
 	out := New(in.Schema)
-	out.Tuples, err = parMapTuples(in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
+	out.Tuples, err = parMapTuples(ctx, in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
 		v, err := t.Pred.EvalRange(tup.Vals)
 		if err != nil {
 			return fmt.Errorf("core: selection: %w", err)
@@ -158,8 +158,8 @@ func execSelect(t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, er
 // execProject implements generalized projection: range expressions are
 // evaluated per Definition 9; annotations are unchanged (summing of
 // value-equivalent results happens in Merge).
-func execProject(t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(t.Child, db, cat, opt)
+func execProject(ctx context.Context, t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +168,7 @@ func execProject(t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, 
 		attrs[i] = c.Name
 	}
 	out := New(schema.Schema{Attrs: attrs})
-	out.Tuples, err = parMapTuples(in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
+	out.Tuples, err = parMapTuples(ctx, in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
 		row := make(rangeval.Tuple, len(t.Cols))
 		for j, c := range t.Cols {
 			v, err := c.E.EvalRange(tup.Vals)
@@ -187,12 +187,12 @@ func execProject(t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, 
 }
 
 // execUnion adds annotations pointwise.
-func execUnion(t *ra.Union, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(t.Left, db, cat, opt)
+func execUnion(ctx context.Context, t *ra.Union, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
-	r, err := exec(t.Right, db, cat, opt)
+	r, err := exec(ctx, t.Right, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +215,8 @@ func execUnion(t *ra.Union, db DB, cat ra.Catalog, opt Options) (*Relation, erro
 // may collapse to one tuple in some world, in which case duplicate
 // elimination leaves a single copy that cannot witness a positive lower
 // bound for both.
-func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(t.Child, db, cat, opt)
+func execDistinct(ctx context.Context, t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	in, err := exec(ctx, t.Child, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation
 	out := New(in.Schema)
 	rows := make([]Tuple, len(comb.Tuples))
 	spans := chunkSpans(len(comb.Tuples), opt.workerCount(), minParGroups)
-	err = runSpans(spans, func(_ int, s span) error {
+	err = runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
 		for i := s.lo; i < s.hi; i++ {
 			tup := comb.Tuples[i]
 			m := Mult{Lo: 0, SG: delta(tup.M.SG), Hi: tup.M.Hi}
@@ -233,6 +233,9 @@ func execDistinct(t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation
 			}
 			overlapsOther := false
 			for j, other := range comb.Tuples {
+				if err := p.Due(); err != nil {
+					return err
+				}
 				if i != j && tup.Vals.Overlaps(other.Vals) {
 					overlapsOther = true
 					break

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
@@ -25,23 +27,23 @@ import (
 //     through the nested loop. Produces exactly the naive result.
 //   - JoinCompression > 0: the split + Cpr optimization of Section 10.4,
 //     trading precision for a bounded possible-side size.
-func execJoin(t *ra.Join, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(t.Left, db, cat, opt)
+func execJoin(ctx context.Context, t *ra.Join, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+	l, err := exec(ctx, t.Left, db, cat, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: join left input: %w", err)
 	}
-	r, err := exec(t.Right, db, cat, opt)
+	r, err := exec(ctx, t.Right, db, cat, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: join right input: %w", err)
 	}
 	w := opt.workerCount()
 	if opt.JoinCompression > 0 {
-		return joinOptimized(l, r, t.Cond, opt.JoinCompression, w)
+		return joinOptimized(ctx, l, r, t.Cond, opt.JoinCompression, w)
 	}
 	if opt.NaiveJoin {
-		return joinNested(l, r, t.Cond, nil, nil, w)
+		return joinNested(ctx, l, r, t.Cond, nil, nil, w)
 	}
-	return joinHybrid(l, r, t.Cond, w)
+	return joinHybrid(ctx, l, r, t.Cond, w)
 }
 
 // joinPair combines one pair of tuples under the condition, returning a
@@ -63,7 +65,7 @@ func joinPair(lt, rt Tuple, cond expr.Expr) (Tuple, error) {
 // non-nil only those row indices participate. The outer rows are
 // block-partitioned across workers; each block's pairs are produced in the
 // serial order, and blocks concatenate in order.
-func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int, workers int) (*Relation, error) {
+func joinNested(ctx context.Context, l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int, workers int) (*Relation, error) {
 	out := New(l.Schema.Concat(r.Schema))
 	li := leftIdx
 	if li == nil {
@@ -80,11 +82,14 @@ func joinNested(l, r *Relation, cond expr.Expr, leftIdx, rightIdx []int, workers
 	minRows := (minParPairs + len(ri) - 1) / len(ri)
 	spans := chunkSpans(len(li), workers, minRows)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(spans, func(c int, s span) error {
+	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
 		var buf []Tuple
 		for _, i := range li[s.lo:s.hi] {
 			lt := l.Tuples[i]
 			for _, j := range ri {
+				if err := p.Due(); err != nil {
+					return err
+				}
 				tup, err := joinPair(lt, r.Tuples[j], cond)
 				if err != nil {
 					return err
@@ -116,7 +121,7 @@ func allIdx(n int) []int {
 // attributes and hash joins the certain parts. Exact: identical result to
 // joinNested. The hash-probe side and the uncertain nested-loop quadrants
 // are both partitioned across workers.
-func joinHybrid(l, r *Relation, cond expr.Expr, workers int) (*Relation, error) {
+func joinHybrid(ctx context.Context, l, r *Relation, cond expr.Expr, workers int) (*Relation, error) {
 	split := l.Schema.Arity()
 	var lCols, rCols []int
 	if cond != nil {
@@ -128,7 +133,7 @@ func joinHybrid(l, r *Relation, cond expr.Expr, workers int) (*Relation, error) 
 		}
 	}
 	if len(lCols) == 0 {
-		return joinNested(l, r, cond, nil, nil, workers)
+		return joinNested(ctx, l, r, cond, nil, nil, workers)
 	}
 
 	lCert, lUnc := partitionCertain(l, lCols)
@@ -147,11 +152,17 @@ func joinHybrid(l, r *Relation, cond expr.Expr, workers int) (*Relation, error) 
 	}
 	spans := chunkSpans(len(lCert), workers, minParTuples)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(spans, func(c int, s span) error {
+	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
 		var buf []Tuple
 		for _, i := range lCert[s.lo:s.hi] {
+			if err := p.Due(); err != nil {
+				return err
+			}
 			k := sgKeyOn(l.Tuples[i].Vals, lCols)
 			for _, j := range index[k] {
+				if err := p.Due(); err != nil {
+					return err
+				}
 				tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
 				if err != nil {
 					return err
@@ -175,7 +186,7 @@ func joinHybrid(l, r *Relation, cond expr.Expr, workers int) (*Relation, error) 
 		if len(li) == 0 || len(ri) == 0 {
 			return nil
 		}
-		part, err := joinNested(l, r, cond, li, ri, workers)
+		part, err := joinNested(ctx, l, r, cond, li, ri, workers)
 		if err != nil {
 			return err
 		}
@@ -227,11 +238,17 @@ func sgKeyOn(t rangeval.Tuple, cols []int) string {
 // The SG join sees only attribute-certain tuples and uses the exact hybrid
 // path (pure hash join there); the possible join is bounded by ct tuples
 // per side. Lemma 10.1: the result bounds the un-optimized result.
-func joinOptimized(l, r *Relation, cond expr.Expr, ct, workers int) (*Relation, error) {
-	lSG, lUp := splitN(l, workers)
-	rSG, rUp := splitN(r, workers)
+func joinOptimized(ctx context.Context, l, r *Relation, cond expr.Expr, ct, workers int) (*Relation, error) {
+	lSG, lUp, err := splitN(ctx, l, workers)
+	if err != nil {
+		return nil, err
+	}
+	rSG, rUp, err := splitN(ctx, r, workers)
+	if err != nil {
+		return nil, err
+	}
 
-	sgJoin, err := joinHybrid(lSG, rSG, cond, workers)
+	sgJoin, err := joinHybrid(ctx, lSG, rSG, cond, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +276,7 @@ func joinOptimized(l, r *Relation, cond expr.Expr, ct, workers int) (*Relation, 
 		lCpr = Compress(lUp, la, ct)
 		rCpr = Compress(rUp, ra, ct)
 	}
-	posJoin, err := joinNested(lCpr, rCpr, cond, nil, nil, workers)
+	posJoin, err := joinNested(ctx, lCpr, rCpr, cond, nil, nil, workers)
 	if err != nil {
 		return nil, err
 	}

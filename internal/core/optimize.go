@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/types"
 )
@@ -18,27 +20,40 @@ import (
 //
 // Lemma 6: split_sg(R) ∪ split↑(R) bounds whatever R bounds, and encodes
 // the same selected-guess world.
-func Split(r *Relation) (sg, up *Relation) { return splitN(r, 1) }
+func Split(r *Relation) (sg, up *Relation) {
+	// The background context is never cancelled, so splitN cannot fail.
+	sg, up, _ = splitN(context.Background(), r, 1)
+	return sg, up
+}
 
 // splitN is Split with chunked parallel evaluation: workers build partial
 // split_sg relations over contiguous tuple ranges which are merged in chunk
 // order, reproducing the serial first-seen tuple order and (commutative)
 // annotation sums exactly.
-func splitN(r *Relation, workers int) (sg, up *Relation) {
+func splitN(ctx context.Context, r *Relation, workers int) (sg, up *Relation, err error) {
 	spans := chunkSpans(len(r.Tuples), workers, minParTuples)
 	parts := make([]*Relation, len(spans))
 	upBufs := make([][]Tuple, len(spans))
-	_ = runSpans(spans, func(c int, s span) error {
-		parts[c] = splitSGRange(r, s.lo, s.hi)
+	if err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+		var err error
+		parts[c], err = splitSGRange(r, s.lo, s.hi, p)
+		if err != nil {
+			return err
+		}
 		buf := make([]Tuple, 0, s.hi-s.lo)
 		for _, t := range r.Tuples[s.lo:s.hi] {
+			if err := p.Due(); err != nil {
+				return err
+			}
 			if t.M.Hi > 0 {
 				buf = append(buf, Tuple{Vals: t.Vals, M: Mult{0, 0, t.M.Hi}})
 			}
 		}
 		upBufs[c] = buf
 		return nil
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 
 	sg = New(r.Schema)
 	if len(parts) > 0 {
@@ -73,17 +88,20 @@ func splitN(r *Relation, workers int) (sg, up *Relation) {
 
 	up = New(r.Schema)
 	up.Tuples = concatTuples(upBufs)
-	return sg, up
+	return sg, up, nil
 }
 
 // splitSGRange builds the split_sg contribution of tuples [lo, hi). Tuples
 // that are certainly absent everywhere (SG and lower bound both zero)
 // create no entry, matching the serial construction; merged entries sum
 // annotations.
-func splitSGRange(r *Relation, lo, hi int) *Relation {
+func splitSGRange(r *Relation, lo, hi int, p *ctxpoll.Poll) (*Relation, error) {
 	sg := New(r.Schema)
 	idx := map[string]int{}
 	for _, t := range r.Tuples[lo:hi] {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		cert := make(rangeval.Tuple, len(t.Vals))
 		for i, v := range t.Vals {
 			cert[i] = rangeval.Certain(v.SG)
@@ -103,7 +121,7 @@ func splitSGRange(r *Relation, lo, hi int) *Relation {
 		idx[k] = len(sg.Tuples)
 		sg.Tuples = append(sg.Tuples, Tuple{Vals: cert, M: Mult{mLo, t.M.SG, t.M.SG}})
 	}
-	return sg
+	return sg, nil
 }
 
 // Compress implements Cpr_{A,n} (Section 10.4): group tuples into at most n

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+
+	"github.com/audb/audb/internal/ctxpoll"
 )
 
 // The parallel executor partitions operator inputs into contiguous chunks
@@ -11,6 +14,12 @@ import (
 // sums, group order — is identical to the serial left-to-right evaluation
 // and Workers: 1 remains the reference semantics for the paper's
 // bound-preservation guarantees.
+//
+// Cancellation: every chunk body receives a poll bound to the query
+// context. Operators call poll.due() inside their hot loops; runSpans
+// additionally checks the context at every chunk boundary, so both the
+// serial path (one goroutine walking chunks) and the parallel path (one
+// goroutine per chunk) abort promptly once the context is cancelled.
 
 // Minimum work per chunk before an operator goes parallel: below these
 // sizes goroutine spawn and merge overhead dominates the work itself.
@@ -56,14 +65,21 @@ func chunkSpans(n, w, min int) []span {
 }
 
 // runSpans executes body once per span — inline for a single span,
-// otherwise one goroutine per span. It reports the error of the earliest
-// failing span, matching what the serial evaluation order would surface.
-func runSpans(spans []span, body func(c int, s span) error) error {
+// otherwise one goroutine per span. The context is checked at every chunk
+// boundary and each body receives its own ctxpoll.Poll for finer-grained
+// checks.
+// It reports the error of the earliest failing span, matching what the
+// serial evaluation order would surface; all goroutines are joined before
+// returning, so a cancelled run leaks nothing.
+func runSpans(ctx context.Context, spans []span, body func(c int, s span, p *ctxpoll.Poll) error) error {
 	if len(spans) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if len(spans) == 1 {
-		return body(0, spans[0])
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return body(0, spans[0], ctxpoll.New(ctx))
 	}
 	errs := make([]error, len(spans))
 	var wg sync.WaitGroup
@@ -71,7 +87,11 @@ func runSpans(spans []span, body func(c int, s span) error) error {
 	for c := range spans {
 		go func(c int) {
 			defer wg.Done()
-			errs[c] = body(c, spans[c])
+			if err := ctx.Err(); err != nil {
+				errs[c] = err
+				return
+			}
+			errs[c] = body(c, spans[c], ctxpoll.New(ctx))
 		}(c)
 	}
 	wg.Wait()
@@ -86,13 +106,16 @@ func runSpans(spans []span, body func(c int, s span) error) error {
 // parMapTuples maps fn over in with the given parallelism. Each chunk emits
 // into its own buffer and the buffers are concatenated in chunk order, so
 // the result equals the serial left-to-right map regardless of workers.
-func parMapTuples(in []Tuple, workers int, fn func(t Tuple, emit func(Tuple)) error) ([]Tuple, error) {
+func parMapTuples(ctx context.Context, in []Tuple, workers int, fn func(t Tuple, emit func(Tuple)) error) ([]Tuple, error) {
 	spans := chunkSpans(len(in), workers, minParTuples)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(spans, func(c int, s span) error {
+	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
 		buf := make([]Tuple, 0, s.hi-s.lo)
 		emit := func(t Tuple) { buf = append(buf, t) }
 		for _, t := range in[s.lo:s.hi] {
+			if err := p.Due(); err != nil {
+				return err
+			}
 			if err := fn(t, emit); err != nil {
 				return err
 			}

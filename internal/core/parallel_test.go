@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -37,12 +38,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 			sRel := genIncomplete(rng, schema.New("c", "d"), 1+rng.Intn(20))
 			db := DB{"r": rRel.auRelation(), "s": sRel.auRelation()}
 			for _, base := range bases {
-				ref, err := Exec(plan, db, withWorkers(base, 1))
+				ref, err := Exec(context.Background(), plan, db, withWorkers(base, 1))
 				if err != nil {
 					t.Fatalf("[%s seed=%d opt=%+v] serial exec: %v", name, seed, base, err)
 				}
 				for _, w := range []int{2, 4, 8} {
-					got, err := Exec(plan, db, withWorkers(base, w))
+					got, err := Exec(context.Background(), plan, db, withWorkers(base, w))
 					if err != nil {
 						t.Fatalf("[%s seed=%d opt=%+v workers=%d] parallel exec: %v", name, seed, base, w, err)
 					}
@@ -93,12 +94,12 @@ func TestParallelMatchesSerialLarge(t *testing.T) {
 	}
 	for name, plan := range plans {
 		for _, base := range []Options{{}, {JoinCompression: 8, AggCompression: 8}} {
-			ref, err := Exec(plan, db, withWorkers(base, 1))
+			ref, err := Exec(context.Background(), plan, db, withWorkers(base, 1))
 			if err != nil {
 				t.Fatalf("[%s] serial exec: %v", name, err)
 			}
 			for _, w := range []int{2, 4, 8} {
-				got, err := Exec(plan, db, withWorkers(base, w))
+				got, err := Exec(context.Background(), plan, db, withWorkers(base, w))
 				if err != nil {
 					t.Fatalf("[%s workers=%d] parallel exec: %v", name, w, err)
 				}
@@ -139,7 +140,7 @@ func TestExecDefensiveErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := Exec(tc.plan, db, Options{})
+			res, err := Exec(context.Background(), tc.plan, db, Options{})
 			if err == nil {
 				t.Fatalf("expected error, got result:\n%s", res)
 			}

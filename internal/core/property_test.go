@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -190,12 +191,12 @@ func propertyPlans() map[string]ra.Node {
 func checkPlan(t *testing.T, name string, plan ra.Node, rRel, sRel *incompleteRel, opt Options, seed int64) {
 	t.Helper()
 	audb := DB{"r": rRel.auRelation(), "s": sRel.auRelation()}
-	res, err := Exec(plan, audb, opt)
+	res, err := Exec(context.Background(), plan, audb, opt)
 	if err != nil {
 		t.Fatalf("[%s seed=%d] AU exec: %v", name, seed, err)
 	}
 	// SGW preservation: queries commute with SGW extraction.
-	sgw, err := bag.Exec(plan, audb.SGW())
+	sgw, err := bag.Exec(context.Background(), plan, audb.SGW())
 	if err != nil {
 		t.Fatalf("[%s seed=%d] SGW exec: %v", name, seed, err)
 	}
@@ -207,7 +208,7 @@ func checkPlan(t *testing.T, name string, plan ra.Node, rRel, sRel *incompleteRe
 	rws, sws := rRel.worlds(), sRel.worlds()
 	for ri, rw := range rws {
 		for si, sw := range sws {
-			det, err := bag.Exec(plan, bag.DB{"r": rw, "s": sw})
+			det, err := bag.Exec(context.Background(), plan, bag.DB{"r": rw, "s": sw})
 			if err != nil {
 				t.Fatalf("[%s seed=%d] det exec: %v", name, seed, err)
 			}
@@ -259,11 +260,11 @@ func TestTightnessSanity(t *testing.T) {
 		GroupBy: []int{1},
 		Aggs:    []ra.AggSpec{{Fn: ra.AggSum, Arg: expr.Col(0, "a"), Name: "s"}},
 	}
-	exact, err := Exec(plan, audb, Options{})
+	exact, err := Exec(context.Background(), plan, audb, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := Exec(plan, audb, Options{AggCompression: 1})
+	loose, err := Exec(context.Background(), plan, audb, Options{AggCompression: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

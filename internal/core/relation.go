@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/types"
@@ -116,11 +118,21 @@ func (r *Relation) Merge() *Relation {
 // (Definition 13): group tuples by their SG attribute values and sum the SG
 // components of their annotations.
 func (r *Relation) SGW() *bag.Relation {
+	// The background context is never cancelled, so sgwCtx cannot fail.
+	out, _ := r.sgwCtx(ctxpoll.New(context.Background()))
+	return out
+}
+
+// sgwCtx is SGW with cooperative cancellation, polled per tuple.
+func (r *Relation) sgwCtx(p *ctxpoll.Poll) (*bag.Relation, error) {
 	out := bag.New(r.Schema)
 	counts := map[string]int64{}
 	reps := map[string]types.Tuple{}
 	var order []string
 	for _, t := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		sg := t.Vals.SG()
 		k := sg.Key()
 		if _, ok := counts[k]; !ok {
@@ -134,7 +146,7 @@ func (r *Relation) SGW() *bag.Relation {
 			out.Add(reps[k], counts[k])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SGCombine implements the SG-combiner Ψ (Definition 21): tuples with the
@@ -194,11 +206,23 @@ func (db DB) Schemas() map[string]schema.Schema {
 
 // SGW extracts the selected-guess world of every relation.
 func (db DB) SGW() bag.DB {
-	out := bag.DB{}
-	for n, r := range db {
-		out[n] = r.SGW()
-	}
+	out, _ := db.SGWContext(context.Background())
 	return out
+}
+
+// SGWContext is SGW with cooperative cancellation, so the O(database)
+// extraction phase of a selected-guess query aborts promptly.
+func (db DB) SGWContext(ctx context.Context) (bag.DB, error) {
+	out := bag.DB{}
+	p := ctxpoll.New(ctx)
+	for n, r := range db {
+		sgw, err := r.sgwCtx(p)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = sgw
+	}
+	return out, nil
 }
 
 // FromDeterministicDB lifts a whole deterministic database.

@@ -1,0 +1,30 @@
+// Package ctxpoll provides the amortized cooperative-cancellation check
+// shared by the executors (internal/core and internal/bag): hot loops
+// call Due every iteration, but the context — whose Err takes a lock on
+// cancellable contexts — is only consulted every Stride calls, keeping
+// the overhead unmeasurable while bounding the reaction time to well
+// under a millisecond of work.
+package ctxpoll
+
+import "context"
+
+// Stride is how many hot-loop iterations may run between context checks.
+const Stride = 2048
+
+// Poll amortizes cooperative cancellation checks. A Poll is owned by a
+// single goroutine (one per executor chunk) and must not be shared.
+type Poll struct {
+	ctx context.Context
+	n   int
+}
+
+// New binds a poll to the query context.
+func New(ctx context.Context) *Poll { return &Poll{ctx: ctx} }
+
+// Due reports whether the query was cancelled, at stride granularity.
+func (p *Poll) Due() error {
+	if p.n++; p.n%Stride != 0 {
+		return nil
+	}
+	return p.ctx.Err()
+}

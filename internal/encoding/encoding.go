@@ -8,10 +8,12 @@
 package encoding
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/types"
@@ -51,9 +53,20 @@ func EncSchema(s schema.Schema) schema.Schema {
 // Enc encodes an AU-relation as a deterministic bag relation
 // (Definition 29); every encoded row has multiplicity 1.
 func Enc(r *core.Relation) *bag.Relation {
+	// The background context is never cancelled, so encCtx cannot fail.
+	out, _ := encCtx(context.Background(), r)
+	return out
+}
+
+// encCtx is Enc with cooperative cancellation, polled per tuple.
+func encCtx(ctx context.Context, r *core.Relation) (*bag.Relation, error) {
 	l := Layout{N: r.Schema.Arity()}
 	out := bag.New(EncSchema(r.Schema))
+	p := ctxpoll.New(ctx)
 	for _, t := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		row := make(types.Tuple, l.Width())
 		for i, v := range t.Vals {
 			row[l.SG(i)] = v.SG
@@ -65,7 +78,7 @@ func Enc(r *core.Relation) *bag.Relation {
 		row[l.RowHi()] = types.Int(t.M.Hi)
 		out.Add(row, 1)
 	}
-	return out
+	return out, nil
 }
 
 // Dec decodes an encoded relation back into an AU-relation, merging
@@ -106,9 +119,21 @@ func Dec(r *bag.Relation, auSchema schema.Schema) (*core.Relation, error) {
 
 // EncodeDB encodes every relation of an AU-database.
 func EncodeDB(db core.DB) bag.DB {
+	out, _ := EncodeDBContext(context.Background(), db)
+	return out
+}
+
+// EncodeDBContext is EncodeDB with cooperative cancellation: the
+// per-tuple encoding loops observe ctx, so cancelling a middleware query
+// aborts promptly even during the O(database) encode phase.
+func EncodeDBContext(ctx context.Context, db core.DB) (bag.DB, error) {
 	out := bag.DB{}
 	for n, r := range db {
-		out[n] = Enc(r)
+		enc, err := encCtx(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = enc
 	}
-	return out
+	return out, nil
 }

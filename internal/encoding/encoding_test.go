@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -162,11 +163,11 @@ func TestTheorem8RewriteEqualsNative(t *testing.T) {
 				"r": sampleRelation(r, schema.New("a", "b"), 1+r.Intn(5)),
 				"s": sampleRelation(r, schema.New("c", "d"), 1+r.Intn(4)),
 			}
-			native, err := core.Exec(plan, db, core.Options{})
+			native, err := core.Exec(context.Background(), plan, db, core.Options{})
 			if err != nil {
 				t.Fatalf("[%s seed=%d] native: %v", name, seed, err)
 			}
-			viaEnc, err := Exec(plan, db)
+			viaEnc, err := Exec(context.Background(), plan, db)
 			if err != nil {
 				t.Fatalf("[%s seed=%d] rewrite: %v", name, seed, err)
 			}
@@ -180,7 +181,7 @@ func TestTheorem8RewriteEqualsNative(t *testing.T) {
 
 func TestRewriteDistinctUnsupported(t *testing.T) {
 	db := core.DB{"r": core.New(schema.New("a"))}
-	if _, err := Exec(&ra.Distinct{Child: &ra.Scan{Table: "r"}}, db); err == nil {
+	if _, err := Exec(context.Background(), &ra.Distinct{Child: &ra.Scan{Table: "r"}}, db); err == nil {
 		t.Error("distinct should be rejected by the middleware")
 	}
 	_, _, err := Rewrite(&ra.Scan{Table: "missing"}, ra.CatalogMap{})
@@ -199,11 +200,11 @@ func TestRewriteExprIsNull(t *testing.T) {
 		{E: expr.If{Cond: expr.IsNull{E: expr.Col(0, "a")}, Then: expr.CInt(1), Else: expr.CInt(0)}, Name: "isnull"},
 	}}
 	db := core.DB{"r": rel}
-	native, err := core.Exec(plan, db, core.Options{})
+	native, err := core.Exec(context.Background(), plan, db, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaEnc, err := Exec(plan, db)
+	viaEnc, err := Exec(context.Background(), plan, db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,13 +40,13 @@ func TestRewritePathPreservesBounds(t *testing.T) {
 			rRel, rWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(3))
 			sRel, sWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(2))
 			db := core.DB{"r": rRel, "r2": sRel}
-			res, err := Exec(plan, db)
+			res, err := Exec(context.Background(), plan, db)
 			if err != nil {
 				t.Fatalf("[%s seed=%d] %v", name, seed, err)
 			}
 			for _, rw := range rWorlds {
 				for _, sw := range sWorlds {
-					det, err := bag.Exec(plan, bag.DB{"r": rw, "r2": sw})
+					det, err := bag.Exec(context.Background(), plan, bag.DB{"r": rw, "r2": sw})
 					if err != nil {
 						t.Fatalf("[%s seed=%d] det: %v", name, seed, err)
 					}

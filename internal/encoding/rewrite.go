@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/audb/audb/internal/bag"
@@ -12,16 +13,31 @@ import (
 
 // Exec evaluates an RA_agg plan over an AU-database through the middleware
 // path: encode the database, rewrite the query (rewr(·), Section 10.2),
-// run it on the deterministic engine, decode the result.
-func Exec(n ra.Node, db core.DB) (*core.Relation, error) {
+// run it on the deterministic engine, decode the result. Cancellation of
+// ctx aborts the deterministic execution promptly with ctx.Err().
+func Exec(ctx context.Context, n ra.Node, db core.DB) (*core.Relation, error) {
 	auCat := ra.CatalogMap(db.Schemas())
 	plan, auSchema, err := Rewrite(n, auCat)
 	if err != nil {
 		return nil, err
 	}
-	enc := EncodeDB(db)
-	res, err := bag.Exec(plan, enc)
+	return ExecRewritten(ctx, plan, auSchema, db)
+}
+
+// ExecRewritten runs an already-rewritten plan (as produced by Rewrite)
+// over db: encode, execute on the deterministic engine, decode. Callers
+// that execute the same query repeatedly (prepared statements) rewrite
+// once and come through here to skip the per-execution rewrite.
+func ExecRewritten(ctx context.Context, plan ra.Node, auSchema schema.Schema, db core.DB) (*core.Relation, error) {
+	enc, err := EncodeDBContext(ctx, db)
 	if err != nil {
+		return nil, err
+	}
+	res, err := bag.Exec(ctx, plan, enc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return Dec(res, auSchema)

@@ -9,6 +9,7 @@ package ra
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"github.com/audb/audb/internal/expr"
@@ -23,6 +24,17 @@ type Node interface {
 	String() string
 }
 
+// IsNil reports whether n is nil or a typed nil pointer boxed in the
+// interface — either would panic inside an engine. The one nil check
+// every executor entry point shares.
+func IsNil(n Node) bool {
+	if n == nil {
+		return true
+	}
+	v := reflect.ValueOf(n)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}
+
 // Catalog resolves table names to schemas during schema inference.
 type Catalog interface {
 	TableSchema(name string) (schema.Schema, error)
@@ -31,7 +43,8 @@ type Catalog interface {
 // CatalogMap is a map-backed catalog.
 type CatalogMap map[string]schema.Schema
 
-// TableSchema implements Catalog.
+// TableSchema implements Catalog. Unknown names report the available
+// tables in sorted order, never Go map order.
 func (c CatalogMap) TableSchema(name string) (schema.Schema, error) {
 	if s, ok := c[name]; ok {
 		return s, nil
@@ -39,7 +52,7 @@ func (c CatalogMap) TableSchema(name string) (schema.Schema, error) {
 	if s, ok := c[strings.ToLower(name)]; ok {
 		return s, nil
 	}
-	return schema.Schema{}, fmt.Errorf("ra: unknown table %q", name)
+	return schema.Schema{}, schema.UnknownTable("ra", name, schema.SortedNames(c))
 }
 
 // Scan reads a base table.

@@ -5,8 +5,58 @@ package schema
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
+
+// SortedNames returns the keys of a string-keyed map in sorted order: the
+// one way every catalog diagnostic (unknown-table errors, table listings)
+// enumerates names, never in Go map order.
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveFold resolves a table name against a string-keyed map the way
+// the planner does — exact match first, then case-insensitive (the
+// lexicographically smallest matching name, for determinism) — and
+// returns the key it resolved to. Shared by the catalog and both
+// executors so their name resolution cannot diverge.
+func ResolveFold[V any](m map[string]V, name string) (string, bool) {
+	if _, ok := m[name]; ok {
+		return name, true
+	}
+	best := ""
+	for n := range m {
+		if strings.EqualFold(n, name) && (best == "" || n < best) {
+			best = n
+		}
+	}
+	return best, best != ""
+}
+
+// LookupFold is ResolveFold returning the resolved value.
+func LookupFold[V any](m map[string]V, name string) (V, bool) {
+	if k, ok := ResolveFold(m, name); ok {
+		return m[k], true
+	}
+	var zero V
+	return zero, false
+}
+
+// UnknownTable formats the canonical unknown-table diagnostic shared by
+// every catalog (prefix names the reporting package): the available
+// tables, already sorted, or a note that none are registered.
+func UnknownTable(prefix, name string, names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("%s: unknown table %q (no tables registered)", prefix, name)
+	}
+	return fmt.Errorf("%s: unknown table %q (have: %s)", prefix, name, strings.Join(names, ", "))
+}
 
 // Schema is an ordered list of attribute names.
 type Schema struct {

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func runSQL(t *testing.T, q string) *bag.Relation {
 	if err != nil {
 		t.Fatalf("compile %q: %v", q, err)
 	}
-	out, err := bag.Exec(plan, db)
+	out, err := bag.Exec(context.Background(), plan, db)
 	if err != nil {
 		t.Fatalf("exec %q: %v", q, err)
 	}

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"testing"
 
 	"github.com/audb/audb/internal/bag"
@@ -71,7 +72,7 @@ func TestAllQueriesRunDeterministically(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: compile: %v", name, err)
 		}
-		res, err := bag.Exec(plan, db)
+		res, err := bag.Exec(context.Background(), plan, db)
 		if err != nil {
 			t.Fatalf("%s: exec: %v", name, err)
 		}
@@ -94,13 +95,13 @@ func TestQueriesOverAUDB(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := core.Exec(plan, audb, core.Options{JoinCompression: 16, AggCompression: 16})
+		res, err := core.Exec(context.Background(), plan, audb, core.Options{JoinCompression: 16, AggCompression: 16})
 		if err != nil {
 			t.Fatalf("%s over AU-DB: %v", name, err)
 		}
 		// The SGW of the AU result must equal the deterministic result
 		// over the SGW (= the original database).
-		det, err := bag.Exec(plan, db)
+		det, err := bag.Exec(context.Background(), plan, db)
 		if err != nil {
 			t.Fatal(err)
 		}
