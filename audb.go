@@ -59,6 +59,7 @@ import (
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/encoding"
+	"github.com/audb/audb/internal/opt"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
@@ -216,11 +217,34 @@ func ParseEngine(name string) (Engine, error) {
 	return EngineNative, fmt.Errorf("audb: unknown engine %q (want native, rewrite or sgw)", name)
 }
 
+// OptimizerMode switches the logical optimizer for a query.
+type OptimizerMode int
+
+const (
+	// OptimizerOn runs the rule-based logical optimizer (internal/opt)
+	// over the compiled plan before execution. The default: every rule is
+	// result-exact under AU-DB bound semantics, so answers are identical
+	// to the unoptimized plan's.
+	OptimizerOn OptimizerMode = iota
+	// OptimizerOff executes the plan exactly as compiled. Useful for
+	// debugging, plan inspection, and the `opt` benchmark baseline.
+	OptimizerOff
+)
+
+// String names the mode ("on", "off").
+func (m OptimizerMode) String() string {
+	if m == OptimizerOff {
+		return "off"
+	}
+	return "on"
+}
+
 // queryConfig is the resolved per-query configuration: the database
 // defaults overlaid with this query's functional options.
 type queryConfig struct {
-	engine Engine
-	opts   Options
+	engine    Engine
+	opts      Options
+	optimizer OptimizerMode
 }
 
 // QueryOption customizes a single query execution, overriding the
@@ -230,6 +254,13 @@ type QueryOption func(*queryConfig)
 // WithEngine routes the query to the given engine.
 func WithEngine(e Engine) QueryOption {
 	return func(c *queryConfig) { c.engine = e }
+}
+
+// WithOptimizer switches the logical optimizer for this query.
+// Optimization is on by default; WithOptimizer(OptimizerOff) runs the
+// plan exactly as the SQL front end compiled it.
+func WithOptimizer(m OptimizerMode) QueryOption {
+	return func(c *queryConfig) { c.optimizer = m }
 }
 
 // WithWorkers sets the executor worker-goroutine count for this query:
@@ -327,6 +358,79 @@ func (d *Database) Plan(q string) (ra.Node, error) {
 	return sql.Compile(q, ra.CatalogMap(d.cat.Schemas()))
 }
 
+// RuleApplication records one optimizer rule that changed the plan.
+type RuleApplication struct {
+	// Rule is the rule name (e.g. "push-selections").
+	Rule string
+	// Pass is the 1-based fixpoint pass the rule fired in.
+	Pass int
+	// Plan is the rendered plan after the rule applied.
+	Plan string
+}
+
+// PlanExplanation is the result of Explain: the compiled plan, the
+// optimized plan, and the per-rule trace in between.
+type PlanExplanation struct {
+	// Query is the SQL text.
+	Query string
+	// Plan is the rendered plan as compiled by the SQL front end.
+	Plan string
+	// Optimized is the rendered plan after optimization.
+	Optimized string
+	// Rules lists the effective rule applications in order.
+	Rules []RuleApplication
+	// Passes is the number of fixpoint passes the optimizer ran.
+	Passes int
+}
+
+// String renders the explanation the way audbsh -explain prints it. The
+// body rendering is the optimizer trace's own (one format, one place).
+func (e *PlanExplanation) String() string {
+	tr := opt.Trace{Input: e.Plan, Output: e.Optimized, Passes: e.Passes}
+	for _, r := range e.Rules {
+		tr.Steps = append(tr.Steps, opt.Step{Rule: r.Rule, Pass: r.Pass, Plan: r.Plan})
+	}
+	if e.Query == "" {
+		return tr.String()
+	}
+	return fmt.Sprintf("query: %s\n%s", e.Query, tr.String())
+}
+
+// Explain compiles a SQL query and runs the logical optimizer with
+// tracing, without executing anything. The same optimized plan is what
+// QueryContext executes by default.
+func (d *Database) Explain(q string) (*PlanExplanation, error) {
+	snap := d.cat.Snapshot()
+	cat := ra.CatalogMap(snap.Schemas())
+	plan, err := sql.Compile(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	return explainPlan(q, plan, cat)
+}
+
+// ExplainPlan is Explain for a pre-compiled plan.
+func (d *Database) ExplainPlan(plan ra.Node) (*PlanExplanation, error) {
+	return explainPlan("", plan, ra.CatalogMap(d.cat.Schemas()))
+}
+
+func explainPlan(q string, plan ra.Node, cat ra.CatalogMap) (*PlanExplanation, error) {
+	_, trace, err := opt.OptimizeTrace(plan, cat)
+	if err != nil {
+		return nil, err
+	}
+	out := &PlanExplanation{
+		Query:     q,
+		Plan:      trace.Input,
+		Optimized: trace.Output,
+		Passes:    trace.Passes,
+	}
+	for _, s := range trace.Steps {
+		out.Rules = append(out.Rules, RuleApplication{Rule: s.Rule, Pass: s.Pass, Plan: s.Plan})
+	}
+	return out, nil
+}
+
 // QueryContext compiles and evaluates a SQL query. The engine and
 // execution options default to EngineNative with the database's SetOptions
 // values; functional options override both per query. Cancelling ctx
@@ -353,8 +457,8 @@ func (d *Database) ExecPlan(ctx context.Context, plan ra.Node, opts ...QueryOpti
 }
 
 // dispatch is the single execution path behind QueryContext, ExecPlan and
-// Stmt.Exec: resolve options and route to an engine, executing over the
-// given catalog snapshot.
+// Stmt.Exec: resolve options, optimize the plan (unless switched off),
+// and route to an engine, executing over the given catalog snapshot.
 func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt, opts []QueryOption) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -366,6 +470,17 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 	for _, o := range opts {
 		if o != nil {
 			o(&cfg)
+		}
+	}
+	if cfg.optimizer == OptimizerOn {
+		var err error
+		if st != nil {
+			plan, err = st.optimizedPlan(snap)
+		} else {
+			plan, err = opt.Optimize(plan, ra.CatalogMap(snap.Schemas()))
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	switch cfg.engine {
@@ -380,7 +495,7 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 			return nil, err
 		}
 		if st != nil {
-			rp, rs, err := st.rewritten(db)
+			rp, rs, err := st.rewritten(db, plan, cfg.optimizer)
 			if err != nil {
 				return nil, err
 			}
@@ -451,9 +566,19 @@ type Stmt struct {
 	text string
 	plan ra.Node
 
-	rewriteMu   sync.Mutex
-	rewritePlan ra.Node
-	rewriteSch  schema.Schema
+	optMu   sync.Mutex
+	optPlan ra.Node
+
+	rewriteMu sync.Mutex
+	// One Section 10 rewrite cache per optimizer mode, so toggling
+	// WithOptimizer per execution never serves the wrong plan.
+	rewrites [2]*rewriteEntry
+}
+
+// rewriteEntry is one cached Section 10 rewrite.
+type rewriteEntry struct {
+	plan ra.Node
+	sch  schema.Schema
 }
 
 // Prepare compiles a SQL query into a reusable statement.
@@ -478,24 +603,48 @@ func (s *Stmt) Exec(ctx context.Context, opts ...QueryOption) (*Result, error) {
 	return s.db.dispatch(ctx, s.db.cat.Snapshot(), s.plan, s, opts)
 }
 
-// rewritten caches the Section 10 rewrite of the prepared plan. The
-// rewrite depends only on the referenced schemas, so one successful
-// rewrite serves every execution. Failures are not cached: a rewrite that
-// fails against the current catalog (e.g. a referenced table was dropped)
-// is retried on the next execution, keeping Stmt.Exec equivalent to
+// optimizedPlan caches the logically optimized plan. Optimization
+// depends only on the referenced schemas (which the statement is bound
+// to), so one optimization serves every execution; like the rewrite
+// cache, failures are not cached and are retried on the next execution.
+func (s *Stmt) optimizedPlan(snap core.DB) (ra.Node, error) {
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	if s.optPlan != nil {
+		return s.optPlan, nil
+	}
+	plan, err := opt.Optimize(s.plan, ra.CatalogMap(snap.Schemas()))
+	if err != nil {
+		return nil, err
+	}
+	s.optPlan = plan
+	return plan, nil
+}
+
+// rewritten caches the Section 10 rewrite of the plan this execution
+// runs (the optimized plan by default, the raw plan under
+// WithOptimizer(OptimizerOff)). The rewrite depends only on the
+// referenced schemas, so one successful rewrite per optimizer mode
+// serves every execution. Failures are not cached: a rewrite that fails
+// against the current catalog (e.g. a referenced table was dropped) is
+// retried on the next execution, keeping Stmt.Exec equivalent to
 // unprepared execution over time.
-func (s *Stmt) rewritten(snap core.DB) (ra.Node, schema.Schema, error) {
+func (s *Stmt) rewritten(snap core.DB, plan ra.Node, mode OptimizerMode) (ra.Node, schema.Schema, error) {
+	slot := 0
+	if mode == OptimizerOff {
+		slot = 1
+	}
 	s.rewriteMu.Lock()
 	defer s.rewriteMu.Unlock()
-	if s.rewritePlan != nil {
-		return s.rewritePlan, s.rewriteSch, nil
+	if e := s.rewrites[slot]; e != nil {
+		return e.plan, e.sch, nil
 	}
-	plan, sch, err := encoding.Rewrite(s.plan, ra.CatalogMap(snap.Schemas()))
+	rp, sch, err := encoding.Rewrite(plan, ra.CatalogMap(snap.Schemas()))
 	if err != nil {
 		return nil, schema.Schema{}, err
 	}
-	s.rewritePlan, s.rewriteSch = plan, sch
-	return plan, sch, nil
+	s.rewrites[slot] = &rewriteEntry{plan: rp, sch: sch}
+	return rp, sch, nil
 }
 
 // ------------------------------------------------- deprecated wrappers --

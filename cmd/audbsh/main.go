@@ -10,11 +10,17 @@
 // -engine (native, rewrite, sgw); the older -rewrite and -sgw flags
 // remain as shorthands.
 //
+// Plans are optimized by the rule-based logical optimizer by default;
+// -opt=off executes the plan exactly as compiled. -explain (or prefixing
+// the query with `\explain `) prints the compiled plan, the per-rule
+// rewrite trace and the optimized plan instead of executing.
+//
 // Usage:
 //
 //	audbsh -table locales=locales.csv "SELECT size, avg(rate) FROM locales GROUP BY size"
 //	audbsh -au-table r=ranges.csv -engine sgw "SELECT * FROM r"
 //	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
+//	audbsh -table e=emp.csv -table d=dept.csv "\explain SELECT e.name FROM e, d WHERE e.dept = d.name"
 package main
 
 import (
@@ -51,6 +57,8 @@ func main() {
 		aggCT    = flag.Int("agg-ct", 0, "aggregation compression target (0 = exact)")
 		workers  = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
 		showPlan = flag.Bool("plan", false, "print the loaded tables and the compiled plan")
+		explain  = flag.Bool("explain", false, "print the compiled plan, optimizer trace and optimized plan instead of executing")
+		optMode  = flag.String("opt", "on", "logical optimizer: on (default) or off")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
 	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
@@ -63,6 +71,20 @@ func main() {
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
+	// `\explain SELECT ...` is the query-prefix form of -explain.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\explain `); ok {
+		*explain = true
+		query = rest
+	}
+
+	optimizer := audb.OptimizerOn
+	switch strings.ToLower(*optMode) {
+	case "on", "":
+	case "off":
+		optimizer = audb.OptimizerOff
+	default:
+		fatal(fmt.Errorf("audbsh: -opt must be on or off, got %q", *optMode))
+	}
 
 	eng, err := audb.ParseEngine(*engine)
 	if err != nil {
@@ -134,12 +156,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(db.Tables(), ", "))
 		fmt.Fprint(os.Stderr, ra.Render(plan))
 	}
+	if *explain {
+		exp, err := db.Explain(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	res, err := db.ExecPlan(ctx, plan,
 		audb.WithEngine(eng),
+		audb.WithOptimizer(optimizer),
 		audb.WithWorkers(*workers),
 		audb.WithJoinCompression(*joinCT),
 		audb.WithAggCompression(*aggCT),

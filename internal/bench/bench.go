@@ -151,6 +151,7 @@ func Registry() []Experiment {
 		{ID: "fig17", Run: Fig17, Paper: "Figure 17: real-world data (simulated profiles)"},
 		{ID: "par", Run: Par, Paper: "parallel executor scaling (this implementation; not a paper figure)"},
 		{ID: "prep", Run: Prep, Paper: "prepared-statement plan-cache throughput (this implementation; not a paper figure)"},
+		{ID: "opt", Run: Opt, Paper: "logical optimizer speedup (this implementation; not a paper figure)"},
 	}
 }
 

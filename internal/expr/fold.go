@@ -1,0 +1,281 @@
+package expr
+
+import "github.com/audb/audb/internal/types"
+
+// This file implements the static expression analyses and rewrites used by
+// the logical optimizer (internal/opt): substitution, structural equality,
+// totality, and constant folding. Every rewrite here must be exact under
+// BOTH evaluation semantics — deterministic Eval (Definition 4) and
+// range-annotated EvalRange (Definition 9) — because the same optimized
+// plan is interpreted by the deterministic bag engine, the native AU-DB
+// engine, and the Section 10 rewriting middleware.
+
+// Subst rebuilds e with every attribute reference #i replaced by cols[i].
+// It is the expression composition used when a predicate or projection is
+// pushed through a generalized projection: evaluating the substituted
+// expression over the projection's input is exactly evaluating the
+// original over the projection's output, under both semantics, because
+// Eval and EvalRange are purely compositional in the attribute values.
+// Indices outside cols are left untouched (callers validate first).
+func Subst(e Expr, cols []Expr) Expr {
+	switch n := e.(type) {
+	case Const:
+		return n
+	case Attr:
+		if n.Idx >= 0 && n.Idx < len(cols) {
+			return cols[n.Idx]
+		}
+		return n
+	case Logic:
+		return Logic{Op: n.Op, L: Subst(n.L, cols), R: Subst(n.R, cols)}
+	case Not:
+		return Not{E: Subst(n.E, cols)}
+	case Cmp:
+		return Cmp{Op: n.Op, L: Subst(n.L, cols), R: Subst(n.R, cols)}
+	case Arith:
+		return Arith{Op: n.Op, L: Subst(n.L, cols), R: Subst(n.R, cols)}
+	case If:
+		return If{Cond: Subst(n.Cond, cols), Then: Subst(n.Then, cols), Else: Subst(n.Else, cols)}
+	case IsNull:
+		return IsNull{E: Subst(n.E, cols)}
+	case NAry:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Subst(a, cols)
+		}
+		return NAry{Op: n.Op, Args: args}
+	}
+	return e
+}
+
+// Equal reports structural equality of two expressions. String() is not a
+// faithful key (an Attr prints its name, not its index), so optimizer
+// fixpoint detection and tests use this instead.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case Const:
+		y, ok := b.(Const)
+		return ok && types.Equal(x.V, y.V) && x.V.Kind() == y.V.Kind()
+	case Attr:
+		y, ok := b.(Attr)
+		return ok && x.Idx == y.Idx && x.Name == y.Name
+	case Logic:
+		y, ok := b.(Logic)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Not:
+		y, ok := b.(Not)
+		return ok && Equal(x.E, y.E)
+	case Cmp:
+		y, ok := b.(Cmp)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Arith:
+		y, ok := b.(Arith)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case If:
+		y, ok := b.(If)
+		return ok && Equal(x.Cond, y.Cond) && Equal(x.Then, y.Then) && Equal(x.Else, y.Else)
+	case IsNull:
+		y, ok := b.(IsNull)
+		return ok && Equal(x.E, y.E)
+	case NAry:
+		y, ok := b.(NAry)
+		if !ok || x.Op != y.Op || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Total reports whether evaluating e can never raise a runtime error on
+// well-typed inputs: it contains no arithmetic (division can fail on a
+// zero or zero-spanning divisor; +,-,* can fail on non-numeric operands).
+// Comparisons, boolean connectives, IS NULL, least/greatest and the
+// conditional are total over the whole domain.
+//
+// The optimizer uses this to gate rewrites that would evaluate a predicate
+// over MORE tuples than the original plan does (pushing a selection below
+// a join evaluates it on tuples that never find a join partner; folding a
+// selection into a join condition evaluates it on pairs the original
+// condition rejects). A total predicate cannot turn those extra
+// evaluations into new errors, so the rewrite is observationally exact.
+func Total(e Expr) bool {
+	switch n := e.(type) {
+	case Const, Attr:
+		return true
+	case Logic:
+		return Total(n.L) && Total(n.R)
+	case Not:
+		return Total(n.E)
+	case Cmp:
+		return Total(n.L) && Total(n.R)
+	case Arith:
+		return false
+	case If:
+		return Total(n.Cond) && Total(n.Then) && Total(n.Else)
+	case IsNull:
+		return Total(n.E)
+	case NAry:
+		for _, a := range n.Args {
+			if !Total(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// boolShaped reports whether e always evaluates to a boolean (or is the
+// boolean result of a connective). Logic simplifications that drop a
+// connective (true AND x → x) are only value-preserving when x is
+// boolean-shaped: the connective coerces its operands to booleans, so
+// replacing it by a non-boolean operand would change a projected value.
+func boolShaped(e Expr) bool {
+	switch n := e.(type) {
+	case Const:
+		return n.V.Kind() == types.KindBool
+	case Logic, Not, Cmp, IsNull:
+		return true
+	case If:
+		return boolShaped(n.Then) && boolShaped(n.Else)
+	}
+	return false
+}
+
+// isConst reports whether e is a constant, returning the value.
+func isConst(e Expr) (types.Value, bool) {
+	c, ok := e.(Const)
+	if !ok {
+		return types.Value{}, false
+	}
+	return c.V, true
+}
+
+// isBoolConst reports whether e is a boolean constant.
+func isBoolConst(e Expr, want bool) bool {
+	v, ok := isConst(e)
+	return ok && v.Kind() == types.KindBool && v.AsBool() == want
+}
+
+// IsConstTrue reports whether e is the boolean constant true — the
+// predicate a trivially-true selection folds to.
+func IsConstTrue(e Expr) bool { return isBoolConst(e, true) }
+
+// Fold performs constant folding and boolean simplification. The result
+// evaluates identically to e under both semantics on every tuple:
+//
+//   - a subtree with no attribute references whose deterministic
+//     evaluation succeeds is replaced by its value (for constant inputs
+//     the range semantics of every operator degenerates to the
+//     deterministic result wrapped as a certain value, so the two
+//     semantics agree); subtrees whose evaluation fails (division by
+//     zero, type errors) are left in place so the runtime error surfaces
+//     exactly as before;
+//   - IF with a constant condition keeps only the taken branch (both
+//     semantics evaluate only that branch when the condition is certain);
+//   - boolean units are dropped (true AND x → x, false OR x → x) when x
+//     is boolean-shaped, and absorbing constants short out (false AND x →
+//     false, true OR x → true) when x is Total — EvalRange does not
+//     short-circuit, so dropping a partial x could suppress a runtime
+//     error the unoptimized plan raises.
+func Fold(e Expr) Expr {
+	switch n := e.(type) {
+	case Const, Attr:
+		return e
+	case Logic:
+		return foldLogicNode(Logic{Op: n.Op, L: Fold(n.L), R: Fold(n.R)})
+	case Not:
+		return foldConst(Not{E: Fold(n.E)})
+	case Cmp:
+		return foldConst(Cmp{Op: n.Op, L: Fold(n.L), R: Fold(n.R)})
+	case Arith:
+		return foldConst(Arith{Op: n.Op, L: Fold(n.L), R: Fold(n.R)})
+	case If:
+		c := Fold(n.Cond)
+		if isBoolConst(c, true) {
+			return Fold(n.Then)
+		}
+		if v, ok := isConst(c); ok && !(v.Kind() == types.KindBool && v.AsBool()) {
+			// Any non-true constant condition selects the ELSE branch
+			// under both semantics (truth() coerces non-booleans to false).
+			return Fold(n.Else)
+		}
+		return If{Cond: c, Then: Fold(n.Then), Else: Fold(n.Else)}
+	case IsNull:
+		return foldConst(IsNull{E: Fold(n.E)})
+	case NAry:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Fold(a)
+		}
+		return foldConst(NAry{Op: n.Op, Args: args})
+	}
+	return e
+}
+
+// foldLogicNode simplifies a connective whose operands are already folded.
+func foldLogicNode(n Logic) Expr {
+	l, r := n.L, n.R
+	if n.Op == OpAnd {
+		if isBoolConst(l, true) && boolShaped(r) {
+			return r
+		}
+		if isBoolConst(r, true) && boolShaped(l) {
+			return l
+		}
+		if (constNotTrue(l) && Total(r)) || (constNotTrue(r) && Total(l)) {
+			return CBool(false)
+		}
+	} else {
+		if constNotTrue(l) && boolShaped(r) {
+			return r
+		}
+		if constNotTrue(r) && boolShaped(l) {
+			return l
+		}
+		if (isBoolConst(l, true) && Total(r)) || (isBoolConst(r, true) && Total(l)) {
+			return CBool(true)
+		}
+	}
+	return foldConst(n)
+}
+
+// constNotTrue reports whether e is a constant that truth() maps to false
+// (false, null, or any non-boolean constant).
+func constNotTrue(e Expr) bool {
+	v, ok := isConst(e)
+	return ok && !(v.Kind() == types.KindBool && v.AsBool())
+}
+
+// foldConst evaluates an attribute-free expression to a constant. The
+// expression is kept (so the runtime error still surfaces, and only on
+// plans that actually evaluate it) unless BOTH semantics evaluate
+// successfully to the same certain value: deterministic evaluation
+// short-circuits connectives while range evaluation does not, so an
+// error hiding in a det-skipped branch must block the fold.
+func foldConst(e Expr) Expr {
+	if MaxAttr(e) >= 0 {
+		return e
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return e
+	}
+	rv, err := e.EvalRange(nil)
+	if err != nil {
+		return e
+	}
+	if !rv.IsCertain() || !types.Equal(rv.SG, v) || rv.SG.Kind() != v.Kind() {
+		return e
+	}
+	return Const{V: v}
+}

@@ -1,0 +1,223 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+)
+
+func TestSubstComposes(t *testing.T) {
+	// cols: [a+b, 2, a]
+	cols := []Expr{
+		Add(Col(0, "a"), Col(1, "b")),
+		CInt(2),
+		Col(0, "a"),
+	}
+	// pred over projection output: ($0 > $1) AND ($2 <= 4)
+	pred := And(Gt(Col(0, ""), Col(1, "")), Leq(Col(2, ""), CInt(4)))
+	sub := Subst(pred, cols)
+
+	tup := types.Tuple{types.Int(3), types.Int(1)}
+	// Project, then evaluate the original.
+	row := make(types.Tuple, len(cols))
+	for i, c := range cols {
+		v, err := c.Eval(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row[i] = v
+	}
+	want, err := pred.Eval(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.Eval(tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(want, got) {
+		t.Fatalf("det substitution: want %v, got %v", want, got)
+	}
+
+	// Same under range semantics.
+	rt := rangeval.Tuple{
+		rangeval.New(types.Int(2), types.Int(3), types.Int(4)),
+		rangeval.Certain(types.Int(1)),
+	}
+	rrow := make(rangeval.Tuple, len(cols))
+	for i, c := range cols {
+		v, err := c.EvalRange(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrow[i] = v
+	}
+	wantR, err := pred.EvalRange(rrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := sub.EvalRange(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantR.String() != gotR.String() {
+		t.Fatalf("range substitution: want %v, got %v", wantR, gotR)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := And(Eq(Col(0, "a"), CInt(1)), Lt(Col(1, "b"), CInt(2)))
+	b := And(Eq(Col(0, "a"), CInt(1)), Lt(Col(1, "b"), CInt(2)))
+	if !Equal(a, b) {
+		t.Fatal("identical expressions must be Equal")
+	}
+	if Equal(a, And(Eq(Col(0, "a"), CInt(1)), Lt(Col(1, "b"), CInt(3)))) {
+		t.Fatal("different constants must differ")
+	}
+	if Equal(Col(0, "a"), Col(1, "a")) {
+		t.Fatal("same name, different index must differ (String would collide)")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Fatal("nil handling")
+	}
+	if Equal(CInt(1), CFloat(1)) {
+		t.Fatal("kind-distinct constants must differ")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	total := []Expr{
+		And(Eq(Col(0, ""), CInt(1)), Not{E: IsNull{E: Col(1, "")}}),
+		Least(Col(0, ""), CInt(5)),
+		If{Cond: Lt(Col(0, ""), CInt(2)), Then: CBool(true), Else: CBool(false)},
+	}
+	for _, e := range total {
+		if !Total(e) {
+			t.Errorf("%s should be total", e)
+		}
+	}
+	partial := []Expr{
+		Lt(Div(CInt(1), Col(0, "")), CInt(2)),
+		Eq(Add(Col(0, ""), Col(1, "")), CInt(3)),
+		If{Cond: CBool(true), Then: Mul(Col(0, ""), CInt(2)), Else: CInt(0)},
+	}
+	for _, e := range partial {
+		if Total(e) {
+			t.Errorf("%s should not be total", e)
+		}
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{Add(CInt(1), CInt(2)), CInt(3)},
+		{Eq(Add(CInt(1), CInt(1)), CInt(2)), CBool(true)},
+		{And(CBool(true), Lt(Col(0, "a"), CInt(3))), Lt(Col(0, "a"), CInt(3))},
+		{Or(CBool(false), Lt(Col(0, "a"), CInt(3))), Lt(Col(0, "a"), CInt(3))},
+		{And(CBool(false), Lt(Col(0, "a"), CInt(3))), CBool(false)},
+		{Or(CBool(true), Lt(Col(0, "a"), CInt(3))), CBool(true)},
+		{If{Cond: CBool(true), Then: Col(0, "a"), Else: Div(CInt(1), CInt(0))}, Col(0, "a")},
+		{If{Cond: CInt(7), Then: CInt(1), Else: Col(1, "b")}, Col(1, "b")},
+		{Not{E: CBool(false)}, CBool(true)},
+	}
+	for _, c := range cases {
+		got := Fold(c.in)
+		if !Equal(got, c.want) {
+			t.Errorf("Fold(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFoldKeepsFailingConstants(t *testing.T) {
+	e := Div(CInt(1), CInt(0))
+	if !Equal(Fold(e), e) {
+		t.Fatal("failing constant division must not fold")
+	}
+	// Absorption must not skip a partial operand: And(false, 1/0=1) keeps
+	// the connective because dropping it would suppress the range-
+	// semantics error.
+	partial := And(CBool(false), Eq(Div(CInt(1), Col(0, "")), CInt(1)))
+	if Equal(Fold(partial), CBool(false)) {
+		t.Fatal("absorption over a partial operand must not fire")
+	}
+	// Unit folding must not replace a boolean context with a non-boolean
+	// value: true AND a (a an int column) coerces to bool.
+	unit := And(CBool(true), Col(0, "a"))
+	if Equal(Fold(unit), Col(0, "a")) {
+		t.Fatal("unit folding over a non-boolean operand must not fire")
+	}
+}
+
+// TestFoldSemanticsPreserved: on random expressions over random tuples,
+// Fold changes neither deterministic nor range evaluation (including
+// which of them error).
+func TestFoldSemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(rng, 3)
+		f := Fold(e)
+		tup := types.Tuple{types.Int(int64(rng.Intn(5))), types.Int(int64(rng.Intn(5) - 1))}
+		wantV, wantErr := e.Eval(tup)
+		gotV, gotErr := f.Eval(tup)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("fold changed det error: %s -> %s (%v vs %v)", e, f, wantErr, gotErr)
+		}
+		if wantErr == nil && !(types.Equal(wantV, gotV) && wantV.Kind() == gotV.Kind()) {
+			t.Fatalf("fold changed det value: %s -> %s (%v vs %v)", e, f, wantV, gotV)
+		}
+		rt := rangeval.Tuple{
+			rangeval.New(types.Int(0), types.Int(int64(rng.Intn(3))), types.Int(4)),
+			rangeval.Certain(types.Int(int64(rng.Intn(4)))),
+		}
+		wantR, wantErrR := e.EvalRange(rt)
+		gotR, gotErrR := f.EvalRange(rt)
+		if (wantErrR == nil) != (gotErrR == nil) {
+			t.Fatalf("fold changed range error: %s -> %s (%v vs %v)", e, f, wantErrR, gotErrR)
+		}
+		if wantErrR == nil && wantR.String() != gotR.String() {
+			t.Fatalf("fold changed range value: %s -> %s (%v vs %v)", e, f, wantR, gotR)
+		}
+	}
+}
+
+// randomExpr generates a random total-or-partial expression over two int
+// attributes. Division is excluded so that error behaviour differences
+// come only from folding bugs, not from zero-spanning divisors that the
+// two semantics legitimately treat differently (det errors, range
+// saturates).
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return CInt(int64(rng.Intn(4)))
+		case 1:
+			return CBool(rng.Intn(2) == 0)
+		case 2:
+			return Col(0, "a")
+		default:
+			return Col(1, "b")
+		}
+	}
+	l, r := randomExpr(rng, depth-1), randomExpr(rng, depth-1)
+	switch rng.Intn(7) {
+	case 0:
+		return And(l, r)
+	case 1:
+		return Or(l, r)
+	case 2:
+		return Not{E: l}
+	case 3:
+		return Cmp{Op: CmpOp(rng.Intn(6)), L: l, R: r}
+	case 4:
+		return Arith{Op: ArithOp(rng.Intn(3)), L: l, R: r} // +,-,* — no div
+	case 5:
+		return If{Cond: randomExpr(rng, depth-1), Then: l, Else: r}
+	default:
+		return IsNull{E: l}
+	}
+}

@@ -1,0 +1,59 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/sql"
+)
+
+// The BenchmarkOptimize* family measures the optimizer itself — the
+// per-query planning overhead QueryContext pays (prepared statements pay
+// it once). Run with: go test ./internal/opt -run='^$' -bench BenchmarkOptimize
+
+func benchOptimize(b *testing.B, cat ra.CatalogMap, q string) {
+	b.Helper()
+	plan, err := sql.Compile(q, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(plan, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeFilterJoin(b *testing.B) {
+	cat := ra.CatalogMap{"r": schema.New("a", "b"), "s": schema.New("c", "d")}
+	benchOptimize(b, cat, `SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < 2 AND s.d >= 1`)
+}
+
+func BenchmarkOptimizeCrossToEqui(b *testing.B) {
+	cat := ra.CatalogMap{"r": schema.New("a", "b"), "s": schema.New("c", "d")}
+	benchOptimize(b, cat, `SELECT r.b, s.d FROM r, s WHERE r.a = s.c AND r.b <= 3`)
+}
+
+func BenchmarkOptimizeAggregate(b *testing.B) {
+	cat := ra.CatalogMap{"r": schema.New("a", "b"), "s": schema.New("c", "d")}
+	benchOptimize(b, cat, `SELECT b, sum(a) AS s, count(*) AS n FROM r WHERE a < 4 GROUP BY b HAVING sum(a) > 1`)
+}
+
+// BenchmarkOptimizeWideChain: a four-way join over wide tables with a
+// narrow output — the projection-pruning stress case.
+func BenchmarkOptimizeWideChain(b *testing.B) {
+	cat := ra.CatalogMap{}
+	for i := 0; i < 4; i++ {
+		cat[fmt.Sprintf("w%d", i)] = schema.New("k", "v0", "v1", "v2", "v3", "v4", "v5")
+	}
+	q := `SELECT w0.v0, w3.v5 FROM w0
+	  JOIN w1 ON w0.k = w1.k
+	  JOIN w2 ON w1.k = w2.k
+	  JOIN w3 ON w2.k = w3.k
+	  WHERE w0.v1 <= 3 AND w3.v2 > 1`
+	benchOptimize(b, cat, q)
+}

@@ -1,0 +1,230 @@
+// Package opt is the rule-based logical optimizer for RA_agg plans. It
+// rewrites the engine-agnostic ra.Node trees produced by internal/sql
+// before any engine interprets them, and it is shared by all three
+// engines (internal/core, internal/bag, internal/encoding) because every
+// rewrite is exact under both evaluation semantics: deterministic bag
+// evaluation and the bound-preserving AU-DB range semantics of the paper
+// (Sections 7-9).
+//
+// # Soundness discipline
+//
+// Classical algebraic equivalences do not automatically carry over to
+// annotated representations. Following the U-relations line of work
+// (Antova et al., "Fast and Simple Relational Processing of Uncertain
+// Data"), a rewrite is admitted here only if it preserves the annotation
+// computation, not merely the possible-world semantics. Concretely, every
+// rule in this package preserves the result relation exactly — same
+// schema, and the same tuples with the same [lb/sg/ub] attribute ranges
+// and (lb, sg, hi) multiplicities after the canonical merge — on every
+// input database. Rules that are classically valid but unsound (or not
+// result-exact) under AU-DB bound semantics are explicitly gated off at
+// their application site:
+//
+//   - selections never push below Diff: the bound-preserving monus
+//     (Section 8, Theorem 4) subtracts the right side's upper bounds from
+//     possibly-equal left tuples, and multiplying annotations by a
+//     selection triple does not distribute over that monus;
+//   - selections never push below Distinct: the lower bound of δ
+//     (Definition 21) depends on which stored tuples ≃-overlap each
+//     other, and filtering first changes the overlap set;
+//   - selections never push below Agg: possible-group bounding boxes
+//     (Section 9.3) are computed from the unfiltered input, so filtering
+//     group attributes before aggregation changes the boxes;
+//   - selections never push below Limit, and column pruning never
+//     narrows below Limit: the cutoff applies to the merged row sequence,
+//     which early merging would reorder or shorten;
+//   - rewrites that would evaluate a partial predicate (one containing
+//     arithmetic, see expr.Total) over more tuples than the original
+//     plan are gated on totality, so the optimizer can suppress runtime
+//     errors (by evaluating less) but never introduce one.
+//
+// # Use
+//
+// Optimize rewrites a plan; OptimizeTrace additionally records which rule
+// fired in which pass, for EXPLAIN surfaces. Input plans are never
+// mutated: rewrites build new nodes and share unchanged subtrees, so
+// cached plans (prepared statements) stay valid.
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/audb/audb/internal/ra"
+)
+
+// maxPasses bounds the fixpoint loop. Every rule strictly reduces a
+// measure (predicate height above its final operator, projection chain
+// length, plan width), so real plans converge in 2-3 passes; the cap is a
+// backstop against rule bugs, not a tuning knob.
+const maxPasses = 12
+
+// Step records one effective rule application.
+type Step struct {
+	// Rule is the rule name (see Rules).
+	Rule string
+	// Pass is the 1-based fixpoint pass the rule fired in.
+	Pass int
+	// Plan is the rendered plan after the rule applied.
+	Plan string
+}
+
+// Trace is the optimization record surfaced by EXPLAIN.
+type Trace struct {
+	// Input and Output are the rendered plans before and after.
+	Input, Output string
+	// Steps lists the effective rule applications in order.
+	Steps []Step
+	// Passes is the number of fixpoint passes run (including the final
+	// pass that found nothing left to do).
+	Passes int
+}
+
+// String renders the trace in the audbsh -explain format.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	sb.WriteString("plan:\n")
+	writeIndented(&sb, t.Input)
+	if len(t.Steps) == 0 {
+		sb.WriteString("optimizer: no rules applied\n")
+		return sb.String()
+	}
+	for _, s := range t.Steps {
+		fmt.Fprintf(&sb, "rule %s (pass %d):\n", s.Rule, s.Pass)
+		writeIndented(&sb, s.Plan)
+	}
+	sb.WriteString("optimized:\n")
+	writeIndented(&sb, t.Output)
+	return sb.String()
+}
+
+func writeIndented(sb *strings.Builder, plan string) {
+	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		sb.WriteString("  ")
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+}
+
+// rule is one rewrite: it returns the (possibly shared) rewritten plan.
+// Rules report no change flag of their own; the driver compares plans
+// structurally (ra.Equal), which is the ground truth.
+type rule struct {
+	name  string
+	apply func(cat ra.Catalog, n ra.Node) (ra.Node, error)
+}
+
+// rules returns the rule pipeline in application order. Constant folding
+// runs first so later rules see simplified predicates; pushdown before
+// merging so conjuncts move independently; composition and pruning after
+// pushdown so the projections they touch have settled; trivial-operator
+// elimination last to sweep up what the others exposed.
+func rules() []rule {
+	return []rule{
+		{"fold-constants", foldConstants},
+		{"push-selections", pushSelections},
+		{"merge-selections", mergeSelections},
+		{"compose-projections", composeProjections},
+		{"prune-columns", pruneColumns},
+		{"eliminate-trivial", eliminateTrivial},
+	}
+}
+
+// Rules lists the rule names in application order (for docs and tests).
+func Rules() []string {
+	rs := rules()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.name
+	}
+	return out
+}
+
+// checkNoNil rejects plans containing nil or typed-nil nodes before any
+// rule dereferences one — the same defensive check every executor entry
+// point performs.
+func checkNoNil(n ra.Node) error {
+	if ra.IsNil(n) {
+		return fmt.Errorf("opt: nil plan node")
+	}
+	for _, c := range n.Children() {
+		if err := checkNoNil(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Optimize rewrites the plan to fixpoint and returns the optimized plan.
+// The input is not mutated. Optimization requires a catalog because
+// several rules need input arities and attribute names.
+func Optimize(n ra.Node, cat ra.Catalog) (ra.Node, error) {
+	out, _, err := optimize(n, cat, false)
+	return out, err
+}
+
+// OptimizeTrace is Optimize with a per-rule application trace.
+func OptimizeTrace(n ra.Node, cat ra.Catalog) (ra.Node, *Trace, error) {
+	return optimize(n, cat, true)
+}
+
+func optimize(n ra.Node, cat ra.Catalog, withTrace bool) (ra.Node, *Trace, error) {
+	if err := checkNoNil(n); err != nil {
+		return nil, nil, err
+	}
+	inSchema, err := ra.InferSchema(n, cat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opt: input plan does not type-check: %w", err)
+	}
+	// Rendering is trace-only: the per-query Optimize path must not pay
+	// for strings it throws away.
+	var tr *Trace
+	if withTrace {
+		tr = &Trace{Input: ra.Render(n)}
+	}
+	cur := n
+	for pass := 1; pass <= maxPasses; pass++ {
+		if withTrace {
+			tr.Passes = pass
+		}
+		changed := false
+		for _, r := range rules() {
+			next, err := r.apply(cat, cur)
+			if err != nil {
+				return nil, nil, fmt.Errorf("opt: rule %s: %w", r.name, err)
+			}
+			if ra.IsNil(next) {
+				return nil, nil, fmt.Errorf("opt: rule %s returned a nil plan", r.name)
+			}
+			if !ra.Equal(next, cur) {
+				cur = next
+				changed = true
+				if withTrace {
+					tr.Steps = append(tr.Steps, Step{Rule: r.name, Pass: pass, Plan: ra.Render(cur)})
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Invariant: optimization never changes the plan's output schema
+	// (names included — the result relation prints them). A violation is
+	// an optimizer bug; fail loudly rather than return a wrong plan.
+	outSchema, err := ra.InferSchema(cur, cat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opt: optimized plan does not type-check: %w", err)
+	}
+	if len(inSchema.Attrs) != len(outSchema.Attrs) {
+		return nil, nil, fmt.Errorf("opt: optimization changed the schema: %s vs %s", inSchema, outSchema)
+	}
+	for i := range inSchema.Attrs {
+		if inSchema.Attrs[i] != outSchema.Attrs[i] {
+			return nil, nil, fmt.Errorf("opt: optimization changed the schema: %s vs %s", inSchema, outSchema)
+		}
+	}
+	if withTrace {
+		tr.Output = ra.Render(cur)
+	}
+	return cur, tr, nil
+}

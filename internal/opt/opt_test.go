@@ -1,0 +1,444 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/sql"
+)
+
+// testCat is the two-table catalog the shape tests compile against.
+func testCat() ra.CatalogMap {
+	return ra.CatalogMap{
+		"r": schema.New("a", "b"),
+		"s": schema.New("c", "d"),
+	}
+}
+
+func mustCompile(t *testing.T, q string) ra.Node {
+	t.Helper()
+	plan, err := sql.Compile(q, testCat())
+	if err != nil {
+		t.Fatalf("compile %s: %v", q, err)
+	}
+	return plan
+}
+
+func mustOptimize(t *testing.T, n ra.Node) ra.Node {
+	t.Helper()
+	out, err := Optimize(n, testCat())
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if err := ra.Validate(out, testCat()); err != nil {
+		t.Fatalf("optimized plan does not validate: %v\n%s", err, ra.Render(out))
+	}
+	return out
+}
+
+// nodes collects every node of the plan in preorder.
+func nodes(n ra.Node) []ra.Node {
+	out := []ra.Node{n}
+	for _, c := range n.Children() {
+		out = append(out, nodes(c)...)
+	}
+	return out
+}
+
+func countType[T ra.Node](n ra.Node) int {
+	c := 0
+	for _, m := range nodes(n) {
+		if _, ok := m.(T); ok {
+			c++
+		}
+	}
+	return c
+}
+
+// TestPushdownBelowJoin: a one-sided WHERE conjunct must end up below the
+// join, on its own side, and disappear from above it.
+func TestPushdownBelowJoin(t *testing.T) {
+	plan := mustCompile(t, `SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < 2`)
+	out := mustOptimize(t, plan)
+	for _, m := range nodes(out) {
+		if sel, ok := m.(*ra.Select); ok {
+			if _, isJoin := sel.Child.(*ra.Join); isJoin {
+				t.Fatalf("selection still above the join:\n%s", ra.Render(out))
+			}
+		}
+	}
+	// The selection survives somewhere below the join's left input.
+	if countType[*ra.Select](out) != 1 {
+		t.Fatalf("want exactly one pushed selection:\n%s", ra.Render(out))
+	}
+}
+
+// TestWhereBecomesJoinCondition: `FROM r, s WHERE r.a = s.c` compiles to
+// a selection above a cross product; the optimizer must fold the
+// equality into the join condition so the hybrid executor can hash it.
+func TestWhereBecomesJoinCondition(t *testing.T) {
+	plan := mustCompile(t, `SELECT r.b, s.d FROM r, s WHERE r.a = s.c`)
+	out := mustOptimize(t, plan)
+	joins := 0
+	for _, m := range nodes(out) {
+		if j, ok := m.(*ra.Join); ok {
+			joins++
+			if j.Cond == nil {
+				t.Fatalf("join condition not installed:\n%s", ra.Render(out))
+			}
+		}
+	}
+	if joins != 1 {
+		t.Fatalf("want one join, got %d", joins)
+	}
+	if countType[*ra.Select](out) != 0 {
+		t.Fatalf("cross-product selection should be gone:\n%s", ra.Render(out))
+	}
+}
+
+// TestPushdownThroughUnion: a selection over a UNION distributes into
+// both branches.
+func TestPushdownThroughUnion(t *testing.T) {
+	u := &ra.Union{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "r"}}
+	plan := &ra.Select{Child: u, Pred: expr.Lt(expr.Col(0, "a"), expr.CInt(3))}
+	out := mustOptimize(t, plan)
+	un, ok := out.(*ra.Union)
+	if !ok {
+		t.Fatalf("want a union root:\n%s", ra.Render(out))
+	}
+	if _, ok := un.Left.(*ra.Select); !ok {
+		t.Fatalf("left branch not filtered:\n%s", ra.Render(out))
+	}
+	if _, ok := un.Right.(*ra.Select); !ok {
+		t.Fatalf("right branch not filtered:\n%s", ra.Render(out))
+	}
+}
+
+// TestPushdownGatedAtDiff: selections must NOT push below a bag
+// difference — the bound-preserving monus does not distribute.
+func TestPushdownGatedAtDiff(t *testing.T) {
+	d := &ra.Diff{Left: &ra.Scan{Table: "r"}, Right: &ra.Scan{Table: "r"}}
+	plan := &ra.Select{Child: d, Pred: expr.Lt(expr.Col(0, "a"), expr.CInt(3))}
+	out := mustOptimize(t, plan)
+	sel, ok := out.(*ra.Select)
+	if !ok {
+		t.Fatalf("selection must stay above Diff:\n%s", ra.Render(out))
+	}
+	if _, ok := sel.Child.(*ra.Diff); !ok {
+		t.Fatalf("selection must stay directly above Diff:\n%s", ra.Render(out))
+	}
+}
+
+// TestPushdownGatedAtDistinctAndAgg: δ and aggregation are pushdown
+// barriers too.
+func TestPushdownGatedAtDistinctAndAgg(t *testing.T) {
+	for _, q := range []string{
+		// HAVING survives as a selection above the aggregation.
+		`SELECT b, sum(a) AS s FROM r GROUP BY b HAVING sum(a) > 1`,
+	} {
+		out := mustOptimize(t, mustCompile(t, q))
+		found := false
+		for _, m := range nodes(out) {
+			if sel, ok := m.(*ra.Select); ok {
+				if _, isAgg := sel.Child.(*ra.Agg); isAgg {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: HAVING selection must stay above Agg:\n%s", q, ra.Render(out))
+		}
+	}
+	d := &ra.Distinct{Child: &ra.Scan{Table: "r"}}
+	plan := &ra.Select{Child: d, Pred: expr.Lt(expr.Col(0, "a"), expr.CInt(3))}
+	out := mustOptimize(t, plan)
+	if _, ok := out.(*ra.Select); !ok {
+		t.Fatalf("selection must stay above Distinct:\n%s", ra.Render(out))
+	}
+}
+
+// TestPartialPredicateStaysAboveJoin: a predicate containing arithmetic
+// (division can fail) must not be pushed below the join, where it would
+// be evaluated on tuples that never join.
+func TestPartialPredicateStaysAboveJoin(t *testing.T) {
+	join := &ra.Join{
+		Left:  &ra.Scan{Table: "r"},
+		Right: &ra.Scan{Table: "s"},
+		Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
+	}
+	pred := expr.Lt(expr.Div(expr.CInt(10), expr.Col(1, "b")), expr.CInt(3))
+	plan := &ra.Select{Child: join, Pred: pred}
+	out := mustOptimize(t, plan)
+	sel, ok := out.(*ra.Select)
+	if !ok || !expr.Equal(sel.Pred, pred) {
+		t.Fatalf("partial predicate must stay above the join:\n%s", ra.Render(out))
+	}
+}
+
+// TestConstantFoldingAndTrivialElimination: WHERE TRUE AND 1+1 = 2
+// disappears entirely.
+func TestConstantFoldingAndTrivialElimination(t *testing.T) {
+	plan := mustCompile(t, `SELECT a FROM r WHERE TRUE AND 1 + 1 = 2`)
+	out := mustOptimize(t, plan)
+	if countType[*ra.Select](out) != 0 {
+		t.Fatalf("trivially-true selection should be eliminated:\n%s", ra.Render(out))
+	}
+}
+
+// TestConstantFoldingKeepsErrors: a constant subexpression that fails to
+// evaluate (division by zero) must be left in the plan so the runtime
+// error surfaces exactly as before.
+func TestConstantFoldingKeepsErrors(t *testing.T) {
+	pred := expr.Eq(expr.Div(expr.CInt(1), expr.CInt(0)), expr.CInt(1))
+	plan := &ra.Select{Child: &ra.Scan{Table: "r"}, Pred: pred}
+	out := mustOptimize(t, plan)
+	sel, ok := out.(*ra.Select)
+	if !ok || !expr.Equal(sel.Pred, pred) {
+		t.Fatalf("failing constant must not fold away:\n%s", ra.Render(out))
+	}
+}
+
+// TestMergeSelections: stacked selections fuse into one conjunction with
+// the inner predicate first.
+func TestMergeSelections(t *testing.T) {
+	inner := expr.Lt(expr.Col(0, "a"), expr.CInt(5))
+	outer := expr.Gt(expr.Col(1, "b"), expr.CInt(1))
+	plan := &ra.Select{
+		Child: &ra.Select{Child: &ra.Scan{Table: "r"}, Pred: inner},
+		Pred:  outer,
+	}
+	out := mustOptimize(t, plan)
+	sel, ok := out.(*ra.Select)
+	if !ok {
+		t.Fatalf("want a single selection:\n%s", ra.Render(out))
+	}
+	if _, ok := sel.Child.(*ra.Scan); !ok {
+		t.Fatalf("selections not merged:\n%s", ra.Render(out))
+	}
+	if !expr.Equal(sel.Pred, expr.And(inner, outer)) {
+		t.Fatalf("merged predicate order wrong: %s", sel.Pred)
+	}
+}
+
+// TestProjectionPruningNarrowsJoinInputs: a narrow projection over a wide
+// join must push the narrowing below the join — for range tuples every
+// dropped column is three values per intermediate tuple.
+func TestProjectionPruningNarrowsJoinInputs(t *testing.T) {
+	cat := ra.CatalogMap{
+		"w1": schema.New("a", "b", "c", "d", "e"),
+		"w2": schema.New("f", "g", "h", "i", "j"),
+	}
+	join := &ra.Join{
+		Left:  &ra.Scan{Table: "w1"},
+		Right: &ra.Scan{Table: "w2"},
+		Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(5, "f")),
+	}
+	plan := &ra.Project{Child: join, Cols: []ra.ProjCol{
+		{E: expr.Col(1, "b"), Name: "b"},
+		{E: expr.Col(6, "g"), Name: "g"},
+	}}
+	out, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Validate(out, cat); err != nil {
+		t.Fatalf("optimized plan does not validate: %v\n%s", err, ra.Render(out))
+	}
+	j := findJoin(out)
+	if j == nil {
+		t.Fatalf("join missing:\n%s", ra.Render(out))
+	}
+	for side, c := range map[string]ra.Node{"left": j.Left, "right": j.Right} {
+		p, ok := c.(*ra.Project)
+		if !ok {
+			t.Fatalf("%s join input not narrowed:\n%s", side, ra.Render(out))
+		}
+		if len(p.Cols) != 2 { // join column + projected column
+			t.Fatalf("%s input keeps %d columns, want 2:\n%s", side, len(p.Cols), ra.Render(out))
+		}
+	}
+}
+
+func findJoin(n ra.Node) *ra.Join {
+	for _, m := range nodes(n) {
+		if j, ok := m.(*ra.Join); ok {
+			return j
+		}
+	}
+	return nil
+}
+
+// TestComposeProjections: stacked projections (e.g. the planner's alias
+// qualification) collapse into one.
+func TestComposeProjections(t *testing.T) {
+	inner := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Col(0, "a"), Name: "r.a"},
+		{E: expr.Col(1, "b"), Name: "r.b"},
+	}}
+	outer := &ra.Project{Child: inner, Cols: []ra.ProjCol{
+		{E: expr.Add(expr.Col(0, "r.a"), expr.Col(1, "r.b")), Name: "ab"},
+	}}
+	out := mustOptimize(t, outer)
+	if countType[*ra.Project](out) != 1 {
+		t.Fatalf("projections not composed:\n%s", ra.Render(out))
+	}
+}
+
+// TestComposeSkipsDuplicatingComputedColumns: fusing would evaluate the
+// inner computed column twice; the chain must be kept.
+func TestComposeSkipsDuplicatingComputedColumns(t *testing.T) {
+	inner := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Add(expr.Col(0, "a"), expr.Col(1, "b")), Name: "ab"},
+	}}
+	outer := &ra.Project{Child: inner, Cols: []ra.ProjCol{
+		{E: expr.Mul(expr.Col(0, "ab"), expr.Col(0, "ab")), Name: "sq"},
+	}}
+	out := mustOptimize(t, outer)
+	if countType[*ra.Project](out) != 2 {
+		t.Fatalf("computed column should not be duplicated:\n%s", ra.Render(out))
+	}
+}
+
+// TestPushdownSkipsDuplicatingComputedColumns: substituting a predicate
+// that references a computed projection column twice would evaluate the
+// column's expression twice per tuple; the push must be refused.
+func TestPushdownSkipsDuplicatingComputedColumns(t *testing.T) {
+	proj := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Add(expr.Col(0, "a"), expr.Col(1, "b")), Name: "x"},
+	}}
+	pred := expr.Eq(expr.Col(0, "x"), expr.Col(0, "x"))
+	plan := &ra.Select{Child: proj, Pred: pred}
+	out := mustOptimize(t, plan)
+	sel, ok := out.(*ra.Select)
+	if !ok || !expr.Equal(sel.Pred, pred) {
+		t.Fatalf("double-referencing predicate must stay above the projection:\n%s", ra.Render(out))
+	}
+	// A leaf-only projection still accepts the same shape of predicate.
+	leafProj := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Col(1, "b"), Name: "x"},
+	}}
+	out = mustOptimize(t, &ra.Select{Child: leafProj, Pred: pred})
+	if _, ok := out.(*ra.Select); ok {
+		t.Fatalf("leaf rename must not block the push:\n%s", ra.Render(out))
+	}
+}
+
+// TestIdentityProjectionElimination: a projection that renames nothing
+// and keeps every column in place is dropped.
+func TestIdentityProjectionElimination(t *testing.T) {
+	plan := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Col(0, "x"), Name: "a"},
+		{E: expr.Col(1, "y"), Name: "b"},
+	}}
+	out := mustOptimize(t, plan)
+	if _, ok := out.(*ra.Scan); !ok {
+		t.Fatalf("identity projection should be eliminated:\n%s", ra.Render(out))
+	}
+
+	// A renaming projection must survive: the result prints its schema.
+	renaming := &ra.Project{Child: &ra.Scan{Table: "r"}, Cols: []ra.ProjCol{
+		{E: expr.Col(0, "a"), Name: "x"},
+		{E: expr.Col(1, "b"), Name: "y"},
+	}}
+	out = mustOptimize(t, renaming)
+	if _, ok := out.(*ra.Project); !ok {
+		t.Fatalf("renaming projection must be kept:\n%s", ra.Render(out))
+	}
+}
+
+// TestTraceRecordsRules: OptimizeTrace reports the rules that fired, and
+// the trace renders both plans.
+func TestTraceRecordsRules(t *testing.T) {
+	plan := mustCompile(t, `SELECT r.a FROM r, s WHERE r.a = s.c AND r.b < 2`)
+	out, tr, err := OptimizeTrace(plan, testCat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) == 0 {
+		t.Fatal("expected rule applications")
+	}
+	seen := map[string]bool{}
+	for _, s := range tr.Steps {
+		seen[s.Rule] = true
+		if s.Pass < 1 || s.Plan == "" {
+			t.Fatalf("malformed step %+v", s)
+		}
+	}
+	if !seen["push-selections"] {
+		t.Fatalf("push-selections should have fired, saw %v", seen)
+	}
+	if tr.Output != ra.Render(out) {
+		t.Fatal("trace output does not match the optimized plan")
+	}
+	text := tr.String()
+	for _, want := range []string{"plan:", "optimized:", "rule push-selections"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("trace rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOptimizeDoesNotMutateInput: the input plan must be structurally
+// unchanged after optimization (prepared statements keep the raw plan).
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	q := `SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < 2 AND s.d > 0`
+	plan := mustCompile(t, q)
+	before := ra.Render(plan)
+	if _, err := Optimize(plan, testCat()); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Render(plan) != before {
+		t.Fatal("Optimize mutated its input plan")
+	}
+}
+
+// TestOptimizeIdempotent: optimizing an optimized plan changes nothing.
+func TestOptimizeIdempotent(t *testing.T) {
+	for _, q := range []string{
+		`SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < 2`,
+		`SELECT r.b, s.d FROM r, s WHERE r.a = s.c`,
+		`SELECT b, sum(a) AS s FROM r WHERE a <= 3 GROUP BY b HAVING sum(a) > 1`,
+		`SELECT a FROM r WHERE a < 2 UNION SELECT c FROM s WHERE d > 1`,
+	} {
+		once := mustOptimize(t, mustCompile(t, q))
+		twice := mustOptimize(t, once)
+		if !ra.Equal(once, twice) {
+			t.Fatalf("%s: not idempotent:\n%s\nvs\n%s", q, ra.Render(once), ra.Render(twice))
+		}
+	}
+}
+
+// TestNilPlanErrors: nil and typed-nil nodes error cleanly.
+func TestNilPlanErrors(t *testing.T) {
+	if _, err := Optimize(nil, testCat()); err == nil {
+		t.Fatal("nil plan should error")
+	}
+	var typed *ra.Scan
+	if _, err := Optimize(typed, testCat()); err == nil {
+		t.Fatal("typed-nil plan should error")
+	}
+	nested := &ra.Distinct{Child: (*ra.Scan)(nil)}
+	if _, err := Optimize(nested, testCat()); err == nil {
+		t.Fatal("nested typed-nil should error, not panic")
+	}
+}
+
+// TestRulesList: the published rule list matches the pipeline.
+func TestRulesList(t *testing.T) {
+	want := []string{
+		"fold-constants", "push-selections", "merge-selections",
+		"compose-projections", "prune-columns", "eliminate-trivial",
+	}
+	got := Rules()
+	if len(got) != len(want) {
+		t.Fatalf("Rules() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rules() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/encoding"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/types"
+)
+
+// randomAUDB builds a random two-table AU-database exercising certain
+// values, proper ranges, optional tuples and duplicate multiplicities.
+func randomAUDB(rng *rand.Rand, rows int) core.DB {
+	mk := func(cols ...string) *core.Relation {
+		rel := core.New(schema.New(cols...))
+		for i := 0; i < rows; i++ {
+			vals := make(rangeval.Tuple, len(cols))
+			for c := range cols {
+				sg := int64(rng.Intn(6))
+				switch rng.Intn(3) {
+				case 0:
+					vals[c] = rangeval.Certain(types.Int(sg))
+				case 1:
+					vals[c] = rangeval.New(types.Int(sg-int64(rng.Intn(2))), types.Int(sg), types.Int(sg+int64(rng.Intn(3))))
+				default:
+					vals[c] = rangeval.New(types.Int(0), types.Int(sg), types.Int(5))
+				}
+			}
+			m := core.Mult{Lo: 1, SG: 1, Hi: 1}
+			if rng.Intn(3) == 0 {
+				m = core.Mult{Lo: 0, SG: 1, Hi: 1 + int64(rng.Intn(2))}
+			}
+			if rng.Intn(4) == 0 {
+				m = core.Mult{Lo: 2, SG: 2, Hi: 2}
+			}
+			rel.Add(core.Tuple{Vals: vals, M: m})
+		}
+		return rel
+	}
+	return core.DB{"r": mk("a", "b"), "s": mk("c", "d")}
+}
+
+// propertyCorpus yields a randomized SQL query corpus covering every
+// operator the optimizer touches and every operator it must not touch
+// (Diff, Distinct, Agg, OrderBy/Limit). Constants are randomized so each
+// trial exercises different selectivities.
+func propertyCorpus(rng *rand.Rand) []string {
+	k := func() int { return rng.Intn(6) }
+	return []string{
+		fmt.Sprintf(`SELECT a, b FROM r WHERE a <= %d AND b > %d`, k(), k()),
+		fmt.Sprintf(`SELECT a + b AS ab FROM r WHERE a <= %d OR b = %d`, k(), k()),
+		fmt.Sprintf(`SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < %d`, k()),
+		fmt.Sprintf(`SELECT r.b, s.d FROM r, s WHERE r.a = s.c AND s.d >= %d`, k()),
+		fmt.Sprintf(`SELECT r.a, s.c FROM r JOIN s ON r.a = s.c WHERE r.b < %d AND s.d >= %d`, k(), k()),
+		fmt.Sprintf(`SELECT b, sum(a) AS s, count(*) AS n FROM r WHERE a < %d GROUP BY b`, k()),
+		fmt.Sprintf(`SELECT b, max(a) AS m FROM r GROUP BY b HAVING max(a) >= %d`, k()),
+		fmt.Sprintf(`SELECT DISTINCT b FROM r WHERE a >= %d`, k()),
+		fmt.Sprintf(`SELECT a FROM r WHERE a < %d UNION SELECT c FROM s WHERE d > %d`, k(), k()),
+		fmt.Sprintf(`SELECT a FROM r EXCEPT SELECT c FROM s WHERE d = %d`, k()),
+		fmt.Sprintf(`SELECT a, b FROM r WHERE a BETWEEN %d AND %d ORDER BY a LIMIT 3`, k(), k()+3),
+		fmt.Sprintf(`SELECT x.ab, count(*) AS n FROM (SELECT a + b AS ab FROM r WHERE a <> %d) x GROUP BY x.ab`, k()),
+		fmt.Sprintf(`SELECT CASE WHEN a > %d THEN 1 ELSE 0 END AS flag, b FROM r WHERE TRUE AND b <= %d`, k(), k()),
+		fmt.Sprintf(`SELECT b, d FROM r JOIN s ON a = c WHERE b <= %d`, k()),
+		fmt.Sprintf(`SELECT least(a, %d) AS la, greatest(b, %d) AS gb FROM r WHERE a IS NOT NULL`, k(), k()),
+	}
+}
+
+// TestOptimizedPlansAreResultExact is the optimizer's core guarantee: on
+// a random query corpus, the optimized and unoptimized plans produce
+// bit-identical results (canonical merged + sorted form) on all three
+// engines — the native AU-DB executor (serial and parallel), the
+// deterministic bag engine over the selected-guess world, and the
+// Section 10 rewriting middleware.
+func TestOptimizedPlansAreResultExact(t *testing.T) {
+	ctx := context.Background()
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial*77)))
+		db := randomAUDB(rng, 3+rng.Intn(6))
+		cat := ra.CatalogMap(db.Schemas())
+		sgw := db.SGW()
+		for _, q := range propertyCorpus(rng) {
+			plan, err := sql.Compile(q, cat)
+			if err != nil {
+				t.Fatalf("[trial %d] compile %s: %v", trial, q, err)
+			}
+			opl, err := Optimize(plan, cat)
+			if err != nil {
+				t.Fatalf("[trial %d] optimize %s: %v", trial, q, err)
+			}
+			if err := ra.Validate(opl, cat); err != nil {
+				t.Fatalf("[trial %d] %s: optimized plan invalid: %v\n%s", trial, q, err, ra.Render(opl))
+			}
+
+			// Native engine, serial and parallel.
+			for _, workers := range []int{1, 4} {
+				opts := core.Options{Workers: workers}
+				want, err := core.Exec(ctx, plan, db, opts)
+				if err != nil {
+					t.Fatalf("[trial %d] %s (workers=%d): unoptimized: %v", trial, q, workers, err)
+				}
+				got, err := core.Exec(ctx, opl, db, opts)
+				if err != nil {
+					t.Fatalf("[trial %d] %s (workers=%d): optimized: %v", trial, q, workers, err)
+				}
+				if want.Sort().String() != got.Sort().String() {
+					t.Fatalf("[trial %d] %s (workers=%d): native result changed:\nunoptimized plan:\n%s%s\noptimized plan:\n%s%s",
+						trial, q, workers, ra.Render(plan), want, ra.Render(opl), got)
+				}
+			}
+
+			// Deterministic bag engine over the selected-guess world.
+			want, err := bag.Exec(ctx, plan, sgw)
+			if err != nil {
+				t.Fatalf("[trial %d] %s: bag unoptimized: %v", trial, q, err)
+			}
+			got, err := bag.Exec(ctx, opl, sgw)
+			if err != nil {
+				t.Fatalf("[trial %d] %s: bag optimized: %v", trial, q, err)
+			}
+			if !want.Clone().Merge().Equal(got.Clone().Merge()) {
+				t.Fatalf("[trial %d] %s: bag result changed:\n%s\nvs\n%s", trial, q, want, got)
+			}
+
+			// Section 10 rewriting middleware. The middleware rejects
+			// some operators (DISTINCT); optimization must not change
+			// whether a query is rejected.
+			wantR, wantErr := encoding.Exec(ctx, plan, db)
+			gotR, gotErr := encoding.Exec(ctx, opl, db)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("[trial %d] %s: rewrite acceptance changed: unoptimized err=%v, optimized err=%v",
+					trial, q, wantErr, gotErr)
+			}
+			if wantErr == nil && wantR.Sort().String() != gotR.Sort().String() {
+				t.Fatalf("[trial %d] %s: rewrite result changed:\n%s\nvs\n%s", trial, q, wantR, gotR)
+			}
+		}
+	}
+}
+
+// TestOptimizedPlansStillBoundWorlds: on hand-built plans including the
+// gated operators, the optimized plan's result over a random incomplete
+// database must keep bounding every possible world (Corollary 2) — the
+// bound-preservation property is engine-level, but a broken rewrite
+// would break it too.
+func TestOptimizedPlansStillBoundWorlds(t *testing.T) {
+	cat := ra.CatalogMap{"r": schema.New("a", "b"), "r2": schema.New("a", "b")}
+	queries := []string{
+		`SELECT r.a, r2.b FROM r, r2 WHERE r.a = r2.a AND r.b <= 3`,
+		`SELECT a FROM r EXCEPT SELECT a FROM r2`,
+		`SELECT DISTINCT a FROM r WHERE b >= 1`,
+		`SELECT b, sum(a) AS s FROM r WHERE a <= 4 GROUP BY b`,
+	}
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial*53 + 7)))
+		rRel, rWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(3))
+		sRel, sWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(2))
+		db := core.DB{"r": rRel, "r2": sRel}
+		for _, q := range queries {
+			plan, err := sql.Compile(q, cat)
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			opl, err := Optimize(plan, cat)
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			res, err := core.Exec(context.Background(), opl, db, core.Options{})
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			for _, rw := range rWorlds {
+				for _, sw := range sWorlds {
+					det, err := bag.Exec(context.Background(), plan, bag.DB{"r": rw, "r2": sw})
+					if err != nil {
+						t.Fatalf("[%d] %s: det: %v", trial, q, err)
+					}
+					if !res.BoundsWorld(det) {
+						t.Fatalf("[%d] %s: optimized result does not bound world:\nworld:\n%s\nresult:\n%s",
+							trial, q, det, res)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomIncomplete builds an AU-relation plus all its possible worlds
+// (mirrors the generator of internal/encoding's property test).
+func randomIncomplete(r *rand.Rand, s schema.Schema, rows int) (*core.Relation, []*bag.Relation) {
+	type rowSpec struct {
+		alts     []types.Tuple
+		optional bool
+	}
+	var specs []rowSpec
+	for i := 0; i < rows; i++ {
+		n := 1 + r.Intn(2)
+		spec := rowSpec{optional: r.Intn(4) == 0}
+		for a := 0; a < n; a++ {
+			t := make(types.Tuple, s.Arity())
+			for c := range t {
+				t[c] = types.Int(int64(r.Intn(5)))
+			}
+			spec.alts = append(spec.alts, t)
+		}
+		specs = append(specs, spec)
+	}
+	au := core.New(s)
+	for _, spec := range specs {
+		vals := make(rangeval.Tuple, s.Arity())
+		for c := 0; c < s.Arity(); c++ {
+			lo, hi := spec.alts[0][c], spec.alts[0][c]
+			for _, a := range spec.alts[1:] {
+				lo, hi = types.Min(lo, a[c]), types.Max(hi, a[c])
+			}
+			vals[c] = rangeval.New(lo, spec.alts[0][c], hi)
+		}
+		m := core.Mult{Lo: 1, SG: 1, Hi: 1}
+		if spec.optional {
+			m.Lo = 0
+		}
+		au.Add(core.Tuple{Vals: vals, M: m})
+	}
+	worlds := []*bag.Relation{bag.New(s)}
+	for _, spec := range specs {
+		var next []*bag.Relation
+		for _, w := range worlds {
+			for _, alt := range spec.alts {
+				nw := w.Clone()
+				nw.Add(alt, 1)
+				next = append(next, nw)
+			}
+			if spec.optional {
+				next = append(next, w.Clone())
+			}
+		}
+		worlds = next
+	}
+	for _, w := range worlds {
+		w.Merge()
+	}
+	return au, worlds
+}

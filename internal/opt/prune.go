@@ -1,0 +1,479 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+)
+
+// composeProjections fuses Project-over-Project chains into a single
+// projection by composing the expressions (expr.Subst). The intermediate
+// merge the inner projection performed is subsumed by the outer one:
+// tuples the inner projection would merge have identical inner values,
+// hence identical composed values, so they merge in the outer projection
+// instead and the final annotation sums agree.
+//
+// To avoid re-evaluating an expensive computed column several times, the
+// fusion is skipped when an inner computed column (anything but a bare
+// attribute or constant) is referenced more than once by the outer
+// projection.
+func composeProjections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	return ra.Transform(n, func(m ra.Node) ra.Node {
+		outer, ok := m.(*ra.Project)
+		if !ok {
+			return m
+		}
+		inner, ok := outer.Child.(*ra.Project)
+		if !ok {
+			return m
+		}
+		refs := make([]int, len(inner.Cols))
+		for _, c := range outer.Cols {
+			countAttrRefs(c.E, refs)
+		}
+		innerExprs := make([]expr.Expr, len(inner.Cols))
+		for i, c := range inner.Cols {
+			innerExprs[i] = c.E
+			if refs[i] > 1 {
+				switch c.E.(type) {
+				case expr.Attr, expr.Const:
+				default:
+					return m // would duplicate a computed column
+				}
+			}
+		}
+		cols := make([]ra.ProjCol, len(outer.Cols))
+		for i, c := range outer.Cols {
+			cols[i] = ra.ProjCol{E: expr.Fold(expr.Subst(c.E, innerExprs)), Name: c.Name}
+		}
+		return &ra.Project{Child: inner.Child, Cols: cols}
+	}), nil
+}
+
+// countAttrRefs counts every occurrence of each attribute reference in e
+// (expr.Attrs dedups per expression, which would hide a column referenced
+// twice by one output expression).
+func countAttrRefs(e expr.Expr, refs []int) {
+	switch n := e.(type) {
+	case expr.Const:
+	case expr.Attr:
+		if n.Idx >= 0 && n.Idx < len(refs) {
+			refs[n.Idx]++
+		}
+	case expr.Logic:
+		countAttrRefs(n.L, refs)
+		countAttrRefs(n.R, refs)
+	case expr.Not:
+		countAttrRefs(n.E, refs)
+	case expr.Cmp:
+		countAttrRefs(n.L, refs)
+		countAttrRefs(n.R, refs)
+	case expr.Arith:
+		countAttrRefs(n.L, refs)
+		countAttrRefs(n.R, refs)
+	case expr.If:
+		countAttrRefs(n.Cond, refs)
+		countAttrRefs(n.Then, refs)
+		countAttrRefs(n.Else, refs)
+	case expr.IsNull:
+		countAttrRefs(n.E, refs)
+	case expr.NAry:
+		for _, a := range n.Args {
+			countAttrRefs(a, refs)
+		}
+	}
+}
+
+// pruneColumns narrows the plan so that joins and aggregations only carry
+// columns that are referenced above them — for range tuples a triple win,
+// since every dropped column removes a [lb/sg/ub] triple from every
+// intermediate tuple. The pass is top-down: each operator tells its
+// children which columns it needs; Project nodes absorb the narrowing
+// exactly, and explicit narrowing projections are materialized only at
+// Join, Agg and Union inputs where they pay for themselves.
+//
+// Narrowing is exact for the AU-DB semantics because the only effect of
+// an inserted projection is merging value-equivalent tuples early, and
+// annotation multiplication (joins, selections) distributes over the
+// annotation sum of a merge. Diff, Distinct and Limit act as barriers
+// requiring their full input width (see the package comment).
+func pruneColumns(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	s, err := ra.InferSchema(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	p := &pruner{cat: cat}
+	out, cols, err := p.prune(n, allCols(s.Arity()))
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != s.Arity() {
+		return nil, fmt.Errorf("opt: prune dropped root columns: kept %v of %d", cols, s.Arity())
+	}
+	return out, nil
+}
+
+type pruner struct {
+	cat ra.Catalog
+}
+
+// prune rewrites n so that its output covers at least the columns `need`
+// (ascending original indices into n's schema). It returns the rewritten
+// node together with the columns it actually outputs (a superset of
+// need, ascending, preserving the original relative order); the caller
+// remaps its expressions accordingly.
+func (p *pruner) prune(n ra.Node, need []int) (ra.Node, []int, error) {
+	if len(need) == 0 {
+		// Keep at least one column: zero-arity relations would merge
+		// every tuple into one, changing row structure for operators
+		// above.
+		need = []int{0}
+	}
+	switch t := n.(type) {
+	case *ra.Scan:
+		s, err := p.cat.TableSchema(t.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, allCols(s.Arity()), nil
+
+	case *ra.Select:
+		childNeed := unionCols(need, expr.Attrs(t.Pred))
+		child, out, err := p.prune(t.Child, childNeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ra.Select{Child: child, Pred: remap(t.Pred, out)}, out, nil
+
+	case *ra.Project:
+		var childNeed []int
+		for _, i := range need {
+			childNeed = unionCols(childNeed, expr.Attrs(t.Cols[i].E))
+		}
+		child, out, err := p.prune(t.Child, childNeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := make([]ra.ProjCol, len(need))
+		for j, i := range need {
+			cols[j] = ra.ProjCol{E: remap(t.Cols[i].E, out), Name: t.Cols[i].Name}
+		}
+		return &ra.Project{Child: child, Cols: cols}, need, nil
+
+	case *ra.Join:
+		ls, err := ra.InferSchema(t.Left, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, err := ra.InferSchema(t.Right, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		lar := ls.Arity()
+		joinNeed := need
+		if t.Cond != nil {
+			joinNeed = unionCols(joinNeed, expr.Attrs(t.Cond))
+		}
+		var needL, needR []int
+		for _, i := range joinNeed {
+			if i < lar {
+				needL = append(needL, i)
+			} else {
+				needR = append(needR, i-lar)
+			}
+		}
+		left, outL, err := p.pruneNarrow(t.Left, needL, ls)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, outR, err := p.pruneNarrow(t.Right, needR, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		newLar := len(outL)
+		var cond expr.Expr
+		if t.Cond != nil {
+			cond = expr.MapAttrs(t.Cond, func(a expr.Attr) expr.Attr {
+				if a.Idx < lar {
+					a.Idx = colPos(outL, a.Idx)
+				} else {
+					a.Idx = newLar + colPos(outR, a.Idx-lar)
+				}
+				return a
+			})
+		}
+		out := make([]int, 0, len(outL)+len(outR))
+		out = append(out, outL...)
+		for _, i := range outR {
+			out = append(out, i+lar)
+		}
+		return &ra.Join{Left: left, Right: right, Cond: cond}, out, nil
+
+	case *ra.Union:
+		ls, err := ra.InferSchema(t.Left, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, err := ra.InferSchema(t.Right, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		left, outL, err := p.prune(t.Left, need)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, outR, err := p.prune(t.Right, need)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !equalCols(outL, outR) {
+			// Align both sides on exactly the needed columns.
+			left = narrowTo(left, outL, need, ls)
+			right = narrowTo(right, outR, need, rs)
+			outL = need
+		}
+		return &ra.Union{Left: left, Right: right}, outL, nil
+
+	case *ra.Diff:
+		// Barrier: difference matches tuples on their full width.
+		return p.pruneBinaryBarrier(t)
+
+	case *ra.Distinct:
+		// Barrier: δ's lower bound depends on overlaps over all columns.
+		cs, err := ra.InferSchema(t.Child, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		child, _, err := p.prune(t.Child, allCols(cs.Arity()))
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ra.Distinct{Child: child}, allCols(cs.Arity()), nil
+
+	case *ra.Agg:
+		cs, err := ra.InferSchema(t.Child, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		childNeed := unionCols(nil, t.GroupBy)
+		for _, a := range t.Aggs {
+			if a.Arg != nil {
+				childNeed = unionCols(childNeed, expr.Attrs(a.Arg))
+			}
+		}
+		if len(childNeed) == 0 {
+			childNeed = []int{0}
+		}
+		child, out, err := p.pruneNarrow(t.Child, childNeed, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		gb := make([]int, len(t.GroupBy))
+		for i, g := range t.GroupBy {
+			gb[i] = colPos(out, g)
+		}
+		aggs := make([]ra.AggSpec, len(t.Aggs))
+		for i, a := range t.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				aggs[i].Arg = remap(a.Arg, out)
+			}
+		}
+		return &ra.Agg{Child: child, GroupBy: gb, Aggs: aggs}, allCols(len(gb) + len(aggs)), nil
+
+	case *ra.OrderBy:
+		childNeed := unionCols(need, t.Keys)
+		child, out, err := p.prune(t.Child, childNeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := make([]int, len(t.Keys))
+		for i, k := range t.Keys {
+			keys[i] = colPos(out, k)
+		}
+		return &ra.OrderBy{Child: child, Keys: keys, Desc: t.Desc}, out, nil
+
+	case *ra.Limit:
+		// Barrier: the cutoff applies to the merged row sequence of the
+		// full-width child; early merging could change which rows
+		// survive.
+		cs, err := ra.InferSchema(t.Child, p.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		child, _, err := p.prune(t.Child, allCols(cs.Arity()))
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ra.Limit{Child: child, N: t.N}, allCols(cs.Arity()), nil
+	}
+	return nil, nil, fmt.Errorf("opt: prune: unknown node %T", n)
+}
+
+// pruneBinaryBarrier prunes both inputs of a Diff at full width.
+func (p *pruner) pruneBinaryBarrier(t *ra.Diff) (ra.Node, []int, error) {
+	ls, err := ra.InferSchema(t.Left, p.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	left, _, err := p.prune(t.Left, allCols(ls.Arity()))
+	if err != nil {
+		return nil, nil, err
+	}
+	right, _, err := p.prune(t.Right, allCols(ls.Arity()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ra.Diff{Left: left, Right: right}, allCols(ls.Arity()), nil
+}
+
+// pruneNarrow prunes the child and materializes a narrowing projection
+// when the child naturally outputs more than `need` — the insertion
+// points are Join/Agg inputs, where each dropped column saves a range
+// triple per intermediate tuple.
+func (p *pruner) pruneNarrow(n ra.Node, need []int, s schema.Schema) (ra.Node, []int, error) {
+	if len(need) == 0 {
+		need = []int{0}
+	}
+	child, out, err := p.prune(n, need)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(out) > len(need) {
+		return narrowTo(child, out, need, s), need, nil
+	}
+	return child, out, nil
+}
+
+// narrowTo wraps n (currently outputting columns `out` of the original
+// schema s) in a projection keeping exactly `want` ⊆ out, preserving the
+// original attribute names.
+func narrowTo(n ra.Node, out, want []int, s schema.Schema) ra.Node {
+	if equalCols(out, want) {
+		return n
+	}
+	cols := make([]ra.ProjCol, len(want))
+	for j, w := range want {
+		name := ""
+		if w < len(s.Attrs) {
+			name = s.Attrs[w]
+		}
+		cols[j] = ra.ProjCol{E: expr.Col(colPos(out, w), name), Name: name}
+	}
+	return &ra.Project{Child: n, Cols: cols}
+}
+
+// remap re-points an expression's attribute indices from original column
+// indices to positions within out.
+func remap(e expr.Expr, out []int) expr.Expr {
+	return expr.MapAttrs(e, func(a expr.Attr) expr.Attr {
+		a.Idx = colPos(out, a.Idx)
+		return a
+	})
+}
+
+// colPos returns the position of column i within the ascending list out.
+func colPos(out []int, i int) int {
+	j := sort.SearchInts(out, i)
+	if j >= len(out) || out[j] != i {
+		// Unreachable for well-formed plans: prune always requests every
+		// referenced column. Keep the original index so validation
+		// catches the inconsistency instead of silently mis-wiring.
+		return i
+	}
+	return j
+}
+
+// allCols returns [0..n).
+func allCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// unionCols merges two ascending-or-arbitrary index lists into a sorted,
+// deduplicated ascending list.
+func unionCols(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, i := range a {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for _, i := range b {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// equalCols reports whether two index lists are identical.
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateTrivial removes operators that provably do nothing:
+//
+//   - Select with the constant-true predicate (its condition triple is
+//     (1,1,1), the multiplicative identity of N^AU);
+//   - a Join condition that folded to constant true becomes a cross
+//     product (skips per-pair condition evaluation);
+//   - an identity projection — every column is the bare attribute at its
+//     own position and the full child width is kept — whose names equal
+//     the child schema exactly, so removing it cannot change any schema
+//     an outer operator or the result would observe. (Its merge is
+//     subsumed by the canonical merge every engine applies.)
+func eliminateTrivial(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	var outerErr error
+	out := ra.Transform(n, func(m ra.Node) ra.Node {
+		if outerErr != nil {
+			return m
+		}
+		switch t := m.(type) {
+		case *ra.Select:
+			if expr.IsConstTrue(t.Pred) {
+				return t.Child
+			}
+		case *ra.Join:
+			if t.Cond != nil && expr.IsConstTrue(t.Cond) {
+				return &ra.Join{Left: t.Left, Right: t.Right}
+			}
+		case *ra.Project:
+			cs, err := ra.InferSchema(t.Child, cat)
+			if err != nil {
+				outerErr = err
+				return m
+			}
+			if len(t.Cols) != cs.Arity() {
+				return m
+			}
+			for i, c := range t.Cols {
+				a, ok := c.E.(expr.Attr)
+				if !ok || a.Idx != i || c.Name != cs.Attrs[i] {
+					return m
+				}
+			}
+			return t.Child
+		}
+		return m
+	})
+	return out, outerErr
+}

@@ -1,0 +1,253 @@
+package opt
+
+import (
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+)
+
+// foldConstants applies expr.Fold to every expression in the plan:
+// selection predicates, projection columns, join conditions and aggregate
+// arguments. Folding is exact under both evaluation semantics (see
+// expr.Fold), so this rule is unconditionally sound.
+func foldConstants(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	return ra.Transform(n, func(m ra.Node) ra.Node {
+		switch t := m.(type) {
+		case *ra.Select:
+			if p := expr.Fold(t.Pred); !expr.Equal(p, t.Pred) {
+				return &ra.Select{Child: t.Child, Pred: p}
+			}
+		case *ra.Project:
+			changed := false
+			cols := make([]ra.ProjCol, len(t.Cols))
+			for i, c := range t.Cols {
+				e := expr.Fold(c.E)
+				if !expr.Equal(e, c.E) {
+					changed = true
+				}
+				cols[i] = ra.ProjCol{E: e, Name: c.Name}
+			}
+			if changed {
+				return &ra.Project{Child: t.Child, Cols: cols}
+			}
+		case *ra.Join:
+			if t.Cond != nil {
+				if c := expr.Fold(t.Cond); !expr.Equal(c, t.Cond) {
+					return &ra.Join{Left: t.Left, Right: t.Right, Cond: c}
+				}
+			}
+		case *ra.Agg:
+			changed := false
+			aggs := make([]ra.AggSpec, len(t.Aggs))
+			for i, a := range t.Aggs {
+				aggs[i] = a
+				if a.Arg != nil {
+					e := expr.Fold(a.Arg)
+					if !expr.Equal(e, a.Arg) {
+						changed = true
+					}
+					aggs[i].Arg = e
+				}
+			}
+			if changed {
+				return &ra.Agg{Child: t.Child, GroupBy: t.GroupBy, Aggs: aggs}
+			}
+		}
+		return m
+	}), nil
+}
+
+// pushSelections implements predicate pushdown with selection splitting:
+// every Select is split into its top-level conjuncts, each conjunct is
+// pushed as deep as pushPred allows, and what remains is recombined (in
+// the original conjunct order) above the rewritten child.
+func pushSelections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	var outerErr error
+	out := ra.Transform(n, func(m ra.Node) ra.Node {
+		sel, ok := m.(*ra.Select)
+		if !ok || outerErr != nil {
+			return m
+		}
+		child := sel.Child
+		var residual []expr.Expr
+		pushedAny := false
+		for _, c := range expr.Conjuncts(sel.Pred) {
+			next, pushed, err := pushPred(cat, child, c)
+			if err != nil {
+				outerErr = err
+				return m
+			}
+			if pushed {
+				child = next
+				pushedAny = true
+			} else {
+				residual = append(residual, c)
+			}
+		}
+		if !pushedAny {
+			return m
+		}
+		if len(residual) == 0 {
+			return child
+		}
+		return &ra.Select{Child: child, Pred: expr.And(residual...)}
+	})
+	return out, outerErr
+}
+
+// pushPred pushes a single conjunct p into n, returning the rewritten
+// node and whether the push happened. Every rewrite here is result-exact
+// for all three engines:
+//
+//   - through Project, p is composed with the projection's expressions
+//     (expr.Subst); evaluation is compositional, so the substituted
+//     predicate computes the identical truth triple, and annotation
+//     multiplication distributes over the projection's merge;
+//   - into a Join side (or the join condition), annotation multiplication
+//     is commutative and associative in N^AU, so filtering early
+//     multiplies the same factors; this is gated on expr.Total because
+//     the predicate is evaluated on tuples/pairs that the original plan
+//     never evaluated it on;
+//   - through Union, the predicate distributes over the annotation sum;
+//   - through OrderBy, filtering commutes with the stable sort.
+//
+// Diff, Distinct, Agg and Limit refuse the push — see the package comment
+// for the paper-level reasons each is unsound under AU-DB bounds.
+func pushPred(cat ra.Catalog, n ra.Node, p expr.Expr) (ra.Node, bool, error) {
+	switch t := n.(type) {
+	case *ra.Project:
+		// Substituting would inline a computed column once per
+		// reference; like compose-projections, refuse when that
+		// duplicates a non-trivial expression.
+		refs := make([]int, len(t.Cols))
+		countAttrRefs(p, refs)
+		cols := make([]expr.Expr, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.E
+			if refs[i] > 1 {
+				switch c.E.(type) {
+				case expr.Attr, expr.Const:
+				default:
+					return n, false, nil
+				}
+			}
+		}
+		sub := expr.Fold(expr.Subst(p, cols))
+		child, _, err := pushOrWrap(cat, t.Child, sub)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Project{Child: child, Cols: t.Cols}, true, nil
+	case *ra.Select:
+		// Swapping p below an existing selection makes p evaluate on
+		// tuples the inner predicate rejects; only total predicates may.
+		if !expr.Total(p) {
+			return n, false, nil
+		}
+		child, pushed, err := pushPred(cat, t.Child, p)
+		if err != nil {
+			return nil, false, err
+		}
+		if !pushed {
+			return n, false, nil
+		}
+		return &ra.Select{Child: child, Pred: t.Pred}, true, nil
+	case *ra.Join:
+		if !expr.Total(p) {
+			// A one-sided push evaluates p on tuples that never find a
+			// join partner; a condition merge evaluates it on pairs the
+			// condition rejects. Either could raise a new runtime error
+			// for a partial predicate.
+			return n, false, nil
+		}
+		ls, err := ra.InferSchema(t.Left, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		lar := ls.Arity()
+		attrs := expr.Attrs(p)
+		leftOnly, rightOnly := true, true
+		for _, a := range attrs {
+			if a >= lar {
+				leftOnly = false
+			} else {
+				rightOnly = false
+			}
+		}
+		switch {
+		case leftOnly && len(attrs) > 0:
+			left, _, err := pushOrWrap(cat, t.Left, p)
+			if err != nil {
+				return nil, false, err
+			}
+			return &ra.Join{Left: left, Right: t.Right, Cond: t.Cond}, true, nil
+		case rightOnly && len(attrs) > 0:
+			right, _, err := pushOrWrap(cat, t.Right, expr.ShiftAttrs(p, -lar))
+			if err != nil {
+				return nil, false, err
+			}
+			return &ra.Join{Left: t.Left, Right: right, Cond: t.Cond}, true, nil
+		default:
+			// Spans both sides (or references nothing): merge into the
+			// join condition. This is what turns `FROM a, b WHERE a.x =
+			// b.y` into an equi-join the hybrid executor can hash.
+			cond := p
+			if t.Cond != nil {
+				cond = expr.And(t.Cond, p)
+			}
+			return &ra.Join{Left: t.Left, Right: t.Right, Cond: cond}, true, nil
+		}
+	case *ra.Union:
+		left, _, err := pushOrWrap(cat, t.Left, p)
+		if err != nil {
+			return nil, false, err
+		}
+		right, _, err := pushOrWrap(cat, t.Right, p)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Union{Left: left, Right: right}, true, nil
+	case *ra.OrderBy:
+		child, _, err := pushOrWrap(cat, t.Child, p)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.OrderBy{Child: child, Keys: t.Keys, Desc: t.Desc}, true, nil
+	}
+	// Scan, Diff, Distinct, Agg, Limit: the predicate stays above.
+	return n, false, nil
+}
+
+// pushOrWrap pushes p into n, wrapping n in a Select when it cannot
+// descend further. Used where the push has already been decided (the
+// predicate is moving into a subtree) and only its final depth is open.
+func pushOrWrap(cat ra.Catalog, n ra.Node, p expr.Expr) (ra.Node, bool, error) {
+	next, pushed, err := pushPred(cat, n, p)
+	if err != nil {
+		return nil, false, err
+	}
+	if pushed {
+		return next, true, nil
+	}
+	return &ra.Select{Child: n, Pred: p}, true, nil
+}
+
+// mergeSelections fuses adjacent selections into one conjunction,
+// removing a full pass over the input per fused operator. The inner
+// predicate becomes the left conjunct, so deterministic short-circuit
+// evaluation keeps the original order (inner first). The merge is gated
+// on the OUTER predicate being total: range evaluation does not
+// short-circuit, so a merged partial outer predicate would be evaluated
+// on tuples the inner selection used to filter out.
+func mergeSelections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
+	return ra.Transform(n, func(m ra.Node) ra.Node {
+		outer, ok := m.(*ra.Select)
+		if !ok {
+			return m
+		}
+		inner, ok := outer.Child.(*ra.Select)
+		if !ok || !expr.Total(outer.Pred) {
+			return m
+		}
+		return &ra.Select{Child: inner.Child, Pred: expr.And(inner.Pred, outer.Pred)}
+	}), nil
+}

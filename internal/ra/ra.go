@@ -43,13 +43,13 @@ type Catalog interface {
 // CatalogMap is a map-backed catalog.
 type CatalogMap map[string]schema.Schema
 
-// TableSchema implements Catalog. Unknown names report the available
+// TableSchema implements Catalog. Resolution folds case the same way
+// core.Catalog and both executors do (schema.ResolveFold: exact match
+// first, then case-insensitive), so a catalog keyed by mixed-case names
+// resolves identically everywhere. Unknown names report the available
 // tables in sorted order, never Go map order.
 func (c CatalogMap) TableSchema(name string) (schema.Schema, error) {
-	if s, ok := c[name]; ok {
-		return s, nil
-	}
-	if s, ok := c[strings.ToLower(name)]; ok {
+	if s, ok := schema.LookupFold(c, name); ok {
 		return s, nil
 	}
 	return schema.Schema{}, schema.UnknownTable("ra", name, schema.SortedNames(c))

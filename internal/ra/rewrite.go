@@ -1,0 +1,136 @@
+package ra
+
+import (
+	"github.com/audb/audb/internal/expr"
+)
+
+// This file holds the structural plan utilities the logical optimizer
+// (internal/opt) builds on: equality, functional rebuilding, and child
+// replacement. Plans are treated as immutable trees — rewrites construct
+// new nodes and share unchanged subtrees, so a cached plan (e.g. inside a
+// prepared statement) is never mutated behind its owner's back.
+
+// Equal reports structural equality of two plans: same operators, same
+// expressions (expr.Equal), same column lists. It is the optimizer's
+// fixpoint test and the ground truth for "this rewrite changed nothing".
+func Equal(a, b Node) bool {
+	if IsNil(a) || IsNil(b) {
+		return IsNil(a) && IsNil(b)
+	}
+	switch x := a.(type) {
+	case *Scan:
+		y, ok := b.(*Scan)
+		return ok && x.Table == y.Table
+	case *Select:
+		y, ok := b.(*Select)
+		return ok && expr.Equal(x.Pred, y.Pred) && Equal(x.Child, y.Child)
+	case *Project:
+		y, ok := b.(*Project)
+		if !ok || len(x.Cols) != len(y.Cols) {
+			return false
+		}
+		for i := range x.Cols {
+			if x.Cols[i].Name != y.Cols[i].Name || !expr.Equal(x.Cols[i].E, y.Cols[i].E) {
+				return false
+			}
+		}
+		return Equal(x.Child, y.Child)
+	case *Join:
+		y, ok := b.(*Join)
+		return ok && expr.Equal(x.Cond, y.Cond) && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	case *Union:
+		y, ok := b.(*Union)
+		return ok && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	case *Diff:
+		y, ok := b.(*Diff)
+		return ok && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	case *Distinct:
+		y, ok := b.(*Distinct)
+		return ok && Equal(x.Child, y.Child)
+	case *Agg:
+		y, ok := b.(*Agg)
+		if !ok || len(x.GroupBy) != len(y.GroupBy) || len(x.Aggs) != len(y.Aggs) {
+			return false
+		}
+		for i := range x.GroupBy {
+			if x.GroupBy[i] != y.GroupBy[i] {
+				return false
+			}
+		}
+		for i := range x.Aggs {
+			xa, ya := x.Aggs[i], y.Aggs[i]
+			if xa.Fn != ya.Fn || xa.Distinct != ya.Distinct || xa.Name != ya.Name || !expr.Equal(xa.Arg, ya.Arg) {
+				return false
+			}
+		}
+		return Equal(x.Child, y.Child)
+	case *OrderBy:
+		y, ok := b.(*OrderBy)
+		if !ok || x.Desc != y.Desc || len(x.Keys) != len(y.Keys) {
+			return false
+		}
+		for i := range x.Keys {
+			if x.Keys[i] != y.Keys[i] {
+				return false
+			}
+		}
+		return Equal(x.Child, y.Child)
+	case *Limit:
+		y, ok := b.(*Limit)
+		return ok && x.N == y.N && Equal(x.Child, y.Child)
+	}
+	return false
+}
+
+// WithChildren returns a copy of n with its inputs replaced, sharing the
+// original when every child is identical (pointer equality). The rebuild
+// is shallow: expressions and column lists are shared with n.
+func WithChildren(n Node, children []Node) Node {
+	old := n.Children()
+	same := len(old) == len(children)
+	for i := 0; same && i < len(old); i++ {
+		same = old[i] == children[i]
+	}
+	if same {
+		return n
+	}
+	switch t := n.(type) {
+	case *Select:
+		return &Select{Child: children[0], Pred: t.Pred}
+	case *Project:
+		return &Project{Child: children[0], Cols: t.Cols}
+	case *Join:
+		return &Join{Left: children[0], Right: children[1], Cond: t.Cond}
+	case *Union:
+		return &Union{Left: children[0], Right: children[1]}
+	case *Diff:
+		return &Diff{Left: children[0], Right: children[1]}
+	case *Distinct:
+		return &Distinct{Child: children[0]}
+	case *Agg:
+		return &Agg{Child: children[0], GroupBy: t.GroupBy, Aggs: t.Aggs}
+	case *OrderBy:
+		return &OrderBy{Child: children[0], Keys: t.Keys, Desc: t.Desc}
+	case *Limit:
+		return &Limit{Child: children[0], N: t.N}
+	}
+	return n
+}
+
+// Transform rebuilds the plan bottom-up: children are transformed first,
+// then f rewrites each (rebuilt) node. Returning the input node unchanged
+// is the no-op; unchanged subtrees are shared, not copied.
+func Transform(n Node, f func(Node) Node) Node {
+	if IsNil(n) {
+		return n
+	}
+	old := n.Children()
+	if len(old) > 0 {
+		next := make([]Node, len(old))
+		for i, c := range old {
+			next[i] = Transform(c, f)
+		}
+		n = WithChildren(n, next)
+	}
+	return f(n)
+}

@@ -1,0 +1,116 @@
+package ra
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/schema"
+)
+
+// TestCatalogMapMixedCase: a catalog keyed by mixed-case names must
+// resolve probes in any case, exactly like core.Catalog — previously
+// only the probe was folded, so mixed-case KEYS never resolved.
+func TestCatalogMapMixedCase(t *testing.T) {
+	cat := CatalogMap{"Emp": schema.New("id", "name")}
+	for _, probe := range []string{"Emp", "emp", "EMP", "eMp"} {
+		s, err := cat.TableSchema(probe)
+		if err != nil {
+			t.Errorf("TableSchema(%q): %v", probe, err)
+		} else if s.Arity() != 2 {
+			t.Errorf("TableSchema(%q): arity %d", probe, s.Arity())
+		}
+	}
+	if _, err := cat.TableSchema("dept"); err == nil {
+		t.Error("unknown table should error")
+	}
+	// Exact matches win over case-folded ones when both exist.
+	two := CatalogMap{"T": schema.New("a"), "t": schema.New("a", "b")}
+	s, err := two.TableSchema("t")
+	if err != nil || s.Arity() != 2 {
+		t.Errorf("exact match should win: %v, %v", s, err)
+	}
+	// Schema inference over a mixed-case catalog works end to end.
+	if _, err := InferSchema(&Scan{Table: "emp"}, cat); err != nil {
+		t.Errorf("InferSchema over mixed-case catalog: %v", err)
+	}
+}
+
+func samplePlan() Node {
+	return &Project{
+		Child: &Select{
+			Child: &Join{
+				Left:  &Scan{Table: "r"},
+				Right: &Scan{Table: "s"},
+				Cond:  expr.Eq(expr.Col(0, "a"), expr.Col(2, "c")),
+			},
+			Pred: expr.Lt(expr.Col(1, "b"), expr.CInt(3)),
+		},
+		Cols: []ProjCol{{E: expr.Col(0, "a"), Name: "a"}},
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(samplePlan(), samplePlan()) {
+		t.Fatal("structurally identical plans must be Equal")
+	}
+	if Equal(samplePlan(), &Scan{Table: "r"}) {
+		t.Fatal("different operators must differ")
+	}
+	other := samplePlan().(*Project)
+	other.Cols = []ProjCol{{E: expr.Col(0, "a"), Name: "renamed"}}
+	if Equal(samplePlan(), other) {
+		t.Fatal("different column names must differ")
+	}
+	agg1 := &Agg{Child: &Scan{Table: "r"}, GroupBy: []int{0},
+		Aggs: []AggSpec{{Fn: AggSum, Arg: expr.Col(1, "b"), Name: "s"}}}
+	agg2 := &Agg{Child: &Scan{Table: "r"}, GroupBy: []int{0},
+		Aggs: []AggSpec{{Fn: AggMax, Arg: expr.Col(1, "b"), Name: "s"}}}
+	if Equal(agg1, agg2) {
+		t.Fatal("different aggregate functions must differ")
+	}
+	if !Equal(nil, nil) || Equal(samplePlan(), nil) {
+		t.Fatal("nil handling")
+	}
+	var typed *Scan
+	if !Equal(typed, nil) {
+		t.Fatal("typed nil equals nil")
+	}
+}
+
+func TestTransformSharesUnchangedSubtrees(t *testing.T) {
+	in := samplePlan()
+	out := Transform(in, func(n Node) Node { return n })
+	if out != in {
+		t.Fatal("identity transform must return the same tree")
+	}
+	// A rewrite of the selection rebuilds the spine but shares the scans.
+	inSel := in.(*Project).Child.(*Select)
+	out = Transform(in, func(n Node) Node {
+		if s, ok := n.(*Select); ok {
+			return &Select{Child: s.Child, Pred: expr.CBool(true)}
+		}
+		return n
+	})
+	if out == in {
+		t.Fatal("rewrite must produce a new tree")
+	}
+	outJoin := out.(*Project).Child.(*Select).Child.(*Join)
+	if outJoin != inSel.Child.(*Join) {
+		t.Fatal("unchanged join subtree must be shared")
+	}
+	if Equal(out, in) {
+		t.Fatal("rewritten plan must differ structurally")
+	}
+}
+
+func TestWithChildren(t *testing.T) {
+	j := &Join{Left: &Scan{Table: "r"}, Right: &Scan{Table: "s"}, Cond: expr.CBool(true)}
+	same := WithChildren(j, []Node{j.Left, j.Right})
+	if same != Node(j) {
+		t.Fatal("identical children must return the original node")
+	}
+	swapped := WithChildren(j, []Node{j.Right, j.Left}).(*Join)
+	if swapped == j || swapped.Left != j.Right || !expr.Equal(swapped.Cond, j.Cond) {
+		t.Fatal("replacement must rebuild with shared fields")
+	}
+}

@@ -1,0 +1,85 @@
+package sql
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+)
+
+// fuzzCatalog is the fixed catalog FuzzCompile resolves against: two
+// joinable tables plus a mixed-case name, so case folding is fuzzed too.
+func fuzzCatalog() ra.CatalogMap {
+	return ra.CatalogMap{
+		"emp":  schema.New("id", "name", "dept", "salary"),
+		"dept": schema.New("name", "city"),
+		"Wide": schema.New("a", "b", "c", "d", "e"),
+	}
+}
+
+// fuzzSeeds is the seed corpus: every construct the existing tests
+// exercise (valid and invalid), so the fuzzer starts from the full
+// grammar surface.
+var fuzzSeeds = []string{
+	"SELECT name FROM emp WHERE salary > 65",
+	"SELECT name, salary FROM emp WHERE dept = 'eng' AND salary >= 100",
+	"SELECT * FROM emp",
+	"SELECT salary * 2 AS double_pay FROM emp WHERE id = 1",
+	"SELECT salary s FROM emp WHERE id = 1",
+	"SELECT e.name, d.city FROM emp e JOIN dept d ON e.dept = d.name WHERE d.city = 'nyc'",
+	"SELECT e.name FROM emp e, dept d WHERE e.dept = d.name AND d.city = 'sf'",
+	"SELECT e.name FROM emp e CROSS JOIN dept d",
+	"SELECT dept, sum(salary) AS total, count(*) AS cnt FROM emp GROUP BY dept",
+	"SELECT dept, sum(salary) AS total FROM emp GROUP BY dept HAVING sum(salary) > 150",
+	"SELECT dept, avg(salary) a, min(salary) mn, max(salary) mx FROM emp GROUP BY dept",
+	"SELECT salary / 100, count(*) FROM emp GROUP BY salary / 100",
+	"SELECT count(*) FROM emp GROUP BY salary > 65",
+	"SELECT name, CASE WHEN salary >= 80 THEN 'high' ELSE 'low' END AS band FROM emp",
+	"SELECT name FROM emp WHERE salary BETWEEN 60 AND 80",
+	"SELECT name FROM emp WHERE dept IN ('ops')",
+	"SELECT DISTINCT dept FROM emp",
+	"SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2",
+	"SELECT name, salary FROM emp ORDER BY 2",
+	"SELECT name FROM emp WHERE dept = 'eng' UNION SELECT name FROM emp WHERE salary > 65",
+	"SELECT name FROM emp EXCEPT SELECT name FROM emp WHERE dept = 'eng'",
+	"SELECT t.dept, t.total FROM (SELECT dept, sum(salary) AS total FROM emp GROUP BY dept) t WHERE t.total > 150",
+	"SELECT name FROM emp WHERE name IS NOT NULL AND TRUE",
+	"SELECT least(salary, 75) AS v FROM emp WHERE id = 1",
+	"SELECT greatest(salary, -salary) AS v FROM emp WHERE id = 3",
+	"SELECT count(DISTINCT dept) AS c FROM emp",
+	"SELECT a FROM wide WHERE b <= 3 ORDER BY a LIMIT 5",
+	"SELECT",
+	"SELECT FROM emp",
+	"SELECT name FROM",
+	"SELECT name FROM emp WHERE",
+	"SELECT name FROM (SELECT name FROM emp)",
+	"SELECT nope FROM emp",
+	"SELECT 'unterminated FROM emp",
+	"SELECT 1.5e FROM emp",
+	"SELECT ((a FROM wide",
+	"\x00\x01 SELECT",
+}
+
+// FuzzCompile fuzzes the whole SQL front end: lexer, parser and planner.
+// Two invariants: Compile never panics on any input, and any plan that
+// compiles also passes the schema checker (ra.Validate) — the planner
+// must never emit dangling attribute references.
+func FuzzCompile(f *testing.F) {
+	for _, q := range fuzzSeeds {
+		f.Add(q)
+	}
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, q string) {
+		plan, err := Compile(q, cat)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		if plan == nil {
+			t.Fatalf("Compile(%q) returned a nil plan without error", q)
+		}
+		if err := ra.Validate(plan, cat); err != nil {
+			t.Fatalf("Compile(%q) produced a plan that fails schema checking: %v\n%s",
+				q, err, ra.Render(plan))
+		}
+	})
+}
