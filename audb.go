@@ -33,10 +33,14 @@
 // Queries go through one context-aware dispatcher, QueryContext, that
 // serves all three engines — the native AU-DB executor, the Section 10
 // relational-encoding middleware, and selected-guess-world processing —
-// selected per query with WithEngine. Prepare compiles a query once into a
-// Stmt whose Exec skips parse/plan on every execution and is safe for
+// selected per query with WithEngine. The native engine evaluates through
+// a pipelined physical plan (internal/phys) by default; WithExecMode(
+// ExecMaterialized) selects the operator-at-a-time reference executor,
+// with bit-identical results. Prepare compiles a query once into a Stmt
+// whose Exec skips parse/plan on every execution and is safe for
 // concurrent use. Cancelling the context aborts execution promptly with
-// ctx.Err().
+// ctx.Err(). ExplainAnalyze executes a query with instrumented operators
+// and reports per-operator rows/batches/time.
 //
 // Performance is tuned per query with functional options (WithWorkers,
 // WithJoinCompression, WithAggCompression) or database-wide with
@@ -59,7 +63,9 @@ import (
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/encoding"
+	"github.com/audb/audb/internal/metrics"
 	"github.com/audb/audb/internal/opt"
+	"github.com/audb/audb/internal/phys"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
@@ -217,6 +223,43 @@ func ParseEngine(name string) (Engine, error) {
 	return EngineNative, fmt.Errorf("audb: unknown engine %q (want native, rewrite or sgw)", name)
 }
 
+// ExecMode selects the physical executor for the native engine.
+type ExecMode int
+
+const (
+	// ExecPipelined evaluates through the streaming physical plan layer
+	// (internal/phys): Scan→Select→Project→Limit chains run in fixed-size
+	// batches without materializing intermediates, LIMIT keeps O(n) state,
+	// ORDER BY + LIMIT fuses into a top-k heap, and pipeline breakers run
+	// the reference kernels. The default; results are bit-identical to
+	// ExecMaterialized.
+	ExecPipelined ExecMode = iota
+	// ExecMaterialized evaluates with the operator-at-a-time reference
+	// executor (core.Exec), which materializes every intermediate
+	// relation — the property-test oracle the pipelined executor is
+	// checked against.
+	ExecMaterialized
+)
+
+// String names the mode ("pipelined", "materialized").
+func (m ExecMode) String() string {
+	if m == ExecMaterialized {
+		return "materialized"
+	}
+	return "pipelined"
+}
+
+// ParseExecMode resolves an execution mode name as printed by String.
+func ParseExecMode(name string) (ExecMode, error) {
+	switch strings.ToLower(name) {
+	case "pipelined", "":
+		return ExecPipelined, nil
+	case "materialized":
+		return ExecMaterialized, nil
+	}
+	return ExecPipelined, fmt.Errorf("audb: unknown exec mode %q (want pipelined or materialized)", name)
+}
+
 // OptimizerMode switches the logical optimizer for a query.
 type OptimizerMode int
 
@@ -245,6 +288,7 @@ type queryConfig struct {
 	engine    Engine
 	opts      Options
 	optimizer OptimizerMode
+	execMode  ExecMode
 }
 
 // QueryOption customizes a single query execution, overriding the
@@ -261,6 +305,15 @@ func WithEngine(e Engine) QueryOption {
 // plan exactly as the SQL front end compiled it.
 func WithOptimizer(m OptimizerMode) QueryOption {
 	return func(c *queryConfig) { c.optimizer = m }
+}
+
+// WithExecMode selects the physical executor for this query. The native
+// engine runs the pipelined executor by default; WithExecMode(
+// ExecMaterialized) forces the operator-at-a-time reference executor.
+// Results are bit-identical either way. EngineRewrite and EngineSGW run on
+// the deterministic engine and ignore it.
+func WithExecMode(m ExecMode) QueryOption {
+	return func(c *queryConfig) { c.execMode = m }
 }
 
 // WithWorkers sets the executor worker-goroutine count for this query:
@@ -381,6 +434,10 @@ type PlanExplanation struct {
 	Rules []RuleApplication
 	// Passes is the number of fixpoint passes the optimizer ran.
 	Passes int
+	// Stats carries the per-operator execution counters (rows, batches,
+	// time) when the explanation was produced by ExplainAnalyze; nil for
+	// plain Explain.
+	Stats *metrics.ExecStats
 }
 
 // String renders the explanation the way audbsh -explain prints it. The
@@ -390,10 +447,14 @@ func (e *PlanExplanation) String() string {
 	for _, r := range e.Rules {
 		tr.Steps = append(tr.Steps, opt.Step{Rule: r.Rule, Pass: r.Pass, Plan: r.Plan})
 	}
-	if e.Query == "" {
-		return tr.String()
+	body := tr.String()
+	if e.Query != "" {
+		body = fmt.Sprintf("query: %s\n%s", e.Query, body)
 	}
-	return fmt.Sprintf("query: %s\n%s", e.Query, tr.String())
+	if e.Stats != nil {
+		body += e.Stats.String()
+	}
+	return body
 }
 
 // Explain compiles a SQL query and runs the logical optimizer with
@@ -406,18 +467,76 @@ func (d *Database) Explain(q string) (*PlanExplanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return explainPlan(q, plan, cat)
+	exp, _, err := explainPlan(q, plan, cat)
+	return exp, err
+}
+
+// ExplainAnalyze is the ANALYZE mode of Explain: it compiles and (by
+// default) optimizes the query like Explain, then actually executes it
+// through the instrumented physical plan layer and attaches per-operator
+// rows/batches/time counters (Stats) to the explanation. Options compose
+// as for QueryContext — WithWorkers, the compression knobs and
+// WithExecMode shape the physical plan being measured (ExecMaterialized
+// instruments the operator-at-a-time lowering, every operator a
+// materialization point). Only the native engine is instrumented;
+// WithEngine selecting another engine is an error. The query's result is
+// discarded; cancelling ctx aborts the execution.
+func (d *Database) ExplainAnalyze(ctx context.Context, q string, opts ...QueryOption) (*PlanExplanation, error) {
+	snap := d.cat.Snapshot()
+	cat := ra.CatalogMap(snap.Schemas())
+	plan, err := sql.Compile(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	cfg := queryConfig{engine: EngineNative, opts: d.defaults()}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if cfg.engine != EngineNative {
+		return nil, fmt.Errorf("audb: ExplainAnalyze instruments the native engine only (got engine %v)", cfg.engine)
+	}
+	var exp *PlanExplanation
+	execPlan := plan
+	if cfg.optimizer == OptimizerOn {
+		var err error
+		exp, execPlan, err = explainPlan(q, plan, cat)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rendered := ra.Render(plan)
+		exp = &PlanExplanation{Query: q, Plan: rendered, Optimized: rendered}
+	}
+	mode := phys.Pipelined
+	if cfg.execMode == ExecMaterialized {
+		mode = phys.Materialized
+	}
+	pp, err := phys.Compile(execPlan, snap, phys.Options{Mode: mode, Exec: cfg.opts, Analyze: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pp.Execute(ctx); err != nil {
+		return nil, err
+	}
+	exp.Stats = pp.Stats()
+	return exp, nil
 }
 
 // ExplainPlan is Explain for a pre-compiled plan.
 func (d *Database) ExplainPlan(plan ra.Node) (*PlanExplanation, error) {
-	return explainPlan("", plan, ra.CatalogMap(d.cat.Schemas()))
+	exp, _, err := explainPlan("", plan, ra.CatalogMap(d.cat.Schemas()))
+	return exp, err
 }
 
-func explainPlan(q string, plan ra.Node, cat ra.CatalogMap) (*PlanExplanation, error) {
-	_, trace, err := opt.OptimizeTrace(plan, cat)
+// explainPlan runs the optimizer with tracing and assembles the
+// explanation; it also returns the optimized plan for callers that go on
+// to execute it (ExplainAnalyze).
+func explainPlan(q string, plan ra.Node, cat ra.CatalogMap) (*PlanExplanation, ra.Node, error) {
+	optimized, trace, err := opt.OptimizeTrace(plan, cat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &PlanExplanation{
 		Query:     q,
@@ -428,7 +547,7 @@ func explainPlan(q string, plan ra.Node, cat ra.CatalogMap) (*PlanExplanation, e
 	for _, s := range trace.Steps {
 		out.Rules = append(out.Rules, RuleApplication{Rule: s.Rule, Pass: s.Pass, Plan: s.Plan})
 	}
-	return out, nil
+	return out, optimized, nil
 }
 
 // QueryContext compiles and evaluates a SQL query. The engine and
@@ -485,7 +604,10 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 	}
 	switch cfg.engine {
 	case EngineNative:
-		return core.Exec(ctx, plan, snap, cfg.opts)
+		if cfg.execMode == ExecMaterialized {
+			return core.Exec(ctx, plan, snap, cfg.opts)
+		}
+		return phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts})
 	case EngineRewrite:
 		// Encode only the tables the plan scans: the middleware pays an
 		// O(table size) encoding cost per execution, and unrelated

@@ -15,12 +15,19 @@
 // the query with `\explain `) prints the compiled plan, the per-rule
 // rewrite trace and the optimized plan instead of executing.
 //
+// The native engine runs the pipelined physical executor by default;
+// -exec materialized forces the operator-at-a-time reference executor.
+// -analyze (or prefixing the query with `\analyze `) executes the query
+// and prints per-operator rows/batches/time counters (EXPLAIN ANALYZE)
+// instead of the result.
+//
 // Usage:
 //
 //	audbsh -table locales=locales.csv "SELECT size, avg(rate) FROM locales GROUP BY size"
 //	audbsh -au-table r=ranges.csv -engine sgw "SELECT * FROM r"
 //	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
 //	audbsh -table e=emp.csv -table d=dept.csv "\explain SELECT e.name FROM e, d WHERE e.dept = d.name"
+//	audbsh -table e=emp.csv "\analyze SELECT name FROM e WHERE salary > 70 ORDER BY salary LIMIT 5"
 package main
 
 import (
@@ -56,8 +63,10 @@ func main() {
 		joinCT   = flag.Int("join-ct", 0, "join compression target (0 = exact)")
 		aggCT    = flag.Int("agg-ct", 0, "aggregation compression target (0 = exact)")
 		workers  = flag.Int("workers", 0, "executor worker goroutines (0 = one per CPU, 1 = serial)")
+		execMode = flag.String("exec", "", "physical executor: pipelined (default) or materialized")
 		showPlan = flag.Bool("plan", false, "print the loaded tables and the compiled plan")
 		explain  = flag.Bool("explain", false, "print the compiled plan, optimizer trace and optimized plan instead of executing")
+		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print per-operator rows/batches/time instead of the result")
 		optMode  = flag.String("opt", "on", "logical optimizer: on (default) or off")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
@@ -71,9 +80,14 @@ func main() {
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
-	// `\explain SELECT ...` is the query-prefix form of -explain.
+	// `\explain SELECT ...` and `\analyze SELECT ...` are the query-prefix
+	// forms of -explain and -analyze.
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\explain `); ok {
 		*explain = true
+		query = rest
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\analyze `); ok {
+		*analyze = true
 		query = rest
 	}
 
@@ -87,6 +101,10 @@ func main() {
 	}
 
 	eng, err := audb.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	em, err := audb.ParseExecMode(*execMode)
 	if err != nil {
 		fatal(err)
 	}
@@ -168,9 +186,33 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *analyze {
+		exp, err := db.ExplainAnalyze(ctx, query,
+			audb.WithEngine(eng),
+			audb.WithOptimizer(optimizer),
+			audb.WithExecMode(em),
+			audb.WithWorkers(*workers),
+			audb.WithJoinCompression(*joinCT),
+			audb.WithAggCompression(*aggCT),
+		)
+		stop()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "audbsh: interrupted")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		// \analyze prints the execution counters only; -explain shows the
+		// optimizer trace.
+		fmt.Print(exp.Stats)
+		return
+	}
+
 	res, err := db.ExecPlan(ctx, plan,
 		audb.WithEngine(eng),
 		audb.WithOptimizer(optimizer),
+		audb.WithExecMode(em),
 		audb.WithWorkers(*workers),
 		audb.WithJoinCompression(*joinCT),
 		audb.WithAggCompression(*aggCT),

@@ -152,6 +152,7 @@ func Registry() []Experiment {
 		{ID: "par", Run: Par, Paper: "parallel executor scaling (this implementation; not a paper figure)"},
 		{ID: "prep", Run: Prep, Paper: "prepared-statement plan-cache throughput (this implementation; not a paper figure)"},
 		{ID: "opt", Run: Opt, Paper: "logical optimizer speedup (this implementation; not a paper figure)"},
+		{ID: "pipe", Run: Pipe, Paper: "pipelined vs materialized executor (this implementation; not a paper figure)"},
 	}
 }
 

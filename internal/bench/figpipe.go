@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/phys"
+	"github.com/audb/audb/internal/ra"
+)
+
+// Pipe is not a paper figure: it compares the pipelined physical executor
+// (internal/phys) against the materializing reference on the plans the
+// pipeline is built for — the streaming chain Scan→Select→Project→Limit
+// (no intermediate relation is ever materialized; peak intermediate state
+// is O(batch) + O(limit)) and the fused top-k ORDER BY ... LIMIT (O(k)
+// candidate state instead of a full sort + merge). One row per
+// (plan, executor): wall time, total bytes allocated, allocation count and
+// the live-heap growth across the run — the peak-memory proxy the
+// streaming executor is supposed to flatten.
+func Pipe(ctx context.Context, cfg Config) (*Table, error) {
+	rows := cfg.size(400000, 60000)
+	_, db := wideData(rows, 4, 1000, 0.05, 0.05, cfg.Seed)
+
+	chain := &ra.Limit{
+		N: 100,
+		Child: &ra.Project{
+			Cols: []ra.ProjCol{
+				{E: expr.Col(0, "a0"), Name: "a0"},
+				{E: expr.Add(expr.Col(1, "a1"), expr.Col(2, "a2")), Name: "s"},
+			},
+			Child: &ra.Select{
+				Child: &ra.Scan{Table: "t"},
+				Pred:  expr.Lt(expr.Col(1, "a1"), expr.CInt(700)),
+			},
+		},
+	}
+	topk := &ra.Limit{
+		N:     10,
+		Child: &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{1}},
+	}
+	filter := &ra.Select{
+		Child: &ra.Scan{Table: "t"},
+		Pred:  expr.Lt(expr.Col(1, "a1"), expr.CInt(500)),
+	}
+
+	t := &Table{
+		ID:      "pipe",
+		Title:   "pipelined vs materialized executor: latency and allocation",
+		Headers: []string{"plan", "executor", "seconds", "alloc MB", "allocs", "live-heap MB"},
+		Notes: []string{
+			fmt.Sprintf("%d input rows; chain = scan>select>project>limit(100), top-k = order-by+limit(10)", rows),
+			"alloc MB / allocs: total heap allocation per execution; live-heap MB: heap growth while the query runs (peak-memory proxy)",
+			"results are bit-identical across executors (internal/phys property tests)",
+		},
+	}
+
+	plans := []struct {
+		label string
+		plan  ra.Node
+	}{
+		{"stream-chain", chain},
+		{"top-k", topk},
+		{"select", filter},
+	}
+	opts := cfg.opts(core.Options{})
+	for _, p := range plans {
+		for _, mode := range []string{"pipelined", "materialized"} {
+			run := func() error {
+				var err error
+				if mode == "pipelined" {
+					_, err = phys.Exec(ctx, p.plan, db, phys.Options{Exec: opts})
+				} else {
+					_, err = core.Exec(ctx, p.plan, db, opts)
+				}
+				return err
+			}
+			// Warm up once (lazily grown buffers, map sizing), then
+			// measure a single execution with before/after heap stats.
+			if err := run(); err != nil {
+				return nil, fmt.Errorf("pipe %s/%s: %w", p.label, mode, err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			dt, err := timeIt(run)
+			if err != nil {
+				return nil, fmt.Errorf("pipe %s/%s: %w", p.label, mode, err)
+			}
+			runtime.ReadMemStats(&after)
+			// A mid-run GC can shrink HeapAlloc below the baseline; clamp
+			// the live-heap delta at zero instead of underflowing uint64.
+			liveGrowth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+			if liveGrowth < 0 {
+				liveGrowth = 0
+			}
+			t.Rows = append(t.Rows, []string{
+				p.label, mode, secs(dt),
+				fmt.Sprintf("%.1f", float64(after.TotalAlloc-before.TotalAlloc)/(1<<20)),
+				fmt.Sprintf("%d", after.Mallocs-before.Mallocs),
+				fmt.Sprintf("%.1f", float64(liveGrowth)/(1<<20)),
+			})
+		}
+	}
+	return t, nil
+}

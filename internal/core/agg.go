@@ -225,24 +225,18 @@ func avgBounds(sum, cnt rangeval.V) rangeval.V {
 	return rangeval.New(lo, sg, hi)
 }
 
-// execAgg implements grouping aggregation over N^AU-relations with the
-// default grouping strategy (Definitions 24-28). With
+// AggRelations is the grouping-aggregation kernel on a materialized input,
+// implementing the default grouping strategy (Definitions 24-28). With
 // Options.AggCompression > 0 the possible-contribution side is compressed
-// first (Section 10.5), trading bound tightness for running time.
-func execAgg(ctx context.Context, t *ra.Agg, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(ctx, t.Child, db, cat, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: aggregation input: %w", err)
-	}
-	plans, err := planAggs(t.Aggs)
+// first (Section 10.5), trading bound tightness for running time. outSchema
+// is the operator's inferred output schema (group-by attributes then
+// aggregate names).
+func AggRelations(ctx context.Context, in *Relation, groupBy []int, specs []ra.AggSpec, outSchema schema.Schema, opt Options) (*Relation, error) {
+	plans, err := planAggs(specs)
 	if err != nil {
 		return nil, err
 	}
-	outSchema, err := ra.InferSchema(t, cat)
-	if err != nil {
-		return nil, err
-	}
-	return aggregate(ctx, in, t.GroupBy, plans, outSchema, opt)
+	return aggregate(ctx, in, groupBy, plans, outSchema, opt)
 }
 
 // buildContribs evaluates argument ranges for every tuple, chunked across
@@ -251,9 +245,9 @@ func execAgg(ctx context.Context, t *ra.Agg, db DB, cat ra.Catalog, opt Options)
 func buildContribs(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan, workers int) ([]contrib, error) {
 	one := rangeval.Certain(types.Int(1))
 	out := make([]contrib, len(in.Tuples))
-	spans := chunkSpans(len(in.Tuples), workers, minParTuples)
-	err := runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
-		for i := s.lo; i < s.hi; i++ {
+	spans := ChunkSpans(len(in.Tuples), workers, minParTuples)
+	err := runSpans(ctx, spans, func(_ int, s Span, p *ctxpoll.Poll) error {
+		for i := s.Lo; i < s.Hi; i++ {
 			if err := p.Due(); err != nil {
 				return err
 			}
@@ -295,12 +289,12 @@ type outGroup struct {
 // contiguous chunks; merging partials in chunk order reproduces the serial
 // first-seen group order and ascending member order exactly.
 func buildGroups(ctx context.Context, exact []contrib, groupBy []int, workers int) (map[string]*outGroup, []string, error) {
-	spans := chunkSpans(len(exact), workers, minParTuples)
+	spans := ChunkSpans(len(exact), workers, minParTuples)
 	maps := make([]map[string]*outGroup, len(spans))
 	orders := make([][]string, len(spans))
-	if err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+	if err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var err error
-		maps[c], orders[c], err = buildGroupsRange(exact, groupBy, s.lo, s.hi, p)
+		maps[c], orders[c], err = buildGroupsRange(exact, groupBy, s.Lo, s.Hi, p)
 		return err
 	}); err != nil {
 		return nil, nil, err
@@ -581,9 +575,9 @@ func aggregate(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan
 	}
 
 	rows := make([]Tuple, len(order))
-	spans := chunkSpans(len(order), workers, minParGroups)
-	err = runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
-		for gi := s.lo; gi < s.hi; gi++ {
+	spans := ChunkSpans(len(order), workers, minParGroups)
+	err = runSpans(ctx, spans, func(_ int, s Span, p *ctxpoll.Poll) error {
+		for gi := s.Lo; gi < s.Hi; gi++ {
 			row, err := computeGroup(groups[order[gi]], p)
 			if err != nil {
 				return err

@@ -5,10 +5,9 @@ import (
 	"fmt"
 
 	"github.com/audb/audb/internal/ctxpoll"
-	"github.com/audb/audb/internal/ra"
 )
 
-// execDiff implements bag set difference over N^AU-relations
+// DiffRelations implements bag set difference over N^AU-relations
 // (Definition 22). The left input is first SG-combined (Ψ, Definition 21)
 // so that each selected-guess tuple is encoded once. For each combined
 // tuple t:
@@ -22,15 +21,7 @@ import (
 //	                                                    guaranteed to cancel)
 //
 // Theorem 4: this semantics preserves bounds; the pointwise monus does not.
-func execDiff(ctx context.Context, t *ra.Diff, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(ctx, t.Left, db, cat, opt)
-	if err != nil {
-		return nil, err
-	}
-	r, err := exec(ctx, t.Right, db, cat, opt)
-	if err != nil {
-		return nil, err
-	}
+func DiffRelations(ctx context.Context, l, r *Relation) (*Relation, error) {
 	if l.Schema.Arity() != r.Schema.Arity() {
 		return nil, fmt.Errorf("core: difference arity mismatch %s vs %s", l.Schema, r.Schema)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/audb/audb/internal/ctxpoll"
+	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
@@ -33,11 +34,30 @@ type Options struct {
 	Workers int
 }
 
+// Compressed reports whether either split+compress optimization is on.
+// Compression makes intermediate results sensitive to how value-equivalent
+// tuples are merged (equi-depth bucket boundaries count tuples), which is
+// why the pipelined executor (internal/phys) materializes the legacy merge
+// points when it is enabled.
+func (o Options) Compressed() bool {
+	return o.JoinCompression > 0 || o.AggCompression > 0
+}
+
 // Exec evaluates an RA_agg plan over an AU-database using the
 // bound-preserving semantics of Sections 7-9 and returns the merged result.
+// This is the operator-at-a-time reference executor: every intermediate is
+// a fully materialized Relation. The pipelined executor (internal/phys)
+// produces bit-identical results while streaming.
+//
+// Operators hand ownership of their outputs downstream, so the final merge
+// works in place; only a plan whose root is a bare table scan pays a
+// (shallow) defensive copy. Result tuples may share attribute-range storage
+// with the base tables — treat results as read-only, as all engines do.
+//
 // Cancellation of ctx aborts the evaluation promptly — operators check the
-// context cooperatively at chunk boundaries and inside their hot loops —
-// and the error is ctx.Err(). A nil ctx is treated as context.Background().
+// context cooperatively at chunk boundaries and inside their hot loops
+// (including sorting and the final merge) — and the error is ctx.Err(). A
+// nil ctx is treated as context.Background().
 func Exec(ctx context.Context, n ra.Node, db DB, opt Options) (*Relation, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -46,74 +66,130 @@ func Exec(ctx context.Context, n ra.Node, db DB, opt Options) (*Relation, error)
 		return nil, fmt.Errorf("core: nil plan")
 	}
 	cat := ra.CatalogMap(db.Schemas())
-	out, err := exec(ctx, n, db, cat, opt)
+	out, owned, err := exec(ctx, n, db, cat, opt)
 	if err != nil {
 		return nil, err
 	}
-	return out.Clone().Merge(), nil
+	return own(out, owned).MergeCtx(ctx)
 }
 
-func exec(ctx context.Context, n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
+// own returns in when the caller already owns it, and a shallow clone
+// otherwise (see Relation.ShallowClone for what ownership covers).
+func own(in *Relation, owned bool) *Relation {
+	if owned {
+		return in
+	}
+	return in.ShallowClone()
+}
+
+// exec evaluates a plan node. The returned flag reports whether the caller
+// owns the result — may reorder its Tuples slice and mutate annotations.
+// Every operator builds a fresh output; only a base-table scan returns a
+// shared (unowned) relation.
+func exec(ctx context.Context, n ra.Node, db DB, cat ra.Catalog, opt Options) (*Relation, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if ra.IsNil(n) {
 		// A nil child reached through a nested operator (e.g. a
 		// hand-built plan with a missing input).
-		return nil, fmt.Errorf("core: nil plan node")
+		return nil, false, fmt.Errorf("core: nil plan node")
+	}
+	// one evaluates a unary operator's input; two evaluates a binary
+	// operator's inputs left to right (Join stays inline to label which
+	// side failed).
+	one := func(c ra.Node) (*Relation, bool, error) { return exec(ctx, c, db, cat, opt) }
+	two := func(left, right ra.Node) (*Relation, *Relation, error) {
+		l, _, err := exec(ctx, left, db, cat, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := exec(ctx, right, db, cat, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, r, nil
 	}
 	switch t := n.(type) {
 	case *ra.Scan:
 		r, ok := db.LookupFold(t.Table)
 		if !ok {
-			return nil, schema.UnknownTable("core", t.Table, db.Names())
+			return nil, false, schema.UnknownTable("core", t.Table, db.Names())
 		}
-		return r, nil
+		return r, false, nil
 	case *ra.Select:
-		return execSelect(ctx, t, db, cat, opt)
+		in, _, err := one(t.Child)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := ApplySelect(ctx, in, t.Pred, opt)
+		return out, true, err
 	case *ra.Project:
-		return execProject(ctx, t, db, cat, opt)
+		in, _, err := one(t.Child)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := ApplyProject(ctx, in, t.Cols, opt)
+		return out, true, err
 	case *ra.Join:
-		return execJoin(ctx, t, db, cat, opt)
+		l, _, err := exec(ctx, t.Left, db, cat, opt)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: join left input: %w", err)
+		}
+		r, _, err := exec(ctx, t.Right, db, cat, opt)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: join right input: %w", err)
+		}
+		out, err := JoinRelations(ctx, l, r, t.Cond, opt)
+		return out, true, err
 	case *ra.Union:
-		return execUnion(ctx, t, db, cat, opt)
+		l, r, err := two(t.Left, t.Right)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := UnionRelations(ctx, l, r)
+		return out, true, err
 	case *ra.Diff:
-		return execDiff(ctx, t, db, cat, opt)
+		l, r, err := two(t.Left, t.Right)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := DiffRelations(ctx, l, r)
+		return out, true, err
 	case *ra.Distinct:
-		return execDistinct(ctx, t, db, cat, opt)
+		in, _, err := one(t.Child)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := DistinctRelation(ctx, in, opt)
+		return out, true, err
 	case *ra.Agg:
-		return execAgg(ctx, t, db, cat, opt)
+		in, _, err := one(t.Child)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: aggregation input: %w", err)
+		}
+		outSchema, err := ra.InferSchema(t, cat)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := AggRelations(ctx, in, t.GroupBy, t.Aggs, outSchema, opt)
+		return out, true, err
 	case *ra.OrderBy:
-		in, err := exec(ctx, t.Child, db, cat, opt)
+		in, owned, err := one(t.Child)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		out := in.Clone()
-		sort.SliceStable(out.Tuples, func(i, j int) bool {
-			a, b := out.Tuples[i].Vals, out.Tuples[j].Vals
-			for _, k := range t.Keys {
-				if c := types.Compare(a[k].SG, b[k].SG); c != 0 {
-					if t.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		return out, nil
+		out, err := ApplyOrderBy(ctx, own(in, owned), t.Keys, t.Desc)
+		return out, true, err
 	case *ra.Limit:
-		in, err := exec(ctx, t.Child, db, cat, opt)
+		in, owned, err := one(t.Child)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		out := in.Clone().Merge()
-		if t.N < len(out.Tuples) {
-			out.Tuples = out.Tuples[:t.N]
-		}
-		return out, nil
+		out, err := ApplyLimit(ctx, own(in, owned), t.N)
+		return out, true, err
 	}
-	return nil, fmt.Errorf("core: unknown node %T", n)
+	return nil, false, fmt.Errorf("core: unknown node %T", n)
 }
 
 // condMult maps a range-annotated boolean to an N^AU element (Definition 19
@@ -128,24 +204,36 @@ func condMult(v rangeval.V) Mult {
 	return Mult{b2i(v.Lo), b2i(v.SG), b2i(v.Hi)}
 }
 
-// execSelect implements σ over N^AU (Section 7): the annotation of each
-// tuple is multiplied by the condition's annotation triple. Tuples whose
-// upper bound drops to zero are certainly absent and removed. Tuples are
-// predicate-checked in parallel chunks; output order is the input order.
-func execSelect(ctx context.Context, t *ra.Select, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(ctx, t.Child, db, cat, opt)
+// FilterTuple is the per-tuple selection kernel (Section 7): the tuple's
+// annotation is multiplied by the condition's annotation triple
+// (Definition 19/20). keep is false for tuples whose upper bound drops to
+// zero — they are certainly absent and must not be emitted. The returned
+// tuple shares the input's attribute ranges (selection never mutates
+// values), which is what lets the pipelined executor stream it clone-free.
+func FilterTuple(t Tuple, pred expr.Expr) (out Tuple, keep bool, err error) {
+	v, err := pred.EvalRange(t.Vals)
 	if err != nil {
-		return nil, err
+		return Tuple{}, false, fmt.Errorf("core: selection: %w", err)
 	}
+	m := t.M.Mul(condMult(v))
+	if m.Hi <= 0 {
+		return Tuple{}, false, nil
+	}
+	return Tuple{Vals: t.Vals, M: m}, true, nil
+}
+
+// ApplySelect implements σ over N^AU on a materialized input. Tuples are
+// predicate-checked in parallel chunks; output order is the input order.
+func ApplySelect(ctx context.Context, in *Relation, pred expr.Expr, opt Options) (*Relation, error) {
 	out := New(in.Schema)
+	var err error
 	out.Tuples, err = parMapTuples(ctx, in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
-		v, err := t.Pred.EvalRange(tup.Vals)
+		ot, keep, err := FilterTuple(tup, pred)
 		if err != nil {
-			return fmt.Errorf("core: selection: %w", err)
+			return err
 		}
-		m := tup.M.Mul(condMult(v))
-		if m.Hi > 0 {
-			emit(Tuple{Vals: tup.Vals, M: m})
+		if keep {
+			emit(ot)
 		}
 		return nil
 	})
@@ -155,77 +243,75 @@ func execSelect(ctx context.Context, t *ra.Select, db DB, cat ra.Catalog, opt Op
 	return out, nil
 }
 
-// execProject implements generalized projection: range expressions are
-// evaluated per Definition 9; annotations are unchanged (summing of
-// value-equivalent results happens in Merge).
-func execProject(ctx context.Context, t *ra.Project, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(ctx, t.Child, db, cat, opt)
-	if err != nil {
-		return nil, err
+// ProjectTuple is the per-tuple generalized-projection kernel: range
+// expressions are evaluated per Definition 9; the annotation is unchanged.
+func ProjectTuple(t Tuple, cols []ra.ProjCol) (Tuple, error) {
+	row := make(rangeval.Tuple, len(cols))
+	for j, c := range cols {
+		v, err := c.E.EvalRange(t.Vals)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("core: projection %s: %w", c.Name, err)
+		}
+		row[j] = v
 	}
-	attrs := make([]string, len(t.Cols))
-	for i, c := range t.Cols {
+	return Tuple{Vals: row, M: t.M}, nil
+}
+
+// ApplyProject implements generalized projection on a materialized input.
+// Value-equivalent output tuples are merged (summing annotations), which is
+// why Project is a merge point for the pipelined executor whenever merge
+// granularity matters (compression enabled).
+func ApplyProject(ctx context.Context, in *Relation, cols []ra.ProjCol, opt Options) (*Relation, error) {
+	attrs := make([]string, len(cols))
+	for i, c := range cols {
 		attrs[i] = c.Name
 	}
 	out := New(schema.Schema{Attrs: attrs})
+	var err error
 	out.Tuples, err = parMapTuples(ctx, in.Tuples, opt.workerCount(), func(tup Tuple, emit func(Tuple)) error {
-		row := make(rangeval.Tuple, len(t.Cols))
-		for j, c := range t.Cols {
-			v, err := c.E.EvalRange(tup.Vals)
-			if err != nil {
-				return fmt.Errorf("core: projection %s: %w", c.Name, err)
-			}
-			row[j] = v
+		ot, err := ProjectTuple(tup, cols)
+		if err != nil {
+			return err
 		}
-		emit(Tuple{Vals: row, M: tup.M})
+		emit(ot)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out.Merge(), nil
+	return out.MergeCtx(ctx)
 }
 
-// execUnion adds annotations pointwise.
-func execUnion(ctx context.Context, t *ra.Union, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(ctx, t.Left, db, cat, opt)
-	if err != nil {
-		return nil, err
-	}
-	r, err := exec(ctx, t.Right, db, cat, opt)
-	if err != nil {
-		return nil, err
-	}
+// UnionRelations adds annotations pointwise and merges value-equivalent
+// tuples.
+func UnionRelations(ctx context.Context, l, r *Relation) (*Relation, error) {
 	if l.Schema.Arity() != r.Schema.Arity() {
 		return nil, fmt.Errorf("core: union arity mismatch %s vs %s", l.Schema, r.Schema)
 	}
 	out := New(l.Schema)
+	out.Tuples = make([]Tuple, 0, len(l.Tuples)+len(r.Tuples))
 	out.Tuples = append(out.Tuples, l.Tuples...)
 	out.Tuples = append(out.Tuples, r.Tuples...)
-	return out.Clone().Merge(), nil
+	return out.MergeCtx(ctx)
 }
 
-// execDistinct implements duplicate elimination δ over N^AU. Tuples are
-// first SG-combined (Definition 21), so distinct stored tuples have
-// distinct selected-guess values. The SG component is then exactly δ of the
-// SG multiplicity. The upper bound drops to 1 only for attribute-certain
-// tuples; an attribute-uncertain tuple may stand for up to Hi distinct
-// tuples and keeps its upper bound. The lower bound survives δ only for
-// tuples that do not ≃-overlap any other stored tuple: overlapping tuples
-// may collapse to one tuple in some world, in which case duplicate
-// elimination leaves a single copy that cannot witness a positive lower
-// bound for both.
-func execDistinct(ctx context.Context, t *ra.Distinct, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	in, err := exec(ctx, t.Child, db, cat, opt)
-	if err != nil {
-		return nil, err
-	}
+// DistinctRelation implements duplicate elimination δ over N^AU on a
+// materialized input. Tuples are first SG-combined (Definition 21), so
+// distinct stored tuples have distinct selected-guess values. The SG
+// component is then exactly δ of the SG multiplicity. The upper bound drops
+// to 1 only for attribute-certain tuples; an attribute-uncertain tuple may
+// stand for up to Hi distinct tuples and keeps its upper bound. The lower
+// bound survives δ only for tuples that do not ≃-overlap any other stored
+// tuple: overlapping tuples may collapse to one tuple in some world, in
+// which case duplicate elimination leaves a single copy that cannot witness
+// a positive lower bound for both.
+func DistinctRelation(ctx context.Context, in *Relation, opt Options) (*Relation, error) {
 	comb := in.SGCombine()
 	out := New(in.Schema)
 	rows := make([]Tuple, len(comb.Tuples))
-	spans := chunkSpans(len(comb.Tuples), opt.workerCount(), minParGroups)
-	err = runSpans(ctx, spans, func(_ int, s span, p *ctxpoll.Poll) error {
-		for i := s.lo; i < s.hi; i++ {
+	spans := ChunkSpans(len(comb.Tuples), opt.workerCount(), minParGroups)
+	err := runSpans(ctx, spans, func(_ int, s Span, p *ctxpoll.Poll) error {
+		for i := s.Lo; i < s.Hi; i++ {
 			tup := comb.Tuples[i]
 			m := Mult{Lo: 0, SG: delta(tup.M.SG), Hi: tup.M.Hi}
 			if tup.Vals.IsCertain() {
@@ -253,6 +339,85 @@ func execDistinct(ctx context.Context, t *ra.Distinct, db DB, cat ra.Catalog, op
 	}
 	for _, row := range rows {
 		out.Add(row)
+	}
+	return out, nil
+}
+
+// OrderCompare is the ORDER BY comparison of presentation sorting. It
+// compares only the selected-guess (SG) component of the key attributes —
+// intentionally, per the paper's Section 6 semantics: an AU-relation
+// annotates one selected-guess world, and presentation order is defined in
+// that world, exactly as a conventional database would order the
+// selected-guess answer (the EngineSGW answer sorts identically). Attribute
+// bounds do not participate: two tuples whose [lb, ub] intervals overlap —
+// or even contain one another — in any pattern compare solely by their SG
+// values, and SG ties are broken by the (stable) input order, never by
+// bounds. TestOrderBySGSemantics guards this against accidental change; do
+// not "fix" this to consider Lo/Hi without revisiting the paper's
+// Definition 13.
+func OrderCompare(a, b rangeval.Tuple, keys []int, desc bool) int {
+	for _, k := range keys {
+		if c := types.Compare(a[k].SG, b[k].SG); c != 0 {
+			if desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// sortCancelled carries ctx.Err() out of a sort.SliceStable comparison.
+type sortCancelled struct{ err error }
+
+// SortTuples stable-sorts ts in place by the SG values of the key columns
+// (see OrderCompare for why only SG participates). Cancellation is checked
+// at ctxpoll stride inside the comparison function, so even a large sort
+// aborts with ctx.Err() well before completing.
+func SortTuples(ctx context.Context, ts []Tuple, keys []int, desc bool) (err error) {
+	p := ctxpoll.New(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			sc, ok := r.(sortCancelled)
+			if !ok {
+				panic(r)
+			}
+			err = sc.err
+		}
+	}()
+	sort.SliceStable(ts, func(i, j int) bool {
+		if e := p.Due(); e != nil {
+			panic(sortCancelled{err: e})
+		}
+		return OrderCompare(ts[i].Vals, ts[j].Vals, keys, desc) < 0
+	})
+	return nil
+}
+
+// ApplyOrderBy sorts in place and returns its input; it takes ownership of
+// in (callers pass an owned relation, see exec).
+func ApplyOrderBy(ctx context.Context, in *Relation, keys []int, desc bool) (*Relation, error) {
+	if err := SortTuples(ctx, in.Tuples, keys, desc); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ApplyLimit merges value-equivalent tuples, then truncates to the first n
+// rows; it takes ownership of in. Limit applies to merged rows — under
+// uncertainty the row order is that of the selected-guess world — so the
+// whole input participates in the merge even when only n rows survive (the
+// pipelined executor does the same with O(n) state).
+func ApplyLimit(ctx context.Context, in *Relation, n int) (*Relation, error) {
+	out, err := in.MergeCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n < len(out.Tuples) {
+		out.Tuples = out.Tuples[:n]
 	}
 	return out, nil
 }

@@ -6,15 +6,16 @@ import (
 
 	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
-	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 )
 
-// execJoin implements join over N^AU-relations (Section 7): the cross
-// product multiplies annotations pointwise and the join condition is
-// evaluated with range-annotated semantics, contributing a condition triple
-// via M_N (Definition 20). Equality on uncertain attributes degenerates to
-// an interval-overlap join.
+// JoinRelations is the join kernel on materialized inputs — the strategy
+// dispatch shared by the reference executor and the pipelined build side.
+// It implements join over N^AU-relations (Section 7): the cross product
+// multiplies annotations pointwise and the join condition is evaluated
+// with range-annotated semantics, contributing a condition triple via M_N
+// (Definition 20). Equality on uncertain attributes degenerates to an
+// interval-overlap join.
 //
 // Three physical strategies:
 //
@@ -27,23 +28,15 @@ import (
 //     through the nested loop. Produces exactly the naive result.
 //   - JoinCompression > 0: the split + Cpr optimization of Section 10.4,
 //     trading precision for a bounded possible-side size.
-func execJoin(ctx context.Context, t *ra.Join, db DB, cat ra.Catalog, opt Options) (*Relation, error) {
-	l, err := exec(ctx, t.Left, db, cat, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: join left input: %w", err)
-	}
-	r, err := exec(ctx, t.Right, db, cat, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: join right input: %w", err)
-	}
+func JoinRelations(ctx context.Context, l, r *Relation, cond expr.Expr, opt Options) (*Relation, error) {
 	w := opt.workerCount()
 	if opt.JoinCompression > 0 {
-		return joinOptimized(ctx, l, r, t.Cond, opt.JoinCompression, w)
+		return joinOptimized(ctx, l, r, cond, opt.JoinCompression, w)
 	}
 	if opt.NaiveJoin {
-		return joinNested(ctx, l, r, t.Cond, nil, nil, w)
+		return joinNested(ctx, l, r, cond, nil, nil, w)
 	}
-	return joinHybrid(ctx, l, r, t.Cond, w)
+	return joinHybrid(ctx, l, r, cond, w)
 }
 
 // joinPair combines one pair of tuples under the condition, returning a
@@ -80,11 +73,11 @@ func joinNested(ctx context.Context, l, r *Relation, cond expr.Expr, leftIdx, ri
 	}
 	// Size outer chunks so each holds at least minParPairs pairs.
 	minRows := (minParPairs + len(ri) - 1) / len(ri)
-	spans := chunkSpans(len(li), workers, minRows)
+	spans := ChunkSpans(len(li), workers, minRows)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+	err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var buf []Tuple
-		for _, i := range li[s.lo:s.hi] {
+		for _, i := range li[s.Lo:s.Hi] {
 			lt := l.Tuples[i]
 			for _, j := range ri {
 				if err := p.Due(); err != nil {
@@ -150,11 +143,11 @@ func joinHybrid(ctx context.Context, l, r *Relation, cond expr.Expr, workers int
 		k := sgKeyOn(r.Tuples[j].Vals, rCols)
 		index[k] = append(index[k], j)
 	}
-	spans := chunkSpans(len(lCert), workers, minParTuples)
+	spans := ChunkSpans(len(lCert), workers, minParTuples)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+	err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var buf []Tuple
-		for _, i := range lCert[s.lo:s.hi] {
+		for _, i := range lCert[s.Lo:s.Hi] {
 			if err := p.Due(); err != nil {
 				return err
 			}

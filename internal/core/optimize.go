@@ -31,17 +31,17 @@ func Split(r *Relation) (sg, up *Relation) {
 // order, reproducing the serial first-seen tuple order and (commutative)
 // annotation sums exactly.
 func splitN(ctx context.Context, r *Relation, workers int) (sg, up *Relation, err error) {
-	spans := chunkSpans(len(r.Tuples), workers, minParTuples)
+	spans := ChunkSpans(len(r.Tuples), workers, minParTuples)
 	parts := make([]*Relation, len(spans))
 	upBufs := make([][]Tuple, len(spans))
-	if err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
+	if err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var err error
-		parts[c], err = splitSGRange(r, s.lo, s.hi, p)
+		parts[c], err = splitSGRange(r, s.Lo, s.Hi, p)
 		if err != nil {
 			return err
 		}
-		buf := make([]Tuple, 0, s.hi-s.lo)
-		for _, t := range r.Tuples[s.lo:s.hi] {
+		buf := make([]Tuple, 0, s.Hi-s.Lo)
+		for _, t := range r.Tuples[s.Lo:s.Hi] {
 			if err := p.Due(); err != nil {
 				return err
 			}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// TestOrderBySGSemantics guards the intended ORDER BY semantics (see
+// OrderCompare): presentation order is defined in the selected-guess world,
+// so tuples compare only by the SG component of the key attributes — ties
+// keep the stable input order and lb/ub bounds never participate, no
+// matter how the intervals overlap or contain one another.
+func TestOrderBySGSemantics(t *testing.T) {
+	rel := New(schema.New("a", "tag"))
+	add := func(lo, sg, hi int64, tag string) {
+		rel.Add(Tuple{Vals: rangeval.Tuple{
+			rangeval.New(types.Int(lo), types.Int(sg), types.Int(hi)),
+			rangeval.Certain(types.String(tag)),
+		}, M: One})
+	}
+	// Deliberately adversarial bounds: the lb/ub order disagrees with the
+	// SG order in every way — wide ranges around small guesses, narrow
+	// ranges around large ones, containment, and exact ties.
+	add(0, 5, 90, "wide-5")  // huge upper bound, SG 5
+	add(2, 2, 2, "cert-2")   // certain 2
+	add(-10, 3, 4, "low-3")  // very low lower bound, SG 3
+	add(1, 3, 99, "tie-3a")  // ties SG 3; bounds contain low-3's entirely
+	add(3, 3, 3, "tie-3b")   // ties SG 3 again, certain
+	add(0, 2, 100, "tie-2")  // ties SG 2; interval contains everything
+	add(4, 4, 5, "narrow-4") // narrow interval, SG between the 3s and 5
+
+	db := DB{"t": rel}
+	res, err := Exec(context.Background(), &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}}, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, tp := range res.Tuples {
+		got = append(got, tp.Vals[1].SG.AsString())
+	}
+	// Ascending SG order; SG ties resolved by input position (stable).
+	want := []string{"cert-2", "tie-2", "low-3", "tie-3a", "tie-3b", "narrow-4", "wide-5"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ORDER BY no longer sorts by SG with stable ties:\ngot  %v\nwant %v", got, want)
+	}
+
+	// Descending reverses the SG comparison but still keeps input order on
+	// ties.
+	res, err = Exec(context.Background(), &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}, Desc: true}, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	for _, tp := range res.Tuples {
+		got = append(got, tp.Vals[1].SG.AsString())
+	}
+	want = []string{"wide-5", "narrow-4", "low-3", "tie-3a", "tie-3b", "cert-2", "tie-2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ORDER BY DESC order changed:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// bigSortInput builds a relation large enough that sorting and merging take
+// visible time.
+func bigSortInput(rows int) *Relation {
+	r := New(schema.New("a", "b"))
+	for i := 0; i < rows; i++ {
+		r.Add(Tuple{Vals: rangeval.Tuple{
+			rangeval.Certain(types.Int(int64((i * 2654435761) % rows))),
+			rangeval.Certain(types.Int(int64(i % 97))),
+		}, M: One})
+	}
+	return r
+}
+
+// TestOrderByCancellation: cancelling mid-sort must abort the
+// sort.SliceStable loop via the comparison-function poll and surface
+// ctx.Err() promptly.
+func TestOrderByCancellation(t *testing.T) {
+	rows := 400000
+	if testing.Short() {
+		rows = 150000
+	}
+	db := DB{"t": bigSortInput(rows)}
+	plan := &ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Exec(ctx, plan, db, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (after %s)", err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("sort cancellation took %s", elapsed)
+	}
+}
+
+// TestLimitCancellation: Limit's full-input merge polls the context too.
+func TestLimitCancellation(t *testing.T) {
+	rows := 400000
+	if testing.Short() {
+		rows = 150000
+	}
+	db := DB{"t": bigSortInput(rows)}
+	plan := &ra.Limit{Child: &ra.Scan{Table: "t"}, N: 5}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Exec(ctx, plan, db, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestExecDoesNotMutateBaseTables: with the ownership refactor the final
+// merge works in place and results may alias base-table storage, so plans
+// that pass tuples through untouched (scan roots, sorts, limits) must
+// never reorder or re-annotate the stored relation.
+func TestExecDoesNotMutateBaseTables(t *testing.T) {
+	rel := New(schema.New("a", "b"))
+	for i := 0; i < 64; i++ {
+		rel.Add(Tuple{Vals: rangeval.Tuple{
+			rangeval.Certain(types.Int(int64(63 - i))), // reverse order: a sort would reorder
+			rangeval.Certain(types.Int(int64(i % 4))),
+		}, M: Mult{Lo: 1, SG: 1, Hi: 2}})
+	}
+	// Value-duplicates: a merge would combine them in place.
+	dup := rel.Tuples[0]
+	rel.Add(Tuple{Vals: dup.Vals, M: One})
+	before := rel.String()
+	db := DB{"t": rel}
+	plans := []ra.Node{
+		&ra.Scan{Table: "t"},
+		&ra.OrderBy{Child: &ra.Scan{Table: "t"}, Keys: []int{0}},
+		&ra.Limit{Child: &ra.Scan{Table: "t"}, N: 3},
+		&ra.Union{Left: &ra.Scan{Table: "t"}, Right: &ra.Scan{Table: "t"}},
+	}
+	for _, plan := range plans {
+		if _, err := Exec(context.Background(), plan, db, Options{}); err != nil {
+			t.Fatalf("%T: %v", plan, err)
+		}
+		if after := rel.String(); after != before {
+			t.Fatalf("%T mutated the base table:\nbefore:\n%.300s\nafter:\n%.300s", plan, before, after)
+		}
+	}
+}

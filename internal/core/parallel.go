@@ -38,12 +38,14 @@ func (o Options) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// span is a half-open index interval [lo, hi).
-type span struct{ lo, hi int }
+// Span is a half-open index interval [Lo, Hi) — the contiguous input
+// partition unit shared by the chunked kernels and the pipelined
+// executor's exchange operator.
+type Span struct{ Lo, Hi int }
 
-// chunkSpans partitions [0, n) into at most w contiguous spans of at least
+// ChunkSpans partitions [0, n) into at most w contiguous spans of at least
 // min indices each. A single span signals the serial fallback.
-func chunkSpans(n, w, min int) []span {
+func ChunkSpans(n, w, min int) []Span {
 	if n <= 0 {
 		return nil
 	}
@@ -57,9 +59,9 @@ func chunkSpans(n, w, min int) []span {
 	if nc < 1 {
 		nc = 1
 	}
-	out := make([]span, nc)
+	out := make([]Span, nc)
 	for c := 0; c < nc; c++ {
-		out[c] = span{lo: c * n / nc, hi: (c + 1) * n / nc}
+		out[c] = Span{Lo: c * n / nc, Hi: (c + 1) * n / nc}
 	}
 	return out
 }
@@ -71,7 +73,7 @@ func chunkSpans(n, w, min int) []span {
 // It reports the error of the earliest failing span, matching what the
 // serial evaluation order would surface; all goroutines are joined before
 // returning, so a cancelled run leaks nothing.
-func runSpans(ctx context.Context, spans []span, body func(c int, s span, p *ctxpoll.Poll) error) error {
+func runSpans(ctx context.Context, spans []Span, body func(c int, s Span, p *ctxpoll.Poll) error) error {
 	if len(spans) == 0 {
 		return ctx.Err()
 	}
@@ -107,12 +109,12 @@ func runSpans(ctx context.Context, spans []span, body func(c int, s span, p *ctx
 // into its own buffer and the buffers are concatenated in chunk order, so
 // the result equals the serial left-to-right map regardless of workers.
 func parMapTuples(ctx context.Context, in []Tuple, workers int, fn func(t Tuple, emit func(Tuple)) error) ([]Tuple, error) {
-	spans := chunkSpans(len(in), workers, minParTuples)
+	spans := ChunkSpans(len(in), workers, minParTuples)
 	bufs := make([][]Tuple, len(spans))
-	err := runSpans(ctx, spans, func(c int, s span, p *ctxpoll.Poll) error {
-		buf := make([]Tuple, 0, s.hi-s.lo)
+	err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
+		buf := make([]Tuple, 0, s.Hi-s.Lo)
 		emit := func(t Tuple) { buf = append(buf, t) }
-		for _, t := range in[s.lo:s.hi] {
+		for _, t := range in[s.Lo:s.Hi] {
 			if err := p.Due(); err != nil {
 				return err
 			}

@@ -164,19 +164,19 @@ func TestChunkSpans(t *testing.T) {
 		{1000, 1, 1, 1},
 		{7, 16, 1, 7},
 	} {
-		spans := chunkSpans(tc.n, tc.w, tc.min)
+		spans := ChunkSpans(tc.n, tc.w, tc.min)
 		if len(spans) > tc.maxChunks {
-			t.Errorf("chunkSpans(%d,%d,%d): %d chunks, want <= %d", tc.n, tc.w, tc.min, len(spans), tc.maxChunks)
+			t.Errorf("ChunkSpans(%d,%d,%d): %d chunks, want <= %d", tc.n, tc.w, tc.min, len(spans), tc.maxChunks)
 		}
 		next := 0
 		for _, s := range spans {
-			if s.lo != next || s.hi < s.lo {
-				t.Fatalf("chunkSpans(%d,%d,%d): bad span %+v at offset %d", tc.n, tc.w, tc.min, s, next)
+			if s.Lo != next || s.Hi < s.Lo {
+				t.Fatalf("ChunkSpans(%d,%d,%d): bad span %+v at offset %d", tc.n, tc.w, tc.min, s, next)
 			}
-			next = s.hi
+			next = s.Hi
 		}
 		if next != tc.n {
-			t.Errorf("chunkSpans(%d,%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.w, tc.min, next, tc.n)
+			t.Errorf("ChunkSpans(%d,%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.w, tc.min, next, tc.n)
 		}
 	}
 }

@@ -92,16 +92,42 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// ShallowClone copies the Tuples slice — annotations are value-copied with
+// the Tuple structs — without deep-copying attribute ranges. The clone owns
+// its slice and annotations (it may be reordered, truncated and Merged),
+// while attribute values still alias r's; every engine treats range values
+// as immutable, so slice-level ownership is all the executors need.
+func (r *Relation) ShallowClone() *Relation {
+	out := New(r.Schema)
+	out.Tuples = append([]Tuple(nil), r.Tuples...)
+	return out
+}
+
 // Merge combines value-equivalent tuples (identical [lb/sg/ub] on every
 // attribute), summing annotations. The relational encoding requires merged
 // relations (Section 10.2, "merge annotations").
 func (r *Relation) Merge() *Relation {
+	// The background context is never cancelled, so mergePoll cannot fail.
+	out, _ := r.mergePoll(ctxpoll.New(context.Background()))
+	return out
+}
+
+// MergeCtx is Merge with cooperative cancellation, polled per tuple: the
+// O(result) merge of a large output aborts promptly with ctx.Err().
+func (r *Relation) MergeCtx(ctx context.Context) (*Relation, error) {
+	return r.mergePoll(ctxpoll.New(ctx))
+}
+
+func (r *Relation) mergePoll(p *ctxpoll.Poll) (*Relation, error) {
 	if len(r.Tuples) == 0 {
-		return r
+		return r, nil
 	}
 	idx := make(map[string]int, len(r.Tuples))
 	out := r.Tuples[:0]
 	for _, t := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		k := t.Vals.Key()
 		if j, ok := idx[k]; ok {
 			out[j].M = out[j].M.Add(t.M)
@@ -111,7 +137,7 @@ func (r *Relation) Merge() *Relation {
 		out = append(out, t)
 	}
 	r.Tuples = out
-	return r
+	return r, nil
 }
 
 // SGW extracts the selected-guess world encoded by the relation

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file holds the runtime side of the metrics package: per-operator
+// execution counters for EXPLAIN ANALYZE. The physical executor
+// (internal/phys) fills one OpStats per physical operator while the query
+// runs; the accuracy measures above are computed after the fact.
+
+// OpStats is one physical operator's execution counters.
+type OpStats struct {
+	// Op is the logical operator rendering (e.g. "Select[(a < 3)]").
+	Op string
+	// Strategy names the physical realization: "stream" for pipelined
+	// operators, "materialize" for pipeline breakers, "exchange(n)" for a
+	// parallel scan segment over n partitions, "top-k" for the fused
+	// ORDER BY + LIMIT.
+	Strategy string
+	// Rows is the number of tuples this operator emitted.
+	Rows int64
+	// Batches is the number of non-empty batches this operator emitted.
+	// Materialized operators stream their result too, so they report
+	// ceil(rows / batch size) like any other operator.
+	Batches int64
+	// Elapsed is cumulative wall time spent inside this operator,
+	// including its children (the root's Elapsed is the execution time).
+	Elapsed time.Duration
+	// Children are the input operators' counters.
+	Children []*OpStats
+}
+
+// Self is the operator's own time: Elapsed minus the children's.
+func (s *OpStats) Self() time.Duration {
+	d := s.Elapsed
+	for _, c := range s.Children {
+		d -= c.Elapsed
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// ExecStats is the EXPLAIN ANALYZE result for one execution.
+type ExecStats struct {
+	// Mode is the executor mode ("pipelined" or "materialized").
+	Mode string
+	// BatchSize is the pipeline batch size used.
+	BatchSize int
+	// Total is the end-to-end execution time (open, drain, merge).
+	Total time.Duration
+	// Root is the root operator's counters.
+	Root *OpStats
+}
+
+// String renders the analysis as an indented operator tree, one line per
+// operator with its strategy and counters — the format audbsh \analyze
+// prints.
+func (s *ExecStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "execution: %s (batch %d), total %s\n", s.Mode, s.BatchSize, fmtDur(s.Total))
+	if s.Root == nil {
+		return sb.String()
+	}
+	// Measure the operator column so counters align.
+	width := 0
+	var measure func(o *OpStats, depth int)
+	measure = func(o *OpStats, depth int) {
+		if w := 2*depth + len(o.Op); w > width {
+			width = w
+		}
+		for _, c := range o.Children {
+			measure(c, depth+1)
+		}
+	}
+	measure(s.Root, 0)
+	var walk func(o *OpStats, depth int)
+	walk = func(o *OpStats, depth int) {
+		op := strings.Repeat("  ", depth) + o.Op
+		fmt.Fprintf(&sb, "%-*s  %-12s rows=%-8d batches=%-6d time=%s (self %s)\n",
+			width, op, o.Strategy, o.Rows, o.Batches, fmtDur(o.Elapsed), fmtDur(o.Self()))
+		for _, c := range o.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s.Root, 0)
+	return sb.String()
+}
+
+// fmtDur renders durations with millisecond precision suited to query
+// timings (short times keep microsecond detail).
+func fmtDur(d time.Duration) string {
+	if d < time.Millisecond {
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpStatsSelfAndRender(t *testing.T) {
+	leaf := &OpStats{Op: "Scan(t)", Strategy: "stream", Rows: 100, Batches: 2, Elapsed: 3 * time.Millisecond}
+	mid := &OpStats{Op: "Select[(a < 3)]", Strategy: "stream", Rows: 40, Batches: 2,
+		Elapsed: 5 * time.Millisecond, Children: []*OpStats{leaf}}
+	root := &OpStats{Op: "Limit(5)", Strategy: "stream", Rows: 5, Batches: 1,
+		Elapsed: 6 * time.Millisecond, Children: []*OpStats{mid}}
+	if got := mid.Self(); got != 2*time.Millisecond {
+		t.Fatalf("Self = %v, want 2ms", got)
+	}
+	// Clock skew between parent and child samples must not go negative.
+	skew := &OpStats{Op: "x", Elapsed: time.Millisecond, Children: []*OpStats{{Elapsed: 2 * time.Millisecond}}}
+	if got := skew.Self(); got != 0 {
+		t.Fatalf("skewed Self = %v, want 0", got)
+	}
+
+	s := &ExecStats{Mode: "pipelined", BatchSize: 64, Total: 7 * time.Millisecond, Root: root}
+	out := s.String()
+	for _, want := range []string{
+		"execution: pipelined (batch 64), total 7.00ms",
+		"Limit(5)", "  Select[(a < 3)]", "    Scan(t)",
+		"rows=100", "batches=2", "self",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Nil root renders the header only.
+	empty := &ExecStats{Mode: "materialized", BatchSize: 1}
+	if got := empty.String(); !strings.HasPrefix(got, "execution: materialized") || strings.Count(got, "\n") != 1 {
+		t.Fatalf("empty render: %q", got)
+	}
+}

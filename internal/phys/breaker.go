@@ -1,0 +1,102 @@
+package phys
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/schema"
+)
+
+// kernelIter is a pipeline breaker: it drains its children into
+// materialized relations at Open, runs one of internal/core's operator
+// kernels — bit-identical to the reference executor by construction — and
+// streams the kernel's output in batches. The children still stream into
+// the drain, so a breaker materializes exactly one relation per input, not
+// the whole subtree.
+type kernelIter struct {
+	children []iter
+	// labels optionally wraps a child's drain error with the same context
+	// the reference executor attaches (e.g. "join left input").
+	labels []string
+	sch    schema.Schema
+	batch  int
+	run    func(ctx context.Context, ins []*core.Relation) (*core.Relation, error)
+
+	// rel is the kernel's materialized output (owned); Next streams its
+	// tuples, and Plan.Execute takes it directly when the breaker is the
+	// plan root.
+	rel *core.Relation
+	pos int
+}
+
+func (k *kernelIter) Open(ctx context.Context) error {
+	ins := make([]*core.Relation, len(k.children))
+	for i, ch := range k.children {
+		rel, err := drain(ctx, ch)
+		if err != nil {
+			if k.labels != nil && k.labels[i] != "" {
+				return fmt.Errorf("phys: %s: %w", k.labels[i], err)
+			}
+			return err
+		}
+		ins[i] = rel
+	}
+	res, err := k.run(ctx, ins)
+	if err != nil {
+		return err
+	}
+	k.rel = res
+	k.pos = 0
+	return nil
+}
+
+func (k *kernelIter) Next() ([]core.Tuple, error) {
+	if k.rel == nil || k.pos >= len(k.rel.Tuples) {
+		return nil, nil
+	}
+	end := k.pos + k.batch
+	if end > len(k.rel.Tuples) {
+		end = len(k.rel.Tuples)
+	}
+	out := k.rel.Tuples[k.pos:end]
+	k.pos = end
+	return out, nil
+}
+
+func (k *kernelIter) Close() error {
+	// Children are opened and closed inside Open's drain; closing them
+	// again must be safe per the iter contract.
+	var err error
+	for _, ch := range k.children {
+		if cerr := ch.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (k *kernelIter) Schema() schema.Schema { return k.sch }
+
+// drain opens the child, appends every batch into a fresh relation the
+// caller owns (batch buffers are reused by producers; appending copies the
+// Tuple structs), and closes the child.
+func drain(ctx context.Context, it iter) (*core.Relation, error) {
+	if err := it.Open(ctx); err != nil {
+		it.Close()
+		return nil, err
+	}
+	out := core.New(it.Schema())
+	for {
+		b, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out.Tuples = append(out.Tuples, b...)
+	}
+	return out, it.Close()
+}

@@ -1,0 +1,118 @@
+package phys
+
+import (
+	"context"
+	"sync"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/schema"
+)
+
+// exchangeBuffer is the per-partition channel depth: how many batches a
+// producer may run ahead of the in-order consumer. Peak buffered memory is
+// bounded by partitions × (exchangeBuffer+1) × batch size tuples.
+const exchangeBuffer = 4
+
+// exchangeIter parallelizes a streaming chain (Select/Project stack over a
+// Scan) across workers: the scan is partitioned into contiguous ranges, one
+// copy of the chain runs per partition on its own goroutine, and the
+// consumer emits partition 0's batches, then partition 1's, and so on.
+// Contiguous ranges consumed in partition order reproduce the serial tuple
+// order exactly, so parallelism never changes results — the streaming
+// analog of internal/core's chunkSpans + concat discipline. Later
+// partitions compute ahead bounded by their channel, which is what buys the
+// wall-clock win.
+type exchangeIter struct {
+	parts []iter
+	sch   schema.Schema
+
+	cancel context.CancelFunc
+	chans  []chan []core.Tuple
+	errs   []error
+	wg     sync.WaitGroup
+	cur    int
+	opened bool
+}
+
+func (e *exchangeIter) Open(ctx context.Context) error {
+	pctx, cancel := context.WithCancel(ctx)
+	e.cancel = cancel
+	e.opened = true
+	e.cur = 0
+	e.chans = make([]chan []core.Tuple, len(e.parts))
+	e.errs = make([]error, len(e.parts))
+	for i := range e.parts {
+		e.chans[i] = make(chan []core.Tuple, exchangeBuffer)
+	}
+	e.wg.Add(len(e.parts))
+	for i := range e.parts {
+		go func(i int) {
+			defer e.wg.Done()
+			defer close(e.chans[i])
+			e.errs[i] = produce(pctx, e.parts[i], e.chans[i])
+		}(i)
+	}
+	return nil
+}
+
+// produce runs one partition's chain, copying each batch before sending
+// (the chain reuses its buffer, and ownership crosses the goroutine
+// boundary here). A send blocked on a slow consumer aborts when the
+// exchange is closed or the query is cancelled.
+func produce(ctx context.Context, p iter, ch chan<- []core.Tuple) error {
+	if err := p.Open(ctx); err != nil {
+		p.Close()
+		return err
+	}
+	for {
+		b, err := p.Next()
+		if err != nil {
+			p.Close()
+			return err
+		}
+		if b == nil {
+			return p.Close()
+		}
+		cp := append([]core.Tuple(nil), b...)
+		select {
+		case ch <- cp:
+		case <-ctx.Done():
+			p.Close()
+			return ctx.Err()
+		}
+	}
+}
+
+func (e *exchangeIter) Next() ([]core.Tuple, error) {
+	for e.cur < len(e.chans) {
+		b, ok := <-e.chans[e.cur]
+		if ok {
+			return b, nil
+		}
+		// Channel closed: the partition finished. Its error slot is
+		// published before the close, so this read is ordered.
+		if err := e.errs[e.cur]; err != nil {
+			return nil, err
+		}
+		e.cur++
+	}
+	return nil, nil
+}
+
+func (e *exchangeIter) Close() error {
+	if !e.opened {
+		return nil
+	}
+	e.opened = false
+	e.cancel()
+	// Unblock producers parked on a full channel, then join them all:
+	// a closed exchange leaks nothing.
+	for _, ch := range e.chans {
+		for range ch { //nolint:revive // draining
+		}
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func (e *exchangeIter) Schema() schema.Schema { return e.sch }

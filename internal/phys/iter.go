@@ -1,0 +1,437 @@
+package phys
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/ctxpoll"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/schema"
+)
+
+// iter is a pull-based batch iterator (a volcano-style operator working on
+// batches of AU-tuples instead of single rows).
+//
+// Contract:
+//
+//   - Open binds the iterator to the query context; Next observes the same
+//     context (cooperatively, at ctxpoll stride).
+//   - Next returns the next non-empty batch, or nil when the input is
+//     exhausted. The returned slice is valid only until the next Next or
+//     Close call — streaming operators reuse their output buffer, and scans
+//     return views into base-table storage. Consumers that retain tuples
+//     must copy them (appending the Tuple structs to a slice is a copy;
+//     attribute ranges are immutable and may stay shared).
+//   - Close releases resources and is safe to call more than once and
+//     after a failed Open.
+type iter interface {
+	Open(ctx context.Context) error
+	Next() ([]core.Tuple, error)
+	Close() error
+	Schema() schema.Schema
+}
+
+// ---------------------------------------------------------------- scan --
+
+// scanIter streams the tuples of a base relation in fixed-size batches.
+// Batches are subslices of the stored tuples: a scan never copies, and a
+// partitioned scan ([lo, hi) ranges of one relation) feeds the exchange
+// operator without any coordination.
+type scanIter struct {
+	rel    *core.Relation
+	sch    schema.Schema
+	lo, hi int
+	batch  int
+
+	ctx context.Context
+	pos int
+}
+
+func newScanIter(rel *core.Relation, lo, hi, batch int) *scanIter {
+	return &scanIter{rel: rel, sch: rel.Schema, lo: lo, hi: hi, batch: batch}
+}
+
+func (s *scanIter) Open(ctx context.Context) error {
+	s.ctx = ctx
+	s.pos = s.lo
+	return ctx.Err()
+}
+
+func (s *scanIter) Next() ([]core.Tuple, error) {
+	if s.pos >= s.hi {
+		return nil, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	end := s.pos + s.batch
+	if end > s.hi {
+		end = s.hi
+	}
+	out := s.rel.Tuples[s.pos:end]
+	s.pos = end
+	return out, nil
+}
+
+func (s *scanIter) Close() error          { return nil }
+func (s *scanIter) Schema() schema.Schema { return s.sch }
+
+// -------------------------------------------------------------- select --
+
+// selectIter applies σ per batch, reusing one output buffer: steady-state
+// selection allocates nothing and never clones tuples (FilterTuple only
+// rewrites the multiplicity triple, which lives in the Tuple struct).
+type selectIter struct {
+	child iter
+	pred  expr.Expr
+	sch   schema.Schema
+
+	poll *ctxpoll.Poll
+	buf  []core.Tuple
+}
+
+func (s *selectIter) Open(ctx context.Context) error {
+	s.poll = ctxpoll.New(ctx)
+	return s.child.Open(ctx)
+}
+
+func (s *selectIter) Next() ([]core.Tuple, error) {
+	for {
+		b, err := s.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		s.buf = s.buf[:0]
+		for _, t := range b {
+			if err := s.poll.Due(); err != nil {
+				return nil, err
+			}
+			ot, keep, err := core.FilterTuple(t, s.pred)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				s.buf = append(s.buf, ot)
+			}
+		}
+		if len(s.buf) > 0 {
+			return s.buf, nil
+		}
+	}
+}
+
+func (s *selectIter) Close() error          { return s.child.Close() }
+func (s *selectIter) Schema() schema.Schema { return s.sch }
+
+// ------------------------------------------------------------- project --
+
+// projectIter evaluates generalized projection per batch into a reused
+// buffer. Unlike the materializing kernel it does not merge value-
+// equivalent outputs — with compression off, every operator above is
+// insensitive to merge granularity and the final merge restores the
+// canonical form, so results stay bit-identical (the compiler materializes
+// Project whenever compression makes merge granularity observable).
+type projectIter struct {
+	child iter
+	cols  []ra.ProjCol
+	sch   schema.Schema
+
+	poll *ctxpoll.Poll
+	buf  []core.Tuple
+}
+
+func (p *projectIter) Open(ctx context.Context) error {
+	p.poll = ctxpoll.New(ctx)
+	return p.child.Open(ctx)
+}
+
+func (p *projectIter) Next() ([]core.Tuple, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.buf = p.buf[:0]
+	for _, t := range b {
+		if err := p.poll.Due(); err != nil {
+			return nil, err
+		}
+		ot, err := core.ProjectTuple(t, p.cols)
+		if err != nil {
+			return nil, err
+		}
+		p.buf = append(p.buf, ot)
+	}
+	return p.buf, nil
+}
+
+func (p *projectIter) Close() error          { return p.child.Close() }
+func (p *projectIter) Schema() schema.Schema { return p.sch }
+
+// --------------------------------------------------------------- union --
+
+// unionIter concatenates two streams (bag union adds annotations; the
+// summing of value-equivalent tuples happens at the next merge point, as
+// for projectIter).
+type unionIter struct {
+	left, right iter
+	sch         schema.Schema
+	onRight     bool
+}
+
+func (u *unionIter) Open(ctx context.Context) error {
+	u.onRight = false
+	if err := u.left.Open(ctx); err != nil {
+		return err
+	}
+	return u.right.Open(ctx)
+}
+
+func (u *unionIter) Next() ([]core.Tuple, error) {
+	if !u.onRight {
+		b, err := u.left.Next()
+		if err != nil || b != nil {
+			return b, err
+		}
+		u.onRight = true
+	}
+	return u.right.Next()
+}
+
+func (u *unionIter) Close() error {
+	err := u.left.Close()
+	if rerr := u.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+func (u *unionIter) Schema() schema.Schema { return u.sch }
+
+// --------------------------------------------------------------- limit --
+
+// limitIter is the streaming LIMIT: it emits the first n merged rows with
+// O(n) state instead of materializing and merging the whole input. Tuples
+// value-equivalent to a kept row keep folding their annotations in (LIMIT
+// applies to merged rows, so the whole input is consumed — bit-identical to
+// merge-then-truncate), while tuples introducing a new value beyond the
+// first n are discarded immediately: they can never enter the result.
+type limitIter struct {
+	child iter
+	n     int
+	sch   schema.Schema
+	batch int
+
+	poll    *ctxpoll.Poll
+	rows    []core.Tuple
+	idx     map[string]int
+	scratch []byte
+	done    bool
+	pos     int
+}
+
+func (l *limitIter) Open(ctx context.Context) error {
+	l.poll = ctxpoll.New(ctx)
+	// Cap the size hint: n is user-controlled (LIMIT 2e9 must not
+	// pre-allocate gigabytes of map buckets for a tiny input) and the map
+	// grows on demand anyway.
+	hint := l.n
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > l.batch {
+		hint = l.batch
+	}
+	l.idx = make(map[string]int, hint)
+	return l.child.Open(ctx)
+}
+
+func (l *limitIter) Next() ([]core.Tuple, error) {
+	if !l.done {
+		for {
+			b, err := l.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			for _, t := range b {
+				if err := l.poll.Due(); err != nil {
+					return nil, err
+				}
+				// Probe with the scratch buffer (no allocation); the key
+				// string is only materialized for rows actually kept.
+				l.scratch = t.Vals.AppendKey(l.scratch[:0])
+				if j, ok := l.idx[string(l.scratch)]; ok {
+					l.rows[j].M = l.rows[j].M.Add(t.M)
+					continue
+				}
+				if len(l.rows) < l.n {
+					l.idx[string(l.scratch)] = len(l.rows)
+					l.rows = append(l.rows, t)
+				}
+			}
+		}
+		l.done = true
+		l.idx = nil
+	}
+	if l.pos >= len(l.rows) {
+		return nil, nil
+	}
+	end := l.pos + l.batch
+	if end > len(l.rows) {
+		end = len(l.rows)
+	}
+	out := l.rows[l.pos:end]
+	l.pos = end
+	return out, nil
+}
+
+func (l *limitIter) Close() error          { return l.child.Close() }
+func (l *limitIter) Schema() schema.Schema { return l.sch }
+
+// --------------------------------------------------------------- top-k --
+
+// topkIter fuses LIMIT n over ORDER BY into a bounded selection: instead of
+// sorting and merging the full input it keeps at most n candidate merged
+// rows in a max-heap ordered by (sort key, first-occurrence position) — the
+// exact order merged rows take in the stable-sorted stream, since value-
+// equivalent tuples share their sort key and the merged row sits at its
+// first occurrence. A new value that orders after the current n-th
+// candidate can never enter the result (candidate ranks only worsen as the
+// stream continues) and is discarded with O(1) work; duplicates of kept
+// candidates keep folding their annotations. Peak memory is O(n), not
+// O(input), and the result is bit-identical to sort + merge + truncate.
+type topkIter struct {
+	child iter
+	keys  []int
+	desc  bool
+	n     int
+	sch   schema.Schema
+	batch int
+
+	poll    *ctxpoll.Poll
+	h       topkHeap
+	idx     map[string]*topkEntry
+	scratch []byte
+	out     []core.Tuple
+	done    bool
+	pos     int
+}
+
+// topkEntry is one candidate merged row.
+type topkEntry struct {
+	tup core.Tuple
+	key string
+	seq int // first-occurrence position in the input stream
+}
+
+// topkHeap is a max-heap over the output order: the root is the candidate
+// that orders last, i.e. the one evicted when a better row arrives.
+type topkHeap struct {
+	es   []*topkEntry
+	keys []int
+	desc bool
+}
+
+// after reports whether a orders after b in the final output.
+func (h *topkHeap) after(a, b *topkEntry) bool {
+	if c := core.OrderCompare(a.tup.Vals, b.tup.Vals, h.keys, h.desc); c != 0 {
+		return c > 0
+	}
+	return a.seq > b.seq
+}
+
+func (h *topkHeap) Len() int           { return len(h.es) }
+func (h *topkHeap) Less(i, j int) bool { return h.after(h.es[i], h.es[j]) }
+func (h *topkHeap) Swap(i, j int)      { h.es[i], h.es[j] = h.es[j], h.es[i] }
+func (h *topkHeap) Push(x any)         { h.es = append(h.es, x.(*topkEntry)) }
+func (h *topkHeap) Pop() any {
+	e := h.es[len(h.es)-1]
+	h.es = h.es[:len(h.es)-1]
+	return e
+}
+
+func (t *topkIter) Open(ctx context.Context) error {
+	t.poll = ctxpoll.New(ctx)
+	t.h = topkHeap{keys: t.keys, desc: t.desc}
+	t.idx = make(map[string]*topkEntry)
+	return t.child.Open(ctx)
+}
+
+func (t *topkIter) Next() ([]core.Tuple, error) {
+	if !t.done {
+		if err := t.consume(); err != nil {
+			return nil, err
+		}
+	}
+	if t.pos >= len(t.out) {
+		return nil, nil
+	}
+	end := t.pos + t.batch
+	if end > len(t.out) {
+		end = len(t.out)
+	}
+	out := t.out[t.pos:end]
+	t.pos = end
+	return out, nil
+}
+
+func (t *topkIter) consume() error {
+	seq := 0
+	for {
+		b, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, tup := range b {
+			if err := t.poll.Due(); err != nil {
+				return err
+			}
+			i := seq
+			seq++
+			// Probe with the scratch buffer (no allocation); keys and
+			// entries are only materialized for kept candidates, so a
+			// discarded tuple costs O(1) with zero allocations.
+			t.scratch = tup.Vals.AppendKey(t.scratch[:0])
+			if e, ok := t.idx[string(t.scratch)]; ok {
+				e.tup.M = e.tup.M.Add(tup.M)
+				continue
+			}
+			if t.n <= 0 {
+				continue
+			}
+			if len(t.h.es) >= t.n {
+				worst := t.h.es[0]
+				if c := core.OrderCompare(worst.tup.Vals, tup.Vals, t.keys, t.desc); c < 0 || (c == 0 && worst.seq < i) {
+					// The new value orders at or after every kept
+					// candidate and, since ranks only worsen, can never
+					// enter the first n merged rows: discard.
+					continue
+				}
+				heap.Pop(&t.h)
+				delete(t.idx, worst.key)
+			}
+			e := &topkEntry{tup: tup, key: string(t.scratch), seq: i}
+			heap.Push(&t.h, e)
+			t.idx[e.key] = e
+		}
+	}
+	es := t.h.es
+	sort.Slice(es, func(i, j int) bool { return t.h.after(es[j], es[i]) })
+	t.out = make([]core.Tuple, len(es))
+	for i, e := range es {
+		t.out[i] = e.tup
+	}
+	t.done = true
+	t.h.es, t.idx = nil, nil
+	return nil
+}
+
+func (t *topkIter) Close() error          { return t.child.Close() }
+func (t *topkIter) Schema() schema.Schema { return t.sch }

@@ -1,0 +1,49 @@
+package phys
+
+import (
+	"context"
+	"time"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/metrics"
+	"github.com/audb/audb/internal/schema"
+)
+
+// statIter wraps an iterator with the EXPLAIN ANALYZE counters: rows and
+// non-empty batches emitted, and cumulative wall time spent inside the
+// operator (children included — subtract theirs for self time). Wrappers
+// exist only when Options.Analyze is set, so the counters cost nothing on
+// the regular path. Partition sub-chains inside an exchange run
+// concurrently and are not individually instrumented; their work is
+// reported at the exchange operator.
+type statIter struct {
+	inner iter
+	st    *metrics.OpStats
+}
+
+func (s *statIter) Open(ctx context.Context) error {
+	start := time.Now()
+	err := s.inner.Open(ctx)
+	s.st.Elapsed += time.Since(start)
+	return err
+}
+
+func (s *statIter) Next() ([]core.Tuple, error) {
+	start := time.Now()
+	b, err := s.inner.Next()
+	s.st.Elapsed += time.Since(start)
+	if b != nil {
+		s.st.Rows += int64(len(b))
+		s.st.Batches++
+	}
+	return b, err
+}
+
+func (s *statIter) Close() error {
+	start := time.Now()
+	err := s.inner.Close()
+	s.st.Elapsed += time.Since(start)
+	return err
+}
+
+func (s *statIter) Schema() schema.Schema { return s.inner.Schema() }

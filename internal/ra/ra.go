@@ -189,6 +189,11 @@ func (a *Agg) String() string {
 }
 
 // OrderBy sorts the output (for presentation; annotations unaffected).
+// Ordering compares only the selected-guess component of the key
+// attributes — intentional, per the paper's Section 6 semantics: an
+// AU-relation annotates one selected-guess world, and presentation order
+// is defined in that world (see core.OrderCompare for the full rationale
+// and the regression test guarding it).
 type OrderBy struct {
 	Child Node
 	Keys  []int

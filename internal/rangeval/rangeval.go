@@ -203,14 +203,18 @@ func (t Tuple) Concat(o Tuple) Tuple {
 
 // Key returns an injective encoding of the full triple tuple, used to merge
 // value-equivalent tuples.
-func (t Tuple) Key() string {
-	var buf []byte
+func (t Tuple) Key() string { return string(t.AppendKey(nil)) }
+
+// AppendKey appends Key's encoding to buf — the allocation-free form for
+// hot loops that probe a map with m[string(buf)] before deciding whether
+// to retain the key.
+func (t Tuple) AppendKey(buf []byte) []byte {
 	for _, v := range t {
 		buf = v.Lo.AppendKey(buf)
 		buf = v.SG.AppendKey(buf)
 		buf = v.Hi.AppendKey(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 // SGKey returns an injective encoding of the selected-guess tuple, used by
