@@ -42,6 +42,14 @@
 // ctx.Err(). ExplainAnalyze executes a query with instrumented operators
 // and reports per-operator rows/batches/time.
 //
+// Plans pass a rule-based logical optimizer and, on the native engine, a
+// cost-based planning pass: per-table statistics (collected lazily at
+// registration, refreshed with Analyze) feed a range-aware cardinality
+// estimator that reorders join chains, picks hash build sides and
+// pre-sizes the physical operators. WithCostModel(CostOff) keeps the
+// written join order; Explain and ExplainAnalyze show the per-operator
+// row estimates the decisions were based on.
+//
 // Performance is tuned per query with functional options (WithWorkers,
 // WithJoinCompression, WithAggCompression) or database-wide with
 // SetOptions. JoinCompression and AggCompression enable the paper's
@@ -70,6 +78,7 @@ import (
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/stats"
 	"github.com/audb/audb/internal/translate"
 	"github.com/audb/audb/internal/types"
 	"github.com/audb/audb/internal/worlds"
@@ -282,6 +291,53 @@ func (m OptimizerMode) String() string {
 	return "on"
 }
 
+// CostModel switches cost-based planning for a query.
+type CostModel int
+
+const (
+	// CostOn applies the cost-based planning pass after the rule-based
+	// optimizer: catalog statistics drive greedy join reordering, hash
+	// build-side selection and size hints for the physical operators, and
+	// every operator carries a row estimate shown by Explain and
+	// ExplainAnalyze. The default. Results are bit-identical to CostOff —
+	// the reorder rule is result-exact under AU-DB bound semantics and
+	// the physical hints never affect results — with one presentation
+	// caveat: like any plan change in a conventional DBMS, reordering may
+	// change the order in which ORDER BY rows with EQUAL sort keys
+	// appear (ties keep arrival order per core.OrderCompare; the row
+	// multiset, ranges and multiplicities are identical). LIMIT results
+	// are protected outright: the planner never reorders or flips build
+	// sides below a Limit, whose first-N truncation observes arrival
+	// order. Cost-based planning applies to the native engine with the
+	// rule optimizer on; it is skipped for compressed executions
+	// (JoinCompression/AggCompression), whose merge granularity the
+	// restoring projection would perturb.
+	CostOn CostModel = iota
+	// CostOff executes the rule-optimized plan in the written join order,
+	// with default build sides and no pre-sizing. The `cbo` benchmark
+	// baseline.
+	CostOff
+)
+
+// String names the mode ("on", "off").
+func (m CostModel) String() string {
+	if m == CostOff {
+		return "off"
+	}
+	return "on"
+}
+
+// ParseCostModel resolves a cost model name as printed by String.
+func ParseCostModel(name string) (CostModel, error) {
+	switch strings.ToLower(name) {
+	case "on", "":
+		return CostOn, nil
+	case "off":
+		return CostOff, nil
+	}
+	return CostOn, fmt.Errorf("audb: unknown cost model %q (want on or off)", name)
+}
+
 // queryConfig is the resolved per-query configuration: the database
 // defaults overlaid with this query's functional options.
 type queryConfig struct {
@@ -289,6 +345,7 @@ type queryConfig struct {
 	opts      Options
 	optimizer OptimizerMode
 	execMode  ExecMode
+	cost      CostModel
 }
 
 // QueryOption customizes a single query execution, overriding the
@@ -305,6 +362,14 @@ func WithEngine(e Engine) QueryOption {
 // plan exactly as the SQL front end compiled it.
 func WithOptimizer(m OptimizerMode) QueryOption {
 	return func(c *queryConfig) { c.optimizer = m }
+}
+
+// WithCostModel switches cost-based planning for this query. It is on by
+// default; WithCostModel(CostOff) keeps the written join order and the
+// default physical lowering (the rule-based optimizer still runs unless
+// WithOptimizer(OptimizerOff) disables it too).
+func WithCostModel(m CostModel) QueryOption {
+	return func(c *queryConfig) { c.cost = m }
 }
 
 // WithExecMode selects the physical executor for this query. The native
@@ -345,13 +410,22 @@ func WithAggCompression(target int) QueryOption {
 // the caller's race to avoid.)
 type Database struct {
 	cat *core.Catalog
+	// st caches per-table statistics for the cost-based planner. The
+	// catalog notifies it of every Register/Drop (collection itself is
+	// lazy), so statistics are never served for a dropped table.
+	st *stats.Registry
 
 	mu   sync.RWMutex
 	opts Options // database-wide defaults, overridable per query
 }
 
 // New creates an empty database.
-func New() *Database { return &Database{cat: core.NewCatalog()} }
+func New() *Database {
+	cat := core.NewCatalog()
+	st := stats.NewRegistry()
+	cat.SetObserver(st)
+	return &Database{cat: cat, st: st}
+}
 
 // SetOptions configures the database-wide default execution options.
 // Per-query functional options (WithWorkers, WithJoinCompression,
@@ -406,6 +480,34 @@ func (d *Database) Relation(name string) (*core.Relation, error) {
 	return r, nil
 }
 
+// TableStats is the per-table statistics summary the cost-based planner
+// consumes (see internal/stats for the collected measures).
+type TableStats = stats.TableStats
+
+// ColStats is one column's statistics summary.
+type ColStats = stats.ColStats
+
+// TableStats returns the current statistics for a registered table,
+// collecting them on first use. Statistics reflect the rows at collection
+// time; use Analyze after mutating a registered relation in place.
+func (d *Database) TableStats(name string) (*TableStats, error) {
+	if ts, ok := d.st.TableStats(name); ok {
+		return ts, nil
+	}
+	return nil, schema.UnknownTable("audb", name, d.cat.Tables())
+}
+
+// Analyze recollects the statistics for a registered table immediately
+// and returns them. Registration already (lazily) collects statistics, so
+// Analyze is only needed after mutating a registered relation's rows in
+// place — or to pay the collection cost eagerly at load time.
+func (d *Database) Analyze(name string) (*TableStats, error) {
+	if ts, ok := d.st.Analyze(name); ok {
+		return ts, nil
+	}
+	return nil, schema.UnknownTable("audb", name, d.cat.Tables())
+}
+
 // Plan compiles a SQL query against this database's catalog.
 func (d *Database) Plan(q string) (ra.Node, error) {
 	return sql.Compile(q, ra.CatalogMap(d.cat.Schemas()))
@@ -457,17 +559,22 @@ func (e *PlanExplanation) String() string {
 	return body
 }
 
-// Explain compiles a SQL query and runs the logical optimizer with
-// tracing, without executing anything. The same optimized plan is what
-// QueryContext executes by default.
-func (d *Database) Explain(q string) (*PlanExplanation, error) {
+// Explain compiles a SQL query and runs the logical optimizer and the
+// cost-based planning pass with tracing, without executing anything. The
+// same final plan is what QueryContext executes by default. With cost-
+// based planning active (the default), the optimized plan is rendered
+// with each operator's estimated row count, and join reorderings appear
+// in the rule trace; options (WithOptimizer, WithCostModel, WithEngine,
+// the compression knobs) select the same planning path they select for
+// execution.
+func (d *Database) Explain(q string, opts ...QueryOption) (*PlanExplanation, error) {
 	snap := d.cat.Snapshot()
 	cat := ra.CatalogMap(snap.Schemas())
 	plan, err := sql.Compile(q, cat)
 	if err != nil {
 		return nil, err
 	}
-	exp, _, err := explainPlan(q, plan, cat)
+	exp, _, _, err := d.explainPlan(q, plan, cat, d.resolve(opts))
 	return exp, err
 }
 
@@ -488,32 +595,19 @@ func (d *Database) ExplainAnalyze(ctx context.Context, q string, opts ...QueryOp
 	if err != nil {
 		return nil, err
 	}
-	cfg := queryConfig{engine: EngineNative, opts: d.defaults()}
-	for _, o := range opts {
-		if o != nil {
-			o(&cfg)
-		}
-	}
+	cfg := d.resolve(opts)
 	if cfg.engine != EngineNative {
 		return nil, fmt.Errorf("audb: ExplainAnalyze instruments the native engine only (got engine %v)", cfg.engine)
 	}
-	var exp *PlanExplanation
-	execPlan := plan
-	if cfg.optimizer == OptimizerOn {
-		var err error
-		exp, execPlan, err = explainPlan(q, plan, cat)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		rendered := ra.Render(plan)
-		exp = &PlanExplanation{Query: q, Plan: rendered, Optimized: rendered}
+	exp, execPlan, ann, err := d.explainPlan(q, plan, cat, cfg)
+	if err != nil {
+		return nil, err
 	}
 	mode := phys.Pipelined
 	if cfg.execMode == ExecMaterialized {
 		mode = phys.Materialized
 	}
-	pp, err := phys.Compile(execPlan, snap, phys.Options{Mode: mode, Exec: cfg.opts, Analyze: true})
+	pp, err := phys.Compile(execPlan, snap, phys.Options{Mode: mode, Exec: cfg.opts, Analyze: true, Est: ann})
 	if err != nil {
 		return nil, err
 	}
@@ -525,29 +619,71 @@ func (d *Database) ExplainAnalyze(ctx context.Context, q string, opts ...QueryOp
 }
 
 // ExplainPlan is Explain for a pre-compiled plan.
-func (d *Database) ExplainPlan(plan ra.Node) (*PlanExplanation, error) {
-	exp, _, err := explainPlan("", plan, ra.CatalogMap(d.cat.Schemas()))
+func (d *Database) ExplainPlan(plan ra.Node, opts ...QueryOption) (*PlanExplanation, error) {
+	exp, _, _, err := d.explainPlan("", plan, ra.CatalogMap(d.cat.Schemas()), d.resolve(opts))
 	return exp, err
 }
 
-// explainPlan runs the optimizer with tracing and assembles the
-// explanation; it also returns the optimized plan for callers that go on
-// to execute it (ExplainAnalyze).
-func explainPlan(q string, plan ra.Node, cat ra.CatalogMap) (*PlanExplanation, ra.Node, error) {
-	optimized, trace, err := opt.OptimizeTrace(plan, cat)
-	if err != nil {
-		return nil, nil, err
+// resolve overlays the per-query options onto the database defaults.
+func (d *Database) resolve(opts []QueryOption) queryConfig {
+	cfg := queryConfig{engine: EngineNative, opts: d.defaults()}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	out := &PlanExplanation{
-		Query:     q,
-		Plan:      trace.Input,
-		Optimized: trace.Output,
-		Passes:    trace.Passes,
+	return cfg
+}
+
+// costEnabled reports whether the cost-based planning pass runs for this
+// configuration: cost model on, over a rule-optimized plan, and not
+// compressed (the reorder rule's restoring projection is a merge point,
+// observable under split+compress — the same gate the pipelined executor
+// applies to streaming projections).
+func (d *Database) costEnabled(cfg queryConfig) bool {
+	return cfg.cost == CostOn && cfg.optimizer == OptimizerOn && !cfg.opts.Compressed()
+}
+
+// explainPlan runs the optimizer (with tracing) and, for the native
+// engine, the cost-based planning pass, assembling the explanation. It
+// also returns the final plan and its cost annotations for callers that
+// go on to execute it (ExplainAnalyze).
+func (d *Database) explainPlan(q string, plan ra.Node, cat ra.CatalogMap, cfg queryConfig) (*PlanExplanation, ra.Node, *opt.Annotations, error) {
+	exp := &PlanExplanation{Query: q}
+	cur := plan
+	if cfg.optimizer == OptimizerOn {
+		optimized, trace, err := opt.OptimizeTrace(plan, cat)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		exp.Plan, exp.Optimized, exp.Passes = trace.Input, trace.Output, trace.Passes
+		for _, s := range trace.Steps {
+			exp.Rules = append(exp.Rules, RuleApplication{Rule: s.Rule, Pass: s.Pass, Plan: s.Plan})
+		}
+		cur = optimized
+	} else {
+		rendered := ra.Render(plan)
+		exp.Plan, exp.Optimized = rendered, rendered
 	}
-	for _, s := range trace.Steps {
-		out.Rules = append(out.Rules, RuleApplication{Rule: s.Rule, Pass: s.Pass, Plan: s.Plan})
+	var ann *opt.Annotations
+	if cfg.engine == EngineNative && d.costEnabled(cfg) {
+		var steps []opt.Step
+		var err error
+		cur, ann, steps, err = opt.CostOptimizeTrace(cur, cat, d.st)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(steps) > 0 {
+			exp.Passes++
+		}
+		for _, s := range steps {
+			exp.Rules = append(exp.Rules, RuleApplication{Rule: s.Rule, Pass: exp.Passes, Plan: s.Plan})
+		}
+		// The final plan renders with per-operator row estimates — the
+		// EXPLAIN surface of the cost model.
+		exp.Optimized = ann.Render(cur)
 	}
-	return out, optimized, nil
+	return exp, cur, ann, nil
 }
 
 // QueryContext compiles and evaluates a SQL query. The engine and
@@ -585,12 +721,7 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 	if ra.IsNil(plan) {
 		return nil, fmt.Errorf("audb: nil plan")
 	}
-	cfg := queryConfig{engine: EngineNative, opts: d.defaults()}
-	for _, o := range opts {
-		if o != nil {
-			o(&cfg)
-		}
-	}
+	cfg := d.resolve(opts)
 	if cfg.optimizer == OptimizerOn {
 		var err error
 		if st != nil {
@@ -604,10 +735,21 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 	}
 	switch cfg.engine {
 	case EngineNative:
+		// Cost-based planning runs per execution (it is a cheap tree
+		// pass) so prepared statements always plan against the current
+		// statistics; only the rule-based optimization is cached.
+		var est *opt.Annotations
+		if d.costEnabled(cfg) {
+			var err error
+			plan, est, err = opt.CostOptimize(plan, ra.CatalogMap(snap.Schemas()), d.st)
+			if err != nil {
+				return nil, err
+			}
+		}
 		if cfg.execMode == ExecMaterialized {
 			return core.Exec(ctx, plan, snap, cfg.opts)
 		}
-		return phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts})
+		return phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts, Est: est})
 	case EngineRewrite:
 		// Encode only the tables the plan scans: the middleware pays an
 		// O(table size) encoding cost per execution, and unrelated

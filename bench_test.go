@@ -262,3 +262,58 @@ func BenchmarkTranslateXDB(b *testing.B) {
 }
 
 var benchSink fmt.Stringer
+
+// ---- cost-based planning micro-benchmarks -----------------------------
+
+// joinReorderDB builds the adversarial join-order workload of the cbo
+// experiment at micro-benchmark size: two large dense tables written
+// first, a tiny selective table last.
+func joinReorderDB() (*audb.Database, string) {
+	db := audb.New()
+	t1, t2 := synth.JoinPair(1200, 75, 11)
+	t3, _ := synth.JoinPair(12, 12, 12)
+	db.AddRelation("t1", core.FromDeterministic(t1))
+	db.AddRelation("t2", core.FromDeterministic(t2))
+	db.AddRelation("t3", core.FromDeterministic(t3))
+	q := `SELECT t1.a1, t2.a1, t3.a1 FROM t1, t2, t3 ` +
+		`WHERE t1.a0 = t2.a0 AND t2.a1 = t3.a0 AND t3.a1 <= 6`
+	return db, q
+}
+
+func benchJoinReorder(b *testing.B, cost audb.CostModel) {
+	db, q := joinReorderDB()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryContext(ctx, q, audb.WithCostModel(cost)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinReorderCostOn/CostOff measure the cost-based planner on an
+// adversarial 3-table join order (the `cbo` experiment's shape); CostOff
+// runs the rule-optimized plan in the written order.
+func BenchmarkJoinReorderCostOn(b *testing.B)  { benchJoinReorder(b, audb.CostOn) }
+func BenchmarkJoinReorderCostOff(b *testing.B) { benchJoinReorder(b, audb.CostOff) }
+
+// BenchmarkJoinReorderPlanOnly isolates the planning overhead the cost
+// pass adds per execution (statistics are cached; the pass is tree work).
+func BenchmarkJoinReorderPlanOnly(b *testing.B) {
+	db, q := joinReorderDB()
+	exp, err := db.Explain(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSink = exp
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := db.Explain(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = e
+	}
+}

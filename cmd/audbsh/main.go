@@ -11,15 +11,25 @@
 // remain as shorthands.
 //
 // Plans are optimized by the rule-based logical optimizer by default;
-// -opt=off executes the plan exactly as compiled. -explain (or prefixing
-// the query with `\explain `) prints the compiled plan, the per-rule
-// rewrite trace and the optimized plan instead of executing.
+// -opt=off executes the plan exactly as compiled. On top of the rules,
+// the cost-based planner uses per-table statistics to reorder join
+// chains, pick hash build sides and pre-size operators; -cost=off keeps
+// the written join order. -explain (or prefixing the query with
+// `\explain `) prints the compiled plan, the per-rule rewrite trace and
+// the optimized plan — with per-operator row estimates when the cost
+// model is on — instead of executing.
 //
 // The native engine runs the pipelined physical executor by default;
 // -exec materialized forces the operator-at-a-time reference executor.
 // -analyze (or prefixing the query with `\analyze `) executes the query
-// and prints per-operator rows/batches/time counters (EXPLAIN ANALYZE)
-// instead of the result.
+// and prints per-operator est/rows/batches/time counters (EXPLAIN
+// ANALYZE) instead of the result.
+//
+// Statistics are inspected with `\stats <table>` (the cached statistics
+// the planner sees, collected on first use) and refreshed with
+// `\analyze <table>` (recollects and prints them — `\analyze` followed
+// by a single table name analyzes the table; followed by a query it
+// analyzes the execution).
 //
 // Usage:
 //
@@ -28,6 +38,8 @@
 //	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
 //	audbsh -table e=emp.csv -table d=dept.csv "\explain SELECT e.name FROM e, d WHERE e.dept = d.name"
 //	audbsh -table e=emp.csv "\analyze SELECT name FROM e WHERE salary > 70 ORDER BY salary LIMIT 5"
+//	audbsh -table e=emp.csv "\stats e"
+//	audbsh -table e=emp.csv "\analyze e"
 package main
 
 import (
@@ -66,8 +78,9 @@ func main() {
 		execMode = flag.String("exec", "", "physical executor: pipelined (default) or materialized")
 		showPlan = flag.Bool("plan", false, "print the loaded tables and the compiled plan")
 		explain  = flag.Bool("explain", false, "print the compiled plan, optimizer trace and optimized plan instead of executing")
-		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print per-operator rows/batches/time instead of the result")
+		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print per-operator est/rows/batches/time instead of the result")
 		optMode  = flag.String("opt", "on", "logical optimizer: on (default) or off")
+		costMode = flag.String("cost", "on", "cost-based planner (statistics, join reordering, build sides): on (default) or off")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
 	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
@@ -81,14 +94,24 @@ func main() {
 	}
 	query := flag.Arg(0)
 	// `\explain SELECT ...` and `\analyze SELECT ...` are the query-prefix
-	// forms of -explain and -analyze.
+	// forms of -explain and -analyze; `\analyze <table>` (a single table
+	// name) recollects that table's statistics and `\stats <table>` prints
+	// the cached ones.
+	statsTable, analyzeTable := "", ""
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\explain `); ok {
 		*explain = true
 		query = rest
 	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\stats `); ok {
+		statsTable = strings.TrimSpace(rest)
+	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\analyze `); ok {
-		*analyze = true
-		query = rest
+		if fields := strings.Fields(rest); len(fields) == 1 {
+			analyzeTable = fields[0]
+		} else {
+			*analyze = true
+			query = rest
+		}
 	}
 
 	optimizer := audb.OptimizerOn
@@ -98,6 +121,10 @@ func main() {
 		optimizer = audb.OptimizerOff
 	default:
 		fatal(fmt.Errorf("audbsh: -opt must be on or off, got %q", *optMode))
+	}
+	cost, err := audb.ParseCostModel(*costMode)
+	if err != nil {
+		fatal(fmt.Errorf("audbsh: -cost must be on or off, got %q", *costMode))
 	}
 
 	eng, err := audb.ParseEngine(*engine)
@@ -165,6 +192,24 @@ func main() {
 		fatal(fmt.Errorf("audbsh: no tables loaded (use -table / -au-table)"))
 	}
 
+	// Statistics commands print and exit before any query planning.
+	if statsTable != "" {
+		ts, err := db.TableStats(statsTable)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ts)
+		return
+	}
+	if analyzeTable != "" {
+		ts, err := db.Analyze(analyzeTable)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ts)
+		return
+	}
+
 	plan, err := db.Plan(query)
 	if err != nil {
 		fatal(err)
@@ -175,7 +220,13 @@ func main() {
 		fmt.Fprint(os.Stderr, ra.Render(plan))
 	}
 	if *explain {
-		exp, err := db.Explain(query)
+		exp, err := db.Explain(query,
+			audb.WithEngine(eng),
+			audb.WithOptimizer(optimizer),
+			audb.WithCostModel(cost),
+			audb.WithJoinCompression(*joinCT),
+			audb.WithAggCompression(*aggCT),
+		)
 		if err != nil {
 			fatal(err)
 		}
@@ -190,6 +241,7 @@ func main() {
 		exp, err := db.ExplainAnalyze(ctx, query,
 			audb.WithEngine(eng),
 			audb.WithOptimizer(optimizer),
+			audb.WithCostModel(cost),
 			audb.WithExecMode(em),
 			audb.WithWorkers(*workers),
 			audb.WithJoinCompression(*joinCT),
@@ -212,6 +264,7 @@ func main() {
 	res, err := db.ExecPlan(ctx, plan,
 		audb.WithEngine(eng),
 		audb.WithOptimizer(optimizer),
+		audb.WithCostModel(cost),
 		audb.WithExecMode(em),
 		audb.WithWorkers(*workers),
 		audb.WithJoinCompression(*joinCT),

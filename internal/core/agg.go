@@ -288,13 +288,13 @@ type outGroup struct {
 // bounding box (Definition 25). Workers build partial group maps over
 // contiguous chunks; merging partials in chunk order reproduces the serial
 // first-seen group order and ascending member order exactly.
-func buildGroups(ctx context.Context, exact []contrib, groupBy []int, workers int) (map[string]*outGroup, []string, error) {
+func buildGroups(ctx context.Context, exact []contrib, groupBy []int, workers, sizeHint int) (map[string]*outGroup, []string, error) {
 	spans := ChunkSpans(len(exact), workers, minParTuples)
 	maps := make([]map[string]*outGroup, len(spans))
 	orders := make([][]string, len(spans))
 	if err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var err error
-		maps[c], orders[c], err = buildGroupsRange(exact, groupBy, s.Lo, s.Hi, p)
+		maps[c], orders[c], err = buildGroupsRange(exact, groupBy, s.Lo, s.Hi, sizeHint, p)
 		return err
 	}); err != nil {
 		return nil, nil, err
@@ -319,8 +319,17 @@ func buildGroups(ctx context.Context, exact []contrib, groupBy []int, workers in
 }
 
 // buildGroupsRange is the serial group assignment over contribs [lo, hi).
-func buildGroupsRange(exact []contrib, groupBy []int, lo, hi int, p *ctxpoll.Poll) (map[string]*outGroup, []string, error) {
-	groups := map[string]*outGroup{}
+// sizeHint (the planner's estimated group count, 0 = none) pre-sizes the
+// group map; it is capped against the input size so a wild over-estimate
+// cannot allocate more buckets than distinct groups are possible.
+func buildGroupsRange(exact []contrib, groupBy []int, lo, hi, sizeHint int, p *ctxpoll.Poll) (map[string]*outGroup, []string, error) {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	if sizeHint > hi-lo {
+		sizeHint = hi - lo
+	}
+	groups := make(map[string]*outGroup, sizeHint)
 	var order []string
 	for i := lo; i < hi; i++ {
 		if err := p.Due(); err != nil {
@@ -396,7 +405,7 @@ func aggregate(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan
 	// Default grouping strategy (Definition 24): one output per distinct
 	// SG group-by value; α assigns every tuple by its SG values. Without
 	// group-by there is a single output group.
-	groups, order, err := buildGroups(ctx, exact, groupBy, workers)
+	groups, order, err := buildGroups(ctx, exact, groupBy, workers, opt.SizeHint)
 	if err != nil {
 		return nil, err
 	}

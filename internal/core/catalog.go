@@ -19,10 +19,34 @@ import (
 type Catalog struct {
 	mu   sync.RWMutex
 	rels DB
+	obs  CatalogObserver
+}
+
+// CatalogObserver is notified of catalog mutations — the hook the
+// statistics registry (internal/stats) uses to keep per-table statistics
+// in sync with registration. Notifications are delivered under the
+// catalog's lock, in mutation order, so an observer always sees the same
+// sequence of events the catalog applied; implementations must therefore
+// be fast and must not call back into the catalog.
+type CatalogObserver interface {
+	// Registered reports that r is now registered under name (a
+	// replacement delivers Registered for the new relation only).
+	Registered(name string, r *Relation)
+	// Dropped reports that the table is gone (also delivered when a
+	// case-variant registration displaces an existing entry).
+	Dropped(name string)
 }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{rels: DB{}} }
+
+// SetObserver installs the mutation observer (nil uninstalls). Install it
+// before registering tables; events are not replayed.
+func (c *Catalog) SetObserver(o CatalogObserver) {
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
+}
 
 // Register adds or replaces a relation under the given name. Names are
 // case-insensitive to match the planner (which resolves them against a
@@ -34,8 +58,14 @@ func (c *Catalog) Register(name string, r *Relation) {
 	defer c.mu.Unlock()
 	if k, ok := schema.ResolveFold(c.rels, name); ok && k != name {
 		delete(c.rels, k)
+		if c.obs != nil {
+			c.obs.Dropped(k)
+		}
 	}
 	c.rels[name] = r
+	if c.obs != nil {
+		c.obs.Registered(name, r)
+	}
 }
 
 // Drop removes a relation, resolving the name the way queries do
@@ -45,6 +75,9 @@ func (c *Catalog) Drop(name string) {
 	defer c.mu.Unlock()
 	if k, ok := schema.ResolveFold(c.rels, name); ok {
 		delete(c.rels, k)
+		if c.obs != nil {
+			c.obs.Dropped(k)
+		}
 	}
 }
 

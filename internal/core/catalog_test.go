@@ -115,3 +115,42 @@ func TestCatalogConcurrentAccess(t *testing.T) {
 	default:
 	}
 }
+
+// eventObserver records catalog mutation notifications in order.
+type eventObserver struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (o *eventObserver) Registered(name string, r *Relation) {
+	o.mu.Lock()
+	o.events = append(o.events, "reg:"+name)
+	o.mu.Unlock()
+}
+
+func (o *eventObserver) Dropped(name string) {
+	o.mu.Lock()
+	o.events = append(o.events, "drop:"+name)
+	o.mu.Unlock()
+}
+
+func TestCatalogObserver(t *testing.T) {
+	c := NewCatalog()
+	obs := &eventObserver{}
+	c.SetObserver(obs)
+	c.Register("t", catRel(1))
+	c.Register("t", catRel(2)) // replacement: Registered only
+	c.Register("T", catRel(3)) // case-variant displaces "t"
+	c.Drop("nope")             // unknown: no event
+	c.Drop("t")                // folds to "T"
+	want := []string{"reg:t", "reg:t", "drop:t", "reg:T", "drop:T"}
+	if fmt.Sprint(obs.events) != fmt.Sprint(want) {
+		t.Fatalf("events = %v, want %v", obs.events, want)
+	}
+	// Uninstalling stops notifications.
+	c.SetObserver(nil)
+	c.Register("u", catRel(4))
+	if len(obs.events) != len(want) {
+		t.Fatalf("observer notified after uninstall: %v", obs.events)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -604,5 +605,45 @@ func TestFromDeterministicRoundtrip(t *testing.T) {
 	}
 	if au.String() == "" || au.Tuples[0].String() == "" {
 		t.Error("render")
+	}
+}
+
+// TestJoinBuildSideIdentity: the hybrid join must produce the identical
+// canonical result whichever side feeds the hash index — the property the
+// stats-driven build-side selection relies on.
+func TestJoinBuildSideIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func(rows int) *Relation {
+		rel := New(schema.New("a", "b"))
+		for i := 0; i < rows; i++ {
+			v := rangeval.Certain(types.Int(int64(rng.Intn(5))))
+			if rng.Intn(5) == 0 {
+				sg := int64(rng.Intn(5))
+				v = rangeval.New(types.Int(sg-1), types.Int(sg), types.Int(sg+1))
+			}
+			rel.Add(Tuple{
+				Vals: rangeval.Tuple{v, rangeval.Certain(types.Int(int64(rng.Intn(4))))},
+				M:    Mult{Lo: int64(rng.Intn(2)), SG: 1, Hi: 1 + int64(rng.Intn(2))},
+			})
+		}
+		return rel
+	}
+	l, r := mk(40), mk(13)
+	cond := expr.And(
+		expr.Eq(expr.Col(0, "a"), expr.Col(2, "a")),
+		expr.Leq(expr.Col(1, "b"), expr.Col(3, "b")),
+	)
+	for _, workers := range []int{1, 4} {
+		right, err := JoinRelations(context.Background(), l, r, cond, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, err := JoinRelations(context.Background(), l, r, cond, Options{Workers: workers, JoinBuildLeft: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if right.Merge().Sort().String() != left.Merge().Sort().String() {
+			t.Fatalf("build side changed the join result (workers=%d):\n%s\nvs\n%s", workers, right, left)
+		}
 	}
 }

@@ -32,6 +32,19 @@ type Options struct {
 	// 0 (the zero value) means runtime.GOMAXPROCS(0); 1 forces the serial
 	// reference evaluation. Results are identical for every worker count.
 	Workers int
+	// JoinBuildLeft builds the hybrid join's hash index over the left
+	// input's certain partition and probes with the right — the
+	// stats-driven physical lowering (internal/phys) sets it per join
+	// when the left input is estimated smaller. Results are identical
+	// either way (only the emission order of the certain×certain quadrant
+	// changes, and every result is canonically merged).
+	JoinBuildLeft bool
+	// SizeHint is the planner's estimated output rows for the operator
+	// this Options value is applied to (0 = no estimate). The
+	// aggregation kernel pre-sizes its group maps from it (capped by the
+	// actual input size); it never affects results. Set per operator by
+	// the stats-driven lowering, never database-wide.
+	SizeHint int
 }
 
 // Compressed reports whether either split+compress optimization is on.

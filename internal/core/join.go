@@ -36,7 +36,7 @@ func JoinRelations(ctx context.Context, l, r *Relation, cond expr.Expr, opt Opti
 	if opt.NaiveJoin {
 		return joinNested(ctx, l, r, cond, nil, nil, w)
 	}
-	return joinHybrid(ctx, l, r, cond, w)
+	return joinHybrid(ctx, l, r, cond, opt.JoinBuildLeft, w)
 }
 
 // joinPair combines one pair of tuples under the condition, returning a
@@ -114,7 +114,7 @@ func allIdx(n int) []int {
 // attributes and hash joins the certain parts. Exact: identical result to
 // joinNested. The hash-probe side and the uncertain nested-loop quadrants
 // are both partitioned across workers.
-func joinHybrid(ctx context.Context, l, r *Relation, cond expr.Expr, workers int) (*Relation, error) {
+func joinHybrid(ctx context.Context, l, r *Relation, cond expr.Expr, buildLeft bool, workers int) (*Relation, error) {
 	split := l.Schema.Arity()
 	var lCols, rCols []int
 	if cond != nil {
@@ -138,25 +138,42 @@ func joinHybrid(ctx context.Context, l, r *Relation, cond expr.Expr, workers int
 	// full condition is still evaluated with range semantics to account
 	// for residual conjuncts over other (possibly uncertain) attributes.
 	// The build side is sequential; probes run chunked over workers.
-	index := make(map[string][]int, len(rCert))
-	for _, j := range rCert {
-		k := sgKeyOn(r.Tuples[j].Vals, rCols)
+	// Options.JoinBuildLeft (set per join by the stats-driven lowering)
+	// feeds the index from the left input instead of the right; output
+	// columns are unchanged — only which side the probe loop iterates
+	// over (and therefore the emission order of this quadrant) differs,
+	// and every result is canonically merged.
+	build, probe := rCert, lCert
+	buildRel, probeRel := r, l
+	buildCols, probeCols := rCols, lCols
+	if buildLeft {
+		build, probe = lCert, rCert
+		buildRel, probeRel = l, r
+		buildCols, probeCols = lCols, rCols
+	}
+	index := make(map[string][]int, len(build))
+	for _, j := range build {
+		k := sgKeyOn(buildRel.Tuples[j].Vals, buildCols)
 		index[k] = append(index[k], j)
 	}
-	spans := ChunkSpans(len(lCert), workers, minParTuples)
+	spans := ChunkSpans(len(probe), workers, minParTuples)
 	bufs := make([][]Tuple, len(spans))
 	err := runSpans(ctx, spans, func(c int, s Span, p *ctxpoll.Poll) error {
 		var buf []Tuple
-		for _, i := range lCert[s.Lo:s.Hi] {
+		for _, i := range probe[s.Lo:s.Hi] {
 			if err := p.Due(); err != nil {
 				return err
 			}
-			k := sgKeyOn(l.Tuples[i].Vals, lCols)
+			k := sgKeyOn(probeRel.Tuples[i].Vals, probeCols)
 			for _, j := range index[k] {
 				if err := p.Due(); err != nil {
 					return err
 				}
-				tup, err := joinPair(l.Tuples[i], r.Tuples[j], cond)
+				li, ri := i, j
+				if buildLeft {
+					li, ri = j, i
+				}
+				tup, err := joinPair(l.Tuples[li], r.Tuples[ri], cond)
 				if err != nil {
 					return err
 				}
@@ -241,7 +258,7 @@ func joinOptimized(ctx context.Context, l, r *Relation, cond expr.Expr, ct, work
 		return nil, err
 	}
 
-	sgJoin, err := joinHybrid(ctx, lSG, rSG, cond, workers)
+	sgJoin, err := joinHybrid(ctx, lSG, rSG, cond, false, workers)
 	if err != nil {
 		return nil, err
 	}

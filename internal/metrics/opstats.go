@@ -22,6 +22,13 @@ type OpStats struct {
 	Strategy string
 	// Rows is the number of tuples this operator emitted.
 	Rows int64
+	// EstRows is the planner's estimated output rows (meaningful when
+	// HasEst) — printed next to the actual count so estimate-vs-actual
+	// drift is visible in one trace.
+	EstRows int64
+	// HasEst reports whether the cost model produced an estimate for
+	// this operator (false when cost-based planning was off).
+	HasEst bool
 	// Batches is the number of non-empty batches this operator emitted.
 	// Materialized operators stream their result too, so they report
 	// ceil(rows / batch size) like any other operator.
@@ -81,8 +88,12 @@ func (s *ExecStats) String() string {
 	var walk func(o *OpStats, depth int)
 	walk = func(o *OpStats, depth int) {
 		op := strings.Repeat("  ", depth) + o.Op
-		fmt.Fprintf(&sb, "%-*s  %-12s rows=%-8d batches=%-6d time=%s (self %s)\n",
-			width, op, o.Strategy, o.Rows, o.Batches, fmtDur(o.Elapsed), fmtDur(o.Self()))
+		est := "-"
+		if o.HasEst {
+			est = fmt.Sprintf("%d", o.EstRows)
+		}
+		fmt.Fprintf(&sb, "%-*s  %-12s rows=%-8d est=%-8s batches=%-6d time=%s (self %s)\n",
+			width, op, o.Strategy, o.Rows, est, o.Batches, fmtDur(o.Elapsed), fmtDur(o.Self()))
 		for _, c := range o.Children {
 			walk(c, depth+1)
 		}

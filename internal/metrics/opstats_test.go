@@ -7,7 +7,8 @@ import (
 )
 
 func TestOpStatsSelfAndRender(t *testing.T) {
-	leaf := &OpStats{Op: "Scan(t)", Strategy: "stream", Rows: 100, Batches: 2, Elapsed: 3 * time.Millisecond}
+	leaf := &OpStats{Op: "Scan(t)", Strategy: "stream", Rows: 100, Batches: 2, Elapsed: 3 * time.Millisecond,
+		EstRows: 90, HasEst: true}
 	mid := &OpStats{Op: "Select[(a < 3)]", Strategy: "stream", Rows: 40, Batches: 2,
 		Elapsed: 5 * time.Millisecond, Children: []*OpStats{leaf}}
 	root := &OpStats{Op: "Limit(5)", Strategy: "stream", Rows: 5, Batches: 1,
@@ -26,7 +27,7 @@ func TestOpStatsSelfAndRender(t *testing.T) {
 	for _, want := range []string{
 		"execution: pipelined (batch 64), total 7.00ms",
 		"Limit(5)", "  Select[(a < 3)]", "    Scan(t)",
-		"rows=100", "batches=2", "self",
+		"rows=100", "est=90", "batches=2", "self",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendering missing %q:\n%s", want, out)
@@ -36,5 +37,21 @@ func TestOpStatsSelfAndRender(t *testing.T) {
 	empty := &ExecStats{Mode: "materialized", BatchSize: 1}
 	if got := empty.String(); !strings.HasPrefix(got, "execution: materialized") || strings.Count(got, "\n") != 1 {
 		t.Fatalf("empty render: %q", got)
+	}
+}
+
+// TestOpStatsEstColumn: operators without an estimate render est=-, ones
+// with an estimate render the number — so a cost-off trace is visibly
+// distinct from an est-0 trace.
+func TestOpStatsEstColumn(t *testing.T) {
+	with := &OpStats{Op: "Scan(t)", Strategy: "stream", Rows: 3, EstRows: 0, HasEst: true}
+	s := &ExecStats{Mode: "pipelined", BatchSize: 1, Root: with}
+	if out := s.String(); !strings.Contains(out, "est=0") {
+		t.Fatalf("explicit zero estimate missing:\n%s", out)
+	}
+	without := &OpStats{Op: "Scan(t)", Strategy: "stream", Rows: 3}
+	s = &ExecStats{Mode: "pipelined", BatchSize: 1, Root: without}
+	if out := s.String(); !strings.Contains(out, "est=-") {
+		t.Fatalf("missing est placeholder:\n%s", out)
 	}
 }

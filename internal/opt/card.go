@@ -1,0 +1,669 @@
+package opt
+
+// This file is the range-aware cardinality estimator behind the
+// cost-based planning pass (join_order.go). Estimates propagate catalog
+// statistics (internal/stats) bottom-up through every RA_agg operator.
+// The one departure from a textbook System-R estimator is that range
+// tuples make predicates fuzzier, not sharper: a tuple whose attribute
+// carries bounds [lb, ub] possibly satisfies a predicate whenever the
+// bounds overlap its window, so every selectivity below is WIDENED by the
+// column's mean bound width (or, for non-numeric columns, by the
+// uncertain fraction). Under-estimating an uncertain predicate would make
+// the planner put the quadratic overlap-join quadrants on the wrong side;
+// over-estimating only costs a slightly larger pre-allocation.
+//
+// Estimates never affect results — they drive join ordering, build-side
+// selection and pre-sizing only — so all formulas are deliberately simple
+// and documented in the README's "Cost-based planning" section.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/stats"
+	"github.com/audb/audb/internal/types"
+)
+
+const (
+	// defaultRows is the scan estimate for tables without statistics.
+	defaultRows = 1000
+	// defaultNDVFrac estimates NDV as this fraction of rows when unknown.
+	defaultNDVFrac = 0.1
+	// defaultSel is the selectivity of a predicate the estimator cannot
+	// analyze (the classical 1/3).
+	defaultSel = 1.0 / 3
+	// defaultEqSel is the fallback equality selectivity.
+	defaultEqSel = 0.1
+	// minSel keeps selectivities away from zero so chained predicates
+	// never collapse an estimate entirely.
+	minSel = 1e-4
+)
+
+// colCard is the estimator's per-column summary, propagated alongside row
+// counts.
+type colCard struct {
+	// ndv estimates the distinct selected-guess values (>= 1 unless the
+	// input is empty).
+	ndv float64
+	// lo/hi span the numeric selected-guess domain when numeric is set.
+	lo, hi  float64
+	numeric bool
+	// width is the mean bound width ub-lb (0 for certain columns).
+	width float64
+	// certFrac is the fraction of rows whose value is certain.
+	certFrac float64
+}
+
+// domain returns the numeric domain width (0 when unknown or degenerate).
+func (c colCard) domain() float64 {
+	if !c.numeric || c.hi <= c.lo {
+		return 0
+	}
+	return c.hi - c.lo
+}
+
+// Card is one operator's cardinality estimate: output rows (stored
+// AU-tuples) plus per-column summaries.
+type Card struct {
+	Rows float64
+	cols []colCard
+}
+
+// defaultCol is the summary for a column nothing is known about.
+func defaultCol(rows float64) colCard {
+	ndv := rows * defaultNDVFrac
+	if ndv < 1 {
+		ndv = 1
+	}
+	return colCard{ndv: ndv, certFrac: 1}
+}
+
+// defaultCard is the estimate for an input without statistics.
+func defaultCard(arity int) Card {
+	c := Card{Rows: defaultRows, cols: make([]colCard, arity)}
+	for i := range c.cols {
+		c.cols[i] = defaultCol(c.Rows)
+	}
+	return c
+}
+
+// fromStats converts collected table statistics into an estimator card.
+func fromStats(ts *stats.TableStats) Card {
+	c := Card{Rows: float64(ts.Rows), cols: make([]colCard, len(ts.Cols))}
+	for i, cs := range ts.Cols {
+		cc := colCard{
+			ndv:      float64(cs.NDV),
+			width:    cs.MeanWidth,
+			certFrac: cs.CertainFrac,
+		}
+		if cc.ndv < 1 {
+			cc.ndv = 1
+		}
+		if cs.Numeric && cs.MinSG.IsNumeric() && cs.MaxSG.IsNumeric() {
+			cc.numeric = true
+			cc.lo = cs.MinSG.AsFloat()
+			cc.hi = cs.MaxSG.AsFloat()
+		}
+		c.cols[i] = cc
+	}
+	return c
+}
+
+// estimator computes and memoizes per-node cardinalities. The memo map
+// doubles as the Annotations table handed to the physical layer.
+type estimator struct {
+	cat  ra.Catalog
+	prov stats.Provider
+	memo map[ra.Node]Card
+}
+
+func newEstimator(cat ra.Catalog, prov stats.Provider) *estimator {
+	return &estimator{cat: cat, prov: prov, memo: map[ra.Node]Card{}}
+}
+
+// card estimates n's output cardinality (memoized by node identity).
+func (e *estimator) card(n ra.Node) (Card, error) {
+	if c, ok := e.memo[n]; ok {
+		return c, nil
+	}
+	c, err := e.cardUncached(n)
+	if err != nil {
+		return Card{}, err
+	}
+	e.memo[n] = c
+	return c, nil
+}
+
+func (e *estimator) cardUncached(n ra.Node) (Card, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		if e.prov != nil {
+			if ts, ok := e.prov.TableStats(t.Table); ok {
+				return fromStats(ts), nil
+			}
+		}
+		sch, err := e.cat.TableSchema(t.Table)
+		if err != nil {
+			return Card{}, err
+		}
+		return defaultCard(sch.Arity()), nil
+
+	case *ra.Select:
+		in, err := e.card(t.Child)
+		if err != nil {
+			return Card{}, err
+		}
+		return applyPred(in, t.Pred), nil
+
+	case *ra.Project:
+		in, err := e.card(t.Child)
+		if err != nil {
+			return Card{}, err
+		}
+		out := Card{Rows: in.Rows, cols: make([]colCard, len(t.Cols))}
+		for i, pc := range t.Cols {
+			out.cols[i] = projectCol(in, pc.E)
+		}
+		return out, nil
+
+	case *ra.Join:
+		l, err := e.card(t.Left)
+		if err != nil {
+			return Card{}, err
+		}
+		r, err := e.card(t.Right)
+		if err != nil {
+			return Card{}, err
+		}
+		return joinCard(l, r, t.Cond), nil
+
+	case *ra.Union:
+		l, err := e.card(t.Left)
+		if err != nil {
+			return Card{}, err
+		}
+		r, err := e.card(t.Right)
+		if err != nil {
+			return Card{}, err
+		}
+		out := Card{Rows: l.Rows + r.Rows, cols: make([]colCard, len(l.cols))}
+		for i := range out.cols {
+			lc := l.cols[i]
+			var rc colCard
+			if i < len(r.cols) {
+				rc = r.cols[i]
+			}
+			cc := colCard{ndv: lc.ndv + rc.ndv, numeric: lc.numeric && rc.numeric}
+			if cc.numeric {
+				cc.lo = math.Min(lc.lo, rc.lo)
+				cc.hi = math.Max(lc.hi, rc.hi)
+			}
+			if out.Rows > 0 {
+				cc.width = (lc.width*l.Rows + rc.width*r.Rows) / out.Rows
+				cc.certFrac = (lc.certFrac*l.Rows + rc.certFrac*r.Rows) / out.Rows
+			} else {
+				cc.certFrac = 1
+			}
+			out.cols[i] = clampCol(cc, out.Rows)
+		}
+		return out, nil
+
+	case *ra.Diff:
+		// The bound-preserving monus can only remove left tuples.
+		l, err := e.card(t.Left)
+		if err != nil {
+			return Card{}, err
+		}
+		if _, err := e.card(t.Right); err != nil {
+			return Card{}, err
+		}
+		return l, nil
+
+	case *ra.Distinct:
+		in, err := e.card(t.Child)
+		if err != nil {
+			return Card{}, err
+		}
+		rows := groupCount(in, allCols(len(in.cols)))
+		return scaleRows(in, rows), nil
+
+	case *ra.Agg:
+		in, err := e.card(t.Child)
+		if err != nil {
+			return Card{}, err
+		}
+		rows := groupCount(in, t.GroupBy)
+		out := Card{Rows: rows, cols: make([]colCard, 0, len(t.GroupBy)+len(t.Aggs))}
+		for _, g := range t.GroupBy {
+			out.cols = append(out.cols, clampCol(in.cols[g], rows))
+		}
+		for range t.Aggs {
+			c := defaultCol(rows)
+			c.ndv = rows
+			if c.ndv < 1 {
+				c.ndv = 1
+			}
+			out.cols = append(out.cols, c)
+		}
+		return out, nil
+
+	case *ra.OrderBy:
+		return e.card(t.Child)
+
+	case *ra.Limit:
+		in, err := e.card(t.Child)
+		if err != nil {
+			return Card{}, err
+		}
+		rows := in.Rows
+		if float64(t.N) < rows {
+			rows = float64(t.N)
+		}
+		if rows < 0 {
+			rows = 0
+		}
+		return scaleRows(in, rows), nil
+	}
+	return Card{}, fmt.Errorf("opt: cannot estimate node %T", n)
+}
+
+// groupCount estimates the number of distinct groups over the listed
+// columns: the NDV product capped by the input rows, at least one (an
+// empty group-by aggregates the whole input into one tuple; possible-group
+// bounding boxes add at most a constant over the SG group count).
+func groupCount(in Card, cols []int) float64 {
+	groups := 1.0
+	for _, c := range cols {
+		if c >= 0 && c < len(in.cols) {
+			groups *= math.Max(in.cols[c].ndv, 1)
+		}
+		if groups > in.Rows {
+			break
+		}
+	}
+	if groups > in.Rows {
+		groups = in.Rows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// scaleRows rescales a card to a new row count, clamping column NDVs.
+func scaleRows(in Card, rows float64) Card {
+	out := Card{Rows: rows, cols: make([]colCard, len(in.cols))}
+	for i, c := range in.cols {
+		out.cols[i] = clampCol(c, rows)
+	}
+	return out
+}
+
+// clampCol keeps a column's NDV within the relation's row count.
+func clampCol(c colCard, rows float64) colCard {
+	if rows >= 1 && c.ndv > rows {
+		c.ndv = rows
+	}
+	if c.ndv < 1 {
+		c.ndv = 1
+	}
+	return c
+}
+
+// projectCol derives the output column summary of one projection
+// expression: attribute references pass their input summary through,
+// constants are single-valued and certain, and computed expressions fall
+// back to a conservative summary whose certain fraction is the product of
+// the referenced columns' (an expression over an uncertain input is
+// uncertain).
+func projectCol(in Card, ex expr.Expr) colCard {
+	switch x := ex.(type) {
+	case expr.Attr:
+		if x.Idx >= 0 && x.Idx < len(in.cols) {
+			return in.cols[x.Idx]
+		}
+	case expr.Const:
+		return colCard{ndv: 1, certFrac: 1}
+	}
+	c := defaultCol(in.Rows)
+	c.ndv = math.Max(1, in.Rows)
+	for _, idx := range expr.Attrs(ex) {
+		if idx >= 0 && idx < len(in.cols) {
+			c.certFrac *= in.cols[idx].certFrac
+		}
+	}
+	return clampCol(c, math.Max(in.Rows, 1))
+}
+
+// applyPred estimates a selection: the product of the conjuncts'
+// selectivities, each widened for attribute uncertainty.
+func applyPred(in Card, pred expr.Expr) Card {
+	sel := 1.0
+	eqCols := map[int]bool{}
+	for _, c := range expr.Conjuncts(pred) {
+		s := condSel(c, in)
+		sel *= s
+		if col, _, op, ok := attrConst(c, in); ok && op == expr.OpEq {
+			eqCols[col] = true
+		}
+	}
+	sel = clampSel(sel)
+	out := Card{Rows: in.Rows * sel, cols: make([]colCard, len(in.cols))}
+	for i, c := range in.cols {
+		if eqCols[i] {
+			c.ndv = 1
+		}
+		out.cols[i] = clampCol(c, math.Max(out.Rows, 1))
+	}
+	return out
+}
+
+// condSel estimates one boolean condition's selectivity over in.
+func condSel(c expr.Expr, in Card) float64 {
+	switch x := c.(type) {
+	case expr.Logic:
+		l, r := condSel(x.L, in), condSel(x.R, in)
+		if x.Op == expr.OpAnd {
+			return clampSel(l * r)
+		}
+		return clampSel(l + r - l*r)
+	case expr.Not:
+		return clampSel(1 - condSel(x.E, in))
+	case expr.Const:
+		if expr.IsConstTrue(c) {
+			return 1
+		}
+		return minSel
+	case expr.IsNull:
+		return defaultEqSel
+	case expr.Cmp:
+		return cmpSel(x, in)
+	}
+	return defaultSel
+}
+
+// cmpSel estimates a comparison's selectivity, widened by bound width.
+func cmpSel(c expr.Cmp, in Card) float64 {
+	// attribute vs attribute (within one input): an equality keeps about
+	// one partner per distinct value; other comparisons get the default.
+	la, lok := c.L.(expr.Attr)
+	ra_, rok := c.R.(expr.Attr)
+	if lok && rok {
+		if c.Op != expr.OpEq {
+			return defaultSel
+		}
+		s := defaultEqSel
+		if la.Idx < len(in.cols) && ra_.Idx < len(in.cols) {
+			s = 1 / math.Max(math.Max(in.cols[la.Idx].ndv, in.cols[ra_.Idx].ndv), 1)
+		}
+		return clampSel(s)
+	}
+	col, v, op, ok := attrConst(c, in)
+	if !ok {
+		if c.Op == expr.OpEq {
+			return defaultEqSel
+		}
+		return defaultSel
+	}
+	cc := in.cols[col]
+	w := cc.domain()
+	switch op {
+	case expr.OpEq:
+		s := 1 / math.Max(cc.ndv, 1)
+		if w > 0 {
+			// A range tuple possibly equals v whenever its bounds cover
+			// it: widen by the mean window the bounds add.
+			s += cc.width / w
+		} else {
+			s += (1 - cc.certFrac) * defaultEqSel
+		}
+		return clampSel(s)
+	case expr.OpNeq:
+		return clampSel(1 - 1/math.Max(cc.ndv, 1))
+	case expr.OpLt, expr.OpLeq:
+		if !cc.numeric || w <= 0 || !v.IsNumeric() {
+			return defaultSel
+		}
+		// Fraction of the domain below v, widened by the mean bound
+		// width: a tuple possibly passes when its lower bound does.
+		return clampSel((v.AsFloat() - cc.lo + cc.width) / w)
+	case expr.OpGt, expr.OpGeq:
+		if !cc.numeric || w <= 0 || !v.IsNumeric() {
+			return defaultSel
+		}
+		return clampSel((cc.hi - v.AsFloat() + cc.width) / w)
+	}
+	return defaultSel
+}
+
+// attrConst normalizes a comparison of one attribute against a constant,
+// flipping the operator when the constant is on the left. ok is false for
+// any other shape (or an out-of-range attribute).
+func attrConst(c expr.Expr, in Card) (col int, v types.Value, op expr.CmpOp, ok bool) {
+	cmp, isCmp := c.(expr.Cmp)
+	if !isCmp {
+		return 0, types.Null(), 0, false
+	}
+	if a, aok := cmp.L.(expr.Attr); aok {
+		if k, kok := cmp.R.(expr.Const); kok && a.Idx >= 0 && a.Idx < len(in.cols) {
+			return a.Idx, k.V, cmp.Op, true
+		}
+	}
+	if k, kok := cmp.L.(expr.Const); kok {
+		if a, aok := cmp.R.(expr.Attr); aok && a.Idx >= 0 && a.Idx < len(in.cols) {
+			return a.Idx, k.V, flipCmp(cmp.Op), true
+		}
+	}
+	return 0, types.Null(), 0, false
+}
+
+// flipCmp mirrors an operator across its operands (5 < a ⇔ a > 5).
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLeq:
+		return expr.OpGeq
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGeq:
+		return expr.OpLeq
+	}
+	return op
+}
+
+func clampSel(s float64) float64 {
+	if s < minSel {
+		return minSel
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// equiSel estimates the selectivity of one equi-join conjunct between two
+// column summaries: the classical 1/max(ndv) for the certain part, widened
+// by the mean bound widths (numeric) or the uncertain pair fraction
+// (non-numeric) — interval-overlap joins match everything the windows
+// touch.
+func equiSel(a, b colCard) float64 {
+	s := 1 / math.Max(math.Max(a.ndv, b.ndv), 1)
+	if a.numeric && b.numeric {
+		lo := math.Min(a.lo, b.lo)
+		hi := math.Max(a.hi, b.hi)
+		if w := hi - lo; w > 0 {
+			s += (a.width + b.width) / w
+		}
+	} else {
+		s += (1 - a.certFrac*b.certFrac) * defaultEqSel
+	}
+	return clampSel(s)
+}
+
+// joinCard estimates a join's output: the cross product scaled by every
+// conjunct's selectivity (equi conjuncts use the per-column summaries).
+func joinCard(l, r Card, cond expr.Expr) Card {
+	rows := l.Rows * r.Rows
+	cols := make([]colCard, 0, len(l.cols)+len(r.cols))
+	cols = append(cols, l.cols...)
+	cols = append(cols, r.cols...)
+	out := Card{Rows: rows, cols: cols}
+	if cond != nil {
+		for _, c := range expr.Conjuncts(cond) {
+			if li, ri, ok := expr.EquiPair(c, len(l.cols)); ok &&
+				li < len(l.cols) && ri < len(r.cols) {
+				out.Rows *= equiSel(l.cols[li], r.cols[ri])
+				continue
+			}
+			out.Rows *= condSel(c, out)
+		}
+	}
+	for i, c := range out.cols {
+		out.cols[i] = clampCol(c, math.Max(out.Rows, 1))
+	}
+	return out
+}
+
+// joinCost scores one join step for the greedy ordering. It models the
+// hybrid overlap join of internal/core: certain join keys meet through a
+// hash table (linear build + probe), while every pair involving an
+// uncertain key goes through the quadratic nested-loop quadrants — which
+// is why the certain fractions, not just the row counts, decide the
+// order. The estimated output size is included so cheap-but-exploding
+// joins rank behind selective ones. split is the left card's arity.
+func joinCost(l, r Card, cond expr.Expr, split int) (float64, Card) {
+	out := joinCard(l, r, cond)
+	cfL, cfR := 1.0, 1.0
+	hasEqui := false
+	if cond != nil {
+		for _, c := range expr.Conjuncts(cond) {
+			if li, ri, ok := expr.EquiPair(c, split); ok &&
+				li < len(l.cols) && ri < len(r.cols) {
+				hasEqui = true
+				cfL *= l.cols[li].certFrac
+				cfR *= r.cols[ri].certFrac
+			}
+		}
+	}
+	if !hasEqui {
+		// Pure cross (or non-equi) joins are nested loops over all pairs.
+		return out.Rows + l.Rows*r.Rows, out
+	}
+	hash := cfL*l.Rows + cfR*r.Rows
+	nested := (1-cfL)*l.Rows*r.Rows + cfL*(1-cfR)*l.Rows*r.Rows
+	return out.Rows + hash + nested, out
+}
+
+// ------------------------------------------------------- annotations --
+
+// Annotations is the side table of per-operator estimates the cost-based
+// pass computes and the physical layer (internal/phys) consumes: row
+// estimates for EXPLAIN and pre-sizing, and the per-join build side.
+// Annotations are keyed by plan-node identity, so they are only valid for
+// the exact plan CostOptimize returned. Read-only after construction and
+// safe for concurrent use.
+type Annotations struct {
+	est   map[ra.Node]Card
+	build map[*ra.Join]bool
+}
+
+// Rows returns the estimated output rows (stored tuples) for a node of
+// the annotated plan.
+func (a *Annotations) Rows(n ra.Node) (float64, bool) {
+	if a == nil {
+		return 0, false
+	}
+	c, ok := a.est[n]
+	return c.Rows, ok
+}
+
+// EstRows is Rows rounded to an integer row count. Estimates beyond the
+// int64 range (chained cross-join estimates can overflow any integer)
+// saturate at MaxInt64 — an out-of-range float-to-int conversion is
+// implementation-defined in Go.
+func (a *Annotations) EstRows(n ra.Node) (int64, bool) {
+	r, ok := a.Rows(n)
+	if !ok {
+		return 0, false
+	}
+	r = math.Round(r)
+	if r >= math.MaxInt64 {
+		return math.MaxInt64, true
+	}
+	if r < 0 {
+		return 0, true
+	}
+	return int64(r), true
+}
+
+// BuildLeft reports whether the hybrid join should build its hash index
+// over the left input (estimated smaller than the right).
+func (a *Annotations) BuildLeft(j *ra.Join) bool {
+	if a == nil {
+		return false
+	}
+	return a.build[j]
+}
+
+// Render pretty-prints a plan like ra.Render with each operator's
+// estimated row count appended — the EXPLAIN surface of the cost model.
+func (a *Annotations) Render(n ra.Node) string {
+	var sb strings.Builder
+	var walk func(ra.Node, int)
+	walk = func(n ra.Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		if rows, ok := a.EstRows(n); ok {
+			fmt.Fprintf(&sb, "  (est %d rows)", rows)
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// annotate estimates every node of the plan and decides join build
+// sides. Joins below a Limit never get a build-side flip: flipping
+// changes the probe order and therefore the arrival order of the join's
+// output, which Limit's first-N-merged-rows truncation observes (the
+// same gate reorder applies).
+func (e *estimator) annotate(n ra.Node) (*Annotations, error) {
+	ann := &Annotations{est: e.memo, build: map[*ra.Join]bool{}}
+	var walk func(ra.Node, bool) error
+	walk = func(n ra.Node, frozen bool) error {
+		if _, err := e.card(n); err != nil {
+			return err
+		}
+		if _, ok := n.(*ra.Limit); ok {
+			frozen = true
+		}
+		if j, ok := n.(*ra.Join); ok && !frozen {
+			l, err := e.card(j.Left)
+			if err != nil {
+				return err
+			}
+			r, err := e.card(j.Right)
+			if err != nil {
+				return err
+			}
+			ann.build[j] = l.Rows < r.Rows
+		}
+		for _, c := range n.Children() {
+			if err := walk(c, frozen); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n, false); err != nil {
+		return nil, err
+	}
+	return ann, nil
+}

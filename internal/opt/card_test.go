@@ -1,0 +1,222 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/stats"
+	"github.com/audb/audb/internal/types"
+)
+
+// statDB builds relations with known statistics and a provider over them.
+type mapProvider map[string]*stats.TableStats
+
+func (m mapProvider) TableStats(name string) (*stats.TableStats, bool) {
+	ts, ok := m[name]
+	return ts, ok
+}
+
+// uniformRel builds rows with a0 = i % ndv (certain) and a1 = i (certain),
+// with uncFrac of the a0 values widened by +-1.
+func uniformRel(rows, ndv int, uncFrac float64) *core.Relation {
+	rel := core.New(schema.New("a0", "a1"))
+	unc := int(float64(rows) * uncFrac)
+	for i := 0; i < rows; i++ {
+		v := int64(i % ndv)
+		a0 := rangeval.Certain(types.Int(v))
+		if i < unc {
+			a0 = rangeval.New(types.Int(v-1), types.Int(v), types.Int(v+1))
+		}
+		rel.Add(core.Tuple{
+			Vals: rangeval.Tuple{a0, rangeval.Certain(types.Int(int64(i)))},
+			M:    core.One,
+		})
+	}
+	return rel
+}
+
+func provFor(rels map[string]*core.Relation) (mapProvider, ra.CatalogMap) {
+	prov := mapProvider{}
+	cat := ra.CatalogMap{}
+	for name, rel := range rels {
+		prov[name] = stats.Collect(name, rel)
+		cat[name] = rel.Schema
+	}
+	return prov, cat
+}
+
+func TestEstimateScanSelectJoin(t *testing.T) {
+	rels := map[string]*core.Relation{
+		"big":   uniformRel(1000, 100, 0),
+		"small": uniformRel(10, 10, 0),
+	}
+	prov, cat := provFor(rels)
+	e := newEstimator(cat, prov)
+
+	scan := &ra.Scan{Table: "big"}
+	c, err := e.card(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 1000 {
+		t.Fatalf("scan rows = %v", c.Rows)
+	}
+
+	// Equality on a 100-NDV certain column: ~1% selectivity.
+	sel := &ra.Select{Child: scan, Pred: expr.Eq(expr.Col(0, "a0"), expr.CInt(5))}
+	c, err = e.card(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows < 5 || c.Rows > 25 {
+		t.Fatalf("eq selectivity estimate off: %v rows", c.Rows)
+	}
+
+	// Range predicate keeping ~10% of a uniform [0,999] column.
+	sel2 := &ra.Select{Child: scan, Pred: expr.Lt(expr.Col(1, "a1"), expr.CInt(100))}
+	c, err = e.card(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows < 50 || c.Rows > 200 {
+		t.Fatalf("range selectivity estimate off: %v rows", c.Rows)
+	}
+
+	// Equi join big(a0) x small(a0): ~ 1000*10/max(100,10) = 100.
+	join := &ra.Join{
+		Left:  scan,
+		Right: &ra.Scan{Table: "small"},
+		Cond:  expr.Eq(expr.Col(0, "a0"), expr.Col(2, "a0")),
+	}
+	c, err = e.card(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows < 50 || c.Rows > 200 {
+		t.Fatalf("join estimate off: %v rows", c.Rows)
+	}
+}
+
+// TestEstimateWidensForUncertainty: the same predicate over an uncertain
+// column must estimate at least as many rows as over a certain one —
+// uncertain predicates must not under-estimate.
+func TestEstimateWidensForUncertainty(t *testing.T) {
+	rels := map[string]*core.Relation{
+		"cert": uniformRel(1000, 50, 0),
+		"unc":  uniformRel(1000, 50, 0.5),
+	}
+	prov, cat := provFor(rels)
+	e := newEstimator(cat, prov)
+	pred := expr.Eq(expr.Col(0, "a0"), expr.CInt(7))
+	cc, err := e.card(&ra.Select{Child: &ra.Scan{Table: "cert"}, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := e.card(&ra.Select{Child: &ra.Scan{Table: "unc"}, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu.Rows <= cc.Rows {
+		t.Fatalf("uncertain estimate %v not wider than certain %v", cu.Rows, cc.Rows)
+	}
+}
+
+// TestEstimateEveryOperator: every node of a plan covering the full
+// operator set gets an annotation, and estimates respect basic shape
+// invariants (Limit caps, Union adds, Agg groups).
+func TestEstimateEveryOperator(t *testing.T) {
+	rels := map[string]*core.Relation{
+		"r": uniformRel(600, 20, 0.1),
+		"s": uniformRel(60, 20, 0),
+	}
+	prov, cat := provFor(rels)
+	queries := []string{
+		`SELECT a0, a1 FROM r WHERE a0 <= 5 ORDER BY a1 LIMIT 7`,
+		`SELECT r.a1, s.a1 FROM r JOIN s ON r.a0 = s.a0 WHERE s.a1 > 3`,
+		`SELECT a0, sum(a1) AS t, count(*) AS n FROM r GROUP BY a0`,
+		`SELECT DISTINCT a0 FROM r`,
+		`SELECT a0 FROM r UNION SELECT a0 FROM s`,
+		`SELECT a0 FROM r EXCEPT SELECT a0 FROM s`,
+		`SELECT a0 + a1 AS x FROM r`,
+	}
+	for _, q := range queries {
+		plan, err := sql.Compile(q, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		opl, err := Optimize(plan, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		final, ann, err := CostOptimize(opl, cat, prov)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var walk func(n ra.Node)
+		walk = func(n ra.Node) {
+			if _, ok := ann.Rows(n); !ok {
+				t.Fatalf("%s: node %s missing estimate", q, n.String())
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		walk(final)
+		rendered := ann.Render(final)
+		if !strings.Contains(rendered, "(est ") {
+			t.Fatalf("%s: rendering lacks estimates:\n%s", q, rendered)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(rendered), "\n") {
+			if !strings.Contains(line, "(est ") {
+				t.Fatalf("%s: line lacks estimate: %q", q, line)
+			}
+		}
+	}
+}
+
+// TestEstimateLimitAndAgg checks two concrete propagation rules.
+func TestEstimateLimitAndAgg(t *testing.T) {
+	rels := map[string]*core.Relation{"r": uniformRel(500, 25, 0)}
+	prov, cat := provFor(rels)
+	e := newEstimator(cat, prov)
+	lim := &ra.Limit{Child: &ra.Scan{Table: "r"}, N: 3}
+	c, err := e.card(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 3 {
+		t.Fatalf("limit rows = %v", c.Rows)
+	}
+	agg := &ra.Agg{
+		Child:   &ra.Scan{Table: "r"},
+		GroupBy: []int{0},
+		Aggs:    []ra.AggSpec{{Fn: ra.AggCount, Name: "n"}},
+	}
+	c, err = e.card(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows < 20 || c.Rows > 30 {
+		t.Fatalf("agg groups = %v, want ~25", c.Rows)
+	}
+}
+
+// TestEstimateWithoutProvider: defaults keep planning alive when no
+// statistics exist.
+func TestEstimateWithoutProvider(t *testing.T) {
+	cat := ra.CatalogMap{"r": schema.New("a", "b")}
+	e := newEstimator(cat, nil)
+	c, err := e.card(&ra.Scan{Table: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != defaultRows || len(c.cols) != 2 {
+		t.Fatalf("default card: %+v", c)
+	}
+}

@@ -1,0 +1,518 @@
+package opt
+
+// This file is the cost-based planning pass: greedy join reordering over
+// catalog statistics, plus the per-operator estimate annotations the
+// physical layer consumes. It runs AFTER the rule-based fixpoint (which
+// has already pushed selections down and turned WHERE equalities into
+// join conditions) and is invoked separately — through CostOptimize, not
+// the rule pipeline — because it needs a stats.Provider and because its
+// one plan-shape rewrite has a precondition the rule pipeline cannot see.
+//
+// # Soundness
+//
+// Reordering a chain of inner joins is result-exact under AU-DB bound
+// semantics: the output annotation of a join chain is the pointwise
+// N^AU-product of the input annotations and the condition triples
+// (Definitions 19/20), and multiplication in N^AU is commutative and
+// associative, so evaluating the same conjuncts in any grouping yields
+// the same tuples with the same [lb/sg/ub] ranges and multiplicity
+// triples. Two gates keep the rewrite exact in practice:
+//
+//   - every join condition in the chain must be total (expr.Total):
+//     reordering evaluates conjuncts on different intermediate pairs, and
+//     only total predicates are guaranteed not to raise a runtime error
+//     the original plan would not have raised (the same gate predicate
+//     pushdown uses);
+//   - reordering permutes the concatenated output columns, so the chain
+//     is wrapped in a Project restoring the original order. Project is a
+//     merge point, which is observable only when split+compress
+//     (JoinCompression/AggCompression) is enabled — the session layer
+//     therefore disables cost-based planning for compressed executions,
+//     exactly as the pipelined executor demotes Project to a breaker.
+//
+// The ordering itself is the classical greedy heuristic: start from the
+// cheapest connected pair, then repeatedly attach the input that
+// minimizes the estimated cost of the next join (joinCost — which models
+// the hybrid join's hash path AND the quadratic uncertain quadrants, so
+// attribute-level uncertainty influences the order, not just row counts).
+// The reordered plan is kept only when its simulated total cost beats the
+// original order's.
+
+import (
+	"fmt"
+
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/stats"
+)
+
+// ReorderRule is the rule name the cost-based join reordering reports in
+// EXPLAIN traces.
+const ReorderRule = "reorder-joins"
+
+// CostOptimize applies cost-based planning to a (rule-optimized) plan:
+// join chains are greedily reordered using the statistics provider, and
+// every operator of the resulting plan is annotated with its estimated
+// cardinality. The input plan is never mutated; the returned Annotations
+// are keyed to the returned plan. A nil provider still annotates (with
+// default estimates) but sees every table as equal-sized.
+func CostOptimize(n ra.Node, cat ra.Catalog, prov stats.Provider) (ra.Node, *Annotations, error) {
+	out, ann, _, err := costOptimize(n, cat, prov)
+	return out, ann, err
+}
+
+// CostOptimizeTrace is CostOptimize with the EXPLAIN trace steps of the
+// reorderings that fired (empty when the plan was left alone).
+func CostOptimizeTrace(n ra.Node, cat ra.Catalog, prov stats.Provider) (ra.Node, *Annotations, []Step, error) {
+	return costOptimize(n, cat, prov)
+}
+
+func costOptimize(n ra.Node, cat ra.Catalog, prov stats.Provider) (ra.Node, *Annotations, []Step, error) {
+	if err := checkNoNil(n); err != nil {
+		return nil, nil, nil, err
+	}
+	inSchema, err := ra.InferSchema(n, cat)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("opt: input plan does not type-check: %w", err)
+	}
+	e := newEstimator(cat, prov)
+	out, changed, err := e.reorder(n, false)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("opt: rule %s: %w", ReorderRule, err)
+	}
+	// The same invariant the rule pipeline enforces: cost-based planning
+	// must never change the plan's output schema.
+	outSchema, err := ra.InferSchema(out, cat)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("opt: cost-optimized plan does not type-check: %w", err)
+	}
+	if inSchema.String() != outSchema.String() {
+		return nil, nil, nil, fmt.Errorf("opt: cost optimization changed the schema: %s vs %s", inSchema, outSchema)
+	}
+	ann, err := e.annotate(out)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var steps []Step
+	if changed {
+		steps = append(steps, Step{Rule: ReorderRule, Pass: 1, Plan: ra.Render(out)})
+	}
+	return out, ann, steps, nil
+}
+
+// reorder rewrites every maximal join chain of the plan, bottom-up.
+// frozen marks subtrees whose tuple ARRIVAL ORDER is result-visible:
+// Limit truncates the first N merged rows in arrival order (and the
+// fused top-k breaks sort-key ties by it), so below a Limit neither
+// reordering nor a build-side flip may change the order — the same
+// reason the rule pipeline never rewrites below Limit. The estimator
+// still annotates frozen subtrees; see annotate for the matching
+// build-side gate.
+func (e *estimator) reorder(n ra.Node, frozen bool) (ra.Node, bool, error) {
+	if _, ok := n.(*ra.Limit); ok {
+		frozen = true
+	}
+	if j, ok := n.(*ra.Join); ok && !frozen {
+		return e.reorderChain(j)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n, false, nil
+	}
+	next := make([]ra.Node, len(children))
+	changed := false
+	for i, c := range children {
+		nc, ch, err := e.reorder(c, frozen)
+		if err != nil {
+			return nil, false, err
+		}
+		next[i] = nc
+		changed = changed || ch
+	}
+	return ra.WithChildren(n, next), changed, nil
+}
+
+// flatInput is one leaf of a flattened join chain.
+type flatInput struct {
+	node  ra.Node
+	start int // attribute offset in the original concatenation
+	arity int
+	card  Card
+}
+
+// reorderChain flattens the maximal join chain rooted at j, reorders its
+// inputs when the gates pass and the greedy order is estimated cheaper,
+// and otherwise rebuilds the original shape (with reordered subplans
+// inside the leaves).
+func (e *estimator) reorderChain(j *ra.Join) (ra.Node, bool, error) {
+	fc, err := e.flattenJoin(j)
+	if err != nil {
+		return nil, false, err
+	}
+	changed := false
+	for i, leaf := range fc.leaves {
+		// Leaves of an unfrozen chain are themselves unfrozen (a Limit
+		// inside a leaf re-freezes its own subtree).
+		nl, ch, err := e.reorder(leaf, false)
+		if err != nil {
+			return nil, false, err
+		}
+		fc.leaves[i] = nl
+		changed = changed || ch
+	}
+	rebuild := func() ra.Node {
+		pos := 0
+		return rebuildChainTree(j, fc.leaves, &pos)
+	}
+	if !fc.total || len(fc.leaves) < 3 {
+		return rebuild(), changed, nil
+	}
+
+	ins := make([]flatInput, len(fc.leaves))
+	off := 0
+	for i, leaf := range fc.leaves {
+		sch, err := ra.InferSchema(leaf, e.cat)
+		if err != nil {
+			return nil, false, err
+		}
+		card, err := e.card(leaf)
+		if err != nil {
+			return nil, false, err
+		}
+		ins[i] = flatInput{node: leaf, start: off, arity: sch.Arity(), card: card}
+		off += sch.Arity()
+	}
+
+	order, greedyCost := greedyOrder(ins, fc.conds)
+	identity := make([]int, len(ins))
+	for i := range identity {
+		identity[i] = i
+	}
+	identityCost := chainCost(ins, fc.conds, identity)
+	isIdentity := true
+	for i := range order {
+		if order[i] != i {
+			isIdentity = false
+			break
+		}
+	}
+	// Keep the written order unless the greedy order is clearly cheaper:
+	// the restoring projection is not free, and estimates are estimates.
+	if isIdentity || greedyCost >= 0.9*identityCost {
+		return rebuild(), changed, nil
+	}
+	outSchema, err := ra.InferSchema(j, e.cat)
+	if err != nil {
+		return nil, false, err
+	}
+	reordered := buildChainPlan(ins, fc.conds, order, fc.outMap, outSchema.Attrs)
+	return reordered, true, nil
+}
+
+// flatChain is a flattened join chain: the non-join leaves in
+// left-to-right order, every join condition's conjuncts rewritten to the
+// coordinates of the concatenated leaf schemas, and the mapping from the
+// chain root's output columns to those coordinates. Narrowing
+// attribute-only projections between joins (inserted by the prune-columns
+// rule) are flattened through: their column selections compose into the
+// conjunct coordinates and outMap, so pruning never hides a reorderable
+// chain.
+type flatChain struct {
+	leaves []ra.Node
+	arity  int // total leaf arity (the coordinate space of conds/outMap)
+	conds  []expr.Expr
+	outMap []int // chain-root output position -> leaf coordinate
+	// total reports whether every join condition is total — the gate for
+	// reordering (a non-total condition could raise errors on pairs the
+	// original order never evaluated it on).
+	total bool
+}
+
+// chainNode reports whether n continues a join chain — flattenJoin
+// decomposes it — rather than being a leaf. Projections continue the
+// chain only when they are pure column selections over a chain.
+func chainNode(n ra.Node) bool {
+	switch t := n.(type) {
+	case *ra.Join:
+		return true
+	case *ra.Project:
+		for _, c := range t.Cols {
+			if _, ok := c.E.(expr.Attr); !ok {
+				return false
+			}
+		}
+		return chainNode(t.Child)
+	}
+	return false
+}
+
+// flattenJoin decomposes the maximal join chain under n.
+func (e *estimator) flattenJoin(n ra.Node) (flatChain, error) {
+	if !chainNode(n) {
+		sch, err := ra.InferSchema(n, e.cat)
+		if err != nil {
+			return flatChain{}, err
+		}
+		fc := flatChain{leaves: []ra.Node{n}, arity: sch.Arity(), total: true}
+		fc.outMap = make([]int, fc.arity)
+		for i := range fc.outMap {
+			fc.outMap[i] = i
+		}
+		return fc, nil
+	}
+	if p, ok := n.(*ra.Project); ok {
+		fc, err := e.flattenJoin(p.Child)
+		if err != nil {
+			return flatChain{}, err
+		}
+		outMap := make([]int, len(p.Cols))
+		for i, c := range p.Cols {
+			outMap[i] = fc.outMap[c.E.(expr.Attr).Idx]
+		}
+		fc.outMap = outMap
+		return fc, nil
+	}
+	j := n.(*ra.Join)
+	l, err := e.flattenJoin(j.Left)
+	if err != nil {
+		return flatChain{}, err
+	}
+	r, err := e.flattenJoin(j.Right)
+	if err != nil {
+		return flatChain{}, err
+	}
+	fc := flatChain{
+		leaves: append(l.leaves, r.leaves...),
+		arity:  l.arity + r.arity,
+		total:  l.total && r.total,
+	}
+	fc.conds = append(fc.conds, l.conds...)
+	for _, c := range r.conds {
+		fc.conds = append(fc.conds, expr.ShiftAttrs(c, l.arity))
+	}
+	fc.outMap = append(fc.outMap, l.outMap...)
+	for _, g := range r.outMap {
+		fc.outMap = append(fc.outMap, g+l.arity)
+	}
+	if j.Cond != nil {
+		fc.total = fc.total && expr.Total(j.Cond)
+		// The condition references the two children's OUTPUT columns;
+		// compose with their outMaps into leaf coordinates.
+		for _, c := range expr.Conjuncts(j.Cond) {
+			fc.conds = append(fc.conds, expr.MapAttrs(c, func(a expr.Attr) expr.Attr {
+				if a.Idx < len(l.outMap) {
+					a.Idx = l.outMap[a.Idx]
+				} else {
+					a.Idx = r.outMap[a.Idx-len(l.outMap)] + l.arity
+				}
+				return a
+			}))
+		}
+	}
+	return fc, nil
+}
+
+// rebuildChainTree re-assembles the original chain shape over the
+// (possibly rewritten) leaves, sharing nodes when nothing changed. It
+// mirrors flattenJoin's structural decisions exactly.
+func rebuildChainTree(n ra.Node, leaves []ra.Node, pos *int) ra.Node {
+	if !chainNode(n) {
+		leaf := leaves[*pos]
+		*pos++
+		return leaf
+	}
+	if p, ok := n.(*ra.Project); ok {
+		c := rebuildChainTree(p.Child, leaves, pos)
+		if c == p.Child {
+			return p
+		}
+		return &ra.Project{Child: c, Cols: p.Cols}
+	}
+	j := n.(*ra.Join)
+	l := rebuildChainTree(j.Left, leaves, pos)
+	r := rebuildChainTree(j.Right, leaves, pos)
+	if l == j.Left && r == j.Right {
+		return j
+	}
+	return &ra.Join{Left: l, Right: r, Cond: j.Cond}
+}
+
+// placement tracks one simulated chain prefix: which inputs are placed,
+// where each original attribute currently lives, and the running card.
+type placement struct {
+	ins    []flatInput
+	conjs  []expr.Expr
+	used   []bool
+	placed []bool
+	pos    []int // original attribute index -> current position (-1 unplaced)
+	arity  int
+	card   Card
+	cost   float64
+}
+
+func newPlacement(ins []flatInput, conjs []expr.Expr) *placement {
+	total := 0
+	for _, in := range ins {
+		total += in.arity
+	}
+	pos := make([]int, total)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &placement{
+		ins:    ins,
+		conjs:  conjs,
+		used:   make([]bool, len(conjs)),
+		placed: make([]bool, len(ins)),
+		pos:    pos,
+	}
+}
+
+// start places the first input.
+func (p *placement) start(i int) {
+	in := p.ins[i]
+	for a := 0; a < in.arity; a++ {
+		p.pos[in.start+a] = a
+	}
+	p.placed[i] = true
+	p.arity = in.arity
+	p.card = in.card
+}
+
+// condFor collects the unused conjuncts that become applicable when cand
+// joins the placed prefix, remapped to the new concatenation's
+// coordinates, without consuming them.
+func (p *placement) condFor(cand int) (expr.Expr, []int) {
+	in := p.ins[cand]
+	var applicable []int
+	var parts []expr.Expr
+	for ci, c := range p.conjs {
+		if p.used[ci] {
+			continue
+		}
+		ok := true
+		for _, g := range expr.Attrs(c) {
+			if p.pos[g] < 0 && !(g >= in.start && g < in.start+in.arity) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		applicable = append(applicable, ci)
+		parts = append(parts, expr.MapAttrs(c, func(a expr.Attr) expr.Attr {
+			if p.pos[a.Idx] >= 0 {
+				a.Idx = p.pos[a.Idx]
+			} else {
+				a.Idx = p.arity + (a.Idx - in.start)
+			}
+			return a
+		}))
+	}
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	return expr.And(parts...), applicable
+}
+
+// add joins cand onto the prefix, consuming its applicable conjuncts.
+func (p *placement) add(cand int) (cond expr.Expr) {
+	cond, applicable := p.condFor(cand)
+	for _, ci := range applicable {
+		p.used[ci] = true
+	}
+	in := p.ins[cand]
+	cost, card := joinCost(p.card, in.card, cond, p.arity)
+	for a := 0; a < in.arity; a++ {
+		p.pos[in.start+a] = p.arity + a
+	}
+	p.placed[cand] = true
+	p.arity += in.arity
+	p.card = card
+	p.cost += cost
+	return cond
+}
+
+// stepCost scores joining cand next without committing.
+func (p *placement) stepCost(cand int) float64 {
+	cond, _ := p.condFor(cand)
+	cost, _ := joinCost(p.card, p.ins[cand].card, cond, p.arity)
+	return cost
+}
+
+// greedyOrder picks the placement order: the cheapest first join over all
+// ordered pairs, then repeatedly the input with the cheapest next join
+// (joinCost makes unconnected inputs — cross products — rank last
+// naturally). Returns the order and its simulated total cost.
+func greedyOrder(ins []flatInput, conjs []expr.Expr) ([]int, float64) {
+	n := len(ins)
+	bestI, bestJ, bestCost := 0, 1, 0.0
+	first := true
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p := newPlacement(ins, conjs)
+			p.start(i)
+			c := p.stepCost(j)
+			if first || c < bestCost {
+				bestI, bestJ, bestCost, first = i, j, c, false
+			}
+		}
+	}
+	p := newPlacement(ins, conjs)
+	p.start(bestI)
+	p.add(bestJ)
+	order := []int{bestI, bestJ}
+	for len(order) < n {
+		best, bestC := -1, 0.0
+		for cand := 0; cand < n; cand++ {
+			if p.placed[cand] {
+				continue
+			}
+			c := p.stepCost(cand)
+			if best < 0 || c < bestC {
+				best, bestC = cand, c
+			}
+		}
+		p.add(best)
+		order = append(order, best)
+	}
+	return order, p.cost
+}
+
+// chainCost simulates placing the inputs in the given order and returns
+// the total cost — used to score the original (written) order.
+func chainCost(ins []flatInput, conjs []expr.Expr, order []int) float64 {
+	p := newPlacement(ins, conjs)
+	p.start(order[0])
+	for _, i := range order[1:] {
+		p.add(i)
+	}
+	return p.cost
+}
+
+// buildChainPlan materializes the chosen order as a left-deep join tree
+// wrapped in a Project that restores the chain root's output columns (and
+// names); outMap maps those outputs to leaf coordinates. Conjuncts attach
+// to the first join whose inputs cover them; any conjunct is covered by
+// the final join at the latest, so none are dropped. The intermediate
+// narrowing projections of the original chain are not reinstated — the
+// single restoring projection prunes once, at the top.
+func buildChainPlan(ins []flatInput, conjs []expr.Expr, order []int, outMap []int, names []string) ra.Node {
+	p := newPlacement(ins, conjs)
+	p.start(order[0])
+	cur := p.ins[order[0]].node
+	for _, i := range order[1:] {
+		right := p.ins[i].node
+		cond := p.add(i)
+		cur = &ra.Join{Left: cur, Right: right, Cond: cond}
+	}
+	cols := make([]ra.ProjCol, len(outMap))
+	for i, g := range outMap {
+		cols[i] = ra.ProjCol{E: expr.Col(p.pos[g], names[i]), Name: names[i]}
+	}
+	return &ra.Project{Child: cur, Cols: cols}
+}

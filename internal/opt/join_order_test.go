@@ -1,0 +1,317 @@
+package opt
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/sql"
+)
+
+// adversarialDB: two big dense tables and one tiny one; the written order
+// joins the two big tables first, the cost-based order should start from
+// the tiny one.
+func adversarialDB() (core.DB, mapProvider, ra.CatalogMap) {
+	db := core.DB{
+		"big1": uniformRel(400, 20, 0),
+		"big2": uniformRel(400, 20, 0),
+		"tiny": uniformRel(8, 8, 0),
+	}
+	rels := map[string]*core.Relation{}
+	for n, r := range db {
+		rels[n] = r
+	}
+	prov, cat := provFor(rels)
+	return db, prov, cat
+}
+
+const adversarialQuery = `SELECT big1.a1, big2.a1, tiny.a1 FROM big1, big2, tiny ` +
+	`WHERE big1.a0 = big2.a0 AND big2.a1 = tiny.a0 AND tiny.a1 <= 3`
+
+func TestJoinReorderFiresOnAdversarialOrder(t *testing.T) {
+	db, prov, cat := adversarialDB()
+	plan, err := sql.Compile(adversarialQuery, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, ann, steps, err := CostOptimizeTrace(opl, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || steps[0].Rule != ReorderRule {
+		t.Fatalf("expected %s to fire, got steps %+v\nplan:\n%s", ReorderRule, steps, ra.Render(opl))
+	}
+	// The reordered chain must not start with big1 |x| big2: the first
+	// (deepest) join must involve tiny.
+	rendered := ra.Render(final)
+	if !strings.Contains(rendered, "tiny") {
+		t.Fatalf("reordered plan lost the tiny table:\n%s", rendered)
+	}
+	var deepest *ra.Join
+	var walk func(n ra.Node)
+	walk = func(n ra.Node) {
+		if j, ok := n.(*ra.Join); ok {
+			deepest = j
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(final)
+	if deepest == nil {
+		t.Fatalf("no join in reordered plan:\n%s", rendered)
+	}
+	usesTiny := false
+	for _, tb := range ra.Tables(deepest) {
+		if tb == "tiny" {
+			usesTiny = true
+		}
+	}
+	if !usesTiny {
+		t.Fatalf("deepest join does not involve tiny:\n%s", rendered)
+	}
+	if ann == nil {
+		t.Fatal("nil annotations")
+	}
+
+	// Result-exactness: the reordered plan computes the identical
+	// canonical result.
+	want, err := core.Exec(context.Background(), opl, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Exec(context.Background(), final, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Sort().String() != got.Sort().String() {
+		t.Fatalf("reordering changed the result:\nwant\n%s\ngot\n%s", want, got)
+	}
+	// And the schema (including names) is untouched.
+	ws, _ := ra.InferSchema(opl, cat)
+	gs, _ := ra.InferSchema(final, cat)
+	if ws.String() != gs.String() {
+		t.Fatalf("schema changed: %s vs %s", ws, gs)
+	}
+}
+
+// TestJoinReorderKeepsGoodOrder: when the written order is already the
+// cheap one, the plan is left alone (no gratuitous restoring Project).
+func TestJoinReorderKeepsGoodOrder(t *testing.T) {
+	_, prov, cat := adversarialDB()
+	goodQuery := `SELECT big1.a1, big2.a1, tiny.a1 FROM tiny, big2, big1 ` +
+		`WHERE tiny.a1 <= 3 AND big2.a1 = tiny.a0 AND big1.a0 = big2.a0`
+	plan, err := sql.Compile(goodQuery, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, steps, err := CostOptimizeTrace(opl, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Fatalf("reorder fired on an already-good order:\n%s", ra.Render(final))
+	}
+	if !ra.Equal(final, opl) {
+		t.Fatalf("plan changed without a step:\n%s\nvs\n%s", ra.Render(opl), ra.Render(final))
+	}
+}
+
+// TestJoinReorderGateTwoTables: two-table joins are never restructured
+// (build-side selection handles them without a permutation Project).
+func TestJoinReorderGateTwoTables(t *testing.T) {
+	_, prov, cat := adversarialDB()
+	plan, err := sql.Compile(`SELECT big1.a1 FROM big1, tiny WHERE big1.a0 = tiny.a0`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, ann, steps, err := CostOptimizeTrace(opl, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 || !ra.Equal(final, opl) {
+		t.Fatalf("two-table join restructured:\n%s", ra.Render(final))
+	}
+	// But the join still gets a build side: tiny is on the right here, so
+	// the default (build right) stands; flipped inputs must flip it.
+	var join *ra.Join
+	var walk func(n ra.Node)
+	walk = func(n ra.Node) {
+		if j, ok := n.(*ra.Join); ok && join == nil {
+			join = j
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(final)
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if ann.BuildLeft(join) {
+		t.Fatal("BuildLeft set although the right input is smaller")
+	}
+
+	plan2, err := sql.Compile(`SELECT big1.a1 FROM tiny, big1 WHERE big1.a0 = tiny.a0`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl2, err := Optimize(plan2, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, ann2, err := CostOptimize(opl2, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join = nil
+	walk(final2)
+	if join == nil {
+		t.Fatal("no join in flipped plan")
+	}
+	if !ann2.BuildLeft(join) {
+		t.Fatal("BuildLeft not set although the left input is smaller")
+	}
+}
+
+// TestJoinReorderFourTables: a 4-table chain reorders and stays exact.
+func TestJoinReorderFourTables(t *testing.T) {
+	db := core.DB{
+		"a": uniformRel(200, 10, 0.05),
+		"b": uniformRel(200, 10, 0),
+		"c": uniformRel(12, 12, 0),
+		"d": uniformRel(6, 6, 0),
+	}
+	rels := map[string]*core.Relation{}
+	for n, r := range db {
+		rels[n] = r
+	}
+	prov, cat := provFor(rels)
+	q := `SELECT a.a1, d.a1 FROM a, b, c, d ` +
+		`WHERE a.a0 = b.a0 AND b.a1 = c.a0 AND c.a1 = d.a0`
+	plan, err := sql.Compile(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, steps, err := CostOptimizeTrace(opl, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatalf("reorder did not fire:\n%s", ra.Render(opl))
+	}
+	want, err := core.Exec(context.Background(), opl, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Exec(context.Background(), final, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Sort().String() != got.Sort().String() {
+		t.Fatal("4-table reordering changed the result")
+	}
+}
+
+// TestJoinReorderFrozenBelowLimit: LIMIT truncates the first N merged
+// rows in arrival order, so below a Limit the cost pass must neither
+// reorder joins nor flip build sides — either would change which rows
+// survive. The bridge query makes every order-sensitive mistake visible:
+// reordering changes which pairs arrive first.
+func TestJoinReorderFrozenBelowLimit(t *testing.T) {
+	db, prov, cat := adversarialDB()
+	queries := []string{
+		adversarialQuery + ` LIMIT 3`,
+		`SELECT big1.a1, big2.a1 FROM big1, big2, tiny ` +
+			`WHERE big1.a0 = tiny.a0 AND big2.a0 = tiny.a1 LIMIT 3`,
+		`SELECT big1.a1 FROM tiny, big1 WHERE big1.a0 = tiny.a0 LIMIT 2`,
+	}
+	for _, q := range queries {
+		plan, err := sql.Compile(q, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		opl, err := Optimize(plan, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		final, ann, steps, err := CostOptimizeTrace(opl, cat, prov)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(steps) != 0 || !ra.Equal(final, opl) {
+			t.Fatalf("%s: reorder fired below a Limit:\n%s", q, ra.Render(final))
+		}
+		var walk func(n ra.Node)
+		walk = func(n ra.Node) {
+			if j, ok := n.(*ra.Join); ok && ann.BuildLeft(j) {
+				t.Fatalf("%s: build side flipped below a Limit:\n%s", q, ra.Render(final))
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		walk(final)
+		// The results must be identical multisets either way.
+		want, err := core.Exec(context.Background(), opl, db, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := core.Exec(context.Background(), final, db, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if want.Sort().String() != got.Sort().String() {
+			t.Fatalf("%s: cost pass changed a LIMIT result", q)
+		}
+	}
+	// A Limit INSIDE a chain leaf freezes only that subtree: the outer
+	// chain may still reorder. (The leaf's output multiset and order are
+	// fixed before the outer joins consume it.)
+	q := `SELECT big1.a1, big2.a1, x.a1 FROM big1, big2, (SELECT a0, a1 FROM tiny LIMIT 4) x ` +
+		`WHERE big1.a0 = big2.a0 AND big2.a1 = x.a0`
+	plan, err := sql.Compile(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opl, err := Optimize(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _, steps, err := CostOptimizeTrace(opl, cat, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatalf("outer chain above a leaf-level Limit should still reorder:\n%s", ra.Render(final))
+	}
+	want, err := core.Exec(context.Background(), opl, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Exec(context.Background(), final, db, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Sort().String() != got.Sort().String() {
+		t.Fatal("leaf-Limit reorder changed the result")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/sql"
+	"github.com/audb/audb/internal/stats"
 	"github.com/audb/audb/internal/types"
 )
 
@@ -255,4 +256,194 @@ func randomIncomplete(r *rand.Rand, s schema.Schema, rows int) (*core.Relation, 
 		w.Merge()
 	}
 	return au, worlds
+}
+
+// ---------------------------------------------------------------- cost --
+
+// randomAUDB3 extends randomAUDB with a third, smaller table so the
+// cost-based reorder rule sees 3-input chains.
+func randomAUDB3(rng *rand.Rand, rows int) core.DB {
+	db := randomAUDB(rng, rows)
+	rel := core.New(schema.New("e", "f"))
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		sg := int64(rng.Intn(6))
+		v := rangeval.Certain(types.Int(sg))
+		if rng.Intn(3) == 0 {
+			v = rangeval.New(types.Int(sg), types.Int(sg), types.Int(sg+1))
+		}
+		rel.Add(core.Tuple{
+			Vals: rangeval.Tuple{v, rangeval.Certain(types.Int(int64(rng.Intn(6))))},
+			M:    core.Mult{Lo: 1, SG: 1, Hi: 1},
+		})
+	}
+	db["u"] = rel
+	return db
+}
+
+// statsProvider collects real statistics for every table of a database.
+type statsProvider map[string]*stats.TableStats
+
+func (p statsProvider) TableStats(name string) (*stats.TableStats, bool) {
+	ts, ok := p[name]
+	return ts, ok
+}
+
+func collectAll(db core.DB) statsProvider {
+	p := statsProvider{}
+	for name, rel := range db {
+		p[name] = stats.Collect(name, rel)
+	}
+	return p
+}
+
+// costCorpus adds multi-table join chains (the reorder rule's targets) to
+// the standard corpus (where cost-based planning must be a no-op or a
+// benign annotation pass).
+func costCorpus(rng *rand.Rand) []string {
+	k := func() int { return rng.Intn(6) }
+	qs := propertyCorpus(rng)
+	return append(qs,
+		fmt.Sprintf(`SELECT r.b, s.d, u.f FROM r, s, u WHERE r.a = s.c AND s.d = u.e AND u.f <= %d`, k()),
+		fmt.Sprintf(`SELECT r.a, u.e FROM r JOIN s ON r.a = s.c JOIN u ON s.d = u.e WHERE r.b >= %d`, k()),
+		`SELECT r.b, u.f FROM r, s, u WHERE r.a = s.c AND s.c = u.e`,
+		fmt.Sprintf(`SELECT u.e, count(*) AS n FROM r, s, u WHERE r.a = s.c AND s.d = u.e GROUP BY u.e HAVING count(*) > %d`, k()),
+		fmt.Sprintf(`SELECT DISTINCT s.d FROM r, s, u WHERE r.a = s.c AND s.d = u.e AND r.b < %d`, k()),
+	)
+}
+
+// TestCostOptimizedPlansAreResultExact is the cost-based pass's core
+// guarantee: with real collected statistics, the cost-optimized plan is
+// bit-identical to the rule-only plan (canonical merged + sorted form) on
+// all three engines, serial and parallel.
+func TestCostOptimizedPlansAreResultExact(t *testing.T) {
+	ctx := context.Background()
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial*131)))
+		db := randomAUDB3(rng, 3+rng.Intn(6))
+		cat := ra.CatalogMap(db.Schemas())
+		prov := collectAll(db)
+		sgw := db.SGW()
+		for _, q := range costCorpus(rng) {
+			plan, err := sql.Compile(q, cat)
+			if err != nil {
+				t.Fatalf("[trial %d] compile %s: %v", trial, q, err)
+			}
+			ruleOnly, err := Optimize(plan, cat)
+			if err != nil {
+				t.Fatalf("[trial %d] optimize %s: %v", trial, q, err)
+			}
+			costPlan, ann, err := CostOptimize(ruleOnly, cat, prov)
+			if err != nil {
+				t.Fatalf("[trial %d] cost-optimize %s: %v", trial, q, err)
+			}
+			if err := ra.Validate(costPlan, cat); err != nil {
+				t.Fatalf("[trial %d] %s: cost plan invalid: %v\n%s", trial, q, err, ra.Render(costPlan))
+			}
+			if ann == nil {
+				t.Fatalf("[trial %d] %s: nil annotations", trial, q)
+			}
+
+			for _, workers := range []int{1, 4} {
+				opts := core.Options{Workers: workers}
+				want, err := core.Exec(ctx, ruleOnly, db, opts)
+				if err != nil {
+					t.Fatalf("[trial %d] %s (workers=%d): rule-only: %v", trial, q, workers, err)
+				}
+				got, err := core.Exec(ctx, costPlan, db, opts)
+				if err != nil {
+					t.Fatalf("[trial %d] %s (workers=%d): cost: %v", trial, q, workers, err)
+				}
+				if want.Sort().String() != got.Sort().String() {
+					t.Fatalf("[trial %d] %s (workers=%d): cost-based plan changed the result:\nrule-only:\n%s%s\ncost:\n%s%s",
+						trial, q, workers, ra.Render(ruleOnly), want, ra.Render(costPlan), got)
+				}
+			}
+
+			want, err := bag.Exec(ctx, ruleOnly, sgw)
+			if err != nil {
+				t.Fatalf("[trial %d] %s: bag rule-only: %v", trial, q, err)
+			}
+			got, err := bag.Exec(ctx, costPlan, sgw)
+			if err != nil {
+				t.Fatalf("[trial %d] %s: bag cost: %v", trial, q, err)
+			}
+			if !want.Clone().Merge().Equal(got.Clone().Merge()) {
+				t.Fatalf("[trial %d] %s: bag result changed", trial, q)
+			}
+
+			wantR, wantErr := encoding.Exec(ctx, ruleOnly, db)
+			gotR, gotErr := encoding.Exec(ctx, costPlan, db)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("[trial %d] %s: rewrite acceptance changed: %v vs %v", trial, q, wantErr, gotErr)
+			}
+			if wantErr == nil && wantR.Sort().String() != gotR.Sort().String() {
+				t.Fatalf("[trial %d] %s: rewrite result changed", trial, q)
+			}
+		}
+	}
+}
+
+// TestCostOptimizedPlansStillBoundWorlds: the cost-optimized plan's
+// result over a random incomplete database must keep bounding every
+// possible world (Corollary 2) — reordering and the restoring projection
+// must not lose the bound-preservation property.
+func TestCostOptimizedPlansStillBoundWorlds(t *testing.T) {
+	cat := ra.CatalogMap{
+		"r":  schema.New("a", "b"),
+		"r2": schema.New("a", "b"),
+		"r3": schema.New("a", "b"),
+	}
+	queries := []string{
+		`SELECT r.a, r2.b, r3.b FROM r, r2, r3 WHERE r.a = r2.a AND r2.b = r3.a`,
+		`SELECT r.a FROM r, r2, r3 WHERE r.a = r2.a AND r2.b = r3.a AND r3.b <= 3`,
+		`SELECT r3.b, sum(r.a) AS s FROM r, r2, r3 WHERE r.a = r2.a AND r2.b = r3.a GROUP BY r3.b`,
+	}
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial*59 + 11)))
+		rRel, rWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(2))
+		sRel, sWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(2))
+		uRel, uWorlds := randomIncomplete(rng, schema.New("a", "b"), 1+rng.Intn(2))
+		db := core.DB{"r": rRel, "r2": sRel, "r3": uRel}
+		prov := collectAll(db)
+		for _, q := range queries {
+			plan, err := sql.Compile(q, cat)
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			opl, err := Optimize(plan, cat)
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			costPlan, _, err := CostOptimize(opl, cat, prov)
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			res, err := core.Exec(context.Background(), costPlan, db, core.Options{})
+			if err != nil {
+				t.Fatalf("[%d] %s: %v", trial, q, err)
+			}
+			for _, rw := range rWorlds {
+				for _, sw := range sWorlds {
+					for _, uw := range uWorlds {
+						det, err := bag.Exec(context.Background(), plan, bag.DB{"r": rw, "r2": sw, "r3": uw})
+						if err != nil {
+							t.Fatalf("[%d] %s: det: %v", trial, q, err)
+						}
+						if !res.BoundsWorld(det) {
+							t.Fatalf("[%d] %s: cost-optimized result does not bound world:\nworld:\n%s\nresult:\n%s",
+								trial, q, det, res)
+						}
+					}
+				}
+			}
+		}
+	}
 }

@@ -19,9 +19,12 @@ type kernelIter struct {
 	// labels optionally wraps a child's drain error with the same context
 	// the reference executor attaches (e.g. "join left input").
 	labels []string
-	sch    schema.Schema
-	batch  int
-	run    func(ctx context.Context, ins []*core.Relation) (*core.Relation, error)
+	// hints holds the planner's estimated rows per child (0 = none),
+	// pre-sizing each drain's output slice.
+	hints []int
+	sch   schema.Schema
+	batch int
+	run   func(ctx context.Context, ins []*core.Relation) (*core.Relation, error)
 
 	// rel is the kernel's materialized output (owned); Next streams its
 	// tuples, and Plan.Execute takes it directly when the breaker is the
@@ -33,7 +36,11 @@ type kernelIter struct {
 func (k *kernelIter) Open(ctx context.Context) error {
 	ins := make([]*core.Relation, len(k.children))
 	for i, ch := range k.children {
-		rel, err := drain(ctx, ch)
+		hint := 0
+		if k.hints != nil {
+			hint = k.hints[i]
+		}
+		rel, err := drainHint(ctx, ch, hint)
 		if err != nil {
 			if k.labels != nil && k.labels[i] != "" {
 				return fmt.Errorf("phys: %s: %w", k.labels[i], err)
@@ -82,11 +89,21 @@ func (k *kernelIter) Schema() schema.Schema { return k.sch }
 // caller owns (batch buffers are reused by producers; appending copies the
 // Tuple structs), and closes the child.
 func drain(ctx context.Context, it iter) (*core.Relation, error) {
+	return drainHint(ctx, it, 0)
+}
+
+// drainHint is drain with the output slice pre-sized to the planner's
+// estimate (already capped by the compiler; 0 means no estimate). An
+// under-estimate just grows the slice as before.
+func drainHint(ctx context.Context, it iter, hint int) (*core.Relation, error) {
 	if err := it.Open(ctx); err != nil {
 		it.Close()
 		return nil, err
 	}
 	out := core.New(it.Schema())
+	if hint > 0 {
+		out.Tuples = make([]core.Tuple, 0, hint)
+	}
 	for {
 		b, err := it.Next()
 		if err != nil {

@@ -36,6 +36,7 @@ import (
 
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/metrics"
+	"github.com/audb/audb/internal/opt"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/schema"
 )
@@ -82,6 +83,13 @@ type Options struct {
 	// Analyze instruments every operator with rows/batches/time counters
 	// (EXPLAIN ANALYZE); retrieve them with Plan.Stats after Execute.
 	Analyze bool
+	// Est carries the cost model's per-operator annotations for THIS plan
+	// (opt.CostOptimize keys them by node identity). The lowering uses
+	// them to pick hash-join build sides, pre-size hash tables,
+	// aggregation maps and drain buffers, and size exchange partitions
+	// from estimated rather than actual scan counts; estimates never
+	// affect results. Nil disables stats-driven lowering.
+	Est *opt.Annotations
 }
 
 // Plan is a compiled physical plan. A Plan executes once: compile per
@@ -209,6 +217,36 @@ func (c *compiler) projectStreams() bool {
 	return c.streaming() && !c.opt.Exec.Compressed()
 }
 
+// estRows returns the cost model's row estimate for a node of this plan.
+func (c *compiler) estRows(n ra.Node) (int64, bool) {
+	if c.opt.Est == nil {
+		return 0, false
+	}
+	return c.opt.Est.EstRows(n)
+}
+
+// maxPrealloc caps estimate-driven pre-allocations (tuples or map
+// buckets): the estimator deliberately over-estimates uncertain
+// predicates, so a hint must never reserve memory the input cannot
+// fill. Pre-sizing saturates quickly — beyond 64Ki entries append
+// doubling costs only a handful of reallocations — so the cap is kept
+// small (a few MB of Tuple headers at worst). Growth beyond it falls
+// back to append/rehash.
+const maxPrealloc = 1 << 16
+
+// sizeHint converts a node's row estimate into a bounded allocation hint
+// (0 when no estimate is available).
+func (c *compiler) sizeHint(n ra.Node) int {
+	e, ok := c.estRows(n)
+	if !ok || e < 0 {
+		return 0
+	}
+	if e > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(e)
+}
+
 // lower builds the iterator for n. Streaming chains are parallelized by
 // lowerExchange at the topmost chain node, which instantiates the whole
 // chain per partition (buildChain) — the nodes below it are never lowered
@@ -226,7 +264,7 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 			return nil, schema.UnknownTable("phys", t.Table, c.db.Names())
 		}
 		it := newScanIter(rel, 0, len(rel.Tuples), c.opt.BatchSize)
-		return c.wrap(it, t.String(), "stream"), nil
+		return c.wrap(it, n, t.String(), "stream"), nil
 
 	case *ra.Select:
 		if !c.streaming() {
@@ -242,7 +280,7 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 			return nil, err
 		}
 		it := &selectIter{child: child, pred: t.Pred, sch: child.Schema()}
-		return c.wrap(it, t.String(), "stream", child), nil
+		return c.wrap(it, n, t.String(), "stream", child), nil
 
 	case *ra.Project:
 		if !c.projectStreams() {
@@ -262,7 +300,7 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 			return nil, err
 		}
 		it := &projectIter{child: child, cols: t.Cols, sch: sch}
-		return c.wrap(it, t.String(), "stream", child), nil
+		return c.wrap(it, n, t.String(), "stream", child), nil
 
 	case *ra.Union:
 		if !c.projectStreams() {
@@ -280,11 +318,19 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 			return nil, err
 		}
 		it := &unionIter{left: left, right: right, sch: left.Schema()}
-		return c.wrap(it, t.String(), "stream", left, right), nil
+		return c.wrap(it, n, t.String(), "stream", left, right), nil
 
 	case *ra.Join:
+		// Stats-driven lowering: build the hash index over the estimated
+		// smaller input (the index itself is sized from the materialized
+		// build side, which is exact by then). The per-operator options
+		// copy never leaks into other operators.
+		o := c.opt.Exec
+		if c.opt.Est != nil {
+			o.JoinBuildLeft = c.opt.Est.BuildLeft(t)
+		}
 		return c.breaker(n, "join", func(ctx context.Context, ins []*core.Relation) (*core.Relation, error) {
-			return core.JoinRelations(ctx, ins[0], ins[1], t.Cond, c.opt.Exec)
+			return core.JoinRelations(ctx, ins[0], ins[1], t.Cond, o)
 		}, t.Left, t.Right)
 
 	case *ra.Diff:
@@ -302,8 +348,11 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The estimated group count pre-sizes the aggregation maps.
+		o := c.opt.Exec
+		o.SizeHint = c.sizeHint(n)
 		return c.breaker(n, "aggregation input", func(ctx context.Context, ins []*core.Relation) (*core.Relation, error) {
-			return core.AggRelations(ctx, ins[0], t.GroupBy, t.Aggs, outSchema, c.opt.Exec)
+			return core.AggRelations(ctx, ins[0], t.GroupBy, t.Aggs, outSchema, o)
 		}, t.Child)
 
 	case *ra.OrderBy:
@@ -329,29 +378,32 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 				sch: child.Schema(), batch: c.opt.BatchSize,
 			}
 			label := fmt.Sprintf("%s over %s", t.String(), ob.String())
-			return c.wrap(it, label, "top-k", child), nil
+			return c.wrap(it, n, label, "top-k", child), nil
 		}
 		child, err := c.lower(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		it := &limitIter{child: child, n: t.N, sch: child.Schema(), batch: c.opt.BatchSize}
-		return c.wrap(it, t.String(), "stream", child), nil
+		return c.wrap(it, n, t.String(), "stream", child), nil
 	}
 	return nil, fmt.Errorf("phys: unknown node %T", n)
 }
 
 // breaker lowers n as a kernel-backed pipeline breaker over its children.
 // label (optional) mirrors the reference executor's input-error context.
+// Each child drain is pre-sized from the child's estimated cardinality.
 func (c *compiler) breaker(n ra.Node, label string, run func(context.Context, []*core.Relation) (*core.Relation, error), children ...ra.Node) (iter, error) {
 	its := make([]iter, len(children))
 	labels := make([]string, len(children))
+	hints := make([]int, len(children))
 	for i, ch := range children {
 		it, err := c.lower(ch)
 		if err != nil {
 			return nil, err
 		}
 		its[i] = it
+		hints[i] = c.sizeHint(ch)
 		switch {
 		case label == "join" && i == 0:
 			labels[i] = "join left input"
@@ -365,14 +417,19 @@ func (c *compiler) breaker(n ra.Node, label string, run func(context.Context, []
 	if err != nil {
 		return nil, err
 	}
-	it := &kernelIter{children: its, labels: labels, sch: sch, batch: c.opt.BatchSize, run: run}
-	return c.wrap(it, n.String(), "materialize", its...), nil
+	it := &kernelIter{children: its, labels: labels, hints: hints, sch: sch, batch: c.opt.BatchSize, run: run}
+	return c.wrap(it, n, n.String(), "materialize", its...), nil
 }
 
 // lowerExchange parallelizes a streaming Select/Project chain over a scan:
 // when the whole subtree streams down to one Scan and the table is large
 // enough to split across workers, one copy of the chain is built per
 // contiguous scan range and an exchange re-merges them in partition order.
+// With cost-based annotations, the partition COUNT is sized from the
+// planner's estimated scan rows instead of the actual count, so the
+// parallelism decision is part of the (explainable, reproducible) plan
+// rather than of the data the snapshot happens to hold; the spans
+// themselves always cover the actual stored tuples.
 func (c *compiler) lowerExchange(n ra.Node) (iter, bool, error) {
 	if c.workers <= 1 {
 		return nil, false, nil
@@ -385,7 +442,15 @@ func (c *compiler) lowerExchange(n ra.Node) (iter, bool, error) {
 	if !ok {
 		return nil, false, schema.UnknownTable("phys", scan.Table, c.db.Names())
 	}
-	spans := core.ChunkSpans(len(rel.Tuples), c.workers, minPartitionRows)
+	sized := len(rel.Tuples)
+	if e, ok := c.estRows(scan); ok && e >= 0 && e <= int64(1<<40) {
+		sized = int(e)
+	}
+	nPart := len(core.ChunkSpans(sized, c.workers, minPartitionRows))
+	if nPart < 2 {
+		return nil, false, nil
+	}
+	spans := core.ChunkSpans(len(rel.Tuples), nPart, 1)
 	if len(spans) < 2 {
 		return nil, false, nil
 	}
@@ -402,7 +467,7 @@ func (c *compiler) lowerExchange(n ra.Node) (iter, bool, error) {
 		return nil, false, err
 	}
 	it := &exchangeIter{parts: parts, sch: sch}
-	return c.wrap(it, n.String(), fmt.Sprintf("exchange(%d)", len(parts))), true, nil
+	return c.wrap(it, n, n.String(), fmt.Sprintf("exchange(%d)", len(parts))), true, nil
 }
 
 // chainScan returns the Scan leaf when every node from n down is a
@@ -451,12 +516,16 @@ func (c *compiler) buildChain(n ra.Node, rel *core.Relation, lo, hi int) (iter, 
 }
 
 // wrap instruments an iterator when Analyze is on, linking the children's
-// counters into the stats tree.
-func (c *compiler) wrap(it iter, op, strategy string, children ...iter) iter {
+// counters into the stats tree and attaching the cost model's estimate
+// for the lowered node so EXPLAIN ANALYZE shows est next to actual.
+func (c *compiler) wrap(it iter, n ra.Node, op, strategy string, children ...iter) iter {
 	if !c.opt.Analyze {
 		return it
 	}
 	st := &metrics.OpStats{Op: op, Strategy: strategy}
+	if e, ok := c.estRows(n); ok {
+		st.EstRows, st.HasEst = e, true
+	}
 	for _, ch := range children {
 		if si, ok := ch.(*statIter); ok {
 			st.Children = append(st.Children, si.st)

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/audb/audb/internal/core"
+)
+
+// Provider resolves a table name to its current statistics. It is the
+// planner-facing read interface: the cost-based optimizer depends on this,
+// not on the Registry, so tests can substitute fixed statistics.
+type Provider interface {
+	// TableStats returns the statistics for a registered table, or false
+	// when the table is unknown (the planner then falls back to defaults).
+	TableStats(name string) (*TableStats, bool)
+}
+
+// Registry caches per-table statistics for a catalog. Registration (via
+// the core.CatalogObserver hooks) only records the relation — collection
+// is deferred to the first TableStats call, so registering a large table
+// stays O(1) and tables that are never planned cost nothing. Dropping or
+// re-registering a table invalidates its entry immediately: once Dropped
+// returns, TableStats reports the table unknown.
+//
+// All methods are safe for concurrent use. Collection reads the relation
+// exactly like query execution does, so mutating a registered relation's
+// rows while statistics are being collected is the caller's race to avoid
+// (the same contract as core.Catalog).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry // keyed by lowercased name
+}
+
+// entry is one table's cached statistics; stats are computed at most once
+// per entry (Analyze swaps in a fresh entry to force recollection).
+type entry struct {
+	name string
+	rel  *core.Relation
+	once sync.Once
+	ts   *TableStats
+}
+
+func (e *entry) stats() *TableStats {
+	e.once.Do(func() { e.ts = Collect(e.name, e.rel) })
+	return e.ts
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Registered implements core.CatalogObserver: (re-)registering a table
+// discards any cached statistics and records the new relation.
+func (g *Registry) Registered(name string, r *core.Relation) {
+	g.mu.Lock()
+	g.entries[strings.ToLower(name)] = &entry{name: name, rel: r}
+	g.mu.Unlock()
+}
+
+// Dropped implements core.CatalogObserver: the entry is removed, so stats
+// for a dropped table are never served again.
+func (g *Registry) Dropped(name string) {
+	g.mu.Lock()
+	delete(g.entries, strings.ToLower(name))
+	g.mu.Unlock()
+}
+
+// TableStats implements Provider, collecting the statistics on first use.
+func (g *Registry) TableStats(name string) (*TableStats, bool) {
+	g.mu.RLock()
+	e := g.entries[strings.ToLower(name)]
+	g.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	return e.stats(), true
+}
+
+// Analyze forces a fresh collection for the named table (e.g. after its
+// rows were mutated in place) and returns the new statistics; false when
+// the table is not registered. Concurrent readers keep the old entry
+// until the swap, so a query planning mid-analyze sees a consistent
+// (possibly stale) snapshot, never a half-built one.
+func (g *Registry) Analyze(name string) (*TableStats, bool) {
+	key := strings.ToLower(name)
+	g.mu.Lock()
+	old := g.entries[key]
+	if old == nil {
+		g.mu.Unlock()
+		return nil, false
+	}
+	fresh := &entry{name: old.name, rel: old.rel}
+	g.entries[key] = fresh
+	g.mu.Unlock()
+	return fresh.stats(), true
+}
+
+// Len returns the number of tables with (lazily collected) entries.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
