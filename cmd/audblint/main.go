@@ -1,0 +1,116 @@
+// Command audblint is the multichecker for the AU-DB invariant
+// analyzers in internal/lint. It loads the packages matching its
+// argument patterns (default ./...), runs the suite, and prints one
+// finding per line in file:line:col form.
+//
+//	go run ./cmd/audblint ./...
+//	go run ./cmd/audblint -only boundsctor,gatedoc ./internal/...
+//	go run ./cmd/audblint -counts ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error. A finding is
+// suppressed by a same- or previous-line comment
+//
+//	//lint:allow audblint-<analyzer> reason
+//
+// where the reason is mandatory. See README.md, "Static analysis &
+// invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/audb/audb/internal/lint"
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("audblint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: the gating suite)")
+	shadow := fs.Bool("shadow", false, "also run the non-gating shadow analyzer")
+	counts := fs.Bool("counts", false, "print a per-analyzer finding count table after the findings")
+	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: audblint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *shadow {
+		analyzers = lint.AllAnalyzers()
+	}
+	if *list {
+		gating := map[string]bool{}
+		for _, a := range lint.Analyzers() {
+			gating[a.Name] = true
+		}
+		for _, a := range lint.AllAnalyzers() {
+			tag := ""
+			if !gating[a.Name] {
+				tag = " (non-gating; enable with -shadow or -only)"
+			}
+			fmt.Printf("%-12s %s%s\n", a.Name, a.Doc, tag)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range lint.AllAnalyzers() {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "audblint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "audblint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if *counts {
+		printCounts(analyzers, findings)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printCounts renders the per-analyzer table the CI job summary embeds.
+func printCounts(analyzers []*analysis.Analyzer, findings []lint.Finding) {
+	n := map[string]int{}
+	for _, f := range findings {
+		n[f.Analyzer]++
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	fmt.Println("analyzer      findings")
+	for _, name := range names {
+		fmt.Printf("%-12s  %d\n", name, n[name])
+	}
+}

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that audblint's analyzers
+// use. The real module is unavailable in the offline build environment,
+// so rather than vendoring it wholesale, this package mirrors the
+// Analyzer/Pass/Diagnostic contract exactly: analyzer code written
+// against it reads like stock go/analysis code and can be moved onto the
+// upstream framework by changing one import path once the dependency can
+// be added.
+//
+// Only the pieces the suite needs exist: single-pass analyzers over a
+// type-checked package (no Facts, no Requires graph, no SuggestedFixes).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: its name, documentation, and
+// entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("[name]" suffix) and
+	// in suppression comments (//lint:allow audblint-<name> reason).
+	Name string
+
+	// Doc is the one-paragraph documentation shown by audblint -help,
+	// stating the invariant the analyzer guards.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report/Reportf; the result value is unused (kept for API
+	// compatibility with x/tools).
+	Run func(*Pass) (any, error)
+}
+
+// Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// rangevalPath is the one package allowed to assemble range triples.
+const rangevalPath = "github.com/audb/audb/internal/rangeval"
+
+// Boundsctor guards the paper's Definition 6 invariant lb ≤ sg ≤ ub by
+// construction: outside internal/rangeval, a rangeval.V may not be built
+// from a non-empty composite literal, and its Lo/SG/Hi fields may not be
+// written. Every triple must flow through the constructors the package
+// exports (Certain, New, Checked, Full) or the combinators that preserve
+// the invariant (Union), so the property has a single auditable
+// chokepoint. The zero literal rangeval.V{} stays legal: it is the
+// conventional "no value" alongside a non-nil error.
+var Boundsctor = &analysis.Analyzer{
+	Name: "boundsctor",
+	Doc: "forbid constructing rangeval.V outside internal/rangeval: " +
+		"non-empty composite literals and writes to Lo/SG/Hi bypass the " +
+		"lb ≤ sg ≤ ub chokepoint (use Certain/New/Checked/Full/Union)",
+	Run: runBoundsctor,
+}
+
+func runBoundsctor(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == rangevalPath {
+		return nil, nil // the defining package may do as it pleases
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if len(n.Elts) > 0 && isRangevalV(pass.TypesInfo.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "rangeval.V composite literal bypasses the lb ≤ sg ≤ ub chokepoint; use rangeval.New, Checked, Certain or Full")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && isVFieldSelection(pass, sel) {
+						pass.Reportf(sel.Pos(), "write to rangeval.V.%s bypasses the lb ≤ sg ≤ ub chokepoint; build a new value with rangeval.New or Checked", sel.Sel.Name)
+					}
+				}
+			case *ast.UnaryExpr:
+				// &v.Lo hands out a writable alias to one bound.
+				if n.Op.String() == "&" {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok && isVFieldSelection(pass, sel) {
+						pass.Reportf(n.Pos(), "taking the address of rangeval.V.%s allows writes that bypass the lb ≤ sg ≤ ub chokepoint", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRangevalV reports whether t is rangeval.V (possibly behind a pointer).
+func isRangevalV(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "V" && obj.Pkg() != nil && obj.Pkg().Path() == rangevalPath
+}
+
+// isVFieldSelection reports whether sel selects one of rangeval.V's
+// bound fields (Lo, SG, Hi) as a field (not a method).
+func isVFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lo", "SG", "Hi":
+	default:
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == rangevalPath && isRangevalV(s.Recv())
+}

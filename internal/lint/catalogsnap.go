@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// corePath is the package that owns the Catalog.
+const corePath = "github.com/audb/audb/internal/core"
+
+// Catalogsnap guards the catalog's concurrency discipline (PR 2): query
+// execution only ever sees an immutable Snapshot, and the live registry
+// state behind core.Catalog is touched exclusively under its mutex.
+// Outside internal/core, any direct field access on a Catalog is flagged
+// (today the fields are unexported, so this also future-proofs against
+// exporting one); inside internal/core, a function that reads or writes
+// a Catalog field other than the mutex itself must have acquired
+// c.mu.Lock or c.mu.RLock earlier in the same function body (a textual
+// dominance approximation; helpers that intentionally run under a
+// caller's lock carry a //lint:allow audblint-catalogsnap suppression
+// with the reason).
+var Catalogsnap = &analysis.Analyzer{
+	Name: "catalogsnap",
+	Doc: "restrict core.Catalog state to mutex-guarded access inside " +
+		"internal/core and to the Snapshot/Lookup/Tables API elsewhere",
+	Run: runCatalogsnap,
+}
+
+func runCatalogsnap(pass *analysis.Pass) (any, error) {
+	inside := pass.Pkg.Path() == corePath
+	for _, f := range pass.Files {
+		// Tests may peek at registry state for assertions; the invariant
+		// guards the production access paths.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCatalogAccess(pass, fd, inside)
+		}
+	}
+	return nil, nil
+}
+
+func checkCatalogAccess(pass *analysis.Pass, fd *ast.FuncDecl, inside bool) {
+	// First pass: where (if anywhere) does this function take the
+	// catalog's lock?
+	lockPos := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if mu, ok := sel.X.(*ast.SelectorExpr); ok && isCatalogField(pass, mu) {
+			if !lockPos.IsValid() || call.Pos() < lockPos {
+				lockPos = call.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isCatalogField(pass, sel) {
+			return true
+		}
+		name := sel.Sel.Name
+		if !inside {
+			pass.Reportf(sel.Pos(), "direct access to core.Catalog field %s from outside internal/core; use the Snapshot/Lookup/Tables API", name)
+			return true
+		}
+		if name == "mu" {
+			return true // lock operations themselves
+		}
+		if !lockPos.IsValid() || sel.Pos() < lockPos {
+			pass.Reportf(sel.Pos(), "core.Catalog.%s accessed without holding c.mu; take c.mu.Lock/RLock first or go through Snapshot", name)
+		}
+		return true
+	})
+}
+
+// isCatalogField reports whether sel selects a struct field of
+// core.Catalog.
+func isCatalogField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Catalog" && obj.Pkg() != nil && obj.Pkg().Path() == corePath
+}

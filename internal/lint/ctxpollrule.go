@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// ctxpollPath is the package providing the amortized cancellation check.
+const ctxpollPath = "github.com/audb/audb/internal/ctxpoll"
+
+// ctxpollScope lists the executor packages whose tuple loops must stay
+// cancellable (the ms-latency guarantee established in PR 2).
+var ctxpollScope = map[string]bool{
+	"github.com/audb/audb/internal/core":     true,
+	"github.com/audb/audb/internal/phys":     true,
+	"github.com/audb/audb/internal/bag":      true,
+	"github.com/audb/audb/internal/encoding": true,
+}
+
+// Ctxpoll guards cooperative cancellation: in the executor packages,
+// every loop over tuples or batches that runs in a context-bearing
+// function must reach a cancellation check — a ctxpoll.Poll.Due or
+// ctx.Err call, a ctx.Done select, a call to a helper (same package,
+// transitively) that polls, a call that is handed the ctx or poll, or a
+// call through the package's context-bound iterator contract (an
+// interface whose Open takes a context). Loops in functions with no
+// context in reach are pure kernels owned by a polled caller and are
+// exempt, as are _test.go files.
+var Ctxpoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "require tuple/batch loops in internal/{core,phys,bag,encoding} " +
+		"to reach a cancellation poll (ctxpoll.Poll.Due, ctx.Err, or a " +
+		"helper that observes the context), preserving ms-latency query " +
+		"cancellation as new kernels land",
+	Run: runCtxpoll,
+}
+
+func runCtxpoll(pass *analysis.Pass) (any, error) {
+	if !ctxpollScope[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	c := &ctxpollCheck{pass: pass, decls: map[types.Object]*ast.FuncDecl{}, memo: map[types.Object]bool{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !c.hasContextInReach(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false // closures are separate cancellation domains
+				case *ast.RangeStmt:
+					if !c.isTupleIterable(n.X) {
+						return true
+					}
+					body = n.Body
+				case *ast.ForStmt:
+					if !c.isTupleForLoop(n) {
+						return true
+					}
+					body = n.Body
+				default:
+					return true
+				}
+				if !c.bodyPolls(body, 0, map[types.Object]bool{}) {
+					c.pass.Reportf(n.Pos(), "loop over tuples/batches does not reach a cancellation poll; call (*ctxpoll.Poll).Due or ctx.Err in the loop, or hand the context to a helper that does")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type ctxpollCheck struct {
+	pass  *analysis.Pass
+	decls map[types.Object]*ast.FuncDecl
+	memo  map[types.Object]bool // declared function -> polls on every path into its loops
+}
+
+// hasContextInReach reports whether fd can observe a context at all: a
+// parameter or receiver (directly, or via a struct field) of type
+// context.Context or *ctxpoll.Poll.
+func (c *ctxpollCheck) hasContextInReach(fd *ast.FuncDecl) bool {
+	obj := c.pass.TypesInfo.Defs[fd.Name]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxOrPoll(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if isCtxOrPoll(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isCtxOrPoll(t types.Type) bool {
+	if isContext(t) {
+		return true
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Poll" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == ctxpollPath
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Context" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context"
+}
+
+// isTupleIterable reports whether ranging over x visits tuples or
+// batches: a slice/array whose element type is a named "Tuple" (core,
+// rangeval, bag, ...) or a slice of such (a batch stream).
+func (c *ctxpollCheck) isTupleIterable(x ast.Expr) bool {
+	return isTupleSlice(c.pass.TypesInfo.TypeOf(x))
+}
+
+func isTupleSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	if isNamedTuple(elem) {
+		return true
+	}
+	// A slice whose elements are themselves tuple slices is a batch
+	// sequence ([][]core.Tuple).
+	if s, ok := elem.Underlying().(*types.Slice); ok {
+		return isNamedTuple(s.Elem())
+	}
+	return false
+}
+
+func isNamedTuple(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Tuple"
+}
+
+// isTupleForLoop reports whether a 3-clause or bare for loop iterates
+// tuples: its condition compares against len() of a tuple iterable, or
+// its body pulls tuple batches from a call (a drain loop).
+func (c *ctxpollCheck) isTupleForLoop(n *ast.ForStmt) bool {
+	tuple := false
+	if n.Cond != nil {
+		ast.Inspect(n.Cond, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 && c.isTupleIterable(call.Args[0]) {
+					tuple = true
+				}
+			}
+			return !tuple
+		})
+		return tuple
+	}
+	// for {} with a tuple-batch producing call in the body: a drain loop.
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops judged on their own
+		case *ast.CallExpr:
+			if isTupleSlice(firstResult(c.pass.TypesInfo.TypeOf(m))) {
+				tuple = true
+			}
+		}
+		return !tuple
+	})
+	return tuple
+}
+
+// firstResult unwraps a call's (possibly multi-valued) result type.
+func firstResult(t types.Type) types.Type {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return nil
+		}
+		return tup.At(0).Type()
+	}
+	return t
+}
+
+// bodyPolls reports whether the statement block reaches a cancellation
+// check, chasing same-package helpers up to a small depth.
+func (c *ctxpollCheck) bodyPolls(body ast.Node, depth int, visiting map[types.Object]bool) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.callPolls(call, depth, visiting) {
+			polls = true
+			return false
+		}
+		return true
+	})
+	return polls
+}
+
+func (c *ctxpollCheck) callPolls(call *ast.CallExpr, depth int, visiting map[types.Object]bool) bool {
+	// A call that is handed the context or a poll delegates the check.
+	for _, arg := range call.Args {
+		if isCtxOrPoll(c.pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	if sel != nil {
+		recvT := c.pass.TypesInfo.TypeOf(sel.X)
+		switch sel.Sel.Name {
+		case "Due":
+			if isCtxOrPoll(recvT) {
+				return true
+			}
+		case "Err", "Done":
+			if isContext(recvT) {
+				return true
+			}
+		}
+	}
+	// Resolve the callee: same-package helpers are chased into their
+	// bodies; calls through a context-bound iterator contract (an
+	// interface declared with an Open(ctx) method) poll by contract.
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+			if ifaceObservesContext(iface) {
+				return true
+			}
+		}
+	}
+	if depth >= 4 || visiting[fn] {
+		return false
+	}
+	if v, ok := c.memo[fn]; ok {
+		return v
+	}
+	decl, ok := c.decls[fn]
+	if !ok || decl.Body == nil {
+		return false
+	}
+	visiting[fn] = true
+	v := c.bodyPolls(decl.Body, depth+1, visiting)
+	delete(visiting, fn)
+	c.memo[fn] = v
+	return v
+}
+
+// ifaceObservesContext reports whether the interface binds a context at
+// Open time (the iterator contract: Open(ctx) ... Next observes it).
+func ifaceObservesContext(iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		sig := m.Type().(*types.Signature)
+		if m.Name() == "Open" && sig.Params().Len() >= 1 && isContext(sig.Params().At(0).Type()) {
+			return true
+		}
+	}
+	return false
+}

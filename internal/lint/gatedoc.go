@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// optPath is the logical optimizer package.
+const optPath = "github.com/audb/audb/internal/opt"
+
+// Soundness-comment shape: a "sound:" or "gated:" marker plus a concrete
+// reference into the paper (a Section/Definition/Theorem/Lemma number),
+// so "trust me" comments do not pass.
+var (
+	gatedocMarker   = regexp.MustCompile(`(?mi)\b(sound|gated):`)
+	gatedocPaperRef = regexp.MustCompile(`(?i)(Section|Definition|Theorem|Lemma|§)\s*\d`)
+)
+
+// Gatedoc keeps PR 3's gating discipline honest: classical rewrites are
+// not automatically sound under AU-DB range semantics, so every rewrite
+// rule registered in internal/opt must carry a soundness comment — a
+// doc comment on the rule's function containing "sound:" (why the rule
+// is result-exact) or "gated:" (what it refuses to rewrite), with a
+// paper-section reference. Inline func-literal rules are flagged
+// outright: a rule must be a named, documentable function.
+var Gatedoc = &analysis.Analyzer{
+	Name: "gatedoc",
+	Doc: "require every rewrite rule registered in internal/opt to carry " +
+		"a 'sound:' or 'gated:' doc comment with a paper-section " +
+		"reference justifying it under AU-DB range semantics",
+	Run: runGatedoc,
+}
+
+func runGatedoc(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != optPath {
+		return nil, nil
+	}
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isOptRuleType(pass.TypesInfo.TypeOf(lit)) {
+				return true
+			}
+			name, apply := ruleLitFields(lit)
+			if apply == nil {
+				return true
+			}
+			switch fn := apply.(type) {
+			case *ast.FuncLit:
+				pass.Reportf(apply.Pos(), "rewrite rule %s is an inline func literal; rules must be named functions with a sound:/gated: doc comment", name)
+			case *ast.Ident, *ast.SelectorExpr:
+				var obj types.Object
+				if id, ok := fn.(*ast.Ident); ok {
+					obj = pass.TypesInfo.Uses[id]
+				} else {
+					obj = pass.TypesInfo.Uses[fn.(*ast.SelectorExpr).Sel]
+				}
+				fd := decls[obj]
+				if fd == nil {
+					pass.Reportf(apply.Pos(), "rewrite rule %s resolves outside this package; register a local named function with a sound:/gated: doc comment", name)
+					return true
+				}
+				if !soundnessDocumented(fd.Doc) {
+					pass.Reportf(apply.Pos(), "rewrite rule %s (%s) lacks a soundness comment; document why it is exact under AU-DB bounds with a '// sound:' or '// gated:' line citing a paper section", name, fd.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ruleLitFields extracts the rule's registered name (best effort, for
+// the message) and the apply-function expression from a rule literal,
+// handling both keyed and positional forms.
+func ruleLitFields(lit *ast.CompositeLit) (name string, apply ast.Expr) {
+	name = "(unnamed)"
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, _ := kv.Key.(*ast.Ident)
+			if key == nil {
+				continue
+			}
+			switch key.Name {
+			case "name":
+				if bl, ok := kv.Value.(*ast.BasicLit); ok {
+					name = bl.Value
+				}
+			case "apply":
+				apply = kv.Value
+			}
+			continue
+		}
+		switch i {
+		case 0:
+			if bl, ok := elt.(*ast.BasicLit); ok {
+				name = bl.Value
+			}
+		case 1:
+			apply = elt
+		}
+	}
+	return name, apply
+}
+
+func isOptRuleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "rule" && obj.Pkg() != nil && obj.Pkg().Path() == optPath
+}
+
+func soundnessDocumented(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := doc.Text()
+	return gatedocMarker.MatchString(text) && gatedocPaperRef.MatchString(strings.TrimSpace(text))
+}

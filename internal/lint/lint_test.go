@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/audb/audb/internal/lint"
+	"github.com/audb/audb/internal/lint/linttest"
+)
+
+// The fixture packages pose as the real packages the analyzers are
+// scoped to (see linttest); each contains both flagged and clean cases.
+
+func TestBoundsctor(t *testing.T) {
+	linttest.Run(t, lint.Boundsctor,
+		linttest.Pkg{Dir: "testdata/src/boundsctor", Path: "github.com/audb/audb/internal/lintfixture/boundsctor"},
+		linttest.Pkg{Dir: "testdata/src/boundsctor_inside", Path: "github.com/audb/audb/internal/rangeval"},
+	)
+}
+
+func TestCtxpoll(t *testing.T) {
+	linttest.Run(t, lint.Ctxpoll,
+		linttest.Pkg{Dir: "testdata/src/ctxpoll", Path: "github.com/audb/audb/internal/core"},
+	)
+}
+
+func TestCtxpollOutOfScopePackage(t *testing.T) {
+	// The same fixture under a non-executor path must be silent.
+	linttest.Run(t, lint.Ctxpoll,
+		linttest.Pkg{Dir: "testdata/src/ctxpoll_quiet", Path: "github.com/audb/audb/internal/lintfixture/quiet"},
+	)
+}
+
+func TestCatalogsnap(t *testing.T) {
+	linttest.Run(t, lint.Catalogsnap,
+		linttest.Pkg{Dir: "testdata/src/catalogsnap_core", Path: "github.com/audb/audb/internal/core"},
+		linttest.Pkg{Dir: "testdata/src/catalogsnap_out", Path: "github.com/audb/audb/internal/lintfixture/out"},
+	)
+}
+
+func TestNocloneiter(t *testing.T) {
+	linttest.Run(t, lint.Nocloneiter,
+		linttest.Pkg{Dir: "testdata/src/nocloneiter", Path: "github.com/audb/audb/internal/phys"},
+	)
+}
+
+func TestGatedoc(t *testing.T) {
+	linttest.Run(t, lint.Gatedoc,
+		linttest.Pkg{Dir: "testdata/src/gatedoc", Path: "github.com/audb/audb/internal/opt"},
+	)
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, lint.Shadow,
+		linttest.Pkg{Dir: "testdata/src/shadow", Path: "github.com/audb/audb/internal/lintfixture/shadow"},
+	)
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, lint.Nilness,
+		linttest.Pkg{Dir: "testdata/src/nilness", Path: "github.com/audb/audb/internal/lintfixture/nilness"},
+	)
+}
+
+// TestSuiteCleanOnRepo is the in-tree version of the CI gate: the whole
+// module must be free of findings. Skipped with -short (it compiles the
+// full module and every test variant).
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; run without -short")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(root, lint.Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,214 @@
+// Package linttest is audblint's fixture harness, mirroring
+// golang.org/x/tools/go/analysis/analysistest (unavailable offline):
+// fixture packages live under testdata (invisible to the go tool), carry
+// `// want "regexp"` comments on the lines where diagnostics are
+// expected, and a test fails on any unmatched diagnostic or unmatched
+// expectation.
+//
+// Unlike analysistest, a fixture declares the import path it poses as,
+// so analyzers scoped to real packages (internal/core, internal/opt, …)
+// can be exercised without their production source: a fixture claiming
+// the path is type-checked as that package. Fixtures may import the real
+// module's packages; their export data is compiled on demand via
+// `go list -export`.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/audb/audb/internal/lint"
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// Pkg is one fixture package: the directory holding its .go files and
+// the import path it claims.
+type Pkg struct {
+	Dir  string // relative to the test's working directory
+	Path string // import path the fixture poses as
+}
+
+var (
+	exportOnce sync.Once
+	exportErr  error
+	exportMap  map[string]string
+)
+
+// moduleExports compiles the real module once per test process and
+// returns import path -> export data file.
+func moduleExports() (map[string]string, error) {
+	exportOnce.Do(func() {
+		root, err := lint.ModuleRoot(".")
+		if err != nil {
+			exportErr = err
+			return
+		}
+		pkgs, err := lint.GoList(root, "-export", "-deps", "-json", "./...")
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportMap = map[string]string{}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return exportMap, exportErr
+}
+
+// Run type-checks the fixture packages in order (later fixtures may
+// import earlier ones by their claimed paths) and applies the analyzer
+// to each, matching diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Pkg) {
+	t.Helper()
+	exports, err := moduleExports()
+	if err != nil {
+		t.Fatalf("linttest: compiling module export data: %v", err)
+	}
+	local := map[string]*types.Package{}
+	for _, p := range pkgs {
+		u, err := checkFixture(p, exports, local)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		local[p.Path] = u.Pkg
+		findings, err := lint.RunUnit(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("linttest: running %s on %s: %v", a.Name, p.Dir, err)
+		}
+		matchWants(t, u, findings)
+	}
+}
+
+func checkFixture(p Pkg, exports map[string]string, local map[string]*types.Package) (*lint.Unit, error) {
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(p.Dir, e.Name()), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", p.Dir)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	imp := &chainImporter{local: local, gc: gc}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.Path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", p.Dir, err)
+	}
+	return &lint.Unit{Path: p.Path, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// chainImporter serves earlier fixture packages from memory and
+// everything else from gc export data.
+type chainImporter struct {
+	local map[string]*types.Package
+	gc    types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.gc.ImportFrom(path, dir, mode)
+}
+
+// wantRe matches one expectation inside a `// want` comment — a
+// double-quoted or backquoted regexp; several may appear in one comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func matchWants(t *testing.T, u *lint.Unit, findings []lint.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					src := m[1]
+					if m[2] != "" {
+						src = m[2]
+					}
+					pat, err := regexp.Compile(src)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, src, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: pat})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

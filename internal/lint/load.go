@@ -1,0 +1,208 @@
+// Package lint is audblint: a suite of static analyzers that
+// machine-check the AU-DB engine's soundness invariants — properties the
+// paper states but the Go compiler cannot see. Each analyzer guards one
+// invariant; see Analyzers for the roster and README.md ("Static analysis
+// & invariants") for the rationale.
+//
+// The loader in this file type-checks packages without any dependency on
+// golang.org/x/tools/go/packages (unavailable offline): it shells out to
+// `go list -export -deps -test -json`, which compiles dependencies into
+// the build cache and reports the path of each package's export data,
+// then parses the target packages from source and type-checks them with
+// go/types using a gc-importer lookup that serves those export files.
+// Test variants ("pkg [pkg.test]") are analyzed in place of their plain
+// package so _test.go files are covered too.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GoListPkg is the subset of `go list -json` output the loader consumes.
+type GoListPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	ForTest    string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Unit is one type-checked package ready for analysis.
+type Unit struct {
+	Path      string // import path as analyzers see it (test-variant suffix stripped)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// GoList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func GoList(dir string, args ...string) ([]*GoListPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*GoListPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p GoListPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot locates the enclosing module's root directory.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: not inside a module (dir %s)", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// baseImportPath strips the " [pkg.test]" suffix test variants carry.
+func baseImportPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir), returning one Unit per analyzable package. Test
+// variants replace their plain package; synthesized ".test" mains are
+// skipped. Only packages of the enclosing module are returned —
+// dependencies are consumed as export data.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	args := append([]string{"-export", "-deps", "-test", "-json"}, patterns...)
+	pkgs, err := GoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	// The module under analysis is the one the patterns resolve in.
+	modPath := ""
+	for _, p := range pkgs {
+		if p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	// Augmented test variants ("pkg [pkg.test]") contain the plain
+	// package's files plus its _test.go files; analyze those instead of
+	// the plain package to avoid double-reporting.
+	hasVariant := map[string]bool{}
+	for _, p := range pkgs {
+		if p.ForTest != "" && baseImportPath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Module == nil || (modPath != "" && p.Module.Path != modPath) {
+			continue // dependency: export data only
+		}
+		base := baseImportPath(p.ImportPath)
+		if strings.HasSuffix(base, ".test") {
+			continue // synthesized test main
+		}
+		if p.ImportPath == base && hasVariant[base] {
+			continue // replaced by its augmented test variant
+		}
+		u, err := check(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Path < units[j].Path })
+	return units, nil
+}
+
+// check parses and type-checks one listed package against the export
+// data of its dependencies.
+func check(p *GoListPkg, exports map[string]string) (*Unit, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	base := baseImportPath(p.ImportPath)
+	pkg, err := conf.Check(base, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Unit{Path: base, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// NewTypesInfo allocates the go/types fact maps the analyzers consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// Nilness is a lightweight, syntax-directed stand-in for the stock
+// x/tools "nilness" SSA analysis (unavailable offline): inside the body
+// of `if x == nil { ... }`, where x is a pointer- or interface-typed
+// variable that the body has not reassigned, dereferencing x — a field
+// or method selection, *x, or a call x() — is a guaranteed panic. The
+// full dataflow version can replace this once the upstream dependency
+// is vendorable; the common bug shape (an error path that formats the
+// very value it just proved nil) is caught here.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "report dereferences of a variable inside the if-body that just " +
+		"proved it nil (a syntactic subset of x/tools' nilness)",
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id := nilComparedIdent(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			reportNilDerefs(pass, ifs.Body, obj, id.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilComparedIdent matches `x == nil` / `nil == x` where x is a
+// pointer- or interface-typed identifier.
+func nilComparedIdent(pass *analysis.Pass, cond ast.Expr) *ast.Ident {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	switch pass.TypesInfo.TypeOf(id).Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature:
+		return id
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// reportNilDerefs flags dereferences of obj within body, stopping at the
+// first reassignment (after which nilness is unknown).
+func reportNilDerefs(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, name string) {
+	reassigned := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if !reassigned.IsValid() || as.Pos() < reassigned {
+					reassigned = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+			return false // a closure may run after reassignment elsewhere
+		}
+		var at token.Pos
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			// A method value/call on a nil *T receiver can be legal Go
+			// (methods may accept nil receivers); a field access cannot.
+			if s, ok := pass.TypesInfo.Selections[n]; ok && s.Kind() != types.FieldVal {
+				return true
+			}
+			at = n.Pos()
+		case *ast.StarExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			at = n.Pos()
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			at = n.Pos()
+		default:
+			return true
+		}
+		if reassigned.IsValid() && at > reassigned {
+			return true
+		}
+		pass.Reportf(at, "%s is nil on this path (proved by the enclosing if); dereferencing it panics", name)
+		return true
+	})
+}

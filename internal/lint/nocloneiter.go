@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// physPath is the pipelined physical execution layer.
+const physPath = "github.com/audb/audb/internal/phys"
+
+// nocloneExemptFiles are the pipeline-breaker implementation files, the
+// only places in internal/phys where materializing (and hence deep
+// copying) is part of the contract.
+var nocloneExemptFiles = map[string]bool{"breaker.go": true}
+
+// Nocloneiter guards PR 4's zero-clone streaming property: in
+// internal/phys, the streaming (non-breaker) operator paths must not
+// deep-copy tuples or relations. Scans emit views into base storage and
+// streaming operators rewrite only the annotation triple, so a Clone
+// call on an engine type in a streaming file is either an accidental
+// perf regression or a sign the operator should be a breaker. Calls to
+// methods named Clone on module-local types are flagged outside
+// breaker.go; ShallowClone (an O(1) header copy) stays legal, as do
+// clones in _test.go files (world enumeration needs them).
+var Nocloneiter = &analysis.Analyzer{
+	Name: "nocloneiter",
+	Doc: "forbid deep Clone() calls in internal/phys streaming " +
+		"(non-breaker) paths, protecting the zero-clone pipeline property",
+	Run: runNocloneiter,
+}
+
+func runNocloneiter(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != physPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") || nocloneExemptFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Clone" {
+				return true
+			}
+			if isModuleMethod(pass, sel.Sel) {
+				pass.Reportf(call.Pos(), "deep Clone() in a streaming phys path breaks the zero-clone pipeline property; stream views (ShallowClone at most) or materialize in a breaker (breaker.go)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isModuleMethod reports whether the called method is declared on a type
+// of this module (stdlib Clone helpers are not our invariant's problem).
+func isModuleMethod(pass *analysis.Pass, sel *ast.Ident) bool {
+	fn, ok := pass.TypesInfo.Uses[sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasPrefix(fn.Pkg().Path(), "github.com/audb/audb/")
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// Finding is one diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// suppressPrefix is the magic comment that silences one analyzer for the
+// line it appears on (or, when alone on a line, for the following line):
+//
+//	//lint:allow audblint-<name> reason
+//
+// The reason is mandatory: a suppression without a stated reason does
+// not suppress.
+const suppressPrefix = "//lint:allow audblint-"
+
+// suppressions maps file -> line -> analyzer names allowed there.
+type suppressions map[string]map[int][]string
+
+// collectSuppressions scans a unit's comments for //lint:allow markers.
+// A marker suppresses findings on its own line and on the next line, so
+// it can ride at the end of the offending line or on its own line above.
+func collectSuppressions(u *Unit) suppressions {
+	sup := suppressions{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, suppressPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: not a valid suppression
+				}
+				pos := u.Fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+				m[pos.Line+1] = append(m[pos.Line+1], fields[0])
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) allows(name string, pos token.Position) bool {
+	for _, a := range s[pos.Filename][pos.Line] {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUnit applies the analyzers to one unit and returns the surviving
+// findings sorted by position.
+func RunUnit(u *Unit, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(u)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			if sup.allows(name, pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, u.Path, err)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// Run loads the packages matching patterns and applies the analyzers.
+func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	units, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, u := range units {
+		fs, err := RunUnit(u, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

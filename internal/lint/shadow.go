@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// Shadow is a native reimplementation of the stock x/tools "shadow"
+// check (the upstream module is unavailable offline). It reports a `:=`
+// or var declaration that shadows a same-named, same-typed variable of
+// an enclosing scope in the same function, when the outer variable is
+// still used after the shadowing scope ends — the combination where a
+// `:=` typo silently splits one variable into two. Matching upstream's
+// noise reduction: function parameters, package-level variables,
+// differently-typed shadows, and the statement-scoped `if x := f(); …`
+// idiom are not reported.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "report := / var declarations that shadow a same-typed variable " +
+		"from an enclosing scope which is used again after the inner " +
+		"scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	// Index every use of every object, so "outer variable used after the
+	// shadowing scope" is one lookup.
+	uses := map[types.Object][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+	usedAfter := func(obj types.Object, end token.Pos) bool {
+		for _, p := range uses[obj] {
+			if p > end {
+				return true
+			}
+		}
+		return false
+	}
+	// Scope -> declaring node, to exempt statement-scoped declarations
+	// (`if err := f(); …`), the idiomatic and deliberate shadow.
+	scopeNode := map[*types.Scope]ast.Node{}
+	for n, s := range pass.TypesInfo.Scopes {
+		scopeNode[s] = n
+	}
+	pkgScope := pass.Pkg.Scope()
+	checkIdent := func(id *ast.Ident) {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || v.Name() == "_" {
+			return
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pkgScope {
+			return
+		}
+		switch scopeNode[inner].(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return // statement-scoped shadow: the `if x := f(); …` idiom
+		}
+		outerScope := inner.Parent()
+		if outerScope == nil {
+			return
+		}
+		_, outer := outerScope.LookupParent(v.Name(), v.Pos())
+		ov, ok := outer.(*types.Var)
+		if !ok || ov == v || ov.IsField() {
+			return
+		}
+		// Only intra-function shadowing: the outer variable must itself
+		// live below package scope, and be older than the shadow.
+		if ov.Parent() == nil || ov.Parent() == pkgScope || ov.Parent() == types.Universe {
+			return
+		}
+		if ov.Pos() >= v.Pos() || !types.Identical(v.Type(), ov.Type()) {
+			return
+		}
+		if !usedAfter(ov, inner.End()) {
+			return
+		}
+		pos := pass.Fset.Position(ov.Pos())
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer variable is used after this scope", v.Name(), pos.Line)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Like upstream: only declarations introduce reportable
+			// shadows — parameters and range variables are deliberate.
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkIdent(id)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							checkIdent(id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,47 @@
+// Fixture for the boundsctor analyzer: constructing rangeval.V outside
+// internal/rangeval must go through the exported constructors.
+package boundsctor
+
+import (
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+)
+
+func flagged() {
+	_ = rangeval.V{Lo: types.Int(1), SG: types.Int(2), Hi: types.Int(3)} // want `composite literal bypasses`
+	_ = rangeval.V{SG: types.Int(2)}                                     // want `composite literal bypasses`
+	_ = []rangeval.V{
+		{Lo: types.Int(1), SG: types.Int(1), Hi: types.Int(1)}, // want `composite literal bypasses`
+	}
+	_ = rangeval.Tuple{
+		{Lo: types.Int(0), SG: types.Int(0), Hi: types.Int(9)}, // want `composite literal bypasses`
+	}
+	var v rangeval.V
+	v.Lo = types.Int(1) // want `write to rangeval.V.Lo`
+	v.SG = types.Int(2) // want `write to rangeval.V.SG`
+	v.Hi = types.Int(3) // want `write to rangeval.V.Hi`
+	_ = &v.Hi           // want `taking the address of rangeval.V.Hi`
+	_ = v
+}
+
+func clean() {
+	_, _ = rangeval.V{}, []rangeval.V{{}} // zero values: the "no value" convention
+	_ = rangeval.Certain(types.Int(1))
+	_ = rangeval.New(types.Int(1), types.Int(2), types.Int(3))
+	v, err := rangeval.Checked(types.Int(1), types.Int(2), types.Int(3))
+	_, _ = v, err
+	_ = rangeval.Full(types.Int(2))
+	_ = v.Union(rangeval.Certain(types.Int(5)))
+	_ = v.Lo                          // reads are fine
+	u := rangeval.V{SG: types.Int(7)} //lint:allow audblint-boundsctor exercising the suppression syntax
+	_ = u
+}
+
+// mult has fields named like V's; writes to it are not our business.
+type mult struct{ Lo, SG, Hi int64 }
+
+func otherTriple() {
+	var m mult
+	m.Lo, m.SG, m.Hi = 1, 2, 3
+	_ = mult{Lo: 1, SG: 1, Hi: 1}
+}

@@ -1,0 +1,17 @@
+// Fixture posing as internal/rangeval itself: the defining package may
+// assemble triples freely (it is the chokepoint).
+package rangeval
+
+type Value struct{ n int64 }
+
+// V mirrors the real type's shape; the analyzer identifies it by name
+// and the claimed package path.
+type V struct {
+	Lo, SG, Hi Value
+}
+
+func constructors() {
+	v := V{Lo: Value{1}, SG: Value{2}, Hi: Value{3}}
+	v.Lo = Value{0}
+	_ = v
+}

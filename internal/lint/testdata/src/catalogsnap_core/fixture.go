@@ -1,0 +1,67 @@
+// Fixture for the catalogsnap analyzer, posing as internal/core: the
+// Catalog's registry state may only be touched under its mutex.
+package core
+
+import "sync"
+
+// Catalog mirrors the real catalog's shape (identified by type name and
+// package path). Rels is exported here so the outside-package fixture
+// can demonstrate the cross-package rule.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]int
+	obs  int
+
+	Rels map[string]int
+}
+
+func (c *Catalog) lockedWrite(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels[name] = 1
+	c.obs++
+}
+
+func (c *Catalog) lockedRead(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rels[name]
+}
+
+func (c *Catalog) unlockedWrite(name string) {
+	c.rels[name] = 1 // want `accessed without holding c.mu`
+}
+
+func (c *Catalog) unlockedRead() int {
+	return c.obs // want `accessed without holding c.mu`
+}
+
+func (c *Catalog) lateLock(name string) int {
+	n := c.rels[name] // want `accessed without holding c.mu`
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return n + c.rels[name]
+}
+
+// Snapshot is the sanctioned read API.
+func (c *Catalog) Snapshot() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int, len(c.rels))
+	for k, v := range c.rels {
+		out[k] = v
+	}
+	return out
+}
+
+// runsUnderCallersLock is documented to run with the lock already held.
+func (c *Catalog) runsUnderCallersLock() int {
+	//lint:allow audblint-catalogsnap caller holds c.mu (see lockedCaller)
+	return c.obs
+}
+
+func (c *Catalog) lockedCaller() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.runsUnderCallersLock()
+}

@@ -1,0 +1,22 @@
+// Fixture for catalogsnap's cross-package rule: other packages must go
+// through the Catalog's API, never its fields (imports the fake core
+// fixture checked just before this one).
+package out
+
+import core "github.com/audb/audb/internal/core"
+
+func reads(c *core.Catalog) int {
+	n := 0
+	for _, v := range c.Rels { // want `direct access to core.Catalog field Rels`
+		n += v
+	}
+	return n
+}
+
+func sanctioned(c *core.Catalog) int {
+	n := 0
+	for _, v := range c.Snapshot() {
+		n += v
+	}
+	return n
+}

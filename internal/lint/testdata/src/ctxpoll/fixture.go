@@ -1,0 +1,157 @@
+// Fixture for the ctxpoll analyzer, posing as internal/core: tuple and
+// batch loops in context-bearing functions must reach a cancellation
+// poll.
+package core
+
+import (
+	"context"
+
+	"github.com/audb/audb/internal/ctxpoll"
+)
+
+// Tuple stands in for the executor's tuple type; the analyzer matches
+// tuple-ness by type name.
+type Tuple struct{ A int }
+
+func unpolledRange(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for _, t := range ts { // want `does not reach a cancellation poll`
+		n += t.A
+	}
+	return n
+}
+
+func unpolledIndex(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for i := 0; i < len(ts); i++ { // want `does not reach a cancellation poll`
+		n += ts[i].A
+	}
+	return n
+}
+
+func unpolledBatches(ctx context.Context, batches [][]Tuple) int {
+	n := 0
+	for _, b := range batches { // want `does not reach a cancellation poll`
+		n += len(b)
+	}
+	return n
+}
+
+func polledDue(ctx context.Context, ts []Tuple) (int, error) {
+	p := ctxpoll.New(ctx)
+	n := 0
+	for _, t := range ts {
+		if err := p.Due(); err != nil {
+			return 0, err
+		}
+		n += t.A
+	}
+	return n, nil
+}
+
+func polledErr(ctx context.Context, ts []Tuple) (int, error) {
+	n := 0
+	for _, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += t.A
+	}
+	return n, nil
+}
+
+func polledViaHelper(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for _, t := range ts {
+		n += observe(ctx, t) // handing ctx down delegates the check
+	}
+	return n
+}
+
+func observe(ctx context.Context, t Tuple) int { return t.A }
+
+// pollIter carries its poll in a field; emit polls, so the drain loop
+// that calls it is compliant through same-package helper recursion.
+type pollIter struct {
+	poll *ctxpoll.Poll
+	out  []Tuple
+}
+
+func (s *pollIter) drain(ts []Tuple) error {
+	for _, t := range ts {
+		if err := s.emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *pollIter) emit(t Tuple) error {
+	if err := s.poll.Due(); err != nil {
+		return err
+	}
+	s.out = append(s.out, t)
+	return nil
+}
+
+// deaf has no context anywhere in reach: its loops are pure kernels
+// owned by a polled caller, and are exempt.
+func deaf(ts []Tuple) int {
+	n := 0
+	for _, t := range ts {
+		n += t.A
+	}
+	return n
+}
+
+// source produces batches without ever polling.
+type source struct{ left int }
+
+func (s *source) pull() []Tuple {
+	if s.left == 0 {
+		return nil
+	}
+	s.left--
+	return make([]Tuple, 8)
+}
+
+func unpolledDrain(ctx context.Context, s *source) int {
+	n := 0
+	for { // want `does not reach a cancellation poll`
+		b := s.pull()
+		if b == nil {
+			return n
+		}
+		n += len(b)
+	}
+}
+
+// srcIter is the context-bound iterator contract: Open binds ctx, Next
+// observes it. Draining through it is compliant by contract.
+type srcIter interface {
+	Open(ctx context.Context) error
+	Next() []Tuple
+}
+
+func contractDrain(ctx context.Context, it srcIter) (int, error) {
+	if err := it.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		b := it.Next()
+		if b == nil {
+			return n, nil
+		}
+		n += len(b)
+	}
+}
+
+func suppressed(ctx context.Context, ts []Tuple) int {
+	n := 0
+	//lint:allow audblint-ctxpoll cold diagnostic path, bounded input
+	for _, t := range ts {
+		n += t.A
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+// The ctxpoll analyzer is scoped to the executor packages; the same
+// unpolled loop outside them is none of its business.
+package quiet
+
+import "context"
+
+type Tuple struct{ A int }
+
+func unpolled(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for _, t := range ts {
+		n += t.A
+	}
+	return n
+}

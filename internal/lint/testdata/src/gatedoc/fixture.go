@@ -1,0 +1,44 @@
+// Fixture for the gatedoc analyzer, posing as internal/opt: every
+// registered rewrite rule needs a sound:/gated: doc comment with a
+// paper reference.
+package opt
+
+// rule mirrors the optimizer's registration record (matched by type
+// name and package path).
+type rule struct {
+	name  string
+	apply func(int) int
+}
+
+// goodRule folds constants.
+//
+// sound: result-exact on every input — the folded expression evaluates
+// identically under range semantics (Section 7).
+func goodRule(x int) int { return x }
+
+// gatedRule pushes selections.
+//
+// gated: never pushes below Diff, where the bound-preserving monus is
+// not distributive (Theorem 4).
+func gatedRule(x int) int { return x }
+
+// badRule has no soundness justification at all.
+func badRule(x int) int { return x }
+
+// vagueRule claims soundness without citing the paper.
+//
+// sound: trust me.
+func vagueRule(x int) int { return x }
+
+func rules() []rule {
+	return []rule{
+		{"good", goodRule},
+		{name: "gated", apply: gatedRule},
+		{"bad", badRule},                         // want `lacks a soundness comment`
+		{"vague", vagueRule},                     // want `lacks a soundness comment`
+		{"inline", func(x int) int { return x }}, // want `inline func literal`
+	}
+}
+
+// sink keeps the registry referenced.
+var _ = rules

@@ -1,0 +1,52 @@
+// Fixture for the (syntactic) nilness analyzer.
+package nilness
+
+type node struct {
+	val  int
+	next *node
+}
+
+func (n *node) describe() string { return "may accept nil receiver" }
+
+func deref(n *node) int {
+	if n == nil {
+		return n.val // want `n is nil on this path`
+	}
+	return n.val
+}
+
+func star(n *node) node {
+	if n == nil {
+		return *n // want `n is nil on this path`
+	}
+	return *n
+}
+
+func callNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil on this path`
+	}
+	return f()
+}
+
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func methodOnNilReceiverIsLegal(n *node) string {
+	if n == nil {
+		return n.describe()
+	}
+	return n.describe()
+}
+
+func negatedGuard(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}

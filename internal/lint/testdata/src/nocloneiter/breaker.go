@@ -1,0 +1,6 @@
+package phys
+
+// Breakers materialize by contract; cloning here is sanctioned.
+func breakerStep(r *rel) *rel {
+	return r.Clone()
+}

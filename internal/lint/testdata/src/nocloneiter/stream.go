@@ -1,0 +1,34 @@
+// Fixture for the nocloneiter analyzer, posing as internal/phys:
+// streaming operator files must not deep-copy.
+package phys
+
+import "strings"
+
+type rel struct{ rows []int }
+
+func (r *rel) Clone() *rel {
+	out := &rel{rows: make([]int, len(r.rows))}
+	copy(out.rows, r.rows)
+	return out
+}
+
+func (r *rel) ShallowClone() *rel {
+	cp := *r
+	return &cp
+}
+
+func streamStep(r *rel) *rel {
+	return r.Clone() // want `deep Clone\(\) in a streaming phys path`
+}
+
+func streamView(r *rel) *rel {
+	return r.ShallowClone()
+}
+
+func stdlibCloneIsFine(s string) string {
+	return strings.Clone(s)
+}
+
+func suppressedClone(r *rel) *rel {
+	return r.Clone() //lint:allow audblint-nocloneiter one-off root copy, measured free
+}

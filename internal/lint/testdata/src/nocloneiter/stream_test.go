@@ -1,0 +1,6 @@
+package phys
+
+// Tests enumerate worlds and may clone freely.
+func cloneForTest(r *rel) *rel {
+	return r.Clone()
+}

@@ -1,0 +1,52 @@
+// Fixture for the (natively reimplemented) shadow analyzer.
+package shadow
+
+func shadowedAndUsedAfter(cond bool) int {
+	x := 1
+	if cond {
+		x := 2 // want `shadows declaration at line 5`
+		_ = x
+	}
+	return x
+}
+
+func shadowedErr(cond bool) error {
+	var err error
+	if cond {
+		err := doWork() // want `shadows declaration at line 14`
+		_ = err
+	}
+	return err
+}
+
+func notUsedAfter(cond bool) int {
+	x := 1
+	y := x
+	if cond {
+		x := 2 // outer x is dead after this scope: not reported
+		return x + y
+	}
+	return y
+}
+
+func differentType(cond bool) int {
+	x := 1
+	if cond {
+		x := "two" // different type: a deliberate reuse, not reported
+		_ = x
+	}
+	return x
+}
+
+func ifInitIdiom(cond bool) error {
+	var err error
+	if cond {
+		err = doWork()
+	}
+	if err := doWork(); err != nil { // statement-scoped idiom: not reported
+		return err
+	}
+	return err
+}
+
+func doWork() error { return nil }
