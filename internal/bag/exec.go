@@ -247,10 +247,17 @@ func execUnion(ctx context.Context, t *ra.Union, db DB, cat ra.Catalog) (*Relati
 		return nil, fmt.Errorf("bag: union arity mismatch %s vs %s", l.Schema, r.Schema)
 	}
 	out := New(l.Schema)
+	p := ctxpoll.New(ctx)
 	for i, tup := range l.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		out.Add(tup, l.Counts[i])
 	}
 	for i, tup := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		out.Add(tup, r.Counts[i])
 	}
 	return out.Merge(), nil
@@ -269,12 +276,19 @@ func execDiff(ctx context.Context, t *ra.Diff, db DB, cat ra.Catalog) (*Relation
 		return nil, fmt.Errorf("bag: difference arity mismatch %s vs %s", l.Schema, r.Schema)
 	}
 	lm := l.Clone().Merge()
+	p := ctxpoll.New(ctx)
 	sub := make(map[string]int64, r.Len())
 	for i, tup := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		sub[tup.Key()] += r.Counts[i]
 	}
 	out := New(l.Schema)
 	for i, tup := range lm.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		c := lm.Counts[i] - sub[tup.Key()]
 		if c > 0 {
 			out.Add(tup, c) // bag monus: max(0, l - r)
