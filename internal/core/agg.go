@@ -598,7 +598,11 @@ func aggregate(ctx context.Context, in *Relation, groupBy []int, plans []aggPlan
 	if err != nil {
 		return nil, err
 	}
+	merge := ctxpoll.New(ctx)
 	for _, row := range rows {
+		if err := merge.Due(); err != nil {
+			return nil, err
+		}
 		out.Add(row)
 	}
 	return out, nil
