@@ -36,6 +36,9 @@ func diffRelations(ctx context.Context, l, r *Relation) (*Relation, error) {
 	// Pre-aggregate the right side by SG key for the SG component.
 	rSG := map[string]int64{}
 	for _, rt := range r.Tuples {
+		if err := p.Due(); err != nil {
+			return nil, err
+		}
 		rSG[rt.Vals.SGKey()] += rt.M.SG
 	}
 
