@@ -350,7 +350,11 @@ func DistinctRelation(ctx context.Context, in *Relation, opt Options) (*Relation
 	if err != nil {
 		return nil, err
 	}
+	merge := ctxpoll.New(ctx)
 	for _, row := range rows {
+		if err := merge.Due(); err != nil {
+			return nil, err
+		}
 		out.Add(row)
 	}
 	return out, nil
