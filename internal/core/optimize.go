@@ -56,14 +56,21 @@ func splitN(ctx context.Context, r *Relation, workers int) (sg, up *Relation, er
 	}
 
 	sg = New(r.Schema)
+	merge := ctxpoll.New(ctx)
 	if len(parts) > 0 {
 		sg = parts[0]
 		idx := make(map[string]int, len(sg.Tuples))
 		for j, t := range sg.Tuples {
+			if err := merge.Due(); err != nil {
+				return nil, nil, err
+			}
 			idx[t.Vals.SGKey()] = j
 		}
 		for _, part := range parts[1:] {
 			for _, t := range part.Tuples {
+				if err := merge.Due(); err != nil {
+					return nil, nil, err
+				}
 				k := t.Vals.SGKey()
 				if j, ok := idx[k]; ok {
 					sg.Tuples[j].M = sg.Tuples[j].M.Add(t.M)
@@ -77,6 +84,9 @@ func splitN(ctx context.Context, r *Relation, workers int) (sg, up *Relation, er
 	// Normalize: lower bounds may not exceed SG counts after merging.
 	kept := sg.Tuples[:0]
 	for _, t := range sg.Tuples {
+		if err := merge.Due(); err != nil {
+			return nil, nil, err
+		}
 		if t.M.Lo > t.M.SG {
 			t.M.Lo = t.M.SG
 		}
