@@ -141,10 +141,9 @@ func CTable(ct *worlds.CTable, limit int) (*core.Relation, error) {
 			if sgHolds {
 				sg = sgTuple[c]
 			}
-			rv[c] = rangeval.V{Lo: lo[c], SG: sg, Hi: hi[c]}
-			if types.Less(sg, lo[c]) || types.Less(hi[c], sg) {
-				rv[c] = rangeval.New(lo[c], sg, hi[c])
-			}
+			// New widens the triple if the SG valuation fell outside the
+			// accumulated bounds (the global-condition fallback can do that).
+			rv[c] = rangeval.New(lo[c], sg, hi[c])
 		}
 		m := core.Mult{Lo: int64(taut), SG: 0, Hi: 1}
 		if sgHolds {
