@@ -189,7 +189,7 @@ func (n Not) EvalRange(t rangeval.Tuple) (rangeval.V, error) {
 func (n Not) String() string { return "NOT " + n.E.String() }
 
 func boolRange(lo, sg, hi bool) rangeval.V {
-	return rangeval.V{Lo: types.Bool(lo), SG: types.Bool(sg), Hi: types.Bool(hi)}
+	return rangeval.New(types.Bool(lo), types.Bool(sg), types.Bool(hi))
 }
 
 // ------------------------------------------------------------ comparison --
