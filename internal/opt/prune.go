@@ -20,6 +20,10 @@ import (
 // fusion is skipped when an inner computed column (anything but a bare
 // attribute or constant) is referenced more than once by the outer
 // projection.
+//
+// sound: expression composition is exact and the inner projection's
+// merge is subsumed by the outer one — the annotation sums agree
+// tuple-by-tuple under the N^AU semiring semantics of Section 8.
 func composeProjections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	return ra.Transform(n, func(m ra.Node) ra.Node {
 		outer, ok := m.(*ra.Project)
@@ -100,6 +104,11 @@ func countAttrRefs(e expr.Expr, refs []int) {
 // annotation multiplication (joins, selections) distributes over the
 // annotation sum of a merge. Diff, Distinct and Limit act as barriers
 // requiring their full input width (see the package comment).
+//
+// sound: a narrowing projection only merges value-equivalent tuples
+// early, and annotation multiplication distributes over the merge's
+// annotation sum (Section 8); the Diff, Distinct and Limit barriers
+// gate the cases where it would not (Theorem 4, Definition 21).
 func pruneColumns(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	s, err := ra.InferSchema(n, cat)
 	if err != nil {
@@ -441,6 +450,11 @@ func equalCols(a, b []int) bool {
 //     the child schema exactly, so removing it cannot change any schema
 //     an outer operator or the result would observe. (Its merge is
 //     subsumed by the canonical merge every engine applies.)
+//
+// sound: every removed operator is an annotation-level identity — the
+// constant-true condition triple (1,1,1) is the multiplicative identity
+// of N^AU (Section 8), and an identity projection's merge is subsumed
+// by the canonical merge every engine applies.
 func eliminateTrivial(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	var outerErr error
 	out := ra.Transform(n, func(m ra.Node) ra.Node {

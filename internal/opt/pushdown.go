@@ -9,6 +9,10 @@ import (
 // selection predicates, projection columns, join conditions and aggregate
 // arguments. Folding is exact under both evaluation semantics (see
 // expr.Fold), so this rule is unconditionally sound.
+//
+// sound: result-exact on every input — a folded subexpression evaluates
+// to the same certain triple the original produces under the range
+// semantics of Section 7 (Definition 9).
 func foldConstants(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	return ra.Transform(n, func(m ra.Node) ra.Node {
 		switch t := m.(type) {
@@ -60,6 +64,13 @@ func foldConstants(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 // every Select is split into its top-level conjuncts, each conjunct is
 // pushed as deep as pushPred allows, and what remains is recombined (in
 // the original conjunct order) above the rewritten child.
+//
+// gated: pushPred never moves a conjunct below Diff, Distinct, Agg or
+// Limit — multiplying annotations by a selection triple does not
+// distribute over the bound-preserving monus (Theorem 4), δ's lower
+// bound (Definition 21), possible-group boxes (Section 9.3), or a
+// cutoff; partial predicates are additionally gated on totality (see
+// the package comment).
 func pushSelections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	var outerErr error
 	out := ra.Transform(n, func(m ra.Node) ra.Node {
@@ -238,6 +249,11 @@ func pushOrWrap(cat ra.Catalog, n ra.Node, p expr.Expr) (ra.Node, bool, error) {
 // on the OUTER predicate being total: range evaluation does not
 // short-circuit, so a merged partial outer predicate would be evaluated
 // on tuples the inner selection used to filter out.
+//
+// sound: selection triples multiply, and annotation multiplication is
+// associative in N^AU (Section 8), so σ_p(σ_q(R)) and σ_{q AND p}(R)
+// annotate every tuple identically; the totality gate only prevents
+// introducing evaluation errors.
 func mergeSelections(cat ra.Catalog, n ra.Node) (ra.Node, error) {
 	return ra.Transform(n, func(m ra.Node) ra.Node {
 		outer, ok := m.(*ra.Select)
