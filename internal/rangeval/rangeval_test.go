@@ -2,6 +2,7 @@ package rangeval
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -209,5 +210,90 @@ func TestRangePropertyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCheckedErrorPaths pins down Checked's rejection behavior: which
+// orderings error, what the error carries, and that the returned V on
+// error is the zero (all-NULL) value rather than a half-built triple.
+func TestCheckedErrorPaths(t *testing.T) {
+	cases := []struct {
+		name       string
+		lo, sg, hi types.Value
+		wantErr    bool
+	}{
+		{"ordered", types.Int(1), types.Int(2), types.Int(3), false},
+		{"all equal", types.Int(7), types.Int(7), types.Int(7), false},
+		{"lo equals sg", types.Int(2), types.Int(2), types.Int(9), false},
+		{"sg equals hi", types.Int(1), types.Int(9), types.Int(9), false},
+		{"sg below lo", types.Int(3), types.Int(2), types.Int(4), true},
+		{"hi below sg", types.Int(1), types.Int(2), types.Int(1), true},
+		{"fully reversed", types.Int(9), types.Int(5), types.Int(1), true},
+		// Infinities are the extreme elements of the total order.
+		{"infinite bounds", types.NegInf(), types.Int(0), types.PosInf(), false},
+		{"posinf lower bound", types.PosInf(), types.Int(0), types.PosInf(), true},
+		{"neginf upper bound", types.NegInf(), types.Int(0), types.NegInf(), true},
+		// NULL sorts between -inf and every non-null domain value.
+		{"all null", types.Null(), types.Null(), types.Null(), false},
+		{"null lower bound", types.Null(), types.Int(5), types.String("z"), false},
+		{"null guess above int", types.Int(1), types.Null(), types.Int(2), true},
+		// Mixed types follow the kind order null < bool < numeric < string.
+		{"bool below int below string", types.Bool(false), types.Int(3), types.String("a"), false},
+		{"string below int", types.String("a"), types.Int(3), types.PosInf(), true},
+		{"int and float compare numerically", types.Int(1), types.Float(1.5), types.Int(2), false},
+		{"float above int guess", types.Float(2.5), types.Int(2), types.Int(3), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v, err := Checked(c.lo, c.sg, c.hi)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Checked(%v, %v, %v): want error, got %v", c.lo, c.sg, c.hi, v)
+				}
+				if !strings.Contains(err.Error(), "bounds out of order") {
+					t.Errorf("error should name the violation, got %q", err)
+				}
+				if zero := (V{}); v != zero {
+					t.Errorf("on error Checked must return the zero V, got %v", v)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Checked(%v, %v, %v): unexpected error %v", c.lo, c.sg, c.hi, err)
+			}
+			if !v.Valid() {
+				t.Errorf("accepted triple %v is not Valid", v)
+			}
+		})
+	}
+}
+
+// TestValidNullAndMixedKinds exercises Valid directly on triples the
+// constructors cannot produce, since the executor trusts Valid when
+// auditing decoded or hand-assembled values.
+func TestValidNullAndMixedKinds(t *testing.T) {
+	null, one, two := types.Null(), types.Int(1), types.Int(2)
+	cases := []struct {
+		name string
+		v    V
+		want bool
+	}{
+		{"zero value is all-NULL and valid", V{}, true},
+		{"certain NULL", Certain(null), true},
+		{"null lo under numeric", V{Lo: null, SG: one, Hi: two}, true},
+		{"null hi above numeric", V{Lo: one, SG: two, Hi: null}, false},
+		{"null guess between numerics", V{Lo: one, SG: null, Hi: two}, false},
+		{"null guess above neginf", V{Lo: types.NegInf(), SG: null, Hi: one}, true},
+		{"bool below string", V{Lo: types.Bool(true), SG: types.Int(0), Hi: types.String("")}, true},
+		{"string below bool", V{Lo: types.String(""), SG: types.String("a"), Hi: types.Bool(true)}, false},
+		{"float between ints", V{Lo: types.Int(1), SG: types.Float(1.25), Hi: types.Int(2)}, true},
+		{"equal int and float", V{Lo: types.Int(1), SG: types.Float(1), Hi: types.Int(1)}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.v.Valid(); got != c.want {
+				t.Errorf("Valid(%v) = %v, want %v", c.v, got, c.want)
+			}
+		})
 	}
 }
