@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/testutil"
 	"github.com/audb/audb/internal/types"
 )
 
@@ -55,7 +55,7 @@ func TestExecCancellation(t *testing.T) {
 	db := DB{"l": uncertainJoinInput("l", rows), "r": uncertainJoinInput("r", rows)}
 	for _, workers := range []int{1, 0} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			testutil.NoLeaks(t)
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(15 * time.Millisecond)
@@ -69,14 +69,6 @@ func TestExecCancellation(t *testing.T) {
 			}
 			if elapsed > time.Second {
 				t.Fatalf("cancellation took %s, want well under a second", elapsed)
-			}
-			deadline := time.Now().Add(2 * time.Second)
-			for runtime.NumGoroutine() > before+2 {
-				if time.Now().After(deadline) {
-					t.Fatalf("goroutine leak: %d before, %d after cancellation",
-						before, runtime.NumGoroutine())
-				}
-				time.Sleep(5 * time.Millisecond)
 			}
 		})
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/testutil"
 	"github.com/audb/audb/internal/types"
 )
 
@@ -155,7 +155,7 @@ func TestPipelinedCancellation(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			testutil.NoLeaks(t)
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(5 * time.Millisecond)
@@ -165,13 +165,6 @@ func TestPipelinedCancellation(t *testing.T) {
 			_, err := Exec(ctx, plan, db, Options{Exec: core.Options{Workers: workers}})
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("want context.Canceled, got %v (after %s)", err, time.Since(start))
-			}
-			deadline := time.Now().Add(2 * time.Second)
-			for runtime.NumGoroutine() > before+2 {
-				if time.Now().After(deadline) {
-					t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
-				}
-				time.Sleep(5 * time.Millisecond)
 			}
 		})
 	}

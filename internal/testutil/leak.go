@@ -1,0 +1,58 @@
+// Package testutil holds small helpers shared by tests across packages.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// NoLeaks asserts at test cleanup that the goroutine count has returned
+// to (about) what it was when NoLeaks was called: the contract that
+// cancellation, server shutdown and client/pool Close leave nothing
+// running. Goroutines wind down asynchronously after a cancel or a
+// Close, so the check polls with a deadline instead of sampling once.
+//
+// slack tolerates runtime-owned goroutines that appear lazily (e.g. the
+// first timer); 2 matches what the executor cancellation tests have
+// always allowed. Tests using NoLeaks must not run in parallel with
+// tests that start goroutines, so call it from sequential tests only.
+func NoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		const slack = 2
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, stacks())
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// stacks renders all goroutine stacks, truncated to keep failures
+// readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	s := string(buf)
+	const max = 16 << 10
+	if len(s) > max {
+		if i := strings.LastIndex(s[:max], "\n\ngoroutine "); i > 0 {
+			s = s[:i]
+		} else {
+			s = s[:max]
+		}
+		s = fmt.Sprintf("%s\n... (stacks truncated)", s)
+	}
+	return s
+}

@@ -5,13 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/testutil"
 )
 
 // randomDB builds a database with two random uncertain tables. Ranges,
@@ -277,7 +277,7 @@ func TestQueryContextCancellation(t *testing.T) {
 	q := `SELECT l.v, count(*) AS n FROM l JOIN r ON l.k = r.k GROUP BY l.v`
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			testutil.NoLeaks(t)
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(20 * time.Millisecond)
@@ -292,7 +292,6 @@ func TestQueryContextCancellation(t *testing.T) {
 			if elapsed > time.Second {
 				t.Fatalf("cancellation took %s, want well under a second", elapsed)
 			}
-			waitForGoroutines(t, before)
 		})
 	}
 	// A context cancelled before the call returns immediately.
@@ -306,23 +305,6 @@ func TestQueryContextCancellation(t *testing.T) {
 	defer dcancel()
 	if _, err := db.QueryContext(dctx, q); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("deadline: want context.DeadlineExceeded, got %v", err)
-	}
-}
-
-// waitForGoroutines asserts the goroutine count settles back to (about)
-// the pre-query level: cancelled workers must not leak.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak after cancellation: %d before, %d now",
-				before, runtime.NumGoroutine())
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
