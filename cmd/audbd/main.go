@@ -1,0 +1,140 @@
+// Command audbd serves an AU-DB database over TCP to concurrent clients
+// speaking the internal/wire protocol (see the client package and
+// audbsh -connect). It is a thin shell around internal/server: flags,
+// CSV table loading, and signal handling.
+//
+// Tables are loaded at startup with the same -table/-au-table flags as
+// audbsh; clients can add more with COPY (client.Bulk). Admission
+// control caps concurrently executing queries at -max-concurrency;
+// excess requests wait up to -queue-timeout before failing with a
+// queue_timeout error. -max-query-time bounds each query server-side.
+//
+// SIGINT/SIGTERM shuts down gracefully: the listener closes, in-flight
+// queries finish, queued requests are refused, and after -drain-timeout
+// any stragglers are cancelled through their contexts.
+//
+// Usage:
+//
+//	audbd -addr :7687 -table emp=emp.csv -au-table r=ranges.csv
+//	audbd -addr 127.0.0.1:0 -max-concurrency 8 -queue-timeout 2s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/audb/audb"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/csvio"
+	"github.com/audb/audb/internal/server"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var (
+		tables   listFlag
+		auTables listFlag
+		addr     = flag.String("addr", "127.0.0.1:7687", "listen address")
+		maxConc  = flag.Int("max-concurrency", 0, "max queries executing at once (0 = one per CPU)")
+		queueTO  = flag.Duration("queue-timeout", 5*time.Second, "max wait for an execution slot before queue_timeout")
+		maxQuery = flag.Duration("max-query-time", 0, "server-side cap on each query's execution time (0 = none)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+		quiet    = flag.Bool("quiet", false, "suppress connection logging")
+	)
+	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
+	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
+	flag.Parse()
+
+	db := audb.New()
+	for _, spec := range tables {
+		loadTable(db, spec, false)
+	}
+	for _, spec := range auTables {
+		loadTable(db, spec, true)
+	}
+
+	cfg := server.Config{
+		MaxConcurrency: *maxConc,
+		QueueTimeout:   *queueTO,
+		MaxQueryTime:   *maxQuery,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(db, cfg)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	conc := *maxConc
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("audbd: listening on %s (%d tables, max-concurrency %d)",
+		lis.Addr(), db.NumTables(), conc)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(lis) }()
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("audbd: %v: draining (up to %s)", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("audbd: forced shutdown after drain timeout: %v", err)
+		}
+		log.Printf("audbd: stopped")
+	case err := <-errCh:
+		if err != nil && err != server.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func loadTable(db *audb.Database, spec string, uncertain bool) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fatal(fmt.Errorf("audbd: bad table spec %q (want name=file.csv)", spec))
+	}
+	name, file := parts[0], parts[1]
+	f, err := os.Open(file)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if uncertain {
+		rel, err := csvio.ReadAU(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", file, err))
+		}
+		db.AddRelation(name, rel)
+		return
+	}
+	rel, err := csvio.Read(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", file, err))
+	}
+	db.AddRelation(name, core.FromDeterministic(rel))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

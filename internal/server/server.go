@@ -1,0 +1,221 @@
+// Package server implements audbd, the AU-DB network service: a TCP
+// server speaking the internal/wire protocol, with one session per
+// connection backed by the root package's QueryContext/Prepare API.
+//
+// The server adds the concerns that the in-process API leaves to the
+// embedding program:
+//
+//   - admission control: at most Config.MaxConcurrency queries execute
+//     at once across all connections; excess requests wait in a bounded
+//     queue and fail with CodeQueueTimeout after Config.QueueTimeout.
+//   - per-query deadlines: ExecOptions.TimeoutMS (capped by
+//     Config.MaxQueryTime) bounds each execution server-side.
+//   - cancellation: a Cancel frame — or the client disconnecting — aborts
+//     the in-flight query through its context within milliseconds.
+//   - graceful shutdown: Shutdown stops accepting, lets in-flight
+//     queries finish, refuses queued requests with CodeShutdown, and
+//     force-cancels stragglers when its context expires.
+//
+// cmd/audbd is the thin flag-parsing main around this package; tests and
+// the bench harness embed the server directly.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/audb/audb"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown closes the
+// listener (mirroring net/http.ErrServerClosed).
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Name identifies the server in the HelloOK handshake and defaults
+	// to "audbd".
+	Name string
+	// MaxConcurrency caps the number of queries executing at once across
+	// all connections. 0 means one per CPU.
+	MaxConcurrency int
+	// QueueTimeout bounds how long an admitted request may wait for an
+	// execution slot before failing with CodeQueueTimeout. 0 means 5s.
+	QueueTimeout time.Duration
+	// MaxQueryTime caps every query's execution time regardless of the
+	// client's ExecOptions.TimeoutMS. 0 means no server-side cap.
+	MaxQueryTime time.Duration
+	// MaxFrame caps incoming frame payloads. 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+	// Logf receives connection-level log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the wire protocol over a listener. Create with New,
+// start with Serve, stop with Shutdown.
+type Server struct {
+	db  *audb.Database
+	cfg Config
+	sem chan struct{} // admission slots, MaxConcurrency capacity
+
+	baseCtx   context.Context // parent of every request context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	lis      net.Listener
+	sessions map[*session]struct{}
+	draining bool
+
+	wg       sync.WaitGroup // one per live session
+	inFlight atomic.Int64   // queries executing right now
+}
+
+// New wraps db in a server. The database may be shared with in-process
+// callers; sessions go through the same concurrency-safe API.
+func New(db *audb.Database, cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "audbd"
+	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:        db,
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrency),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		sessions:  make(map[*session]struct{}),
+	}
+}
+
+// DB returns the served database.
+func (s *Server) DB() *audb.Database { return s.db }
+
+// InFlight reports how many queries are executing right now (admitted,
+// not queued). Exposed for tests and the bench harness.
+func (s *Server) InFlight() int { return int(s.inFlight.Load()) }
+
+// Serve accepts connections on lis until Shutdown or a fatal accept
+// error. It returns ErrServerClosed after Shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops the server: it closes the listener (refusing new
+// connections), signals every session to drain — in-flight queries
+// finish, queued requests are refused with CodeShutdown — and waits for
+// all sessions to exit. If ctx expires first, in-flight queries are
+// cancelled through their contexts, connections are force-closed, and
+// Shutdown returns ctx.Err() once the sessions have unwound.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for sess := range s.sessions {
+		sess.startDrain()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline expired: cancel every request context and break the
+	// connections, then wait for the (now fast) unwind so callers can
+	// rely on no goroutines surviving Shutdown.
+	s.cancelAll()
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// errQueueTimeout marks an admission-queue timeout; sessions map it to
+// wire.CodeQueueTimeout.
+var errQueueTimeout = errors.New("server: queue timeout waiting for an execution slot")
+
+// acquire takes an execution slot, waiting up to QueueTimeout. ctx is
+// the request context: cancellation while queued gives ctx.Err().
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return errQueueTimeout
+	}
+}
+
+func (s *Server) release() { <-s.sem }
