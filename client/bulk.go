@@ -1,0 +1,142 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/audb/audb"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/wire"
+)
+
+// bulkChunk is how many tuples a Bulk accumulates before streaming a
+// CopyData frame.
+const bulkChunk = 1024
+
+// Bulk is a mass-insert builder: it streams range tuples to the server
+// with the COPY protocol and registers them as a new table on Close.
+// Errors are latched: Add after a failure is a no-op and Close reports
+// the first error. A Bulk is not safe for concurrent use.
+type Bulk struct {
+	c       *Conn
+	table   string
+	cols    []string
+	id      uint64
+	ch      chan wire.Msg
+	started bool
+	err     error
+	buf     []core.Tuple
+}
+
+// Bulk starts a mass insert into table with the given columns. The
+// table is created (or replaced) when Close commits the stream.
+func (c *Conn) Bulk(table string, cols ...string) *Bulk {
+	b := &Bulk{c: c, table: table, cols: cols}
+	if table == "" || len(cols) == 0 {
+		b.err = fmt.Errorf("client: Bulk needs a table name and at least one column")
+	}
+	return b
+}
+
+// Add appends one range tuple with its multiplicity.
+func (b *Bulk) Add(vals audb.RangeRow, m audb.Multiplicity) *Bulk {
+	if b.err != nil {
+		return b
+	}
+	if len(vals) != len(b.cols) {
+		b.err = fmt.Errorf("client: Bulk(%s): tuple has %d values, want %d", b.table, len(vals), len(b.cols))
+		return b
+	}
+	b.buf = append(b.buf, core.Tuple{Vals: vals, M: m})
+	if len(b.buf) >= bulkChunk {
+		b.flush()
+	}
+	return b
+}
+
+// AddCertainRow appends a fully certain tuple with multiplicity one.
+func (b *Bulk) AddCertainRow(vals ...audb.Value) *Bulk {
+	row := make(audb.RangeRow, len(vals))
+	for i, v := range vals {
+		row[i] = audb.CertainOf(v)
+	}
+	return b.Add(row, audb.CertainMult(1))
+}
+
+// begin registers the request and opens the copy stream.
+func (b *Bulk) begin() {
+	id, ch, err := b.c.register()
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.id, b.ch, b.started = id, ch, true
+	if err := b.c.write(wire.CopyBegin{ID: id, Table: b.table, Cols: b.cols}); err != nil {
+		b.err = err
+	}
+}
+
+// flush streams the buffered tuples. A server error that already
+// arrived (e.g. a rejected earlier chunk) is picked up here so the
+// stream stops early instead of pushing data the server is dropping.
+func (b *Bulk) flush() {
+	if b.err != nil {
+		return
+	}
+	if !b.started {
+		b.begin()
+		if b.err != nil {
+			return
+		}
+	}
+	select {
+	case m := <-b.ch:
+		if e, ok := m.(wire.Error); ok {
+			b.err = &ServerError{Code: e.Code, Message: e.Message}
+		} else {
+			b.err = fmt.Errorf("client: unexpected %s during copy", wire.TypeName(wire.Type(m)))
+		}
+		return
+	default:
+	}
+	if len(b.buf) == 0 {
+		return
+	}
+	err := b.c.write(wire.CopyData{ID: b.id, Tuples: b.buf})
+	b.buf = b.buf[:0]
+	if err != nil {
+		b.err = err
+	}
+}
+
+// Close streams any remaining tuples, commits the copy and returns the
+// number of rows the server registered. On error the server-side state
+// is still cleaned up so the connection stays usable.
+func (b *Bulk) Close(ctx context.Context) (uint64, error) {
+	if !b.started && b.err == nil {
+		b.begin()
+	}
+	b.flush()
+	if b.err != nil {
+		// The server answered (or the connection broke) mid-stream; send
+		// CopyEnd so a still-healthy session clears its copy state.
+		if b.started {
+			b.c.write(wire.CopyEnd{ID: b.id})
+			b.c.abandon(b.id)
+		}
+		return 0, b.err
+	}
+	if err := b.c.write(wire.CopyEnd{ID: b.id}); err != nil {
+		b.c.abandon(b.id)
+		return 0, err
+	}
+	m, err := b.c.await(ctx, b.id, b.ch)
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := m.(wire.CopyOK)
+	if !isOK {
+		return 0, fmt.Errorf("client: unexpected %s response to CopyEnd", wire.TypeName(wire.Type(m)))
+	}
+	return ok.Rows, nil
+}

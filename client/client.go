@@ -1,0 +1,373 @@
+// Package client is the Go client for audbd, the AU-DB network server.
+// It mirrors the in-process session API (audb.Database): Query executes
+// SQL and returns the same *audb.Result a local QueryContext would,
+// Prepare/Stmt.Exec reuse a server-side compiled statement, Explain and
+// ExplainAnalyze return the server-rendered plan text, and Bulk streams
+// range tuples into a new table with the COPY protocol. A small Pool
+// reuses connections across concurrent callers.
+//
+// Cancellation propagates: when the context of an in-flight call is
+// cancelled, the client sends a Cancel frame and returns ctx.Err()
+// immediately; the server aborts the query through its own context
+// within milliseconds, and the connection stays usable. Closing the
+// connection (or the client process dying) aborts server-side work just
+// as fast.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/audb/audb"
+	"github.com/audb/audb/internal/wire"
+)
+
+// Config tunes a connection. The zero value picks defaults.
+type Config struct {
+	// Name identifies the client in server logs; default "audb-client".
+	Name string
+	// DialTimeout bounds connection + handshake; default 10s.
+	DialTimeout time.Duration
+	// MaxFrame caps incoming frame payloads; 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+// ErrClosed is returned by calls on a closed or broken connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// ServerError is an error reported by the server, carrying the stable
+// wire code ("sql", "canceled", "queue_timeout", "shutdown", ...).
+type ServerError struct {
+	Code    string
+	Message string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("audbd: %s: %s", e.Code, e.Message) }
+
+// Conn is one connection to an audbd server. It is safe for concurrent
+// use: calls are multiplexed by request ID (the server answers them in
+// order).
+type Conn struct {
+	conn   net.Conn
+	server string   // server name from HelloOK
+	tables []string // table names at connect time
+
+	wmu sync.Mutex // serializes frame writes
+	w   *wire.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Msg
+	err     error // terminal error once the reader exits
+
+	readerDone chan struct{}
+}
+
+// Dial connects to an audbd server with default configuration.
+func Dial(addr string) (*Conn, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig connects and performs the Hello handshake.
+func DialConfig(addr string, cfg Config) (*Conn, error) {
+	if cfg.Name == "" {
+		cfg.Name = "audb-client"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		conn:       nc,
+		w:          wire.NewWriter(nc),
+		pending:    make(map[uint64]chan wire.Msg),
+		readerDone: make(chan struct{}),
+	}
+	r := wire.NewReader(nc)
+	if cfg.MaxFrame > 0 {
+		r.SetMaxFrame(cfg.MaxFrame)
+	}
+	nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := c.w.Write(wire.Hello{Version: wire.Version, Client: cfg.Name}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	m, err := r.Read()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch m := m.(type) {
+	case wire.HelloOK:
+		c.server = m.Server
+		c.tables = m.Tables
+	case wire.Error:
+		nc.Close()
+		return nil, &ServerError{Code: m.Code, Message: m.Message}
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %s", wire.TypeName(wire.Type(m)))
+	}
+	nc.SetDeadline(time.Time{})
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Server returns the server name from the handshake.
+func (c *Conn) Server() string { return c.server }
+
+// TablesAtConnect returns the table names the server reported during
+// the handshake. Tables queries the live set.
+func (c *Conn) TablesAtConnect() []string { return c.tables }
+
+// Close tears down the connection. In-flight calls fail with ErrClosed;
+// the server aborts their queries on the disconnect.
+func (c *Conn) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop demuxes responses to the waiting calls. Responses whose
+// request was abandoned (context cancelled) are dropped.
+func (c *Conn) readLoop(r *wire.Reader) {
+	defer close(c.readerDone)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("%w: %v", ErrClosed, err)
+			c.pending = nil
+			c.mu.Unlock()
+			c.conn.Close()
+			return
+		}
+		id, ok := wire.ResponseID(m)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m // buffered; never blocks
+		}
+	}
+}
+
+// register allocates a request ID and its response channel.
+func (c *Conn) register() (uint64, chan wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Msg, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// abandon drops a request the caller stopped waiting for; a late
+// response is discarded by the read loop.
+func (c *Conn) abandon(id uint64) {
+	c.mu.Lock()
+	if c.pending != nil {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// write sends one frame under the write lock.
+func (c *Conn) write(m wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.w.Write(m)
+}
+
+// await waits for the response to id. On context cancellation it sends
+// a Cancel frame — aborting the server-side query in milliseconds — and
+// returns ctx.Err() without waiting for the server's acknowledgement.
+func (c *Conn) await(ctx context.Context, id uint64, ch chan wire.Msg) (wire.Msg, error) {
+	select {
+	case m := <-ch:
+		if e, ok := m.(wire.Error); ok {
+			return nil, &ServerError{Code: e.Code, Message: e.Message}
+		}
+		return m, nil
+	case <-ctx.Done():
+		c.abandon(id)
+		c.write(wire.Cancel{ID: id}) // best effort; ignore write errors
+		return nil, ctx.Err()
+	case <-c.readerDone:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+}
+
+// roundTrip issues one request and awaits its terminal response.
+// build receives the allocated request ID.
+func (c *Conn) roundTrip(ctx context.Context, build func(id uint64) wire.Msg) (wire.Msg, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.write(build(id)); err != nil {
+		c.abandon(id)
+		return nil, err
+	}
+	return c.await(ctx, id, ch)
+}
+
+// Query executes one SQL statement and returns its AU-relation, exactly
+// as the in-process audb.Database.QueryContext would.
+func (c *Conn) Query(ctx context.Context, sql string, opts ...QueryOption) (*audb.Result, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.Query{ID: id, SQL: sql, Opts: resolve(opts)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := m.(wire.Result)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected %s response to Query", wire.TypeName(wire.Type(m)))
+	}
+	return res.Rel, nil
+}
+
+// Stmt is a server-side prepared statement, bound to its connection.
+type Stmt struct {
+	c      *Conn
+	handle uint64
+	text   string
+}
+
+// Prepare compiles sql server-side and returns the statement handle.
+func (c *Conn) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.Prepare{ID: id, SQL: sql}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := m.(wire.PrepareOK)
+	if !isOK {
+		return nil, fmt.Errorf("client: unexpected %s response to Prepare", wire.TypeName(wire.Type(m)))
+	}
+	return &Stmt{c: c, handle: ok.Stmt, text: sql}, nil
+}
+
+// Text returns the statement's SQL.
+func (s *Stmt) Text() string { return s.text }
+
+// Exec executes the prepared statement, mirroring audb.Stmt.Exec.
+func (s *Stmt) Exec(ctx context.Context, opts ...QueryOption) (*audb.Result, error) {
+	m, err := s.c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.ExecStmt{ID: id, Stmt: s.handle, Opts: resolve(opts)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := m.(wire.Result)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected %s response to ExecStmt", wire.TypeName(wire.Type(m)))
+	}
+	return res.Rel, nil
+}
+
+// Close releases the server-side statement.
+func (s *Stmt) Close(ctx context.Context) error {
+	_, err := s.c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.CloseStmt{ID: id, Stmt: s.handle}
+	})
+	return err
+}
+
+// Explain returns the server-rendered plan explanation (compiled plan,
+// rule trace, optimized plan) without executing.
+func (c *Conn) Explain(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
+	return c.explain(ctx, sql, false, opts)
+}
+
+// ExplainAnalyze executes the query through the server's instrumented
+// physical layer and returns the rendered per-operator counters.
+func (c *Conn) ExplainAnalyze(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
+	return c.explain(ctx, sql, true, opts)
+}
+
+func (c *Conn) explain(ctx context.Context, sql string, analyze bool, opts []QueryOption) (string, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.Explain{ID: id, SQL: sql, Opts: resolve(opts), Analyze: analyze}
+	})
+	if err != nil {
+		return "", err
+	}
+	res, ok := m.(wire.ExplainResult)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected %s response to Explain", wire.TypeName(wire.Type(m)))
+	}
+	return res.Text, nil
+}
+
+// TableStats returns the server-rendered statistics for a table (the
+// cached statistics the planner sees).
+func (c *Conn) TableStats(ctx context.Context, table string) (string, error) {
+	return c.stats(ctx, table, false)
+}
+
+// Analyze recollects a table's statistics server-side and returns them.
+func (c *Conn) Analyze(ctx context.Context, table string) (string, error) {
+	return c.stats(ctx, table, true)
+}
+
+func (c *Conn) stats(ctx context.Context, table string, analyze bool) (string, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.TableStats{ID: id, Table: table, Analyze: analyze}
+	})
+	if err != nil {
+		return "", err
+	}
+	res, ok := m.(wire.StatsResult)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected %s response to TableStats", wire.TypeName(wire.Type(m)))
+	}
+	return res.Text, nil
+}
+
+// Tables returns the server's current table names, sorted.
+func (c *Conn) Tables(ctx context.Context) ([]string, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.ListTables{ID: id}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, ok := m.(wire.Tables)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected %s response to ListTables", wire.TypeName(wire.Type(m)))
+	}
+	return res.Names, nil
+}
+
+// Ping checks server liveness.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.Ping{ID: id}
+	})
+	return err
+}

@@ -1,0 +1,115 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"github.com/audb/audb"
+)
+
+// Pool is a small connection pool: Get reuses an idle connection or
+// dials a new one, Put returns it. Broken connections are discarded
+// instead of pooled, so a server restart heals transparently.
+type Pool struct {
+	addr string
+	cfg  Config
+	max  int // max idle connections retained
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool creates a pool keeping up to maxIdle idle connections.
+func NewPool(addr string, maxIdle int) *Pool {
+	return NewPoolConfig(addr, maxIdle, Config{})
+}
+
+// NewPoolConfig is NewPool with a connection Config.
+func NewPoolConfig(addr string, maxIdle int, cfg Config) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	return &Pool{addr: addr, cfg: cfg, max: maxIdle}
+}
+
+// broken reports whether the connection's reader has exited (server
+// closed it, network error, or Close).
+func (c *Conn) broken() bool {
+	select {
+	case <-c.readerDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Get returns a healthy connection, dialing if the pool is empty.
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for len(p.idle) > 0 {
+		c := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		if !c.broken() {
+			p.mu.Unlock()
+			return c, nil
+		}
+		c.Close()
+	}
+	p.mu.Unlock()
+	return DialConfig(p.addr, p.cfg)
+}
+
+// Put returns a connection to the pool; broken connections and
+// overflow are closed.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.broken() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.max {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection and marks the pool closed.
+// Connections currently checked out are closed by their Put.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, c := range idle {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Query is the Get/Query/Put convenience for one-shot callers.
+func (p *Pool) Query(ctx context.Context, sql string, opts ...QueryOption) (*audb.Result, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(c)
+	return c.Query(ctx, sql, opts...)
+}
