@@ -31,9 +31,16 @@
 // by a single table name analyzes the table; followed by a query it
 // analyzes the execution).
 //
+// With -connect host:port the query runs against a live audbd server
+// instead of in-process: any -table/-au-table CSVs are bulk-uploaded
+// over the wire first, and \explain, \analyze and \stats print the
+// server-rendered text. Ctrl-C sends a Cancel frame, aborting the
+// server-side query.
+//
 // Usage:
 //
 //	audbsh -table locales=locales.csv "SELECT size, avg(rate) FROM locales GROUP BY size"
+//	audbsh -connect localhost:7687 "SELECT a, b FROM r WHERE a < 3"
 //	audbsh -au-table r=ranges.csv -engine sgw "SELECT * FROM r"
 //	audbsh -table cat=catalog.csv -repair-key cat=id "SELECT category, sum(price) FROM cat GROUP BY category"
 //	audbsh -table e=emp.csv -table d=dept.csv "\explain SELECT e.name FROM e, d WHERE e.dept = d.name"
@@ -81,6 +88,7 @@ func main() {
 		analyze  = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print per-operator est/rows/batches/time instead of the result")
 		optMode  = flag.String("opt", "on", "logical optimizer: on (default) or off")
 		costMode = flag.String("cost", "on", "cost-based planner (statistics, join reordering, build sides): on (default) or off")
+		connect  = flag.String("connect", "", "host:port of an audbd server: run remotely instead of in-process (CSV tables are uploaded first)")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
 	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
@@ -146,6 +154,38 @@ func main() {
 	}
 	if *sgw {
 		eng = audb.EngineSGW
+	}
+
+	if *connect != "" {
+		if *showPlan {
+			fatal(fmt.Errorf("audbsh: -plan is not supported with -connect (use \\explain)"))
+		}
+		err := runRemote(remoteOpts{
+			addr:         *connect,
+			query:        query,
+			explain:      *explain,
+			analyze:      *analyze,
+			statsTable:   statsTable,
+			analyzeTable: analyzeTable,
+			eng:          eng,
+			optimizer:    optimizer,
+			cost:         cost,
+			em:           em,
+			workers:      *workers,
+			joinCT:       *joinCT,
+			aggCT:        *aggCT,
+			tables:       tables,
+			auTables:     auTables,
+			repairs:      repairs,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "audbsh: interrupted")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		return
 	}
 
 	db := audb.New()
