@@ -154,6 +154,7 @@ func Registry() []Experiment {
 		{ID: "opt", Run: Opt, Paper: "logical optimizer speedup (this implementation; not a paper figure)"},
 		{ID: "pipe", Run: Pipe, Paper: "pipelined vs materialized executor (this implementation; not a paper figure)"},
 		{ID: "cbo", Run: CBO, Paper: "cost-based join reordering speedup (this implementation; not a paper figure)"},
+		{ID: "net", Run: Net, Paper: "audbd service layer: concurrent client throughput (this implementation; not a paper figure)"},
 	}
 }
 

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/audb/audb"
+	"github.com/audb/audb/client"
+	"github.com/audb/audb/internal/server"
+)
+
+// Net measures the network service layer (not a paper figure): the prep
+// workload executed through audbd over loopback TCP by 1, 4 and 16
+// concurrent client connections, reporting throughput and p50/p99
+// latency per level, against the in-process baseline. Before timing,
+// the remote result is checked bit-identical to the in-process result
+// on every engine — the service layer must not change answers.
+func Net(ctx context.Context, cfg Config) (*Table, error) {
+	rows := cfg.size(2048, 512)
+	itersPerClient := cfg.size(300, 60)
+	levels := []int{1, 4, 16}
+
+	db, query := prepWorkload(cfg, rows)
+	srv := server.New(db, server.Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("net: %w", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-serveErr
+	}()
+	addr := lis.Addr().String()
+
+	// Correctness gate: remote answers must be bit-identical to the
+	// in-process ones on every engine before any timing is reported.
+	check, err := client.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("net: %w", err)
+	}
+	for _, eng := range []audb.Engine{audb.EngineNative, audb.EngineRewrite, audb.EngineSGW} {
+		local, err := db.QueryContext(ctx, query, audb.WithEngine(eng))
+		if err != nil {
+			check.Close()
+			return nil, fmt.Errorf("net: in-process %s: %w", eng, err)
+		}
+		remote, err := check.Query(ctx, query, client.WithEngine(eng))
+		if err != nil {
+			check.Close()
+			return nil, fmt.Errorf("net: remote %s: %w", eng, err)
+		}
+		if local.Sort().String() != remote.Sort().String() {
+			check.Close()
+			return nil, fmt.Errorf("net: remote result differs from in-process on engine %s", eng)
+		}
+	}
+	check.Close()
+
+	t := &Table{
+		ID:      "net",
+		Title:   "audbd service layer: concurrent client throughput",
+		Headers: []string{"mode", "clients", "execs", "total_ms", "qps", "p50_ms", "p99_ms"},
+		Notes: []string{
+			fmt.Sprintf("rows=%d iters/client=%d loopback TCP; query: %s", rows, itersPerClient, query),
+			"remote results verified bit-identical to in-process on all engines before timing",
+		},
+	}
+
+	// In-process baseline: same query, same iteration count, no wire.
+	var baseLat []time.Duration
+	base, err := timeIt(func() error {
+		for i := 0; i < itersPerClient; i++ {
+			lat, err := timeIt(func() error {
+				_, err := db.QueryContext(ctx, query)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			baseLat = append(baseLat, lat)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("net: baseline: %w", err)
+	}
+	t.Rows = append(t.Rows, netRow("in-process", 1, itersPerClient, base, baseLat))
+
+	for _, clients := range levels {
+		conns := make([]*client.Conn, clients)
+		for i := range conns {
+			if conns[i], err = client.Dial(addr); err != nil {
+				return nil, fmt.Errorf("net: dial: %w", err)
+			}
+		}
+		lats := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		total, _ := timeIt(func() error {
+			var wg sync.WaitGroup
+			wg.Add(clients)
+			for w := 0; w < clients; w++ {
+				go func(w int) {
+					defer wg.Done()
+					c := conns[w]
+					for i := 0; i < itersPerClient; i++ {
+						lat, err := timeIt(func() error {
+							_, err := c.Query(ctx, query)
+							return err
+						})
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						lats[w] = append(lats[w], lat)
+					}
+				}(w)
+			}
+			wg.Wait()
+			return nil
+		})
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("net: %d clients: %w", clients, err)
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		t.Rows = append(t.Rows, netRow("remote", clients, len(all), total, all))
+	}
+	return t, nil
+}
+
+// netRow renders one throughput/latency row.
+func netRow(mode string, clients, execs int, total time.Duration, lats []time.Duration) []string {
+	qps := "n/a"
+	if total > 0 {
+		qps = fmt.Sprintf("%.0f", float64(execs)/total.Seconds())
+	}
+	return []string{
+		mode, fmt.Sprint(clients), fmt.Sprint(execs), ms(total), qps,
+		ms(percentile(lats, 0.50)), ms(percentile(lats, 0.99)),
+	}
+}
+
+// percentile returns the p-quantile (0..1) of the latency sample.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
