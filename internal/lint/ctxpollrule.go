@@ -12,12 +12,18 @@ import (
 const ctxpollPath = "github.com/audb/audb/internal/ctxpoll"
 
 // ctxpollScope lists the executor packages whose tuple loops must stay
-// cancellable (the ms-latency guarantee established in PR 2).
+// cancellable (the ms-latency guarantee established in PR 2). The
+// service layer is included: audbd promises that a Cancel frame or a
+// dropped connection aborts server-side work in milliseconds, so its
+// tuple loops (COPY ingest, result encoding) are held to the same rule.
 var ctxpollScope = map[string]bool{
 	"github.com/audb/audb/internal/core":     true,
 	"github.com/audb/audb/internal/phys":     true,
 	"github.com/audb/audb/internal/bag":      true,
 	"github.com/audb/audb/internal/encoding": true,
+	"github.com/audb/audb/internal/wire":     true,
+	"github.com/audb/audb/internal/server":   true,
+	"github.com/audb/audb/cmd/audbd":         true,
 }
 
 // Ctxpoll guards cooperative cancellation: in the executor packages,
@@ -31,10 +37,10 @@ var ctxpollScope = map[string]bool{
 // exempt, as are _test.go files.
 var Ctxpoll = &analysis.Analyzer{
 	Name: "ctxpoll",
-	Doc: "require tuple/batch loops in internal/{core,phys,bag,encoding} " +
-		"to reach a cancellation poll (ctxpoll.Poll.Due, ctx.Err, or a " +
-		"helper that observes the context), preserving ms-latency query " +
-		"cancellation as new kernels land",
+	Doc: "require tuple/batch loops in internal/{core,phys,bag,encoding,wire,server} " +
+		"and cmd/audbd to reach a cancellation poll (ctxpoll.Poll.Due, " +
+		"ctx.Err, or a helper that observes the context), preserving " +
+		"ms-latency query cancellation as new kernels land",
 	Run: runCtxpoll,
 }
 

@@ -23,6 +23,16 @@ func TestCtxpoll(t *testing.T) {
 	)
 }
 
+// TestCtxpollServiceLayer: the service layer is in scope too — audbd's
+// over-the-wire cancellation promise holds it to the same polling rule.
+func TestCtxpollServiceLayer(t *testing.T) {
+	linttest.Run(t, lint.Ctxpoll,
+		linttest.Pkg{Dir: "testdata/src/ctxpoll_server", Path: "github.com/audb/audb/internal/server"},
+		linttest.Pkg{Dir: "testdata/src/ctxpoll_wire", Path: "github.com/audb/audb/internal/wire"},
+		linttest.Pkg{Dir: "testdata/src/ctxpoll_audbd", Path: "github.com/audb/audb/cmd/audbd"},
+	)
+}
+
 func TestCtxpollOutOfScopePackage(t *testing.T) {
 	// The same fixture under a non-executor path must be silent.
 	linttest.Run(t, lint.Ctxpoll,
@@ -34,6 +44,7 @@ func TestCatalogsnap(t *testing.T) {
 	linttest.Run(t, lint.Catalogsnap,
 		linttest.Pkg{Dir: "testdata/src/catalogsnap_core", Path: "github.com/audb/audb/internal/core"},
 		linttest.Pkg{Dir: "testdata/src/catalogsnap_out", Path: "github.com/audb/audb/internal/lintfixture/out"},
+		linttest.Pkg{Dir: "testdata/src/catalogsnap_server", Path: "github.com/audb/audb/internal/server"},
 	)
 }
 

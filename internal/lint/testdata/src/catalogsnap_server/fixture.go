@@ -1,0 +1,23 @@
+// Fixture for catalogsnap's cross-package rule as seen from the service
+// layer, posing as internal/server: session handlers resolve tables
+// through the Catalog's API, never its fields (imports the fake core
+// fixture checked earlier in the same run).
+package server
+
+import core "github.com/audb/audb/internal/core"
+
+func handleListTables(c *core.Catalog) int {
+	n := 0
+	for _, v := range c.Rels { // want `direct access to core.Catalog field Rels`
+		n += v
+	}
+	return n
+}
+
+func handleListTablesSanctioned(c *core.Catalog) int {
+	n := 0
+	for _, v := range c.Snapshot() {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// Fixture for the ctxpoll analyzer, posing as cmd/audbd: the daemon's
+// own tuple walks (startup table loads wired to the shutdown context)
+// are in scope alongside the server packages.
+package main
+
+import "context"
+
+type Tuple struct{ A int }
+
+func loadUnpolled(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for _, t := range ts { // want `does not reach a cancellation poll`
+		n += t.A
+	}
+	return n
+}
+
+func loadPolled(ctx context.Context, ts []Tuple) (int, error) {
+	n := 0
+	for _, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += t.A
+	}
+	return n, nil
+}

@@ -1,0 +1,75 @@
+// Fixture for the ctxpoll analyzer, posing as internal/server: the
+// service layer promises ms-latency cancellation over the wire (a
+// Cancel frame or a dropped connection must abort server-side work),
+// so its tuple loops — COPY ingest, result staging — are in scope. The
+// shapes here mirror the real session: the context arrives through a
+// struct field, not a parameter.
+package server
+
+import (
+	"context"
+
+	"github.com/audb/audb/internal/ctxpoll"
+)
+
+// Tuple stands in for core.Tuple; the analyzer matches tuple-ness by
+// type name.
+type Tuple struct{ A int }
+
+// copyState mirrors the per-COPY ingest state: the stream's context and
+// its amortized poll ride in fields, putting every method in reach.
+type copyState struct {
+	ctx  context.Context
+	poll *ctxpoll.Poll
+	rows []Tuple
+}
+
+func (cp *copyState) ingestUnpolled(chunk []Tuple) {
+	for _, t := range chunk { // want `does not reach a cancellation poll`
+		cp.rows = append(cp.rows, t)
+	}
+}
+
+func (cp *copyState) ingestPolled(chunk []Tuple) error {
+	for _, t := range chunk {
+		if err := cp.poll.Due(); err != nil {
+			return err
+		}
+		cp.rows = append(cp.rows, t)
+	}
+	return nil
+}
+
+// session mirrors the connection handler: its base context is a field.
+type session struct {
+	ctx context.Context
+}
+
+func (se *session) stageUnpolled(ts []Tuple) int {
+	n := 0
+	for i := 0; i < len(ts); i++ { // want `does not reach a cancellation poll`
+		n += ts[i].A
+	}
+	return n
+}
+
+func (se *session) stagePolled(ts []Tuple) (int, error) {
+	n := 0
+	for i := 0; i < len(ts); i++ {
+		if err := se.ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += ts[i].A
+	}
+	return n, nil
+}
+
+// encodeRows has no context anywhere in reach: a pure kernel owned by a
+// polled caller, exempt.
+func encodeRows(ts []Tuple) int {
+	n := 0
+	for _, t := range ts {
+		n += t.A
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Fixture for the ctxpoll analyzer, posing as internal/wire: the codec
+// is mostly pure (no context in reach, exempt), but any context-bearing
+// helper that walks tuples — e.g. a streaming encoder bound to a
+// request's lifetime — must poll like the executor kernels do.
+package wire
+
+import "context"
+
+type Tuple struct{ A int }
+
+func streamUnpolled(ctx context.Context, ts []Tuple) int {
+	n := 0
+	for _, t := range ts { // want `does not reach a cancellation poll`
+		n += t.A
+	}
+	return n
+}
+
+func streamPolled(ctx context.Context, ts []Tuple) (int, error) {
+	n := 0
+	for _, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += t.A
+	}
+	return n, nil
+}
+
+// encodeTuples is the codec's normal shape: no context in reach, a pure
+// kernel whose caller owns cancellation. Exempt.
+func encodeTuples(ts []Tuple) int {
+	n := 0
+	for _, t := range ts {
+		n += t.A
+	}
+	return n
+}
