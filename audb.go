@@ -67,11 +67,14 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/audb/audb/internal/bag"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/encoding"
 	"github.com/audb/audb/internal/metrics"
+	"github.com/audb/audb/internal/obs"
 	"github.com/audb/audb/internal/opt"
 	"github.com/audb/audb/internal/phys"
 	"github.com/audb/audb/internal/ra"
@@ -414,6 +417,11 @@ type Database struct {
 	// catalog notifies it of every Register/Drop (collection itself is
 	// lazy), so statistics are never served for a dropped table.
 	st *stats.Registry
+	// met holds the pre-resolved session-layer metric handles (see
+	// observe.go); hook is the optional per-query observer installed
+	// with SetQueryHook (stores a *func(QueryInfo)).
+	met  *dbMetrics
+	hook atomic.Value
 
 	mu   sync.RWMutex
 	opts Options // database-wide defaults, overridable per query
@@ -424,7 +432,9 @@ func New() *Database {
 	cat := core.NewCatalog()
 	st := stats.NewRegistry()
 	cat.SetObserver(st)
-	return &Database{cat: cat, st: st}
+	met := newDBMetrics()
+	st.Instrument(met.reg)
+	return &Database{cat: cat, st: st, met: met}
 }
 
 // SetOptions configures the database-wide default execution options.
@@ -700,7 +710,7 @@ func (d *Database) QueryContext(ctx context.Context, q string, opts ...QueryOpti
 	if err != nil {
 		return nil, err
 	}
-	return d.dispatch(ctx, snap, plan, nil, opts)
+	return d.dispatch(ctx, snap, plan, nil, q, opts)
 }
 
 // ExecPlan evaluates a pre-compiled plan with the same dispatch semantics
@@ -708,13 +718,17 @@ func (d *Database) QueryContext(ctx context.Context, q string, opts ...QueryOpti
 // database's catalog (Plan); if a referenced table's schema changed since,
 // re-plan first.
 func (d *Database) ExecPlan(ctx context.Context, plan ra.Node, opts ...QueryOption) (*Result, error) {
-	return d.dispatch(ctx, d.cat.Snapshot(), plan, nil, opts)
+	return d.dispatch(ctx, d.cat.Snapshot(), plan, nil, "", opts)
 }
 
 // dispatch is the single execution path behind QueryContext, ExecPlan and
 // Stmt.Exec: resolve options, optimize the plan (unless switched off),
 // and route to an engine, executing over the given catalog snapshot.
-func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt, opts []QueryOption) (*Result, error) {
+// q is the statement text when the caller has it ("" for pre-compiled
+// plans) — it feeds the query hook, never execution. The wrapper
+// records the session metrics and, when a hook is installed, assembles
+// the QueryInfo; both are allocation-free when idle.
+func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt, q string, opts []QueryOption) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -722,15 +736,47 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 		return nil, fmt.Errorf("audb: nil plan")
 	}
 	cfg := d.resolve(opts)
+	start := time.Now()
+	res, estRows, hasEst, err := d.run(ctx, snap, plan, st, cfg)
+	dur := time.Since(start)
+	d.met.record(cfg, dur, err)
+	if hook := d.queryHook(); hook != nil {
+		text := q
+		if text == "" && st != nil {
+			text = st.text
+		}
+		info := QueryInfo{
+			Query:       text,
+			Fingerprint: obs.Fingerprint(text),
+			Engine:      cfg.engine.String(),
+			Duration:    dur,
+			EstRows:     estRows,
+			HasEst:      hasEst,
+			ErrCode:     errCodeOf(err),
+		}
+		if cfg.engine == EngineNative {
+			info.ExecMode = cfg.execMode.String()
+		}
+		if res != nil {
+			info.Rows = int64(res.Len())
+		}
+		hook(info)
+	}
+	return res, err
+}
+
+// run is dispatch's engine-routing body. For the native engine it also
+// reports the cost model's root-cardinality estimate so the query hook
+// can surface est-vs-actual drift.
+func (d *Database) run(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt, cfg queryConfig) (res *Result, estRows int64, hasEst bool, err error) {
 	if cfg.optimizer == OptimizerOn {
-		var err error
 		if st != nil {
 			plan, err = st.optimizedPlan(snap)
 		} else {
-			plan, err = opt.Optimize(plan, ra.CatalogMap(snap.Schemas()))
+			plan, err = opt.OptimizeObserved(plan, ra.CatalogMap(snap.Schemas()), d.met.onRule)
 		}
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
 	}
 	switch cfg.engine {
@@ -740,48 +786,52 @@ func (d *Database) dispatch(ctx context.Context, snap core.DB, plan ra.Node, st 
 		// statistics; only the rule-based optimization is cached.
 		var est *opt.Annotations
 		if d.costEnabled(cfg) {
-			var err error
 			plan, est, err = opt.CostOptimize(plan, ra.CatalogMap(snap.Schemas()), d.st)
 			if err != nil {
-				return nil, err
+				return nil, 0, false, err
 			}
 		}
+		estRows, hasEst = est.EstRows(plan)
 		if cfg.execMode == ExecMaterialized {
-			return core.Exec(ctx, plan, snap, cfg.opts)
+			res, err = core.Exec(ctx, plan, snap, cfg.opts)
+			return res, estRows, hasEst, err
 		}
-		return phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts, Est: est})
+		res, err = phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts, Est: est})
+		return res, estRows, hasEst, err
 	case EngineRewrite:
 		// Encode only the tables the plan scans: the middleware pays an
 		// O(table size) encoding cost per execution, and unrelated
 		// catalog entries must not be part of it.
 		db, err := scanSubset(plan, snap)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
 		if st != nil {
 			rp, rs, err := st.rewritten(db, plan, cfg.optimizer)
 			if err != nil {
-				return nil, err
+				return nil, 0, false, err
 			}
-			return encoding.ExecRewritten(ctx, rp, rs, db)
+			res, err = encoding.ExecRewritten(ctx, rp, rs, db)
+			return res, 0, false, err
 		}
-		return encoding.Exec(ctx, plan, db)
+		res, err = encoding.Exec(ctx, plan, db)
+		return res, 0, false, err
 	case EngineSGW:
 		db, err := scanSubset(plan, snap)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
 		sgw, err := db.SGWContext(ctx)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
-		res, err := bag.Exec(ctx, plan, sgw)
+		det, err := bag.Exec(ctx, plan, sgw)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
-		return core.FromDeterministic(res), nil
+		return core.FromDeterministic(det), 0, false, nil
 	}
-	return nil, fmt.Errorf("audb: unknown engine %v", cfg.engine)
+	return nil, 0, false, fmt.Errorf("audb: unknown engine %v", cfg.engine)
 }
 
 // scanSubset restricts a catalog snapshot to the tables the plan scans,
@@ -864,7 +914,7 @@ func (s *Stmt) Plan() ra.Node { return s.plan }
 // Exec evaluates the prepared statement with the same dispatch semantics
 // as QueryContext. Safe for concurrent use.
 func (s *Stmt) Exec(ctx context.Context, opts ...QueryOption) (*Result, error) {
-	return s.db.dispatch(ctx, s.db.cat.Snapshot(), s.plan, s, opts)
+	return s.db.dispatch(ctx, s.db.cat.Snapshot(), s.plan, s, s.text, opts)
 }
 
 // optimizedPlan caches the logically optimized plan. Optimization
@@ -875,9 +925,11 @@ func (s *Stmt) optimizedPlan(snap core.DB) (ra.Node, error) {
 	s.optMu.Lock()
 	defer s.optMu.Unlock()
 	if s.optPlan != nil {
+		s.db.met.stmtHits.Add(1)
 		return s.optPlan, nil
 	}
-	plan, err := opt.Optimize(s.plan, ra.CatalogMap(snap.Schemas()))
+	s.db.met.stmtMiss.Add(1)
+	plan, err := opt.OptimizeObserved(s.plan, ra.CatalogMap(snap.Schemas()), s.db.met.onRule)
 	if err != nil {
 		return nil, err
 	}

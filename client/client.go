@@ -324,6 +324,41 @@ func (c *Conn) explain(ctx context.Context, sql string, analyze bool, opts []Que
 	return res.Text, nil
 }
 
+// Trace executes the query with the full lifecycle instrumented
+// server-side (admission wait, parse, per-rule optimize, cost, lower,
+// per-operator execute, wire encode) and returns the rendered span
+// tree. Like ExplainAnalyze, the query really runs.
+func (c *Conn) Trace(ctx context.Context, sql string, opts ...QueryOption) (string, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.Trace{ID: id, SQL: sql, Opts: resolve(opts)}
+	})
+	if err != nil {
+		return "", err
+	}
+	res, ok := m.(wire.TraceResult)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected %s response to Trace", wire.TypeName(wire.Type(m)))
+	}
+	return res.Text, nil
+}
+
+// ServerStats returns the server's rendered metrics snapshot — the
+// audbd_* counters, the embedded database's audb_* registry, and the
+// most recent sampled request traces.
+func (c *Conn) ServerStats(ctx context.Context) (string, error) {
+	m, err := c.roundTrip(ctx, func(id uint64) wire.Msg {
+		return wire.ServerStats{ID: id}
+	})
+	if err != nil {
+		return "", err
+	}
+	res, ok := m.(wire.ServerStatsResult)
+	if !ok {
+		return "", fmt.Errorf("client: unexpected %s response to ServerStats", wire.TypeName(wire.Type(m)))
+	}
+	return res.Text, nil
+}
+
 // TableStats returns the server-rendered statistics for a table (the
 // cached statistics the planner sees).
 func (c *Conn) TableStats(ctx context.Context, table string) (string, error) {

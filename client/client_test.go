@@ -723,3 +723,43 @@ func TestHandshake(t *testing.T) {
 		t.Fatalf("tables at connect: %q", got)
 	}
 }
+
+// TestTraceAndServerStats: the observability round trips — Trace
+// returns the server-rendered span tree, ServerStats the metric
+// snapshot, and both flow through the normal request/response plumbing
+// (errors included).
+func TestTraceAndServerStats(t *testing.T) {
+	testutil.NoLeaks(t)
+	rng := rand.New(rand.NewSource(11))
+	addr, _ := startServer(t, randomDB(rng, 6), server.Config{})
+	c := dial(t, addr)
+	defer c.Close()
+	ctx := context.Background()
+
+	text, err := c.Trace(ctx, `SELECT r.a, s.d FROM r JOIN s ON r.a = s.c WHERE r.b < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"request", "admission.wait", "parse", "optimize", "execute", "wire.encode"} {
+		if !strings.Contains(text, span) {
+			t.Errorf("trace missing %q:\n%s", span, text)
+		}
+	}
+	if _, err := c.Trace(ctx, `SELECT broken FROM r`); err == nil {
+		t.Fatal("Trace of a bad query should error")
+	}
+	var se *client.ServerError
+	if err := func() error { _, err := c.Trace(ctx, `SELECT broken FROM r`); return err }(); !errors.As(err, &se) {
+		t.Fatalf("want ServerError, got %v", err)
+	}
+
+	stats, err := c.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"audbd_requests_total", "audb_queries_total"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("server stats missing %q:\n%s", want, stats)
+		}
+	}
+}

@@ -9,6 +9,14 @@
 // excess requests wait up to -queue-timeout before failing with a
 // queue_timeout error. -max-query-time bounds each query server-side.
 //
+// Observability: -metrics-addr serves /metrics (Prometheus text
+// exposition of the server's audbd_* and the database's audb_* series),
+// /healthz and /debug/pprof/* on a second listener. -slow-query-ms
+// emits one structured log line per query at least that slow (failed
+// queries always log); -log-format picks text or json lines.
+// -trace-sample records one request in every N into the ring the
+// \server command reports.
+//
 // SIGINT/SIGTERM shuts down gracefully: the listener closes, in-flight
 // queries finish, queued requests are refused, and after -drain-timeout
 // any stragglers are cancelled through their contexts.
@@ -17,14 +25,16 @@
 //
 //	audbd -addr :7687 -table emp=emp.csv -au-table r=ranges.csv
 //	audbd -addr 127.0.0.1:0 -max-concurrency 8 -queue-timeout 2s
+//	audbd -metrics-addr 127.0.0.1:9100 -slow-query-ms 250 -log-format json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +45,7 @@ import (
 	"github.com/audb/audb"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/csvio"
+	"github.com/audb/audb/internal/obs"
 	"github.com/audb/audb/internal/server"
 )
 
@@ -45,18 +56,27 @@ func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
 	var (
-		tables   listFlag
-		auTables listFlag
-		addr     = flag.String("addr", "127.0.0.1:7687", "listen address")
-		maxConc  = flag.Int("max-concurrency", 0, "max queries executing at once (0 = one per CPU)")
-		queueTO  = flag.Duration("queue-timeout", 5*time.Second, "max wait for an execution slot before queue_timeout")
-		maxQuery = flag.Duration("max-query-time", 0, "server-side cap on each query's execution time (0 = none)")
-		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight queries on shutdown")
-		quiet    = flag.Bool("quiet", false, "suppress connection logging")
+		tables      listFlag
+		auTables    listFlag
+		addr        = flag.String("addr", "127.0.0.1:7687", "listen address")
+		maxConc     = flag.Int("max-concurrency", 0, "max queries executing at once (0 = one per CPU)")
+		queueTO     = flag.Duration("queue-timeout", 5*time.Second, "max wait for an execution slot before queue_timeout")
+		maxQuery    = flag.Duration("max-query-time", 0, "server-side cap on each query's execution time (0 = none)")
+		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight queries on shutdown")
+		quiet       = flag.Bool("quiet", false, "suppress connection logging")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+		logFormat   = flag.String("log-format", "text", "log line format: text or json")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries at least this slow, one structured line each (0 = off)")
+		traceSample = flag.Int("trace-sample", 0, "record one request trace in every N (0 = default 16, negative = off)")
 	)
 	flag.Var(&tables, "table", "name=file.csv: load a certain CSV table (repeatable)")
 	flag.Var(&auTables, "au-table", "name=file.csv: load an uncertain CSV table with range cells (repeatable)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	db := audb.New()
 	for _, spec := range tables {
@@ -65,14 +85,20 @@ func main() {
 	for _, spec := range auTables {
 		loadTable(db, spec, true)
 	}
+	if *slowQueryMS > 0 {
+		db.SetQueryHook(obs.SlowQueryHook(logger, time.Duration(*slowQueryMS)*time.Millisecond))
+	}
 
 	cfg := server.Config{
 		MaxConcurrency: *maxConc,
 		QueueTimeout:   *queueTO,
 		MaxQueryTime:   *maxQuery,
+		TraceSample:    *traceSample,
 	}
 	if !*quiet {
-		cfg.Logf = log.Printf
+		cfg.Logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	srv := server.New(db, cfg)
 
@@ -84,8 +110,21 @@ func main() {
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("audbd: listening on %s (%d tables, max-concurrency %d)",
-		lis.Addr(), db.NumTables(), conc)
+	logger.Info("audbd: listening",
+		"addr", lis.Addr().String(), "tables", db.NumTables(), "max_concurrency", conc)
+
+	if *metricsAddr != "" {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("audbd: metrics listening", "addr", mlis.Addr().String())
+		go func() {
+			if err := http.Serve(mlis, obs.Handler(srv.Metrics(), db.Metrics())); err != nil {
+				logger.Error("audbd: metrics server", "err", err)
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -94,17 +133,31 @@ func main() {
 
 	select {
 	case sig := <-sigCh:
-		log.Printf("audbd: %v: draining (up to %s)", sig, *drainTO)
+		logger.Info("audbd: draining", "signal", sig.String(), "timeout", drainTO.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("audbd: forced shutdown after drain timeout: %v", err)
+			logger.Warn("audbd: forced shutdown after drain timeout", "err", err)
 		}
-		log.Printf("audbd: stopped")
+		logger.Info("audbd: stopped")
 	case err := <-errCh:
 		if err != nil && err != server.ErrServerClosed {
 			fatal(err)
 		}
+	}
+}
+
+// newLogger builds the process logger behind -log-format. Everything —
+// connection lines, the slow-query log, lifecycle messages — funnels
+// through it so json mode yields machine-parseable output end to end.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("audbd: unknown -log-format %q (want text or json)", format)
 	}
 }
 

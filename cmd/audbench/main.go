@@ -29,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload generator seed")
 		workers = flag.Int("workers", 0, "AU-DB executor workers (0 = one per CPU, 1 = serial)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json in the current directory")
 	)
 	flag.Parse()
 
@@ -81,6 +82,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "audbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s(reproduces %s; took %s)\n\n", tbl.Render(), e.Paper, time.Since(start).Round(time.Millisecond))
+		took := time.Since(start)
+		fmt.Printf("%s(reproduces %s; took %s)\n\n", tbl.Render(), e.Paper, took.Round(time.Millisecond))
+		if *jsonOut {
+			path, err := bench.WriteJSON(".", bench.JSONResult(tbl, e.Paper, mode, *seed, *workers, took))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "audbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 }

@@ -31,11 +31,18 @@
 // by a single table name analyzes the table; followed by a query it
 // analyzes the execution).
 //
+// `\trace <query>` executes with the full lifecycle instrumented and
+// prints the span tree: parse, per-rule optimize, cost-based planning,
+// physical lowering, and per-operator execution spans carrying the same
+// counters as \analyze. Remotely it adds the server's admission-wait
+// and wire-encode spans. `\server` (remote only) prints the server's
+// metrics snapshot and its recent sampled request traces.
+//
 // With -connect host:port the query runs against a live audbd server
 // instead of in-process: any -table/-au-table CSVs are bulk-uploaded
-// over the wire first, and \explain, \analyze and \stats print the
-// server-rendered text. Ctrl-C sends a Cancel frame, aborting the
-// server-side query.
+// over the wire first, and \explain, \analyze, \stats, \trace and
+// \server print the server-rendered text. Ctrl-C sends a Cancel frame,
+// aborting the server-side query.
 //
 // Usage:
 //
@@ -47,6 +54,8 @@
 //	audbsh -table e=emp.csv "\analyze SELECT name FROM e WHERE salary > 70 ORDER BY salary LIMIT 5"
 //	audbsh -table e=emp.csv "\stats e"
 //	audbsh -table e=emp.csv "\analyze e"
+//	audbsh -table e=emp.csv "\trace SELECT name FROM e WHERE salary > 70"
+//	audbsh -connect localhost:7687 "\server"
 package main
 
 import (
@@ -106,9 +115,17 @@ func main() {
 	// name) recollects that table's statistics and `\stats <table>` prints
 	// the cached ones.
 	statsTable, analyzeTable := "", ""
+	trace, serverStats := false, false
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\explain `); ok {
 		*explain = true
 		query = rest
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\trace `); ok {
+		trace = true
+		query = rest
+	}
+	if strings.TrimSpace(query) == `\server` {
+		serverStats = true
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(query), `\stats `); ok {
 		statsTable = strings.TrimSpace(rest)
@@ -165,6 +182,8 @@ func main() {
 			query:        query,
 			explain:      *explain,
 			analyze:      *analyze,
+			trace:        trace,
+			serverStats:  serverStats,
 			statsTable:   statsTable,
 			analyzeTable: analyzeTable,
 			eng:          eng,
@@ -232,6 +251,9 @@ func main() {
 		fatal(fmt.Errorf("audbsh: no tables loaded (use -table / -au-table)"))
 	}
 
+	if serverStats {
+		fatal(fmt.Errorf(`audbsh: \server inspects a remote audbd (use -connect)`))
+	}
 	// Statistics commands print and exit before any query planning.
 	if statsTable != "" {
 		ts, err := db.TableStats(statsTable)
@@ -247,6 +269,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(ts)
+		return
+	}
+
+	if trace {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		qt, err := db.Trace(ctx, query,
+			audb.WithEngine(eng),
+			audb.WithOptimizer(optimizer),
+			audb.WithCostModel(cost),
+			audb.WithExecMode(em),
+			audb.WithWorkers(*workers),
+			audb.WithJoinCompression(*joinCT),
+			audb.WithAggCompression(*aggCT),
+		)
+		stop()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "audbsh: interrupted")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		fmt.Print(qt)
 		return
 	}
 

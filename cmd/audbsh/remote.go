@@ -18,6 +18,7 @@ type remoteOpts struct {
 	query string
 
 	explain, analyze         bool
+	trace, serverStats       bool
 	statsTable, analyzeTable string
 
 	eng       audb.Engine
@@ -96,6 +97,15 @@ func runRemote(o remoteOpts) error {
 		return fmt.Errorf("audbsh: -repair-key %s: table not loaded with -table", name)
 	}
 
+	// \server prints the server's metrics snapshot and recent traces.
+	if o.serverStats {
+		text, err := c.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
 	// Statistics commands print and exit, as in local mode.
 	if o.statsTable != "" {
 		text, err := c.TableStats(ctx, o.statsTable)
@@ -133,6 +143,14 @@ func runRemote(o remoteOpts) error {
 	}
 	if o.analyze {
 		text, err := c.ExplainAnalyze(ctx, o.query, qopts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+	if o.trace {
+		text, err := c.Trace(ctx, o.query, qopts...)
 		if err != nil {
 			return err
 		}

@@ -1,3 +1,3 @@
 module github.com/audb/audb
 
-go 1.21
+go 1.22

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Result is the machine-readable form of one experiment run, written by
+// audbench -json alongside the rendered table so CI and plotting
+// scripts can consume experiment output without screen-scraping.
+type Result struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Paper      string     `json:"paper,omitempty"`
+	Mode       string     `json:"mode"` // tiny, quick or full
+	Seed       int64      `json:"seed"`
+	Workers    int        `json:"workers"`
+	Headers    []string   `json:"headers"`
+	Rows       [][]string `json:"rows"`
+	// Series re-keys the row data by column header: Series[h][i] is the
+	// h column of row i. Redundant with Rows but what plotting wants.
+	Series map[string][]string `json:"series"`
+	Notes  []string            `json:"notes,omitempty"`
+	TookMS float64             `json:"took_ms"`
+}
+
+// JSONResult assembles the machine-readable result for one finished
+// experiment.
+func JSONResult(t *Table, paper, mode string, seed int64, workers int, took time.Duration) Result {
+	r := Result{
+		Experiment: t.ID,
+		Title:      t.Title,
+		Paper:      paper,
+		Mode:       mode,
+		Seed:       seed,
+		Workers:    workers,
+		Headers:    t.Headers,
+		Rows:       t.Rows,
+		Series:     make(map[string][]string, len(t.Headers)),
+		Notes:      t.Notes,
+		TookMS:     float64(took.Microseconds()) / 1000,
+	}
+	for i, h := range t.Headers {
+		col := make([]string, 0, len(t.Rows))
+		for _, row := range t.Rows {
+			if i < len(row) {
+				col = append(col, row[i])
+			}
+		}
+		r.Series[h] = col
+	}
+	return r
+}
+
+// WriteJSON writes r to BENCH_<experiment>.json in dir and returns the
+// path.
+func WriteJSON(dir string, r Result) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Experiment+".json")
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}

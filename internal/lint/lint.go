@@ -3,7 +3,7 @@ package lint
 import "github.com/audb/audb/internal/lint/analysis"
 
 // Analyzers returns the gating audblint suite in reporting order: the
-// five custom invariant checkers first, then bundled nilness. The slice
+// custom invariant checkers first, then bundled nilness. The slice
 // is freshly allocated; callers may filter it.
 //
 // Shadow is deliberately absent: like `go vet`, we found err-shadowing
@@ -16,6 +16,7 @@ func Analyzers() []*analysis.Analyzer {
 		Catalogsnap,
 		Nocloneiter,
 		Gatedoc,
+		Obsspan,
 		Nilness,
 	}
 }

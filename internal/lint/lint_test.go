@@ -60,6 +60,16 @@ func TestGatedoc(t *testing.T) {
 	)
 }
 
+// TestObsspan: a started span must be ended or handed off; the obs
+// package itself is exempt (the second fixture claims its import path,
+// so it must run after the first, which imports the real obs).
+func TestObsspan(t *testing.T) {
+	linttest.Run(t, lint.Obsspan,
+		linttest.Pkg{Dir: "testdata/src/obsspan", Path: "github.com/audb/audb/internal/server"},
+		linttest.Pkg{Dir: "testdata/src/obsspan_obs", Path: "github.com/audb/audb/internal/obs"},
+	)
+}
+
 func TestShadow(t *testing.T) {
 	linttest.Run(t, lint.Shadow,
 		linttest.Pkg{Dir: "testdata/src/shadow", Path: "github.com/audb/audb/internal/lintfixture/shadow"},

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/audb/audb/internal/lint/analysis"
+)
+
+// obsPath is the package providing the tracing spans.
+const obsPath = "github.com/audb/audb/internal/obs"
+
+// Obsspan guards the span lifecycle: a *obs.Span returned by a Start*
+// call (obs.StartSpan, (*Span).StartChild) that is discarded, bound to
+// the blank identifier, or bound to a variable that is never ended or
+// handed off can never see End, so its duration is never stamped and it
+// silently vanishes from every trace. The rule accepts any path that
+// can end the span: a v.End() call (including deferred), returning the
+// span, passing it as an argument (obs.Recorder.Record, Attach, a
+// helper), or storing it somewhere that outlives the function. The obs
+// package itself and _test.go files are exempt. Pre-timed spans built
+// as struct literals for Attach are out of scope by construction — the
+// rule fires on Start* calls only.
+var Obsspan = &analysis.Analyzer{
+	Name: "obsspan",
+	Doc: "require every span started with obs.StartSpan or Span.StartChild " +
+		"to be ended or handed off (End called, returned, passed as an " +
+		"argument, or stored), so traces never contain spans whose " +
+		"duration was silently dropped",
+	Run: runObsspan,
+}
+
+func runObsspan(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == obsPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkObsspanFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkObsspanFunc walks one function body (closures included — a span
+// started in a closure and ended by the enclosing function, or vice
+// versa, still has its End inside the same top-level body).
+func checkObsspanFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// The span is the whole statement: nothing binds it.
+			if call, ok := n.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(), "result of %s is discarded; the span can never be ended — bind it and call End (or defer it)", startCallName(pass, call))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isSpanStart(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // stored into a field or index: escapes
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s is assigned to the blank identifier; the span can never be ended", startCallName(pass, call))
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !spanHandledIn(pass, body, obj, n) {
+					pass.Reportf(call.Pos(), "span %s from %s is never ended or handed off; call %s.End, or return/record it", obj.Name(), startCallName(pass, call), obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether call invokes a function whose name starts
+// with "Start" and whose result is *obs.Span.
+func isSpanStart(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || !strings.HasPrefix(fn.Name(), "Start") {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	return res.Len() == 1 && isObsSpanPtr(res.At(0).Type())
+}
+
+func isObsSpanPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsPath
+}
+
+// startCallName renders the call for diagnostics: the callee name plus
+// the span name when the first argument is a string literal.
+func startCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	name := "Start"
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if len(call.Args) == 1 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				return name + "(" + strconv.Quote(s) + ")"
+			}
+		}
+	}
+	return name
+}
+
+// spanHandledIn reports whether, anywhere in body outside the binding
+// assignment itself, the span object reaches an End call or escapes the
+// binding: returned, passed as an argument, assigned onward, or placed
+// in a composite literal. Any escape hands responsibility for End to
+// the receiver (Recorder.Record and Span.Attach both take ownership),
+// which is as far as a single-function analysis can see.
+func spanHandledIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, binding *ast.AssignStmt) bool {
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n == binding {
+				return false // the binding itself is not a use
+			}
+			for _, rhs := range n.Rhs {
+				if exprMentions(pass, rhs, obj) {
+					handled = true // stored onward (field, var, map)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok && objOf(pass, id) == obj {
+					handled = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if exprMentions(pass, arg, obj) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if exprMentions(pass, r, obj) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if exprMentions(pass, e, obj) {
+					handled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// exprMentions reports whether expr contains a bare reference to obj
+// (not through a selector: sp.SetInt(...) keeps sp as sel.X, which is a
+// bare *ast.Ident and does count — attribute calls alone do not end a
+// span, so only the identifier position matters, and we exclude it by
+// checking the parent in spanHandledIn's CallExpr case instead).
+func exprMentions(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// A method call or field access on the span is not a
+			// hand-off; descend into sel.X only for nested expressions.
+			if id, ok := sel.X.(*ast.Ident); ok && objOf(pass, id) == obj {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && objOf(pass, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,10 @@
+// Test files are exempt: tests start throwaway spans to probe the
+// recorder and rendering, and leaking one cannot corrupt a production
+// trace. No want comments here — the analyzer must stay silent.
+package server
+
+import "github.com/audb/audb/internal/obs"
+
+func testOnlyDiscard() {
+	obs.StartSpan("throwaway")
+}

@@ -1,0 +1,113 @@
+// Fixture for the obsspan analyzer, posing as internal/server: the
+// service layer starts request spans around every query, so a span
+// whose End can never run silently truncates the trace the \server and
+// \trace commands report. The shapes mirror the real session code —
+// sampled spans behind a nil guard, admission-wait children, hand-offs
+// to the recorder.
+package server
+
+import (
+	"github.com/audb/audb/internal/obs"
+)
+
+// recorder stands in for the server's trace ring.
+type recorder struct{ rec *obs.Recorder }
+
+func discarded() {
+	obs.StartSpan("request") // want `result of StartSpan\("request"\) is discarded`
+}
+
+func blankBound() {
+	_ = obs.StartSpan("request") // want `assigned to the blank identifier`
+}
+
+func neverEnded() {
+	sp := obs.StartSpan("request") // want `span sp from StartSpan\("request"\) is never ended or handed off`
+	sp.SetInt("id", 1)             // attribute calls alone do not end a span
+}
+
+func childDiscarded(sp *obs.Span) {
+	sp.StartChild("admission.wait") // want `result of StartChild\("admission.wait"\) is discarded`
+}
+
+func childNeverEnded(sp *obs.Span) {
+	wait := sp.StartChild("admission.wait") // want `span wait from StartChild\("admission.wait"\) is never ended`
+	wait.SetAttr("k", "v")
+}
+
+// --- clean shapes ---
+
+func endedDirectly() {
+	sp := obs.StartSpan("request")
+	sp.SetInt("id", 1)
+	sp.End()
+}
+
+func endedDeferred() {
+	sp := obs.StartSpan("request")
+	defer sp.End()
+}
+
+func childEnded(sp *obs.Span) {
+	wait := sp.StartChild("admission.wait")
+	wait.End()
+}
+
+func chainedEnd(sp *obs.Span) {
+	// The StartChild result is the receiver of End: used, not discarded.
+	sp.StartChild("execute").End()
+}
+
+func returned() *obs.Span {
+	sp := obs.StartSpan("request")
+	sp.SetAttr("k", "v")
+	return sp
+}
+
+func recorded(r *recorder) {
+	sp := obs.StartSpan("request")
+	sp.End()
+	r.rec.Record(sp) // hand-off by argument
+}
+
+func handedOffOnly(r *recorder) {
+	// Passing the span away delegates End to the receiver; a
+	// single-function analysis accepts the hand-off.
+	sp := obs.StartSpan("request")
+	r.rec.Record(sp)
+}
+
+func attached(root *obs.Span) {
+	child := root.StartChild("execute")
+	root.Attach(child) // hand-off by argument
+}
+
+type traced struct{ sp *obs.Span }
+
+func storedInField(t *traced) {
+	// Stored into a field: the span outlives this function; End is the
+	// holder's job.
+	t.sp = obs.StartSpan("request")
+}
+
+func storedOnward() *traced {
+	sp := obs.StartSpan("request")
+	return &traced{sp: sp} // escapes via composite literal
+}
+
+func nilGuarded(sample bool) {
+	// The real session shape: the span only exists on sampled requests.
+	var sp *obs.Span
+	if sample {
+		sp = obs.StartSpan("request")
+	}
+	work(sp)
+	if sp != nil {
+		sp.End()
+	}
+}
+
+func work(sp *obs.Span) {
+	ex := sp.StartChild("execute")
+	ex.End()
+}

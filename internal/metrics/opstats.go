@@ -66,39 +66,50 @@ type ExecStats struct {
 
 // String renders the analysis as an indented operator tree, one line per
 // operator with its strategy and counters — the format audbsh \analyze
-// prints.
+// prints. Every column is padded to the widest value in the tree, so
+// est=- lines align with est=<n> lines and large counts never shift
+// the columns to their right.
 func (s *ExecStats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "execution: %s (batch %d), total %s\n", s.Mode, s.BatchSize, fmtDur(s.Total))
 	if s.Root == nil {
 		return sb.String()
 	}
-	// Measure the operator column so counters align.
-	width := 0
-	var measure func(o *OpStats, depth int)
-	measure = func(o *OpStats, depth int) {
-		if w := 2*depth + len(o.Op); w > width {
-			width = w
-		}
-		for _, c := range o.Children {
-			measure(c, depth+1)
-		}
+	type row struct {
+		op, strategy, rows, est, batches, time, self string
 	}
-	measure(s.Root, 0)
-	var walk func(o *OpStats, depth int)
-	walk = func(o *OpStats, depth int) {
-		op := strings.Repeat("  ", depth) + o.Op
+	var rows []row
+	var wOp, wStrategy, wRows, wEst, wBatches int
+	var collect func(o *OpStats, depth int)
+	collect = func(o *OpStats, depth int) {
 		est := "-"
 		if o.HasEst {
 			est = fmt.Sprintf("%d", o.EstRows)
 		}
-		fmt.Fprintf(&sb, "%-*s  %-12s rows=%-8d est=%-8s batches=%-6d time=%s (self %s)\n",
-			width, op, o.Strategy, o.Rows, est, o.Batches, fmtDur(o.Elapsed), fmtDur(o.Self()))
+		r := row{
+			op:       strings.Repeat("  ", depth) + o.Op,
+			strategy: o.Strategy,
+			rows:     fmt.Sprintf("%d", o.Rows),
+			est:      est,
+			batches:  fmt.Sprintf("%d", o.Batches),
+			time:     fmtDur(o.Elapsed),
+			self:     fmtDur(o.Self()),
+		}
+		rows = append(rows, r)
+		wOp = max(wOp, len(r.op))
+		wStrategy = max(wStrategy, len(r.strategy))
+		wRows = max(wRows, len(r.rows))
+		wEst = max(wEst, len(r.est))
+		wBatches = max(wBatches, len(r.batches))
 		for _, c := range o.Children {
-			walk(c, depth+1)
+			collect(c, depth+1)
 		}
 	}
-	walk(s.Root, 0)
+	collect(s.Root, 0)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-*s  %-*s rows=%-*s est=%-*s batches=%-*s time=%s (self %s)\n",
+			wOp, r.op, wStrategy, r.strategy, wRows, r.rows, wEst, r.est, wBatches, r.batches, r.time, r.self)
+	}
 	return sb.String()
 }
 

@@ -40,6 +40,29 @@ func TestOpStatsSelfAndRender(t *testing.T) {
 	}
 }
 
+// TestOpStatsGolden pins the exact ExplainAnalyze rendering: columns
+// are padded to the widest value in the tree, so a mixed est=-/est=<n>
+// trace (cost model on, but no estimate for every operator) stays
+// aligned and wide counters never shift the columns after them.
+func TestOpStatsGolden(t *testing.T) {
+	leaf := &OpStats{Op: "Scan(t)", Strategy: "exchange(4)", Rows: 123456, Batches: 1930,
+		EstRows: 100000, HasEst: true, Elapsed: 3 * time.Millisecond}
+	mid := &OpStats{Op: "Select[(a < 3)]", Strategy: "stream", Rows: 40, Batches: 2,
+		Elapsed: 5 * time.Millisecond, Children: []*OpStats{leaf}}
+	root := &OpStats{Op: "Limit(5)", Strategy: "stream", Rows: 5, EstRows: 5, HasEst: true,
+		Batches: 1, Elapsed: 6 * time.Millisecond, Children: []*OpStats{mid}}
+	s := &ExecStats{Mode: "pipelined", BatchSize: 64, Total: 7 * time.Millisecond, Root: root}
+
+	want := "" +
+		"execution: pipelined (batch 64), total 7.00ms\n" +
+		"Limit(5)           stream      rows=5      est=5      batches=1    time=6.00ms (self 1.00ms)\n" +
+		"  Select[(a < 3)]  stream      rows=40     est=-      batches=2    time=5.00ms (self 2.00ms)\n" +
+		"    Scan(t)        exchange(4) rows=123456 est=100000 batches=1930 time=3.00ms (self 3.00ms)\n"
+	if got := s.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
 // TestOpStatsEstColumn: operators without an estimate render est=-, ones
 // with an estimate render the number — so a cost-off trace is visibly
 // distinct from an est-0 trace.

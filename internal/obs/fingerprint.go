@@ -1,0 +1,84 @@
+package obs
+
+import "strings"
+
+// Fingerprint normalizes a query so structurally identical statements
+// aggregate under one key in the slow-query log: string and numeric
+// literals become '?', ASCII letters lowercase, and whitespace runs
+// collapse to single spaces. Numbers embedded in identifiers (t1, x_2)
+// are kept — only standalone literals are masked.
+func Fingerprint(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	inIdent := false // previous emitted byte continues an identifier
+	for i := 0; i < len(q); {
+		c := q[i]
+		switch {
+		case c == '\'':
+			// String literal: skip to the closing quote ('' escapes).
+			i++
+			for i < len(q) {
+				if q[i] == '\'' {
+					if i+1 < len(q) && q[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			b.WriteByte('?')
+			inIdent = false
+		case c >= '0' && c <= '9':
+			if inIdent {
+				// Digit inside an identifier: keep it.
+				b.WriteByte(c)
+				i++
+				continue
+			}
+			// Standalone numeric literal (digits, dot, exponent).
+			i++
+			for i < len(q) && isNumByte(q, i) {
+				i++
+			}
+			b.WriteByte('?')
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+			for i < len(q) && (q[i] == ' ' || q[i] == '\t' || q[i] == '\n' || q[i] == '\r') {
+				i++
+			}
+			b.WriteByte(' ')
+			inIdent = false
+		default:
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+			inIdent = c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+			i++
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// isNumByte reports whether q[i] continues a numeric literal.
+func isNumByte(q string, i int) bool {
+	c := q[i]
+	if (c >= '0' && c <= '9') || c == '.' {
+		return true
+	}
+	if c == 'e' || c == 'E' {
+		// Exponent marker only if followed by a digit or sign+digit.
+		if i+1 < len(q) && (q[i+1] >= '0' && q[i+1] <= '9') {
+			return true
+		}
+		if i+2 < len(q) && (q[i+1] == '+' || q[i+1] == '-') && q[i+2] >= '0' && q[i+2] <= '9' {
+			return true
+		}
+	}
+	if (c == '+' || c == '-') && i > 0 && (q[i-1] == 'e' || q[i-1] == 'E') {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "testing"
+
+func TestFingerprint(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT x FROM t WHERE y = 3", "select x from t where y = ?"},
+		{"select  x\nfrom t where y=3 and z='abc'", "select x from t where y=? and z=?"},
+		{"SELECT * FROM t1 WHERE x2 > 10", "select * from t1 where x2 > ?"},
+		{"select 1.5e-3, 'it''s'", "select ?, ?"},
+		{"  select   1  ", "select ?"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Fingerprint(c.in); got != c.want {
+			t.Errorf("Fingerprint(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Structurally identical statements share a fingerprint.
+	a := Fingerprint("SELECT x FROM t WHERE y = 1")
+	b := Fingerprint("select x from t where y = 99999")
+	if a != b {
+		t.Errorf("fingerprints differ: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the operational HTTP surface audbd exposes behind
+// -metrics-addr: /metrics renders every given registry in Prometheus
+// text exposition format, /healthz answers liveness probes, and
+// /debug/pprof/* serves the standard runtime profiles.
+func Handler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			r.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

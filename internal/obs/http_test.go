@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("one_total", "first registry").Add(1)
+	reg2 := NewRegistry()
+	reg2.Counter("two_total", "second registry").Add(2)
+	srv := httptest.NewServer(Handler(reg, reg2))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "one_total 1") || !strings.Contains(body, "two_total 2") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body = get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// pprof index must answer; profiles themselves are exercised enough
+	// by being the stdlib handlers.
+	if code, _ = get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestSlowQueryHook: fast queries stay silent, slow and failed ones
+// emit one structured line with the promised fields.
+func TestSlowQueryHook(t *testing.T) {
+	var buf bytes.Buffer
+	hook := SlowQueryHook(slog.New(slog.NewJSONHandler(&buf, nil)), 10*time.Millisecond)
+
+	hook(QueryInfo{Fingerprint: "select ?", Engine: "native", Duration: time.Millisecond})
+	if buf.Len() != 0 {
+		t.Fatalf("fast query logged: %s", buf.String())
+	}
+
+	hook(QueryInfo{
+		Fingerprint: "select x from t where y = ?",
+		Engine:      "native", ExecMode: "pipelined",
+		Duration: 25 * time.Millisecond,
+		Rows:     10, EstRows: 40, HasEst: true,
+	})
+	line := buf.String()
+	for _, want := range []string{
+		`"msg":"slow query"`,
+		`"fingerprint":"select x from t where y = ?"`,
+		`"engine":"native"`,
+		`"exec_mode":"pipelined"`,
+		`"rows":10`,
+		`"est_rows":40`,
+		`"card_error":4`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %s:\n%s", want, line)
+		}
+	}
+
+	buf.Reset()
+	hook(QueryInfo{Fingerprint: "select ?", Engine: "native", Duration: time.Millisecond, ErrCode: "timeout"})
+	if !strings.Contains(buf.String(), `"error":"timeout"`) {
+		t.Errorf("failed query not logged: %s", buf.String())
+	}
+}
+
+func TestCardinalityError(t *testing.T) {
+	cases := []struct {
+		qi   QueryInfo
+		want float64
+	}{
+		{QueryInfo{HasEst: false, EstRows: 5, Rows: 50}, 0},
+		{QueryInfo{HasEst: true, EstRows: 10, Rows: 10}, 1},
+		{QueryInfo{HasEst: true, EstRows: 10, Rows: 40}, 4},
+		{QueryInfo{HasEst: true, EstRows: 40, Rows: 10}, 4},
+		{QueryInfo{HasEst: true, EstRows: 0, Rows: 0}, 1},
+	}
+	for _, c := range cases {
+		if got := c.qi.CardinalityError(); got != c.want {
+			t.Errorf("CardinalityError(est=%d rows=%d) = %v, want %v", c.qi.EstRows, c.qi.Rows, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------- counter --
+
+// counterShards stripes a counter across cache lines; picked by a
+// cheap per-goroutine random so concurrent writers rarely contend.
+const counterShards = 8
+
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte // pad to a cache line so shards do not false-share
+}
+
+// Counter is a monotonically increasing metric. Add is wait-free and
+// allocation-free; Value sums the shards (each shard is atomic, so the
+// total is exact once writers quiesce). A nil Counter drops updates.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[rand.Uint64()%counterShards].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// ------------------------------------------------------------ gauge --
+
+// Gauge is an instantaneous value (queue depth, active connections).
+// A nil Gauge drops updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// -------------------------------------------------------- histogram --
+
+// histBuckets covers sub-microsecond through (2^38-1)µs ≈ 76h; the
+// last bucket absorbs anything longer.
+const histBuckets = 40
+
+// Histogram records durations in power-of-two microsecond buckets:
+// bucket i counts observations v with bits.Len64(µs(v)) == i, i.e.
+// inclusive upper bound 2^i−1 µs (bucket 0 holds sub-microsecond
+// observations). Observe is atomic and allocation-free; quantiles are
+// extracted from the log-bucketed distribution as upper bounds. A nil
+// Histogram drops observations.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load()) * time.Microsecond
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the
+// upper edge of the first bucket whose cumulative count reaches q of
+// the total. An empty histogram reports 0; sub-microsecond
+// observations land in bucket 0, whose upper edge is 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > 0 && float64(cum) >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is bucket i's inclusive upper bound, 2^i−1 µs.
+func bucketUpper(i int) time.Duration {
+	return time.Duration((int64(1)<<i)-1) * time.Microsecond
+}
+
+// --------------------------------------------------------- registry --
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one instance inside a family: unlabeled (labelVal "") or
+// one value of the family's single label dimension.
+type metric struct {
+	labelVal string
+	c        *Counter
+	g        *Gauge
+	fn       func() int64
+	h        *Histogram
+}
+
+// family groups the metrics sharing one name (and at most one label
+// dimension, which covers every consumer in this module).
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string
+
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]*metric
+}
+
+func (f *family) get(labelVal string) *metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[labelVal]; ok {
+		return m
+	}
+	m := &metric{labelVal: labelVal}
+	switch f.kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	f.metrics[labelVal] = m
+	f.order = append(f.order, labelVal)
+	return m
+}
+
+// snapshot returns the family's metrics in registration order.
+func (f *family) snapshot() []*metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*metric, 0, len(f.order))
+	for _, k := range f.order {
+		out = append(out, f.metrics[k])
+	}
+	return out
+}
+
+// Registry holds named metric families and renders them in Prometheus
+// text exposition format or as a human-readable snapshot. Registration
+// is get-or-create, so handles can be resolved once and kept.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, label string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic("obs: metric " + name + " re-registered with a different kind or label")
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label, metrics: map[string]*metric{}}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// families returns the registered families in registration order.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.fams...)
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, "").get("").c
+}
+
+// CounterVec registers a counter family with one label dimension.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, label)}
+}
+
+// CounterVec hands out per-label-value counters from one family.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the counter for one label value, creating it on first
+// use. Resolve hot-path label values once and keep the handle.
+func (v *CounterVec) With(value string) *Counter {
+	return v.f.get(value).c
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, "").get("").g
+}
+
+// GaugeFunc registers a gauge whose value is pulled from fn at render
+// time — for values the owner already tracks (in-flight queries).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.family(name, help, kindGaugeFunc, "").get("").fn = fn
+}
+
+// Histogram registers (or finds) an unlabeled latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.family(name, help, kindHistogram, "").get("").h
+}
+
+// HistogramVec registers a histogram family with one label dimension.
+func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, label)}
+}
+
+// HistogramVec hands out per-label-value histograms from one family.
+type HistogramVec struct {
+	f *family
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.f.get(value).h
+}
+
+// ---------------------------------------------------------- render --
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// series renders the metric name plus its label pairs (if any).
+func series(name, label, labelVal, extraLabel, extraVal string) string {
+	var pairs []string
+	if label != "" {
+		pairs = append(pairs, label+`="`+escapeLabel(labelVal)+`"`)
+	}
+	if extraLabel != "" {
+		pairs = append(pairs, extraLabel+`="`+extraVal+`"`)
+	}
+	if len(pairs) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (histograms as cumulative buckets with le bounds in seconds).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, f := range r.families() {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, m := range f.snapshot() {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s %d\n", series(f.name, f.label, m.labelVal, "", ""), m.c.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s %d\n", series(f.name, f.label, m.labelVal, "", ""), m.g.Value())
+			case kindGaugeFunc:
+				var v int64
+				if m.fn != nil {
+					v = m.fn()
+				}
+				fmt.Fprintf(w, "%s %d\n", series(f.name, f.label, m.labelVal, "", ""), v)
+			case kindHistogram:
+				writePromHistogram(w, f, m)
+			}
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, f *family, m *metric) {
+	h := m.h
+	// Find the highest used bucket so the exposition stays compact.
+	maxUsed := 0
+	counts := make([]int64, histBuckets)
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			maxUsed = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= maxUsed; i++ {
+		cum += counts[i]
+		le := strconv.FormatFloat(float64(bucketUpper(i))/float64(time.Second), 'g', -1, 64)
+		fmt.Fprintf(w, "%s %d\n", series(f.name+"_bucket", f.label, m.labelVal, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", series(f.name+"_bucket", f.label, m.labelVal, "le", "+Inf"), h.Count())
+	sum := strconv.FormatFloat(float64(h.Sum())/float64(time.Second), 'g', -1, 64)
+	fmt.Fprintf(w, "%s %s\n", series(f.name+"_sum", f.label, m.labelVal, "", ""), sum)
+	fmt.Fprintf(w, "%s %d\n", series(f.name+"_count", f.label, m.labelVal, "", ""), h.Count())
+}
+
+// Snapshot renders a compact human-readable view: one line per series,
+// histograms summarized as count plus p50/p95/p99 upper bounds. Lines
+// within a family are sorted by label value for stable output.
+func (r *Registry) Snapshot() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range r.families() {
+		ms := f.snapshot()
+		sort.Slice(ms, func(i, j int) bool { return ms[i].labelVal < ms[j].labelVal })
+		for _, m := range ms {
+			name := series(f.name, f.label, m.labelVal, "", "")
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s %d\n", name, m.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s %d\n", name, m.g.Value())
+			case kindGaugeFunc:
+				var v int64
+				if m.fn != nil {
+					v = m.fn()
+				}
+				fmt.Fprintf(&b, "%s %d\n", name, v)
+			case kindHistogram:
+				fmt.Fprintf(&b, "%s count=%d p50=%s p95=%s p99=%s\n", name,
+					m.h.Count(), fmtDur(m.h.Quantile(0.50)), fmtDur(m.h.Quantile(0.95)), fmtDur(m.h.Quantile(0.99)))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one striped counter from many
+// goroutines (run under -race in CI) and checks the total is exact.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("Value() = %d, want %d", got, workers*each)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Value() = %d, want 10", got)
+	}
+}
+
+// TestHistogramQuantileEmpty: no observations → every quantile is 0.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram Count=%d Sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramQuantileSingle: one observation — every quantile is
+// that observation's bucket upper bound.
+func TestHistogramQuantileSingle(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	// 100µs lands in bucket bits.Len64(100)=7, upper bound 2^7−1 = 127µs.
+	want := 127 * time.Microsecond
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count() = %d, want 1", h.Count())
+	}
+}
+
+// TestHistogramQuantileBoundaries pins the bucket edges: values 2^k−1
+// and 2^k µs fall in adjacent buckets, and quantile extraction walks
+// the cumulative counts to the correct edge.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	var h Histogram
+	// 0µs → bucket 0 (upper 0); 1µs → bucket 1 (upper 1µs);
+	// 2µs and 3µs → bucket 2 (upper 3µs); 4µs → bucket 3 (upper 7µs).
+	for _, us := range []int64{0, 1, 2, 3, 4} {
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.20, 0},                    // first of 5 → bucket 0
+		{0.40, 1 * time.Microsecond}, // second → bucket 1
+		{0.80, 3 * time.Microsecond}, // third+fourth → bucket 2
+		{1.00, 7 * time.Microsecond}, // fifth → bucket 3
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramOverflow: absurdly long observations land in the last
+// bucket rather than indexing out of range.
+func TestHistogramOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(200 * time.Hour)
+	h.Observe(-time.Second) // negative clamps to 0
+	if h.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != bucketUpper(histBuckets-1) {
+		t.Fatalf("Quantile(1) = %v, want top bucket %v", got, bucketUpper(histBuckets-1))
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("audb_test_total", "test counter").Add(3)
+	reg.CounterVec("audb_errors_total", "errors by code", "code").With("timeout").Add(2)
+	reg.Gauge("audb_depth", "queue depth").Set(5)
+	reg.GaugeFunc("audb_pulled", "pulled gauge", func() int64 { return 9 })
+	reg.Histogram("audb_latency_seconds", "latency").Observe(2 * time.Microsecond)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP audb_test_total test counter",
+		"# TYPE audb_test_total counter",
+		"audb_test_total 3",
+		`audb_errors_total{code="timeout"} 2`,
+		"audb_depth 5",
+		"audb_pulled 9",
+		"# TYPE audb_latency_seconds histogram",
+		`audb_latency_seconds_bucket{le="+Inf"} 1`,
+		"audb_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c").Add(4)
+	h := reg.Histogram("lat", "l")
+	h.Observe(time.Millisecond)
+	snap := reg.Snapshot()
+	if !strings.Contains(snap, "c_total 4") {
+		t.Errorf("snapshot missing counter:\n%s", snap)
+	}
+	if !strings.Contains(snap, "lat count=1 p50=") {
+		t.Errorf("snapshot missing histogram summary:\n%s", snap)
+	}
+}
+
+// TestRegistryReuse: registering the same name again returns the same
+// underlying metric, so handles can be resolved idempotently.
+func TestRegistryReuse(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same", "x")
+	b := reg.Counter("same", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("same", "x")
+}

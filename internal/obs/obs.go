@@ -1,0 +1,224 @@
+// Package obs is the zero-dependency observability layer: lightweight
+// span tracing for the query lifecycle, striped counters, gauges and
+// log-bucketed latency histograms with a Prometheus text exposition,
+// and the structured slow-query hook audbd wires into log/slog.
+//
+// Everything is built to cost nothing when unused. A nil *Span is a
+// valid no-op receiver (StartChild returns nil, End and SetAttr do
+// nothing), SpanFrom on a context that carries no span returns nil
+// without allocating, and a nil *Counter/*Gauge/*Histogram swallows
+// updates. TestObsDisabledZeroAlloc holds that disabled path to zero
+// allocations so instrumentation can ride on every hot path.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed region of a trace. Fields are exported so
+// producers that already measured their work (optimizer rule steps,
+// per-operator ExecStats) can attach pre-timed spans via Attach
+// without going through StartChild/End.
+//
+// A span tree is built by one goroutine; only the finished tree may be
+// shared (the Recorder hands out completed roots).
+type Span struct {
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []Attr
+	Children []*Span
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild begins a child span. On a nil receiver it returns nil, so
+// an untraced request pays only the nil checks.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End stamps the span's duration. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+}
+
+// Attach adds an already-timed child span (Dur set by the producer).
+func (s *Span) Attach(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.Children = append(s.Children, c)
+}
+
+// SetAttr annotates the span. No-op on nil.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// SetInt annotates the span with an integer value. No-op on nil.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: strconv.FormatInt(val, 10)})
+}
+
+// String renders the span tree, one line per span, children indented.
+func (s *Span) String() string {
+	var b strings.Builder
+	s.write(&b, 0)
+	return b.String()
+}
+
+func (s *Span) write(b *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Name)
+	b.WriteString("  ")
+	b.WriteString(fmtDur(s.Dur))
+	for _, a := range s.Attrs {
+		b.WriteString("  ")
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Val)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.write(b, depth+1)
+	}
+}
+
+// fmtDur trims a duration to a readable precision for span output.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying s. A nil span returns ctx
+// unchanged, so callers can thread an optional span unconditionally.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil. The nil path does
+// not allocate.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Recorder keeps the most recent completed root spans in a fixed ring,
+// admitting only one request in every sampleEvery so tracing under
+// load stays cheap. A nil Recorder never samples and drops records.
+type Recorder struct {
+	sampleEvery uint64
+	seq         atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []*Span
+	next  int
+	total int
+}
+
+// NewRecorder returns a ring of the given capacity (default 32)
+// sampling one request in every sampleEvery (default 1: every request).
+func NewRecorder(capacity, sampleEvery int) *Recorder {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	return &Recorder{ring: make([]*Span, capacity), sampleEvery: uint64(sampleEvery)}
+}
+
+// Sample reports whether the caller should trace this request: true
+// once per sampleEvery calls, starting with the first.
+func (r *Recorder) Sample() bool {
+	if r == nil {
+		return false
+	}
+	return (r.seq.Add(1)-1)%r.sampleEvery == 0
+}
+
+// Record stores a completed root span, evicting the oldest.
+func (r *Recorder) Record(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Traces returns the recorded spans, oldest first.
+func (r *Recorder) Traces() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Span
+	n := len(r.ring)
+	for i := 0; i < n; i++ {
+		if s := r.ring[(r.next+i)%n]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Total reports how many spans have ever been recorded (including
+// evicted ones).
+func (r *Recorder) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

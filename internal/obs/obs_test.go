@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("query")
+	root.SetAttr("sql", "select 1")
+	child := root.StartChild("parse")
+	child.SetInt("tokens", 3)
+	child.End()
+	root.Attach(&Span{Name: "rule fold-constants", Dur: 5 * time.Microsecond})
+	root.End()
+
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(root.Children))
+	}
+	out := root.String()
+	for _, want := range []string{"query", "sql=select 1", "  parse", "tokens=3", "  rule fold-constants"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanNilSafe: the whole span API must be callable through nil so
+// untraced paths need no branches beyond the receiver check.
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("StartChild on nil returned a span")
+	}
+	c.SetAttr("k", "v")
+	c.SetInt("n", 1)
+	c.Attach(&Span{Name: "y"})
+	c.End()
+	if got := c.String(); got != "" {
+		t.Fatalf("nil span renders %q, want empty", got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if s := SpanFrom(ctx); s != nil {
+		t.Fatal("SpanFrom on a bare context returned a span")
+	}
+	root := StartSpan("r")
+	ctx = WithSpan(ctx, root)
+	if s := SpanFrom(ctx); s != root {
+		t.Fatal("SpanFrom did not return the carried span")
+	}
+	if got := WithSpan(context.Background(), nil); got != context.Background() {
+		t.Fatal("WithSpan(nil) should return the context unchanged")
+	}
+}
+
+func TestRecorderRingAndSampling(t *testing.T) {
+	r := NewRecorder(2, 3)
+	// Sampling admits the 1st, 4th, 7th, ... call.
+	var admitted []int
+	for i := 1; i <= 7; i++ {
+		if r.Sample() {
+			admitted = append(admitted, i)
+		}
+	}
+	if len(admitted) != 3 || admitted[0] != 1 || admitted[1] != 4 || admitted[2] != 7 {
+		t.Fatalf("sampled calls = %v, want [1 4 7]", admitted)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		r.Record(&Span{Name: name})
+	}
+	got := r.Traces()
+	if len(got) != 2 || got[0].Name != "b" || got[1].Name != "c" {
+		t.Fatalf("ring kept %v, want oldest-first [b c]", names(got))
+	}
+	if r.Total() != 3 {
+		t.Fatalf("Total() = %d, want 3", r.Total())
+	}
+}
+
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder
+	if r.Sample() {
+		t.Fatal("nil recorder sampled")
+	}
+	r.Record(&Span{Name: "x"})
+	if r.Traces() != nil || r.Total() != 0 {
+		t.Fatal("nil recorder retained state")
+	}
+}
+
+func names(ss []*Span) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// TestObsDisabledZeroAlloc is the hot-path gate: the exact per-query
+// instrumentation sequence the Database and server run when tracing is
+// off — context lookup, nil-span navigation, counter/gauge/histogram
+// updates, an unsampling recorder — must not allocate. CI runs this by
+// name; it is what keeps BenchmarkPipe* and BenchmarkStmtExec* honest.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	reg := NewRegistry()
+	byEngine := reg.CounterVec("q_total", "", "engine").With("native")
+	gauge := reg.Gauge("inflight", "")
+	hist := reg.Histogram("lat", "")
+	var nilCounter *Counter
+	var nilRec *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Tracing off: no span in the context, children are nil.
+		sp := SpanFrom(ctx)
+		child := sp.StartChild("execute")
+		child.SetInt("rows", 1)
+		child.End()
+		sp.End()
+		// Metrics on (they always are): pre-resolved handles only.
+		byEngine.Add(1)
+		gauge.Inc()
+		hist.Observe(42 * time.Microsecond)
+		gauge.Dec()
+		// Absent optional instruments are nil and must stay free.
+		nilCounter.Add(1)
+		if nilRec.Sample() {
+			t.Fatal("nil recorder sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %.1f per op, want 0", allocs)
+	}
+}

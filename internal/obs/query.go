@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// QueryInfo describes one completed query, delivered to the Database's
+// query hook. It is only assembled when a hook is installed, so the
+// default path pays nothing for it.
+type QueryInfo struct {
+	Query       string        // original statement text ("" for pre-compiled plans)
+	Fingerprint string        // normalized statement (see Fingerprint)
+	Engine      string        // engine that ran it (native, rewrite, sgw)
+	ExecMode    string        // physical mode for the native engine ("" otherwise)
+	Duration    time.Duration // wall time inside dispatch
+	Rows        int64         // result cardinality (0 on error)
+	EstRows     int64         // optimizer's root cardinality estimate
+	HasEst      bool          // whether EstRows is meaningful
+	ErrCode     string        // wire-stable error code, "" on success
+}
+
+// CardinalityError is the q-error between the optimizer's estimate and
+// the actual result size: max(est,rows)/min(est,rows) with both
+// clamped to ≥1, so 1.0 is a perfect estimate. 0 when no estimate.
+func (q QueryInfo) CardinalityError() float64 {
+	if !q.HasEst {
+		return 0
+	}
+	est, act := float64(q.EstRows), float64(q.Rows)
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// SlowQueryHook returns a query hook that emits one structured log
+// line for every query at least threshold slow (and for every failed
+// query, which is always worth a line). This is what audbd installs
+// behind -slow-query-ms.
+func SlowQueryHook(l *slog.Logger, threshold time.Duration) func(QueryInfo) {
+	return func(qi QueryInfo) {
+		if qi.Duration < threshold && qi.ErrCode == "" {
+			return
+		}
+		attrs := []slog.Attr{
+			slog.String("fingerprint", qi.Fingerprint),
+			slog.String("engine", qi.Engine),
+			slog.Float64("duration_ms", float64(qi.Duration)/float64(time.Millisecond)),
+			slog.Int64("rows", qi.Rows),
+		}
+		if qi.ExecMode != "" {
+			attrs = append(attrs, slog.String("exec_mode", qi.ExecMode))
+		}
+		if qi.HasEst {
+			attrs = append(attrs,
+				slog.Int64("est_rows", qi.EstRows),
+				slog.Float64("card_error", qi.CardinalityError()))
+		}
+		if qi.ErrCode != "" {
+			attrs = append(attrs, slog.String("error", qi.ErrCode))
+		}
+		l.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+	}
+}

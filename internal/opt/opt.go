@@ -49,6 +49,7 @@ package opt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/audb/audb/internal/ra"
 )
@@ -67,6 +68,10 @@ type Step struct {
 	Pass int
 	// Plan is the rendered plan after the rule applied.
 	Plan string
+	// Elapsed is the rule application's wall time. It is measured only
+	// on the trace path (OptimizeTrace), where rendering already makes
+	// the pass observation-grade; plain Optimize leaves it zero.
+	Elapsed time.Duration
 }
 
 // Trace is the optimization record surfaced by EXPLAIN.
@@ -159,16 +164,25 @@ func checkNoNil(n ra.Node) error {
 // The input is not mutated. Optimization requires a catalog because
 // several rules need input arities and attribute names.
 func Optimize(n ra.Node, cat ra.Catalog) (ra.Node, error) {
-	out, _, err := optimize(n, cat, false)
+	out, _, err := optimize(n, cat, false, nil)
+	return out, err
+}
+
+// OptimizeObserved is Optimize with a per-rule hit callback: onRule is
+// invoked with the rule name for every effective application. The
+// callback must be cheap (the session layer feeds it a counter); the
+// plan-rendering trace machinery stays off.
+func OptimizeObserved(n ra.Node, cat ra.Catalog, onRule func(string)) (ra.Node, error) {
+	out, _, err := optimize(n, cat, false, onRule)
 	return out, err
 }
 
 // OptimizeTrace is Optimize with a per-rule application trace.
 func OptimizeTrace(n ra.Node, cat ra.Catalog) (ra.Node, *Trace, error) {
-	return optimize(n, cat, true)
+	return optimize(n, cat, true, nil)
 }
 
-func optimize(n ra.Node, cat ra.Catalog, withTrace bool) (ra.Node, *Trace, error) {
+func optimize(n ra.Node, cat ra.Catalog, withTrace bool, onRule func(string)) (ra.Node, *Trace, error) {
 	if err := checkNoNil(n); err != nil {
 		return nil, nil, err
 	}
@@ -189,6 +203,10 @@ func optimize(n ra.Node, cat ra.Catalog, withTrace bool) (ra.Node, *Trace, error
 		}
 		changed := false
 		for _, r := range rules() {
+			var t0 time.Time
+			if withTrace {
+				t0 = time.Now()
+			}
 			next, err := r.apply(cat, cur)
 			if err != nil {
 				return nil, nil, fmt.Errorf("opt: rule %s: %w", r.name, err)
@@ -199,8 +217,11 @@ func optimize(n ra.Node, cat ra.Catalog, withTrace bool) (ra.Node, *Trace, error
 			if !ra.Equal(next, cur) {
 				cur = next
 				changed = true
+				if onRule != nil {
+					onRule(r.name)
+				}
 				if withTrace {
-					tr.Steps = append(tr.Steps, Step{Rule: r.name, Pass: pass, Plan: ra.Render(cur)})
+					tr.Steps = append(tr.Steps, Step{Rule: r.name, Pass: pass, Plan: ra.Render(cur), Elapsed: time.Since(t0)})
 				}
 			}
 		}

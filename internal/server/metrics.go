@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/audb/audb/internal/obs"
+)
+
+// serverMetrics holds audbd's pre-resolved metric handles (audbd_*
+// namespace; the embedded database registers its own audb_* registry).
+// Handles are resolved once at construction so the per-request path is
+// pure atomic updates.
+type serverMetrics struct {
+	reg         *obs.Registry
+	connections *obs.Gauge      // live sessions
+	sessions    *obs.Counter    // sessions ever accepted
+	requests    *obs.Counter    // requests dispatched (all message kinds)
+	errors      *obs.CounterVec // error responses, by wire code
+	queueDepth  *obs.Gauge      // requests waiting for an execution slot
+	queueWait   *obs.Histogram  // admission-queue wait of delayed requests
+	copyTuples  *obs.Counter    // tuples ingested over COPY
+	bytesIn     *obs.Counter    // wire bytes read (frame headers included)
+	bytesOut    *obs.Counter    // wire bytes written
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg}
+	m.connections = reg.Gauge("audbd_connections_active", "live client sessions")
+	m.sessions = reg.Counter("audbd_sessions_total", "client sessions ever accepted")
+	m.requests = reg.Counter("audbd_requests_total", "requests dispatched to the executor")
+	m.errors = reg.CounterVec("audbd_errors_total", "error responses, by wire code", "code")
+	m.queueDepth = reg.Gauge("audbd_queue_depth", "requests waiting for an execution slot")
+	m.queueWait = reg.Histogram("audbd_queue_wait_seconds", "admission-queue wait of requests that found no free slot")
+	m.copyTuples = reg.Counter("audbd_copy_tuples_total", "tuples ingested over COPY")
+	m.bytesIn = reg.Counter("audbd_bytes_in_total", "wire bytes read from clients")
+	m.bytesOut = reg.Counter("audbd_bytes_out_total", "wire bytes written to clients")
+	reg.GaugeFunc("audbd_queries_in_flight", "queries executing right now", func() int64 {
+		return s.inFlight.Load()
+	})
+	return m
+}
+
+// Metrics returns the server's own registry (audbd_* series: sessions,
+// admission queue, errors by code, wire byte totals). Serve it together
+// with the database's registry: obs.Handler(srv.Metrics(), db.Metrics()).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// StatsText renders the server and database metric snapshots plus the
+// most recent sampled request traces — the \server answer.
+func (s *Server) StatsText() string {
+	var b strings.Builder
+	b.WriteString("# server\n")
+	b.WriteString(s.met.reg.Snapshot())
+	b.WriteString("\n# database\n")
+	b.WriteString(s.db.Metrics().Snapshot())
+	if traces := s.rec.Traces(); len(traces) > 0 {
+		fmt.Fprintf(&b, "\n# recent traces (%d kept of %d sampled)\n", len(traces), s.rec.Total())
+		for _, t := range traces {
+			b.WriteString(t.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/server"
+	"github.com/audb/audb/internal/testutil"
+	"github.com/audb/audb/internal/wire"
+)
+
+// TestTraceRequest: a Trace request runs the query and answers with the
+// rendered span tree — the server's admission wait and wire-encode
+// spans framing the database's parse/optimize/execute lifecycle.
+func TestTraceRequest(t *testing.T) {
+	testutil.NoLeaks(t)
+	addr, _ := startServer(t, server.Config{})
+	rc := dialRaw(t, addr)
+	rc.hello()
+	rc.send(wire.Trace{ID: 1, SQL: `SELECT x FROM t WHERE y < 2`})
+	tr, ok := rc.read().(wire.TraceResult)
+	if !ok || tr.ID != 1 {
+		t.Fatalf("expected TraceResult{ID:1}, got %+v", tr)
+	}
+	for _, span := range []string{"request", "admission.wait", "query", "parse", "execute", "wire.encode", "bytes="} {
+		if !strings.Contains(tr.Text, span) {
+			t.Errorf("trace missing %q:\n%s", span, tr.Text)
+		}
+	}
+	// A bad query answers with a normal Error frame.
+	rc.send(wire.Trace{ID: 2, SQL: `SELECT nope FROM t`})
+	rc.wantError(2, wire.CodeSQL)
+	// Trace refuses the uninstrumented engines like ExplainAnalyze does.
+	rc.send(wire.Trace{ID: 3, SQL: `SELECT x FROM t`, Opts: wire.ExecOptions{Engine: 2}})
+	rc.wantError(3, wire.CodeSQL)
+}
+
+// TestServerStatsRequest: ServerStats renders both registries and the
+// sampled request traces; the counters reflect the session's activity.
+func TestServerStatsRequest(t *testing.T) {
+	testutil.NoLeaks(t)
+	addr, _ := startServer(t, server.Config{TraceSample: 1})
+	rc := dialRaw(t, addr)
+	rc.hello()
+	rc.send(wire.Query{ID: 1, SQL: `SELECT x FROM t`})
+	if _, ok := rc.read().(wire.Result); !ok {
+		t.Fatal("query failed")
+	}
+	rc.send(wire.Query{ID: 2, SQL: `SELECT broken FROM t`})
+	rc.wantError(2, wire.CodeSQL)
+
+	rc.send(wire.ServerStats{ID: 3})
+	st, ok := rc.read().(wire.ServerStatsResult)
+	if !ok || st.ID != 3 {
+		t.Fatalf("expected ServerStatsResult{ID:3}, got %+v", st)
+	}
+	for _, want := range []string{
+		"# server",
+		"audbd_connections_active 1",
+		"audbd_sessions_total 1",
+		"audbd_requests_total",
+		`audbd_errors_total{code="sql"} 1`,
+		"audbd_bytes_in_total",
+		"audbd_bytes_out_total",
+		"# database",
+		`audb_queries_total{engine="native"}`,
+		"# recent traces",
+		"admission.wait",
+	} {
+		if !strings.Contains(st.Text, want) {
+			t.Errorf("server stats missing %q:\n%s", want, st.Text)
+		}
+	}
+}
+
+// TestServerMetricsRegistry: the registry is live without any wire
+// request — the path the HTTP /metrics endpoint uses — and byte
+// counters account both directions of the conversation.
+func TestServerMetricsRegistry(t *testing.T) {
+	testutil.NoLeaks(t)
+	addr, srv := startServer(t, server.Config{})
+	rc := dialRaw(t, addr)
+	rc.hello()
+	rc.send(wire.Query{ID: 1, SQL: `SELECT x FROM t`})
+	if _, ok := rc.read().(wire.Result); !ok {
+		t.Fatal("query failed")
+	}
+	var sb strings.Builder
+	srv.Metrics().WritePrometheus(&sb)
+	prom := sb.String()
+	for _, want := range []string{
+		"# TYPE audbd_sessions_total counter",
+		"audbd_sessions_total 1",
+		"audbd_queries_in_flight 0",
+		"audbd_queue_depth 0",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, prom)
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	if !strings.Contains(snap, "audbd_bytes_in_total") || !strings.Contains(snap, "audbd_bytes_out_total") {
+		t.Fatalf("byte counters missing:\n%s", snap)
+	}
+}
+
+// TestTraceSamplingOff: TraceSample < 0 disables the sampled ring —
+// ordinary queries record nothing — but explicit Trace requests still
+// answer with a full span tree.
+func TestTraceSamplingOff(t *testing.T) {
+	testutil.NoLeaks(t)
+	addr, _ := startServer(t, server.Config{TraceSample: -1})
+	rc := dialRaw(t, addr)
+	rc.hello()
+	rc.send(wire.Query{ID: 1, SQL: `SELECT x FROM t`})
+	if _, ok := rc.read().(wire.Result); !ok {
+		t.Fatal("query failed")
+	}
+	rc.send(wire.ServerStats{ID: 2})
+	st, ok := rc.read().(wire.ServerStatsResult)
+	if !ok {
+		t.Fatal("expected ServerStatsResult")
+	}
+	if strings.Contains(st.Text, "# recent traces") {
+		t.Fatalf("sampling disabled but traces recorded:\n%s", st.Text)
+	}
+	rc.send(wire.Trace{ID: 3, SQL: `SELECT x FROM t`})
+	tr, ok := rc.read().(wire.TraceResult)
+	if !ok || !strings.Contains(tr.Text, "parse") {
+		t.Fatalf("explicit trace broken with sampling off: %+v", tr)
+	}
+}
+
+// TestCopyTupleCounter: COPY ingestion moves the tuple counter.
+func TestCopyTupleCounter(t *testing.T) {
+	testutil.NoLeaks(t)
+	addr, srv := startServer(t, server.Config{})
+	rc := dialRaw(t, addr)
+	rc.hello()
+	rc.send(wire.CopyBegin{ID: 1, Table: "u", Cols: []string{"x"}})
+	rc.send(wire.CopyData{ID: 1, Tuples: tuples(1, 7)})
+	rc.send(wire.CopyEnd{ID: 1})
+	if ok, isOK := rc.read().(wire.CopyOK); !isOK || ok.Rows != 7 {
+		t.Fatalf("CopyOK = %+v", ok)
+	}
+	if snap := srv.Metrics().Snapshot(); !strings.Contains(snap, "audbd_copy_tuples_total 7") {
+		t.Fatalf("copy tuple counter missing:\n%s", snap)
+	}
+	// The stream itself is traced (first request sampled at 1-in-16):
+	// one span per COPY, table and tuple count attached.
+	text := srv.StatsText()
+	for _, want := range []string{"copy", "table=u", "tuples=7"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("StatsText missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/audb/audb"
+	"github.com/audb/audb/internal/obs"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown closes the
@@ -54,6 +55,11 @@ type Config struct {
 	MaxFrame int
 	// Logf receives connection-level log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// TraceSample controls request-trace sampling: one request in every
+	// TraceSample is traced into the ring the ServerStats request
+	// reports. 0 means 16; negative disables sampling (explicit Trace
+	// requests are still always traced and recorded).
+	TraceSample int
 }
 
 // Server serves the wire protocol over a listener. Create with New,
@@ -73,6 +79,9 @@ type Server struct {
 
 	wg       sync.WaitGroup // one per live session
 	inFlight atomic.Int64   // queries executing right now
+
+	met *serverMetrics
+	rec *obs.Recorder // sampled request traces; nil when sampling is off
 }
 
 // New wraps db in a server. The database may be shared with in-process
@@ -88,7 +97,7 @@ func New(db *audb.Database, cfg Config) *Server {
 		cfg.QueueTimeout = 5 * time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		db:        db,
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxConcurrency),
@@ -96,6 +105,15 @@ func New(db *audb.Database, cfg Config) *Server {
 		cancelAll: cancel,
 		sessions:  make(map[*session]struct{}),
 	}
+	s.met = newServerMetrics(s)
+	if cfg.TraceSample >= 0 {
+		every := cfg.TraceSample
+		if every == 0 {
+			every = 16
+		}
+		s.rec = obs.NewRecorder(0, every)
+	}
+	return s
 }
 
 // DB returns the served database.
@@ -138,8 +156,11 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.sessions[sess] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.met.sessions.Add(1)
+		s.met.connections.Inc()
 		go func() {
 			defer s.wg.Done()
+			defer s.met.connections.Dec()
 			sess.run()
 			s.mu.Lock()
 			delete(s.sessions, sess)
@@ -206,6 +227,12 @@ func (s *Server) acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
+	s.met.queueDepth.Inc()
+	start := time.Now()
+	defer func() {
+		s.met.queueDepth.Dec()
+		s.met.queueWait.Observe(time.Since(start))
+	}()
 	t := time.NewTimer(s.cfg.QueueTimeout)
 	defer t.Stop()
 	select {

@@ -11,6 +11,7 @@ import (
 	"github.com/audb/audb"
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/ctxpoll"
+	"github.com/audb/audb/internal/obs"
 	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/wire"
 )
@@ -63,6 +64,7 @@ type copyState struct {
 	cancel context.CancelFunc
 	poll   *ctxpoll.Poll
 	failed bool
+	sp     *obs.Span // sampled COPY-stream span, nil when unsampled
 }
 
 func newSession(s *Server, conn net.Conn) *session {
@@ -79,6 +81,8 @@ func newSession(s *Server, conn net.Conn) *session {
 	if s.cfg.MaxFrame > 0 {
 		se.r.SetMaxFrame(s.cfg.MaxFrame)
 	}
+	se.r.SetByteCounter(s.met.bytesIn)
+	se.w.SetByteCounter(s.met.bytesOut)
 	return se
 }
 
@@ -224,6 +228,10 @@ func requestID(m wire.Msg) (uint64, bool) {
 		return m.ID, true
 	case wire.ListTables:
 		return m.ID, true
+	case wire.Trace:
+		return m.ID, true
+	case wire.ServerStats:
+		return m.ID, true
 	}
 	return 0, false
 }
@@ -319,6 +327,7 @@ func (se *session) send(m wire.Msg) bool {
 }
 
 func (se *session) fail(id uint64, code, format string, args ...any) {
+	se.srv.met.errors.With(code).Add(1)
 	se.respond(id, wire.Error{ID: id, Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
@@ -368,6 +377,7 @@ func queryOptions(o wire.ExecOptions) []audb.QueryOption {
 // handle dispatches one request. Unexpected message types poison the
 // session (protocol error).
 func (se *session) handle(m wire.Msg) {
+	se.srv.met.requests.Add(1)
 	switch m := m.(type) {
 	case wire.Query:
 		se.handleQuery(m)
@@ -387,6 +397,10 @@ func (se *session) handle(m wire.Msg) {
 		se.handleExplain(m)
 	case wire.TableStats:
 		se.handleTableStats(m)
+	case wire.Trace:
+		se.handleTrace(m)
+	case wire.ServerStats:
+		se.respond(m.ID, wire.ServerStatsResult{ID: m.ID, Text: se.srv.StatsText()})
 	case wire.Ping:
 		se.respond(m.ID, wire.Pong{ID: m.ID})
 	case wire.ListTables:
@@ -398,22 +412,42 @@ func (se *session) handle(m wire.Msg) {
 }
 
 // execute runs fn under admission control and the request context; it
-// is the shared body of Query, ExecStmt and ExplainAnalyze.
+// is the shared body of Query, ExecStmt and ExplainAnalyze. One request
+// in every Config.TraceSample gets a server span (admission wait +
+// execution) recorded into the ring ServerStats reports; the untraced
+// rest pay only nil-span checks.
 func (se *session) execute(id uint64, timeoutMS uint64, fn func(ctx context.Context) (wire.Msg, error)) {
+	var sp *obs.Span
+	if se.srv.rec.Sample() {
+		sp = obs.StartSpan("request")
+		sp.SetInt("id", int64(id))
+	}
 	ctx, cancel, ok := se.begin(id, timeoutMS)
 	if !ok {
 		se.fail(id, wire.CodeCanceled, "request cancelled before execution")
 		return
 	}
 	defer cancel()
-	if err := se.acquireSlot(ctx); err != nil {
+	wait := sp.StartChild("admission.wait")
+	err := se.acquireSlot(ctx)
+	wait.End()
+	if err != nil {
 		se.fail(id, errCode(err), "%v", err)
 		return
 	}
 	se.srv.inFlight.Add(1)
+	ex := sp.StartChild("execute")
 	resp, err := fn(ctx)
+	ex.End()
 	se.srv.inFlight.Add(-1)
 	se.srv.release()
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", errCode(err))
+		}
+		sp.End()
+		se.srv.rec.Record(sp)
+	}
 	if err != nil {
 		se.fail(id, errCode(err), "%v", err)
 		return
@@ -489,6 +523,44 @@ func (se *session) handleExplain(m wire.Explain) {
 	})
 }
 
+// handleTrace runs Database.Trace under the same admission control and
+// deadline handling as a Query, wrapping the database's lifecycle trace
+// in server spans: the admission-queue wait before it, and a wire-encode
+// span measuring the result's encoded size after it. Explicit traces
+// bypass sampling — the full span tree is always recorded and returned.
+func (se *session) handleTrace(m wire.Trace) {
+	ctx, cancel, ok := se.begin(m.ID, m.Opts.TimeoutMS)
+	if !ok {
+		se.fail(m.ID, wire.CodeCanceled, "request cancelled before execution")
+		return
+	}
+	defer cancel()
+	root := obs.StartSpan("request")
+	root.SetInt("id", int64(m.ID))
+	wait := root.StartChild("admission.wait")
+	if err := se.acquireSlot(ctx); err != nil {
+		se.fail(m.ID, errCode(err), "%v", err)
+		return
+	}
+	wait.End()
+	se.srv.inFlight.Add(1)
+	qt, err := se.srv.db.Trace(ctx, m.SQL, queryOptions(m.Opts)...)
+	se.srv.inFlight.Add(-1)
+	se.srv.release()
+	if err != nil {
+		se.fail(m.ID, errCode(err), "%v", err)
+		return
+	}
+	root.Attach(qt.Root)
+	enc := root.StartChild("wire.encode")
+	encoded := len(wire.AppendRelation(nil, qt.Result))
+	enc.End()
+	enc.SetInt("bytes", int64(encoded))
+	root.End()
+	se.srv.rec.Record(root)
+	se.respond(m.ID, wire.TraceResult{ID: m.ID, Text: root.String()})
+}
+
 func (se *session) handleTableStats(m wire.TableStats) {
 	var ts *audb.TableStats
 	var err error
@@ -528,6 +600,10 @@ func (se *session) handleCopyBegin(m wire.CopyBegin) {
 		cancel: cancel,
 		poll:   ctxpoll.New(ctx),
 	}
+	if se.srv.rec.Sample() {
+		se.cp.sp = obs.StartSpan("copy")
+		se.cp.sp.SetAttr("table", m.Table)
+	}
 }
 
 // failCopy answers the copy request with an error and marks the stream
@@ -557,6 +633,7 @@ func (se *session) handleCopyData(m wire.CopyData) {
 			return
 		}
 		cp.rel.Add(t)
+		se.srv.met.copyTuples.Add(1)
 	}
 }
 
@@ -569,6 +646,17 @@ func (se *session) handleCopyEnd(m wire.CopyEnd) {
 	se.cp = nil
 	aborted := cp.ctx.Err()
 	cp.cancel()
+	if cp.sp != nil {
+		cp.sp.SetInt("tuples", int64(cp.rel.Len()))
+		switch {
+		case cp.failed:
+			cp.sp.SetAttr("error", "failed")
+		case aborted != nil:
+			cp.sp.SetAttr("error", errCode(aborted))
+		}
+		cp.sp.End()
+		se.srv.rec.Record(cp.sp)
+	}
 	if cp.failed {
 		return // already answered with the failure
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/obs"
 )
 
 // Provider resolves a table name to its current statistics. It is the
@@ -30,19 +31,28 @@ type Provider interface {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry // keyed by lowercased name
+
+	// Observability counters (nil until Instrument; a nil obs.Counter
+	// drops updates, so the registry works uninstrumented).
+	collections   *obs.Counter // deferred stat collections actually run
+	invalidations *obs.Counter // entries discarded by re-register/drop/analyze
 }
 
 // entry is one table's cached statistics; stats are computed at most once
 // per entry (Analyze swaps in a fresh entry to force recollection).
 type entry struct {
-	name string
-	rel  *core.Relation
-	once sync.Once
-	ts   *TableStats
+	name      string
+	rel       *core.Relation
+	once      sync.Once
+	ts        *TableStats
+	collected *obs.Counter // owning registry's collection counter
 }
 
 func (e *entry) stats() *TableStats {
-	e.once.Do(func() { e.ts = Collect(e.name, e.rel) })
+	e.once.Do(func() {
+		e.ts = Collect(e.name, e.rel)
+		e.collected.Add(1)
+	})
 	return e.ts
 }
 
@@ -51,19 +61,38 @@ func NewRegistry() *Registry {
 	return &Registry{entries: map[string]*entry{}}
 }
 
+// Instrument registers the registry's counters with reg: how many
+// deferred collections actually ran, and how many cached entries were
+// invalidated (drop, re-register, or explicit Analyze). Call before
+// the registry sees traffic.
+func (g *Registry) Instrument(reg *obs.Registry) {
+	g.collections = reg.Counter("audb_stats_collections_total",
+		"table statistics collections run (deferred, on first planner use)")
+	g.invalidations = reg.Counter("audb_stats_invalidations_total",
+		"cached table statistics invalidated by drop, re-register, or ANALYZE")
+}
+
 // Registered implements core.CatalogObserver: (re-)registering a table
 // discards any cached statistics and records the new relation.
 func (g *Registry) Registered(name string, r *core.Relation) {
+	key := strings.ToLower(name)
 	g.mu.Lock()
-	g.entries[strings.ToLower(name)] = &entry{name: name, rel: r}
+	if _, existed := g.entries[key]; existed {
+		g.invalidations.Add(1)
+	}
+	g.entries[key] = &entry{name: name, rel: r, collected: g.collections}
 	g.mu.Unlock()
 }
 
 // Dropped implements core.CatalogObserver: the entry is removed, so stats
 // for a dropped table are never served again.
 func (g *Registry) Dropped(name string) {
+	key := strings.ToLower(name)
 	g.mu.Lock()
-	delete(g.entries, strings.ToLower(name))
+	if _, existed := g.entries[key]; existed {
+		g.invalidations.Add(1)
+	}
+	delete(g.entries, key)
 	g.mu.Unlock()
 }
 
@@ -91,8 +120,9 @@ func (g *Registry) Analyze(name string) (*TableStats, bool) {
 		g.mu.Unlock()
 		return nil, false
 	}
-	fresh := &entry{name: old.name, rel: old.rel}
+	fresh := &entry{name: old.name, rel: old.rel, collected: g.collections}
 	g.entries[key] = fresh
+	g.invalidations.Add(1)
 	g.mu.Unlock()
 	return fresh.stats(), true
 }

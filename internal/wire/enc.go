@@ -123,6 +123,14 @@ func encTuples(b []byte, arity int, ts []core.Tuple) []byte {
 	return b
 }
 
+// AppendRelation appends the wire encoding of a relation to b and
+// returns the extended slice. It exists so the server can measure a
+// result's encoded size (the wire-encode span of a traced query)
+// without sending it.
+func AppendRelation(b []byte, r *core.Relation) []byte {
+	return encRelation(b, r)
+}
+
 // encRelation writes a whole AU-relation: schema then tuples.
 func encRelation(b []byte, r *core.Relation) []byte {
 	b = encStrings(b, r.Schema.Attrs)

@@ -297,6 +297,55 @@ func (m StatsResult) encode(b []byte) []byte {
 	return encString(b, m.Text)
 }
 
+// Trace requests a fully instrumented execution: the server runs the
+// query through Database.Trace and answers with the rendered span tree
+// (parse → optimize → cost → lower → per-operator execute), plus
+// server-side spans for admission-queue wait and wire encoding.
+type Trace struct {
+	ID   uint64
+	SQL  string
+	Opts ExecOptions
+}
+
+func (Trace) msgType() byte { return TTrace }
+func (m Trace) encode(b []byte) []byte {
+	b = encUvarint(b, m.ID)
+	b = encString(b, m.SQL)
+	return m.Opts.encode(b)
+}
+
+// TraceResult carries the rendered span tree.
+type TraceResult struct {
+	ID   uint64
+	Text string
+}
+
+func (TraceResult) msgType() byte { return TTraceResult }
+func (m TraceResult) encode(b []byte) []byte {
+	b = encUvarint(b, m.ID)
+	return encString(b, m.Text)
+}
+
+// ServerStats requests the server's metrics snapshot (connection and
+// admission counters, per-code errors, byte totals, plus the embedded
+// database's registry) and its most recent sampled request traces.
+type ServerStats struct{ ID uint64 }
+
+func (ServerStats) msgType() byte            { return TServerStats }
+func (m ServerStats) encode(b []byte) []byte { return encUvarint(b, m.ID) }
+
+// ServerStatsResult carries the rendered server statistics.
+type ServerStatsResult struct {
+	ID   uint64
+	Text string
+}
+
+func (ServerStatsResult) msgType() byte { return TServerStatsResult }
+func (m ServerStatsResult) encode(b []byte) []byte {
+	b = encUvarint(b, m.ID)
+	return encString(b, m.Text)
+}
+
 // ------------------------------------------------------------ control --
 
 // Cancel aborts the in-flight or queued request with the same ID. It is
@@ -379,6 +428,14 @@ func decodeMsg(t byte, payload []byte) (Msg, error) {
 		m = TableStats{ID: d.uvarint(), Table: d.string(), Analyze: d.bool()}
 	case TStatsResult:
 		m = StatsResult{ID: d.uvarint(), Text: d.string()}
+	case TTrace:
+		m = Trace{ID: d.uvarint(), SQL: d.string(), Opts: d.execOptions()}
+	case TTraceResult:
+		m = TraceResult{ID: d.uvarint(), Text: d.string()}
+	case TServerStats:
+		m = ServerStats{ID: d.uvarint()}
+	case TServerStatsResult:
+		m = ServerStatsResult{ID: d.uvarint(), Text: d.string()}
 	case TCancel:
 		m = Cancel{ID: d.uvarint()}
 	case TPing:
@@ -415,6 +472,10 @@ func ResponseID(m Msg) (uint64, bool) {
 	case ExplainResult:
 		return m.ID, true
 	case StatsResult:
+		return m.ID, true
+	case TraceResult:
+		return m.ID, true
+	case ServerStatsResult:
 		return m.ID, true
 	case Pong:
 		return m.ID, true

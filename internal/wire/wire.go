@@ -101,6 +101,12 @@ const (
 	TTables     // server -> client: table names
 	TOK         // server -> client: bare acknowledgement
 	TError      // server -> client: request failed
+
+	// Observability (appended so earlier type bytes stay stable).
+	TTrace             // client -> server: SQL + options, run with lifecycle tracing
+	TTraceResult       // server -> client: rendered span tree
+	TServerStats       // client -> server: request a server metrics snapshot
+	TServerStatsResult // server -> client: rendered snapshot
 )
 
 // typeNames renders type bytes for diagnostics.
@@ -115,6 +121,8 @@ var typeNames = map[byte]string{
 	TCancel: "Cancel", TPing: "Ping", TPong: "Pong",
 	TListTables: "ListTables", TTables: "Tables",
 	TOK: "OK", TError: "Error",
+	TTrace: "Trace", TTraceResult: "TraceResult",
+	TServerStats: "ServerStats", TServerStatsResult: "ServerStatsResult",
 }
 
 // Type reports a message's type byte (for diagnostics outside the
@@ -149,16 +157,28 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 // frameHeaderLen is the fixed frame header: type byte + u32 length.
 const frameHeaderLen = 5
 
+// ByteCounter observes wire traffic volume; obs.Counter satisfies it.
+// Kept as a local interface so the protocol package stays dependency-
+// free of the observability layer.
+type ByteCounter interface {
+	Add(n int64)
+}
+
 // Writer frames and writes messages. It buffers nothing beyond the
 // frame being written; callers own any locking (the client serializes
 // writers, the server writes responses from one goroutine).
 type Writer struct {
 	w   io.Writer
 	buf []byte // reused header+payload assembly buffer
+	bc  ByteCounter
 }
 
 // NewWriter returns a Writer framing onto w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// SetByteCounter counts every written frame's bytes (header included)
+// into bc. The server points this at its bytes-out counter.
+func (w *Writer) SetByteCounter(bc ByteCounter) { w.bc = bc }
 
 // Write encodes m into one frame and writes it.
 func (w *Writer) Write(m Msg) error {
@@ -171,6 +191,9 @@ func (w *Writer) Write(m Msg) error {
 	}
 	binary.BigEndian.PutUint32(w.buf[1:frameHeaderLen], uint32(payload))
 	_, err := w.w.Write(w.buf)
+	if err == nil && w.bc != nil {
+		w.bc.Add(int64(len(w.buf)))
+	}
 	return err
 }
 
@@ -179,6 +202,7 @@ type Reader struct {
 	r        io.Reader
 	maxFrame int
 	hdr      [frameHeaderLen]byte
+	bc       ByteCounter
 }
 
 // NewReader returns a Reader with the default frame-size cap.
@@ -186,6 +210,10 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r, maxFrame: DefaultMaxF
 
 // SetMaxFrame overrides the payload-size cap (advanced use; tests).
 func (r *Reader) SetMaxFrame(n int) { r.maxFrame = n }
+
+// SetByteCounter counts every read frame's bytes (header included)
+// into bc. The server points this at its bytes-in counter.
+func (r *Reader) SetByteCounter(bc ByteCounter) { r.bc = bc }
 
 // Read reads one frame and decodes its message. io.EOF is returned
 // untouched on a clean close between frames; a partial frame surfaces
@@ -205,6 +233,9 @@ func (r *Reader) Read() (Msg, error) {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
+	}
+	if r.bc != nil {
+		r.bc.Add(int64(frameHeaderLen + n))
 	}
 	return decodeMsg(r.hdr[0], payload)
 }

@@ -89,6 +89,10 @@ func allMessages() []Msg {
 		ExplainResult{ID: 17, Text: "Scan(r)\n"},
 		TableStats{ID: 18, Table: "r", Analyze: true},
 		StatsResult{ID: 19, Text: "rows: 4\n"},
+		Trace{ID: 25, SQL: "SELECT a FROM r", Opts: opts},
+		TraceResult{ID: 26, Text: "query 1ms\n  parse 10µs\n"},
+		ServerStats{ID: 27},
+		ServerStatsResult{ID: 28, Text: "audbd_requests_total 3\n"},
 		Cancel{ID: 20},
 		Ping{ID: 21},
 		Pong{ID: 22},
@@ -310,12 +314,56 @@ func TestStreamedMessages(t *testing.T) {
 	}
 }
 
+// TestByteCounters: reader and writer count whole frames (header
+// included) so the server's bytes_in/bytes_out totals match what
+// crossed the socket.
+func TestByteCounters(t *testing.T) {
+	var in, out testCounter
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetByteCounter(&out)
+	if err := w.Write(Ping{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(StatsResult{ID: 2, Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	wrote := int64(buf.Len())
+	if int64(out) != wrote {
+		t.Fatalf("writer counted %d bytes, wire carried %d", out, wrote)
+	}
+	r := NewReader(&buf)
+	r.SetByteCounter(&in)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int64(in) != wrote {
+		t.Fatalf("reader counted %d bytes, wire carried %d", in, wrote)
+	}
+}
+
+type testCounter int64
+
+func (c *testCounter) Add(n int64) { *c += testCounter(n) }
+
+// TestAppendRelation: the exported sizing helper produces exactly the
+// bytes Result's encoding embeds.
+func TestAppendRelation(t *testing.T) {
+	rel := testRelation()
+	if got, want := AppendRelation(nil, rel), encRelation(nil, rel); !bytes.Equal(got, want) {
+		t.Fatalf("AppendRelation differs from the internal encoding")
+	}
+}
+
 // TestResponseID: every server->client response exposes its request ID;
 // requests and Hello do not.
 func TestResponseID(t *testing.T) {
 	responses := map[byte]bool{
 		TResult: true, TError: true, TPrepareOK: true, TOK: true, TCopyOK: true,
 		TExplainResult: true, TStatsResult: true, TPong: true, TTables: true,
+		TTraceResult: true, TServerStatsResult: true,
 	}
 	for _, m := range allMessages() {
 		id, ok := ResponseID(m)

@@ -1,0 +1,114 @@
+package audb
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/audb/audb/internal/obs"
+)
+
+// This file is the session layer's observability surface: per-database
+// metrics (queries by engine and exec mode, latency, prepared-statement
+// cache hits, optimizer rule hit counts) and the query hook behind
+// audbd's slow-query log. The instrumentation is always compiled in;
+// when nothing is listening it costs a handful of atomic updates per
+// query and zero allocations (gated by TestObsDisabledZeroAlloc).
+
+// QueryInfo describes one completed query, delivered to the hook
+// installed with SetQueryHook.
+type QueryInfo = obs.QueryInfo
+
+// dbMetrics holds the Database's pre-resolved metric handles so the
+// dispatch hot path performs only atomic updates — no name lookups.
+type dbMetrics struct {
+	reg      *obs.Registry
+	engines  [3]*obs.Counter // queries by engine, indexed by Engine
+	modes    [2]*obs.Counter // native queries by exec mode (pipelined, materialized)
+	errors   *obs.Counter
+	latency  *obs.Histogram
+	stmtHits *obs.Counter // prepared-statement optimized-plan cache
+	stmtMiss *obs.Counter
+	rules    *obs.CounterVec // optimizer rule hit counts
+	onRule   func(string)    // pre-bound so passing it allocates nothing
+}
+
+func newDBMetrics() *dbMetrics {
+	reg := obs.NewRegistry()
+	m := &dbMetrics{reg: reg}
+	queries := reg.CounterVec("audb_queries_total", "queries dispatched, by engine", "engine")
+	for e := EngineNative; e <= EngineSGW; e++ {
+		m.engines[e] = queries.With(e.String())
+	}
+	native := reg.CounterVec("audb_native_exec_total", "native-engine executions, by physical mode", "mode")
+	m.modes[0] = native.With(ExecPipelined.String())
+	m.modes[1] = native.With(ExecMaterialized.String())
+	m.errors = reg.Counter("audb_query_errors_total", "queries that returned an error")
+	m.latency = reg.Histogram("audb_query_seconds", "query wall time inside dispatch")
+	m.stmtHits = reg.Counter("audb_stmt_cache_hits_total", "prepared-statement optimized-plan cache hits")
+	m.stmtMiss = reg.Counter("audb_stmt_cache_misses_total", "prepared-statement optimized-plan cache misses")
+	m.rules = reg.CounterVec("audb_opt_rule_hits_total", "effective optimizer rule applications", "rule")
+	m.onRule = func(rule string) { m.rules.With(rule).Add(1) }
+	return m
+}
+
+// record updates the per-query counters. Allocation-free.
+func (m *dbMetrics) record(cfg queryConfig, d time.Duration, err error) {
+	if e := int(cfg.engine); e >= 0 && e < len(m.engines) {
+		m.engines[e].Add(1)
+	}
+	if cfg.engine == EngineNative {
+		mode := 0
+		if cfg.execMode == ExecMaterialized {
+			mode = 1
+		}
+		m.modes[mode].Add(1)
+	}
+	if err != nil {
+		m.errors.Add(1)
+	}
+	m.latency.Observe(d)
+}
+
+// Metrics returns the database's metric registry — queries by engine
+// and exec mode, query latency, prepared-statement cache hit rates,
+// optimizer rule hit counts, and table-statistics collection counters.
+// Serve it over HTTP with obs.Handler, or render it with Snapshot.
+func (d *Database) Metrics() *obs.Registry {
+	return d.met.reg
+}
+
+// SetQueryHook installs a function invoked after every query dispatch
+// with the query's vitals (fingerprint, engine, duration, rows,
+// est-vs-actual cardinality, error code). audbd uses this for its
+// slow-query log (obs.SlowQueryHook). A nil hook (the default) costs
+// one atomic load per query; assembling QueryInfo (fingerprinting the
+// statement) is only done while a hook is installed. The hook runs on
+// the query's goroutine — keep it fast or hand off.
+func (d *Database) SetQueryHook(hook func(QueryInfo)) {
+	d.hook.Store(&hook)
+}
+
+func (d *Database) queryHook() func(QueryInfo) {
+	p, _ := d.hook.Load().(*func(QueryInfo))
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// errCodeOf classifies an in-process query error with the same stable
+// names the wire protocol uses, so in-process and server-side
+// slow-query logs aggregate together.
+func errCodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "sql"
+	}
+}

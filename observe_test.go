@@ -1,0 +1,173 @@
+package audb
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/audb/audb/internal/testutil"
+)
+
+func obsTestDB() *Database {
+	a := NewUncertainTable("a", "x", "y")
+	b := NewUncertainTable("b", "x", "z")
+	for i := 0; i < 32; i++ {
+		a.AddCertainRow(Int(int64(i)), Int(int64(i%5)))
+		b.AddCertainRow(Int(int64(i%8)), Int(int64(i)))
+	}
+	return New().Add(a).Add(b)
+}
+
+const obsJoinQuery = `SELECT a.x, b.z FROM a, b WHERE a.x = b.x AND a.y < 4`
+
+// TestTraceSpans: a traced WHERE-join shows the full lifecycle —
+// parse, per-rule optimize, cost, lower, execute with per-operator
+// children — and the operator spans agree with ExplainAnalyze.
+func TestTraceSpans(t *testing.T) {
+	testutil.NoLeaks(t)
+	db := obsTestDB()
+	qt, err := db.Trace(context.Background(), obsJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Result == nil || qt.Result.Len() == 0 {
+		t.Fatal("traced query returned no result")
+	}
+	out := qt.String()
+	for _, name := range []string{"query", "parse", "optimize", "cost", "lower", "execute"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("trace missing %q span:\n%s", name, out)
+		}
+	}
+	// The optimizer fired at least one rule on this query (selection
+	// pushdown applies), and it shows up as a child span.
+	if !strings.Contains(out, "rule ") {
+		t.Errorf("trace has no per-rule spans:\n%s", out)
+	}
+	// Per-operator execution spans carry the ExplainAnalyze counters.
+	exp, err := db.ExplainAnalyze(context.Background(), obsJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Stats == nil || exp.Stats.Root == nil {
+		t.Fatal("ExplainAnalyze returned no stats")
+	}
+	var ops []string
+	for _, line := range strings.Split(exp.Stats.String(), "\n")[1:] {
+		f := strings.Fields(line)
+		if len(f) > 0 {
+			ops = append(ops, f[0])
+		}
+	}
+	for _, op := range ops {
+		if !strings.Contains(out, op) {
+			t.Errorf("trace missing operator %q present in ExplainAnalyze:\n%s", op, out)
+		}
+	}
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "strategy=") {
+		t.Errorf("operator spans missing counters:\n%s", out)
+	}
+}
+
+// TestTraceNativeOnly: like ExplainAnalyze, Trace refuses the
+// uninstrumented engines.
+func TestTraceNativeOnly(t *testing.T) {
+	db := obsTestDB()
+	if _, err := db.Trace(context.Background(), `SELECT x FROM a`, WithEngine(EngineRewrite)); err == nil {
+		t.Fatal("Trace with EngineRewrite should error")
+	}
+}
+
+// TestQueryHook: the hook sees fingerprint, engine, rows, and the cost
+// model's root estimate for a plain query; errors carry a code.
+func TestQueryHook(t *testing.T) {
+	testutil.NoLeaks(t)
+	db := obsTestDB()
+	var got []QueryInfo
+	db.SetQueryHook(func(qi QueryInfo) { got = append(got, qi) })
+
+	if _, err := db.QueryContext(context.Background(), obsJoinQuery); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook calls = %d, want 1", len(got))
+	}
+	qi := got[0]
+	if qi.Query != obsJoinQuery || qi.Engine != "native" || qi.ExecMode != "pipelined" {
+		t.Fatalf("QueryInfo = %+v", qi)
+	}
+	if want := "select a.x, b.z from a, b where a.x = b.x and a.y < ?"; qi.Fingerprint != want {
+		t.Fatalf("fingerprint = %q, want %q", qi.Fingerprint, want)
+	}
+	if qi.Rows == 0 || qi.ErrCode != "" {
+		t.Fatalf("QueryInfo rows/err = %+v", qi)
+	}
+	if !qi.HasEst || qi.EstRows <= 0 {
+		t.Fatalf("expected a root cardinality estimate, got %+v", qi)
+	}
+
+	// A failing query reports its code, and the hook can be removed.
+	if _, err := db.QueryContext(context.Background(), `SELECT nope FROM a`); err == nil {
+		t.Fatal("expected compile error")
+	}
+	// Compile errors happen before dispatch; force a dispatch error via
+	// a cancelled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, obsJoinQuery); err == nil {
+		t.Fatal("expected cancellation")
+	}
+	last := got[len(got)-1]
+	if last.ErrCode != "canceled" {
+		t.Fatalf("ErrCode = %q, want canceled", last.ErrCode)
+	}
+	db.SetQueryHook(nil)
+	n := len(got)
+	if _, err := db.QueryContext(context.Background(), obsJoinQuery); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatal("hook still firing after SetQueryHook(nil)")
+	}
+}
+
+// TestDatabaseMetrics: the session-layer counters move — queries by
+// engine and mode, statement-cache hits, rule hits, stats collections.
+func TestDatabaseMetrics(t *testing.T) {
+	testutil.NoLeaks(t)
+	db := obsTestDB()
+	ctx := context.Background()
+	if _, err := db.QueryContext(ctx, obsJoinQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.QueryContext(ctx, `SELECT x FROM a`, WithEngine(EngineSGW)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare(`SELECT x FROM a WHERE y = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Exec(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Metrics().Snapshot()
+	for _, want := range []string{
+		`audb_queries_total{engine="native"} 4`,
+		`audb_queries_total{engine="sgw"} 1`,
+		`audb_native_exec_total{mode="pipelined"} 4`,
+		`audb_stmt_cache_hits_total 2`,
+		`audb_stmt_cache_misses_total 1`,
+		`audb_stats_collections_total`,
+		`audb_query_seconds count=5`,
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	// The join query applied at least one rule.
+	if !strings.Contains(snap, `audb_opt_rule_hits_total{rule=`) {
+		t.Errorf("no rule hit counters:\n%s", snap)
+	}
+}
