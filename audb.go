@@ -507,15 +507,140 @@ func (d *Database) TableStats(name string) (*TableStats, error) {
 	return nil, schema.UnknownTable("audb", name, d.cat.Tables())
 }
 
+// StoragePolicy decides the storage representation of registered tables:
+// mostly-certain tables compact to a sparse columnar form (flat value
+// slices for certain columns) that the certain-only kernel fast paths
+// read directly. See internal/core.StoragePolicy.
+type StoragePolicy = core.StoragePolicy
+
+// StorageMode selects how a table's representation is chosen.
+type StorageMode = core.ReprMode
+
+// Storage representation modes for SetStoragePolicy and SetTableStorage.
+const (
+	// StorageAuto compacts a table when its flat-column fraction reaches
+	// the policy threshold. The default.
+	StorageAuto = core.ReprAuto
+	// StorageForceDense keeps every relation in the row-major layout.
+	StorageForceDense = core.ReprForceDense
+	// StorageForceSparse compacts every non-empty relation.
+	StorageForceSparse = core.ReprForceSparse
+)
+
+// SetStoragePolicy installs the storage representation policy applied to
+// tables registered from now on. Already registered tables keep their
+// representation until re-registered, re-analyzed (Analyze re-evaluates
+// under the current policy) or overridden with SetTableStorage.
+func (d *Database) SetStoragePolicy(p StoragePolicy) { d.cat.SetStoragePolicy(p) }
+
+// StoragePolicy returns the current storage representation policy.
+func (d *Database) StoragePolicy() StoragePolicy { return d.cat.StoragePolicy() }
+
 // Analyze recollects the statistics for a registered table immediately
 // and returns them. Registration already (lazily) collects statistics, so
 // Analyze is only needed after mutating a registered relation's rows in
 // place — or to pay the collection cost eagerly at load time.
+//
+// Analyze also re-evaluates the table's storage representation under the
+// current policy: a table whose rows went uncertain (mutation densified
+// it) or certain enough to compact is flipped by atomically registering a
+// freshly built replacement, never by mutating the relation queries may
+// be scanning.
 func (d *Database) Analyze(name string) (*TableStats, error) {
-	if ts, ok := d.st.Analyze(name); ok {
-		return ts, nil
+	return d.restorage(name, d.cat.StoragePolicy())
+}
+
+// SetTableStorage re-evaluates one table's representation under an
+// explicit mode override (the policy threshold still applies to
+// StorageAuto), returning the refreshed statistics. Use it to pin a table
+// dense or sparse regardless of the database-wide policy.
+func (d *Database) SetTableStorage(name string, mode StorageMode) (*TableStats, error) {
+	pol := d.cat.StoragePolicy()
+	pol.Mode = mode
+	return d.restorage(name, pol)
+}
+
+// restorage is the shared body of Analyze and SetTableStorage: one pass
+// over the table feeds a statistics collector and a relation builder, the
+// builder's choice under pol decides the representation, and a change is
+// applied with a compare-and-swap replacement so a concurrent Register or
+// Drop is never clobbered. The refreshed statistics are primed into the
+// registry (guarded the same way, see stats.Registry.Prime).
+func (d *Database) restorage(name string, pol StoragePolicy) (*TableStats, error) {
+	rel, ok := d.cat.Lookup(name)
+	if !ok {
+		return nil, schema.UnknownTable("audb", name, d.cat.Tables())
 	}
-	return nil, schema.UnknownTable("audb", name, d.cat.Tables())
+	col := stats.NewCollector(name, rel.Schema)
+	b := core.NewRelationBuilder(rel.Schema, rel.Len())
+	_ = rel.EachTuple(func(t core.Tuple) error {
+		col.Add(t)
+		b.Add(t)
+		return nil
+	})
+	ts := col.Finish()
+	cur := rel
+	if fresh := b.Finish(pol); fresh.Repr() != rel.Repr() || fresh.FastCertain() != rel.FastCertain() {
+		if d.cat.ReplaceIf(name, rel, fresh) {
+			cur = fresh
+		}
+	}
+	ts.SetStorage(cur)
+	d.st.Prime(name, cur, ts)
+	return ts, nil
+}
+
+// TableLoader streams rows into a new table: the rows accumulate in a
+// core.RelationBuilder (so the table materializes directly in its final
+// storage representation, chosen by the database policy at Commit) and
+// feed a statistics collector in the same pass, so the committed table
+// arrives with primed statistics — no separate Analyze, no second scan.
+// The server's COPY ingest is built on this. Not safe for concurrent use.
+type TableLoader struct {
+	db   *Database
+	name string
+	b    *core.RelationBuilder
+	c    *stats.Collector
+}
+
+// NewLoader starts a streaming load of a new table.
+func (d *Database) NewLoader(name string, cols ...string) *TableLoader {
+	sch := schema.New(cols...)
+	return &TableLoader{
+		db:   d,
+		name: name,
+		b:    core.NewRelationBuilder(sch, 0),
+		c:    stats.NewCollector(name, sch),
+	}
+}
+
+// Arity returns the loader's column count.
+func (l *TableLoader) Arity() int { return l.b.Arity() }
+
+// Len returns the number of rows accepted so far.
+func (l *TableLoader) Len() int { return l.b.Len() }
+
+// Add appends one row. Rows with a non-positive upper multiplicity are
+// dropped, exactly as registration would; vals must match the arity. The
+// row is copied — callers may reuse the backing slice.
+func (l *TableLoader) Add(vals RangeRow, m Multiplicity) {
+	t := core.Tuple{Vals: vals, M: m}
+	if m.Hi > 0 {
+		l.c.Add(t)
+	}
+	l.b.Add(t)
+}
+
+// Commit registers the loaded table (replacing any previous table of that
+// name) with its statistics primed, and returns the relation. The loader
+// must not be used afterwards.
+func (l *TableLoader) Commit() *core.Relation {
+	rel := l.b.Finish(l.db.cat.StoragePolicy())
+	l.db.cat.RegisterPrebuilt(l.name, rel)
+	ts := l.c.Finish()
+	ts.SetStorage(rel)
+	l.db.st.Prime(l.name, rel, ts)
+	return rel
 }
 
 // Plan compiles a SQL query against this database's catalog.

@@ -9,6 +9,7 @@ import (
 	"github.com/audb/audb"
 	"github.com/audb/audb/client"
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/translate"
 )
 
@@ -172,8 +173,18 @@ func runRemote(o remoteOpts) error {
 // upload streams one AU-relation into the server as a new table.
 func upload(ctx context.Context, c *client.Conn, name string, rel *core.Relation) error {
 	b := c.Bulk(name, rel.Schema.Attrs...)
-	for _, t := range rel.Tuples {
-		b.Add(t.Vals, t.M)
+	// EachTuple handles both storage representations. Bulk.Add buffers the
+	// row until the next chunk flush, so the scratch tuple a sparse
+	// relation reuses between callbacks must be copied before handing over.
+	if err := rel.EachTuple(func(t core.Tuple) error {
+		vals := t.Vals
+		if rel.IsSparse() {
+			vals = append(rangeval.Tuple(nil), vals...)
+		}
+		b.Add(vals, t.M)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("audbsh: upload %s: %w", name, err)
 	}
 	if _, err := b.Close(ctx); err != nil {
 		return fmt.Errorf("audbsh: upload %s: %w", name, err)

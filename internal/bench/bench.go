@@ -155,6 +155,7 @@ func Registry() []Experiment {
 		{ID: "pipe", Run: Pipe, Paper: "pipelined vs materialized executor (this implementation; not a paper figure)"},
 		{ID: "cbo", Run: CBO, Paper: "cost-based join reordering speedup (this implementation; not a paper figure)"},
 		{ID: "net", Run: Net, Paper: "audbd service layer: concurrent client throughput (this implementation; not a paper figure)"},
+		{ID: "sparse", Run: Sparse, Paper: "sparse storage: resident memory and certain-only fast paths (this implementation; not a paper figure)"},
 	}
 }
 

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"github.com/audb/audb/internal/bag"
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/synth"
+	"github.com/audb/audb/internal/translate"
+)
+
+// Sparse is not a paper figure: it measures the sparse storage
+// representation on the mostly-certain regime it targets. The dataset is
+// ≥90% certain: a wide fact table whose values are all certain (the
+// common case the fast paths exploit), a small certain dimension table,
+// and a "mix" table whose uncertainty is concentrated in one dedicated
+// column — the U-relations-style vertical split where every other column
+// stays flat. One row per metric comparing dense and sparse: resident
+// memory of each representation, and the select/join hot loops (which run
+// the certain-only kernels on the sparse side). Results are verified
+// bit-identical between representations before anything is timed.
+func Sparse(ctx context.Context, cfg Config) (*Table, error) {
+	rows := cfg.size(300000, 40000)
+	const cols, domain = 8, 1000
+	certSrc := translateWide("t", rows, cols, domain, 0, nil, cfg.Seed)
+	dimSrc := translateWide("s", 2000, 2, domain, 0, nil, cfg.Seed+7)
+	// Uncertainty concentrated in the last column: 10% of its cells, so
+	// ~98.8% of the table's values stay certain and 7 of 8 columns flat.
+	mixSrc := translateWide("mix", rows/4, cols, domain, 0.10, []int{cols - 1}, cfg.Seed+13)
+
+	type reprPair struct{ dense, sparse *core.Relation }
+	build := func(rel *core.Relation) (reprPair, [2]float64) {
+		var p reprPair
+		var mb [2]float64
+		p.dense, mb[0] = rebuildMeasured(rel, core.ReprForceDense)
+		p.sparse, mb[1] = rebuildMeasured(rel, core.ReprForceSparse)
+		return p, mb
+	}
+	cert, certMB := build(certSrc)
+	dim, _ := build(dimSrc)
+	mix, mixMB := build(mixSrc)
+	if !cert.sparse.FastCertain() {
+		return nil, fmt.Errorf("sparse: certain table did not qualify for the fast path")
+	}
+	if mix.sparse.FastCertain() || !mix.sparse.IsSparse() {
+		return nil, fmt.Errorf("sparse: mix table has the wrong representation")
+	}
+
+	denseDB := core.DB{"t": cert.dense, "s": dim.dense, "mix": mix.dense}
+	sparseDB := core.DB{"t": cert.sparse, "s": dim.sparse, "mix": mix.sparse}
+
+	plans := []struct {
+		label string
+		plan  ra.Node
+	}{
+		{"select", &ra.Select{
+			Child: &ra.Scan{Table: "t"},
+			Pred:  expr.Lt(expr.Col(1, "a1"), expr.CInt(domain/2)),
+		}},
+		{"join", &ra.Join{
+			Left:  &ra.Scan{Table: "t"},
+			Right: &ra.Scan{Table: "s"},
+			Cond:  expr.Eq(expr.Col(0, "t.a0"), expr.Col(cols, "s.a0")),
+		}},
+		{"select-mix", &ra.Select{
+			Child: &ra.Scan{Table: "mix"},
+			Pred:  expr.Lt(expr.Col(1, "a1"), expr.CInt(domain/2)),
+		}},
+	}
+
+	t := &Table{
+		ID:      "sparse",
+		Title:   "sparse vs dense storage: resident memory and certain-only hot loops",
+		Headers: []string{"metric", "dense", "sparse", "dense/sparse"},
+		Notes: []string{
+			fmt.Sprintf("t: %d rows x %d certain columns; s: 2000 rows x 2 certain columns; mix: %d rows with 10%% uncertainty in one column", rows, cols, rows/4),
+			"resident MB: live-heap growth while building each representation (GC-settled)",
+			"select/join run the certain-only kernels on the sparse side; select-mix shows the dense-fallback cost on a partially uncertain table",
+			"every plan's result is verified bit-identical between representations before timing",
+		},
+	}
+	mem := func(label string, mb [2]float64) {
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.1f MB", mb[0]),
+			fmt.Sprintf("%.1f MB", mb[1]),
+			fmt.Sprintf("%.2f", mb[0]/mb[1]),
+		})
+	}
+	mem("resident t", certMB)
+	mem("resident mix", mixMB)
+
+	opts := cfg.opts(core.Options{})
+	for _, p := range plans {
+		// Correctness first: both representations must produce the same
+		// relation, tuple for tuple, before either is timed.
+		dres, err := core.Exec(ctx, p.plan, denseDB, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sparse %s (dense): %w", p.label, err)
+		}
+		sres, err := core.Exec(ctx, p.plan, sparseDB, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sparse %s (sparse): %w", p.label, err)
+		}
+		if dh, sh := fingerprint(dres), fingerprint(sres); dh != sh {
+			return nil, fmt.Errorf("sparse %s: representations diverged (%x vs %x)", p.label, dh, sh)
+		}
+		measure := func(db core.DB) (time.Duration, error) {
+			runtime.GC()
+			return timeIt(func() error {
+				_, err := core.Exec(ctx, p.plan, db, opts)
+				return err
+			})
+		}
+		dt, err := measure(denseDB)
+		if err != nil {
+			return nil, fmt.Errorf("sparse %s (dense): %w", p.label, err)
+		}
+		st, err := measure(sparseDB)
+		if err != nil {
+			return nil, fmt.Errorf("sparse %s (sparse): %w", p.label, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.label + " seconds", secs(dt), secs(st), ratio(dt, st),
+		})
+	}
+	return t, nil
+}
+
+// translateWide builds one AU-relation: a wide deterministic table with
+// uncertainty injected into the given columns only (none when cellProb is
+// 0 or eligible is empty).
+func translateWide(name string, rows, cols int, domain int64, cellProb float64, eligible []int, seed int64) *core.Relation {
+	det := bag.DB{name: synth.WideTable(rows, cols, domain, seed)}
+	x := synth.Inject(det, synth.InjectConfig{
+		CellProb: cellProb, MaxAlts: 8, RangeFrac: 0.05,
+		EligibleCols: eligible, Seed: seed + 1,
+	})
+	return translate.XDB(x[name])
+}
+
+// rebuildMeasured rebuilds rel under the given representation mode and
+// reports the live-heap growth attributable to the copy, in MB — the
+// resident-memory comparison the sparse representation is about.
+func rebuildMeasured(rel *core.Relation, mode core.ReprMode) (*core.Relation, float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b := core.NewRelationBuilder(rel.Schema, rel.Len())
+	_ = rel.EachTuple(func(t core.Tuple) error {
+		b.Add(t)
+		return nil
+	})
+	out := b.Finish(core.StoragePolicy{Mode: mode})
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	// Pin the source past the final reading: its last use is the copy
+	// loop above, so without this the settling GC could collect it inside
+	// the measured window and drag the delta negative.
+	runtime.KeepAlive(rel)
+	live := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if live < 0 {
+		live = 0
+	}
+	return out, float64(live) / (1 << 20)
+}
+
+// fingerprint hashes a relation's rendered tuples in order, so two
+// results can be compared for bit-identity without holding both rendered
+// strings.
+func fingerprint(rel *core.Relation) uint64 {
+	h := fnv.New64a()
+	_ = rel.EachTuple(func(t core.Tuple) error {
+		fmt.Fprintf(h, "%v|%d,%d,%d\n", t.Vals, t.M.Lo, t.M.SG, t.M.Hi)
+		return nil
+	})
+	return h.Sum64()
+}

@@ -20,6 +20,13 @@ type Catalog struct {
 	mu   sync.RWMutex
 	rels DB
 	obs  CatalogObserver
+	pol  StoragePolicy
+	// seen tracks relations this catalog has already compacted, so
+	// re-registering a relation that queries may be reading never
+	// mutates its representation again (Compact runs once, before the
+	// relation's first publication, under the same lock readers take
+	// snapshots under).
+	seen map[*Relation]struct{}
 }
 
 // CatalogObserver is notified of catalog mutations — the hook the
@@ -37,8 +44,26 @@ type CatalogObserver interface {
 	Dropped(name string)
 }
 
-// NewCatalog creates an empty catalog.
-func NewCatalog() *Catalog { return &Catalog{rels: DB{}} }
+// NewCatalog creates an empty catalog with the default storage policy.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: DB{}, seen: map[*Relation]struct{}{}}
+}
+
+// SetStoragePolicy installs the representation policy applied to future
+// registrations. Already registered relations keep their representation
+// until re-registered or re-analyzed.
+func (c *Catalog) SetStoragePolicy(p StoragePolicy) {
+	c.mu.Lock()
+	c.pol = p
+	c.mu.Unlock()
+}
+
+// StoragePolicy returns the current representation policy.
+func (c *Catalog) StoragePolicy() StoragePolicy {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pol
+}
 
 // SetObserver installs the mutation observer (nil uninstalls). Install it
 // before registering tables; events are not replayed.
@@ -53,9 +78,33 @@ func (c *Catalog) SetObserver(o CatalogObserver) {
 // lowercased schema catalog): registering a case-variant of an existing
 // name replaces it, so the catalog never holds two tables a query could
 // not tell apart.
+//
+// The first time a relation is registered, the catalog compacts it per
+// the storage policy (see Compact). This happens under the catalog lock
+// before the relation becomes visible, so queries — which snapshot under
+// the same lock — only ever see a settled representation; re-registering
+// the same relation never re-compacts it.
 func (c *Catalog) Register(name string, r *Relation) {
+	c.registerWith(name, r, true)
+}
+
+// RegisterPrebuilt registers a relation whose representation was already
+// chosen (e.g. by RelationBuilder.Finish or a replacement built for a
+// flip), skipping compaction.
+func (c *Catalog) RegisterPrebuilt(name string, r *Relation) {
+	c.registerWith(name, r, false)
+}
+
+// registerWith is the insertion step shared by the Register variants.
+func (c *Catalog) registerWith(name string, r *Relation, compact bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, done := c.seen[r]; !done {
+		if compact {
+			r.Compact(c.pol)
+		}
+		c.seen[r] = struct{}{}
+	}
 	if k, ok := schema.ResolveFold(c.rels, name); ok && k != name {
 		delete(c.rels, k)
 		if c.obs != nil {
@@ -68,16 +117,46 @@ func (c *Catalog) Register(name string, r *Relation) {
 	}
 }
 
+// ReplaceIf atomically replaces the relation registered under name with
+// repl, but only when the current entry is still old — the compare-and-
+// swap a representation flip needs so it cannot resurrect a table that a
+// concurrent Register or Drop changed meanwhile. It reports whether the
+// swap happened.
+func (c *Catalog) ReplaceIf(name string, old, repl *Relation) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k, ok := schema.ResolveFold(c.rels, name)
+	if !ok || c.rels[k] != old {
+		return false
+	}
+	c.seen[repl] = struct{}{}
+	c.rels[k] = repl
+	if c.obs != nil {
+		c.obs.Registered(k, repl)
+	}
+	return true
+}
+
 // Drop removes a relation, resolving the name the way queries do
 // (exact, then case-insensitive); it is a no-op for unknown names.
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if k, ok := schema.ResolveFold(c.rels, name); ok {
+		r := c.rels[k]
 		delete(c.rels, k)
 		if c.obs != nil {
 			c.obs.Dropped(k)
 		}
+		// Forget the compaction marker unless the relation is still
+		// registered under another name, so seen stays bounded by the
+		// live table count.
+		for _, other := range c.rels {
+			if other == r {
+				return
+			}
+		}
+		delete(c.seen, r)
 	}
 }
 

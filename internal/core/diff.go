@@ -25,7 +25,7 @@ func DiffRelations(ctx context.Context, l, r *Relation) (*Relation, error) {
 	if l.Schema.Arity() != r.Schema.Arity() {
 		return nil, fmt.Errorf("core: difference arity mismatch %s vs %s", l.Schema, r.Schema)
 	}
-	return diffRelations(ctx, l, r)
+	return diffRelations(ctx, l.Dense(), r.Dense())
 }
 
 func diffRelations(ctx context.Context, l, r *Relation) (*Relation, error) {

@@ -33,9 +33,20 @@ func (t Tuple) String() string {
 // Relation is an N^AU-relation (Definition 12): a finite support function
 // from range-annotated tuples to multiplicity triples, stored as a slice.
 // Tuples with zero annotations are never stored.
+//
+// A relation holds its rows in exactly one of two representations: the
+// dense Tuples slice, or the columnar sparse form (sp, see sparse.go)
+// that a Catalog compacts mostly-certain tables into. Code that reads
+// Tuples directly must first obtain a dense view via Dense()/DenseRange()
+// or iterate with EachTuple; the accessors on *Relation (Len, Repr,
+// FastCertain, ...) work on either representation.
 type Relation struct {
 	Schema schema.Schema
 	Tuples []Tuple
+
+	// sp holds the columnar storage of a compacted relation; nil for
+	// dense relations. Invariant: sp != nil implies Tuples == nil.
+	sp *sparseRows
 }
 
 // New creates an empty AU-relation with the given schema.
@@ -53,20 +64,35 @@ func FromDeterministic(r *bag.Relation) *Relation {
 }
 
 // Add appends a tuple unless its annotation is zero or invalid-by-zero.
+// Adding to a sparse relation densifies it first: a mutated table can no
+// longer trust its compaction-time certainty analysis, so it flips back
+// to dense until the next registration or Analyze re-evaluates it.
 func (r *Relation) Add(t Tuple) {
 	if t.M.Hi <= 0 {
 		return
 	}
+	r.densifyInPlace()
 	r.Tuples = append(r.Tuples, t)
 }
 
 // Len returns the number of stored AU-tuples.
-func (r *Relation) Len() int { return len(r.Tuples) }
+func (r *Relation) Len() int {
+	if r.sp != nil {
+		return r.sp.n
+	}
+	return len(r.Tuples)
+}
 
 // PossibleSize returns the total upper-bound multiplicity, the measure of
 // over-approximation size reported in Figure 14b.
 func (r *Relation) PossibleSize() int64 {
 	var n int64
+	if r.sp != nil {
+		for i := 0; i < r.sp.n; i++ {
+			n += r.sp.multAt(i).Hi
+		}
+		return n
+	}
 	for _, t := range r.Tuples {
 		n += t.M.Hi
 	}
@@ -76,14 +102,25 @@ func (r *Relation) PossibleSize() int64 {
 // CertainSize returns the total lower-bound multiplicity.
 func (r *Relation) CertainSize() int64 {
 	var n int64
+	if r.sp != nil {
+		for i := 0; i < r.sp.n; i++ {
+			n += r.sp.multAt(i).Lo
+		}
+		return n
+	}
 	for _, t := range r.Tuples {
 		n += t.M.Lo
 	}
 	return n
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (dense, regardless of r's representation).
 func (r *Relation) Clone() *Relation {
+	if r.sp != nil {
+		// Dense materialization is already a deep copy: fresh Vals
+		// slices over immutable values.
+		return r.Dense()
+	}
 	out := New(r.Schema)
 	out.Tuples = make([]Tuple, len(r.Tuples))
 	for i, t := range r.Tuples {
@@ -96,8 +133,13 @@ func (r *Relation) Clone() *Relation {
 // the Tuple structs — without deep-copying attribute ranges. The clone owns
 // its slice and annotations (it may be reordered, truncated and Merged),
 // while attribute values still alias r's; every engine treats range values
-// as immutable, so slice-level ownership is all the executors need.
+// as immutable, so slice-level ownership is all the executors need. A
+// sparse relation yields a fresh dense materialization, which owns
+// everything.
 func (r *Relation) ShallowClone() *Relation {
+	if r.sp != nil {
+		return r.Dense()
+	}
 	out := New(r.Schema)
 	out.Tuples = append([]Tuple(nil), r.Tuples...)
 	return out
@@ -119,6 +161,10 @@ func (r *Relation) MergeCtx(ctx context.Context) (*Relation, error) {
 }
 
 func (r *Relation) mergePoll(p *ctxpoll.Poll) (*Relation, error) {
+	// Merge mutates in place, so it only runs on owned relations; owned
+	// relations are dense (ShallowClone densifies), but densify
+	// defensively so a stray sparse input cannot corrupt the merge.
+	r.densifyInPlace()
 	if len(r.Tuples) == 0 {
 		return r, nil
 	}
@@ -155,17 +201,21 @@ func (r *Relation) sgwCtx(p *ctxpoll.Poll) (*bag.Relation, error) {
 	counts := map[string]int64{}
 	reps := map[string]types.Tuple{}
 	var order []string
-	for _, t := range r.Tuples {
+	err := r.EachTuple(func(t Tuple) error {
 		if err := p.Due(); err != nil {
-			return nil, err
+			return err
 		}
-		sg := t.Vals.SG()
+		sg := t.Vals.SG() // fresh tuple, safe past the scratch Vals
 		k := sg.Key()
 		if _, ok := counts[k]; !ok {
 			order = append(order, k)
 			reps[k] = sg
 		}
 		counts[k] += t.M.SG
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, k := range order {
 		if counts[k] > 0 {
@@ -181,22 +231,25 @@ func (r *Relation) sgwCtx(p *ctxpoll.Poll) (*bag.Relation, error) {
 // sum.
 func (r *Relation) SGCombine() *Relation {
 	out := New(r.Schema)
-	idx := make(map[string]int, len(r.Tuples))
-	for _, t := range r.Tuples {
+	idx := make(map[string]int, r.Len())
+	_ = r.EachTuple(func(t Tuple) error {
 		k := t.Vals.SGKey()
 		if j, ok := idx[k]; ok {
 			out.Tuples[j].Vals = out.Tuples[j].Vals.Union(t.Vals)
 			out.Tuples[j].M = out.Tuples[j].M.Add(t.M)
-			continue
+			return nil
 		}
 		idx[k] = len(out.Tuples)
 		out.Tuples = append(out.Tuples, t.Clone())
-	}
+		return nil
+	})
 	return out
 }
 
-// Sort orders tuples by SG values then bounds, for stable output.
+// Sort orders tuples by SG values then bounds, for stable output. Sorting
+// reorders in place, so a sparse relation densifies first.
 func (r *Relation) Sort() *Relation {
+	r.densifyInPlace()
 	sort.SliceStable(r.Tuples, func(i, j int) bool {
 		a, b := r.Tuples[i], r.Tuples[j]
 		if c := a.Vals.SG().Compare(b.Vals.SG()); c != 0 {
@@ -212,9 +265,10 @@ func (r *Relation) String() string {
 	var sb strings.Builder
 	sb.WriteString(r.Schema.String())
 	sb.WriteByte('\n')
-	for _, t := range r.Tuples {
+	_ = r.EachTuple(func(t Tuple) error {
 		fmt.Fprintf(&sb, "%s\n", t)
-	}
+		return nil
+	})
 	return sb.String()
 }
 

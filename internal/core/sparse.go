@@ -1,0 +1,413 @@
+package core
+
+import (
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
+)
+
+// Sparse relation storage. A Relation normally stores its rows as a slice
+// of Tuples — a full [lb/sg/ub] triple per attribute and a multiplicity
+// triple per row — but on realistic workloads most values are certain, so
+// the dense layout pays 3x memory and per-attribute range arithmetic for
+// bounds that are all equal. A compacted relation instead stores columns
+// (rangeval.Col): a fully certain column is one flat value slice, an
+// uncertain column keeps its triples; multiplicities get the same
+// treatment (one int64 per row when every row's triple is (m,m,m)).
+//
+// The representation is invisible to query semantics: operators that have
+// a certain-only fast path read the flat columns directly, everything
+// else materializes a fresh dense view at operator entry (Dense), and any
+// in-place mutation densifies first. A sparse relation is never converted
+// back to dense in place while it may be shared (see Compact); flips go
+// through replacement registration in the catalog.
+
+// Repr identifies a relation's storage representation.
+type Repr uint8
+
+const (
+	// ReprDense is the row-major []Tuple layout.
+	ReprDense Repr = iota
+	// ReprSparse is the columnar layout with flat certain columns.
+	ReprSparse
+)
+
+// String renders the representation name as audbsh \stats reports it.
+func (r Repr) String() string {
+	if r == ReprSparse {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// ReprMode selects how a relation's representation is chosen.
+type ReprMode uint8
+
+const (
+	// ReprAuto picks sparse when the flat-column fraction reaches the
+	// policy threshold.
+	ReprAuto ReprMode = iota
+	// ReprForceDense keeps every relation dense.
+	ReprForceDense
+	// ReprForceSparse compacts every non-empty relation.
+	ReprForceSparse
+)
+
+// DefaultSparseThreshold is the flat-column fraction (the multiplicity
+// column counts as one more column) at which ReprAuto compacts a table.
+const DefaultSparseThreshold = 0.5
+
+// StoragePolicy decides the storage representation of registered
+// relations. The zero value is ReprAuto with DefaultSparseThreshold.
+type StoragePolicy struct {
+	// Mode selects automatic choice or a manual override.
+	Mode ReprMode
+	// Threshold is the minimum fraction of flat columns (out of
+	// arity+1, counting multiplicities) for ReprAuto to pick sparse;
+	// <= 0 means DefaultSparseThreshold.
+	Threshold float64
+}
+
+func (p StoragePolicy) threshold() float64 {
+	if p.Threshold <= 0 {
+		return DefaultSparseThreshold
+	}
+	return p.Threshold
+}
+
+// sparseRows is the columnar payload of a compacted relation.
+type sparseRows struct {
+	n    int
+	cols []rangeval.Col
+	// mflat holds per-row certain multiplicities (the triple (m,m,m)
+	// stored once); mdense holds full triples. Exactly one is non-nil
+	// for n > 0.
+	mflat  []int64
+	mdense []Mult
+	// fastCertain caches the precondition for the certain-only kernels:
+	// every column flat and null-free, every multiplicity certain.
+	// (Null-free matters because certain-null comparisons diverge:
+	// range evaluation keeps a maybe-row where deterministic evaluation
+	// drops it.)
+	fastCertain bool
+}
+
+func (sp *sparseRows) multAt(i int) Mult {
+	if sp.mflat != nil {
+		m := sp.mflat[i]
+		return Mult{Lo: m, SG: m, Hi: m}
+	}
+	return sp.mdense[i]
+}
+
+// denseTuples materializes rows [lo, hi) as fresh dense tuples. The Vals
+// slices are carved from one arena allocation and share nothing with the
+// sparse storage except immutable value internals.
+func (sp *sparseRows) denseTuples(lo, hi int) []Tuple {
+	n := hi - lo
+	arity := len(sp.cols)
+	out := make([]Tuple, n)
+	arena := make(rangeval.Tuple, n*arity)
+	for i := 0; i < n; i++ {
+		vals := arena[i*arity : (i+1)*arity : (i+1)*arity]
+		for c := range sp.cols {
+			vals[c] = sp.cols[c].At(lo + i)
+		}
+		out[i] = Tuple{Vals: vals, M: sp.multAt(lo + i)}
+	}
+	return out
+}
+
+// Repr returns the relation's current storage representation.
+func (r *Relation) Repr() Repr {
+	if r.sp != nil {
+		return ReprSparse
+	}
+	return ReprDense
+}
+
+// IsSparse reports whether the relation is in the columnar representation.
+func (r *Relation) IsSparse() bool { return r.sp != nil }
+
+// FastCertain reports whether the relation qualifies for the certain-only
+// kernels: sparse, every column flat and null-free, every multiplicity
+// certain. Operators must re-check after any fallback densification.
+func (r *Relation) FastCertain() bool { return r.sp != nil && r.sp.fastCertain }
+
+// StorageDetail describes the representation for statistics reporting:
+// how many of the relation's columns are flat and whether multiplicities
+// are stored flat. For a dense relation flatCols and multFlat are zero.
+func (r *Relation) StorageDetail() (repr Repr, flatCols int, multFlat bool) {
+	if r.sp == nil {
+		return ReprDense, 0, false
+	}
+	for _, c := range r.sp.cols {
+		if c.IsFlat() {
+			flatCols++
+		}
+	}
+	return ReprSparse, flatCols, r.sp.mflat != nil
+}
+
+// FlatCol returns column c's flat value slice when the relation is sparse
+// and that column is flat (read-only), or nil. The certain-only kernels
+// use it to evaluate deterministic expressions without materializing
+// range triples.
+func (r *Relation) FlatCol(c int) []types.Value {
+	if r.sp == nil {
+		return nil
+	}
+	return r.sp.cols[c].Flat
+}
+
+// flatView returns every flat column slice of a FastCertain relation,
+// indexable as flat[col][row].
+func (r *Relation) flatView() [][]types.Value {
+	out := make([][]types.Value, len(r.sp.cols))
+	for c := range out {
+		out[c] = r.sp.cols[c].Flat
+	}
+	return out
+}
+
+// MultAt returns row i's multiplicity in either representation.
+func (r *Relation) MultAt(i int) Mult {
+	if r.sp != nil {
+		return r.sp.multAt(i)
+	}
+	return r.Tuples[i].M
+}
+
+// Dense returns a dense view of the relation: r itself when already
+// dense, otherwise a fresh materialization that shares no mutable state
+// with r. Operators without a sparse-aware path call this at entry; the
+// result is transient and never cached back onto r.
+func (r *Relation) Dense() *Relation {
+	if r.sp == nil {
+		return r
+	}
+	out := New(r.Schema)
+	out.Tuples = r.sp.denseTuples(0, r.sp.n)
+	return out
+}
+
+// DenseRange materializes rows [lo, hi) as fresh dense tuples, for
+// batched iteration (internal/phys) over a sparse relation.
+func (r *Relation) DenseRange(lo, hi int) []Tuple {
+	if r.sp == nil {
+		return r.Tuples[lo:hi]
+	}
+	return r.sp.denseTuples(lo, hi)
+}
+
+// CertainRow fills det with row i's flat values. Only valid when
+// FastCertain holds; det must have the relation's arity.
+func (r *Relation) CertainRow(i int, det types.Tuple) {
+	for c := range r.sp.cols {
+		det[c] = r.sp.cols[c].Flat[i]
+	}
+}
+
+// EachTuple calls fn for every row in either representation. For a sparse
+// relation the Tuple's Vals slice is a scratch buffer reused between
+// calls: fn must not retain it (Clone first to keep a row).
+func (r *Relation) EachTuple(fn func(Tuple) error) error {
+	if r.sp == nil {
+		for _, t := range r.Tuples {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sp := r.sp
+	scratch := make(rangeval.Tuple, len(sp.cols))
+	for i := 0; i < sp.n; i++ {
+		for c := range sp.cols {
+			scratch[c] = sp.cols[c].At(i)
+		}
+		if err := fn(Tuple{Vals: scratch, M: sp.multAt(i)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// densifyInPlace converts the relation back to the dense layout. Only
+// safe on relations the caller owns exclusively (mutation entry points);
+// a registered relation flips representation via replacement in the
+// catalog instead, never in place under concurrent readers.
+func (r *Relation) densifyInPlace() {
+	if r.sp == nil {
+		return
+	}
+	r.Tuples = r.sp.denseTuples(0, r.sp.n)
+	r.sp = nil
+}
+
+// flatFrac returns the fraction of the relation's columns (multiplicities
+// count as one more) that are entirely certain, or -1 when rows disagree
+// with the schema arity and the relation must stay dense.
+func flatFrac(r *Relation) float64 {
+	arity := r.Schema.Arity()
+	colFlat := make([]bool, arity)
+	for i := range colFlat {
+		colFlat[i] = true
+	}
+	multFlat := true
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		if len(t.Vals) != arity {
+			return -1
+		}
+		if multFlat && !(t.M.Lo == t.M.SG && t.M.SG == t.M.Hi) {
+			multFlat = false
+		}
+		for c := range t.Vals {
+			if colFlat[c] && !t.Vals[c].IsCertain() {
+				colFlat[c] = false
+			}
+		}
+	}
+	flat := 0
+	for _, f := range colFlat {
+		if f {
+			flat++
+		}
+	}
+	if multFlat {
+		flat++
+	}
+	return float64(flat) / float64(arity+1)
+}
+
+// Compact converts a dense relation to the sparse representation in place
+// when the policy calls for it, returning the representation in effect.
+// An already sparse relation is left as is even under ReprForceDense:
+// compaction runs before a relation becomes visible to queries, and a
+// visible sparse relation may have concurrent readers, so sparse→dense
+// flips are done by building a replacement (see Database.Analyze), never
+// in place. Empty relations stay dense so the register-then-add-rows
+// pattern keeps appending to []Tuple.
+func (r *Relation) Compact(pol StoragePolicy) Repr {
+	if r.sp != nil {
+		return ReprSparse
+	}
+	if pol.Mode == ReprForceDense || len(r.Tuples) == 0 {
+		return ReprDense
+	}
+	frac := flatFrac(r)
+	if frac < 0 || (pol.Mode == ReprAuto && frac < pol.threshold()) {
+		return ReprDense
+	}
+	b := NewRelationBuilder(r.Schema, len(r.Tuples))
+	for _, t := range r.Tuples {
+		b.Add(t)
+	}
+	r.sp = b.buildSparse()
+	r.Tuples = nil
+	return ReprSparse
+}
+
+// RelationBuilder accumulates rows column-wise so bulk ingest (COPY, the
+// wire decoder) can materialize straight into sparse form without a
+// second pass over the data. Add mirrors Relation.Add (rows with a zero
+// upper multiplicity are dropped); rows must match the schema's arity.
+type RelationBuilder struct {
+	sch    schema.Schema
+	cols   []rangeval.ColBuilder
+	mflat  []int64
+	mdense []Mult
+	n      int
+}
+
+// NewRelationBuilder creates a builder for the given schema, reserving
+// capacity for sizeHint rows.
+func NewRelationBuilder(s schema.Schema, sizeHint int) *RelationBuilder {
+	b := &RelationBuilder{sch: s, cols: make([]rangeval.ColBuilder, s.Arity())}
+	if sizeHint > 0 {
+		for i := range b.cols {
+			b.cols[i].Grow(sizeHint)
+		}
+		b.mflat = make([]int64, 0, sizeHint)
+	}
+	return b
+}
+
+// Arity returns the builder's schema arity.
+func (b *RelationBuilder) Arity() int { return b.sch.Arity() }
+
+// Len returns the number of rows added so far.
+func (b *RelationBuilder) Len() int { return b.n }
+
+// Add appends one row. Rows whose upper multiplicity is <= 0 are dropped,
+// exactly like Relation.Add.
+func (b *RelationBuilder) Add(t Tuple) {
+	if t.M.Hi <= 0 {
+		return
+	}
+	for c := range b.cols {
+		b.cols[c].Append(t.Vals[c])
+	}
+	if b.mdense == nil {
+		if t.M.Lo == t.M.SG && t.M.SG == t.M.Hi {
+			b.mflat = append(b.mflat, t.M.SG)
+		} else {
+			b.mdense = make([]Mult, b.n, cap(b.mflat)+1)
+			for i, m := range b.mflat {
+				b.mdense[i] = Mult{Lo: m, SG: m, Hi: m}
+			}
+			b.mflat = nil
+			b.mdense = append(b.mdense, t.M)
+		}
+	} else {
+		b.mdense = append(b.mdense, t.M)
+	}
+	b.n++
+}
+
+// FlatFrac returns the current flat-column fraction (multiplicities count
+// as one more column), the quantity the storage policy thresholds.
+func (b *RelationBuilder) FlatFrac() float64 {
+	flat := 0
+	for i := range b.cols {
+		if b.cols[i].IsFlat() {
+			flat++
+		}
+	}
+	if b.mdense == nil {
+		flat++
+	}
+	return float64(flat) / float64(len(b.cols)+1)
+}
+
+func (b *RelationBuilder) buildSparse() *sparseRows {
+	sp := &sparseRows{n: b.n, cols: make([]rangeval.Col, len(b.cols)), mflat: b.mflat, mdense: b.mdense}
+	fast := sp.mflat != nil || b.n == 0
+	for i := range b.cols {
+		sp.cols[i] = b.cols[i].Build()
+		if !sp.cols[i].IsFlat() || sp.cols[i].HasNulls() {
+			fast = false
+		}
+	}
+	sp.fastCertain = fast
+	return sp
+}
+
+// Finish builds the relation, choosing the representation by policy. The
+// builder must not be reused afterwards.
+func (b *RelationBuilder) Finish(pol StoragePolicy) *Relation {
+	out := New(b.sch)
+	if b.n == 0 {
+		return out
+	}
+	sparse := pol.Mode == ReprForceSparse ||
+		(pol.Mode == ReprAuto && b.FlatFrac() >= pol.threshold())
+	sp := b.buildSparse()
+	if sparse {
+		out.sp = sp
+	} else {
+		out.Tuples = sp.denseTuples(0, sp.n)
+	}
+	return out
+}

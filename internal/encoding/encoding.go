@@ -63,9 +63,12 @@ func encCtx(ctx context.Context, r *core.Relation) (*bag.Relation, error) {
 	l := Layout{N: r.Schema.Arity()}
 	out := bag.New(EncSchema(r.Schema))
 	p := ctxpoll.New(ctx)
-	for _, t := range r.Tuples {
+	// EachTuple may reuse its scratch tuple between calls; every value is
+	// copied into a fresh row before the callback returns, so nothing from
+	// the scratch storage is retained.
+	err := r.EachTuple(func(t core.Tuple) error {
 		if err := p.Due(); err != nil {
-			return nil, err
+			return err
 		}
 		row := make(types.Tuple, l.Width())
 		for i, v := range t.Vals {
@@ -77,6 +80,10 @@ func encCtx(ctx context.Context, r *core.Relation) (*bag.Relation, error) {
 		row[l.RowSG()] = types.Int(t.M.SG)
 		row[l.RowHi()] = types.Int(t.M.Hi)
 		out.Add(row, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

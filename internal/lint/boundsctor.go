@@ -18,11 +18,18 @@ const rangevalPath = "github.com/audb/audb/internal/rangeval"
 // the invariant (Union), so the property has a single auditable
 // chokepoint. The zero literal rangeval.V{} stays legal: it is the
 // conventional "no value" alongside a non-nil error.
+//
+// The sparse column form rangeval.Col is held to the same standard: its
+// Flat/Dense/Nulls fields are read-only outside rangeval (a raw slice
+// poke like c.Flat[i] = v could desynchronize the null count, or plant an
+// invariant-violating triple in Dense). Columns are assembled through
+// ColBuilder and read through At/Len/IsFlat.
 var Boundsctor = &analysis.Analyzer{
 	Name: "boundsctor",
 	Doc: "forbid constructing rangeval.V outside internal/rangeval: " +
 		"non-empty composite literals and writes to Lo/SG/Hi bypass the " +
-		"lb ≤ sg ≤ ub chokepoint (use Certain/New/Checked/Full/Union)",
+		"lb ≤ sg ≤ ub chokepoint (use Certain/New/Checked/Full/Union); " +
+		"likewise rangeval.Col's Flat/Dense/Nulls are read-only (use ColBuilder)",
 	Run: runBoundsctor,
 }
 
@@ -34,21 +41,26 @@ func runBoundsctor(pass *analysis.Pass) (any, error) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CompositeLit:
-				if len(n.Elts) > 0 && isRangevalV(pass.TypesInfo.TypeOf(n)) {
+				if len(n.Elts) == 0 {
+					break // zero values: the "no value" convention
+				}
+				switch {
+				case isRangevalV(pass.TypesInfo.TypeOf(n)):
 					pass.Reportf(n.Pos(), "rangeval.V composite literal bypasses the lb ≤ sg ≤ ub chokepoint; use rangeval.New, Checked, Certain or Full")
+				case isRangevalCol(pass.TypesInfo.TypeOf(n)):
+					pass.Reportf(n.Pos(), "rangeval.Col composite literal bypasses the column invariants (flat xor dense, synced null count); assemble it with rangeval.ColBuilder")
 				}
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
-					if sel, ok := lhs.(*ast.SelectorExpr); ok && isVFieldSelection(pass, sel) {
-						pass.Reportf(sel.Pos(), "write to rangeval.V.%s bypasses the lb ≤ sg ≤ ub chokepoint; build a new value with rangeval.New or Checked", sel.Sel.Name)
-					}
+					reportGuardedWrite(pass, lhs, "write to")
 				}
+			case *ast.IncDecStmt:
+				// c.Nulls++ desynchronizes the null count.
+				reportGuardedWrite(pass, n.X, "write to")
 			case *ast.UnaryExpr:
-				// &v.Lo hands out a writable alias to one bound.
+				// &v.Lo (or &c.Flat) hands out a writable alias.
 				if n.Op.String() == "&" {
-					if sel, ok := n.X.(*ast.SelectorExpr); ok && isVFieldSelection(pass, sel) {
-						pass.Reportf(n.Pos(), "taking the address of rangeval.V.%s allows writes that bypass the lb ≤ sg ≤ ub chokepoint", sel.Sel.Name)
-					}
+					reportGuardedWrite(pass, n.X, "taking the address of")
 				}
 			}
 			return true
@@ -57,8 +69,31 @@ func runBoundsctor(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// isRangevalV reports whether t is rangeval.V (possibly behind a pointer).
-func isRangevalV(t types.Type) bool {
+// reportGuardedWrite flags expr when it denotes a guarded field —
+// rangeval.V's Lo/SG/Hi or rangeval.Col's Flat/Dense/Nulls — either
+// directly or as a raw slice poke through a Col field (c.Flat[i] = v).
+func reportGuardedWrite(pass *analysis.Pass, expr ast.Expr, verb string) {
+	if idx, ok := expr.(*ast.IndexExpr); ok {
+		if sel, ok := idx.X.(*ast.SelectorExpr); ok && isColFieldSelection(pass, sel) {
+			pass.Reportf(expr.Pos(), "%s rangeval.Col.%s[i] pokes the raw column storage; columns are immutable once built — assemble a new one with rangeval.ColBuilder", verb, sel.Sel.Name)
+		}
+		return
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch {
+	case isVFieldSelection(pass, sel):
+		pass.Reportf(expr.Pos(), "%s rangeval.V.%s bypasses the lb ≤ sg ≤ ub chokepoint; build a new value with rangeval.New or Checked", verb, sel.Sel.Name)
+	case isColFieldSelection(pass, sel):
+		pass.Reportf(expr.Pos(), "%s rangeval.Col.%s bypasses the column invariants; assemble a new column with rangeval.ColBuilder", verb, sel.Sel.Name)
+	}
+}
+
+// isRangevalNamed reports whether t is the given rangeval type (possibly
+// behind a pointer).
+func isRangevalNamed(t types.Type, name string) bool {
 	if t == nil {
 		return false
 	}
@@ -70,21 +105,41 @@ func isRangevalV(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "V" && obj.Pkg() != nil && obj.Pkg().Path() == rangevalPath
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == rangevalPath
+}
+
+func isRangevalV(t types.Type) bool   { return isRangevalNamed(t, "V") }
+func isRangevalCol(t types.Type) bool { return isRangevalNamed(t, "Col") }
+
+// isGuardedFieldSelection reports whether sel selects the named field of
+// the given rangeval type as a field (not a method).
+func isGuardedFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr, typ func(types.Type) bool) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == rangevalPath && typ(s.Recv())
 }
 
 // isVFieldSelection reports whether sel selects one of rangeval.V's
-// bound fields (Lo, SG, Hi) as a field (not a method).
+// bound fields (Lo, SG, Hi).
 func isVFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	switch sel.Sel.Name {
 	case "Lo", "SG", "Hi":
 	default:
 		return false
 	}
-	s, ok := pass.TypesInfo.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
+	return isGuardedFieldSelection(pass, sel, isRangevalV)
+}
+
+// isColFieldSelection reports whether sel selects one of rangeval.Col's
+// storage fields (Flat, Dense, Nulls).
+func isColFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Flat", "Dense", "Nulls":
+	default:
 		return false
 	}
-	v, ok := s.Obj().(*types.Var)
-	return ok && v.Pkg() != nil && v.Pkg().Path() == rangevalPath && isRangevalV(s.Recv())
+	return isGuardedFieldSelection(pass, sel, isRangevalCol)
 }

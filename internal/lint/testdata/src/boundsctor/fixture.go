@@ -37,6 +37,32 @@ func clean() {
 	_ = u
 }
 
+// Sparse columns: the raw storage fields are read-only outside rangeval.
+func flaggedCol() {
+	_ = rangeval.Col{Flat: []types.Value{types.Int(1)}} // want `composite literal bypasses the column invariants`
+	var c rangeval.Col
+	c.Flat = []types.Value{types.Int(1)}        // want `write to rangeval.Col.Flat`
+	c.Dense = []rangeval.V{}                    // want `write to rangeval.Col.Dense`
+	c.Nulls = 3                                 // want `write to rangeval.Col.Nulls`
+	c.Nulls++                                   // want `write to rangeval.Col.Nulls`
+	c.Flat[0] = types.Null()                    // want `pokes the raw column storage`
+	c.Dense[0] = rangeval.Certain(types.Int(1)) // want `pokes the raw column storage`
+	_ = &c.Flat                                 // want `taking the address of rangeval.Col.Flat`
+	_ = c
+}
+
+func cleanCol() {
+	var b rangeval.ColBuilder
+	b.Append(rangeval.Certain(types.Int(1)))
+	c := b.Build()
+	_ = c.Flat    // reads are fine
+	_ = c.Flat[0] // indexed reads too
+	_, _, _ = c.At(0), c.Len(), c.IsFlat()
+	_ = rangeval.Col{}          // zero value stays legal
+	d := rangeval.Col{Nulls: 1} //lint:allow audblint-boundsctor exercising the suppression syntax
+	_ = d
+}
+
 // mult has fields named like V's; writes to it are not our business.
 type mult struct{ Lo, SG, Hi int64 }
 
@@ -44,4 +70,18 @@ func otherTriple() {
 	var m mult
 	m.Lo, m.SG, m.Hi = 1, 2, 3
 	_ = mult{Lo: 1, SG: 1, Hi: 1}
+}
+
+// colLike has fields named like Col's; writes to it are not our business.
+type colLike struct {
+	Flat  []int
+	Nulls int
+}
+
+func otherCol() {
+	var c colLike
+	c.Flat = []int{1}
+	c.Flat[0] = 2
+	c.Nulls++
+	_ = colLike{Nulls: 1}
 }

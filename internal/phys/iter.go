@@ -3,13 +3,16 @@ package phys
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"sort"
 
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/ra"
+	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
+	"github.com/audb/audb/internal/types"
 )
 
 // iter is a pull-based batch iterator (a volcano-style operator working on
@@ -37,9 +40,11 @@ type iter interface {
 // ---------------------------------------------------------------- scan --
 
 // scanIter streams the tuples of a base relation in fixed-size batches.
-// Batches are subslices of the stored tuples: a scan never copies, and a
-// partitioned scan ([lo, hi) ranges of one relation) feeds the exchange
-// operator without any coordination.
+// Over a dense relation batches are subslices of the stored tuples (a scan
+// never copies); over a sparse relation each batch is a fresh dense
+// materialization of its row range, which trivially satisfies the iter
+// retention contract. Either way a partitioned scan ([lo, hi) ranges of
+// one relation) feeds the exchange operator without any coordination.
 type scanIter struct {
 	rel    *core.Relation
 	sch    schema.Schema
@@ -71,13 +76,102 @@ func (s *scanIter) Next() ([]core.Tuple, error) {
 	if end > s.hi {
 		end = s.hi
 	}
-	out := s.rel.Tuples[s.pos:end]
+	out := s.rel.DenseRange(s.pos, end)
 	s.pos = end
 	return out, nil
 }
 
 func (s *scanIter) Close() error          { return nil }
 func (s *scanIter) Schema() schema.Schema { return s.sch }
+
+// ------------------------------------------------ fused certain select --
+
+// certSelectIter fuses σ over a scan of a FastCertain base relation: the
+// predicate is evaluated deterministically over the flat column values and
+// range triples are materialized only for the rows it keeps, so filtered
+// rows never exist as triples at all. It is gated on the same conditions
+// as the materializing kernel's certain-only loop (core.Relation.
+// FastCertain plus expr.CertainFastSafe), under which FilterTuple
+// multiplies the row annotation by [1/1/1] for a certainly-true predicate
+// and drops everything else — batch-for-batch identical to
+// scanIter+selectIter.
+type certSelectIter struct {
+	rel    *core.Relation
+	pred   expr.Expr
+	sch    schema.Schema
+	lo, hi int
+	batch  int
+
+	poll *ctxpoll.Poll
+	flat [][]types.Value
+	det  types.Tuple
+	keep []int
+	buf  []core.Tuple
+	pos  int
+}
+
+func newCertSelectIter(rel *core.Relation, pred expr.Expr, lo, hi, batch int) *certSelectIter {
+	return &certSelectIter{rel: rel, pred: pred, sch: rel.Schema, lo: lo, hi: hi, batch: batch}
+}
+
+func (s *certSelectIter) Open(ctx context.Context) error {
+	s.poll = ctxpoll.New(ctx)
+	arity := s.sch.Arity()
+	s.flat = make([][]types.Value, arity)
+	for c := range s.flat {
+		s.flat[c] = s.rel.FlatCol(c)
+	}
+	s.det = make(types.Tuple, arity)
+	s.pos = s.lo
+	return ctx.Err()
+}
+
+func (s *certSelectIter) Next() ([]core.Tuple, error) {
+	arity := len(s.det)
+	for s.pos < s.hi {
+		end := s.pos + s.batch
+		if end > s.hi {
+			end = s.hi
+		}
+		s.keep = s.keep[:0]
+		for i := s.pos; i < end; i++ {
+			if err := s.poll.Due(); err != nil {
+				return nil, err
+			}
+			for c := range s.flat {
+				s.det[c] = s.flat[c][i]
+			}
+			v, err := s.pred.Eval(s.det)
+			if err != nil {
+				return nil, fmt.Errorf("core: selection: %w", err)
+			}
+			if v.Kind() == types.KindBool && v.AsBool() {
+				s.keep = append(s.keep, i)
+			}
+		}
+		s.pos = end
+		if len(s.keep) == 0 {
+			continue
+		}
+		// The Vals arena is fresh per batch: consumers may retain the
+		// Tuple structs, and emitted attribute ranges must stay immutable.
+		s.buf = s.buf[:0]
+		arena := make(rangeval.Tuple, len(s.keep)*arity)
+		for _, i := range s.keep {
+			vals := arena[:arity:arity]
+			arena = arena[arity:]
+			for c := range s.flat {
+				vals[c] = rangeval.Certain(s.flat[c][i])
+			}
+			s.buf = append(s.buf, core.Tuple{Vals: vals, M: s.rel.MultAt(i)})
+		}
+		return s.buf, nil
+	}
+	return nil, nil
+}
+
+func (s *certSelectIter) Close() error          { return nil }
+func (s *certSelectIter) Schema() schema.Schema { return s.sch }
 
 // -------------------------------------------------------------- select --
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/metrics"
 	"github.com/audb/audb/internal/opt"
 	"github.com/audb/audb/internal/ra"
@@ -263,7 +264,7 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 		if !ok {
 			return nil, schema.UnknownTable("phys", t.Table, c.db.Names())
 		}
-		it := newScanIter(rel, 0, len(rel.Tuples), c.opt.BatchSize)
+		it := newScanIter(rel, 0, rel.Len(), c.opt.BatchSize)
 		return c.wrap(it, n, t.String(), "stream"), nil
 
 	case *ra.Select:
@@ -274,6 +275,18 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 		}
 		if ex, ok, err := c.lowerExchange(n); err != nil || ok {
 			return ex, err
+		}
+		// σ directly over a certain-only base table fuses into a single
+		// iterator evaluating the predicate on the flat column values.
+		if sc, ok := t.Child.(*ra.Scan); ok {
+			rel, relOK := c.db.LookupFold(sc.Table)
+			if !relOK {
+				return nil, schema.UnknownTable("phys", sc.Table, c.db.Names())
+			}
+			if rel.FastCertain() && expr.CertainFastSafe(t.Pred) {
+				it := newCertSelectIter(rel, t.Pred, 0, rel.Len(), c.opt.BatchSize)
+				return c.wrap(it, n, t.String(), "stream-certain"), nil
+			}
 		}
 		child, err := c.lower(t.Child)
 		if err != nil {
@@ -442,7 +455,7 @@ func (c *compiler) lowerExchange(n ra.Node) (iter, bool, error) {
 	if !ok {
 		return nil, false, schema.UnknownTable("phys", scan.Table, c.db.Names())
 	}
-	sized := len(rel.Tuples)
+	sized := rel.Len()
 	if e, ok := c.estRows(scan); ok && e >= 0 && e <= int64(1<<40) {
 		sized = int(e)
 	}
@@ -450,7 +463,7 @@ func (c *compiler) lowerExchange(n ra.Node) (iter, bool, error) {
 	if nPart < 2 {
 		return nil, false, nil
 	}
-	spans := core.ChunkSpans(len(rel.Tuples), nPart, 1)
+	spans := core.ChunkSpans(rel.Len(), nPart, 1)
 	if len(spans) < 2 {
 		return nil, false, nil
 	}
@@ -496,6 +509,9 @@ func (c *compiler) buildChain(n ra.Node, rel *core.Relation, lo, hi int) (iter, 
 	case *ra.Scan:
 		return newScanIter(rel, lo, hi, c.opt.BatchSize), nil
 	case *ra.Select:
+		if _, ok := t.Child.(*ra.Scan); ok && rel.FastCertain() && expr.CertainFastSafe(t.Pred) {
+			return newCertSelectIter(rel, t.Pred, lo, hi, c.opt.BatchSize), nil
+		}
 		child, err := c.buildChain(t.Child, rel, lo, hi)
 		if err != nil {
 			return nil, err

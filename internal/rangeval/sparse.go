@@ -1,0 +1,128 @@
+package rangeval
+
+import "github.com/audb/audb/internal/types"
+
+// Sparse column storage: the vertical-decomposition idea of U-relations
+// applied to the range-annotated domain. A column whose every row is
+// certain ([v/v/v]) stores one flat value per row instead of a triple —
+// one third of the memory and no bound arithmetic to widen — while a
+// column with any uncertain row keeps the dense triple layout. The
+// ColBuilder starts flat and promotes to dense the moment it sees an
+// uncertain value, backfilling the rows appended so far.
+//
+// Col's fields are exported so hot loops in internal/core can read them
+// without a call per value, but *writing* them (composite literals, field
+// or element assignment, taking a field address) outside this package is
+// forbidden and enforced by the audblint boundsctor rule: the only way
+// into sparse form is a ColBuilder, the only ways out are At/Build. That
+// keeps the representation invariants (exactly one of Flat/Dense set,
+// Nulls consistent with Flat) in one package.
+
+// Col is one column of a sparse relation: either a flat slice of certain
+// values or a dense slice of range triples, never both.
+type Col struct {
+	// Flat holds the per-row values of a column whose every row is
+	// certain; the range value of row i is [Flat[i]/Flat[i]/Flat[i]].
+	// nil when the column is dense. Read-only outside rangeval.
+	Flat []types.Value
+	// Dense holds the per-row triples of a column with at least one
+	// uncertain row. nil when the column is flat. Read-only outside
+	// rangeval.
+	Dense []V
+	// Nulls counts the null values in a flat column (a certain null is a
+	// legal certain value, but it still disqualifies the null-sensitive
+	// certain-only predicate fast path). Always 0 for dense columns.
+	Nulls int
+}
+
+// Len returns the number of rows in the column.
+func (c Col) Len() int {
+	if c.Flat != nil {
+		return len(c.Flat)
+	}
+	return len(c.Dense)
+}
+
+// IsFlat reports whether the column stores flat certain values.
+func (c Col) IsFlat() bool { return c.Dense == nil }
+
+// HasNulls reports whether a flat column contains null values.
+func (c Col) HasNulls() bool { return c.Nulls > 0 }
+
+// At returns row i as a range value, expanding flat values to [v/v/v].
+func (c Col) At(i int) V {
+	if c.Flat != nil {
+		return Certain(c.Flat[i])
+	}
+	return c.Dense[i]
+}
+
+// ColBuilder accumulates one column row by row, keeping the flat layout
+// for as long as every appended value is certain. The zero value is an
+// empty builder.
+type ColBuilder struct {
+	flat  []types.Value
+	dense []V
+	nulls int
+}
+
+// Grow reserves capacity for n additional rows.
+func (b *ColBuilder) Grow(n int) {
+	if b.dense != nil {
+		if cap(b.dense)-len(b.dense) < n {
+			next := make([]V, len(b.dense), len(b.dense)+n)
+			copy(next, b.dense)
+			b.dense = next
+		}
+		return
+	}
+	if cap(b.flat)-len(b.flat) < n {
+		next := make([]types.Value, len(b.flat), len(b.flat)+n)
+		copy(next, b.flat)
+		b.flat = next
+	}
+}
+
+// Append adds one row. The first uncertain value promotes the column to
+// the dense layout, expanding every previously appended value to [v/v/v].
+func (b *ColBuilder) Append(v V) {
+	if b.dense == nil {
+		if v.IsCertain() {
+			if v.SG.IsNull() {
+				b.nulls++
+			}
+			b.flat = append(b.flat, v.SG)
+			return
+		}
+		dense := make([]V, len(b.flat), cap(b.flat)+1)
+		for i, sv := range b.flat {
+			dense[i] = Certain(sv)
+		}
+		b.dense = dense
+		b.flat = nil
+		b.nulls = 0
+	}
+	b.dense = append(b.dense, v)
+}
+
+// Len returns the number of rows appended so far.
+func (b *ColBuilder) Len() int {
+	if b.dense != nil {
+		return len(b.dense)
+	}
+	return len(b.flat)
+}
+
+// IsFlat reports whether the column is still in the flat layout.
+func (b *ColBuilder) IsFlat() bool { return b.dense == nil }
+
+// Nulls returns the null count of a still-flat column.
+func (b *ColBuilder) Nulls() int { return b.nulls }
+
+// Build returns the finished column. The builder must not be reused.
+func (b *ColBuilder) Build() Col {
+	if b.dense != nil {
+		return Col{Dense: b.dense}
+	}
+	return Col{Flat: b.flat, Nulls: b.nulls}
+}

@@ -9,10 +9,8 @@ import (
 	"time"
 
 	"github.com/audb/audb"
-	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/obs"
-	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/wire"
 )
 
@@ -55,11 +53,14 @@ type session struct {
 	werr     error // first write error; poisons the session
 }
 
-// copyState is an open COPY stream.
+// copyState is an open COPY stream. Rows stream into a TableLoader, so
+// the table materializes directly in its final storage representation
+// with statistics collected in the same pass — CopyEnd publishes a fully
+// analyzed table without a second scan.
 type copyState struct {
 	id     uint64
 	table  string
-	rel    *core.Relation
+	ld     *audb.TableLoader
 	ctx    context.Context
 	cancel context.CancelFunc
 	poll   *ctxpoll.Poll
@@ -595,7 +596,7 @@ func (se *session) handleCopyBegin(m wire.CopyBegin) {
 	se.cp = &copyState{
 		id:     m.ID,
 		table:  m.Table,
-		rel:    core.New(schema.New(m.Cols...)),
+		ld:     se.srv.db.NewLoader(m.Table, m.Cols...),
 		ctx:    ctx,
 		cancel: cancel,
 		poll:   ctxpoll.New(ctx),
@@ -622,7 +623,7 @@ func (se *session) handleCopyData(m wire.CopyData) {
 	if cp.failed {
 		return
 	}
-	arity := cp.rel.Schema.Arity()
+	arity := cp.ld.Arity()
 	for _, t := range m.Tuples {
 		if err := cp.poll.Due(); err != nil {
 			se.failCopy(errCode(err), "copy aborted: %v", err)
@@ -632,7 +633,7 @@ func (se *session) handleCopyData(m wire.CopyData) {
 			se.failCopy(wire.CodeProto, "copy tuple has %d values, table %q has %d columns", len(t.Vals), cp.table, arity)
 			return
 		}
-		cp.rel.Add(t)
+		cp.ld.Add(t.Vals, t.M)
 		se.srv.met.copyTuples.Add(1)
 	}
 }
@@ -647,7 +648,7 @@ func (se *session) handleCopyEnd(m wire.CopyEnd) {
 	aborted := cp.ctx.Err()
 	cp.cancel()
 	if cp.sp != nil {
-		cp.sp.SetInt("tuples", int64(cp.rel.Len()))
+		cp.sp.SetInt("tuples", int64(cp.ld.Len()))
 		switch {
 		case cp.failed:
 			cp.sp.SetAttr("error", "failed")
@@ -664,6 +665,6 @@ func (se *session) handleCopyEnd(m wire.CopyEnd) {
 		se.fail(cp.id, errCode(err), "copy aborted: %v", err)
 		return
 	}
-	se.srv.db.AddRelation(cp.table, cp.rel)
-	se.respond(cp.id, wire.CopyOK{ID: cp.id, Rows: uint64(cp.rel.Len())})
+	cp.ld.Commit()
+	se.respond(cp.id, wire.CopyOK{ID: cp.id, Rows: uint64(cp.ld.Len())})
 }

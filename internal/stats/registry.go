@@ -96,6 +96,27 @@ func (g *Registry) Dropped(name string) {
 	g.mu.Unlock()
 }
 
+// Prime installs pre-collected statistics for a table, so ingest paths
+// that already streamed every row through a Collector (COPY, Analyze's
+// representation pass) don't pay a second collection pass. Call after the
+// relation is registered in the catalog: registration invalidates the
+// entry, so the order must be Register, then Prime. The statistics only
+// land while the cached entry still records the same relation — if a
+// concurrent Register or Drop changed the table between collection and
+// Prime, the stale statistics are discarded rather than installed (they
+// describe a relation the catalog no longer serves).
+func (g *Registry) Prime(name string, rel *core.Relation, ts *TableStats) {
+	key := strings.ToLower(name)
+	e := &entry{name: name, rel: rel, collected: g.collections}
+	e.once.Do(func() { e.ts = ts })
+	g.mu.Lock()
+	if cur, ok := g.entries[key]; ok && cur.rel == rel {
+		g.entries[key] = e
+		g.invalidations.Add(1)
+	}
+	g.mu.Unlock()
+}
+
 // TableStats implements Provider, collecting the statistics on first use.
 func (g *Registry) TableStats(name string) (*TableStats, bool) {
 	g.mu.RLock()

@@ -21,10 +21,12 @@ package stats
 
 import (
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"strings"
 
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/schema"
 	"github.com/audb/audb/internal/types"
 )
 
@@ -67,6 +69,15 @@ type TableStats struct {
 	CertainTupleFrac float64
 	// Cols holds the per-column summaries in schema order.
 	Cols []ColStats
+	// Storage is the relation's storage representation at collection time
+	// (dense row-major or sparse columnar).
+	Storage core.Repr
+	// FlatCols is the number of columns stored as flat value slices;
+	// 0 for a dense relation.
+	FlatCols int
+	// MultFlat reports whether row multiplicities are stored as single
+	// certain counts; false for a dense relation.
+	MultFlat bool
 }
 
 // distinctCap bounds the exact distinct-counting set per column; beyond
@@ -126,61 +137,82 @@ type colAcc struct {
 	certain    int64
 }
 
-// Collect computes the statistics of rel in one pass. The relation is only
-// read; callers must not mutate it concurrently (the same contract as
-// query execution).
-func Collect(table string, rel *core.Relation) *TableStats {
-	ts := &TableStats{Table: table, CertainTupleFrac: 1}
-	arity := rel.Schema.Arity()
-	accs := make([]colAcc, arity)
-	for i := range accs {
-		accs[i].allNumeric = true
+// Collector accumulates table statistics incrementally, one tuple at a
+// time, so streaming ingest (COPY) can collect statistics in the same pass
+// that builds the relation instead of re-scanning it afterwards. Add never
+// retains its argument; feeding it a reused scratch tuple is safe.
+type Collector struct {
+	sch        schema.Schema
+	ts         *TableStats
+	accs       []colAcc
+	h          hash.Hash64
+	scratch    []byte
+	certTuples int64
+}
+
+// NewCollector starts a collection pass for a table with the given schema.
+func NewCollector(table string, sch schema.Schema) *Collector {
+	c := &Collector{
+		sch:  sch,
+		ts:   &TableStats{Table: table, CertainTupleFrac: 1},
+		accs: make([]colAcc, sch.Arity()),
+		h:    fnv.New64a(),
 	}
-	h := fnv.New64a()
-	var scratch []byte
-	var certTuples int64
-	for _, t := range rel.Tuples {
-		ts.Rows++
-		ts.CertainRows += t.M.Lo
-		ts.SGRows += t.M.SG
-		ts.PossibleRows += t.M.Hi
-		if t.Vals.IsCertain() {
-			certTuples++
-		}
-		for c := 0; c < arity && c < len(t.Vals); c++ {
-			a := &accs[c]
-			v := t.Vals[c]
-			sg := v.SG
-			if !a.any {
-				a.min, a.max = sg, sg
-				a.any = true
-			} else {
-				a.min = types.Min(a.min, sg)
-				a.max = types.Max(a.max, sg)
-			}
-			if !sg.IsNull() && !sg.IsNumeric() {
-				a.allNumeric = false
-			}
-			if v.IsCertain() {
-				a.certain++
-			} else if v.Lo.IsNumeric() && v.Hi.IsNumeric() {
-				a.widthSum += v.Hi.AsFloat() - v.Lo.AsFloat()
-			} else {
-				a.infWidths++
-			}
-			h.Reset()
-			scratch = sg.AppendKey(scratch[:0])
-			h.Write(scratch)
-			a.dc.add(h.Sum64())
-		}
+	for i := range c.accs {
+		c.accs[i].allNumeric = true
 	}
+	return c
+}
+
+// Add folds one tuple into the running statistics.
+func (c *Collector) Add(t core.Tuple) {
+	ts := c.ts
+	ts.Rows++
+	ts.CertainRows += t.M.Lo
+	ts.SGRows += t.M.SG
+	ts.PossibleRows += t.M.Hi
+	if t.Vals.IsCertain() {
+		c.certTuples++
+	}
+	for i := 0; i < len(c.accs) && i < len(t.Vals); i++ {
+		a := &c.accs[i]
+		v := t.Vals[i]
+		sg := v.SG
+		if !a.any {
+			a.min, a.max = sg, sg
+			a.any = true
+		} else {
+			a.min = types.Min(a.min, sg)
+			a.max = types.Max(a.max, sg)
+		}
+		if !sg.IsNull() && !sg.IsNumeric() {
+			a.allNumeric = false
+		}
+		if v.IsCertain() {
+			a.certain++
+		} else if v.Lo.IsNumeric() && v.Hi.IsNumeric() {
+			a.widthSum += v.Hi.AsFloat() - v.Lo.AsFloat()
+		} else {
+			a.infWidths++
+		}
+		c.h.Reset()
+		c.scratch = sg.AppendKey(c.scratch[:0])
+		c.h.Write(c.scratch)
+		a.dc.add(c.h.Sum64())
+	}
+}
+
+// Finish computes the final statistics. The collector must not be used
+// afterwards.
+func (c *Collector) Finish() *TableStats {
+	ts := c.ts
 	if ts.Rows > 0 {
-		ts.CertainTupleFrac = float64(certTuples) / float64(ts.Rows)
+		ts.CertainTupleFrac = float64(c.certTuples) / float64(ts.Rows)
 	}
-	ts.Cols = make([]ColStats, arity)
-	for c := range ts.Cols {
-		a := &accs[c]
-		cs := ColStats{Name: rel.Schema.Attrs[c], CertainFrac: 1}
+	ts.Cols = make([]ColStats, len(c.accs))
+	for i := range ts.Cols {
+		a := &c.accs[i]
+		cs := ColStats{Name: c.sch.Attrs[i], CertainFrac: 1}
 		if a.any {
 			cs.MinSG, cs.MaxSG = a.min, a.max
 			cs.NDV = a.dc.estimate()
@@ -198,8 +230,31 @@ func Collect(table string, rel *core.Relation) *TableStats {
 		} else {
 			cs.MinSG, cs.MaxSG = types.Null(), types.Null()
 		}
-		ts.Cols[c] = cs
+		ts.Cols[i] = cs
 	}
+	return ts
+}
+
+// SetStorage records the storage representation of the collected relation
+// the way Collect does, for callers that finish a collection against a
+// relation built elsewhere (COPY ingest).
+func (ts *TableStats) SetStorage(rel *core.Relation) {
+	ts.Storage, ts.FlatCols, ts.MultFlat = rel.StorageDetail()
+}
+
+// Collect computes the statistics of rel in one pass. The relation is only
+// read; callers must not mutate it concurrently (the same contract as
+// query execution). Both storage representations are supported.
+func Collect(table string, rel *core.Relation) *TableStats {
+	c := NewCollector(table, rel.Schema)
+	// EachTuple may reuse a scratch tuple; Add never retains it. The
+	// callback cannot fail, so EachTuple cannot either.
+	_ = rel.EachTuple(func(t core.Tuple) error {
+		c.Add(t)
+		return nil
+	})
+	ts := c.Finish()
+	ts.SetStorage(rel)
 	return ts
 }
 
@@ -208,6 +263,16 @@ func (t *TableStats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "table %s: %d rows (certain %d, sg %d, possible %d), %.1f%% certain tuples\n",
 		t.Table, t.Rows, t.CertainRows, t.SGRows, t.PossibleRows, 100*t.CertainTupleFrac)
+	if t.Storage == core.ReprSparse {
+		mult := "triple"
+		if t.MultFlat {
+			mult = "flat"
+		}
+		fmt.Fprintf(&sb, "storage: sparse (%d/%d flat columns, %s multiplicities)\n",
+			t.FlatCols, len(t.Cols), mult)
+	} else {
+		sb.WriteString("storage: dense\n")
+	}
 	w := len("column")
 	for _, c := range t.Cols {
 		if len(c.Name) > w {

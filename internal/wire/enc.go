@@ -131,13 +131,16 @@ func AppendRelation(b []byte, r *core.Relation) []byte {
 	return encRelation(b, r)
 }
 
-// encRelation writes a whole AU-relation: schema then tuples.
+// encRelation writes a whole AU-relation: schema then tuples. Both
+// storage representations encode identically (EachTuple yields the same
+// rows either way; every value is copied into the buffer immediately).
 func encRelation(b []byte, r *core.Relation) []byte {
 	b = encStrings(b, r.Schema.Attrs)
-	b = encUvarint(b, uint64(len(r.Tuples)))
-	for _, t := range r.Tuples {
+	b = encUvarint(b, uint64(r.Len()))
+	_ = r.EachTuple(func(t core.Tuple) error {
 		b = encTuple(b, t)
-	}
+		return nil
+	})
 	return b
 }
 
@@ -335,22 +338,26 @@ func (d *dec) tuples() []core.Tuple {
 	return out
 }
 
+// relation decodes an AU-relation, materializing it straight into its
+// storage representation: the rows stream through a RelationBuilder, so a
+// mostly-certain result arrives in sparse columnar form without ever
+// holding the dense triples (the default auto policy decides, exactly as
+// catalog registration would).
 func (d *dec) relation() *core.Relation {
 	attrs := d.strings()
 	n := d.count(2)
 	if d.err != nil {
 		return nil
 	}
-	rel := core.New(schema.New(attrs...))
-	rel.Tuples = make([]core.Tuple, 0, n)
+	b := core.NewRelationBuilder(schema.New(attrs...), n)
 	for i := 0; i < n; i++ {
 		t := d.tuple(len(attrs))
 		if d.err != nil {
 			return nil
 		}
-		rel.Tuples = append(rel.Tuples, t)
+		b.Add(t)
 	}
-	return rel
+	return b.Finish(core.StoragePolicy{})
 }
 
 // finish fails on trailing bytes, so every decoder is exact.
