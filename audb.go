@@ -344,11 +344,12 @@ func ParseCostModel(name string) (CostModel, error) {
 // queryConfig is the resolved per-query configuration: the database
 // defaults overlaid with this query's functional options.
 type queryConfig struct {
-	engine    Engine
-	opts      Options
-	optimizer OptimizerMode
-	execMode  ExecMode
-	cost      CostModel
+	engine     Engine
+	opts       Options
+	optimizer  OptimizerMode
+	execMode   ExecMode
+	cost       CostModel
+	rowBatches bool
 }
 
 // QueryOption customizes a single query execution, overriding the
@@ -391,6 +392,15 @@ func WithExecMode(m ExecMode) QueryOption {
 // ignore it.
 func WithWorkers(n int) QueryOption {
 	return func(c *queryConfig) { c.opts.Workers = n }
+}
+
+// WithRowBatches forces the pipelined executor's legacy row-at-a-time
+// batch representation for this query: scans densify sparse tables per
+// batch instead of streaming columnar views through the vectorized
+// kernels. Results are bit-identical either way; the knob exists for A/B
+// benchmarking and debugging. EngineNative's pipelined executor only.
+func WithRowBatches(on bool) QueryOption {
+	return func(c *queryConfig) { c.rowBatches = on }
 }
 
 // WithJoinCompression enables the split+Cpr join optimization
@@ -742,7 +752,7 @@ func (d *Database) ExplainAnalyze(ctx context.Context, q string, opts ...QueryOp
 	if cfg.execMode == ExecMaterialized {
 		mode = phys.Materialized
 	}
-	pp, err := phys.Compile(execPlan, snap, phys.Options{Mode: mode, Exec: cfg.opts, Analyze: true, Est: ann})
+	pp, err := phys.Compile(execPlan, snap, phys.Options{Mode: mode, RowBatches: cfg.rowBatches, Exec: cfg.opts, Analyze: true, Est: ann})
 	if err != nil {
 		return nil, err
 	}
@@ -921,7 +931,7 @@ func (d *Database) run(ctx context.Context, snap core.DB, plan ra.Node, st *Stmt
 			res, err = core.Exec(ctx, plan, snap, cfg.opts)
 			return res, estRows, hasEst, err
 		}
-		res, err = phys.Exec(ctx, plan, snap, phys.Options{Exec: cfg.opts, Est: est})
+		res, err = phys.Exec(ctx, plan, snap, phys.Options{RowBatches: cfg.rowBatches, Exec: cfg.opts, Est: est})
 		return res, estRows, hasEst, err
 	case EngineRewrite:
 		// Encode only the tables the plan scans: the middleware pays an

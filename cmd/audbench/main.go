@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17, par, prep, opt, pipe, cbo, net, sparse) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (fig10a, fig10b, fig11, fig12, fig13a-d, fig14, fig15, fig16, fig17, par, prep, opt, pipe, cbo, net, sparse, vec) or 'all'")
 		full    = flag.Bool("full", false, "run full-size experiments (slow)")
 		tiny    = flag.Bool("tiny", false, "run smoke-test sizes (seconds for the whole suite)")
 		seed    = flag.Int64("seed", 1, "workload generator seed")

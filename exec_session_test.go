@@ -113,7 +113,7 @@ func TestExplainAnalyze(t *testing.T) {
 		t.Fatal("ExplainAnalyze lost the optimizer trace")
 	}
 	text := exp.String()
-	for _, want := range []string{"execution: pipelined", "rows=", "batches=", "time="} {
+	for _, want := range []string{"execution: pipelined", "rep=", "rows=", "batches=", "vec=", "time="} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("analyze rendering missing %q:\n%s", want, text)
 		}
@@ -149,5 +149,73 @@ func TestExplainAnalyze(t *testing.T) {
 	// Compile errors propagate.
 	if _, err := db.ExplainAnalyze(ctx, `SELECT nope FROM r`); err == nil {
 		t.Fatal("unknown column should error")
+	}
+}
+
+// TestExplainAnalyzeColumnar: over a sparse table, the trace reports the
+// columnar batch representation and its selection-vector density (a scan
+// emits full batches, density 1.00); WithRowBatches reverts every
+// operator to rep=row.
+func TestExplainAnalyzeColumnar(t *testing.T) {
+	ctx := context.Background()
+	db := randomDB(rand.New(rand.NewSource(12)), 12)
+	if _, err := db.SetTableStorage("r", StorageForceSparse); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT a, b FROM r WHERE a <= 3`
+	exp, err := db.ExplainAnalyze(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := exp.String()
+	if !strings.Contains(text, "rep=col") || !strings.Contains(text, "vec=1.00") {
+		t.Fatalf("sparse-scan trace missing columnar representation:\n%s", text)
+	}
+	exp, err = db.ExplainAnalyze(ctx, q, WithRowBatches(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := exp.String(); strings.Contains(text, "rep=col") {
+		t.Fatalf("WithRowBatches trace still reports columnar batches:\n%s", text)
+	}
+}
+
+// TestRowBatchesEquivalence: the legacy row-at-a-time representation
+// (WithRowBatches) is bit-identical to the default columnar pipeline over
+// sparse and mixed storage, serial and parallel.
+func TestRowBatchesEquivalence(t *testing.T) {
+	ctx := context.Background()
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial*421 + 3)))
+		db := randomDB(rng, 2+rng.Intn(6))
+		if _, err := db.SetTableStorage("r", StorageForceSparse); err != nil {
+			t.Fatal(err)
+		}
+		if trial%2 == 0 {
+			if _, err := db.SetTableStorage("s", StorageForceSparse); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range optCorpus(rng) {
+			for _, workers := range []int{1, 4} {
+				col, errC := db.QueryContext(ctx, q, WithWorkers(workers))
+				row, errR := db.QueryContext(ctx, q, WithWorkers(workers), WithRowBatches(true))
+				if (errC == nil) != (errR == nil) {
+					t.Fatalf("[trial %d] %s [workers=%d]: representation changed acceptance: col=%v row=%v",
+						trial, q, workers, errC, errR)
+				}
+				if errC != nil {
+					continue
+				}
+				if col.Sort().String() != row.Sort().String() {
+					t.Fatalf("[trial %d] %s [workers=%d]: representation changed the result:\n%s\nvs\n%s",
+						trial, q, workers, col, row)
+				}
+			}
+		}
 	}
 }

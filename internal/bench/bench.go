@@ -156,6 +156,7 @@ func Registry() []Experiment {
 		{ID: "cbo", Run: CBO, Paper: "cost-based join reordering speedup (this implementation; not a paper figure)"},
 		{ID: "net", Run: Net, Paper: "audbd service layer: concurrent client throughput (this implementation; not a paper figure)"},
 		{ID: "sparse", Run: Sparse, Paper: "sparse storage: resident memory and certain-only fast paths (this implementation; not a paper figure)"},
+		{ID: "vec", Run: Vec, Paper: "columnar batches + vectorized kernels vs row batches (this implementation; not a paper figure)"},
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // TestRegistryComplete ensures every paper artifact has an experiment.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b",
-		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "par", "prep", "opt", "pipe", "cbo", "net", "sparse"}
+		"fig13c", "fig13d", "fig14", "fig15", "fig16", "fig17", "par", "prep", "opt", "pipe", "cbo", "net", "sparse", "vec"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

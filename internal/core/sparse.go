@@ -170,6 +170,19 @@ func (r *Relation) flatView() [][]types.Value {
 	return out
 }
 
+// SparseView exposes the sparse storage for zero-copy batched iteration
+// (the pipelined executor's columnar scans): the per-column storage and
+// the multiplicity slices, of which exactly one is non-nil when the
+// relation has rows. ok is false for a dense relation. All returned
+// slices alias the relation's storage and are read-only, like the columns
+// themselves (see rangeval.Col).
+func (r *Relation) SparseView() (cols []rangeval.Col, mflat []int64, mdense []Mult, ok bool) {
+	if r.sp == nil {
+		return nil, nil, nil, false
+	}
+	return r.sp.cols, r.sp.mflat, r.sp.mdense, true
+}
+
 // MultAt returns row i's multiplicity in either representation.
 func (r *Relation) MultAt(i int) Mult {
 	if r.sp != nil {

@@ -19,6 +19,7 @@ const ctxpollPath = "github.com/audb/audb/internal/ctxpoll"
 var ctxpollScope = map[string]bool{
 	"github.com/audb/audb/internal/core":     true,
 	"github.com/audb/audb/internal/phys":     true,
+	"github.com/audb/audb/internal/phys/vec": true,
 	"github.com/audb/audb/internal/bag":      true,
 	"github.com/audb/audb/internal/encoding": true,
 	"github.com/audb/audb/internal/wire":     true,
@@ -37,10 +38,11 @@ var ctxpollScope = map[string]bool{
 // exempt, as are _test.go files.
 var Ctxpoll = &analysis.Analyzer{
 	Name: "ctxpoll",
-	Doc: "require tuple/batch loops in internal/{core,phys,bag,encoding,wire,server} " +
+	Doc: "require tuple/batch loops in internal/{core,phys,phys/vec,bag,encoding,wire,server} " +
 		"and cmd/audbd to reach a cancellation poll (ctxpoll.Poll.Due, " +
 		"ctx.Err, or a helper that observes the context), preserving " +
-		"ms-latency query cancellation as new kernels land",
+		"ms-latency query cancellation as new kernels land; batch drains " +
+		"(*vec.Batch pulls) may amortize to one poll per batch",
 	Run: runCtxpoll,
 }
 
@@ -170,7 +172,7 @@ func isTupleSlice(t types.Type) bool {
 	default:
 		return false
 	}
-	if isNamedTuple(elem) {
+	if isNamedTuple(elem) || isBatch(elem) {
 		return true
 	}
 	// A slice whose elements are themselves tuple slices is a batch
@@ -184,6 +186,18 @@ func isTupleSlice(t types.Type) bool {
 func isNamedTuple(t types.Type) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Name() == "Tuple"
+}
+
+// isBatch matches the columnar batch currency of the vectorized executor
+// (a named "Batch" or pointer to one, e.g. *vec.Batch): a loop pulling
+// batches must poll just like one pulling tuple slices. Vectorized kernels
+// poll once per batch, not per row — the amortization the rule sanctions.
+func isBatch(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Batch"
 }
 
 // isTupleForLoop reports whether a 3-clause or bare for loop iterates
@@ -202,13 +216,14 @@ func (c *ctxpollCheck) isTupleForLoop(n *ast.ForStmt) bool {
 		})
 		return tuple
 	}
-	// for {} with a tuple-batch producing call in the body: a drain loop.
+	// for {} with a tuple-batch producing call in the body: a drain loop
+	// (pulling []core.Tuple or *vec.Batch alike).
 	ast.Inspect(n.Body, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
 			return false // nested loops judged on their own
 		case *ast.CallExpr:
-			if isTupleSlice(firstResult(c.pass.TypesInfo.TypeOf(m))) {
+			if r := firstResult(c.pass.TypesInfo.TypeOf(m)); isTupleSlice(r) || isBatch(r) {
 				tuple = true
 			}
 		}

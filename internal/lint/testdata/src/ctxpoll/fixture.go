@@ -147,6 +147,75 @@ func contractDrain(ctx context.Context, it srcIter) (int, error) {
 	}
 }
 
+// Batch stands in for the columnar batch currency (vec.Batch); the
+// analyzer matches batch-ness by type name, through a pointer.
+type Batch struct {
+	N   int
+	Sel []int
+}
+
+// batchSource produces columnar batches without ever polling.
+type batchSource struct{ left int }
+
+func (s *batchSource) pull() *Batch {
+	if s.left == 0 {
+		return nil
+	}
+	s.left--
+	return &Batch{N: 8}
+}
+
+func unpolledBatchDrain(ctx context.Context, s *batchSource) int {
+	n := 0
+	for { // want `does not reach a cancellation poll`
+		b := s.pull()
+		if b == nil {
+			return n
+		}
+		n += b.N
+	}
+}
+
+// polledBatchDrain is the sanctioned vectorized shape: one poll per
+// batch amortizes the cancellation check over the whole columnar kernel
+// (the per-element loops over b.Sel are owned by the polled batch loop).
+func polledBatchDrain(ctx context.Context, s *batchSource) (int, error) {
+	p := ctxpoll.New(ctx)
+	n := 0
+	for {
+		b := s.pull()
+		if b == nil {
+			return n, nil
+		}
+		if err := p.Due(); err != nil {
+			return 0, err
+		}
+		for _, i := range b.Sel {
+			n += i
+		}
+	}
+}
+
+// batchIter is the batch form of the context-bound iterator contract.
+type batchIter interface {
+	Open(ctx context.Context) error
+	Next() *Batch
+}
+
+func batchContractDrain(ctx context.Context, it batchIter) (int, error) {
+	if err := it.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		b := it.Next()
+		if b == nil {
+			return n, nil
+		}
+		n += b.N
+	}
+}
+
 func suppressed(ctx context.Context, ts []Tuple) int {
 	n := 0
 	//lint:allow audblint-ctxpoll cold diagnostic path, bounded input

@@ -33,11 +33,44 @@ type OpStats struct {
 	// Materialized operators stream their result too, so they report
 	// ceil(rows / batch size) like any other operator.
 	Batches int64
+	// ColBatches counts the emitted batches that were columnar
+	// (struct-of-arrays views with a selection vector); the remainder were
+	// row batches.
+	ColBatches int64
+	// ColRows is the live rows of the columnar batches (selection-vector
+	// survivors) and ColPhysRows their physical rows; their ratio is the
+	// mean selection-vector density this operator emitted.
+	ColRows     int64
+	ColPhysRows int64
 	// Elapsed is cumulative wall time spent inside this operator,
 	// including its children (the root's Elapsed is the execution time).
 	Elapsed time.Duration
 	// Children are the input operators' counters.
 	Children []*OpStats
+}
+
+// Rep names the batch representation the operator emitted: "row", "col",
+// "mixed" when both occurred, or "-" when it emitted no batches.
+func (s *OpStats) Rep() string {
+	switch {
+	case s.Batches == 0:
+		return "-"
+	case s.ColBatches == 0:
+		return "row"
+	case s.ColBatches == s.Batches:
+		return "col"
+	default:
+		return "mixed"
+	}
+}
+
+// VecDensity renders the mean selection-vector density of the columnar
+// batches (live rows over physical rows), or "-" when none were emitted.
+func (s *OpStats) VecDensity() string {
+	if s.ColPhysRows == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(s.ColRows)/float64(s.ColPhysRows))
 }
 
 // Self is the operator's own time: Elapsed minus the children's.
@@ -76,10 +109,10 @@ func (s *ExecStats) String() string {
 		return sb.String()
 	}
 	type row struct {
-		op, strategy, rows, est, batches, time, self string
+		op, strategy, rep, rows, est, batches, vec, time, self string
 	}
 	var rows []row
-	var wOp, wStrategy, wRows, wEst, wBatches int
+	var wOp, wStrategy, wRep, wRows, wEst, wBatches, wVec int
 	var collect func(o *OpStats, depth int)
 	collect = func(o *OpStats, depth int) {
 		est := "-"
@@ -89,26 +122,30 @@ func (s *ExecStats) String() string {
 		r := row{
 			op:       strings.Repeat("  ", depth) + o.Op,
 			strategy: o.Strategy,
+			rep:      o.Rep(),
 			rows:     fmt.Sprintf("%d", o.Rows),
 			est:      est,
 			batches:  fmt.Sprintf("%d", o.Batches),
+			vec:      o.VecDensity(),
 			time:     fmtDur(o.Elapsed),
 			self:     fmtDur(o.Self()),
 		}
 		rows = append(rows, r)
 		wOp = max(wOp, len(r.op))
 		wStrategy = max(wStrategy, len(r.strategy))
+		wRep = max(wRep, len(r.rep))
 		wRows = max(wRows, len(r.rows))
 		wEst = max(wEst, len(r.est))
 		wBatches = max(wBatches, len(r.batches))
+		wVec = max(wVec, len(r.vec))
 		for _, c := range o.Children {
 			collect(c, depth+1)
 		}
 	}
 	collect(s.Root, 0)
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-*s  %-*s rows=%-*s est=%-*s batches=%-*s time=%s (self %s)\n",
-			wOp, r.op, wStrategy, r.strategy, wRows, r.rows, wEst, r.est, wBatches, r.batches, r.time, r.self)
+		fmt.Fprintf(&sb, "%-*s  %-*s rep=%-*s rows=%-*s est=%-*s batches=%-*s vec=%-*s time=%s (self %s)\n",
+			wOp, r.op, wStrategy, r.strategy, wRep, r.rep, wRows, r.rows, wEst, r.est, wBatches, r.batches, wVec, r.vec, r.time, r.self)
 	}
 	return sb.String()
 }

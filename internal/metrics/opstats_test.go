@@ -43,9 +43,12 @@ func TestOpStatsSelfAndRender(t *testing.T) {
 // TestOpStatsGolden pins the exact ExplainAnalyze rendering: columns
 // are padded to the widest value in the tree, so a mixed est=-/est=<n>
 // trace (cost model on, but no estimate for every operator) stays
-// aligned and wide counters never shift the columns after them.
+// aligned and wide counters never shift the columns after them. The
+// rep= column names the batch representation each operator emitted and
+// vec= its mean selection-vector density (row batches render vec=-).
 func TestOpStatsGolden(t *testing.T) {
 	leaf := &OpStats{Op: "Scan(t)", Strategy: "exchange(4)", Rows: 123456, Batches: 1930,
+		ColBatches: 1930, ColRows: 123456, ColPhysRows: 287000,
 		EstRows: 100000, HasEst: true, Elapsed: 3 * time.Millisecond}
 	mid := &OpStats{Op: "Select[(a < 3)]", Strategy: "stream", Rows: 40, Batches: 2,
 		Elapsed: 5 * time.Millisecond, Children: []*OpStats{leaf}}
@@ -55,11 +58,37 @@ func TestOpStatsGolden(t *testing.T) {
 
 	want := "" +
 		"execution: pipelined (batch 64), total 7.00ms\n" +
-		"Limit(5)           stream      rows=5      est=5      batches=1    time=6.00ms (self 1.00ms)\n" +
-		"  Select[(a < 3)]  stream      rows=40     est=-      batches=2    time=5.00ms (self 2.00ms)\n" +
-		"    Scan(t)        exchange(4) rows=123456 est=100000 batches=1930 time=3.00ms (self 3.00ms)\n"
+		"Limit(5)           stream      rep=row rows=5      est=5      batches=1    vec=-    time=6.00ms (self 1.00ms)\n" +
+		"  Select[(a < 3)]  stream      rep=row rows=40     est=-      batches=2    vec=-    time=5.00ms (self 2.00ms)\n" +
+		"    Scan(t)        exchange(4) rep=col rows=123456 est=100000 batches=1930 vec=0.43 time=3.00ms (self 3.00ms)\n"
 	if got := s.String(); got != want {
 		t.Fatalf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestOpStatsRep pins the representation labels: no batches renders "-",
+// all-columnar "col", all-row "row", and a mix "mixed".
+func TestOpStatsRep(t *testing.T) {
+	for _, tc := range []struct {
+		st   OpStats
+		want string
+	}{
+		{OpStats{}, "-"},
+		{OpStats{Batches: 3}, "row"},
+		{OpStats{Batches: 3, ColBatches: 3}, "col"},
+		{OpStats{Batches: 3, ColBatches: 1}, "mixed"},
+	} {
+		if got := tc.st.Rep(); got != tc.want {
+			t.Fatalf("Rep(%+v) = %q, want %q", tc.st, got, tc.want)
+		}
+	}
+	dense := OpStats{Batches: 2, ColBatches: 2, ColRows: 5, ColPhysRows: 10}
+	if got := dense.VecDensity(); got != "0.50" {
+		t.Fatalf("VecDensity = %q, want 0.50", got)
+	}
+	rowOnly := OpStats{Batches: 2}
+	if got := rowOnly.VecDensity(); got != "-" {
+		t.Fatalf("row-only VecDensity = %q, want -", got)
 	}
 }
 

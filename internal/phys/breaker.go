@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/phys/vec"
 	"github.com/audb/audb/internal/schema"
 )
 
@@ -31,6 +32,7 @@ type kernelIter struct {
 	// plan root.
 	rel *core.Relation
 	pos int
+	out vec.Batch
 }
 
 func (k *kernelIter) Open(ctx context.Context) error {
@@ -58,7 +60,7 @@ func (k *kernelIter) Open(ctx context.Context) error {
 	return nil
 }
 
-func (k *kernelIter) Next() ([]core.Tuple, error) {
+func (k *kernelIter) Next() (*vec.Batch, error) {
 	if k.rel == nil || k.pos >= len(k.rel.Tuples) {
 		return nil, nil
 	}
@@ -66,9 +68,9 @@ func (k *kernelIter) Next() ([]core.Tuple, error) {
 	if end > len(k.rel.Tuples) {
 		end = len(k.rel.Tuples)
 	}
-	out := k.rel.Tuples[k.pos:end]
+	k.out.SetRows(k.rel.Tuples[k.pos:end])
 	k.pos = end
-	return out, nil
+	return &k.out, nil
 }
 
 func (k *kernelIter) Close() error {
@@ -86,8 +88,9 @@ func (k *kernelIter) Close() error {
 func (k *kernelIter) Schema() schema.Schema { return k.sch }
 
 // drain opens the child, appends every batch into a fresh relation the
-// caller owns (batch buffers are reused by producers; appending copies the
-// Tuple structs), and closes the child.
+// caller owns (batch buffers are reused by producers; row batches copy the
+// Tuple structs, columnar batches are gathered into fresh tuples), and
+// closes the child.
 func drain(ctx context.Context, it iter) (*core.Relation, error) {
 	return drainHint(ctx, it, 0)
 }
@@ -113,7 +116,7 @@ func drainHint(ctx context.Context, it iter, hint int) (*core.Relation, error) {
 		if b == nil {
 			break
 		}
-		out.Tuples = append(out.Tuples, b...)
+		out.Tuples = b.AppendTuples(out.Tuples)
 	}
 	return out, it.Close()
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/phys/vec"
 	"github.com/audb/audb/internal/schema"
 )
 
@@ -32,6 +33,7 @@ type exchangeIter struct {
 	wg     sync.WaitGroup
 	cur    int
 	opened bool
+	out    vec.Batch
 }
 
 func (e *exchangeIter) Open(ctx context.Context) error {
@@ -55,10 +57,12 @@ func (e *exchangeIter) Open(ctx context.Context) error {
 	return nil
 }
 
-// produce runs one partition's chain, copying each batch before sending
-// (the chain reuses its buffer, and ownership crosses the goroutine
-// boundary here). A send blocked on a slow consumer aborts when the
-// exchange is closed or the query is cancelled.
+// produce runs one partition's chain, copying each batch into an owned
+// tuple slice before sending (the chain reuses its buffers and columnar
+// batches alias storage views, and ownership crosses the goroutine
+// boundary here; AppendTuples gathers columnar rows into fresh tuples). A
+// send blocked on a slow consumer aborts when the exchange is closed or
+// the query is cancelled.
 func produce(ctx context.Context, p iter, ch chan<- []core.Tuple) error {
 	if err := p.Open(ctx); err != nil {
 		p.Close()
@@ -73,7 +77,7 @@ func produce(ctx context.Context, p iter, ch chan<- []core.Tuple) error {
 		if b == nil {
 			return p.Close()
 		}
-		cp := append([]core.Tuple(nil), b...)
+		cp := b.AppendTuples(make([]core.Tuple, 0, b.Len()))
 		select {
 		case ch <- cp:
 		case <-ctx.Done():
@@ -83,11 +87,12 @@ func produce(ctx context.Context, p iter, ch chan<- []core.Tuple) error {
 	}
 }
 
-func (e *exchangeIter) Next() ([]core.Tuple, error) {
+func (e *exchangeIter) Next() (*vec.Batch, error) {
 	for e.cur < len(e.chans) {
 		b, ok := <-e.chans[e.cur]
 		if ok {
-			return b, nil
+			e.out.SetRows(b)
+			return &e.out, nil
 		}
 		// Channel closed: the partition finished. Its error slot is
 		// published before the close, so this read is ordered.

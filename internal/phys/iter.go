@@ -3,12 +3,12 @@ package phys
 import (
 	"container/heap"
 	"context"
-	"fmt"
 	"sort"
 
 	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/ctxpoll"
 	"github.com/audb/audb/internal/expr"
+	"github.com/audb/audb/internal/phys/vec"
 	"github.com/audb/audb/internal/ra"
 	"github.com/audb/audb/internal/rangeval"
 	"github.com/audb/audb/internal/schema"
@@ -21,51 +21,66 @@ import (
 // Contract:
 //
 //   - Open binds the iterator to the query context; Next observes the same
-//     context (cooperatively, at ctxpoll stride).
+//     context (cooperatively, at ctxpoll stride — vectorized kernels poll
+//     once per batch, per-row kernels per row).
 //   - Next returns the next non-empty batch, or nil when the input is
-//     exhausted. The returned slice is valid only until the next Next or
-//     Close call — streaming operators reuse their output buffer, and scans
-//     return views into base-table storage. Consumers that retain tuples
-//     must copy them (appending the Tuple structs to a slice is a copy;
-//     attribute ranges are immutable and may stay shared).
+//     exhausted. The returned batch is valid only until the next Next or
+//     Close call — streaming operators reuse their output buffers and
+//     selection vectors, and scans return views into base-table storage.
+//     Consumers that retain rows must copy them (appending the Tuple
+//     structs of a row batch is a copy; columnar rows are gathered via
+//     vec.Batch.AppendTuples/AppendRow; attribute ranges are immutable
+//     and may stay shared).
 //   - Close releases resources and is safe to call more than once and
 //     after a failed Open.
 type iter interface {
 	Open(ctx context.Context) error
-	Next() ([]core.Tuple, error)
+	Next() (*vec.Batch, error)
 	Close() error
 	Schema() schema.Schema
 }
 
 // ---------------------------------------------------------------- scan --
 
-// scanIter streams the tuples of a base relation in fixed-size batches.
-// Over a dense relation batches are subslices of the stored tuples (a scan
-// never copies); over a sparse relation each batch is a fresh dense
-// materialization of its row range, which trivially satisfies the iter
-// retention contract. Either way a partitioned scan ([lo, hi) ranges of
-// one relation) feeds the exchange operator without any coordination.
+// scanIter streams the rows of a base relation in fixed-size batches.
+// Over a dense relation batches are row batches wrapping subslices of the
+// stored tuples (a scan never copies); over a sparse relation batches are
+// columnar views aliasing the stored rangeval.Col columns and
+// multiplicity slices — zero densification, zero per-batch allocation.
+// Either way a partitioned scan ([lo, hi) ranges of one relation) feeds
+// the exchange operator without any coordination. With rowBatches set
+// (Options.RowBatches), sparse rows are densified per batch instead — the
+// legacy row-at-a-time representation kept for A/B comparison.
 type scanIter struct {
-	rel    *core.Relation
-	sch    schema.Schema
-	lo, hi int
-	batch  int
+	rel        *core.Relation
+	sch        schema.Schema
+	lo, hi     int
+	batch      int
+	rowBatches bool
 
-	ctx context.Context
-	pos int
+	ctx    context.Context
+	pos    int
+	cols   []rangeval.Col
+	mflat  []int64
+	mdense []core.Mult
+	out    vec.Batch
 }
 
-func newScanIter(rel *core.Relation, lo, hi, batch int) *scanIter {
-	return &scanIter{rel: rel, sch: rel.Schema, lo: lo, hi: hi, batch: batch}
+func newScanIter(rel *core.Relation, lo, hi, batch int, rowBatches bool) *scanIter {
+	return &scanIter{rel: rel, sch: rel.Schema, lo: lo, hi: hi, batch: batch, rowBatches: rowBatches}
 }
 
 func (s *scanIter) Open(ctx context.Context) error {
 	s.ctx = ctx
 	s.pos = s.lo
+	s.cols, s.mflat, s.mdense = nil, nil, nil
+	if !s.rowBatches {
+		s.cols, s.mflat, s.mdense, _ = s.rel.SparseView()
+	}
 	return ctx.Err()
 }
 
-func (s *scanIter) Next() ([]core.Tuple, error) {
+func (s *scanIter) Next() (*vec.Batch, error) {
 	if s.pos >= s.hi {
 		return nil, nil
 	}
@@ -76,145 +91,135 @@ func (s *scanIter) Next() ([]core.Tuple, error) {
 	if end > s.hi {
 		end = s.hi
 	}
-	out := s.rel.DenseRange(s.pos, end)
+	if s.cols != nil {
+		s.out.SetSparseSpan(s.cols, s.mflat, s.mdense, s.pos, end)
+	} else {
+		s.out.SetRows(s.rel.DenseRange(s.pos, end))
+	}
 	s.pos = end
-	return out, nil
+	return &s.out, nil
 }
 
 func (s *scanIter) Close() error          { return nil }
 func (s *scanIter) Schema() schema.Schema { return s.sch }
 
-// ------------------------------------------------ fused certain select --
-
-// certSelectIter fuses σ over a scan of a FastCertain base relation: the
-// predicate is evaluated deterministically over the flat column values and
-// range triples are materialized only for the rows it keeps, so filtered
-// rows never exist as triples at all. It is gated on the same conditions
-// as the materializing kernel's certain-only loop (core.Relation.
-// FastCertain plus expr.CertainFastSafe), under which FilterTuple
-// multiplies the row annotation by [1/1/1] for a certainly-true predicate
-// and drops everything else — batch-for-batch identical to
-// scanIter+selectIter.
-type certSelectIter struct {
-	rel    *core.Relation
-	pred   expr.Expr
-	sch    schema.Schema
-	lo, hi int
-	batch  int
-
-	poll *ctxpoll.Poll
-	flat [][]types.Value
-	det  types.Tuple
-	keep []int
-	buf  []core.Tuple
-	pos  int
-}
-
-func newCertSelectIter(rel *core.Relation, pred expr.Expr, lo, hi, batch int) *certSelectIter {
-	return &certSelectIter{rel: rel, pred: pred, sch: rel.Schema, lo: lo, hi: hi, batch: batch}
-}
-
-func (s *certSelectIter) Open(ctx context.Context) error {
-	s.poll = ctxpoll.New(ctx)
-	arity := s.sch.Arity()
-	s.flat = make([][]types.Value, arity)
-	for c := range s.flat {
-		s.flat[c] = s.rel.FlatCol(c)
-	}
-	s.det = make(types.Tuple, arity)
-	s.pos = s.lo
-	return ctx.Err()
-}
-
-func (s *certSelectIter) Next() ([]core.Tuple, error) {
-	arity := len(s.det)
-	for s.pos < s.hi {
-		end := s.pos + s.batch
-		if end > s.hi {
-			end = s.hi
-		}
-		s.keep = s.keep[:0]
-		for i := s.pos; i < end; i++ {
-			if err := s.poll.Due(); err != nil {
-				return nil, err
-			}
-			for c := range s.flat {
-				s.det[c] = s.flat[c][i]
-			}
-			v, err := s.pred.Eval(s.det)
-			if err != nil {
-				return nil, fmt.Errorf("core: selection: %w", err)
-			}
-			if v.Kind() == types.KindBool && v.AsBool() {
-				s.keep = append(s.keep, i)
-			}
-		}
-		s.pos = end
-		if len(s.keep) == 0 {
-			continue
-		}
-		// The Vals arena is fresh per batch: consumers may retain the
-		// Tuple structs, and emitted attribute ranges must stay immutable.
-		s.buf = s.buf[:0]
-		arena := make(rangeval.Tuple, len(s.keep)*arity)
-		for _, i := range s.keep {
-			vals := arena[:arity:arity]
-			arena = arena[arity:]
-			for c := range s.flat {
-				vals[c] = rangeval.Certain(s.flat[c][i])
-			}
-			s.buf = append(s.buf, core.Tuple{Vals: vals, M: s.rel.MultAt(i)})
-		}
-		return s.buf, nil
-	}
-	return nil, nil
-}
-
-func (s *certSelectIter) Close() error          { return nil }
-func (s *certSelectIter) Schema() schema.Schema { return s.sch }
-
 // -------------------------------------------------------------- select --
 
-// selectIter applies σ per batch, reusing one output buffer: steady-state
-// selection allocates nothing and never clones tuples (FilterTuple only
-// rewrites the multiplicity triple, which lives in the Tuple struct).
+// selectIter applies σ per batch. Row batches take the per-row kernel
+// into a reused output buffer: steady-state selection allocates nothing
+// and never clones tuples (FilterTuple only rewrites the multiplicity
+// triple, which lives in the Tuple struct). Columnar batches whose
+// predicate compiles (expr.CompileVec) and whose referenced columns are
+// flat and null-free are filtered by the column-at-a-time program, which
+// only refines the selection vector — survivors are marked, never copied,
+// and annotations pass through unchanged (a certainly-true predicate
+// multiplies by the semiring one; everything else is dropped, exactly
+// FilterTuple's certain-input behavior). Any other columnar batch — and
+// any batch whose vectorized evaluation errors — is densified and re-run
+// through the per-row kernel, which also surfaces the canonical row-order
+// error.
 type selectIter struct {
 	child iter
 	pred  expr.Expr
 	sch   schema.Schema
 
-	poll *ctxpoll.Poll
-	buf  []core.Tuple
+	poll  *ctxpoll.Poll
+	prog  *expr.Prog
+	flat  [][]types.Value
+	sel   []int
+	buf   []core.Tuple
+	dense []core.Tuple
+	out   vec.Batch
 }
 
 func (s *selectIter) Open(ctx context.Context) error {
 	s.poll = ctxpoll.New(ctx)
+	s.prog, _ = expr.CompileVec(s.pred)
 	return s.child.Open(ctx)
 }
 
-func (s *selectIter) Next() ([]core.Tuple, error) {
+func (s *selectIter) Next() (*vec.Batch, error) {
 	for {
 		b, err := s.child.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		s.buf = s.buf[:0]
-		for _, t := range b {
-			if err := s.poll.Due(); err != nil {
+		if !b.Columnar {
+			if err := s.rowFilter(b.Rows); err != nil {
 				return nil, err
 			}
-			ot, keep, err := core.FilterTuple(t, s.pred)
-			if err != nil {
-				return nil, err
+			if len(s.buf) > 0 {
+				s.out.SetRows(s.buf)
+				return &s.out, nil
 			}
-			if keep {
-				s.buf = append(s.buf, ot)
+			continue
+		}
+		if err := s.poll.Due(); err != nil {
+			return nil, err
+		}
+		if s.prog != nil && s.flatCols(b) {
+			sel, err := s.prog.SelectInto(s.flat, b.N, b.Sel, s.sel[:0])
+			if err == nil {
+				s.sel = sel
+				if len(sel) == 0 {
+					continue
+				}
+				s.out = *b
+				s.out.Sel = sel
+				return &s.out, nil
 			}
+			// The vectorized pass failed somewhere in the batch;
+			// fall through to the per-row kernel, which reproduces
+			// the exact row-order error the reference executor reports.
+		}
+		s.dense = b.AppendTuples(s.dense[:0])
+		if err := s.rowFilter(s.dense); err != nil {
+			return nil, err
 		}
 		if len(s.buf) > 0 {
-			return s.buf, nil
+			s.out.SetRows(s.buf)
+			return &s.out, nil
 		}
 	}
+}
+
+// flatCols gates the vectorized path on the batch at hand: every column
+// the predicate references must be flat and null-free (the precondition
+// under which deterministic evaluation is bit-identical to range
+// evaluation), and binds those columns for the program.
+func (s *selectIter) flatCols(b *vec.Batch) bool {
+	if len(s.flat) < len(b.Cols) {
+		s.flat = make([][]types.Value, len(b.Cols))
+	}
+	for _, a := range s.prog.Attrs() {
+		if a < 0 || a >= len(b.Cols) {
+			return false
+		}
+		c := b.Cols[a]
+		if !c.IsFlat() || c.HasNulls() {
+			return false
+		}
+		s.flat[a] = c.Flat
+	}
+	return true
+}
+
+// rowFilter runs the per-row selection kernel over rows into s.buf.
+func (s *selectIter) rowFilter(rows []core.Tuple) error {
+	s.buf = s.buf[:0]
+	for _, t := range rows {
+		if err := s.poll.Due(); err != nil {
+			return err
+		}
+		ot, keep, err := core.FilterTuple(t, s.pred)
+		if err != nil {
+			return err
+		}
+		if keep {
+			s.buf = append(s.buf, ot)
+		}
+	}
+	return nil
 }
 
 func (s *selectIter) Close() error          { return s.child.Close() }
@@ -222,12 +227,21 @@ func (s *selectIter) Schema() schema.Schema { return s.sch }
 
 // ------------------------------------------------------------- project --
 
-// projectIter evaluates generalized projection per batch into a reused
-// buffer. Unlike the materializing kernel it does not merge value-
+// projectIter evaluates generalized projection per batch into reused
+// buffers. Unlike the materializing kernel it does not merge value-
 // equivalent outputs — with compression off, every operator above is
 // insensitive to merge granularity and the final merge restores the
 // canonical form, so results stay bit-identical (the compiler materializes
 // Project whenever compression makes merge granularity observable).
+//
+// On a columnar batch, each output column takes the cheapest sound path:
+// a bare attribute reference aliases the input column outright (a
+// permutation costs nothing), an expression that compiles and reads only
+// flat null-free columns is evaluated column-at-a-time into a reused flat
+// buffer, and everything else evaluates per row into a reused dense
+// buffer. The multiplicities and the selection vector pass through
+// untouched. Any evaluation error re-runs the batch through the canonical
+// per-row kernel, surfacing the exact row-order error.
 type projectIter struct {
 	child iter
 	cols  []ra.ProjCol
@@ -235,30 +249,176 @@ type projectIter struct {
 
 	poll *ctxpoll.Poll
 	buf  []core.Tuple
+	out  vec.Batch
+
+	planned  bool
+	alias    []int
+	progs    []*expr.Prog
+	flat     [][]types.Value
+	flatOut  [][]types.Value
+	denseOut [][]rangeval.V
+	perRow   []int
+	scratch  rangeval.Tuple
+	dense    []core.Tuple
 }
 
 func (p *projectIter) Open(ctx context.Context) error {
 	p.poll = ctxpoll.New(ctx)
+	if !p.planned {
+		p.planned = true
+		p.alias = make([]int, len(p.cols))
+		p.progs = make([]*expr.Prog, len(p.cols))
+		p.flatOut = make([][]types.Value, len(p.cols))
+		p.denseOut = make([][]rangeval.V, len(p.cols))
+		for j, c := range p.cols {
+			p.alias[j] = -1
+			if a, ok := c.E.(expr.Attr); ok {
+				p.alias[j] = a.Idx
+				continue
+			}
+			p.progs[j], _ = expr.CompileVec(c.E)
+		}
+	}
 	return p.child.Open(ctx)
 }
 
-func (p *projectIter) Next() ([]core.Tuple, error) {
+func (p *projectIter) Next() (*vec.Batch, error) {
 	b, err := p.child.Next()
 	if err != nil || b == nil {
 		return nil, err
 	}
-	p.buf = p.buf[:0]
-	for _, t := range b {
-		if err := p.poll.Due(); err != nil {
+	if !b.Columnar {
+		if err := p.rowProject(b.Rows); err != nil {
 			return nil, err
+		}
+		p.out.SetRows(p.buf)
+		return &p.out, nil
+	}
+	if err := p.poll.Due(); err != nil {
+		return nil, err
+	}
+	if err := p.columnar(b); err != nil {
+		return nil, err
+	}
+	return &p.out, nil
+}
+
+// columnar projects one columnar batch into p.out, falling back to the
+// canonical per-row kernel on any evaluation error.
+func (p *projectIter) columnar(b *vec.Batch) error {
+	p.out.Rows = nil
+	p.out.Columnar = true
+	if cap(p.out.Cols) < len(p.cols) {
+		p.out.Cols = make([]rangeval.Col, len(p.cols))
+	}
+	p.out.Cols = p.out.Cols[:len(p.cols)]
+	p.out.MFlat, p.out.MDense = b.MFlat, b.MDense
+	p.out.N, p.out.Sel = b.N, b.Sel
+
+	p.perRow = p.perRow[:0]
+	for j := range p.cols {
+		if a := p.alias[j]; a >= 0 && a < len(b.Cols) {
+			p.out.Cols[j] = b.Cols[a]
+			continue
+		}
+		if p.progs[j] != nil && p.flatCols(p.progs[j], b) {
+			if len(p.flatOut[j]) < b.N {
+				p.flatOut[j] = make([]types.Value, b.N)
+			}
+			out := p.flatOut[j][:b.N]
+			if err := p.progs[j].EvalInto(p.flat, b.N, b.Sel, out); err != nil {
+				return p.fallback(b)
+			}
+			p.out.Cols[j] = rangeval.ColFromFlat(out)
+			continue
+		}
+		p.perRow = append(p.perRow, j)
+	}
+	if len(p.perRow) == 0 {
+		return nil
+	}
+	for _, j := range p.perRow {
+		if len(p.denseOut[j]) < b.N {
+			p.denseOut[j] = make([]rangeval.V, b.N)
+		}
+	}
+	evalRow := func(i int) error {
+		if err := p.poll.Due(); err != nil {
+			return err
+		}
+		p.scratch = b.AppendRow(p.scratch[:0], i)
+		for _, j := range p.perRow {
+			v, err := p.cols[j].E.EvalRange(p.scratch)
+			if err != nil {
+				return p.fallback(b)
+			}
+			p.denseOut[j][i] = v
+		}
+		return nil
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			if err := evalRow(i); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := evalRow(i); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range p.perRow {
+		p.out.Cols[j] = rangeval.ColFromDense(p.denseOut[j][:b.N])
+	}
+	return nil
+}
+
+// flatCols gates one program on the batch's columns, binding p.flat.
+func (p *projectIter) flatCols(prog *expr.Prog, b *vec.Batch) bool {
+	if len(p.flat) < len(b.Cols) {
+		p.flat = make([][]types.Value, len(b.Cols))
+	}
+	for _, a := range prog.Attrs() {
+		if a < 0 || a >= len(b.Cols) {
+			return false
+		}
+		c := b.Cols[a]
+		if !c.IsFlat() || c.HasNulls() {
+			return false
+		}
+		p.flat[a] = c.Flat
+	}
+	return true
+}
+
+// fallback densifies the batch and re-runs the canonical per-row kernel,
+// reproducing the exact error (and error message) the reference executor
+// reports. It is only reached on evaluation errors, which abort the query.
+func (p *projectIter) fallback(b *vec.Batch) error {
+	p.dense = b.AppendTuples(p.dense[:0])
+	if err := p.rowProject(p.dense); err != nil {
+		return err
+	}
+	p.out.SetRows(p.buf)
+	return nil
+}
+
+// rowProject runs the per-row projection kernel over rows into p.buf.
+func (p *projectIter) rowProject(rows []core.Tuple) error {
+	p.buf = p.buf[:0]
+	for _, t := range rows {
+		if err := p.poll.Due(); err != nil {
+			return err
 		}
 		ot, err := core.ProjectTuple(t, p.cols)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.buf = append(p.buf, ot)
 	}
-	return p.buf, nil
+	return nil
 }
 
 func (p *projectIter) Close() error          { return p.child.Close() }
@@ -268,7 +428,8 @@ func (p *projectIter) Schema() schema.Schema { return p.sch }
 
 // unionIter concatenates two streams (bag union adds annotations; the
 // summing of value-equivalent tuples happens at the next merge point, as
-// for projectIter).
+// for projectIter). Batches of either representation pass through
+// untouched.
 type unionIter struct {
 	left, right iter
 	sch         schema.Schema
@@ -283,7 +444,7 @@ func (u *unionIter) Open(ctx context.Context) error {
 	return u.right.Open(ctx)
 }
 
-func (u *unionIter) Next() ([]core.Tuple, error) {
+func (u *unionIter) Next() (*vec.Batch, error) {
 	if !u.onRight {
 		b, err := u.left.Next()
 		if err != nil || b != nil {
@@ -311,6 +472,10 @@ func (u *unionIter) Schema() schema.Schema { return u.sch }
 // applies to merged rows, so the whole input is consumed — bit-identical to
 // merge-then-truncate), while tuples introducing a new value beyond the
 // first n are discarded immediately: they can never enter the result.
+// Columnar batches are probed through batched per-row key building
+// (vec.Batch.AppendRowKey, byte-identical to the dense encoding, so one
+// probe map serves both representations) and only the ≤ n kept rows are
+// ever gathered into tuples.
 type limitIter struct {
 	child iter
 	n     int
@@ -323,6 +488,7 @@ type limitIter struct {
 	scratch []byte
 	done    bool
 	pos     int
+	out     vec.Batch
 }
 
 func (l *limitIter) Open(ctx context.Context) error {
@@ -341,7 +507,7 @@ func (l *limitIter) Open(ctx context.Context) error {
 	return l.child.Open(ctx)
 }
 
-func (l *limitIter) Next() ([]core.Tuple, error) {
+func (l *limitIter) Next() (*vec.Batch, error) {
 	if !l.done {
 		for {
 			b, err := l.child.Next()
@@ -351,21 +517,8 @@ func (l *limitIter) Next() ([]core.Tuple, error) {
 			if b == nil {
 				break
 			}
-			for _, t := range b {
-				if err := l.poll.Due(); err != nil {
-					return nil, err
-				}
-				// Probe with the scratch buffer (no allocation); the key
-				// string is only materialized for rows actually kept.
-				l.scratch = t.Vals.AppendKey(l.scratch[:0])
-				if j, ok := l.idx[string(l.scratch)]; ok {
-					l.rows[j].M = l.rows[j].M.Add(t.M)
-					continue
-				}
-				if len(l.rows) < l.n {
-					l.idx[string(l.scratch)] = len(l.rows)
-					l.rows = append(l.rows, t)
-				}
+			if err := l.consume(b); err != nil {
+				return nil, err
 			}
 		}
 		l.done = true
@@ -378,9 +531,64 @@ func (l *limitIter) Next() ([]core.Tuple, error) {
 	if end > len(l.rows) {
 		end = len(l.rows)
 	}
-	out := l.rows[l.pos:end]
+	l.out.SetRows(l.rows[l.pos:end])
 	l.pos = end
-	return out, nil
+	return &l.out, nil
+}
+
+// consume folds one batch into the first-n state.
+func (l *limitIter) consume(b *vec.Batch) error {
+	if !b.Columnar {
+		for _, t := range b.Rows {
+			if err := l.poll.Due(); err != nil {
+				return err
+			}
+			// Probe with the scratch buffer (no allocation); the key
+			// string is only materialized for rows actually kept.
+			l.scratch = t.Vals.AppendKey(l.scratch[:0])
+			if j, ok := l.idx[string(l.scratch)]; ok {
+				l.rows[j].M = l.rows[j].M.Add(t.M)
+				continue
+			}
+			if len(l.rows) < l.n {
+				l.idx[string(l.scratch)] = len(l.rows)
+				l.rows = append(l.rows, t)
+			}
+		}
+		return nil
+	}
+	take := func(i int) error {
+		if err := l.poll.Due(); err != nil {
+			return err
+		}
+		l.scratch = b.AppendRowKey(l.scratch[:0], i)
+		if j, ok := l.idx[string(l.scratch)]; ok {
+			l.rows[j].M = l.rows[j].M.Add(b.MultAt(i))
+			return nil
+		}
+		if len(l.rows) < l.n {
+			l.idx[string(l.scratch)] = len(l.rows)
+			// Gather-copy: the batch's columns are reused, kept rows
+			// must own their values.
+			vals := b.AppendRow(make(rangeval.Tuple, 0, len(b.Cols)), i)
+			l.rows = append(l.rows, core.Tuple{Vals: vals, M: b.MultAt(i)})
+		}
+		return nil
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			if err := take(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < b.N; i++ {
+		if err := take(i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (l *limitIter) Close() error          { return l.child.Close() }
@@ -398,6 +606,8 @@ func (l *limitIter) Schema() schema.Schema { return l.sch }
 // stream continues) and is discarded with O(1) work; duplicates of kept
 // candidates keep folding their annotations. Peak memory is O(n), not
 // O(input), and the result is bit-identical to sort + merge + truncate.
+// Columnar rows are gathered into a reused scratch for the rank check and
+// copied only when actually kept.
 type topkIter struct {
 	child iter
 	keys  []int
@@ -410,9 +620,11 @@ type topkIter struct {
 	h       topkHeap
 	idx     map[string]*topkEntry
 	scratch []byte
-	out     []core.Tuple
+	row     rangeval.Tuple
+	outRows []core.Tuple
 	done    bool
 	pos     int
+	out     vec.Batch
 }
 
 // topkEntry is one candidate merged row.
@@ -455,22 +667,22 @@ func (t *topkIter) Open(ctx context.Context) error {
 	return t.child.Open(ctx)
 }
 
-func (t *topkIter) Next() ([]core.Tuple, error) {
+func (t *topkIter) Next() (*vec.Batch, error) {
 	if !t.done {
 		if err := t.consume(); err != nil {
 			return nil, err
 		}
 	}
-	if t.pos >= len(t.out) {
+	if t.pos >= len(t.outRows) {
 		return nil, nil
 	}
 	end := t.pos + t.batch
-	if end > len(t.out) {
-		end = len(t.out)
+	if end > len(t.outRows) {
+		end = len(t.outRows)
 	}
-	out := t.out[t.pos:end]
+	t.out.SetRows(t.outRows[t.pos:end])
 	t.pos = end
-	return out, nil
+	return &t.out, nil
 }
 
 func (t *topkIter) consume() error {
@@ -483,47 +695,82 @@ func (t *topkIter) consume() error {
 		if b == nil {
 			break
 		}
-		for _, tup := range b {
-			if err := t.poll.Due(); err != nil {
+		if !b.Columnar {
+			for _, tup := range b.Rows {
+				if err := t.offer(tup, false, seq); err != nil {
+					return err
+				}
+				seq++
+			}
+			continue
+		}
+		offer := func(i int) error {
+			// Gather into the reused scratch row; offer copies it only
+			// when the candidate is actually kept.
+			t.row = b.AppendRow(t.row[:0], i)
+			err := t.offer(core.Tuple{Vals: t.row, M: b.MultAt(i)}, true, seq)
+			seq++
+			return err
+		}
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				if err := offer(i); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for i := 0; i < b.N; i++ {
+			if err := offer(i); err != nil {
 				return err
 			}
-			i := seq
-			seq++
-			// Probe with the scratch buffer (no allocation); keys and
-			// entries are only materialized for kept candidates, so a
-			// discarded tuple costs O(1) with zero allocations.
-			t.scratch = tup.Vals.AppendKey(t.scratch[:0])
-			if e, ok := t.idx[string(t.scratch)]; ok {
-				e.tup.M = e.tup.M.Add(tup.M)
-				continue
-			}
-			if t.n <= 0 {
-				continue
-			}
-			if len(t.h.es) >= t.n {
-				worst := t.h.es[0]
-				if c := core.OrderCompare(worst.tup.Vals, tup.Vals, t.keys, t.desc); c < 0 || (c == 0 && worst.seq < i) {
-					// The new value orders at or after every kept
-					// candidate and, since ranks only worsen, can never
-					// enter the first n merged rows: discard.
-					continue
-				}
-				heap.Pop(&t.h)
-				delete(t.idx, worst.key)
-			}
-			e := &topkEntry{tup: tup, key: string(t.scratch), seq: i}
-			heap.Push(&t.h, e)
-			t.idx[e.key] = e
 		}
 	}
 	es := t.h.es
 	sort.Slice(es, func(i, j int) bool { return t.h.after(es[j], es[i]) })
-	t.out = make([]core.Tuple, len(es))
+	t.outRows = make([]core.Tuple, len(es))
 	for i, e := range es {
-		t.out[i] = e.tup
+		t.outRows[i] = e.tup
 	}
 	t.done = true
 	t.h.es, t.idx = nil, nil
+	return nil
+}
+
+// offer folds one row into the top-k state. When copyVals is set the
+// tuple's Vals is a reused scratch and must be copied if kept.
+func (t *topkIter) offer(tup core.Tuple, copyVals bool, i int) error {
+	if err := t.poll.Due(); err != nil {
+		return err
+	}
+	// Probe with the scratch buffer (no allocation); keys and entries are
+	// only materialized for kept candidates, so a discarded tuple costs
+	// O(1) with zero allocations.
+	t.scratch = tup.Vals.AppendKey(t.scratch[:0])
+	if e, ok := t.idx[string(t.scratch)]; ok {
+		e.tup.M = e.tup.M.Add(tup.M)
+		return nil
+	}
+	if t.n <= 0 {
+		return nil
+	}
+	if len(t.h.es) >= t.n {
+		worst := t.h.es[0]
+		if c := core.OrderCompare(worst.tup.Vals, tup.Vals, t.keys, t.desc); c < 0 || (c == 0 && worst.seq < i) {
+			// The new value orders at or after every kept candidate and,
+			// since ranks only worsen, can never enter the first n merged
+			// rows: discard.
+			return nil
+		}
+		heap.Pop(&t.h)
+		delete(t.idx, worst.key)
+	}
+	if copyVals {
+		tup.Vals = append(rangeval.Tuple(nil), tup.Vals...)
+	}
+	e := &topkEntry{tup: tup, key: string(t.scratch), seq: i}
+	heap.Push(&t.h, e)
+	t.idx[e.key] = e
 	return nil
 }
 

@@ -4,12 +4,19 @@
 // iterators and executes it.
 //
 // In the pipelined mode (the default), Scan→Select→Project→Limit chains
-// stream in fixed-size batches of core.Tuple without materializing any
-// intermediate relation and without cloning — selection rewrites only the
-// multiplicity triple, scans emit views into base-table storage, and
-// buffers are reused batch to batch. LIMIT keeps O(n) state instead of
-// merging the whole input, and LIMIT over ORDER BY fuses into a bounded
-// top-k heap instead of a full sort. With Workers > 1, streaming chains
+// stream in fixed-size batches (vec.Batch) without materializing any
+// intermediate relation and without cloning. Over a sparse base table the
+// batches are columnar: struct-of-arrays views aliasing the stored
+// rangeval.Col columns (flat slices where the source column is certain)
+// with zero densification, filtered by column-at-a-time predicate programs
+// (expr.CompileVec) that mark survivors in a selection vector instead of
+// copying them, and projected by column permutation and vectorized
+// per-column evaluation. Over a dense table — or with Options.RowBatches —
+// batches are row batches of core.Tuple and take the per-row kernels:
+// selection rewrites only the multiplicity triple, scans emit views into
+// base-table storage, and buffers are reused batch to batch. LIMIT keeps
+// O(n) state instead of merging the whole input, and LIMIT over ORDER BY
+// fuses into a bounded top-k heap instead of a full sort. With Workers > 1, streaming chains
 // over a scan are partitioned into contiguous ranges that run on worker
 // goroutines and re-merge in partition order (the exchange operator), so
 // parallelism never changes results.
@@ -35,7 +42,6 @@ import (
 	"time"
 
 	"github.com/audb/audb/internal/core"
-	"github.com/audb/audb/internal/expr"
 	"github.com/audb/audb/internal/metrics"
 	"github.com/audb/audb/internal/opt"
 	"github.com/audb/audb/internal/ra"
@@ -78,6 +84,11 @@ type Options struct {
 	// BatchSize is the number of tuples per pipeline batch; 0 means
 	// DefaultBatchSize. Results are identical for every batch size.
 	BatchSize int
+	// RowBatches forces the legacy row-at-a-time batch representation:
+	// scans densify sparse tables per batch and every operator takes its
+	// per-row kernel. Results are identical either way; the flag exists
+	// for A/B benchmarking and debugging of the columnar path.
+	RowBatches bool
 	// Exec carries the operator options of the core kernels: worker
 	// count, compression, naive join.
 	Exec core.Options
@@ -264,7 +275,7 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 		if !ok {
 			return nil, schema.UnknownTable("phys", t.Table, c.db.Names())
 		}
-		it := newScanIter(rel, 0, rel.Len(), c.opt.BatchSize)
+		it := newScanIter(rel, 0, rel.Len(), c.opt.BatchSize, c.opt.RowBatches)
 		return c.wrap(it, n, t.String(), "stream"), nil
 
 	case *ra.Select:
@@ -275,18 +286,6 @@ func (c *compiler) lower(n ra.Node) (iter, error) {
 		}
 		if ex, ok, err := c.lowerExchange(n); err != nil || ok {
 			return ex, err
-		}
-		// σ directly over a certain-only base table fuses into a single
-		// iterator evaluating the predicate on the flat column values.
-		if sc, ok := t.Child.(*ra.Scan); ok {
-			rel, relOK := c.db.LookupFold(sc.Table)
-			if !relOK {
-				return nil, schema.UnknownTable("phys", sc.Table, c.db.Names())
-			}
-			if rel.FastCertain() && expr.CertainFastSafe(t.Pred) {
-				it := newCertSelectIter(rel, t.Pred, 0, rel.Len(), c.opt.BatchSize)
-				return c.wrap(it, n, t.String(), "stream-certain"), nil
-			}
 		}
 		child, err := c.lower(t.Child)
 		if err != nil {
@@ -507,11 +506,8 @@ func (c *compiler) chainScan(n ra.Node) *ra.Scan {
 func (c *compiler) buildChain(n ra.Node, rel *core.Relation, lo, hi int) (iter, error) {
 	switch t := n.(type) {
 	case *ra.Scan:
-		return newScanIter(rel, lo, hi, c.opt.BatchSize), nil
+		return newScanIter(rel, lo, hi, c.opt.BatchSize, c.opt.RowBatches), nil
 	case *ra.Select:
-		if _, ok := t.Child.(*ra.Scan); ok && rel.FastCertain() && expr.CertainFastSafe(t.Pred) {
-			return newCertSelectIter(rel, t.Pred, lo, hi, c.opt.BatchSize), nil
-		}
 		child, err := c.buildChain(t.Child, rel, lo, hi)
 		if err != nil {
 			return nil, err

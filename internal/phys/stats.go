@@ -4,18 +4,20 @@ import (
 	"context"
 	"time"
 
-	"github.com/audb/audb/internal/core"
 	"github.com/audb/audb/internal/metrics"
+	"github.com/audb/audb/internal/phys/vec"
 	"github.com/audb/audb/internal/schema"
 )
 
 // statIter wraps an iterator with the EXPLAIN ANALYZE counters: rows and
-// non-empty batches emitted, and cumulative wall time spent inside the
-// operator (children included — subtract theirs for self time). Wrappers
-// exist only when Options.Analyze is set, so the counters cost nothing on
-// the regular path. Partition sub-chains inside an exchange run
-// concurrently and are not individually instrumented; their work is
-// reported at the exchange operator.
+// non-empty batches emitted (split by batch representation, with physical
+// row counts so the mean selection-vector density of columnar batches is
+// reportable), and cumulative wall time spent inside the operator
+// (children included — subtract theirs for self time). Wrappers exist
+// only when Options.Analyze is set, so the counters cost nothing on the
+// regular path. Partition sub-chains inside an exchange run concurrently
+// and are not individually instrumented; their work is reported at the
+// exchange operator.
 type statIter struct {
 	inner iter
 	st    *metrics.OpStats
@@ -28,13 +30,19 @@ func (s *statIter) Open(ctx context.Context) error {
 	return err
 }
 
-func (s *statIter) Next() ([]core.Tuple, error) {
+func (s *statIter) Next() (*vec.Batch, error) {
 	start := time.Now()
 	b, err := s.inner.Next()
 	s.st.Elapsed += time.Since(start)
 	if b != nil {
-		s.st.Rows += int64(len(b))
+		live := int64(b.Len())
+		s.st.Rows += live
 		s.st.Batches++
+		if b.Columnar {
+			s.st.ColBatches++
+			s.st.ColRows += live
+			s.st.ColPhysRows += int64(b.N)
+		}
 	}
 	return b, err
 }

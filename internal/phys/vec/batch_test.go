@@ -1,0 +1,121 @@
+package vec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/audb/audb/internal/core"
+	"github.com/audb/audb/internal/rangeval"
+	"github.com/audb/audb/internal/types"
+)
+
+// testCols builds one flat and one dense column over n rows plus the
+// equivalent dense tuples, with every 3rd multiplicity uncertain when
+// mixedMult is set.
+func testCols(n int, mixedMult bool) (cols []rangeval.Col, mflat []int64, mdense []core.Mult, rows []core.Tuple) {
+	var flat, dense rangeval.ColBuilder
+	for i := 0; i < n; i++ {
+		fv := rangeval.Certain(types.Int(int64(i)))
+		dv := rangeval.New(types.Int(int64(i-1)), types.Int(int64(i)), types.Int(int64(i+1)))
+		flat.Append(fv)
+		dense.Append(dv)
+		m := core.One
+		if mixedMult && i%3 == 0 {
+			m = core.Mult{Lo: 0, SG: 1, Hi: 2}
+		}
+		mdense = append(mdense, m)
+		mflat = append(mflat, 1)
+		rows = append(rows, core.Tuple{Vals: rangeval.Tuple{fv, dv}, M: m})
+	}
+	cols = []rangeval.Col{flat.Build(), dense.Build()}
+	if mixedMult {
+		mflat = nil
+	} else {
+		mdense = nil
+		for i := range rows {
+			rows[i].M = core.One
+		}
+	}
+	return cols, mflat, mdense, rows
+}
+
+func TestBatchSparseSpan(t *testing.T) {
+	cols, mflat, _, rows := testCols(10, false)
+	var b Batch
+	b.SetSparseSpan(cols, mflat, nil, 2, 7)
+	if !b.Columnar || b.N != 5 || b.Len() != 5 {
+		t.Fatalf("span: columnar=%v N=%d len=%d", b.Columnar, b.N, b.Len())
+	}
+	for i := 0; i < b.N; i++ {
+		got := b.AppendRow(nil, i)
+		if want := rows[2+i].Vals; types.Compare(got[0].SG, want[0].SG) != 0 || types.Compare(got[1].Lo, want[1].Lo) != 0 {
+			t.Fatalf("row %d gathered %v, want %v", i, got, want)
+		}
+		if m := b.MultAt(i); m != core.One {
+			t.Fatalf("row %d mult %v", i, m)
+		}
+	}
+	// Switching to rows resets the columnar fields.
+	b.SetRows(rows[:3])
+	if b.Columnar || b.Len() != 3 || b.MultAt(1) != rows[1].M {
+		t.Fatalf("SetRows: columnar=%v len=%d", b.Columnar, b.Len())
+	}
+}
+
+func TestBatchMultDense(t *testing.T) {
+	cols, _, mdense, rows := testCols(9, true)
+	var b Batch
+	b.SetSparseSpan(cols, nil, mdense, 0, 9)
+	for i := range rows {
+		if b.MultAt(i) != rows[i].M {
+			t.Fatalf("row %d mult %v, want %v", i, b.MultAt(i), rows[i].M)
+		}
+	}
+}
+
+// TestBatchRowKeyCompat: the columnar key encoding must be byte-identical
+// to the dense tuple encoding, so probe maps (limit, top-k) may mix keys
+// built from either representation.
+func TestBatchRowKeyCompat(t *testing.T) {
+	cols, mflat, _, rows := testCols(8, false)
+	var b Batch
+	b.SetSparseSpan(cols, mflat, nil, 0, 8)
+	for i := range rows {
+		col := b.AppendRowKey(nil, i)
+		row := rows[i].Vals.AppendKey(nil)
+		if !bytes.Equal(col, row) {
+			t.Fatalf("row %d: columnar key %x != tuple key %x", i, col, row)
+		}
+	}
+}
+
+// TestBatchAppendTuples: densification honors the selection vector, keeps
+// input order, and produces retainable tuples for both representations.
+func TestBatchAppendTuples(t *testing.T) {
+	cols, mflat, _, rows := testCols(6, false)
+	var b Batch
+	b.SetSparseSpan(cols, mflat, nil, 0, 6)
+	b.Sel = []int{1, 3, 4}
+	if b.Len() != 3 {
+		t.Fatalf("live = %d", b.Len())
+	}
+	got := b.AppendTuples(nil)
+	if len(got) != 3 {
+		t.Fatalf("densified %d rows", len(got))
+	}
+	for k, i := range b.Sel {
+		if types.Compare(got[k].Vals[0].SG, rows[i].Vals[0].SG) != 0 {
+			t.Fatalf("sel %d: %v, want %v", k, got[k].Vals, rows[i].Vals)
+		}
+	}
+	var rb Batch
+	rb.SetRows(rows)
+	if got := rb.AppendTuples(nil); len(got) != len(rows) {
+		t.Fatalf("row densify %d rows", len(got))
+	}
+	// Empty live set appends nothing.
+	b.Sel = []int{}
+	if got := b.AppendTuples(nil); len(got) != 0 {
+		t.Fatalf("empty sel densified %d rows", len(got))
+	}
+}

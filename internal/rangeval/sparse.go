@@ -57,6 +57,56 @@ func (c Col) At(i int) V {
 	return c.Dense[i]
 }
 
+// Slice returns the column restricted to rows [lo, hi), sharing storage —
+// the zero-copy view the pipelined executor's columnar batches are built
+// from. A flat slice keeps the whole column's null count: a null-free
+// column has null-free spans (the case the fast paths gate on), while a
+// column with nulls stays conservatively marked.
+func (c Col) Slice(lo, hi int) Col {
+	if c.Flat != nil {
+		return Col{Flat: c.Flat[lo:hi], Nulls: c.Nulls}
+	}
+	return Col{Dense: c.Dense[lo:hi]}
+}
+
+// AppendRowKey appends row i's injective triple encoding to buf —
+// byte-identical to Tuple.AppendKey of the expanded [v/v/v] triple, so
+// keys built from columns and keys built from dense tuples probe the same
+// maps interchangeably.
+func (c Col) AppendRowKey(buf []byte, i int) []byte {
+	if c.Flat != nil {
+		v := c.Flat[i]
+		buf = v.AppendKey(buf)
+		buf = v.AppendKey(buf)
+		return v.AppendKey(buf)
+	}
+	d := c.Dense[i]
+	buf = d.Lo.AppendKey(buf)
+	buf = d.SG.AppendKey(buf)
+	return d.Hi.AppendKey(buf)
+}
+
+// ColFromFlat returns a flat column aliasing vals, counting its nulls.
+// The caller must not mutate vals while the column is in use; the
+// pipelined executor's vectorized projection builds its per-batch output
+// columns through here (the batch contract — valid until the next Next —
+// bounds the aliasing).
+func ColFromFlat(vals []types.Value) Col {
+	nulls := 0
+	for _, v := range vals {
+		if v.IsNull() {
+			nulls++
+		}
+	}
+	return Col{Flat: vals, Nulls: nulls}
+}
+
+// ColFromDense returns a dense column aliasing d, under the same
+// no-mutation contract as ColFromFlat. Every element of d is a V built by
+// this package's constructors, so the lb ≤ sg ≤ ub invariant holds by
+// construction.
+func ColFromDense(d []V) Col { return Col{Dense: d} }
+
 // ColBuilder accumulates one column row by row, keeping the flat layout
 // for as long as every appended value is certain. The zero value is an
 // empty builder.
